@@ -1,0 +1,118 @@
+"""Ablation benchmarks for NetFence design choices (DESIGN.md §6).
+
+These are not paper figures; they probe the design decisions the paper
+argues for:
+
+* the 2·Ilim stamping hysteresis (§4.3.4) — without it, synchronized on-off
+  attackers can keep obtaining ``L↑`` and ratchet their rate limits up;
+* the gentle MD factor δ=0.1 vs TCP's 0.5 — a large δ wastes utilization;
+* per-AS policing / heavy-hitter containment of a compromised AS (§4.5).
+"""
+
+import pytest
+
+from repro.analysis.convergence import AimdFluidModel, FluidSender
+from repro.core.aslevel import HeavyHitterDetector
+from repro.experiments.scenarios import DumbbellScenarioConfig, run_dumbbell_scenario
+from repro.simulator.packet import Packet
+
+
+def _onoff_config(hysteresis_intervals):
+    return DumbbellScenarioConfig(
+        system="netfence",
+        num_source_as=3,
+        hosts_per_as=4,
+        bottleneck_bps=1.2e6,
+        workload="longrun",
+        attack_type="regular",
+        attack_rate_bps=1.0e6,
+        attack_on_off=(0.5, 1.5),
+        num_colluders=3,
+        sim_time=120.0,
+        warmup=60.0,
+    )
+
+
+def test_ablation_hysteresis_protects_against_onoff(benchmark, once):
+    """Compare the full 2·Ilim hysteresis against no hysteresis."""
+    import repro.experiments.scenarios as scenarios
+    from repro.core.params import NetFenceParams
+    from repro.core.domain import NetFenceDomain
+
+    results = {}
+
+    def run_with_hysteresis(intervals):
+        original = scenarios._netfence_components
+
+        def patched(config):
+            params, domain, policy = original(config)
+            params = params.with_overrides(hysteresis_intervals=intervals)
+            domain.params = params
+            return params, domain, policy
+
+        scenarios._netfence_components = patched
+        try:
+            return run_dumbbell_scenario(_onoff_config(intervals))
+        finally:
+            scenarios._netfence_components = original
+
+    def run_both():
+        results["with"] = run_with_hysteresis(2.0)
+        results["without"] = run_with_hysteresis(0.0)
+        return results
+
+    once(benchmark, run_both)
+    with_ratio = results["with"].throughput_ratio
+    without_ratio = results["without"].throughput_ratio
+    print(f"\nAblation — on-off attack, user/attacker ratio: "
+          f"with 2·Ilim hysteresis={with_ratio:.2f}, without={without_ratio:.2f}")
+    # The hysteresis must not make the user worse off; typically it helps.
+    assert with_ratio >= without_ratio * 0.8
+
+
+@pytest.mark.parametrize("delta", [0.1, 0.5], ids=["delta-0.1", "delta-0.5"])
+def test_ablation_md_factor_utilization(benchmark, delta):
+    """The paper picks δ=0.1; δ=0.5 (TCP-like) wastes capacity after each cut."""
+
+    def run_model():
+        senders = [FluidSender(name=f"s{i}") for i in range(20)]
+        model = AimdFluidModel(2e6, senders, multiplicative_decrease=delta)
+        model.run(300)
+        sent = [sum(s.sent_history[i] for s in senders)
+                for i in range(150, model.interval)]
+        return sum(min(total, 2e6) for total in sent) / len(sent) / 2e6
+
+    utilization = benchmark.pedantic(run_model, rounds=1, iterations=1)
+    print(f"\nAblation — fluid-model utilization with δ={delta}: {utilization:.2f}")
+    if delta == 0.1:
+        assert utilization > 0.85
+    else:
+        assert utilization < 0.95
+
+
+def test_ablation_heavy_hitter_contains_compromised_as(benchmark, once):
+    """§4.5: RED-PD-style detection throttles an AS that never slows down."""
+
+    def run_detector():
+        detector = HeavyHitterDetector(capacity_bps=10e6, interval_s=1.0,
+                                       trigger_intervals=3)
+        good_delivered = 0
+        bad_delivered = 0
+        for _ in range(10):
+            for _ in range(800):
+                packet = Packet(src="zombie", dst="d", src_as="AS-compromised")
+                if detector.admit(packet):
+                    bad_delivered += 1
+            for i in range(80):
+                packet = Packet(src=f"h{i}", dst="d", src_as=f"AS-good-{i % 8}")
+                if detector.admit(packet):
+                    good_delivered += 1
+            detector.end_interval()
+        return good_delivered, bad_delivered, dict(detector.throttled)
+
+    good, bad, throttled = once(benchmark, run_detector)
+    print(f"\nAblation — heavy hitter: compromised AS throttled={bool(throttled)}, "
+          f"good packets delivered={good}, flood packets delivered={bad}")
+    assert "AS-compromised" in throttled
+    assert good == 800  # legitimate ASes never throttled
+    assert bad < 8000

@@ -1,0 +1,44 @@
+"""Fig. 6 / §6.1 — NetFence header construction and wire size.
+
+Verifies the 20-byte common case / 28-byte worst case while measuring how
+fast headers and their MACs can be produced (the per-packet cost that the
+paper offloads to AES hardware).
+"""
+
+from repro.core.domain import NetFenceDomain
+from repro.core.feedback import BottleneckStamper, FeedbackStamper
+from repro.core.header import NetFenceHeader
+from repro.crypto.keys import AccessRouterSecret
+
+
+def _stampers():
+    domain = NetFenceDomain(master=b"bench")
+    secret = AccessRouterSecret("Ra", master=b"bench")
+    access = FeedbackStamper(secret, domain.key_registry, "AS-src")
+    bottleneck = BottleneckStamper(domain.key_registry, "AS-core")
+    return access, bottleneck
+
+
+def test_nop_header_common_case_20_bytes(benchmark):
+    access, _ = _stampers()
+
+    def build():
+        nop = access.stamp_nop("src", "dst", 1.0)
+        return NetFenceHeader(feedback=nop, returned=nop).wire_size()
+
+    size = benchmark(build)
+    print(f"\nFig. 6: common-case NetFence header = {size} bytes (paper: 20)")
+    assert size == 20
+
+
+def test_mon_header_worst_case_28_bytes(benchmark):
+    access, bottleneck = _stampers()
+
+    def build():
+        nop = access.stamp_nop("src", "dst", 1.0)
+        decr = bottleneck.stamp_decr(nop, "src", "dst", "AS-src", "L")
+        return NetFenceHeader(feedback=decr, returned=decr).wire_size()
+
+    size = benchmark(build)
+    print(f"\nFig. 6: worst-case NetFence header = {size} bytes (paper: 28)")
+    assert size == 28

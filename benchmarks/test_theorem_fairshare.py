@@ -1,0 +1,23 @@
+"""Theorem §3.4 / Appendix A — the ν·ρ·C/(G+B) fair-share guarantee."""
+
+from repro.experiments import theorem_fairshare
+
+
+def test_theorem_fluid_model_bound(benchmark, once):
+    rows = once(benchmark, theorem_fairshare.run_fluid, intervals=300)
+    print("\n" + theorem_fairshare.format_table(rows))
+    assert all(row.satisfied for row in rows)
+
+
+def test_theorem_packet_level_bound(benchmark, once):
+    row = once(
+        benchmark,
+        theorem_fairshare.run_packet,
+        bottleneck_bps=1.2e6,
+        num_source_as=3,
+        hosts_per_as=4,
+        sim_time=200.0,
+        warmup=100.0,
+    )
+    print("\n" + theorem_fairshare.format_table([row]))
+    assert row.satisfied

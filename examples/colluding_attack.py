@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Colluding sender–receiver floods (Fig. 9a in miniature).
+
+When attackers pair up with colluding receivers, capabilities and filters do
+not help: the receivers authorize everything.  The defense must fall back to
+fairness.  This example runs the same colluding flood against NetFence and
+TVA+ and reports the throughput ratio between an average legitimate TCP user
+and an average attacker.
+
+Run:  python examples/colluding_attack.py
+"""
+
+from repro.experiments.scenarios import DumbbellScenarioConfig, run_dumbbell_scenario
+
+
+def main() -> None:
+    print("Colluding regular-traffic flood, 25% users / 75% attackers "
+          "(small-scale Fig. 9a):\n")
+    print(f"{'system':10s} {'user kbps':>10s} {'attacker kbps':>14s} "
+          f"{'ratio':>7s} {'utilization':>12s}")
+    for system in ("netfence", "fq", "tva"):
+        config = DumbbellScenarioConfig(
+            system=system,
+            num_source_as=3,
+            hosts_per_as=4,
+            bottleneck_bps=1.2e6,
+            workload="longrun",
+            attack_type="regular",
+            attack_rate_bps=400e3,
+            num_colluders=9,
+            sim_time=200.0,
+            warmup=100.0,
+        )
+        result = run_dumbbell_scenario(config)
+        print(f"{system:10s} {result.avg_user_throughput_bps / 1e3:10.1f} "
+              f"{result.avg_attacker_throughput_bps / 1e3:14.1f} "
+              f"{result.throughput_ratio:7.2f} {result.bottleneck_utilization:12.2f}")
+    fair = 1.2e6 / 12 / 1e3
+    print(f"\nPer-sender fair share: {fair:.0f} Kbps.")
+    print("Expected shape: NetFence and FQ hold every sender near the fair share")
+    print("(ratio close to 1); TVA+ collapses to roughly 1/3 because its regular")
+    print("channel is fair-queued per *destination* and the nine colluding")
+    print("receivers soak up nine tenths of the link.")
+
+
+if __name__ == "__main__":
+    main()

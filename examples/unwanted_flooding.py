@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Unwanted-traffic flooding (Fig. 8 in miniature).
+
+Attackers flood the victim directly; the victim identifies them and uses each
+defense system's mechanism to cut them off — NetFence withholds congestion
+policing feedback, TVA+ denies capabilities, StopIt installs filters, and FQ
+has nothing but per-sender fair queuing.  Legitimate users keep fetching a
+20 KB file from the victim; the number that matters is how long a fetch takes.
+
+Run:  python examples/unwanted_flooding.py
+"""
+
+from repro.experiments.scenarios import DumbbellScenarioConfig, run_dumbbell_scenario
+
+SYSTEMS = ("stopit", "tva", "netfence", "fq")
+
+
+def main() -> None:
+    print("20 KB file transfers while the victim is being flooded "
+          "(small-scale Fig. 8):\n")
+    print(f"{'system':10s} {'avg transfer time':>18s} {'completion':>12s}")
+    for system in SYSTEMS:
+        attack_type = "request" if system in ("netfence", "tva") else "regular"
+        config = DumbbellScenarioConfig(
+            system=system,
+            num_source_as=3,
+            hosts_per_as=4,
+            legit_per_as=1,
+            bottleneck_bps=1.2e6,
+            workload="files",
+            file_bytes=20_000,
+            attack_type=attack_type,
+            attack_rate_bps=400e3,
+            victim_blocks_attackers=True,
+            num_colluders=0,
+            sim_time=60.0,
+            warmup=0.0,
+        )
+        result = run_dumbbell_scenario(config)
+        print(f"{system:10s} {result.average_transfer_time:15.2f} s "
+              f"{result.completion_ratio:12.2f}")
+    print("\nExpected shape: StopIt fastest (filters near the source), TVA+ close")
+    print("behind, NetFence roughly one second slower (the level-0 request packet")
+    print("must back off once), and FQ much slower because the attack traffic is")
+    print("never removed — it only gets squeezed to its fair share.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Analysis helpers: fairness metrics and the Appendix A convergence model."""
+
+from repro.analysis.metrics import (
+    jain_fairness_index,
+    throughput_ratio,
+    summarize_throughputs,
+)
+from repro.analysis.convergence import (
+    AimdFluidModel,
+    fair_share_lower_bound,
+)
+
+__all__ = [
+    "jain_fairness_index",
+    "throughput_ratio",
+    "summarize_throughputs",
+    "AimdFluidModel",
+    "fair_share_lower_bound",
+]

@@ -1,0 +1,132 @@
+"""The Appendix A convergence analysis as an executable fluid model.
+
+The paper proves (Theorem, §3.4 / Appendix A) that with NetFence's robust
+AIMD any legitimate sender with sufficient demand eventually receives at
+least ``ν·ρ·C/(G+B)`` of a bottleneck of capacity ``C`` shared by ``G``
+legitimate and ``B`` malicious senders, where ``ρ = (1-δ)³`` accounts for the
+extra multiplicative decreases caused by the 2·Ilim stamping hysteresis and
+``ν`` is the sender's rate-limit utilization.
+
+:class:`AimdFluidModel` reproduces the simplified fluid argument: per control
+interval, every rate limit is either increased additively (when the bottleneck
+was not congested — all senders see ``L↑``) or decreased multiplicatively
+(when it was congested).  Senders may have a demand cap (``ν < 1``) or an
+arbitrary on-off "attack strategy" expressed as a per-interval demand
+function; the theorem says the strategy cannot push a sufficient-demand
+sender below the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.metrics import jain_fairness_index
+
+
+def fair_share_lower_bound(
+    capacity_bps: float,
+    num_legitimate: int,
+    num_malicious: int,
+    delta: float = 0.1,
+    nu: float = 1.0,
+) -> float:
+    """The theorem's guaranteed share: ``ν · (1-δ)³ · C / (G+B)``."""
+    if num_legitimate + num_malicious <= 0:
+        raise ValueError("need at least one sender")
+    rho = (1.0 - delta) ** 3
+    return nu * rho * capacity_bps / (num_legitimate + num_malicious)
+
+
+@dataclass
+class FluidSender:
+    """One sender in the fluid model."""
+
+    name: str
+    #: demand(interval_index) -> offered rate in bps (None = unlimited).
+    demand_fn: Optional[Callable[[int], float]] = None
+    rate_limit_bps: float = 64_000.0
+    is_legitimate: bool = True
+    sent_history: List[float] = field(default_factory=list)
+
+    def offered(self, interval: int) -> float:
+        if self.demand_fn is None:
+            return float("inf")
+        return max(self.demand_fn(interval), 0.0)
+
+
+class AimdFluidModel:
+    """Interval-level simulation of the robust AIMD control loop.
+
+    Per interval:
+
+    1. every sender transmits ``min(offered demand, rate limit)``;
+    2. the bottleneck is congested iff the aggregate exceeds the capacity;
+    3. congested interval → every rate limit that was *used* this interval is
+       multiplicatively decreased (the hysteresis means nobody can obtain
+       ``L↑`` for it, §4.3.4); uncongested interval → senders whose
+       throughput exceeded half their limit get an additive increase, others
+       keep their limit (the robustness rule against inflating by idling).
+    """
+
+    def __init__(
+        self,
+        capacity_bps: float,
+        senders: Sequence[FluidSender],
+        additive_increase_bps: float = 12_000.0,
+        multiplicative_decrease: float = 0.1,
+    ) -> None:
+        if capacity_bps <= 0:
+            raise ValueError("capacity_bps must be positive")
+        self.capacity_bps = capacity_bps
+        self.senders = list(senders)
+        self.additive_increase_bps = additive_increase_bps
+        self.multiplicative_decrease = multiplicative_decrease
+        self.interval = 0
+        self.congested_history: List[bool] = []
+        self.fairness_history: List[float] = []
+
+    def step(self) -> bool:
+        """Advance one control interval; returns True if it was congested."""
+        sends = []
+        for sender in self.senders:
+            rate = min(sender.offered(self.interval), sender.rate_limit_bps)
+            sender.sent_history.append(rate)
+            sends.append(rate)
+        congested = sum(sends) >= self.capacity_bps
+        for sender, sent in zip(self.senders, sends):
+            if congested:
+                if sent > 0:
+                    sender.rate_limit_bps *= 1.0 - self.multiplicative_decrease
+            else:
+                if sent > sender.rate_limit_bps / 2.0:
+                    sender.rate_limit_bps += self.additive_increase_bps
+        self.congested_history.append(congested)
+        self.fairness_history.append(
+            jain_fairness_index([s.rate_limit_bps for s in self.senders])
+        )
+        self.interval += 1
+        return congested
+
+    def run(self, intervals: int) -> None:
+        for _ in range(intervals):
+            self.step()
+
+    # -- results ------------------------------------------------------------------
+    def average_rate(self, sender: FluidSender, last_intervals: Optional[int] = None) -> float:
+        history = sender.sent_history
+        if not history:
+            return 0.0
+        if last_intervals is not None:
+            history = history[-last_intervals:]
+        return sum(history) / len(history)
+
+    def legitimate_senders(self) -> List[FluidSender]:
+        return [s for s in self.senders if s.is_legitimate]
+
+    def malicious_senders(self) -> List[FluidSender]:
+        return [s for s in self.senders if not s.is_legitimate]
+
+    @property
+    def final_fairness(self) -> float:
+        return self.fairness_history[-1] if self.fairness_history else 1.0

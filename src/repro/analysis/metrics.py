@@ -1,0 +1,71 @@
+"""Evaluation metrics used throughout §6 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(Σx)² / (n·Σx²)`` (Chiu & Jain [11]).
+
+    Returns 1.0 for an empty sequence or all-zero allocations, matching the
+    convention that "nobody got anything" is (vacuously) fair.
+    """
+    xs = [max(v, 0.0) for v in values]
+    if not xs:
+        return 1.0
+    total = sum(xs)
+    squares = sum(x * x for x in xs)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(xs) * squares)
+
+
+def throughput_ratio(
+    user_throughputs: Sequence[float], attacker_throughputs: Sequence[float]
+) -> float:
+    """Average legitimate-user throughput over average attacker throughput (§6.3.2)."""
+    if not user_throughputs:
+        return 0.0
+    if not attacker_throughputs:
+        return float("inf")
+    user_avg = sum(user_throughputs) / len(user_throughputs)
+    attacker_avg = sum(attacker_throughputs) / len(attacker_throughputs)
+    if attacker_avg == 0:
+        return float("inf") if user_avg > 0 else 0.0
+    return user_avg / attacker_avg
+
+
+@dataclass
+class ThroughputSummary:
+    """Aggregate view of one sender population's throughputs."""
+
+    count: int
+    mean_bps: float
+    min_bps: float
+    max_bps: float
+    fairness_index: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "ThroughputSummary":
+        if not values:
+            return cls(count=0, mean_bps=0.0, min_bps=0.0, max_bps=0.0, fairness_index=1.0)
+        return cls(
+            count=len(values),
+            mean_bps=sum(values) / len(values),
+            min_bps=min(values),
+            max_bps=max(values),
+            fairness_index=jain_fairness_index(values),
+        )
+
+
+def summarize_throughputs(
+    throughputs: Mapping[str, float], groups: Mapping[str, Iterable[str]]
+) -> Dict[str, ThroughputSummary]:
+    """Summarize per-sender throughputs by named sender group."""
+    result: Dict[str, ThroughputSummary] = {}
+    for group, members in groups.items():
+        values: List[float] = [throughputs.get(name, 0.0) for name in members]
+        result[group] = ThroughputSummary.from_values(values)
+    return result

@@ -1,0 +1,27 @@
+"""Baseline DoS defense systems the paper compares against (§6.3).
+
+* :mod:`repro.baselines.fq` — per-sender fair queuing (DRR) at every link.
+* :mod:`repro.baselines.tva` — TVA+ [27, 47]: network capabilities, a
+  hierarchically fair-queued request channel, and per-destination fair
+  queuing on the regular channel.
+* :mod:`repro.baselines.stopit` — StopIt [27]: victim-installed source
+  filters with hierarchical fair queuing as the fallback.
+"""
+
+from repro.baselines.common import ChannelQueue, channel_queue_factory
+from repro.baselines.fq import FairQueueRouter, fq_queue_factory
+from repro.baselines.tva import CapabilityEndHost, TvaRouter, tva_queue_factory
+from repro.baselines.stopit import FilterRegistry, StopItAccessRouter, stopit_queue_factory
+
+__all__ = [
+    "ChannelQueue",
+    "channel_queue_factory",
+    "FairQueueRouter",
+    "fq_queue_factory",
+    "CapabilityEndHost",
+    "TvaRouter",
+    "tva_queue_factory",
+    "FilterRegistry",
+    "StopItAccessRouter",
+    "stopit_queue_factory",
+]

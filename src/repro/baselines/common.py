@@ -1,0 +1,135 @@
+"""Shared plumbing for the baseline systems.
+
+:class:`ChannelQueue` mirrors the three-channel structure of a NetFence /
+TVA+ router output port — a bandwidth-capped request channel, a regular
+channel, and a low-priority legacy channel — but lets each baseline plug in
+its own inner queue disciplines (hierarchical fair queuing, per-destination
+DRR, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simulator.engine import Simulator
+from repro.simulator.packet import Packet
+from repro.simulator.queues import DropTailQueue, PacketQueue
+
+#: Builds an inner queue given the byte capacity suggested for it.
+InnerQueueFactory = Callable[[int], PacketQueue]
+
+REQUEST_PACKET_COST = 92.0
+
+
+class ChannelQueue(PacketQueue):
+    """Request / regular / legacy channels with a rate-capped request channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity_bps: float,
+        request_queue: PacketQueue,
+        regular_queue: PacketQueue,
+        legacy_queue: Optional[PacketQueue] = None,
+        request_fraction: float = 0.05,
+        queue_limit_seconds: float = 0.2,
+    ) -> None:
+        super().__init__()
+        self.sim = sim
+        self.capacity_bps = capacity_bps
+        self.request_fraction = request_fraction
+        self.request_queue = request_queue
+        self.regular_queue = regular_queue
+        qlim_bytes = max(int(queue_limit_seconds * capacity_bps / 8), 3_000)
+        self.legacy_queue = legacy_queue or DropTailQueue(capacity_bytes=max(qlim_bytes // 4, 3_000))
+        self._request_budget = 0.0
+        self._request_budget_max = max(qlim_bytes * request_fraction, 1_500)
+        self._budget_updated = sim.now
+        for queue in (self.request_queue, self.regular_queue, self.legacy_queue):
+            queue.drop_callback = self._inner_drop
+
+    def _inner_drop(self, packet: Packet) -> None:
+        self.stats.record_drop(packet)
+        if self.drop_callback is not None:
+            self.drop_callback(packet)
+
+    def _refill_budget(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._budget_updated
+        if elapsed > 0:
+            rate = self.request_fraction * self.capacity_bps / 8.0
+            self._request_budget = min(
+                self._request_budget_max, self._request_budget + elapsed * rate
+            )
+            self._budget_updated = now
+
+    def enqueue(self, packet: Packet) -> bool:
+        if packet.is_request:
+            queue: PacketQueue = self.request_queue
+        elif packet.is_regular:
+            queue = self.regular_queue
+        else:
+            queue = self.legacy_queue
+        accepted = queue.enqueue(packet)
+        if accepted:
+            self.stats.record_enqueue(packet)
+        return accepted
+
+    def dequeue(self) -> Optional[Packet]:
+        self._refill_budget()
+        if len(self.request_queue) and self._request_budget >= REQUEST_PACKET_COST:
+            packet = self.request_queue.dequeue()
+            if packet is not None:
+                self._request_budget -= packet.size_bytes
+                self.stats.record_dequeue(packet)
+                return packet
+        packet = self.regular_queue.dequeue()
+        if packet is None:
+            packet = self.legacy_queue.dequeue()
+        if packet is not None:
+            self.stats.record_dequeue(packet)
+        return packet
+
+    def time_until_ready(self) -> Optional[float]:
+        if not len(self.request_queue):
+            return None
+        self._refill_budget()
+        deficit = REQUEST_PACKET_COST - self._request_budget
+        if deficit <= 0:
+            return 1e-6
+        rate = self.request_fraction * self.capacity_bps / 8.0
+        return deficit / rate
+
+    def __len__(self) -> int:
+        return len(self.request_queue) + len(self.regular_queue) + len(self.legacy_queue)
+
+    @property
+    def byte_length(self) -> int:
+        return (
+            self.request_queue.byte_length
+            + self.regular_queue.byte_length
+            + self.legacy_queue.byte_length
+        )
+
+
+def channel_queue_factory(
+    sim: Simulator,
+    request_factory: InnerQueueFactory,
+    regular_factory: InnerQueueFactory,
+    request_fraction: float = 0.05,
+    queue_limit_seconds: float = 0.2,
+) -> Callable[[float], ChannelQueue]:
+    """Build a topology queue factory from inner-queue factories."""
+
+    def factory(capacity_bps: float) -> ChannelQueue:
+        qlim_bytes = max(int(queue_limit_seconds * capacity_bps / 8), 3_000)
+        return ChannelQueue(
+            sim,
+            capacity_bps,
+            request_queue=request_factory(max(int(qlim_bytes * request_fraction), 2_000)),
+            regular_queue=regular_factory(qlim_bytes),
+            request_fraction=request_fraction,
+            queue_limit_seconds=queue_limit_seconds,
+        )
+
+    return factory

@@ -1,0 +1,39 @@
+"""Per-sender fair queuing baseline (§6.3, "FQ").
+
+FQ represents defenses that throttle attack traffic to its fair share by
+installing per-sender Deficit Round Robin queues at every link.  There is no
+capability or filter machinery: every packet is forwarded, and the fairness
+comes entirely from the link schedulers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simulator.engine import Simulator
+from repro.simulator.fairqueue import DRRQueue, per_sender_key
+from repro.simulator.node import Router
+
+
+class FairQueueRouter(Router):
+    """A plain forwarding router; fairness lives in the link queues."""
+
+
+def fq_queue_factory(
+    per_flow_capacity_bytes: int = 30 * 1500,
+    quantum_bytes: int = 1500,
+) -> Callable[[float], DRRQueue]:
+    """Per-sender DRR queues for every link of the FQ baseline."""
+
+    def factory(capacity_bps: float) -> DRRQueue:
+        # Size each sender's queue like a share of the paper's 0.2 s Qlim,
+        # bounded below so TCP always has room for a small window.
+        qlim_bytes = max(int(0.2 * capacity_bps / 8), 3_000)
+        per_flow = max(min(per_flow_capacity_bytes, qlim_bytes), 2 * 1500)
+        return DRRQueue(
+            key_fn=per_sender_key,
+            quantum_bytes=quantum_bytes,
+            per_flow_capacity_bytes=per_flow,
+        )
+
+    return factory

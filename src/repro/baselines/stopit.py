@@ -1,0 +1,109 @@
+"""StopIt baseline: victim-installed filters plus hierarchical fair queuing.
+
+StopIt [27] lets a DoS victim install network filters that block unwanted
+(source, destination) pairs at the *source's* access router — the attack
+traffic is removed near its origin, which is why StopIt has the best transfer
+times in Fig. 8.  When receivers fail to install filters (the colluding
+attacks of Fig. 9), StopIt falls back to two-level hierarchical fair queuing
+(source AS, then source address) at congested links, which behaves like
+per-sender fair queuing.
+
+The filter-request protocol (closed-loop StopIt servers, authenticated filter
+requests) is abstracted into a :class:`FilterRegistry` with a configurable
+installation delay; its security properties are orthogonal to the congestion
+behaviour the experiments measure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.simulator.engine import Simulator
+from repro.simulator.fairqueue import (
+    HierarchicalFairQueue,
+    per_sender_key,
+    per_source_as_key,
+)
+from repro.simulator.link import Link
+from repro.simulator.node import Router
+from repro.simulator.packet import Packet
+from repro.baselines.common import ChannelQueue
+
+
+class FilterRegistry:
+    """Distributes victim-requested filters to the senders' access routers."""
+
+    def __init__(self, sim: Simulator, install_delay_s: float = 0.1) -> None:
+        self.sim = sim
+        self.install_delay_s = install_delay_s
+        self._routers: Dict[str, "StopItAccessRouter"] = {}
+        self._host_to_router: Dict[str, str] = {}
+        self.filters_requested = 0
+
+    def register_router(self, router: "StopItAccessRouter") -> None:
+        self._routers[router.name] = router
+
+    def register_host(self, host_name: str, router_name: str) -> None:
+        self._host_to_router[host_name] = router_name
+
+    def install_filter(self, src: str, dst: str) -> None:
+        """Victim ``dst`` asks to block traffic from ``src``."""
+        self.filters_requested += 1
+        router_name = self._host_to_router.get(src)
+        if router_name is None:
+            return
+        router = self._routers.get(router_name)
+        if router is None:
+            return
+        self.sim.schedule(self.install_delay_s, router.add_filter, src, dst)
+
+
+class StopItAccessRouter(Router):
+    """An access router that enforces victim-installed (src, dst) filters."""
+
+    def __init__(self, sim: Simulator, name: str, as_name: Optional[str] = None,
+                 registry: Optional[FilterRegistry] = None) -> None:
+        super().__init__(sim, name, as_name=as_name)
+        self.filters: Set[Tuple[str, str]] = set()
+        self.filtered_packets = 0
+        if registry is not None:
+            registry.register_router(self)
+
+    def add_filter(self, src: str, dst: str) -> None:
+        self.filters.add((src, dst))
+
+    def remove_filter(self, src: str, dst: str) -> None:
+        self.filters.discard((src, dst))
+
+    def admit_from_host(self, packet: Packet, from_link: Optional[Link]) -> Optional[bool]:
+        if (packet.src, packet.dst) in self.filters:
+            self.filtered_packets += 1
+            return False
+        return True
+
+
+def stopit_queue_factory(sim: Simulator) -> Callable[[float], ChannelQueue]:
+    """Link queues for StopIt routers: hierarchical FQ on both channels."""
+
+    def factory(capacity_bps: float) -> ChannelQueue:
+        qlim_bytes = max(int(0.2 * capacity_bps / 8), 3_000)
+        request_queue = HierarchicalFairQueue(
+            level1_key=per_source_as_key,
+            level2_key=per_sender_key,
+            quantum_bytes=92,
+            per_flow_capacity_bytes=4 * 1500,
+        )
+        regular_queue = HierarchicalFairQueue(
+            level1_key=per_source_as_key,
+            level2_key=per_sender_key,
+            quantum_bytes=1500,
+            per_flow_capacity_bytes=max(qlim_bytes // 4, 8 * 1500),
+        )
+        return ChannelQueue(
+            sim,
+            capacity_bps,
+            request_queue=request_queue,
+            regular_queue=regular_queue,
+        )
+
+    return factory

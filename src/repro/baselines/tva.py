@@ -1,0 +1,208 @@
+"""TVA+ baseline: network capabilities plus hierarchical / per-destination FQ.
+
+TVA+ [47] (with the improvements of [27]) works as follows:
+
+* A sender without a capability sends **request packets**.  Congested links
+  schedule request packets with two-level hierarchical fair queuing — first
+  by source AS, then by source address — inside a channel capped at 5 % of
+  the link.
+* The **receiver** decides whether to authorize the sender; if so it returns
+  a capability, which the sender attaches to subsequent regular packets.
+* Regular packets without a valid capability are demoted back to the request
+  channel.
+* To contain authorized-traffic floods from colluding (or careless)
+  receivers, congested links apply **per-destination fair queuing** to the
+  regular channel — which is exactly why a handful of colluders can squeeze a
+  victim's share down to ``1/(N_c + 1)`` of the link (§6.3.2).
+
+Capabilities here are modelled as per-(sender, receiver) MAC tokens granted
+by the receiver's end-host shim.  Expiration and the per-flow capability
+caching of the full TVA design are not modelled; the paper's own comparison
+(Fig. 7) excludes capability caching as well because it needs per-flow router
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
+
+from repro.crypto.mac import compute_mac, mac_equal
+from repro.simulator.engine import PeriodicTimer, Simulator
+from repro.simulator.fairqueue import (
+    DRRQueue,
+    HierarchicalFairQueue,
+    per_destination_key,
+    per_sender_key,
+    per_source_as_key,
+)
+from repro.simulator.link import Link
+from repro.simulator.node import Host, Router
+from repro.simulator.packet import Packet, PacketType
+from repro.baselines.common import ChannelQueue
+
+#: Header key for the capability carried by regular packets.
+CAP_KEY = "tva"
+#: Header key for a capability grant returned by the receiver.
+GRANT_KEY = "tva_grant"
+
+GRANT_PACKET_SIZE = 68
+
+
+@dataclass
+class Capability:
+    """An authorization token for a (sender, receiver) pair."""
+
+    sender: str
+    receiver: str
+    token: bytes
+
+    def matches(self, packet: Packet) -> bool:
+        return packet.src == self.sender and packet.dst == self.receiver
+
+
+class CapabilityEndHost:
+    """The TVA+ end-host shim: request/grant/attach capabilities.
+
+    ``grant_policy`` decides which peers the host authorizes (the victim in
+    Fig. 8 refuses attackers; colluders in Fig. 9 authorize everyone).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        grant_policy: Optional[Callable[[str], bool]] = None,
+        send_grant_packets: bool = False,
+        grant_packet_interval: float = 0.2,
+        secret: Optional[bytes] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.grant_policy = grant_policy or (lambda peer: True)
+        self.secret = secret or f"tva-secret:{host.name}".encode()
+        self.capabilities: Dict[str, Capability] = {}  # peer -> capability we hold
+        self._pending_grants: Set[str] = set()
+        self.grants_issued = 0
+
+        host.outbound_filters.append(self._outbound)
+        host.inbound_filters.append(self._inbound)
+
+        self._grant_timer: Optional[PeriodicTimer] = None
+        if send_grant_packets:
+            self._grant_timer = PeriodicTimer(sim, grant_packet_interval, self._emit_grants)
+            self._grant_timer.start()
+
+    # -- outbound -----------------------------------------------------------------
+    def _outbound(self, packet: Packet) -> Optional[bool]:
+        if packet.is_legacy:
+            return True
+        capability = self.capabilities.get(packet.dst)
+        if capability is not None:
+            packet.ptype = PacketType.REGULAR
+            packet.set_header(CAP_KEY, capability)
+        else:
+            packet.ptype = PacketType.REQUEST
+        if packet.dst in self._pending_grants and self.grant_policy(packet.dst):
+            packet.set_header(GRANT_KEY, self._make_grant(packet.dst))
+            self._pending_grants.discard(packet.dst)
+        return True
+
+    # -- inbound ------------------------------------------------------------------
+    def _inbound(self, packet: Packet) -> Optional[bool]:
+        grant: Optional[Capability] = packet.get_header(GRANT_KEY)
+        if grant is not None and grant.sender == self.host.name:
+            self.capabilities[grant.receiver] = grant
+        if packet.is_request or packet.get_header(CAP_KEY) is not None:
+            # Seeing traffic from a peer means it wants (continued) authorization.
+            if self.grant_policy(packet.src):
+                self._pending_grants.add(packet.src)
+        if packet.protocol == "tva-grant":
+            return False
+        return True
+
+    # -- grants -------------------------------------------------------------------
+    def _make_grant(self, peer: str) -> Capability:
+        self.grants_issued += 1
+        token = compute_mac(self.secret, peer, self.host.name)
+        return Capability(sender=peer, receiver=self.host.name, token=token)
+
+    def _emit_grants(self) -> None:
+        for peer in list(self._pending_grants):
+            if not self.grant_policy(peer):
+                self._pending_grants.discard(peer)
+                continue
+            packet = Packet(
+                src=self.host.name,
+                dst=peer,
+                size_bytes=GRANT_PACKET_SIZE,
+                ptype=PacketType.REGULAR,
+                flow_id=f"grant:{self.host.name}->{peer}",
+                protocol="tva-grant",
+            )
+            packet.set_header(GRANT_KEY, self._make_grant(peer))
+            self._pending_grants.discard(peer)
+            self.host.send(packet)
+
+    def verify(self, capability: Capability) -> bool:
+        expected = compute_mac(self.secret, capability.sender, capability.receiver)
+        return mac_equal(capability.token, expected)
+
+    def stop(self) -> None:
+        if self._grant_timer is not None:
+            self._grant_timer.stop()
+
+
+class TvaRouter(Router):
+    """A TVA+ router: demotes capability-less regular packets to requests.
+
+    The queuing disciplines (hierarchical FQ on requests, per-destination FQ
+    on the regular channel) live in the link queues built by
+    :func:`tva_queue_factory`.
+    """
+
+    def admit_from_host(self, packet: Packet, from_link: Optional[Link]) -> Optional[bool]:
+        if packet.is_legacy:
+            return True
+        if packet.is_regular and packet.get_header(CAP_KEY) is None:
+            packet.ptype = PacketType.REQUEST
+        return True
+
+    def on_transit(self, packet: Packet, from_link: Optional[Link]) -> bool:
+        if packet.is_regular:
+            capability: Optional[Capability] = packet.get_header(CAP_KEY)
+            if capability is None or not capability.matches(packet):
+                packet.ptype = PacketType.REQUEST
+        return True
+
+
+def tva_queue_factory(sim: Simulator) -> Callable[[float], ChannelQueue]:
+    """Link queues for TVA+ routers.
+
+    Request channel: two-level hierarchical DRR (source AS, then source).
+    Regular channel: per-destination DRR.
+    """
+
+    def factory(capacity_bps: float) -> ChannelQueue:
+        qlim_bytes = max(int(0.2 * capacity_bps / 8), 3_000)
+        # Request packets are normally 92 B, but senders without capabilities
+        # may push full-size packets onto the request channel, so each
+        # per-sender bucket must hold at least a few of them.
+        request_queue = HierarchicalFairQueue(
+            level1_key=per_source_as_key,
+            level2_key=per_sender_key,
+            quantum_bytes=92,
+            per_flow_capacity_bytes=4 * 1500,
+        )
+        regular_queue = DRRQueue(
+            key_fn=per_destination_key,
+            per_flow_capacity_bytes=max(qlim_bytes // 4, 6 * 1500),
+        )
+        return ChannelQueue(
+            sim,
+            capacity_bps,
+            request_queue=request_queue,
+            regular_queue=regular_queue,
+        )
+
+    return factory

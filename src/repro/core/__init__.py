@@ -1,0 +1,45 @@
+"""NetFence core: secure congestion policing feedback and closed-loop policing.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.params` — the design parameters of Fig. 3.
+* :mod:`repro.core.feedback` — the three kinds of congestion policing
+  feedback (``nop``, ``L↑``, ``L↓``) and their MAC protection (Eqs. 1–3).
+* :mod:`repro.core.header` — the NetFence shim header (Fig. 6) with its
+  20-byte common case / 28-byte worst case wire size.
+* :mod:`repro.core.ratelimiter` — the per-sender request-channel token
+  limiter (§4.2, Fig. 15) and the per-(sender, bottleneck) leaky-bucket
+  regular-packet rate limiter with robust AIMD (§4.3.3–4.3.4, Figs. 16–17).
+* :mod:`repro.core.endhost` — the end-host shim between transport and IP
+  that presents and returns feedback (§3.1), including the capability use
+  where a victim refuses to return feedback (§3.3).
+* :mod:`repro.core.access` — the NetFence access router (§4.3.3, Fig. 18).
+* :mod:`repro.core.bottleneck` — the NetFence bottleneck router: attack
+  detection, monitoring cycles, and feedback stamping (§4.3.1–4.3.2, Fig. 19).
+* :mod:`repro.core.multibottleneck` — the Appendix B alternatives for flows
+  crossing several bottlenecks.
+* :mod:`repro.core.aslevel` — per-AS policing and RED-PD heavy-hitter
+  detection to localize compromised ASes (§4.5).
+"""
+
+from repro.core.params import NetFenceParams
+from repro.core.feedback import Feedback, FeedbackAction, FeedbackMode
+from repro.core.header import NetFenceHeader
+from repro.core.access import NetFenceAccessRouter
+from repro.core.bottleneck import NetFenceRouter
+from repro.core.endhost import NetFenceEndHost, ReturnPolicy
+from repro.core.ratelimiter import RegularRateLimiter, RequestRateLimiter
+
+__all__ = [
+    "NetFenceParams",
+    "Feedback",
+    "FeedbackAction",
+    "FeedbackMode",
+    "NetFenceHeader",
+    "NetFenceAccessRouter",
+    "NetFenceRouter",
+    "NetFenceEndHost",
+    "ReturnPolicy",
+    "RegularRateLimiter",
+    "RequestRateLimiter",
+]

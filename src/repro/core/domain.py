@@ -1,0 +1,51 @@
+"""Shared NetFence deployment state: keys, link ownership, parameters.
+
+A :class:`NetFenceDomain` represents what all deployed NetFence routers have
+in common in one simulation: the AS pairwise key registry (established via
+Passport/BGP in the paper), the mapping from a link identifier to the AS that
+owns it (the paper uses an IP-to-AS mapping tool [32] for this, §4.4), and
+the design parameters.  Every NetFence access and bottleneck router holds a
+reference to the same domain object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.params import NetFenceParams
+from repro.crypto.keys import ASKeyRegistry
+
+
+class NetFenceDomain:
+    """Deployment-wide state shared by all NetFence routers."""
+
+    def __init__(self, params: Optional[NetFenceParams] = None,
+                 master: Optional[bytes] = None,
+                 feedback_mode: str = "single") -> None:
+        if feedback_mode not in ("single", "multi"):
+            raise ValueError("feedback_mode must be 'single' or 'multi'")
+        self.params = params or NetFenceParams()
+        self.key_registry = ASKeyRegistry(master=master)
+        #: "single" is the core design (§4); "multi" carries feedback from
+        #: every on-path bottleneck in one packet (Appendix B.1).
+        self.feedback_mode = feedback_mode
+        self._link_owner: Dict[str, str] = {}
+
+    def register_link(self, link_name: str, as_name: str) -> None:
+        """Record that ``link_name`` belongs to ``as_name``.
+
+        Bottleneck routers call this for their output links so that access
+        routers can later resolve the AS (and hence the pairwise key ``Kai``)
+        when validating ``L↓`` feedback.
+        """
+        self._link_owner[link_name] = as_name
+
+    def as_for_link(self, link_name: Optional[str]) -> Optional[str]:
+        """The AS that owns a link, or ``None`` if unknown."""
+        if link_name is None:
+            return None
+        return self._link_owner.get(link_name)
+
+    @property
+    def registered_links(self) -> Dict[str, str]:
+        return dict(self._link_owner)

@@ -1,0 +1,83 @@
+"""The NetFence shim header (Fig. 6).
+
+The header sits between IP and the transport header.  A full header has a
+*forward* part (the congestion policing feedback for the sender→receiver
+direction, validated and rewritten by routers) and an optional *return* part
+(the feedback the packet's sender is handing back to its peer for the
+opposite direction).
+
+Wire-size accounting follows Fig. 6 / §6.1:
+
+* common header: 8 bytes (VER, TYPE, PROTO, PRIORITY, FLAGS, TIMESTAMP);
+* nop forward feedback: common header + 32-bit MAC = 12 bytes;
+* mon forward feedback: common header + LINK-ID + TOKEN-NOP + MAC = 20 bytes;
+* return part: 32-bit MAC plus, for mon feedback, a 32-bit LINK-ID = 4–8 bytes
+  (omitted entirely when the sender has already returned the latest feedback).
+
+So the common case (nop both ways, return present) is 20 bytes and the worst
+case (mon both ways) is 28 bytes, matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.feedback import Feedback
+
+#: Key under which the NetFence header is stored in ``Packet.headers``.
+HEADER_KEY = "netfence"
+
+COMMON_HEADER_BYTES = 8
+MAC_FIELD_BYTES = 4
+LINK_ID_BYTES = 4
+TOKEN_NOP_BYTES = 4
+
+
+@dataclass
+class NetFenceHeader:
+    """The shim header carried by request and regular packets.
+
+    Attributes:
+        feedback: forward-path congestion policing feedback.  ``None`` on a
+            freshly minted request packet that has not yet reached its access
+            router.
+        returned: feedback being handed back to the packet's destination for
+            the reverse direction (piggybacked return header, §6.1).
+        priority: request-packet priority level (level-k, §4.2).
+    """
+
+    feedback: Optional[Feedback] = None
+    returned: Optional[Feedback] = None
+    priority: int = 0
+
+    def wire_size(self) -> int:
+        """On-wire size in bytes, per Fig. 6 / §6.1.
+
+        The common case (nop feedback both ways, return header present) is
+        20 bytes; the worst case (mon feedback both ways) is 28 bytes.  The
+        return header may be omitted entirely when the sender has already
+        returned the latest feedback, saving another 8 bytes.
+        """
+        size = COMMON_HEADER_BYTES
+        if self.feedback is None or self.feedback.is_nop:
+            size += MAC_FIELD_BYTES
+        else:
+            size += LINK_ID_BYTES + TOKEN_NOP_BYTES + MAC_FIELD_BYTES
+        if self.returned is not None:
+            size += MAC_FIELD_BYTES + LINK_ID_BYTES
+        return size
+
+
+def get_netfence_header(packet) -> Optional[NetFenceHeader]:
+    """Fetch the NetFence header of a packet (or ``None``)."""
+    return packet.get_header(HEADER_KEY)
+
+
+def ensure_netfence_header(packet) -> NetFenceHeader:
+    """Fetch the NetFence header, creating an empty one if missing."""
+    header = packet.get_header(HEADER_KEY)
+    if header is None:
+        header = NetFenceHeader()
+        packet.set_header(HEADER_KEY, header)
+    return header

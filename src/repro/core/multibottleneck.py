@@ -1,0 +1,246 @@
+"""Access-router policing policies, including the Appendix B alternatives.
+
+The core NetFence design (§4.3.3) polices a regular packet with exactly one
+rate limiter — the one named by the feedback the packet carries.  §4.3.5
+explains the drawback when a flow crosses several ``mon``-state bottlenecks;
+Appendix B offers two alternatives:
+
+* **B.1 multi-bottleneck feedback** — the packet carries feedback from every
+  on-path bottleneck (a chained token, Eqs. 4–5) and the access router sends
+  the packet through all the corresponding rate limiters.
+* **B.2 rate-limiter inference** — the packet still carries one feedback,
+  but the access router remembers which bottlenecks appear on the path to
+  each destination and polices the packet through all of them, using the
+  single feedback to *infer* the state of the silent links.
+
+Each variant is a :class:`PolicingPolicy`; the access router delegates its
+mon-state policing, feedback validation, initial stamping, feedback resetting
+and AIMD adjustment to the installed policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set
+
+from repro.core.feedback import (
+    Feedback,
+    FeedbackAction,
+    FeedbackMode,
+    multi_stamp_nop,
+    multi_validate,
+)
+from repro.core.header import NetFenceHeader
+from repro.core.ratelimiter import CACHED, DROP, PASS, RegularRateLimiter
+from repro.simulator.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.access import NetFenceAccessRouter
+
+#: Packet-header key holding the limiters a packet still has to pass.
+PENDING_KEY = "_nf_pending"
+#: Packet-header key holding the links the packet has been policed for.
+LINKS_KEY = "_nf_links"
+
+
+class PolicingPolicy:
+    """Base class: the single-bottleneck core design (§4.3.3)."""
+
+    name = "single"
+
+    def __init__(self) -> None:
+        self.router: "NetFenceAccessRouter" = None  # set by attach()
+
+    def attach(self, router: "NetFenceAccessRouter") -> None:
+        self.router = router
+
+    # -- stamping / validation ------------------------------------------------
+    def stamp_initial(self, packet: Packet) -> Feedback:
+        """The feedback an access router stamps when forwarding (nop, Eq. 1)."""
+        return self.router.stamper.stamp_nop(packet.src, packet.dst, self.router.sim.now)
+
+    def validate(self, packet: Packet, feedback: Feedback) -> bool:
+        link_as = self.router.domain.as_for_link(feedback.link) if feedback.is_decr else None
+        return self.router.stamper.validate(
+            feedback,
+            packet.src,
+            packet.dst,
+            self.router.sim.now,
+            self.router.params.feedback_expiration,
+            link_as=link_as,
+        )
+
+    # -- mon-state policing ------------------------------------------------------
+    def police_mon(
+        self, packet: Packet, header: NetFenceHeader, feedback: Feedback
+    ) -> Optional[bool]:
+        """Police a valid mon-feedback packet.  Returns True / False / None
+        with the same meaning as ``Router.admit_from_host``."""
+        limiter = self.router.get_rate_limiter(packet.src, feedback.link)
+        limiter.update_status(feedback)
+        packet.headers[LINKS_KEY] = [feedback.link]
+        return self._police_through(packet, [limiter])
+
+    def _police_through(
+        self, packet: Packet, limiters: List[RegularRateLimiter]
+    ) -> Optional[bool]:
+        """Send the packet through ``limiters`` in order (chained policing)."""
+        pending: Deque[RegularRateLimiter] = deque(limiters)
+        while pending:
+            limiter = pending.popleft()
+            verdict = limiter.police(packet)
+            if verdict == DROP:
+                packet.headers.pop(LINKS_KEY, None)
+                return False
+            if verdict == CACHED:
+                packet.headers[PENDING_KEY] = pending
+                return None
+        self.finalize(packet)
+        return True
+
+    def continue_chain(self, packet: Packet) -> Optional[bool]:
+        """Resume policing after a rate limiter released a cached packet."""
+        pending: Optional[Deque[RegularRateLimiter]] = packet.headers.pop(PENDING_KEY, None)
+        if not pending:
+            self.finalize(packet)
+            return True
+        return self._police_through(packet, list(pending))
+
+    # -- feedback reset (§4.3.3: access router resets feedback on forwarding) -----
+    def finalize(self, packet: Packet) -> None:
+        links: Optional[List[str]] = packet.headers.pop(LINKS_KEY, None)
+        header: Optional[NetFenceHeader] = packet.get_header("netfence")
+        if header is None:
+            return
+        now = self.router.sim.now
+        if not links:
+            header.feedback = self.stamp_initial(packet)
+            return
+        header.feedback = self.router.stamper.stamp_incr(
+            packet.src, packet.dst, self._restamp_link(packet, links), now
+        )
+
+    def _restamp_link(self, packet: Packet, links: List[str]) -> str:
+        return links[0]
+
+    # -- AIMD -----------------------------------------------------------------------
+    def adjust(self, limiter: RegularRateLimiter) -> str:
+        return limiter.adjust()
+
+
+class SingleBottleneckPolicy(PolicingPolicy):
+    """The core design: exactly one rate limiter polices a packet."""
+
+    name = "single"
+
+
+class MultiFeedbackPolicy(PolicingPolicy):
+    """Appendix B.1: the packet carries feedback from all on-path bottlenecks."""
+
+    name = "multi"
+
+    def attach(self, router: "NetFenceAccessRouter") -> None:
+        super().attach(router)
+        router.domain.feedback_mode = "multi"
+
+    def stamp_initial(self, packet: Packet) -> Feedback:
+        return multi_stamp_nop(
+            self.router.secret, packet.src, packet.dst, self.router.sim.now
+        )
+
+    def validate(self, packet: Packet, feedback: Feedback) -> bool:
+        return multi_validate(
+            self.router.secret,
+            self.router.domain.key_registry,
+            self.router.local_as,
+            feedback,
+            packet.src,
+            packet.dst,
+            self.router.sim.now,
+            self.router.params.feedback_expiration,
+            self.router.domain.as_for_link,
+        )
+
+    def police_mon(
+        self, packet: Packet, header: NetFenceHeader, feedback: Feedback
+    ) -> Optional[bool]:
+        chain = tuple(feedback.chain or ())
+        if not chain:
+            header.feedback = self.stamp_initial(packet)
+            return True
+        limiters: List[RegularRateLimiter] = []
+        links: List[str] = []
+        for link, action in chain:
+            limiter = self.router.get_rate_limiter(packet.src, link)
+            limiter.update_status(
+                Feedback(
+                    mode=FeedbackMode.MON,
+                    link=link,
+                    action=FeedbackAction(action),
+                    ts=feedback.ts,
+                )
+            )
+            limiters.append(limiter)
+            links.append(link)
+        packet.headers[LINKS_KEY] = links
+        return self._police_through(packet, limiters)
+
+    def finalize(self, packet: Packet) -> None:
+        # B.1 always resets to a fresh (empty-chain) header; bottleneck
+        # routers re-append their feedback downstream.
+        packet.headers.pop(LINKS_KEY, None)
+        header: Optional[NetFenceHeader] = packet.get_header("netfence")
+        if header is not None:
+            header.feedback = self.stamp_initial(packet)
+
+
+class InferencePolicy(PolicingPolicy):
+    """Appendix B.2: infer on-path bottlenecks from past feedback.
+
+    The access router keeps a per-destination cache of the bottleneck links
+    seen on the path to that destination and polices every packet through all
+    of them.  The packet's single feedback updates the matching limiter's
+    state directly and the other limiters' *inferred* state (``hasIncr*`` /
+    ``isActive*``), and the AIMD adjustment uses the four-case rule of
+    Appendix B.2.
+
+    Cache entries are only grown here; the paper notes entries can be expired
+    when a link's feedback stops appearing, which matters for long-lived
+    deployments but not for the simulated attack periods.
+    """
+
+    name = "inference"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.destination_cache: Dict[str, Set[str]] = {}
+
+    def police_mon(
+        self, packet: Packet, header: NetFenceHeader, feedback: Feedback
+    ) -> Optional[bool]:
+        cache = self.destination_cache.setdefault(packet.dst, set())
+        cache.add(feedback.link)
+        limiters: List[RegularRateLimiter] = []
+        links: List[str] = []
+        for link in sorted(cache):
+            limiter = self.router.get_rate_limiter(packet.src, link)
+            if link == feedback.link:
+                limiter.update_status(feedback)
+            else:
+                limiter.update_inferred_status(feedback)
+            limiters.append(limiter)
+            links.append(link)
+        packet.headers[LINKS_KEY] = links
+        return self._police_through(packet, limiters)
+
+    def _restamp_link(self, packet: Packet, links: List[str]) -> str:
+        # Reset the feedback to L↑ of the *smallest-rate* on-path limiter so
+        # downstream links see the most conservative state (Appendix B.2).
+        lowest = min(
+            links,
+            key=lambda link: self.router.get_rate_limiter(packet.src, link).rate_bps,
+        )
+        return lowest
+
+    def adjust(self, limiter: RegularRateLimiter) -> str:
+        return limiter.adjust_with_inference()

@@ -1,0 +1,106 @@
+"""NetFence design parameters (Fig. 3 of the paper).
+
+All time values are seconds, rates are bits per second, unless noted.  The
+defaults are the paper's values; experiments that scale the topology down
+also scale ``Ilim`` (and with it the ``2·Ilim`` hysteresis) so the number of
+control intervals per simulated second stays comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class NetFenceParams:
+    """Tunable constants of the NetFence design.
+
+    Attributes mirror Fig. 3:
+
+    * ``l1_interval``: level-1 request packets are limited to one per
+      ``l1_interval`` seconds (1 ms), i.e. the request token rate is
+      ``1 / l1_interval`` tokens per second.
+    * ``control_interval`` (``Ilim``): rate-limiter control interval (2 s).
+    * ``feedback_expiration`` (``w``): feedback older than this is invalid (4 s).
+    * ``additive_increase`` (``Δ``): rate-limit additive increase (12 kbps).
+    * ``multiplicative_decrease`` (``δ``): rate-limit multiplicative decrease (0.1).
+    * ``loss_threshold`` (``p_th``): packet loss rate that triggers a
+      monitoring cycle (2 %).
+    * ``queue_limit_seconds``: max queue length, 0.2 s × link bandwidth.
+    * ``red_minthresh_fraction`` / ``red_maxthresh_fraction`` / ``red_wq``:
+      RED parameters (0.5·Qlim, 0.75·Qlim, 0.1).
+    """
+
+    # Request channel (§4.2)
+    l1_interval: float = 0.001
+    request_token_depth: float = 2048.0
+    request_channel_fraction: float = 0.05
+    # The highest useful priority level: a level-k packet costs 2^(k-1)
+    # tokens, so levels beyond log2(depth)+1 could never be admitted by the
+    # per-sender token limiter and senders never pick them.
+    max_priority_level: int = 12
+
+    # Rate limiting (§4.3.3, §4.3.4)
+    control_interval: float = 2.0
+    feedback_expiration: float = 4.0
+    additive_increase_bps: float = 12_000.0
+    multiplicative_decrease: float = 0.1
+    initial_rate_limit_bps: float = 64_000.0
+    max_caching_delay: float = 0.5
+    min_cache_bytes: int = 12_000
+
+    # Attack detection and monitoring cycles (§4.3.1)
+    loss_threshold: float = 0.02
+    utilization_threshold: float = 0.95
+    detection_interval: float = 1.0
+    loss_ewma_weight: float = 0.1
+    monitor_cycle_min_duration: float = 3 * 3600.0  # Tb: "a few hours"
+    rate_limiter_idle_timeout: float = 3 * 3600.0   # Ta
+
+    # Queues (Fig. 3)
+    queue_limit_seconds: float = 0.2
+    red_minthresh_fraction: float = 0.5
+    red_maxthresh_fraction: float = 0.75
+    red_wq: float = 0.1
+
+    # Hysteresis: a congested link keeps stamping L↓ for this many control
+    # intervals after congestion abates (§4.3.4 shows 2·Ilim is the minimum
+    # for robustness; the ablation benchmark varies this).
+    hysteresis_intervals: float = 2.0
+
+    @property
+    def request_token_rate(self) -> float:
+        """Request tokens granted per second (one level-1 packet per ``l1``)."""
+        return 1.0 / self.l1_interval
+
+    @property
+    def hysteresis_duration(self) -> float:
+        """How long L↓ stamping persists after congestion abates."""
+        return self.hysteresis_intervals * self.control_interval
+
+    def scaled(self, time_factor: float) -> "NetFenceParams":
+        """Return a copy with all time constants multiplied by ``time_factor``.
+
+        Used by the experiments to shrink simulated time while keeping the
+        same number of AIMD control intervals (see DESIGN.md §2).
+        """
+        if time_factor <= 0:
+            raise ValueError("time_factor must be positive")
+        return replace(
+            self,
+            control_interval=self.control_interval * time_factor,
+            feedback_expiration=self.feedback_expiration * time_factor,
+            detection_interval=max(self.detection_interval * time_factor, 0.05),
+            # The leaky-bucket caching delay is deliberately NOT scaled: it is
+            # what lets TCP's bursts survive the rate limiter (§4.3.3), and
+            # shrinking it starves TCP senders long before it changes any
+            # AIMD-level behaviour.
+        )
+
+    def with_overrides(self, **kwargs) -> "NetFenceParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The paper's default parameters (Fig. 3).
+DEFAULT_PARAMS = NetFenceParams()

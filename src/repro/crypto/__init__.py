@@ -1,0 +1,18 @@
+"""Lightweight symmetric-key cryptography substrate.
+
+The paper assumes line-speed symmetric cryptography (AES-128 used as a MAC,
+§2.1, §6.2) and AS-pairwise keys established by piggybacking a Diffie–Hellman
+exchange on BGP via Passport [26] (§4.4, §4.5).  This package provides the
+equivalents the NetFence logic needs:
+
+* :func:`repro.crypto.mac.compute_mac` — a truncated keyed MAC (BLAKE2b).
+* :class:`repro.crypto.keys.AccessRouterSecret` — the periodically changing
+  secret ``Ka`` each access router uses for nop / ``L↑`` feedback.
+* :class:`repro.crypto.keys.ASKeyRegistry` — pairwise AS keys ``Kai`` standing
+  in for the BGP/Passport Diffie–Hellman exchange.
+"""
+
+from repro.crypto.mac import compute_mac, mac_equal
+from repro.crypto.keys import AccessRouterSecret, ASKeyRegistry
+
+__all__ = ["compute_mac", "mac_equal", "AccessRouterSecret", "ASKeyRegistry"]

@@ -1,0 +1,80 @@
+"""Key management: access-router secrets and AS pairwise keys.
+
+Two kinds of keys appear in NetFence (§4.4):
+
+* ``Ka`` — a periodically changing secret known only to an access router,
+  used to protect ``nop`` and ``L↑`` feedback (Eqs. 1–2).
+* ``Kai`` — a secret shared between the bottleneck link's AS and the
+  sender's AS, used to protect ``L↓`` feedback (Eq. 3).  The paper
+  establishes these by piggybacking a Diffie–Hellman exchange on BGP through
+  Passport [26]; here a registry derives each pair's key deterministically
+  from a global master secret, which gives the same functional property
+  (every AS pair shares a secret that end systems do not know).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.crypto.mac import derive_key
+
+
+class AccessRouterSecret:
+    """The time-varying secret ``Ka`` of one access router.
+
+    The secret rotates every ``rotation_interval`` seconds.  Validation must
+    accept feedback computed with either the current or the previous secret,
+    because feedback up to ``w`` seconds old is still considered fresh
+    (§4.4); the access router therefore exposes :meth:`candidates`.
+    """
+
+    def __init__(
+        self,
+        router_name: str,
+        rotation_interval: float = 128.0,
+        master: Optional[bytes] = None,
+    ) -> None:
+        if rotation_interval <= 0:
+            raise ValueError("rotation_interval must be positive")
+        self.router_name = router_name
+        self.rotation_interval = rotation_interval
+        self._master = master if master is not None else os.urandom(16)
+
+    def _epoch(self, now: float) -> int:
+        return int(now // self.rotation_interval)
+
+    def current(self, now: float) -> bytes:
+        """The secret in force at simulation time ``now``."""
+        return derive_key(self._master, self.router_name, self._epoch(now))
+
+    def candidates(self, now: float) -> Tuple[bytes, ...]:
+        """Secrets that may have signed still-fresh feedback (current + previous)."""
+        epoch = self._epoch(now)
+        previous = max(epoch - 1, 0)
+        keys = {epoch: None, previous: None}
+        return tuple(derive_key(self._master, self.router_name, e) for e in keys)
+
+
+class ASKeyRegistry:
+    """Pairwise AS keys ``Kai`` (stand-in for the Passport/BGP DH exchange).
+
+    Keys are symmetric in the AS pair: ``key_for(A, B) == key_for(B, A)``.
+    A single registry instance is shared by all routers in a simulation,
+    mirroring the fact that the DH exchange gives both ASes the same secret.
+    """
+
+    def __init__(self, master: Optional[bytes] = None) -> None:
+        self._master = master if master is not None else os.urandom(16)
+        self._cache: Dict[Tuple[str, str], bytes] = {}
+
+    def key_for(self, as_a: str, as_b: str) -> bytes:
+        pair = tuple(sorted((as_a, as_b)))
+        key = self._cache.get(pair)
+        if key is None:
+            key = derive_key(self._master, "as-pair", pair[0], pair[1])
+            self._cache[pair] = key
+        return key
+
+    def __contains__(self, pair: Tuple[str, str]) -> bool:
+        return True  # every AS pair can derive a key on demand

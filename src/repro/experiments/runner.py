@@ -1,0 +1,138 @@
+"""Command-line entry point: run any paper experiment and print its table.
+
+Usage::
+
+    netfence-experiment list
+    netfence-experiment fig7
+    netfence-experiment fig8 [--quick]
+    netfence-experiment all [--quick]
+
+``--quick`` shrinks sweeps (fewer scale points, shorter simulated time) so a
+full pass completes in a few minutes on a laptop; the default settings match
+the values recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import (
+    fig7_overhead,
+    fig8_unwanted,
+    fig9_colluding,
+    fig10_parkinglot,
+    fig11_onoff,
+    fig13_multifeedback,
+    fig14_inference,
+    theorem_fairshare,
+)
+
+
+def _run_fig7(quick: bool) -> str:
+    rows = fig7_overhead.run(iterations=500 if quick else 2000)
+    return fig7_overhead.format_table(rows)
+
+
+def _run_fig8(quick: bool) -> str:
+    steps = fig8_unwanted.SCALE_STEPS[:2] if quick else fig8_unwanted.SCALE_STEPS
+    rows = fig8_unwanted.run(scale_steps=steps, sim_time=40.0 if quick else 60.0)
+    return fig8_unwanted.format_table(rows)
+
+
+def _run_fig9(quick: bool) -> str:
+    steps = fig9_colluding.SCALE_STEPS[:2] if quick else fig9_colluding.SCALE_STEPS
+    rows = fig9_colluding.run(
+        scale_steps=steps,
+        sim_time=150.0 if quick else 240.0,
+        warmup=75.0 if quick else 120.0,
+    )
+    return fig9_colluding.format_table(rows)
+
+
+def _run_fig10(quick: bool) -> str:
+    rows = fig10_parkinglot.run(
+        policy="single",
+        sim_time=120.0 if quick else 200.0,
+        warmup=60.0 if quick else 100.0,
+    )
+    return fig10_parkinglot.format_table(rows)
+
+
+def _run_fig11(quick: bool) -> str:
+    toffs = fig11_onoff.TOFF_VALUES[:2] if quick else fig11_onoff.TOFF_VALUES
+    rows = fig11_onoff.run(
+        toff_values=toffs,
+        sim_time=150.0 if quick else 300.0,
+        warmup=60.0 if quick else 100.0,
+    )
+    return fig11_onoff.format_table(rows)
+
+
+def _run_fig13(quick: bool) -> str:
+    rows = fig13_multifeedback.run(
+        sim_time=120.0 if quick else 200.0,
+        warmup=60.0 if quick else 100.0,
+    )
+    return fig10_parkinglot.format_table(rows, figure="Fig. 13 (multi-bottleneck feedback)")
+
+
+def _run_fig14(quick: bool) -> str:
+    rows = fig14_inference.run(
+        sim_time=120.0 if quick else 200.0,
+        warmup=60.0 if quick else 100.0,
+    )
+    return fig10_parkinglot.format_table(rows, figure="Fig. 14 (rate-limiter inference)")
+
+
+def _run_theorem(quick: bool) -> str:
+    if quick:
+        rows = theorem_fairshare.run_fluid(intervals=200)
+        rows.append(theorem_fairshare.run_packet(sim_time=150.0, warmup=75.0))
+    else:
+        rows = theorem_fairshare.run()
+    return theorem_fairshare.format_table(rows)
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "fig13": _run_fig13,
+    "fig14": _run_fig14,
+    "theorem": _run_theorem,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="netfence-experiment",
+        description="Reproduce a NetFence (SIGCOMM 2010) evaluation figure or table.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all", "list"],
+                        help="which experiment to run")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweeps / shorter simulations")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        table = EXPERIMENTS[name](args.quick)
+        elapsed = time.time() - started
+        print(table)
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,496 @@
+"""Shared attack scenarios for the evaluation experiments (§6.3).
+
+Two scenario families cover every simulation figure in the paper:
+
+* **Dumbbell** (Figs. 8, 9, 11): ten source ASes behind one bottleneck link,
+  a victim destination, and optionally colluding destinations.  Each sender
+  is either a legitimate user (TCP: repeated 20 KB files, web-like traffic,
+  or one long-running transfer) or an attacker (UDP floods of request or
+  regular packets, optionally on-off).
+* **Parking lot** (Figs. 10, 13, 14): two bottleneck links in series and
+  three sender groups, used to study flows that cross multiple ``mon``-state
+  bottlenecks.
+
+The same builders instantiate any of the four defense systems (``netfence``,
+``tva``, ``stopit``, ``fq``) so that the comparison figures run the identical
+workload against each.  The topologies are scaled down relative to the paper
+(the paper itself scales the bottleneck instead of the sender count, §6.3.1);
+what is preserved is the per-sender fair share, which stays in NetFence's
+50–400 Kbps operating region.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import jain_fairness_index, throughput_ratio
+from repro.baselines.fq import fq_queue_factory
+from repro.baselines.stopit import FilterRegistry, StopItAccessRouter, stopit_queue_factory
+from repro.baselines.tva import CapabilityEndHost, TvaRouter, tva_queue_factory
+from repro.core.access import NetFenceAccessRouter
+from repro.core.bottleneck import NetFenceRouter, netfence_queue_factory
+from repro.core.domain import NetFenceDomain
+from repro.core.endhost import NetFenceEndHost, ReturnPolicy
+from repro.core.multibottleneck import (
+    InferencePolicy,
+    MultiFeedbackPolicy,
+    SingleBottleneckPolicy,
+)
+from repro.core.params import NetFenceParams
+from repro.simulator.node import Router
+from repro.simulator.packet import PacketType, REQUEST_PACKET_SIZE
+from repro.simulator.topology import (
+    Topology,
+    dumbbell_layout,
+    parking_lot_layout,
+)
+from repro.simulator.trace import LinkMonitor, ThroughputMonitor
+from repro.transport.traffic import (
+    FileTransferApp,
+    LongRunningTcpApp,
+    TransferLog,
+    WebTrafficApp,
+)
+from repro.transport.udp import OnOffPattern, UdpSender, UdpSink
+
+SYSTEMS = ("netfence", "tva", "stopit", "fq")
+WORKLOADS = ("files", "longrun", "web")
+
+
+# ---------------------------------------------------------------------------
+# Dumbbell scenarios (Figs. 8, 9, 11)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DumbbellScenarioConfig:
+    """Configuration of one dumbbell attack simulation."""
+
+    system: str = "netfence"
+    # Topology scale.
+    num_source_as: int = 10
+    hosts_per_as: int = 4
+    legit_per_as: Optional[int] = None       # default: 25 % of hosts_per_as
+    bottleneck_bps: float = 3.0e6
+    access_bps: float = 100e6
+    delay_s: float = 0.01
+    num_colluders: int = 9
+    # Workload.
+    workload: str = "longrun"                # files | longrun | web
+    file_bytes: int = 20_000
+    # Attack.
+    attack_type: str = "regular"             # regular | request
+    attack_rate_bps: float = 1.0e6
+    attack_on_off: Optional[Tuple[float, float]] = None   # (Ton, Toff)
+    victim_blocks_attackers: bool = False
+    # Timing.
+    sim_time: float = 150.0
+    warmup: float = 60.0
+    time_factor: float = 1.0                 # scales NetFence time constants
+    seed: int = 1
+    # NetFence specifics.
+    netfence_policy: str = "single"          # single | multi | inference
+    as_fairness: bool = False
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEMS:
+            raise ValueError(f"unknown system {self.system!r}; expected one of {SYSTEMS}")
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {self.workload!r}")
+        if self.attack_type not in ("regular", "request"):
+            raise ValueError("attack_type must be 'regular' or 'request'")
+
+    @property
+    def legit_count_per_as(self) -> int:
+        if self.legit_per_as is not None:
+            return max(0, min(self.legit_per_as, self.hosts_per_as))
+        return max(1, round(0.25 * self.hosts_per_as))
+
+    @property
+    def num_senders(self) -> int:
+        return self.num_source_as * self.hosts_per_as
+
+    @property
+    def fair_share_bps(self) -> float:
+        return self.bottleneck_bps / self.num_senders
+
+
+@dataclass
+class DumbbellScenarioResult:
+    """Measurements from one dumbbell simulation."""
+
+    config: DumbbellScenarioConfig
+    user_throughputs: Dict[str, float] = field(default_factory=dict)
+    attacker_throughputs: Dict[str, float] = field(default_factory=dict)
+    transfer_logs: Dict[str, TransferLog] = field(default_factory=dict)
+    bottleneck_utilization: float = 0.0
+    bottleneck_loss_rate: float = 0.0
+
+    @property
+    def avg_user_throughput_bps(self) -> float:
+        values = list(self.user_throughputs.values())
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def avg_attacker_throughput_bps(self) -> float:
+        values = list(self.attacker_throughputs.values())
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def throughput_ratio(self) -> float:
+        return throughput_ratio(
+            list(self.user_throughputs.values()),
+            list(self.attacker_throughputs.values()),
+        )
+
+    @property
+    def user_fairness_index(self) -> float:
+        return jain_fairness_index(list(self.user_throughputs.values()))
+
+    @property
+    def average_transfer_time(self) -> float:
+        durations: List[float] = []
+        for log in self.transfer_logs.values():
+            durations.extend(log.completed_durations)
+        return sum(durations) / len(durations) if durations else float("nan")
+
+    @property
+    def completion_ratio(self) -> float:
+        attempted = sum(log.attempted for log in self.transfer_logs.values())
+        completed = sum(log.completed for log in self.transfer_logs.values())
+        return completed / attempted if attempted else 0.0
+
+
+def _best_request_flood_priority(config: DumbbellScenarioConfig,
+                                 params: NetFenceParams,
+                                 num_attackers: int) -> int:
+    """The attackers' optimal request-flood priority (§6.3.1).
+
+    Attackers pick the highest level at which their aggregate rate — bounded
+    by the per-sender token rate divided by the level cost — still saturates
+    the 5 % request channel.
+    """
+    request_capacity_bps = params.request_channel_fraction * config.bottleneck_bps
+    best = 0
+    for level in range(1, params.max_priority_level + 1):
+        per_sender_pps = params.request_token_rate / (2 ** (level - 1))
+        aggregate_bps = num_attackers * per_sender_pps * REQUEST_PACKET_SIZE * 8
+        if aggregate_bps >= request_capacity_bps:
+            best = level
+        else:
+            break
+    return best
+
+
+def _netfence_components(config: DumbbellScenarioConfig):
+    params = NetFenceParams().scaled(config.time_factor)
+    domain = NetFenceDomain(params=params, master=b"netfence-experiments")
+    policy_cls = {
+        "single": SingleBottleneckPolicy,
+        "multi": MultiFeedbackPolicy,
+        "inference": InferencePolicy,
+    }[config.netfence_policy]
+    return params, domain, policy_cls
+
+
+def run_dumbbell_scenario(config: DumbbellScenarioConfig) -> DumbbellScenarioResult:
+    """Build, run, and measure one dumbbell attack simulation."""
+    rng = random.Random(config.seed)
+    topo = Topology()
+    sim = topo.sim
+
+    # ---- per-system router classes and bottleneck queue -----------------------
+    registry: Optional[FilterRegistry] = None
+    params: Optional[NetFenceParams] = None
+    domain: Optional[NetFenceDomain] = None
+    if config.system == "netfence":
+        params, domain, policy_cls = _netfence_components(config)
+        access_cls: type = NetFenceAccessRouter
+        core_cls: type = NetFenceRouter
+        access_kwargs = {"domain": domain, "policy_factory": policy_cls}
+        core_kwargs = {"domain": domain}
+        queue_factory = netfence_queue_factory(sim, params, as_fairness=config.as_fairness)
+    elif config.system == "tva":
+        access_cls = TvaRouter
+        core_cls = TvaRouter
+        access_kwargs = {}
+        core_kwargs = {}
+        queue_factory = tva_queue_factory(sim)
+    elif config.system == "stopit":
+        registry = FilterRegistry(sim)
+        access_cls = StopItAccessRouter
+        core_cls = Router
+        access_kwargs = {"registry": registry}
+        core_kwargs = {}
+        queue_factory = stopit_queue_factory(sim)
+    else:  # fq
+        access_cls = Router
+        core_cls = Router
+        access_kwargs = {}
+        core_kwargs = {}
+        queue_factory = fq_queue_factory()
+
+    layout = dumbbell_layout(
+        topo,
+        num_source_as=config.num_source_as,
+        hosts_per_as=config.hosts_per_as,
+        num_receivers=1 + config.num_colluders,
+        bottleneck_bps=config.bottleneck_bps,
+        access_bps=config.access_bps,
+        delay_s=config.delay_s,
+        access_router_cls=access_cls,
+        core_router_cls=core_cls,
+        bottleneck_queue_factory=queue_factory,
+        access_router_kwargs=access_kwargs,
+        core_router_kwargs=core_kwargs,
+    )
+    victim = topo.host(layout.receivers[0])
+    colluders = [topo.host(name) for name in layout.receivers[1:]]
+
+    # ---- sender roles ----------------------------------------------------------
+    users: List[str] = []
+    attackers: List[str] = []
+    for as_index in range(config.num_source_as):
+        hosts = [
+            f"s{as_index}_{j}" for j in range(config.hosts_per_as)
+        ]
+        legit = hosts[: config.legit_count_per_as]
+        users.extend(legit)
+        attackers.extend(hosts[config.legit_count_per_as:])
+
+    if registry is not None:
+        for as_index in range(config.num_source_as):
+            for j in range(config.hosts_per_as):
+                registry.register_host(f"s{as_index}_{j}", f"Ra{as_index}")
+
+    monitor = ThroughputMonitor(sim)
+    link_monitor = LinkMonitor(sim, layout.bottleneck_link, interval=1.0)
+
+    # ---- end-host shims ----------------------------------------------------------
+    attacker_set = set(attackers)
+    netfence_endhosts: Dict[str, NetFenceEndHost] = {}
+    if config.system == "netfence":
+        assert params is not None
+        victim_policy = ReturnPolicy(blocked=attacker_set if config.victim_blocks_attackers else None)
+        # In the repeated-file-transfer workload each transfer is a separate
+        # connection that bootstraps its own feedback (Fig. 8's level-0
+        # request + back-off behaviour); long-running/web senders keep the
+        # per-destination feedback loop.
+        per_flow = config.workload == "files"
+        for host_name in users + attackers:
+            netfence_endhosts[host_name] = NetFenceEndHost(
+                sim, topo.host(host_name), params=params,
+                per_flow_feedback=per_flow and host_name in set(users),
+            )
+        NetFenceEndHost(sim, victim, params=params, return_policy=victim_policy,
+                        send_feedback_packets=True)
+        for colluder in colluders:
+            NetFenceEndHost(sim, colluder, params=params, send_feedback_packets=True)
+    elif config.system == "tva":
+        for host_name in users + attackers:
+            CapabilityEndHost(sim, topo.host(host_name))
+        victim_grant = (
+            (lambda peer: peer not in attacker_set)
+            if config.victim_blocks_attackers
+            else (lambda peer: True)
+        )
+        CapabilityEndHost(sim, victim, grant_policy=victim_grant, send_grant_packets=True)
+        for colluder in colluders:
+            CapabilityEndHost(sim, colluder, send_grant_packets=True)
+    elif config.system == "stopit" and config.victim_blocks_attackers:
+        assert registry is not None
+        # The victim identifies the attack sources and asks their access
+        # routers to install filters shortly after the attack starts.
+        def install_filters() -> None:
+            for attacker in attackers:
+                registry.install_filter(attacker, victim.name)
+        sim.schedule(1.0, install_filters)
+
+    # ---- legitimate workloads ------------------------------------------------------
+    transfer_logs: Dict[str, TransferLog] = {}
+    for user in users:
+        src_host = topo.host(user)
+        if config.workload == "files":
+            app = FileTransferApp(
+                sim, src_host, victim, file_bytes=config.file_bytes, monitor=monitor
+            )
+            transfer_logs[user] = app.log
+        elif config.workload == "web":
+            app = WebTrafficApp(
+                sim, src_host, victim, rng=random.Random(rng.randint(0, 2**31)),
+                monitor=monitor,
+            )
+            transfer_logs[user] = app.log
+        else:
+            app = LongRunningTcpApp(sim, src_host, victim, monitor=monitor)
+        app.start(at=rng.uniform(0.0, 1.0))
+
+    # ---- attackers --------------------------------------------------------------------
+    pattern = None
+    if config.attack_on_off is not None:
+        pattern = OnOffPattern(on_s=config.attack_on_off[0], off_s=config.attack_on_off[1])
+    if config.attack_type == "request":
+        priority = 0
+        if config.system == "netfence":
+            assert params is not None
+            priority = _best_request_flood_priority(config, params, len(attackers))
+    for sink_host in [victim] + colluders:
+        UdpSink(sim, sink_host, monitor=monitor)
+    for index, attacker in enumerate(attackers):
+        src_host = topo.host(attacker)
+        if config.attack_type == "request":
+            target = victim
+            sender = UdpSender(
+                sim, src_host, target.name,
+                rate_bps=config.attack_rate_bps,
+                packet_size=REQUEST_PACKET_SIZE,
+                ptype=PacketType.REQUEST,
+                priority=priority,
+                pattern=pattern,
+            )
+            # Request floods pick their own fixed priority; disable the
+            # end-host shim's waiting-time escalation for these sources.
+            if attacker in netfence_endhosts:
+                netfence_endhosts[attacker].auto_priority = False
+        else:
+            target = colluders[index % len(colluders)] if colluders else victim
+            sender = UdpSender(
+                sim, src_host, target.name,
+                rate_bps=config.attack_rate_bps,
+                ptype=PacketType.REGULAR,
+                pattern=pattern,
+            )
+        sender.start(at=rng.uniform(0.0, 0.5))
+
+    # ---- run ---------------------------------------------------------------------------
+    link_monitor.start()
+    monitor.start_at(config.warmup)
+    topo.run(until=config.sim_time)
+    monitor.stop()
+    link_monitor.stop()
+
+    # ---- collect results -----------------------------------------------------------------
+    result = DumbbellScenarioResult(config=config)
+    result.transfer_logs = transfer_logs
+    for user in users:
+        result.user_throughputs[user] = monitor.throughput_bps(user)
+    for attacker in attackers:
+        result.attacker_throughputs[attacker] = monitor.throughput_bps(attacker)
+    result.bottleneck_utilization = link_monitor.mean_utilization
+    result.bottleneck_loss_rate = link_monitor.mean_loss_rate
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Parking-lot scenarios (Figs. 10, 13, 14)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ParkingLotScenarioConfig:
+    """Configuration of one two-bottleneck (parking lot) simulation."""
+
+    l1_bps: float = 1.6e6
+    l2_bps: float = 1.6e6
+    hosts_per_group: int = 20
+    legit_fraction: float = 0.25
+    attack_rate_bps: float = 1.0e6
+    access_bps: float = 100e6
+    delay_s: float = 0.01
+    sim_time: float = 150.0
+    warmup: float = 60.0
+    time_factor: float = 1.0
+    seed: int = 1
+    netfence_policy: str = "single"    # single | multi | inference
+
+    @property
+    def fair_share_bps(self) -> float:
+        """Group-A max-min fair share when both groups share each link."""
+        return min(self.l1_bps, self.l2_bps) / (2 * self.hosts_per_group)
+
+
+@dataclass
+class ParkingLotScenarioResult:
+    """Per-group throughput measurements from a parking-lot simulation."""
+
+    config: ParkingLotScenarioConfig
+    group_user_throughputs: Dict[str, List[float]] = field(default_factory=dict)
+    group_attacker_throughputs: Dict[str, List[float]] = field(default_factory=dict)
+
+    def avg_user(self, group: str) -> float:
+        values = self.group_user_throughputs.get(group, [])
+        return sum(values) / len(values) if values else 0.0
+
+    def avg_attacker(self, group: str) -> float:
+        values = self.group_attacker_throughputs.get(group, [])
+        return sum(values) / len(values) if values else 0.0
+
+
+def run_parking_lot_scenario(config: ParkingLotScenarioConfig) -> ParkingLotScenarioResult:
+    """Run the §6.3.2 multi-bottleneck colluding attack under NetFence."""
+    rng = random.Random(config.seed)
+    params = NetFenceParams().scaled(config.time_factor)
+    domain = NetFenceDomain(params=params, master=b"netfence-parkinglot")
+    policy_cls = {
+        "single": SingleBottleneckPolicy,
+        "multi": MultiFeedbackPolicy,
+        "inference": InferencePolicy,
+    }[config.netfence_policy]
+
+    topo = Topology()
+    sim = topo.sim
+    layout = parking_lot_layout(
+        topo,
+        hosts_per_group=config.hosts_per_group,
+        l1_bps=config.l1_bps,
+        l2_bps=config.l2_bps,
+        access_bps=config.access_bps,
+        delay_s=config.delay_s,
+        access_router_cls=NetFenceAccessRouter,
+        core_router_cls=NetFenceRouter,
+        bottleneck_queue_factory=netfence_queue_factory(sim, params),
+        access_router_kwargs={"domain": domain, "policy_factory": policy_cls},
+        core_router_kwargs={"domain": domain},
+    )
+
+    monitor = ThroughputMonitor(sim)
+    victims = {"A": topo.host(layout.receivers_ab[0]),
+               "B": topo.host(layout.receivers_ab[0]),
+               "C": topo.host(layout.receivers_c[0])}
+    colluders = {"A": topo.host(layout.receivers_ab[1]),
+                 "B": topo.host(layout.receivers_ab[1]),
+                 "C": topo.host(layout.receivers_c[1])}
+
+    for receiver in set(list(victims.values()) + list(colluders.values())):
+        NetFenceEndHost(sim, receiver, params=params, send_feedback_packets=True)
+        UdpSink(sim, receiver, monitor=monitor)
+
+    result = ParkingLotScenarioResult(config=config)
+    groups = {"A": layout.group_a, "B": layout.group_b, "C": layout.group_c}
+    legit_per_group = max(1, round(config.legit_fraction * config.hosts_per_group))
+    group_roles: Dict[str, Tuple[List[str], List[str]]] = {}
+    for group, hosts in groups.items():
+        users = hosts[:legit_per_group]
+        attackers = hosts[legit_per_group:]
+        group_roles[group] = (users, attackers)
+        for host_name in hosts:
+            NetFenceEndHost(sim, topo.host(host_name), params=params)
+        for user in users:
+            app = LongRunningTcpApp(sim, topo.host(user), victims[group], monitor=monitor)
+            app.start(at=rng.uniform(0.0, 1.0))
+        for attacker in attackers:
+            sender = UdpSender(
+                sim, topo.host(attacker), colluders[group].name,
+                rate_bps=config.attack_rate_bps, ptype=PacketType.REGULAR,
+            )
+            sender.start(at=rng.uniform(0.0, 0.5))
+
+    monitor.start_at(config.warmup)
+    topo.run(until=config.sim_time)
+    monitor.stop()
+
+    for group, (users, attackers) in group_roles.items():
+        result.group_user_throughputs[group] = [monitor.throughput_bps(u) for u in users]
+        result.group_attacker_throughputs[group] = [monitor.throughput_bps(a) for a in attackers]
+    return result

@@ -1,0 +1,16 @@
+"""Passport source authentication substrate (Liu et al., NSDI 2008 [26]).
+
+NetFence relies on Passport for two things (§4.5):
+
+1. preventing source address (and source AS) spoofing, so that per-AS
+   policing and per-sender rate limiting key on trustworthy identifiers, and
+2. the pairwise AS secrets used to protect ``L↓`` feedback (Eq. 3).
+
+This package implements a simplified Passport: the source AS's border/access
+router stamps one MAC per AS on the path, computed with the key it shares
+with that AS; each on-path AS verifies and strips its MAC.
+"""
+
+from repro.passport.passport import PassportHeader, PassportStamper, PassportValidator
+
+__all__ = ["PassportHeader", "PassportStamper", "PassportValidator"]

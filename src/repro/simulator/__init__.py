@@ -1,0 +1,44 @@
+"""Discrete-event, packet-level network simulator substrate.
+
+The paper evaluated NetFence with ns-2.  This package is a from-scratch
+Python replacement that offers the abstractions NetFence needs:
+
+* :mod:`repro.simulator.engine` — an event scheduler (the simulation clock).
+* :mod:`repro.simulator.packet` — packets and the header stack.
+* :mod:`repro.simulator.link` — point-to-point links with bandwidth and
+  propagation delay.
+* :mod:`repro.simulator.queues` — DropTail, RED, and multi-band priority
+  queues.
+* :mod:`repro.simulator.fairqueue` — Deficit Round Robin and two-level
+  hierarchical fair queuing (used by the TVA+/StopIt/FQ baselines).
+* :mod:`repro.simulator.node` — hosts and routers.
+* :mod:`repro.simulator.routing` — static shortest-path routing.
+* :mod:`repro.simulator.topology` — topology construction helpers
+  (dumbbell and parking-lot topologies used in the paper's evaluation).
+* :mod:`repro.simulator.trace` — EWMA estimators and throughput monitors.
+"""
+
+from repro.simulator.engine import Simulator, Event
+from repro.simulator.packet import Packet, PacketType
+from repro.simulator.link import Link
+from repro.simulator.queues import DropTailQueue, REDQueue, PriorityChannelQueue
+from repro.simulator.fairqueue import DRRQueue, HierarchicalFairQueue
+from repro.simulator.node import Node, Host, Router
+from repro.simulator.topology import Topology
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Packet",
+    "PacketType",
+    "Link",
+    "DropTailQueue",
+    "REDQueue",
+    "PriorityChannelQueue",
+    "DRRQueue",
+    "HierarchicalFairQueue",
+    "Node",
+    "Host",
+    "Router",
+    "Topology",
+]

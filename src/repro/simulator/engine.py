@@ -1,0 +1,192 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic event scheduler built on :mod:`heapq`.  Events are
+ordered by (time, sequence number) so that events scheduled for the same
+instant fire in the order they were scheduled, which keeps simulations
+reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)``; the payload fields do not participate
+    in ordering.  ``cancelled`` events stay in the heap but are skipped when
+    popped (lazy deletion), which keeps cancellation O(1).
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(default=(), compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when due."""
+        self.cancelled = True
+
+
+class Simulator:
+    """The simulation clock and event queue.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, my_callback, arg1, arg2)
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which can later be cancelled.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule an event at t={time:.6f}, before now={self._now:.6f}"
+            )
+        event = Event(time=time, seq=next(self._seq), callback=callback, args=args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event (no-op for ``None``)."""
+        if event is not None:
+            event.cancel()
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation.
+
+        Args:
+            until: stop once the clock would pass this time.  Events scheduled
+                exactly at ``until`` are executed.
+            max_events: optional safety valve on the number of events.
+
+        Returns:
+            The simulation time when the run stopped.
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    # Put it back for a later run() call and finish.
+                    heapq.heappush(self._queue, event)
+                    self._now = until
+                    break
+                self._now = event.time
+                event.callback(*event.args)
+                self._processed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def reset(self) -> None:
+        """Clear all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._processed = 0
+        self._stopped = False
+
+
+class PeriodicTimer:
+    """A repeating timer bound to a :class:`Simulator`.
+
+    Calls ``callback()`` every ``interval`` seconds until :meth:`stop`.
+    The first call fires ``interval`` seconds after :meth:`start` (or after
+    ``first_delay`` if given).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+        first_delay: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.first_delay = interval if first_delay is None else first_delay
+        self._event: Optional[Event] = None
+        self._active = False
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def start(self) -> None:
+        if self._active:
+            return
+        self._active = True
+        self._event = self.sim.schedule(self.first_delay, self._fire)
+
+    def stop(self) -> None:
+        self._active = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        if not self._active:
+            return
+        self.callback()
+        if self._active:
+            self._event = self.sim.schedule(self.interval, self._fire)

@@ -1,0 +1,263 @@
+"""Fair queuing: Deficit Round Robin and two-level hierarchical DRR.
+
+The paper's baselines rely on fair queuing at congested links:
+
+* **FQ** — per-sender DRR at every link.
+* **TVA+** — two-level hierarchical fair queuing (source AS, then source IP)
+  on the request channel, and per-destination fair queuing on the regular
+  channel.
+* **StopIt** — the same hierarchical queuing as a fallback when victims do
+  not install filters.
+
+DRR follows Shreedhar & Varghese [38]: each active flow has a deficit
+counter; a flow may send packets as long as its deficit covers them, and its
+deficit grows by one quantum per round.  This gives O(1) per-packet work.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, Optional
+
+from repro.simulator.packet import Packet
+from repro.simulator.queues import PacketQueue
+
+#: Classifies a packet into a fair-queuing bucket.
+FlowKeyFn = Callable[[Packet], str]
+
+
+def per_sender_key(packet: Packet) -> str:
+    """Fair-queue by source host (per-sender fairness)."""
+    return packet.src
+
+
+def per_destination_key(packet: Packet) -> str:
+    """Fair-queue by destination host (TVA+'s regular channel)."""
+    return packet.dst
+
+
+def per_source_as_key(packet: Packet) -> str:
+    """Fair-queue by source AS (first level of hierarchical queuing)."""
+    return packet.src_as or packet.src
+
+
+class DRRQueue(PacketQueue):
+    """Deficit Round Robin fair queue.
+
+    Args:
+        key_fn: maps a packet to its fair-queuing bucket.
+        quantum_bytes: deficit added to each active bucket per round.
+        per_flow_capacity_bytes: byte capacity of each bucket's FIFO.
+        max_flows: upper bound on simultaneously active buckets (safety
+            valve; arrivals for new buckets beyond the bound are dropped).
+    """
+
+    def __init__(
+        self,
+        key_fn: FlowKeyFn = per_sender_key,
+        quantum_bytes: int = 1500,
+        per_flow_capacity_bytes: int = 30 * 1500,
+        max_flows: int = 1_000_000,
+    ) -> None:
+        super().__init__()
+        self.key_fn = key_fn
+        self.quantum_bytes = quantum_bytes
+        self.per_flow_capacity_bytes = per_flow_capacity_bytes
+        self.max_flows = max_flows
+        self._flows: "OrderedDict[str, Deque[Packet]]" = OrderedDict()
+        self._flow_bytes: Dict[str, int] = {}
+        self._deficits: Dict[str, float] = {}
+        self._active: Deque[str] = deque()
+        self._bytes = 0
+        self._count = 0
+
+    # -- helpers -----------------------------------------------------------
+    def _flow_queue(self, key: str) -> Optional[Deque[Packet]]:
+        if key not in self._flows:
+            if len(self._flows) >= self.max_flows:
+                return None
+            self._flows[key] = deque()
+            self._flow_bytes[key] = 0
+            self._deficits[key] = 0.0
+        return self._flows[key]
+
+    @property
+    def active_flows(self) -> int:
+        """Number of buckets that currently hold at least one packet."""
+        return sum(1 for q in self._flows.values() if q)
+
+    # -- PacketQueue interface ---------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        key = self.key_fn(packet)
+        queue = self._flow_queue(key)
+        if queue is None:
+            self._drop(packet)
+            return False
+        if self._flow_bytes[key] + packet.size_bytes > self.per_flow_capacity_bytes:
+            self._drop(packet)
+            return False
+        was_empty = not queue
+        queue.append(packet)
+        self._flow_bytes[key] += packet.size_bytes
+        self._bytes += packet.size_bytes
+        self._count += 1
+        self.stats.record_enqueue(packet)
+        if was_empty:
+            self._active.append(key)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        # Round-robin over active buckets; a bucket sends while its deficit
+        # covers the head packet, then moves to the back of the round.
+        rounds_without_progress = 0
+        while self._active and rounds_without_progress <= len(self._active):
+            key = self._active[0]
+            queue = self._flows[key]
+            if not queue:
+                self._active.popleft()
+                self._deficits[key] = 0.0
+                continue
+            head = queue[0]
+            if self._deficits[key] >= head.size_bytes:
+                queue.popleft()
+                self._deficits[key] -= head.size_bytes
+                self._flow_bytes[key] -= head.size_bytes
+                self._bytes -= head.size_bytes
+                self._count -= 1
+                self.stats.record_dequeue(head)
+                if not queue:
+                    self._active.popleft()
+                    self._deficits[key] = 0.0
+                return head
+            # Not enough deficit: grant a quantum and rotate.
+            self._deficits[key] += self.quantum_bytes
+            self._active.rotate(-1)
+            rounds_without_progress += 1
+        # Either empty, or deficits were too small: force-grant until a
+        # packet can go (guarantees progress when non-empty).
+        if self._count:
+            while True:
+                key = self._active[0]
+                queue = self._flows[key]
+                if not queue:
+                    self._active.popleft()
+                    continue
+                head = queue[0]
+                if self._deficits[key] < head.size_bytes:
+                    self._deficits[key] += self.quantum_bytes
+                    self._active.rotate(-1)
+                    continue
+                queue.popleft()
+                self._deficits[key] -= head.size_bytes
+                self._flow_bytes[key] -= head.size_bytes
+                self._bytes -= head.size_bytes
+                self._count -= 1
+                self.stats.record_dequeue(head)
+                if not queue:
+                    self._active.popleft()
+                    self._deficits[key] = 0.0
+                return head
+        return None
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def byte_length(self) -> int:
+        return self._bytes
+
+
+class HierarchicalFairQueue(PacketQueue):
+    """Two-level fair queuing: DRR across level-1 buckets, DRR within each.
+
+    TVA+ and StopIt queue request packets first by source AS and then by
+    source IP address (§6.3 of the paper).  This class implements that as a
+    DRR of DRRs: the outer round-robin shares the link across level-1 buckets
+    (ASes); each bucket's inner DRR shares the bucket's turn across its own
+    level-2 flows (hosts).
+    """
+
+    def __init__(
+        self,
+        level1_key: FlowKeyFn = per_source_as_key,
+        level2_key: FlowKeyFn = per_sender_key,
+        quantum_bytes: int = 1500,
+        per_flow_capacity_bytes: int = 30 * 1500,
+    ) -> None:
+        super().__init__()
+        self.level1_key = level1_key
+        self.level2_key = level2_key
+        self.quantum_bytes = quantum_bytes
+        self.per_flow_capacity_bytes = per_flow_capacity_bytes
+        self._buckets: Dict[str, DRRQueue] = {}
+        self._deficits: Dict[str, float] = {}
+        self._active: Deque[str] = deque()
+        self._count = 0
+        self._bytes = 0
+
+    def _bucket(self, key: str) -> DRRQueue:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = DRRQueue(
+                key_fn=self.level2_key,
+                quantum_bytes=self.quantum_bytes,
+                per_flow_capacity_bytes=self.per_flow_capacity_bytes,
+            )
+            self._buckets[key] = bucket
+            self._deficits[key] = 0.0
+        return bucket
+
+    def enqueue(self, packet: Packet) -> bool:
+        key = self.level1_key(packet)
+        bucket = self._bucket(key)
+        was_empty = len(bucket) == 0
+        accepted = bucket.enqueue(packet)
+        if not accepted:
+            self._drop(packet)
+            return False
+        self._count += 1
+        self._bytes += packet.size_bytes
+        self.stats.record_enqueue(packet)
+        if was_empty:
+            self._active.append(key)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        if not self._count:
+            return None
+        while True:
+            key = self._active[0]
+            bucket = self._buckets[key]
+            if len(bucket) == 0:
+                self._active.popleft()
+                self._deficits[key] = 0.0
+                continue
+            # Peek at the size the inner DRR will release next; approximate
+            # with the quantum-driven grant loop used by DRRQueue.
+            if self._deficits[key] <= 0:
+                self._deficits[key] += self.quantum_bytes
+                self._active.rotate(-1)
+                continue
+            packet = bucket.dequeue()
+            if packet is None:  # pragma: no cover - defensive
+                self._active.popleft()
+                continue
+            self._deficits[key] -= packet.size_bytes
+            self._count -= 1
+            self._bytes -= packet.size_bytes
+            self.stats.record_dequeue(packet)
+            if len(bucket) == 0:
+                self._active.popleft()
+                self._deficits[key] = 0.0
+            return packet
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def byte_length(self) -> int:
+        return self._bytes
+
+    @property
+    def active_level1_buckets(self) -> int:
+        return sum(1 for b in self._buckets.values() if len(b))

@@ -1,0 +1,111 @@
+"""Packets and the header stack.
+
+NetFence distinguishes three packet types (§3.1 of the paper):
+
+* **request** packets — used to bootstrap a connection and obtain congestion
+  policing feedback; carry a priority level (§4.2).
+* **regular** packets — normal data packets carrying (and subject to)
+  congestion policing feedback.
+* **legacy** packets — packets from non-NetFence senders; forwarded with the
+  lowest priority.
+
+A :class:`Packet` carries a stack of optional headers (Passport, NetFence,
+capability, transport) in the ``headers`` mapping.  Header objects are plain
+Python objects owned by the corresponding subsystem; the simulator itself only
+cares about ``size_bytes`` and addressing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+_packet_ids = itertools.count(1)
+
+#: Conventional sizes (bytes) used throughout the experiments.
+DATA_PACKET_SIZE = 1500
+TCP_IP_HEADER_SIZE = 40
+ACK_PACKET_SIZE = 40
+REQUEST_PACKET_SIZE = 92  # 40B TCP/IP + 28B NetFence + 24B Passport (§4.6)
+
+
+class PacketType(Enum):
+    """NetFence channel a packet belongs to."""
+
+    REQUEST = "request"
+    REGULAR = "regular"
+    LEGACY = "legacy"
+
+
+@dataclass
+class Packet:
+    """A network packet.
+
+    Attributes:
+        src: source host identifier.
+        dst: destination host identifier.
+        size_bytes: total on-wire size, including all headers.
+        ptype: NetFence channel (request / regular / legacy).
+        flow_id: identifier of the transport flow this packet belongs to.
+        protocol: transport protocol name ("tcp", "udp", ...).
+        headers: per-subsystem header objects, keyed by subsystem name
+            (e.g. ``"netfence"``, ``"passport"``, ``"tcp"``).
+        created_at: simulation time when the packet was created.
+        priority: request-channel priority level (level-k, §4.2); only
+            meaningful for request packets.
+        src_as / dst_as: autonomous system numbers, filled by the topology.
+    """
+
+    src: str
+    dst: str
+    size_bytes: int = DATA_PACKET_SIZE
+    ptype: PacketType = PacketType.REGULAR
+    flow_id: str = ""
+    protocol: str = "udp"
+    headers: Dict[str, Any] = field(default_factory=dict)
+    created_at: float = 0.0
+    priority: int = 0
+    src_as: Optional[str] = None
+    dst_as: Optional[str] = None
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def copy_for_reply(self, size_bytes: int = ACK_PACKET_SIZE) -> "Packet":
+        """Create a reply packet (swapped addressing, empty headers)."""
+        return Packet(
+            src=self.dst,
+            dst=self.src,
+            size_bytes=size_bytes,
+            ptype=self.ptype,
+            flow_id=self.flow_id,
+            protocol=self.protocol,
+            src_as=self.dst_as,
+            dst_as=self.src_as,
+        )
+
+    @property
+    def is_request(self) -> bool:
+        return self.ptype is PacketType.REQUEST
+
+    @property
+    def is_regular(self) -> bool:
+        return self.ptype is PacketType.REGULAR
+
+    @property
+    def is_legacy(self) -> bool:
+        return self.ptype is PacketType.LEGACY
+
+    def get_header(self, name: str) -> Any:
+        """Return the header object for ``name`` or ``None``."""
+        return self.headers.get(name)
+
+    def set_header(self, name: str, header: Any) -> None:
+        """Attach (or replace) a header object."""
+        self.headers[name] = header
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(uid={self.uid}, {self.src}->{self.dst}, {self.ptype.value}, "
+            f"{self.size_bytes}B, flow={self.flow_id!r})"
+        )

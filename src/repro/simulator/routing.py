@@ -1,0 +1,58 @@
+"""Static shortest-path routing.
+
+Routes are computed once, after the topology is built, with networkx's
+shortest-path algorithm over the node graph (weighted by link propagation
+delay).  Every router gets a ``destination host -> next-hop link`` entry for
+every host in the topology.  The paper assumes relatively stable paths
+(§7, "ECMP"), so static routing is sufficient.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import networkx as nx
+
+from repro.simulator.link import Link
+from repro.simulator.node import Host, Node, Router
+
+
+def build_routes(nodes: Iterable[Node], links: Iterable[Link]) -> None:
+    """Populate every router's routing table in place.
+
+    Args:
+        nodes: all nodes in the topology (hosts and routers).
+        links: all unidirectional links.
+    """
+    nodes = list(nodes)
+    links = list(links)
+    graph = nx.DiGraph()
+    for node in nodes:
+        graph.add_node(node.name)
+    link_by_pair: Dict[tuple[str, str], Link] = {}
+    for link in links:
+        graph.add_edge(link.src_node.name, link.dst_node.name, weight=link.delay_s)
+        link_by_pair[(link.src_node.name, link.dst_node.name)] = link
+
+    hosts = [n for n in nodes if isinstance(n, Host)]
+    routers = [n for n in nodes if isinstance(n, Router)]
+
+    # All-pairs shortest paths from each router to every host.
+    for router in routers:
+        paths = nx.single_source_dijkstra_path(graph, router.name, weight="weight")
+        for host in hosts:
+            if host.name == router.name:
+                continue
+            path = paths.get(host.name)
+            if path is None or len(path) < 2:
+                continue
+            next_hop = path[1]
+            link = link_by_pair.get((router.name, next_hop))
+            if link is not None:
+                router.add_route(host.name, link)
+
+    # Register locally attached hosts so access routers can tell their own
+    # senders apart from transit traffic.
+    for link in links:
+        if isinstance(link.src_node, Host) and isinstance(link.dst_node, Router):
+            link.dst_node.register_local_host(link.src_node.name)

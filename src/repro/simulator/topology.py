@@ -1,0 +1,320 @@
+"""Topology construction helpers.
+
+:class:`Topology` wires hosts, routers, and duplex links together, then
+computes static routes.  The two shapes used in the paper's evaluation are
+provided as convenience builders:
+
+* :func:`dumbbell_layout` — ten source ASes, a transit AS with the bottleneck
+  link, and a destination AS (Fig. 8 / Fig. 9 experiments).
+* :func:`parking_lot_layout` — two bottleneck links in series with three
+  sender groups (Fig. 10 / 13 / 14 experiments).
+
+The builders only describe *structure*; which router class to instantiate
+(NetFence, TVA+, StopIt, FQ, or plain) is injected by the caller, so the same
+layouts drive every defense system under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from repro.simulator.engine import Simulator
+from repro.simulator.link import Link
+from repro.simulator.node import Host, Node, Router
+from repro.simulator.queues import PacketQueue
+from repro.simulator.routing import build_routes
+
+#: Builds the output queue for a link, given the link capacity in bps.
+QueueFactory = Callable[[float], PacketQueue]
+
+
+class Topology:
+    """A collection of nodes and links plus route computation."""
+
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
+        self.sim = sim or Simulator()
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[Link] = []
+        self._finalized = False
+
+    # -- construction -----------------------------------------------------
+    def add_host(self, name: str, as_name: Optional[str] = None) -> Host:
+        self._check_name(name)
+        host = Host(self.sim, name, as_name=as_name)
+        self.nodes[name] = host
+        return host
+
+    def add_router(
+        self,
+        name: str,
+        as_name: Optional[str] = None,
+        router_cls: Type[Router] = Router,
+        **kwargs,
+    ) -> Router:
+        self._check_name(name)
+        router = router_cls(self.sim, name, as_name=as_name, **kwargs)
+        self.nodes[name] = router
+        return router
+
+    def add_node(self, node: Node) -> Node:
+        self._check_name(node.name)
+        self.nodes[node.name] = node
+        return node
+
+    def _check_name(self, name: str) -> None:
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name: {name}")
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        capacity_bps: float,
+        delay_s: float = 0.01,
+        queue_factory: Optional[QueueFactory] = None,
+        name: Optional[str] = None,
+    ) -> Link:
+        """Add one unidirectional link."""
+        src_node = self.nodes[src]
+        dst_node = self.nodes[dst]
+        queue = queue_factory(capacity_bps) if queue_factory else None
+        link = Link(
+            self.sim, src_node, dst_node, capacity_bps, delay_s, queue=queue, name=name
+        )
+        src_node.attach_link(link)
+        self.links.append(link)
+        return link
+
+    def add_duplex_link(
+        self,
+        a: str,
+        b: str,
+        capacity_bps: float,
+        delay_s: float = 0.01,
+        queue_factory: Optional[QueueFactory] = None,
+    ) -> tuple[Link, Link]:
+        """Add a pair of unidirectional links between ``a`` and ``b``."""
+        forward = self.add_link(a, b, capacity_bps, delay_s, queue_factory)
+        reverse = self.add_link(b, a, capacity_bps, delay_s, queue_factory)
+        return forward, reverse
+
+    def finalize(self) -> None:
+        """Compute static routes.  Call after all nodes/links are added."""
+        build_routes(self.nodes.values(), self.links)
+        self._finalized = True
+
+    # -- lookup -------------------------------------------------------------
+    def host(self, name: str) -> Host:
+        node = self.nodes[name]
+        if not isinstance(node, Host):
+            raise TypeError(f"{name} is not a Host")
+        return node
+
+    def router(self, name: str) -> Router:
+        node = self.nodes[name]
+        if not isinstance(node, Router):
+            raise TypeError(f"{name} is not a Router")
+        return node
+
+    def link_between(self, src: str, dst: str) -> Link:
+        for link in self.links:
+            if link.src_node.name == src and link.dst_node.name == dst:
+                return link
+        raise KeyError(f"no link {src}->{dst}")
+
+    @property
+    def hosts(self) -> List[Host]:
+        return [n for n in self.nodes.values() if isinstance(n, Host)]
+
+    @property
+    def routers(self) -> List[Router]:
+        return [n for n in self.nodes.values() if isinstance(n, Router)]
+
+    def run(self, until: float) -> float:
+        """Convenience wrapper around ``sim.run``."""
+        if not self._finalized:
+            self.finalize()
+        return self.sim.run(until=until)
+
+
+@dataclass
+class DumbbellLayout:
+    """Node names produced by :func:`dumbbell_layout`.
+
+    ``senders[i]`` lives in source AS ``source_as_names[i // hosts_per_as]``
+    and attaches to ``access_routers[i // hosts_per_as]``.  The bottleneck is
+    the ``bottleneck_left -> bottleneck_right`` link.  Receivers (the victim
+    and any colluders) attach to ``destination_router``.
+    """
+
+    senders: List[str] = field(default_factory=list)
+    access_routers: List[str] = field(default_factory=list)
+    source_as_names: List[str] = field(default_factory=list)
+    bottleneck_left: str = "Rbl"
+    bottleneck_right: str = "Rbr"
+    destination_router: str = "Rd"
+    receivers: List[str] = field(default_factory=list)
+    bottleneck_link: Optional[Link] = None
+
+
+def dumbbell_layout(
+    topo: Topology,
+    num_source_as: int = 10,
+    hosts_per_as: int = 10,
+    num_receivers: int = 1,
+    bottleneck_bps: float = 10e6,
+    access_bps: float = 100e6,
+    edge_bps: Optional[float] = None,
+    delay_s: float = 0.01,
+    access_router_cls: Type[Router] = Router,
+    core_router_cls: Type[Router] = Router,
+    bottleneck_queue_factory: Optional[QueueFactory] = None,
+    access_queue_factory: Optional[QueueFactory] = None,
+    access_router_kwargs: Optional[dict] = None,
+    core_router_kwargs: Optional[dict] = None,
+) -> DumbbellLayout:
+    """Build the paper's dumbbell evaluation topology (§6.3.1).
+
+    Ten source ASes (each with an access router and ``hosts_per_as`` hosts)
+    connect through a transit AS whose ``Rbl -> Rbr`` link is the bottleneck.
+    Receivers (victim plus optional colluders, each in its own destination
+    AS) hang off a destination router ``Rd`` behind ``Rbr``.
+    """
+    edge_bps = edge_bps if edge_bps is not None else access_bps
+    access_router_kwargs = access_router_kwargs or {}
+    core_router_kwargs = core_router_kwargs or {}
+    layout = DumbbellLayout()
+
+    rbl = topo.add_router("Rbl", as_name="AS-transit", router_cls=core_router_cls,
+                          **core_router_kwargs)
+    rbr = topo.add_router("Rbr", as_name="AS-transit", router_cls=core_router_cls,
+                          **core_router_kwargs)
+    # Rd is the *access router* of the destination hosts (victim/colluders):
+    # their reverse-direction traffic needs the same stamping/policing services
+    # as any other sender's.
+    rd = topo.add_router("Rd", as_name="AS-dst", router_cls=access_router_cls,
+                         **access_router_kwargs)
+
+    bneck, _ = topo.add_duplex_link(
+        "Rbl", "Rbr", bottleneck_bps, delay_s, queue_factory=bottleneck_queue_factory
+    )
+    layout.bottleneck_link = bneck
+    topo.add_duplex_link("Rbr", "Rd", access_bps, delay_s)
+
+    for i in range(num_source_as):
+        as_name = f"AS-src-{i}"
+        ra_name = f"Ra{i}"
+        topo.add_router(ra_name, as_name=as_name, router_cls=access_router_cls,
+                        **access_router_kwargs)
+        topo.add_duplex_link(ra_name, "Rbl", access_bps, delay_s,
+                             queue_factory=access_queue_factory)
+        layout.access_routers.append(ra_name)
+        layout.source_as_names.append(as_name)
+        for j in range(hosts_per_as):
+            host_name = f"s{i}_{j}"
+            topo.add_host(host_name, as_name=as_name)
+            topo.add_duplex_link(host_name, ra_name, edge_bps, 0.001)
+            layout.senders.append(host_name)
+
+    for k in range(num_receivers):
+        recv_name = f"d{k}"
+        topo.add_host(recv_name, as_name=f"AS-dst-{k}")
+        topo.add_duplex_link(recv_name, "Rd", access_bps, 0.001)
+        layout.receivers.append(recv_name)
+
+    topo.finalize()
+    return layout
+
+
+@dataclass
+class ParkingLotLayout:
+    """Node names produced by :func:`parking_lot_layout`.
+
+    Group A traverses both bottlenecks L1 (R1->R2) and L2 (R2->R3);
+    Group B only L2; Group C only L1.
+    """
+
+    group_a: List[str] = field(default_factory=list)
+    group_b: List[str] = field(default_factory=list)
+    group_c: List[str] = field(default_factory=list)
+    access_routers: Dict[str, str] = field(default_factory=dict)
+    receivers_ab: List[str] = field(default_factory=list)
+    receivers_c: List[str] = field(default_factory=list)
+    bottleneck1: Optional[Link] = None
+    bottleneck2: Optional[Link] = None
+
+
+def parking_lot_layout(
+    topo: Topology,
+    hosts_per_group: int = 30,
+    l1_bps: float = 1.6e6,
+    l2_bps: float = 1.6e6,
+    access_bps: float = 100e6,
+    delay_s: float = 0.01,
+    access_router_cls: Type[Router] = Router,
+    core_router_cls: Type[Router] = Router,
+    bottleneck_queue_factory: Optional[QueueFactory] = None,
+    access_router_kwargs: Optional[dict] = None,
+    core_router_kwargs: Optional[dict] = None,
+) -> ParkingLotLayout:
+    """Build the two-bottleneck parking-lot topology of §6.3.2.
+
+    Three sender groups A/B/C attach via per-group access routers RaA/RaB/RaC.
+    Group A's traffic crosses both L1 = R1->R2 and L2 = R2->R3; Group C's only
+    L1; Group B's only L2.  Group A and B receivers sit behind R3; Group C
+    receivers sit behind R2.
+    """
+    access_router_kwargs = access_router_kwargs or {}
+    core_router_kwargs = core_router_kwargs or {}
+    layout = ParkingLotLayout()
+
+    for name in ("R1", "R2", "R3"):
+        topo.add_router(name, as_name="AS-core", router_cls=core_router_cls,
+                        **core_router_kwargs)
+    l1, _ = topo.add_duplex_link("R1", "R2", l1_bps, delay_s,
+                                 queue_factory=bottleneck_queue_factory)
+    l2, _ = topo.add_duplex_link("R2", "R3", l2_bps, delay_s,
+                                 queue_factory=bottleneck_queue_factory)
+    layout.bottleneck1 = l1
+    layout.bottleneck2 = l2
+
+    groups = {
+        "A": ("R1", layout.group_a),
+        "B": ("R2", layout.group_b),
+        "C": ("R1", layout.group_c),
+    }
+    for group, (attach_router, bucket) in groups.items():
+        as_name = f"AS-{group}"
+        ra_name = f"Ra{group}"
+        topo.add_router(ra_name, as_name=as_name, router_cls=access_router_cls,
+                        **access_router_kwargs)
+        topo.add_duplex_link(ra_name, attach_router, access_bps, delay_s)
+        layout.access_routers[group] = ra_name
+        for j in range(hosts_per_group):
+            host_name = f"{group.lower()}{j}"
+            topo.add_host(host_name, as_name=as_name)
+            topo.add_duplex_link(host_name, ra_name, access_bps, 0.001)
+            bucket.append(host_name)
+
+    # Receivers: Group A and B receivers behind R3; Group C receivers behind R2.
+    # The destination-side routers are access routers for the receivers.
+    topo.add_router("RdAB", as_name="AS-dst-ab", router_cls=access_router_cls,
+                    **access_router_kwargs)
+    topo.add_duplex_link("R3", "RdAB", access_bps, delay_s)
+    topo.add_router("RdC", as_name="AS-dst-c", router_cls=access_router_cls,
+                    **access_router_kwargs)
+    topo.add_duplex_link("R2", "RdC", access_bps, delay_s)
+
+    for idx in range(2):
+        name = f"dab{idx}"
+        topo.add_host(name, as_name="AS-dst-ab")
+        topo.add_duplex_link(name, "RdAB", access_bps, 0.001)
+        layout.receivers_ab.append(name)
+        name_c = f"dc{idx}"
+        topo.add_host(name_c, as_name="AS-dst-c")
+        topo.add_duplex_link(name_c, "RdC", access_bps, 0.001)
+        layout.receivers_c.append(name_c)
+
+    topo.finalize()
+    return layout

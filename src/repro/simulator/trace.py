@@ -1,0 +1,167 @@
+"""Measurement utilities: EWMA estimators and throughput/utilization monitors.
+
+NetFence's attack detection uses exponentially weighted moving averages of a
+link's utilization and packet loss rate (§4.3.1); the evaluation section
+reports per-sender throughput, Jain's fairness index, and file transfer
+times.  The classes here collect those measurements without perturbing the
+simulated systems.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.simulator.engine import PeriodicTimer, Simulator
+from repro.simulator.link import Link
+from repro.simulator.packet import Packet
+
+
+class EWMA:
+    """Exponentially weighted moving average: ``avg ← (1-w)·avg + w·sample``."""
+
+    def __init__(self, weight: float = 0.1, initial: Optional[float] = None) -> None:
+        if not 0 < weight <= 1:
+            raise ValueError("weight must be in (0, 1]")
+        self.weight = weight
+        self.value: Optional[float] = initial
+
+    def update(self, sample: float) -> float:
+        if self.value is None:
+            self.value = sample
+        else:
+            self.value = (1 - self.weight) * self.value + self.weight * sample
+        return self.value
+
+    def get(self, default: float = 0.0) -> float:
+        return default if self.value is None else self.value
+
+
+@dataclass
+class FlowRecord:
+    """Bytes delivered for one flow, plus first/last packet times."""
+
+    bytes_received: int = 0
+    packets_received: int = 0
+    first_time: Optional[float] = None
+    last_time: Optional[float] = None
+
+    def record(self, packet: Packet, now: float) -> None:
+        self.bytes_received += packet.size_bytes
+        self.packets_received += 1
+        if self.first_time is None:
+            self.first_time = now
+        self.last_time = now
+
+    def throughput_bps(self, duration: Optional[float] = None) -> float:
+        """Average goodput in bits per second."""
+        if duration is None:
+            if self.first_time is None or self.last_time is None:
+                return 0.0
+            duration = self.last_time - self.first_time
+        if duration <= 0:
+            return 0.0
+        return self.bytes_received * 8.0 / duration
+
+
+class ThroughputMonitor:
+    """Tracks bytes delivered per sender (keyed by packet source).
+
+    Attach it to a receiving host's ``default_agent`` path or call
+    :meth:`record` from a sink agent.  Throughput is measured over the
+    monitoring window ``[start_time, end_time]``.
+    """
+
+    def __init__(self, sim: Simulator, start_time: Optional[float] = None) -> None:
+        self.sim = sim
+        self.records: Dict[str, FlowRecord] = defaultdict(FlowRecord)
+        #: Packets received before ``start_time`` are not counted.  Pass the
+        #: measurement-window start up front (e.g. the experiment warmup) or
+        #: call :meth:`start` when the window begins.
+        self.start_time: Optional[float] = start_time
+        self.end_time: Optional[float] = None
+
+    def start(self) -> None:
+        self.start_time = self.sim.now
+
+    def start_at(self, time: float) -> None:
+        """Begin the measurement window at an absolute simulation time."""
+        self.start_time = time
+
+    def stop(self) -> None:
+        self.end_time = self.sim.now
+
+    def record(self, packet: Packet) -> None:
+        if self.start_time is not None and self.sim.now < self.start_time:
+            return
+        self.records[packet.src].record(packet, self.sim.now)
+
+    def window(self) -> float:
+        start = self.start_time or 0.0
+        end = self.end_time if self.end_time is not None else self.sim.now
+        return max(end - start, 1e-12)
+
+    def throughput_bps(self, sender: str) -> float:
+        record = self.records.get(sender)
+        if record is None:
+            return 0.0
+        return record.bytes_received * 8.0 / self.window()
+
+    def throughputs(self, senders: Optional[List[str]] = None) -> Dict[str, float]:
+        names = senders if senders is not None else list(self.records)
+        return {name: self.throughput_bps(name) for name in names}
+
+
+class LinkMonitor:
+    """Samples a link's utilization and loss rate once per interval.
+
+    Produces time series that the experiments use to report bottleneck
+    utilization (§6.3.2 reports > 90 % for NetFence, ~100 % for others).
+    """
+
+    def __init__(self, sim: Simulator, link: Link, interval: float = 1.0) -> None:
+        self.sim = sim
+        self.link = link
+        self.interval = interval
+        self.utilization_series: List[float] = []
+        self.loss_series: List[float] = []
+        self._last_bytes = 0
+        self._last_drops = 0
+        self._last_arrivals = 0
+        self._timer = PeriodicTimer(sim, interval, self._sample)
+
+    def start(self) -> None:
+        self._last_bytes = self.link.bytes_delivered
+        stats = self.link.queue.stats
+        self._last_drops = stats.dropped
+        self._last_arrivals = stats.arrivals
+        self._timer.start()
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    def _sample(self) -> None:
+        delivered = self.link.bytes_delivered - self._last_bytes
+        self._last_bytes = self.link.bytes_delivered
+        utilization = delivered * 8.0 / (self.link.capacity_bps * self.interval)
+        self.utilization_series.append(min(1.0, utilization))
+
+        stats = self.link.queue.stats
+        drops = stats.dropped - self._last_drops
+        arrivals = stats.arrivals - self._last_arrivals
+        self._last_drops = stats.dropped
+        self._last_arrivals = stats.arrivals
+        self.loss_series.append(drops / arrivals if arrivals else 0.0)
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.utilization_series:
+            return 0.0
+        return sum(self.utilization_series) / len(self.utilization_series)
+
+    @property
+    def mean_loss_rate(self) -> float:
+        if not self.loss_series:
+            return 0.0
+        return sum(self.loss_series) / len(self.loss_series)

@@ -1,0 +1,35 @@
+"""Transport protocols and traffic generators.
+
+* :mod:`repro.transport.udp` — constant-bit-rate and on-off UDP senders
+  (attack traffic and request floods) plus a counting sink.
+* :mod:`repro.transport.tcp` — a Reno-style TCP with connection setup,
+  exponential SYN backoff, slow start, congestion avoidance, fast
+  retransmit, and retransmission timeouts.
+* :mod:`repro.transport.traffic` — application-level workloads: repeated
+  fixed-size file transfers (Fig. 8) and the web-like Pareto/exponential
+  mixture workload (Fig. 9b).
+"""
+
+from repro.transport.udp import UdpSender, UdpSink, OnOffPattern
+from repro.transport.tcp import TcpSender, TcpReceiver, TcpTransferResult
+from repro.transport.traffic import (
+    FileTransferApp,
+    LongRunningTcpApp,
+    TransferLog,
+    WebTrafficApp,
+    web_file_size_sampler,
+)
+
+__all__ = [
+    "UdpSender",
+    "UdpSink",
+    "OnOffPattern",
+    "TcpSender",
+    "TcpReceiver",
+    "TcpTransferResult",
+    "FileTransferApp",
+    "LongRunningTcpApp",
+    "TransferLog",
+    "WebTrafficApp",
+    "web_file_size_sampler",
+]

@@ -1,0 +1,152 @@
+"""UDP traffic sources and sinks.
+
+The paper's attackers send 1 Mbps constant-rate UDP traffic (§6.3.1),
+synchronized on-off bursts (§6.3.2 "Strategic Attacks"), or request-packet
+floods.  :class:`UdpSender` covers all three via an optional
+:class:`OnOffPattern` and a configurable packet type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.simulator.engine import Simulator
+from repro.simulator.node import Host
+from repro.simulator.packet import DATA_PACKET_SIZE, Packet, PacketType
+from repro.simulator.trace import ThroughputMonitor
+
+
+@dataclass
+class OnOffPattern:
+    """Synchronized on-off transmission (§6.3.2, Fig. 11).
+
+    The sender transmits at full rate during ``on_s`` seconds, stays silent
+    for ``off_s`` seconds, and repeats.  ``phase_s`` offsets the start of the
+    cycle; the paper's attackers all use phase 0 to maximize burst size.
+    """
+
+    on_s: float
+    off_s: float
+    phase_s: float = 0.0
+
+    @property
+    def period(self) -> float:
+        return self.on_s + self.off_s
+
+    def is_on(self, now: float) -> bool:
+        if self.period <= 0:
+            return True
+        position = (now - self.phase_s) % self.period
+        return position < self.on_s
+
+    def next_on_time(self, now: float) -> float:
+        """The next instant at or after ``now`` when transmission is allowed."""
+        if self.is_on(now):
+            return now
+        position = (now - self.phase_s) % self.period
+        return now + (self.period - position)
+
+
+class UdpSender:
+    """A constant-bit-rate (optionally on-off) UDP source."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        dst: str,
+        rate_bps: float,
+        packet_size: int = DATA_PACKET_SIZE,
+        flow_id: Optional[str] = None,
+        ptype: PacketType = PacketType.REGULAR,
+        pattern: Optional[OnOffPattern] = None,
+        priority: int = 0,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        self.sim = sim
+        self.host = host
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.packet_size = packet_size
+        self.flow_id = flow_id or f"udp:{host.name}->{dst}"
+        self.ptype = ptype
+        self.pattern = pattern
+        self.priority = priority
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self._running = False
+        self._event = None
+        host.add_agent(self.flow_id, self)
+
+    @property
+    def interval(self) -> float:
+        """Inter-packet gap at the configured rate."""
+        return self.packet_size * 8.0 / self.rate_bps
+
+    def start(self, at: Optional[float] = None) -> None:
+        if self._running:
+            return
+        self._running = True
+        delay = 0.0 if at is None else max(0.0, at - self.sim.now)
+        self._event = self.sim.schedule(delay, self._send_next)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _send_next(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        if self.pattern is not None and not self.pattern.is_on(now):
+            resume = self.pattern.next_on_time(now)
+            self._event = self.sim.schedule(max(resume - now, 1e-9), self._send_next)
+            return
+        packet = Packet(
+            src=self.host.name,
+            dst=self.dst,
+            size_bytes=self.packet_size,
+            ptype=self.ptype,
+            flow_id=self.flow_id,
+            protocol="udp",
+            priority=self.priority,
+        )
+        self.packets_sent += 1
+        self.bytes_sent += packet.size_bytes
+        self.host.send(packet)
+        self._event = self.sim.schedule(self.interval, self._send_next)
+
+    def on_packet(self, packet: Packet) -> None:
+        """UDP senders ignore return traffic (feedback is handled by the
+        NetFence end-host shim attached to the host, not the transport)."""
+
+
+class UdpSink:
+    """Counts received packets; optionally reports them to a monitor."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        monitor: Optional[ThroughputMonitor] = None,
+        on_receive: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.monitor = monitor
+        self.on_receive = on_receive
+        self.packets_received = 0
+        self.bytes_received = 0
+        host.default_agent = self
+
+    def on_packet(self, packet: Packet) -> None:
+        self.packets_received += 1
+        self.bytes_received += packet.size_bytes
+        if self.monitor is not None:
+            self.monitor.record(packet)
+        if self.on_receive is not None:
+            self.on_receive(packet)

@@ -1,0 +1,76 @@
+"""Tests for the Appendix A fluid model and fair-share bound."""
+
+import pytest
+
+from repro.analysis.convergence import AimdFluidModel, FluidSender, fair_share_lower_bound
+
+
+def test_bound_formula():
+    # ν=1, δ=0.1, C=10 Mbps, 100 senders: 0.9^3 * 100 Kbps = 72.9 Kbps.
+    bound = fair_share_lower_bound(10e6, 25, 75, delta=0.1, nu=1.0)
+    assert bound == pytest.approx(0.9 ** 3 * 10e6 / 100)
+
+
+def test_bound_requires_senders():
+    with pytest.raises(ValueError):
+        fair_share_lower_bound(1e6, 0, 0)
+
+
+def test_fluid_model_converges_to_fairness():
+    senders = [FluidSender(name=f"s{i}", rate_limit_bps=10_000 * (i + 1))
+               for i in range(10)]
+    model = AimdFluidModel(1e6, senders)
+    model.run(300)
+    assert model.final_fairness > 0.95
+
+
+def test_fluid_model_rate_limits_converge_to_fair_share():
+    senders = [FluidSender(name=f"s{i}") for i in range(10)]
+    model = AimdFluidModel(1e6, senders)
+    model.run(400)
+    fair = 1e6 / 10
+    for sender in senders:
+        assert sender.rate_limit_bps == pytest.approx(fair, rel=0.35)
+
+
+def test_fluid_model_guarantee_holds_against_on_off_attackers():
+    good = [FluidSender(name=f"g{i}") for i in range(5)]
+    bad = [FluidSender(name=f"b{i}", is_legitimate=False,
+                       demand_fn=lambda i: 1e6 if (i // 3) % 2 == 0 else 0.0)
+           for i in range(15)]
+    model = AimdFluidModel(2e6, good + bad)
+    model.run(400)
+    bound = fair_share_lower_bound(2e6, 5, 15, delta=0.1)
+    for sender in good:
+        assert model.average_rate(sender, last_intervals=200) >= bound
+
+
+def test_fluid_model_oscillates_around_capacity():
+    senders = [FluidSender(name=f"s{i}") for i in range(4)]
+    model = AimdFluidModel(1e6, senders)
+    model.run(300)
+    # After convergence the link alternates between congested and not.
+    tail = model.congested_history[-50:]
+    assert any(tail) and not all(tail)
+
+
+def test_fluid_model_idle_sender_not_rewarded():
+    """A sender with no demand must not accumulate a huge rate limit."""
+    active = FluidSender(name="active")
+    idle = FluidSender(name="idle", demand_fn=lambda i: 0.0)
+    model = AimdFluidModel(1e6, [active, idle])
+    model.run(200)
+    assert idle.rate_limit_bps <= active.rate_limit_bps
+
+
+def test_fluid_model_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        AimdFluidModel(0.0, [FluidSender(name="s")])
+
+
+def test_legitimate_and_malicious_partitions():
+    good = FluidSender(name="g")
+    bad = FluidSender(name="b", is_legitimate=False)
+    model = AimdFluidModel(1e6, [good, bad])
+    assert model.legitimate_senders() == [good]
+    assert model.malicious_senders() == [bad]

@@ -1,0 +1,63 @@
+"""Tests for fairness metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    ThroughputSummary,
+    jain_fairness_index,
+    summarize_throughputs,
+    throughput_ratio,
+)
+
+
+def test_jain_index_equal_allocation_is_one():
+    assert jain_fairness_index([5.0] * 10) == pytest.approx(1.0)
+
+
+def test_jain_index_single_winner():
+    # One sender gets everything among n: index = 1/n.
+    assert jain_fairness_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+def test_jain_index_bounds():
+    values = [1.0, 2.0, 3.0, 4.0]
+    index = jain_fairness_index(values)
+    assert 1.0 / len(values) <= index <= 1.0
+
+
+def test_jain_index_scale_invariant():
+    values = [1.0, 2.0, 5.0]
+    assert jain_fairness_index(values) == pytest.approx(
+        jain_fairness_index([v * 1000 for v in values]))
+
+
+def test_jain_index_degenerate_cases():
+    assert jain_fairness_index([]) == 1.0
+    assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+
+def test_throughput_ratio_basic():
+    assert throughput_ratio([100.0, 100.0], [200.0, 200.0]) == pytest.approx(0.5)
+
+
+def test_throughput_ratio_edge_cases():
+    assert throughput_ratio([], [1.0]) == 0.0
+    assert throughput_ratio([1.0], []) == float("inf")
+    assert throughput_ratio([1.0], [0.0]) == float("inf")
+    assert throughput_ratio([0.0], [0.0]) == 0.0
+
+
+def test_summary_from_values():
+    summary = ThroughputSummary.from_values([1.0, 2.0, 3.0])
+    assert summary.count == 3
+    assert summary.mean_bps == pytest.approx(2.0)
+    assert summary.min_bps == 1.0 and summary.max_bps == 3.0
+
+
+def test_summarize_throughputs_by_group():
+    throughputs = {"u1": 10.0, "u2": 20.0, "a1": 100.0}
+    groups = {"users": ["u1", "u2"], "attackers": ["a1"], "ghosts": ["nope"]}
+    summary = summarize_throughputs(throughputs, groups)
+    assert summary["users"].mean_bps == pytest.approx(15.0)
+    assert summary["attackers"].count == 1
+    assert summary["ghosts"].mean_bps == 0.0

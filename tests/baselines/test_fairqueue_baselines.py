@@ -1,0 +1,102 @@
+"""Tests for the FQ baseline and the shared channel queue."""
+
+import pytest
+
+from repro.baselines.common import ChannelQueue
+from repro.baselines.fq import FairQueueRouter, fq_queue_factory
+from repro.simulator.engine import Simulator
+from repro.simulator.packet import Packet, PacketType
+from repro.simulator.queues import DropTailQueue
+from repro.simulator.topology import Topology
+from repro.simulator.trace import ThroughputMonitor
+from repro.transport.udp import UdpSender, UdpSink
+
+
+def test_fq_queue_factory_builds_per_sender_drr():
+    queue = fq_queue_factory()(1e6)
+    a = Packet(src="a", dst="d")
+    b = Packet(src="b", dst="d")
+    queue.enqueue(a)
+    queue.enqueue(b)
+    assert queue.active_flows == 2
+
+
+def test_fq_gives_senders_equal_shares_under_flood():
+    topo = Topology()
+    topo.add_host("good", as_name="A")
+    topo.add_host("bad", as_name="A")
+    topo.add_host("dst", as_name="B")
+    topo.add_router("R1", as_name="A", router_cls=FairQueueRouter)
+    topo.add_router("R2", as_name="B", router_cls=FairQueueRouter)
+    topo.add_duplex_link("good", "R1", 100e6, 0.001)
+    topo.add_duplex_link("bad", "R1", 100e6, 0.001)
+    topo.add_duplex_link("R1", "R2", 1e6, 0.005, queue_factory=fq_queue_factory())
+    topo.add_duplex_link("R2", "dst", 100e6, 0.001)
+    topo.finalize()
+    monitor = ThroughputMonitor(topo.sim, start_time=2.0)
+    UdpSink(topo.sim, topo.host("dst"), monitor=monitor)
+    UdpSender(topo.sim, topo.host("good"), "dst", rate_bps=2e6).start()
+    UdpSender(topo.sim, topo.host("bad"), "dst", rate_bps=5e6).start()
+    topo.run(until=10.0)
+    monitor.stop()
+    good = monitor.throughput_bps("good")
+    bad = monitor.throughput_bps("bad")
+    assert good == pytest.approx(bad, rel=0.15)
+    assert good == pytest.approx(0.5e6, rel=0.2)
+
+
+# ---------------------------------------------------------------------------
+# ChannelQueue (shared by the TVA+/StopIt baselines)
+# ---------------------------------------------------------------------------
+
+def make_channel_queue(capacity_bps=1e6):
+    sim = Simulator()
+    return sim, ChannelQueue(
+        sim, capacity_bps,
+        request_queue=DropTailQueue(capacity_bytes=50_000),
+        regular_queue=DropTailQueue(capacity_bytes=50_000),
+    )
+
+
+def test_channel_queue_request_cap_enforced():
+    sim, queue = make_channel_queue(capacity_bps=1e6)
+    for _ in range(200):
+        queue.enqueue(Packet(src="s", dst="d", size_bytes=92, ptype=PacketType.REQUEST))
+    sim._now = 1.0
+    served = 0
+    while True:
+        packet = queue.dequeue()
+        if packet is None:
+            break
+        served += packet.size_bytes
+    assert served * 8 <= 0.05 * 1e6 * 1.2
+
+
+def test_channel_queue_regular_unaffected_by_request_backlog():
+    sim, queue = make_channel_queue()
+    for _ in range(100):
+        queue.enqueue(Packet(src="s", dst="d", size_bytes=92, ptype=PacketType.REQUEST))
+    regular = Packet(src="s", dst="d", ptype=PacketType.REGULAR)
+    queue.enqueue(regular)
+    # Even with request backlog and no budget, the regular packet flows.
+    packets = [queue.dequeue() for _ in range(5)]
+    assert regular in packets
+
+
+def test_channel_queue_time_until_ready():
+    sim, queue = make_channel_queue()
+    for _ in range(100):
+        queue.enqueue(Packet(src="s", dst="d", size_bytes=92, ptype=PacketType.REQUEST))
+    while queue.dequeue() is not None:
+        pass
+    assert len(queue) > 0
+    assert queue.time_until_ready() > 0
+
+
+def test_channel_queue_legacy_lowest_priority():
+    sim, queue = make_channel_queue()
+    legacy = Packet(src="s", dst="d", ptype=PacketType.LEGACY)
+    regular = Packet(src="s", dst="d", ptype=PacketType.REGULAR)
+    queue.enqueue(legacy)
+    queue.enqueue(regular)
+    assert queue.dequeue() is regular

@@ -1,0 +1,91 @@
+"""Tests for the StopIt baseline."""
+
+import pytest
+
+from repro.baselines.stopit import FilterRegistry, StopItAccessRouter, stopit_queue_factory
+from repro.simulator.packet import Packet
+from repro.simulator.topology import Topology
+from repro.simulator.trace import ThroughputMonitor
+from repro.transport.udp import UdpSender, UdpSink
+
+
+def build_stopit_network(bottleneck_bps=1e6):
+    topo = Topology()
+    sim = topo.sim
+    registry = FilterRegistry(sim, install_delay_s=0.1)
+    topo.add_host("good", as_name="A")
+    topo.add_host("bad", as_name="A")
+    topo.add_host("victim", as_name="B")
+    topo.add_router("Ra", as_name="A", router_cls=StopItAccessRouter, registry=registry)
+    topo.add_router("Rb", as_name="B", router_cls=StopItAccessRouter, registry=registry)
+    topo.add_duplex_link("good", "Ra", 100e6, 0.001)
+    topo.add_duplex_link("bad", "Ra", 100e6, 0.001)
+    topo.add_duplex_link("Ra", "Rb", bottleneck_bps, 0.005,
+                         queue_factory=stopit_queue_factory(sim))
+    topo.add_duplex_link("victim", "Rb", 100e6, 0.001)
+    topo.finalize()
+    registry.register_host("good", "Ra")
+    registry.register_host("bad", "Ra")
+    return topo, registry
+
+
+def test_filter_blocks_attacker_at_source_access_router():
+    topo, registry = build_stopit_network()
+    monitor = ThroughputMonitor(topo.sim, start_time=2.0)
+    UdpSink(topo.sim, topo.host("victim"), monitor=monitor)
+    UdpSender(topo.sim, topo.host("bad"), "victim", rate_bps=2e6).start()
+    UdpSender(topo.sim, topo.host("good"), "victim", rate_bps=500e3).start()
+    registry.install_filter("bad", "victim")
+    topo.run(until=10.0)
+    monitor.stop()
+    assert monitor.throughput_bps("bad") == 0.0
+    assert monitor.throughput_bps("good") == pytest.approx(500e3, rel=0.1)
+    assert topo.router("Ra").filtered_packets > 0
+
+
+def test_filter_installation_is_delayed():
+    topo, registry = build_stopit_network()
+    sink = UdpSink(topo.sim, topo.host("victim"))
+    UdpSender(topo.sim, topo.host("bad"), "victim", rate_bps=1e6).start()
+    registry.install_filter("bad", "victim")
+    topo.run(until=0.05)  # before the install delay elapses
+    assert sink.packets_received > 0
+
+
+def test_filter_for_unknown_host_is_ignored():
+    topo, registry = build_stopit_network()
+    registry.install_filter("stranger", "victim")
+    topo.run(until=1.0)  # must not raise
+
+
+def test_filter_only_blocks_matching_destination():
+    topo, registry = build_stopit_network()
+    router = topo.router("Ra")
+    router.add_filter("bad", "other-victim")
+    packet = Packet(src="bad", dst="victim")
+    assert router.admit_from_host(packet, topo.link_between("bad", "Ra")) is True
+
+
+def test_filter_removal_restores_traffic():
+    topo, registry = build_stopit_network()
+    router = topo.router("Ra")
+    router.add_filter("bad", "victim")
+    packet = Packet(src="bad", dst="victim")
+    assert router.admit_from_host(packet, topo.link_between("bad", "Ra")) is False
+    router.remove_filter("bad", "victim")
+    assert router.admit_from_host(packet, topo.link_between("bad", "Ra")) is True
+
+
+def test_fallback_hierarchical_fairness_without_filters():
+    """With no filters installed (colluding receivers), StopIt falls back to
+    hierarchical fair queuing and behaves like per-sender FQ."""
+    topo, _ = build_stopit_network(bottleneck_bps=1e6)
+    monitor = ThroughputMonitor(topo.sim, start_time=3.0)
+    UdpSink(topo.sim, topo.host("victim"), monitor=monitor)
+    UdpSender(topo.sim, topo.host("bad"), "victim", rate_bps=5e6).start()
+    UdpSender(topo.sim, topo.host("good"), "victim", rate_bps=2e6).start()
+    topo.run(until=13.0)
+    monitor.stop()
+    good = monitor.throughput_bps("good")
+    bad = monitor.throughput_bps("bad")
+    assert good == pytest.approx(bad, rel=0.2)

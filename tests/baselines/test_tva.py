@@ -1,0 +1,119 @@
+"""Tests for the TVA+ baseline."""
+
+import pytest
+
+from repro.baselines.tva import Capability, CapabilityEndHost, TvaRouter, tva_queue_factory
+from repro.simulator.packet import Packet, PacketType
+from repro.simulator.topology import Topology
+from repro.simulator.trace import ThroughputMonitor
+from repro.transport.traffic import LongRunningTcpApp
+from repro.transport.udp import UdpSender, UdpSink
+
+
+def build_tva_pair(bottleneck_bps=1e6):
+    topo = Topology()
+    sim = topo.sim
+    topo.add_host("src", as_name="A")
+    topo.add_host("dst", as_name="B")
+    topo.add_router("R1", as_name="A", router_cls=TvaRouter)
+    topo.add_router("R2", as_name="B", router_cls=TvaRouter)
+    topo.add_duplex_link("src", "R1", 100e6, 0.001)
+    topo.add_duplex_link("R1", "R2", bottleneck_bps, 0.005,
+                         queue_factory=tva_queue_factory(sim))
+    topo.add_duplex_link("R2", "dst", 100e6, 0.001)
+    topo.finalize()
+    return topo
+
+
+def test_sender_without_capability_sends_requests():
+    topo = build_tva_pair()
+    CapabilityEndHost(topo.sim, topo.host("src"))
+    packet = Packet(src="src", dst="dst", ptype=PacketType.REGULAR, flow_id="f")
+    topo.host("src").send(packet)
+    assert packet.is_request
+
+
+def test_receiver_grants_capability_and_sender_uses_it():
+    topo = build_tva_pair()
+    sender_stack = CapabilityEndHost(topo.sim, topo.host("src"))
+    CapabilityEndHost(topo.sim, topo.host("dst"), send_grant_packets=True)
+    UdpSink(topo.sim, topo.host("dst"))
+    UdpSender(topo.sim, topo.host("src"), "dst", rate_bps=200e3).start()
+    topo.run(until=2.0)
+    assert "dst" in sender_stack.capabilities
+    # Subsequent packets travel as regular packets carrying the capability.
+    packet = Packet(src="src", dst="dst", ptype=PacketType.REGULAR, flow_id="f2")
+    topo.host("src").send(packet)
+    assert packet.is_regular and packet.get_header("tva") is not None
+
+
+def test_victim_denies_capability_to_attacker():
+    topo = build_tva_pair()
+    attacker_stack = CapabilityEndHost(topo.sim, topo.host("src"))
+    CapabilityEndHost(topo.sim, topo.host("dst"), send_grant_packets=True,
+                      grant_policy=lambda peer: peer != "src")
+    UdpSink(topo.sim, topo.host("dst"))
+    UdpSender(topo.sim, topo.host("src"), "dst", rate_bps=200e3).start()
+    topo.run(until=2.0)
+    assert "dst" not in attacker_stack.capabilities
+
+
+def test_router_demotes_regular_packet_without_capability():
+    topo = build_tva_pair()
+    router = topo.router("R1")
+    packet = Packet(src="src", dst="dst", ptype=PacketType.REGULAR)
+    router.admit_from_host(packet, topo.link_between("src", "R1"))
+    assert packet.is_request
+
+
+def test_transit_router_demotes_mismatched_capability():
+    topo = build_tva_pair()
+    router = topo.router("R2")
+    packet = Packet(src="src", dst="dst", ptype=PacketType.REGULAR)
+    packet.set_header("tva", Capability(sender="other", receiver="dst", token=b"xx"))
+    router.on_transit(packet, None)
+    assert packet.is_request
+
+
+def test_capability_verification():
+    topo = build_tva_pair()
+    stack = CapabilityEndHost(topo.sim, topo.host("dst"))
+    good = stack._make_grant("src")
+    assert stack.verify(good)
+    assert not stack.verify(Capability(sender="src", receiver="dst", token=b"1234"))
+
+
+def test_per_destination_fairness_penalizes_shared_victim():
+    """The regular channel is fair-queued per destination: one victim queue
+    competes with each colluder queue (the Fig. 9 TVA+ weakness)."""
+    topo = Topology()
+    sim = topo.sim
+    for name in ("u", "a1", "a2", "a3"):
+        topo.add_host(name, as_name="SRC")
+    for name in ("victim", "c1", "c2", "c3"):
+        topo.add_host(name, as_name="DST")
+    topo.add_router("R1", as_name="SRC", router_cls=TvaRouter)
+    topo.add_router("R2", as_name="DST", router_cls=TvaRouter)
+    for name in ("u", "a1", "a2", "a3"):
+        topo.add_duplex_link(name, "R1", 100e6, 0.001)
+    topo.add_duplex_link("R1", "R2", 1e6, 0.005, queue_factory=tva_queue_factory(sim))
+    for name in ("victim", "c1", "c2", "c3"):
+        topo.add_duplex_link(name, "R2", 100e6, 0.001)
+    topo.finalize()
+    monitor = ThroughputMonitor(sim, start_time=5.0)
+    for sender in ("u", "a1", "a2", "a3"):
+        CapabilityEndHost(sim, topo.host(sender))
+    for receiver in ("victim", "c1", "c2", "c3"):
+        CapabilityEndHost(sim, topo.host(receiver), send_grant_packets=True)
+        UdpSink(sim, topo.host(receiver), monitor=monitor)
+    # One legitimate-ish sender to the victim, three flooders to colluders.
+    UdpSender(sim, topo.host("u"), "victim", rate_bps=2e6).start()
+    for attacker, colluder in (("a1", "c1"), ("a2", "c2"), ("a3", "c3")):
+        UdpSender(sim, topo.host(attacker), colluder, rate_bps=2e6).start()
+    topo.run(until=20.0)
+    monitor.stop()
+    user = monitor.throughput_bps("u")
+    attackers = [monitor.throughput_bps(a) for a in ("a1", "a2", "a3")]
+    # Per-destination FQ: every destination (victim or colluder) gets ~1/4.
+    assert user == pytest.approx(0.25e6, rel=0.25)
+    assert sum(attackers) == pytest.approx(0.75e6, rel=0.2)

@@ -1,0 +1,180 @@
+"""Tests for the NetFence access router (§4.2-§4.3, Fig. 18)."""
+
+import pytest
+
+from repro.core.access import NetFenceAccessRouter
+from repro.core.domain import NetFenceDomain
+from repro.core.header import NetFenceHeader, get_netfence_header
+from repro.core.params import NetFenceParams
+from repro.simulator.packet import Packet, PacketType
+from repro.simulator.topology import Topology
+
+
+@pytest.fixture
+def rig(params, domain):
+    """An access router with one local host and a forwarding path."""
+    domain.register_link("Rb->dst", "AS-core")
+    topo = Topology()
+    topo.add_host("src", as_name="AS-src")
+    topo.add_host("dst", as_name="AS-dst")
+    access = topo.add_router("Ra", as_name="AS-src", router_cls=NetFenceAccessRouter,
+                             domain=domain)
+    topo.add_router("Rb", as_name="AS-core")
+    topo.add_duplex_link("src", "Ra", 10e6, 0.001)
+    topo.add_duplex_link("Ra", "Rb", 10e6, 0.001)
+    topo.add_duplex_link("Rb", "dst", 10e6, 0.001)
+    topo.finalize()
+    from_link = topo.link_between("src", "Ra")
+    return topo, access, from_link
+
+
+def regular_packet(feedback=None):
+    packet = Packet(src="src", dst="dst", size_bytes=1500,
+                    ptype=PacketType.REGULAR, flow_id="f", src_as="AS-src")
+    packet.set_header("netfence", NetFenceHeader(feedback=feedback))
+    return packet
+
+
+def request_packet(priority=0):
+    packet = Packet(src="src", dst="dst", size_bytes=92, ptype=PacketType.REQUEST,
+                    flow_id="f", src_as="AS-src", priority=priority)
+    packet.set_header("netfence", NetFenceHeader(priority=priority))
+    return packet
+
+
+def test_packet_without_netfence_header_treated_as_legacy(rig):
+    topo, access, from_link = rig
+    packet = Packet(src="src", dst="dst", ptype=PacketType.REGULAR)
+    assert access.admit_from_host(packet, from_link) is True
+    assert packet.is_legacy
+    assert access.counters["legacy"] == 1
+
+
+def test_request_packet_gets_nop_feedback_stamped(rig):
+    topo, access, from_link = rig
+    packet = request_packet()
+    assert access.admit_from_host(packet, from_link) is True
+    header = get_netfence_header(packet)
+    assert header.feedback is not None and header.feedback.is_nop
+    assert access.counters["request_admitted"] == 1
+
+
+def test_regular_packet_with_valid_nop_passes_and_is_refreshed(rig):
+    topo, access, from_link = rig
+    old = access.stamper.stamp_nop("src", "dst", topo.sim.now)
+    packet = regular_packet(feedback=old)
+    topo.run(until=1.0)
+    assert access.admit_from_host(packet, from_link) is True
+    refreshed = get_netfence_header(packet).feedback
+    assert refreshed.is_nop and refreshed.ts == pytest.approx(topo.sim.now)
+    assert access.counters["regular_nop"] == 1
+
+
+def test_regular_packet_with_forged_feedback_demoted_to_request(rig):
+    topo, access, from_link = rig
+    from repro.core.feedback import Feedback, FeedbackAction, FeedbackMode
+    forged = Feedback(FeedbackMode.MON, "Rb->dst", FeedbackAction.INCR,
+                      ts=topo.sim.now, mac=b"\x00\x00\x00\x00")
+    packet = regular_packet(feedback=forged)
+    access.admit_from_host(packet, from_link)
+    assert packet.is_request
+    assert access.counters["regular_invalid"] == 1
+
+
+def test_regular_packet_with_expired_feedback_demoted(rig):
+    topo, access, from_link = rig
+    old = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.sim.now)
+    topo.run(until=10.0)
+    packet = regular_packet(feedback=old)
+    access.admit_from_host(packet, from_link)
+    assert packet.is_request
+
+
+def test_mon_feedback_creates_rate_limiter_and_restamps_incr(rig):
+    topo, access, from_link = rig
+    forwarded = []
+    access.forward_tap = lambda packet, link: forwarded.append(packet)
+    feedback = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.sim.now)
+    packet = regular_packet(feedback=feedback)
+    verdict = access.admit_from_host(packet, from_link)
+    # A brand-new leaky bucket has no accumulated credit, so the first packet
+    # is cached and released at the rate limit shortly afterwards.
+    assert verdict is None
+    assert access.limiter_for("src", "Rb->dst") is not None
+    topo.run(until=1.0)
+    assert forwarded
+    restamped = get_netfence_header(forwarded[0]).feedback
+    assert restamped.is_incr and restamped.link == "Rb->dst"
+
+
+def test_decr_feedback_also_restamped_as_incr(rig):
+    """§4.3.3: the access router resets L↓ to L↑ when forwarding."""
+    topo, access, from_link = rig
+    forwarded = []
+    access.forward_tap = lambda packet, link: forwarded.append(packet)
+    from repro.core.feedback import BottleneckStamper
+    nop = access.stamper.stamp_nop("src", "dst", topo.sim.now)
+    decr = BottleneckStamper(access.domain.key_registry, "AS-core").stamp_decr(
+        nop, "src", "dst", "AS-src", "Rb->dst")
+    packet = regular_packet(feedback=decr)
+    access.admit_from_host(packet, from_link)
+    topo.run(until=1.0)
+    assert forwarded
+    assert get_netfence_header(forwarded[0]).feedback.is_incr
+
+
+def test_flood_through_rate_limiter_caches_then_drops(rig):
+    topo, access, from_link = rig
+    feedback = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.sim.now)
+    verdicts = []
+    for _ in range(60):
+        packet = regular_packet(feedback=feedback.copy())
+        verdicts.append(access.admit_from_host(packet, from_link))
+    assert verdicts.count(None) > 0        # cached by the leaky bucket
+    assert verdicts.count(False) > 0       # eventually dropped
+    assert access.counters["regular_dropped"] > 0
+
+
+def test_cached_packets_are_forwarded_later(rig):
+    topo, access, from_link = rig
+    feedback = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.sim.now)
+    for _ in range(5):
+        access.admit_from_host(regular_packet(feedback=feedback.copy()), from_link)
+    before = access.packets_forwarded
+    topo.run(until=2.0)
+    assert access.packets_forwarded > before
+
+
+def test_request_flood_above_token_rate_dropped(rig):
+    topo, access, from_link = rig
+    drops = 0
+    for _ in range(3000):
+        packet = request_packet(priority=5)
+        if not access.admit_from_host(packet, from_link):
+            drops += 1
+    assert drops > 0
+    assert access.counters["request_dropped"] == drops
+
+
+def test_rate_limiter_garbage_collected_after_idle_timeout(params, domain):
+    domain.register_link("Rb->dst", "AS-core")
+    fast = params.with_overrides(rate_limiter_idle_timeout=5.0, control_interval=1.0)
+    fast_domain = NetFenceDomain(params=fast, master=b"gc-test")
+    fast_domain.register_link("Rb->dst", "AS-core")
+    topo = Topology()
+    topo.add_host("src", as_name="AS-src")
+    topo.add_host("dst", as_name="AS-dst")
+    access = topo.add_router("Ra", as_name="AS-src", router_cls=NetFenceAccessRouter,
+                             domain=fast_domain)
+    topo.add_router("Rb", as_name="AS-core")
+    topo.add_duplex_link("src", "Ra", 10e6, 0.001)
+    topo.add_duplex_link("Ra", "Rb", 10e6, 0.001)
+    topo.add_duplex_link("Rb", "dst", 10e6, 0.001)
+    topo.finalize()
+    from_link = topo.link_between("src", "Ra")
+    feedback = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.sim.now)
+    packet = regular_packet(feedback=feedback)
+    access.admit_from_host(packet, from_link)
+    assert access.active_rate_limiters == 1
+    topo.run(until=12.0)
+    assert access.active_rate_limiters == 0

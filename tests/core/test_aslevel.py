@@ -1,0 +1,133 @@
+"""Tests for §4.5: per-AS policing and heavy-hitter detection."""
+
+import pytest
+
+from repro.core.aslevel import HeavyHitterDetector, PerASRateLimiter, max_min_fair_shares
+from repro.simulator.packet import Packet
+
+
+def packet(src_as, size=1500):
+    return Packet(src=f"h-{src_as}", dst="d", size_bytes=size, src_as=src_as)
+
+
+# ---------------------------------------------------------------------------
+# max-min fair shares
+# ---------------------------------------------------------------------------
+
+def test_max_min_equal_demands_split_evenly():
+    shares = max_min_fair_shares(90.0, {"a": 100.0, "b": 100.0, "c": 100.0})
+    assert all(share == pytest.approx(30.0) for share in shares.values())
+
+
+def test_max_min_small_demand_fully_satisfied():
+    shares = max_min_fair_shares(90.0, {"small": 10.0, "big1": 100.0, "big2": 100.0})
+    assert shares["small"] == pytest.approx(10.0)
+    assert shares["big1"] == pytest.approx(40.0)
+    assert shares["big2"] == pytest.approx(40.0)
+
+
+def test_max_min_total_never_exceeds_capacity():
+    shares = max_min_fair_shares(100.0, {"a": 70.0, "b": 80.0, "c": 5.0})
+    assert sum(shares.values()) <= 100.0 + 1e-6
+
+
+def test_max_min_empty_demands():
+    assert max_min_fair_shares(100.0, {}) == {}
+
+
+def test_max_min_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        max_min_fair_shares(-1.0, {"a": 1.0})
+
+
+# ---------------------------------------------------------------------------
+# PerASRateLimiter
+# ---------------------------------------------------------------------------
+
+def test_per_as_rate_limiter_throttles_heavy_as():
+    limiter = PerASRateLimiter(capacity_bps=1.2e5, interval_s=1.0)
+    # Interval 1: observe demand (heavy AS1, light AS2), then recompute.
+    for _ in range(100):
+        limiter.observe_demand(packet("AS1"))
+    for _ in range(5):
+        limiter.observe_demand(packet("AS2"))
+    limiter.recompute()
+    assert limiter.shares_bps["AS1"] < 100 * 1500 * 8
+    # Interval 2: AS1 floods again; it must be cut off at its budget.
+    admitted = sum(limiter.admit(packet("AS1")) for _ in range(100))
+    assert admitted < 100
+    assert limiter.dropped > 0
+
+
+def test_per_as_rate_limiter_admits_unknown_as():
+    limiter = PerASRateLimiter(capacity_bps=1e6)
+    assert limiter.admit(packet("brand-new-AS"))
+
+
+def test_per_as_rate_limiter_light_as_unaffected():
+    limiter = PerASRateLimiter(capacity_bps=1.2e5, interval_s=1.0)
+    for _ in range(100):
+        limiter.observe_demand(packet("AS1"))
+    for _ in range(5):
+        limiter.observe_demand(packet("AS2"))
+    limiter.recompute()
+    # AS2 demanded well under its fair share, so its whole demand fits in the
+    # next interval's budget.
+    assert all(limiter.admit(packet("AS2")) for _ in range(3))
+
+
+def test_per_as_rate_limiter_invalid_capacity():
+    with pytest.raises(ValueError):
+        PerASRateLimiter(capacity_bps=0)
+
+
+# ---------------------------------------------------------------------------
+# HeavyHitterDetector (RED-PD style)
+# ---------------------------------------------------------------------------
+
+def run_intervals(detector, offered, intervals):
+    """Offer `offered[as_name]` packets per interval for several intervals."""
+    for _ in range(intervals):
+        for as_name, count in offered.items():
+            for _ in range(count):
+                detector.observe(packet(as_name))
+        detector.end_interval()
+
+
+def test_heavy_hitter_detected_after_persistent_offense():
+    detector = HeavyHitterDetector(capacity_bps=1.2e6, interval_s=1.0,
+                                   trigger_intervals=3)
+    run_intervals(detector, {"compromised": 100, "good1": 5, "good2": 5}, intervals=3)
+    assert "compromised" in detector.throttled
+    assert "good1" not in detector.throttled
+
+
+def test_heavy_hitter_throttled_to_fair_share():
+    detector = HeavyHitterDetector(capacity_bps=1.2e6, interval_s=1.0,
+                                   trigger_intervals=1)
+    run_intervals(detector, {"compromised": 200, "good": 5}, intervals=2)
+    allowed = sum(detector.admit(packet("compromised")) for _ in range(200))
+    assert allowed < 200
+    assert all(detector.admit(packet("good")) for _ in range(3))
+
+
+def test_heavy_hitter_forgiven_after_good_behaviour():
+    detector = HeavyHitterDetector(capacity_bps=1.2e6, interval_s=1.0,
+                                   trigger_intervals=1, forgive_intervals=2)
+    run_intervals(detector, {"noisy": 200, "good": 5}, intervals=2)
+    assert "noisy" in detector.throttled
+    run_intervals(detector, {"noisy": 2, "good": 5}, intervals=3)
+    assert "noisy" not in detector.throttled
+
+
+def test_single_burst_does_not_trigger_detection():
+    detector = HeavyHitterDetector(capacity_bps=1.2e6, interval_s=1.0,
+                                   trigger_intervals=3)
+    run_intervals(detector, {"bursty": 200, "good": 5}, intervals=1)
+    run_intervals(detector, {"bursty": 2, "good": 5}, intervals=3)
+    assert "bursty" not in detector.throttled
+
+
+def test_detector_invalid_capacity():
+    with pytest.raises(ValueError):
+        HeavyHitterDetector(capacity_bps=0)

@@ -1,0 +1,282 @@
+"""Tests for the NetFence bottleneck router: channels, detection, stamping."""
+
+import pytest
+
+from repro.core.bottleneck import NetFenceChannelQueue, NetFenceRouter, netfence_queue_factory
+from repro.core.domain import NetFenceDomain
+from repro.core.feedback import FeedbackStamper
+from repro.core.header import NetFenceHeader, get_netfence_header
+from repro.core.params import NetFenceParams
+from repro.crypto.keys import AccessRouterSecret
+from repro.simulator.engine import Simulator
+from repro.simulator.packet import Packet, PacketType
+from repro.simulator.topology import Topology
+from repro.transport.udp import UdpSender, UdpSink
+
+
+# ---------------------------------------------------------------------------
+# NetFenceChannelQueue
+# ---------------------------------------------------------------------------
+
+def make_queue(sim=None, capacity_bps=1e6, **kwargs):
+    return NetFenceChannelQueue(sim or Simulator(), capacity_bps,
+                                params=NetFenceParams(), **kwargs)
+
+
+def request(priority=0, size=92):
+    return Packet(src="s", dst="d", size_bytes=size, ptype=PacketType.REQUEST,
+                  priority=priority)
+
+
+def regular(size=1500, src="s"):
+    return Packet(src=src, dst="d", size_bytes=size, ptype=PacketType.REGULAR)
+
+
+def legacy():
+    return Packet(src="s", dst="d", ptype=PacketType.LEGACY)
+
+
+def test_channels_classified_by_packet_type():
+    queue = make_queue()
+    queue.enqueue(request())
+    queue.enqueue(regular())
+    queue.enqueue(legacy())
+    assert len(queue.request_queue) == 1
+    assert len(queue.regular_queue) == 1
+    assert len(queue.legacy_queue) == 1
+
+
+def test_legacy_served_only_when_other_channels_empty():
+    queue = make_queue()
+    queue.enqueue(legacy())
+    queue.enqueue(regular())
+    assert queue.dequeue().is_regular
+    assert queue.dequeue().is_legacy
+
+
+def test_request_channel_capped_at_five_percent():
+    sim = Simulator()
+    queue = make_queue(sim=sim, capacity_bps=1e6)
+    # Fill the request channel; with no other traffic, at most 5 % of the
+    # link's bytes may come out of it per unit time.
+    for _ in range(100):
+        queue.enqueue(request())
+    sim._now = 1.0  # pretend one second has passed to refill the budget
+    served_bytes = 0
+    while True:
+        packet = queue.dequeue()
+        if packet is None:
+            break
+        served_bytes += packet.size_bytes
+    assert served_bytes * 8 <= 0.05 * 1e6 * 1.1
+
+
+def test_time_until_ready_reports_budget_refill():
+    sim = Simulator()
+    queue = make_queue(sim=sim, capacity_bps=1e6)
+    for _ in range(100):
+        queue.enqueue(request())
+    while queue.dequeue() is not None:
+        pass
+    wait = queue.time_until_ready()
+    assert wait is not None and wait > 0
+
+
+def test_higher_priority_requests_served_first():
+    sim = Simulator()
+    queue = make_queue(sim=sim)
+    low = request(priority=0)
+    high = request(priority=8)
+    queue.enqueue(low)
+    queue.enqueue(high)
+    sim._now = 1.0  # let the request-channel budget refill
+    assert queue.dequeue() is high
+
+
+def test_regular_drop_callback_fires():
+    dropped = []
+    queue = make_queue(capacity_bps=1e5)
+    queue.on_regular_drop = dropped.append
+    for _ in range(200):
+        queue.enqueue(regular())
+    assert dropped
+
+
+def test_as_fairness_mode_uses_per_as_queue():
+    queue = make_queue(as_fairness=True, capacity_bps=1e6)
+    a = Packet(src="s1", dst="d", ptype=PacketType.REGULAR, src_as="AS1")
+    b = Packet(src="s2", dst="d", ptype=PacketType.REGULAR, src_as="AS2")
+    queue.enqueue(a)
+    queue.enqueue(b)
+    assert len(queue.regular_queue) == 2
+    assert queue.dequeue() in (a, b)
+
+
+# ---------------------------------------------------------------------------
+# NetFenceRouter: feedback update rules (§4.3.2)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def router_rig(params, domain):
+    topo = Topology()
+    sim = topo.sim
+    topo.add_host("src", as_name="AS-src")
+    topo.add_host("dst", as_name="AS-dst")
+    router = topo.add_router("Rb", as_name="AS-core", router_cls=NetFenceRouter,
+                             domain=domain)
+    topo.add_duplex_link("src", "Rb", 10e6, 0.001)
+    topo.add_duplex_link("Rb", "dst", 1e6, 0.001,
+                         queue_factory=netfence_queue_factory(sim, params))
+    topo.finalize()
+    out_link = topo.link_between("Rb", "dst")
+    secret = AccessRouterSecret("Ra", master=b"ra")
+    stamper = FeedbackStamper(secret, domain.key_registry, "AS-src")
+    return topo, router, out_link, stamper
+
+
+def packet_with(feedback):
+    packet = Packet(src="src", dst="dst", ptype=PacketType.REGULAR, src_as="AS-src")
+    packet.set_header("netfence", NetFenceHeader(feedback=feedback))
+    return packet
+
+
+def test_out_of_mon_state_feedback_untouched(router_rig):
+    topo, router, out_link, stamper = router_rig
+    packet = packet_with(stamper.stamp_nop("src", "dst", 0.0))
+    router.before_enqueue(packet, out_link)
+    assert get_netfence_header(packet).feedback.is_nop
+
+
+def test_rule1_nop_always_replaced_with_decr_in_mon(router_rig):
+    topo, router, out_link, stamper = router_rig
+    router.start_monitoring(out_link.name)
+    packet = packet_with(stamper.stamp_nop("src", "dst", 0.0))
+    router.before_enqueue(packet, out_link)
+    feedback = get_netfence_header(packet).feedback
+    assert feedback.is_decr and feedback.link == out_link.name
+
+
+def test_rule2_upstream_decr_not_overwritten(router_rig):
+    topo, router, out_link, stamper = router_rig
+    from repro.core.feedback import BottleneckStamper
+    router.start_monitoring(out_link.name)
+    router.mark_overloaded(out_link.name)
+    upstream = BottleneckStamper(router.domain.key_registry, "AS-up").stamp_decr(
+        stamper.stamp_nop("src", "dst", 0.0), "src", "dst", "AS-src", "UpstreamLink")
+    packet = packet_with(upstream)
+    router.before_enqueue(packet, out_link)
+    assert get_netfence_header(packet).feedback.link == "UpstreamLink"
+
+
+def test_rule3_incr_overwritten_only_when_overloaded(router_rig):
+    topo, router, out_link, stamper = router_rig
+    router.start_monitoring(out_link.name)
+    # Not overloaded: L↑ survives.
+    packet = packet_with(stamper.stamp_incr("src", "dst", out_link.name, 0.0))
+    router.before_enqueue(packet, out_link)
+    assert get_netfence_header(packet).feedback.is_incr
+    # Overloaded: L↑ becomes L↓.
+    router.mark_overloaded(out_link.name)
+    packet = packet_with(stamper.stamp_incr("src", "dst", out_link.name, 0.0))
+    router.before_enqueue(packet, out_link)
+    assert get_netfence_header(packet).feedback.is_decr
+
+
+def test_request_packets_also_stamped_in_mon(router_rig):
+    topo, router, out_link, stamper = router_rig
+    router.start_monitoring(out_link.name)
+    packet = Packet(src="src", dst="dst", size_bytes=92, ptype=PacketType.REQUEST,
+                    src_as="AS-src")
+    packet.set_header("netfence", NetFenceHeader(feedback=stamper.stamp_nop("src", "dst", 0.0)))
+    router.before_enqueue(packet, out_link)
+    assert get_netfence_header(packet).feedback.is_decr
+
+
+def test_legacy_packets_never_stamped(router_rig):
+    topo, router, out_link, stamper = router_rig
+    router.start_monitoring(out_link.name)
+    packet = Packet(src="src", dst="dst", ptype=PacketType.LEGACY)
+    assert router.before_enqueue(packet, out_link) is True
+
+
+def test_hysteresis_expires_after_two_control_intervals(router_rig):
+    topo, router, out_link, stamper = router_rig
+    router.start_monitoring(out_link.name)
+    router.mark_overloaded(out_link.name)
+    state = router.link_state(out_link.name)
+    assert state.is_overloaded(topo.sim.now)
+    horizon = topo.sim.now + router.params.hysteresis_duration
+    assert state.is_overloaded(horizon - 0.01)
+    assert not state.is_overloaded(horizon + 0.01)
+
+
+def test_link_ownership_registered_in_domain(router_rig):
+    topo, router, out_link, stamper = router_rig
+    assert router.domain.as_for_link(out_link.name) == "AS-core"
+
+
+# ---------------------------------------------------------------------------
+# Attack detection (§4.3.1)
+# ---------------------------------------------------------------------------
+
+def test_flood_triggers_monitoring_cycle(params, domain):
+    topo = Topology()
+    sim = topo.sim
+    topo.add_host("src", as_name="AS-src")
+    topo.add_host("dst", as_name="AS-dst")
+    topo.add_router("Rb", as_name="AS-core", router_cls=NetFenceRouter, domain=domain)
+    topo.add_duplex_link("src", "Rb", 100e6, 0.001)
+    topo.add_duplex_link("Rb", "dst", 500e3, 0.001,
+                         queue_factory=netfence_queue_factory(sim, params))
+    topo.finalize()
+    router = topo.router("Rb")
+    bottleneck = topo.link_between("Rb", "dst")
+    UdpSink(sim, topo.host("dst"))
+    UdpSender(sim, topo.host("src"), "dst", rate_bps=2e6).start()
+    topo.run(until=5.0)
+    assert router.in_monitoring_cycle(bottleneck.name)
+    assert router.link_state(bottleneck.name).is_overloaded(sim.now)
+
+
+def test_no_attack_no_monitoring_cycle(params, domain):
+    topo = Topology()
+    sim = topo.sim
+    topo.add_host("src", as_name="AS-src")
+    topo.add_host("dst", as_name="AS-dst")
+    topo.add_router("Rb", as_name="AS-core", router_cls=NetFenceRouter, domain=domain)
+    topo.add_duplex_link("src", "Rb", 100e6, 0.001)
+    topo.add_duplex_link("Rb", "dst", 10e6, 0.001,
+                         queue_factory=netfence_queue_factory(sim, params))
+    topo.finalize()
+    router = topo.router("Rb")
+    UdpSink(sim, topo.host("dst"))
+    UdpSender(sim, topo.host("src"), "dst", rate_bps=1e6).start()  # 10 % load
+    topo.run(until=5.0)
+    assert not router.in_monitoring_cycle(topo.link_between("Rb", "dst").name)
+
+
+def test_monitoring_cycle_ends_after_quiet_period(params, domain):
+    quiet = params.with_overrides(monitor_cycle_min_duration=3.0)
+    quiet_domain = NetFenceDomain(params=quiet, master=b"q")
+    topo = Topology()
+    sim = topo.sim
+    topo.add_host("src", as_name="AS-src")
+    topo.add_host("dst", as_name="AS-dst")
+    topo.add_router("Rb", as_name="AS-core", router_cls=NetFenceRouter,
+                    domain=quiet_domain)
+    topo.add_duplex_link("src", "Rb", 100e6, 0.001)
+    topo.add_duplex_link("Rb", "dst", 500e3, 0.001,
+                         queue_factory=netfence_queue_factory(sim, quiet))
+    topo.finalize()
+    router = topo.router("Rb")
+    bottleneck = topo.link_between("Rb", "dst")
+    UdpSink(sim, topo.host("dst"))
+    sender = UdpSender(sim, topo.host("src"), "dst", rate_bps=2e6)
+    sender.start()
+    sim.schedule(3.0, sender.stop)
+    topo.run(until=4.0)
+    assert router.in_monitoring_cycle(bottleneck.name)
+    # The loss-rate EWMA needs a while to decay below p_th before the quiet
+    # period can even begin; run long enough for both.
+    topo.run(until=80.0)
+    assert not router.in_monitoring_cycle(bottleneck.name)

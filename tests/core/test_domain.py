@@ -1,0 +1,35 @@
+"""Tests for the shared NetFence deployment state."""
+
+import pytest
+
+from repro.core.domain import NetFenceDomain
+
+
+def test_link_registration_and_lookup():
+    domain = NetFenceDomain(master=b"m")
+    domain.register_link("L1", "AS-core")
+    assert domain.as_for_link("L1") == "AS-core"
+    assert domain.as_for_link("unknown") is None
+    assert domain.as_for_link(None) is None
+
+
+def test_registered_links_snapshot_is_a_copy():
+    domain = NetFenceDomain(master=b"m")
+    domain.register_link("L1", "AS-core")
+    snapshot = domain.registered_links
+    snapshot["L2"] = "AS-other"
+    assert domain.as_for_link("L2") is None
+
+
+def test_default_feedback_mode_is_single():
+    assert NetFenceDomain(master=b"m").feedback_mode == "single"
+
+
+def test_invalid_feedback_mode_rejected():
+    with pytest.raises(ValueError):
+        NetFenceDomain(master=b"m", feedback_mode="bogus")
+
+
+def test_key_registry_shared_semantics():
+    domain = NetFenceDomain(master=b"m")
+    assert domain.key_registry.key_for("A", "B") == domain.key_registry.key_for("B", "A")

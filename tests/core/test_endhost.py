@@ -1,0 +1,187 @@
+"""Tests for the NetFence end-host shim (feedback presentation and return)."""
+
+import pytest
+
+from repro.core.endhost import NetFenceEndHost, ReturnPolicy
+from repro.core.feedback import Feedback, FeedbackAction, FeedbackMode
+from repro.core.header import NetFenceHeader, get_netfence_header
+from repro.core.params import NetFenceParams
+from repro.simulator.engine import Simulator
+from repro.simulator.node import Host
+from repro.simulator.packet import Packet, PacketType
+
+
+class LoopbackHost(Host):
+    """A host whose access link is replaced by a capture list."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name, as_name=f"AS-{name}")
+        self.sent = []
+
+    @property
+    def access_link(self):  # type: ignore[override]
+        host = self
+
+        class _FakeLink:
+            def send(self, packet):
+                host.sent.append(packet)
+
+        return _FakeLink()
+
+
+def incr(ts, link="L"):
+    return Feedback(FeedbackMode.MON, link, FeedbackAction.INCR, ts=ts, mac=b"abcd")
+
+
+def decr(ts, link="L"):
+    return Feedback(FeedbackMode.MON, link, FeedbackAction.DECR, ts=ts, mac=b"abcd")
+
+
+def nop(ts):
+    return Feedback(FeedbackMode.NOP, None, FeedbackAction.INCR, ts=ts, mac=b"abcd")
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    host = LoopbackHost(sim, "alice")
+    endhost = NetFenceEndHost(sim, host, params=NetFenceParams())
+    return sim, host, endhost
+
+
+def receive_with_returned(endhost, host, feedback, src="bob", flow_id="f1"):
+    packet = Packet(src=src, dst=host.name, flow_id=flow_id)
+    packet.set_header("netfence", NetFenceHeader(returned=feedback))
+    host.receive(packet, None)
+
+
+def test_packet_without_feedback_becomes_request(rig):
+    sim, host, endhost = rig
+    host.send(Packet(src="alice", dst="bob", flow_id="f1"))
+    assert host.sent[0].is_request
+    header = get_netfence_header(host.sent[0])
+    assert header is not None and header.feedback is None
+
+
+def test_request_priority_escalates_with_waiting_time(rig):
+    sim, host, endhost = rig
+    host.send(Packet(src="alice", dst="bob", flow_id="f1"))
+    assert host.sent[0].priority == 0
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    host.send(Packet(src="alice", dst="bob", flow_id="f1"))
+    # One second of waiting buys roughly level 10 (§6.3.1).
+    assert host.sent[1].priority == 10
+
+
+def test_fresh_feedback_turns_packets_regular(rig):
+    sim, host, endhost = rig
+    receive_with_returned(endhost, host, incr(ts=0.0))
+    host.send(Packet(src="alice", dst="bob", flow_id="f1"))
+    packet = host.sent[0]
+    assert packet.is_regular
+    assert get_netfence_header(packet).feedback.is_incr
+
+
+def test_presentation_prefers_unexpired_incr_over_newer_decr(rig):
+    sim, host, endhost = rig
+    receive_with_returned(endhost, host, incr(ts=0.0))
+    receive_with_returned(endhost, host, decr(ts=1.0))
+    host.send(Packet(src="alice", dst="bob", flow_id="f1"))
+    assert get_netfence_header(host.sent[0]).feedback.is_incr
+
+
+def test_presentation_uses_most_recent_between_nop_and_decr(rig):
+    sim, host, endhost = rig
+    receive_with_returned(endhost, host, nop(ts=0.0))
+    receive_with_returned(endhost, host, decr(ts=1.0))
+    host.send(Packet(src="alice", dst="bob", flow_id="f1"))
+    assert get_netfence_header(host.sent[0]).feedback.is_decr
+
+
+def test_expired_feedback_not_presented(rig):
+    sim, host, endhost = rig
+    receive_with_returned(endhost, host, incr(ts=0.0))
+    sim.schedule(10.0, lambda: None)
+    sim.run()  # w = 4 s, feedback from t=0 has expired
+    host.send(Packet(src="alice", dst="bob", flow_id="f1"))
+    assert host.sent[0].is_request
+
+
+def test_forward_feedback_is_returned_to_peer(rig):
+    sim, host, endhost = rig
+    inbound = Packet(src="bob", dst="alice", flow_id="f1")
+    inbound.set_header("netfence", NetFenceHeader(feedback=decr(ts=0.5)))
+    host.receive(inbound, None)
+    host.send(Packet(src="alice", dst="bob", flow_id="f1"))
+    header = get_netfence_header(host.sent[0])
+    assert header.returned is not None and header.returned.is_decr
+
+
+def test_return_policy_blocks_capability_for_unwanted_sender(rig):
+    """§3.3: a victim suppresses attack traffic by never returning feedback."""
+    sim, host, _ = rig
+    victim_host = LoopbackHost(sim, "victim")
+    NetFenceEndHost(sim, victim_host, params=NetFenceParams(),
+                    return_policy=ReturnPolicy(blocked={"mallory"}))
+    inbound = Packet(src="mallory", dst="victim", flow_id="f1")
+    inbound.set_header("netfence", NetFenceHeader(feedback=incr(ts=0.0)))
+    victim_host.receive(inbound, None)
+    victim_host.send(Packet(src="victim", dst="mallory", flow_id="f1"))
+    assert get_netfence_header(victim_host.sent[0]).returned is None
+
+
+def test_hide_decr_strategy_presents_nothing_when_only_decr_known(rig):
+    sim = Simulator()
+    host = LoopbackHost(sim, "attacker")
+    endhost = NetFenceEndHost(sim, host, params=NetFenceParams(),
+                              presentation_strategy="hide_decr")
+    receive_with_returned(endhost, host, decr(ts=0.0))
+    host.send(Packet(src="attacker", dst="bob", flow_id="f1"))
+    # Hiding L↓ leaves the attacker with nothing valid: the packet is demoted.
+    assert host.sent[0].is_request
+
+
+def test_dedicated_feedback_packets_for_one_way_flows():
+    sim = Simulator()
+    host = LoopbackHost(sim, "colluder")
+    endhost = NetFenceEndHost(sim, host, params=NetFenceParams(),
+                              send_feedback_packets=True,
+                              feedback_packet_interval=0.1)
+    inbound = Packet(src="attacker", dst="colluder", flow_id="udp:1")
+    inbound.set_header("netfence", NetFenceHeader(feedback=decr(ts=0.0)))
+    host.receive(inbound, None)
+    sim.run(until=0.3)
+    feedback_packets = [p for p in host.sent if p.protocol == "netfence-fb"]
+    assert feedback_packets
+    assert get_netfence_header(feedback_packets[0]).returned.is_decr
+
+
+def test_feedback_packets_swallowed_on_receive():
+    sim = Simulator()
+    host = LoopbackHost(sim, "attacker")
+    NetFenceEndHost(sim, host, params=NetFenceParams())
+    fb_packet = Packet(src="colluder", dst="attacker", flow_id="fb:x",
+                       protocol="netfence-fb")
+    fb_packet.set_header("netfence", NetFenceHeader(returned=incr(ts=0.0)))
+    host.receive(fb_packet, None)
+    assert host.orphan_packets == 0
+
+
+def test_per_flow_feedback_isolation():
+    sim = Simulator()
+    host = LoopbackHost(sim, "alice")
+    endhost = NetFenceEndHost(sim, host, params=NetFenceParams(), per_flow_feedback=True)
+    receive_with_returned(endhost, host, incr(ts=0.0), flow_id="flow-1")
+    # A different flow to the same peer must bootstrap on its own.
+    host.send(Packet(src="alice", dst="bob", flow_id="flow-2"))
+    assert host.sent[0].is_request
+    host.send(Packet(src="alice", dst="bob", flow_id="flow-1"))
+    assert host.sent[1].is_regular
+
+
+def test_legacy_packets_untouched(rig):
+    sim, host, endhost = rig
+    host.send(Packet(src="alice", dst="bob", ptype=PacketType.LEGACY))
+    assert host.sent[0].is_legacy
+    assert get_netfence_header(host.sent[0]) is None

@@ -1,0 +1,47 @@
+"""Tests for the NetFence header wire format (Fig. 6)."""
+
+from repro.core.feedback import Feedback, FeedbackAction, FeedbackMode
+from repro.core.header import NetFenceHeader, ensure_netfence_header, get_netfence_header
+from repro.simulator.packet import Packet
+
+
+def nop(ts=1.0):
+    return Feedback(FeedbackMode.NOP, None, FeedbackAction.INCR, ts=ts, mac=b"1234")
+
+
+def mon(ts=1.0, action=FeedbackAction.DECR):
+    return Feedback(FeedbackMode.MON, "L", action, ts=ts, mac=b"1234", token_nop=b"5678")
+
+
+def test_common_case_is_20_bytes():
+    # nop feedback both ways, return header present (§6.1).
+    header = NetFenceHeader(feedback=nop(), returned=nop())
+    assert header.wire_size() == 20
+
+
+def test_worst_case_is_28_bytes():
+    header = NetFenceHeader(feedback=mon(), returned=mon())
+    assert header.wire_size() == 28
+
+
+def test_return_header_omission_saves_8_bytes():
+    with_return = NetFenceHeader(feedback=nop(), returned=nop())
+    without_return = NetFenceHeader(feedback=nop(), returned=None)
+    assert with_return.wire_size() - without_return.wire_size() == 8
+
+
+def test_mon_forward_feedback_larger_than_nop():
+    assert NetFenceHeader(feedback=mon()).wire_size() > NetFenceHeader(feedback=nop()).wire_size()
+
+
+def test_header_accessors_on_packet():
+    packet = Packet(src="a", dst="b")
+    assert get_netfence_header(packet) is None
+    header = ensure_netfence_header(packet)
+    assert isinstance(header, NetFenceHeader)
+    assert get_netfence_header(packet) is header
+    assert ensure_netfence_header(packet) is header
+
+
+def test_empty_header_size_matches_nop_case():
+    assert NetFenceHeader().wire_size() == 12

@@ -1,0 +1,65 @@
+"""Tests for the Fig. 3 parameter set."""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS, NetFenceParams
+
+
+def test_fig3_values():
+    p = NetFenceParams()
+    assert p.l1_interval == pytest.approx(0.001)       # one level-1 packet per 1 ms
+    assert p.control_interval == pytest.approx(2.0)    # Ilim
+    assert p.feedback_expiration == pytest.approx(4.0)  # w
+    assert p.additive_increase_bps == pytest.approx(12_000)  # Δ
+    assert p.multiplicative_decrease == pytest.approx(0.1)   # δ
+    assert p.loss_threshold == pytest.approx(0.02)      # p_th
+    assert p.queue_limit_seconds == pytest.approx(0.2)  # Qlim
+    assert p.red_minthresh_fraction == pytest.approx(0.5)
+    assert p.red_maxthresh_fraction == pytest.approx(0.75)
+    assert p.red_wq == pytest.approx(0.1)
+
+
+def test_request_token_rate_derived_from_l1():
+    assert NetFenceParams().request_token_rate == pytest.approx(1000.0)
+
+
+def test_hysteresis_is_two_control_intervals():
+    p = NetFenceParams()
+    assert p.hysteresis_duration == pytest.approx(2 * p.control_interval)
+
+
+def test_scaled_shrinks_time_constants():
+    p = NetFenceParams().scaled(0.5)
+    assert p.control_interval == pytest.approx(1.0)
+    assert p.feedback_expiration == pytest.approx(2.0)
+    assert p.hysteresis_duration == pytest.approx(2.0)
+    # Non-time constants are untouched.
+    assert p.additive_increase_bps == pytest.approx(12_000)
+
+
+def test_scaled_rejects_nonpositive_factor():
+    with pytest.raises(ValueError):
+        NetFenceParams().scaled(0.0)
+
+
+def test_with_overrides_returns_modified_copy():
+    base = NetFenceParams()
+    changed = base.with_overrides(multiplicative_decrease=0.5)
+    assert changed.multiplicative_decrease == 0.5
+    assert base.multiplicative_decrease == 0.1
+
+
+def test_params_are_immutable():
+    with pytest.raises(Exception):
+        NetFenceParams().control_interval = 5.0  # type: ignore[misc]
+
+
+def test_default_params_singleton_matches_fresh_instance():
+    assert DEFAULT_PARAMS == NetFenceParams()
+
+
+def test_max_priority_level_is_affordable():
+    # The highest level's token cost must not exceed the bucket depth,
+    # otherwise a waiting sender could pick a level it can never pay for.
+    p = NetFenceParams()
+    assert 2 ** (p.max_priority_level - 1) <= p.request_token_depth

@@ -1,0 +1,132 @@
+"""Tests for the congestion quota extension (§7, Discussion)."""
+
+import pytest
+
+from repro.core.access import NetFenceAccessRouter
+from repro.core.domain import NetFenceDomain
+from repro.core.header import NetFenceHeader
+from repro.core.params import NetFenceParams
+from repro.core.quota import CongestionQuota, QuotaEnforcer
+from repro.simulator.packet import Packet, PacketType
+from repro.simulator.topology import Topology
+
+
+# ---------------------------------------------------------------------------
+# CongestionQuota accounting
+# ---------------------------------------------------------------------------
+
+def test_quota_charges_accumulate_until_exhaustion():
+    quota = CongestionQuota(quota_bytes=10_000)
+    quota.charge("s", "L", 6_000)
+    assert quota.allows("s", "L")
+    quota.charge("s", "L", 6_000)
+    assert not quota.allows("s", "L")
+    assert ("s", "L") in quota.exhausted_pairs
+
+
+def test_quota_is_per_sender_and_per_link():
+    quota = CongestionQuota(quota_bytes=1_000)
+    quota.charge("s", "L1", 2_000)
+    assert not quota.allows("s", "L1")
+    # Other links of the same sender, and other senders, are unaffected
+    # (the paper's point about not throttling traffic to healthy links).
+    assert quota.allows("s", "L2")
+    assert quota.allows("other", "L1")
+
+
+def test_quota_replenish_restores_allowance():
+    quota = CongestionQuota(quota_bytes=1_000)
+    quota.charge("s", "L", 5_000)
+    assert not quota.allows("s", "L")
+    quota.replenish()
+    assert quota.allows("s", "L")
+    # Lifetime accounting is preserved across replenishment.
+    assert quota.state_for("s", "L").total_spent_bytes == 5_000
+
+
+def test_quota_validation():
+    with pytest.raises(ValueError):
+        CongestionQuota(quota_bytes=0)
+    with pytest.raises(ValueError):
+        CongestionQuota(period_s=0)
+
+
+# ---------------------------------------------------------------------------
+# QuotaEnforcer on an access router
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def enforcer_rig():
+    params = NetFenceParams().with_overrides(control_interval=1.0)
+    domain = NetFenceDomain(params=params, master=b"quota")
+    domain.register_link("Rb->dst", "AS-core")
+    topo = Topology()
+    topo.add_host("src", as_name="AS-src")
+    topo.add_host("dst", as_name="AS-dst")
+    access = topo.add_router("Ra", as_name="AS-src", router_cls=NetFenceAccessRouter,
+                             domain=domain)
+    topo.add_router("Rb", as_name="AS-core")
+    topo.add_duplex_link("src", "Ra", 10e6, 0.001)
+    topo.add_duplex_link("Ra", "Rb", 10e6, 0.001)
+    topo.add_duplex_link("Rb", "dst", 10e6, 0.001)
+    topo.finalize()
+    quota = CongestionQuota(quota_bytes=30_000, period_s=1_000.0)
+    enforcer = QuotaEnforcer(topo.sim, access, quota=quota)
+    return topo, access, enforcer
+
+
+def packet_with_feedback(access, action="decr"):
+    if action == "decr":
+        # The sender keeps receiving L↓ from the congested bottleneck and
+        # honestly presents it (it has nothing better).
+        from repro.core.feedback import BottleneckStamper
+        nop = access.stamper.stamp_nop("src", "dst", access.sim.now)
+        feedback = BottleneckStamper(access.domain.key_registry, "AS-core").stamp_decr(
+            nop, "src", "dst", "AS-src", "Rb->dst")
+    else:
+        feedback = access.stamper.stamp_nop("src", "dst", access.sim.now)
+    packet = Packet(src="src", dst="dst", size_bytes=1500, ptype=PacketType.REGULAR,
+                    flow_id="f", src_as="AS-src")
+    packet.set_header("netfence", NetFenceHeader(feedback=feedback))
+    return packet
+
+
+def flood(topo, access, duration, rate_pps=40):
+    """Offer a steady stream of mon-feedback packets from the local host."""
+    from_link = topo.link_between("src", "Ra")
+    interval = 1.0 / rate_pps
+    stop_at = topo.sim.now + duration
+
+    def send():
+        access.receive(packet_with_feedback(access), from_link)
+        if topo.sim.now + interval < stop_at:
+            topo.sim.schedule(interval, send)
+
+    topo.sim.schedule(0.0, send)
+    topo.run(until=stop_at)
+
+
+def test_persistent_congestion_sender_charged_and_cut_off(enforcer_rig):
+    topo, access, enforcer = enforcer_rig
+    # The sender keeps flooding while its limiter repeatedly decreases
+    # (no incr feedback ever arrives), so its congestion quota drains.
+    flood(topo, access, duration=30.0)
+    limiter = access.limiter_for("src", "Rb->dst")
+    assert limiter is not None
+    assert limiter.stats.decreases > 0
+    state = enforcer.quota.state_for("src", "Rb->dst")
+    assert state.total_spent_bytes > 0
+    assert not enforcer.quota.allows("src", "Rb->dst")
+    assert enforcer.dropped_over_quota > 0
+
+
+def test_quota_not_charged_without_congestion(enforcer_rig):
+    topo, access, enforcer = enforcer_rig
+    # nop-feedback traffic is never rate limited, so no congestion traffic is
+    # charged no matter how much is sent.
+    from_link = topo.link_between("src", "Ra")
+    for _ in range(50):
+        access.receive(packet_with_feedback(access, action="nop"), from_link)
+    topo.run(until=5.0)
+    assert enforcer.quota.state_for("src", "Rb->dst").total_spent_bytes == 0
+    assert enforcer.dropped_over_quota == 0

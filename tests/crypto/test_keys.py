@@ -1,0 +1,50 @@
+"""Tests for access-router secrets and AS pairwise keys."""
+
+from repro.crypto.keys import AccessRouterSecret, ASKeyRegistry
+
+
+def test_secret_stable_within_rotation_interval():
+    secret = AccessRouterSecret("Ra", rotation_interval=100.0, master=b"m")
+    assert secret.current(10.0) == secret.current(99.0)
+
+
+def test_secret_rotates_across_intervals():
+    secret = AccessRouterSecret("Ra", rotation_interval=100.0, master=b"m")
+    assert secret.current(10.0) != secret.current(150.0)
+
+
+def test_candidates_include_previous_epoch():
+    secret = AccessRouterSecret("Ra", rotation_interval=100.0, master=b"m")
+    old = secret.current(90.0)
+    assert old in secret.candidates(110.0)
+
+
+def test_candidates_at_time_zero():
+    secret = AccessRouterSecret("Ra", rotation_interval=100.0, master=b"m")
+    assert secret.current(0.0) in secret.candidates(0.0)
+
+
+def test_different_routers_have_different_secrets():
+    a = AccessRouterSecret("Ra", master=b"m")
+    b = AccessRouterSecret("Rb", master=b"m")
+    assert a.current(0.0) != b.current(0.0)
+
+
+def test_as_keys_are_symmetric():
+    registry = ASKeyRegistry(master=b"m")
+    assert registry.key_for("AS1", "AS2") == registry.key_for("AS2", "AS1")
+
+
+def test_as_keys_differ_per_pair():
+    registry = ASKeyRegistry(master=b"m")
+    assert registry.key_for("AS1", "AS2") != registry.key_for("AS1", "AS3")
+
+
+def test_as_keys_differ_across_registries():
+    assert ASKeyRegistry(master=b"m1").key_for("A", "B") != \
+        ASKeyRegistry(master=b"m2").key_for("A", "B")
+
+
+def test_as_key_cached_instance_is_stable():
+    registry = ASKeyRegistry(master=b"m")
+    assert registry.key_for("A", "B") is registry.key_for("B", "A")

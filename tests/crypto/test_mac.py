@@ -1,0 +1,66 @@
+"""Tests for the keyed MAC primitive."""
+
+import pytest
+
+from repro.crypto.mac import MAC_BYTES, compute_mac, derive_key, mac_equal
+
+
+def test_mac_is_deterministic():
+    assert compute_mac(b"key", "a", "b", 1.0) == compute_mac(b"key", "a", "b", 1.0)
+
+
+def test_mac_default_length_matches_header_field():
+    assert len(compute_mac(b"key", "x")) == MAC_BYTES == 4
+
+
+def test_mac_changes_with_key():
+    assert compute_mac(b"key1", "a") != compute_mac(b"key2", "a")
+
+
+def test_mac_changes_with_any_field():
+    base = compute_mac(b"key", "src", "dst", 10.0, "link")
+    assert compute_mac(b"key", "src2", "dst", 10.0, "link") != base
+    assert compute_mac(b"key", "src", "dst2", 10.0, "link") != base
+    assert compute_mac(b"key", "src", "dst", 11.0, "link") != base
+    assert compute_mac(b"key", "src", "dst", 10.0, "link2") != base
+
+
+def test_mac_field_boundaries_are_unambiguous():
+    # Length-prefixing means ("ab", "c") and ("a", "bc") must differ.
+    assert compute_mac(b"key", "ab", "c") != compute_mac(b"key", "a", "bc")
+
+
+def test_mac_supports_mixed_field_types():
+    mac = compute_mac(b"key", "s", 42, 3.14, b"raw", None, True)
+    assert len(mac) == MAC_BYTES
+
+
+def test_mac_rejects_empty_key():
+    with pytest.raises(ValueError):
+        compute_mac(b"", "x")
+
+
+def test_mac_rejects_unsupported_type():
+    with pytest.raises(TypeError):
+        compute_mac(b"key", ["list"])
+
+
+def test_mac_custom_length():
+    assert len(compute_mac(b"key", "x", length=16)) == 16
+
+
+def test_mac_equal_constant_time_comparison():
+    mac = compute_mac(b"key", "x")
+    assert mac_equal(mac, bytes(mac))
+    assert not mac_equal(mac, b"\x00" * len(mac))
+
+
+def test_float_quantization_keeps_equal_timestamps_equal():
+    assert compute_mac(b"k", 1.000000) == compute_mac(b"k", 1.0)
+    assert compute_mac(b"k", 1.000001) != compute_mac(b"k", 1.000002)
+
+
+def test_derive_key_differs_per_label():
+    master = b"master"
+    assert derive_key(master, "a") != derive_key(master, "b")
+    assert len(derive_key(master, "a")) == 16

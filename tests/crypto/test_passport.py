@@ -1,0 +1,85 @@
+"""Tests for the simplified Passport source authentication substrate."""
+
+from repro.crypto.keys import ASKeyRegistry
+from repro.passport.passport import (
+    PASSPORT_HEADER_BYTES,
+    PassportHeader,
+    PassportStamper,
+    PassportValidator,
+)
+from repro.simulator.packet import Packet
+
+
+def make_packet():
+    return Packet(src="alice", dst="bob", size_bytes=1500, flow_id="f1", src_as="AS-src")
+
+
+def test_stamp_adds_macs_for_downstream_ases():
+    registry = ASKeyRegistry(master=b"m")
+    stamper = PassportStamper(registry, "AS-src")
+    packet = make_packet()
+    header = stamper.stamp(packet, ["AS-src", "AS-transit", "AS-dst"])
+    assert set(header.macs) == {"AS-transit", "AS-dst"}
+    assert packet.get_header("passport") is header
+
+
+def test_validator_accepts_authentic_packet():
+    registry = ASKeyRegistry(master=b"m")
+    stamper = PassportStamper(registry, "AS-src")
+    packet = make_packet()
+    stamper.stamp(packet, ["AS-transit", "AS-dst"])
+    assert PassportValidator(registry, "AS-transit").validate(packet)
+    # The transit AS consumed its MAC; the destination AS can still validate.
+    assert PassportValidator(registry, "AS-dst").validate(packet)
+
+
+def test_validator_rejects_spoofed_source_as():
+    registry = ASKeyRegistry(master=b"m")
+    packet = make_packet()
+    # The attacker claims to be AS-victim but only knows its own keys.
+    attacker_stamper = PassportStamper(registry, "AS-src")
+    header = attacker_stamper.stamp(packet, ["AS-transit"])
+    header.source_as = "AS-victim"
+    assert not PassportValidator(registry, "AS-transit").validate(packet)
+
+
+def test_validator_rejects_tampered_packet():
+    registry = ASKeyRegistry(master=b"m")
+    stamper = PassportStamper(registry, "AS-src")
+    packet = make_packet()
+    stamper.stamp(packet, ["AS-transit"])
+    packet.size_bytes += 100  # on-path size inflation (§5.2.2)
+    assert not PassportValidator(registry, "AS-transit").validate(packet)
+
+
+def test_validator_rejects_packet_without_header():
+    registry = ASKeyRegistry(master=b"m")
+    assert not PassportValidator(registry, "AS-transit").validate(make_packet())
+
+
+def test_validator_rejects_missing_mac_for_local_as():
+    registry = ASKeyRegistry(master=b"m")
+    stamper = PassportStamper(registry, "AS-src")
+    packet = make_packet()
+    stamper.stamp(packet, ["AS-dst"])  # no MAC for AS-transit
+    assert not PassportValidator(registry, "AS-transit").validate(packet)
+
+
+def test_validation_counters():
+    registry = ASKeyRegistry(master=b"m")
+    stamper = PassportStamper(registry, "AS-src")
+    validator = PassportValidator(registry, "AS-transit")
+    good = make_packet()
+    stamper.stamp(good, ["AS-transit"])
+    validator.validate(good)
+    validator.validate(make_packet())  # missing header: not counted as rejected
+    bad = make_packet()
+    stamper.stamp(bad, ["AS-other"])
+    validator.validate(bad)
+    assert validator.validated == 1
+    assert validator.rejected == 1
+
+
+def test_header_wire_size_constant():
+    header = PassportHeader(source_as="AS-src")
+    assert header.wire_size() == PASSPORT_HEADER_BYTES == 24

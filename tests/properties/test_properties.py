@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.convergence import AimdFluidModel, FluidSender, fair_share_lower_bound
+from repro.analysis.metrics import jain_fairness_index
+from repro.core.aslevel import max_min_fair_shares
+from repro.core.feedback import FeedbackStamper
+from repro.core.params import NetFenceParams
+from repro.core.ratelimiter import RegularRateLimiter, RequestRateLimiter
+from repro.crypto.keys import AccessRouterSecret, ASKeyRegistry
+from repro.crypto.mac import compute_mac
+from repro.simulator.engine import Simulator
+from repro.simulator.fairqueue import DRRQueue
+from repro.simulator.packet import Packet, PacketType
+from repro.simulator.queues import DropTailQueue, LevelPriorityQueue
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e9,
+                          allow_nan=False, allow_infinity=False), min_size=1, max_size=50))
+def test_jain_index_always_within_bounds(values):
+    index = jain_fairness_index(values)
+    assert 0.0 <= index <= 1.0 + 1e-9
+    if any(v > 0 for v in values):
+        assert index >= 1.0 / len(values) - 1e-9
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=1e6, allow_nan=False), min_size=1,
+                max_size=20),
+       st.floats(min_value=0.01, max_value=1000.0))
+def test_jain_index_scale_invariance(values, factor):
+    assert math.isclose(jain_fairness_index(values),
+                        jain_fairness_index([v * factor for v in values]),
+                        rel_tol=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Max-min fairness
+# ---------------------------------------------------------------------------
+
+@given(
+    st.floats(min_value=1.0, max_value=1e7),
+    st.dictionaries(st.text(min_size=1, max_size=5),
+                    st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+                    min_size=1, max_size=10),
+)
+def test_max_min_shares_never_exceed_capacity_or_demand(capacity, demands):
+    shares = max_min_fair_shares(capacity, demands)
+    assert sum(shares.values()) <= capacity * (1 + 1e-6) + 1e-6
+    for key, share in shares.items():
+        assert share <= demands[key] + 1e-6 or math.isclose(share, demands[key], rel_tol=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# MAC
+# ---------------------------------------------------------------------------
+
+@given(st.binary(min_size=1, max_size=32), st.text(max_size=20), st.text(max_size=20))
+def test_mac_deterministic_and_sensitive(key, a, b):
+    mac1 = compute_mac(key, a, b)
+    assert mac1 == compute_mac(key, a, b)
+    if a != b:
+        assert compute_mac(key, a, b) != compute_mac(key, b, a) or a == b
+
+
+@given(st.text(min_size=1, max_size=10), st.text(min_size=1, max_size=10),
+       st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+def test_feedback_round_trip_always_validates(src, dst, ts):
+    secret = AccessRouterSecret("Ra", master=b"prop")
+    stamper = FeedbackStamper(secret, ASKeyRegistry(master=b"prop"), "AS")
+    nop = stamper.stamp_nop(src, dst, ts)
+    assert stamper.validate(nop, src, dst, ts, expiration=4.0)
+
+
+# ---------------------------------------------------------------------------
+# Queues
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=40, max_value=1500), min_size=1, max_size=60))
+def test_droptail_conservation(sizes):
+    queue = DropTailQueue(capacity_bytes=20_000)
+    accepted = 0
+    for size in sizes:
+        if queue.enqueue(Packet(src="s", dst="d", size_bytes=size)):
+            accepted += 1
+    drained = 0
+    while queue.dequeue() is not None:
+        drained += 1
+    assert drained == accepted
+    assert queue.stats.dropped == len(sizes) - accepted
+
+
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                          st.integers(min_value=100, max_value=1500)),
+                min_size=1, max_size=80))
+def test_drr_conservation_and_no_reordering_within_flow(items):
+    queue = DRRQueue(per_flow_capacity_bytes=10**6)
+    sent = {"a": [], "b": [], "c": []}
+    for flow, size in items:
+        packet = Packet(src=flow, dst="d", size_bytes=size)
+        if queue.enqueue(packet):
+            sent[flow].append(packet.uid)
+    received = {"a": [], "b": [], "c": []}
+    while True:
+        packet = queue.dequeue()
+        if packet is None:
+            break
+        received[packet.src].append(packet.uid)
+    assert received == sent  # per-flow FIFO order and conservation
+
+
+@given(st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=50))
+def test_level_priority_queue_serves_highest_first(levels):
+    queue = LevelPriorityQueue(capacity_bytes=10**6, max_level=12)
+    for level in levels:
+        queue.enqueue(Packet(src="s", dst="d", size_bytes=92,
+                             ptype=PacketType.REQUEST, priority=level))
+    served = []
+    while True:
+        packet = queue.dequeue()
+        if packet is None:
+            break
+        served.append(packet.priority)
+    assert served == sorted(levels, reverse=True)
+
+
+# ---------------------------------------------------------------------------
+# Rate limiters
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=12))
+@settings(max_examples=20)
+def test_request_limiter_admission_rate_bounded(level):
+    params = NetFenceParams()
+    limiter = RequestRateLimiter(params)
+    duration = 2.0
+    arrivals = 4000
+    admitted = sum(
+        limiter.admit(Packet(src="s", dst="d", size_bytes=92,
+                             ptype=PacketType.REQUEST, priority=level),
+                      now=i * duration / arrivals)
+        for i in range(arrivals)
+    )
+    max_sustained = params.request_token_rate * duration / (2 ** (level - 1))
+    assert admitted <= max_sustained + params.request_token_depth / (2 ** (level - 1)) + 1
+
+
+@given(st.integers(min_value=2, max_value=30), st.integers(min_value=1, max_value=9))
+@settings(max_examples=20)
+def test_regular_limiter_never_decreases_below_zero(decreases, tenths):
+    sim = Simulator()
+    params = NetFenceParams().with_overrides(multiplicative_decrease=tenths / 10)
+    limiter = RegularRateLimiter(sim, "s", "L", params, release_fn=lambda p: None)
+    for _ in range(decreases):
+        limiter.adjust()
+    assert limiter.rate_bps > 0
+
+
+# ---------------------------------------------------------------------------
+# Fluid model / theorem
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=20),
+       st.integers(min_value=0, max_value=6))
+@settings(max_examples=15, deadline=None)
+def test_fluid_model_fair_share_bound_random_on_off(num_good, num_bad, off_intervals):
+    capacity = 2e6
+
+    def attack(i, off=off_intervals):
+        if off == 0:
+            return capacity
+        return capacity if (i % (off + 1)) == 0 else 0.0
+
+    good = [FluidSender(name=f"g{i}") for i in range(num_good)]
+    bad = [FluidSender(name=f"b{i}", is_legitimate=False, demand_fn=attack)
+           for i in range(num_bad)]
+    model = AimdFluidModel(capacity, good + bad)
+    model.run(300)
+    bound = fair_share_lower_bound(capacity, num_good, num_bad, delta=0.1)
+    for sender in good:
+        assert model.average_rate(sender, last_intervals=150) >= bound * 0.999

@@ -1,0 +1,160 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulator.engine import PeriodicTimer, Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_events_run_in_time_order(sim):
+    order = []
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order(sim):
+    order = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1.0, order.append, label)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time(sim):
+    times = []
+    sim.schedule(0.5, lambda: times.append(sim.now))
+    sim.schedule(1.25, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [0.5, 1.25]
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run(until=10.0)
+    assert fired == [1, 5]
+
+
+def test_run_until_executes_events_at_exact_boundary(sim):
+    fired = []
+    sim.schedule(2.0, fired.append, "boundary")
+    sim.run(until=2.0)
+    assert fired == ["boundary"]
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_via_simulator_helper_accepts_none(sim):
+    sim.cancel(None)  # must not raise
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_the_past_rejected(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_events_scheduled_during_run_are_executed(sim):
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_stop_halts_processing(sim):
+    fired = []
+
+    def stopper():
+        fired.append("stop")
+        sim.stop()
+
+    sim.schedule(1.0, stopper)
+    sim.schedule(2.0, fired.append, "late")
+    sim.run()
+    assert fired == ["stop"]
+
+
+def test_events_processed_counter(sim):
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_reset_clears_queue_and_clock(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.reset()
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+
+
+def test_max_events_limits_execution(sim):
+    fired = []
+    for i in range(10):
+        sim.schedule(i + 1.0, fired.append, i)
+    sim.run(max_events=4)
+    assert len(fired) == 4
+
+
+def test_run_until_with_empty_queue_advances_clock(sim):
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+
+
+def test_periodic_timer_fires_repeatedly(sim):
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    timer.start()
+    sim.run(until=4.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_periodic_timer_stop(sim):
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    timer.start()
+    sim.schedule(2.5, timer.stop)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+
+
+def test_periodic_timer_custom_first_delay(sim):
+    ticks = []
+    timer = PeriodicTimer(sim, 2.0, lambda: ticks.append(sim.now), first_delay=0.5)
+    timer.start()
+    sim.run(until=5.0)
+    assert ticks == [0.5, 2.5, 4.5]
+
+
+def test_periodic_timer_rejects_nonpositive_interval(sim):
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 0.0, lambda: None)

@@ -1,0 +1,162 @@
+"""Tests for DRR and hierarchical fair queuing."""
+
+from repro.simulator.fairqueue import (
+    DRRQueue,
+    HierarchicalFairQueue,
+    per_destination_key,
+    per_sender_key,
+    per_source_as_key,
+)
+from repro.simulator.packet import Packet
+
+
+def make_packet(src="s", dst="d", size=1500, src_as=None):
+    return Packet(src=src, dst=dst, size_bytes=size, src_as=src_as)
+
+
+def drain(queue, count=None):
+    out = []
+    while True:
+        packet = queue.dequeue()
+        if packet is None:
+            break
+        out.append(packet)
+        if count is not None and len(out) >= count:
+            break
+    return out
+
+
+def test_key_functions():
+    packet = make_packet(src="alice", dst="bob", src_as="AS1")
+    assert per_sender_key(packet) == "alice"
+    assert per_destination_key(packet) == "bob"
+    assert per_source_as_key(packet) == "AS1"
+
+
+def test_source_as_key_falls_back_to_sender():
+    packet = make_packet(src="alice", dst="bob", src_as=None)
+    assert per_source_as_key(packet) == "alice"
+
+
+def test_drr_single_flow_is_fifo():
+    queue = DRRQueue()
+    packets = [make_packet(src="a") for _ in range(4)]
+    for packet in packets:
+        queue.enqueue(packet)
+    assert [p.uid for p in drain(queue)] == [p.uid for p in packets]
+
+
+def test_drr_shares_service_between_flows():
+    queue = DRRQueue(per_flow_capacity_bytes=100 * 1500)
+    # Flow "hog" has 50 packets queued, flow "mouse" has 5.
+    for _ in range(50):
+        queue.enqueue(make_packet(src="hog"))
+    for _ in range(5):
+        queue.enqueue(make_packet(src="mouse"))
+    first_ten = drain(queue, count=10)
+    mouse_served = sum(1 for p in first_ten if p.src == "mouse")
+    assert mouse_served >= 4  # roughly alternating service
+
+
+def test_drr_respects_per_flow_capacity():
+    queue = DRRQueue(per_flow_capacity_bytes=3 * 1500)
+    accepted = sum(queue.enqueue(make_packet(src="a")) for _ in range(10))
+    assert accepted == 3
+    assert queue.stats.dropped == 7
+
+
+def test_drr_byte_and_packet_counts():
+    queue = DRRQueue()
+    queue.enqueue(make_packet(src="a", size=1000))
+    queue.enqueue(make_packet(src="b", size=500))
+    assert len(queue) == 2
+    assert queue.byte_length == 1500
+    queue.dequeue()
+    assert len(queue) == 1
+
+
+def test_drr_active_flows():
+    queue = DRRQueue()
+    queue.enqueue(make_packet(src="a"))
+    queue.enqueue(make_packet(src="b"))
+    assert queue.active_flows == 2
+    drain(queue)
+    assert queue.active_flows == 0
+
+
+def test_drr_fairness_with_unequal_packet_sizes():
+    # Flow "big" sends 1500-byte packets, flow "small" 500-byte packets; over a
+    # long drain both should receive roughly equal *bytes* of service.
+    queue = DRRQueue(per_flow_capacity_bytes=1_000_000)
+    for _ in range(300):
+        queue.enqueue(make_packet(src="big", size=1500))
+    for _ in range(900):
+        queue.enqueue(make_packet(src="small", size=500))
+    served = drain(queue, count=600)
+    big_bytes = sum(p.size_bytes for p in served if p.src == "big")
+    small_bytes = sum(p.size_bytes for p in served if p.src == "small")
+    assert abs(big_bytes - small_bytes) / max(big_bytes, small_bytes) < 0.1
+
+
+def test_drr_max_flows_limit():
+    queue = DRRQueue(max_flows=2)
+    assert queue.enqueue(make_packet(src="a"))
+    assert queue.enqueue(make_packet(src="b"))
+    assert not queue.enqueue(make_packet(src="c"))
+
+
+def test_drr_interleaves_many_flows():
+    queue = DRRQueue()
+    for flow in ("a", "b", "c"):
+        for _ in range(3):
+            queue.enqueue(make_packet(src=flow))
+    served = [p.src for p in drain(queue, count=3)]
+    assert set(served) == {"a", "b", "c"}
+
+
+# ---------------------------------------------------------------------------
+# HierarchicalFairQueue
+# ---------------------------------------------------------------------------
+
+def test_hierarchical_shares_across_ases_first():
+    queue = HierarchicalFairQueue(per_flow_capacity_bytes=1_000_000)
+    # AS1 has ten senders with lots of traffic; AS2 has one sender.
+    for sender in range(10):
+        for _ in range(20):
+            queue.enqueue(make_packet(src=f"as1_h{sender}", src_as="AS1"))
+    for _ in range(50):
+        queue.enqueue(make_packet(src="as2_h0", src_as="AS2"))
+    served = drain(queue, count=40)
+    as2_share = sum(1 for p in served if p.src_as == "AS2") / len(served)
+    assert 0.35 <= as2_share <= 0.65  # level-1 fairness: ~half the service
+
+
+def test_hierarchical_within_as_is_per_sender_fair():
+    queue = HierarchicalFairQueue(per_flow_capacity_bytes=1_000_000)
+    for _ in range(50):
+        queue.enqueue(make_packet(src="hog", src_as="AS1"))
+    for _ in range(10):
+        queue.enqueue(make_packet(src="mouse", src_as="AS1"))
+    served = drain(queue, count=16)
+    assert sum(1 for p in served if p.src == "mouse") >= 6
+
+
+def test_hierarchical_counts():
+    queue = HierarchicalFairQueue()
+    queue.enqueue(make_packet(src="a", src_as="AS1"))
+    queue.enqueue(make_packet(src="b", src_as="AS2"))
+    assert len(queue) == 2
+    assert queue.active_level1_buckets == 2
+    drain(queue)
+    assert len(queue) == 0
+
+
+def test_hierarchical_per_flow_capacity_enforced():
+    queue = HierarchicalFairQueue(per_flow_capacity_bytes=2 * 1500)
+    accepted = sum(queue.enqueue(make_packet(src="a", src_as="AS1")) for _ in range(5))
+    assert accepted == 2
+    assert queue.stats.dropped == 3
+
+
+def test_hierarchical_empty_dequeue():
+    assert HierarchicalFairQueue().dequeue() is None

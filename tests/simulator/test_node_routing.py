@@ -1,0 +1,151 @@
+"""Tests for hosts, routers, routing, and topology construction."""
+
+import pytest
+
+from repro.simulator.node import Host, Router
+from repro.simulator.packet import Packet, PacketType
+from repro.simulator.topology import Topology, dumbbell_layout, parking_lot_layout
+from repro.simulator.trace import ThroughputMonitor
+from repro.transport.udp import UdpSender, UdpSink
+
+
+def build_line_topology():
+    """a --- R1 --- R2 --- b"""
+    topo = Topology()
+    topo.add_host("a", as_name="AS-a")
+    topo.add_host("b", as_name="AS-b")
+    topo.add_router("R1", as_name="AS-a")
+    topo.add_router("R2", as_name="AS-b")
+    topo.add_duplex_link("a", "R1", 10e6, 0.001)
+    topo.add_duplex_link("R1", "R2", 10e6, 0.001)
+    topo.add_duplex_link("R2", "b", 10e6, 0.001)
+    topo.finalize()
+    return topo
+
+
+def test_routing_tables_point_toward_destinations():
+    topo = build_line_topology()
+    r1 = topo.router("R1")
+    assert r1.route_for(Packet(src="a", dst="b")).dst_node.name == "R2"
+    assert r1.route_for(Packet(src="b", dst="a")).dst_node.name == "a"
+
+
+def test_local_hosts_registered_on_access_router():
+    topo = build_line_topology()
+    assert "a" in topo.router("R1").local_hosts
+    assert "b" in topo.router("R2").local_hosts
+    assert "a" not in topo.router("R2").local_hosts
+
+
+def test_end_to_end_delivery_through_routers():
+    topo = build_line_topology()
+    monitor = ThroughputMonitor(topo.sim)
+    UdpSink(topo.sim, topo.host("b"), monitor=monitor)
+    sender = UdpSender(topo.sim, topo.host("a"), "b", rate_bps=1e6)
+    sender.start()
+    topo.run(until=1.0)
+    assert monitor.records["a"].packets_received > 50
+
+
+def test_packet_to_unknown_destination_is_dropped():
+    topo = build_line_topology()
+    r1 = topo.router("R1")
+    before = r1.packets_dropped
+    r1.receive(Packet(src="a", dst="nowhere"), None)
+    assert r1.packets_dropped == before + 1
+
+
+def test_admit_from_host_false_drops_packet():
+    class DenyRouter(Router):
+        def admit_from_host(self, packet, from_link):
+            return False
+
+    topo = Topology()
+    topo.add_host("a", as_name="A")
+    topo.add_host("b", as_name="B")
+    topo.add_router("R", router_cls=DenyRouter)
+    topo.add_duplex_link("a", "R", 1e6, 0.001)
+    topo.add_duplex_link("R", "b", 1e6, 0.001)
+    topo.finalize()
+    sink = UdpSink(topo.sim, topo.host("b"))
+    UdpSender(topo.sim, topo.host("a"), "b", rate_bps=1e6).start()
+    topo.run(until=0.5)
+    assert sink.packets_received == 0
+
+
+def test_host_orphan_packets_counted():
+    topo = build_line_topology()
+    host = topo.host("b")
+    host.receive(Packet(src="a", dst="b", flow_id="no-agent"), None)
+    assert host.orphan_packets == 1
+
+
+def test_host_outbound_filter_can_swallow():
+    topo = build_line_topology()
+    host = topo.host("a")
+    host.outbound_filters.append(lambda packet: False)
+    host.send(Packet(src="a", dst="b"))
+    assert host.packets_sent == 0
+
+
+def test_host_inbound_filter_can_swallow():
+    topo = build_line_topology()
+    host = topo.host("b")
+    host.inbound_filters.append(lambda packet: False)
+    host.receive(Packet(src="a", dst="b"), None)
+    assert host.orphan_packets == 0  # swallowed before agent dispatch
+
+
+def test_host_source_as_filled_on_send():
+    topo = build_line_topology()
+    host = topo.host("a")
+    packet = Packet(src="a", dst="b")
+    host.send(packet)
+    assert packet.src_as == "AS-a"
+
+
+def test_duplicate_node_name_rejected():
+    topo = Topology()
+    topo.add_host("x")
+    with pytest.raises(ValueError):
+        topo.add_host("x")
+
+
+def test_host_and_router_lookup_type_checked():
+    topo = build_line_topology()
+    with pytest.raises(TypeError):
+        topo.host("R1")
+    with pytest.raises(TypeError):
+        topo.router("a")
+
+
+def test_dumbbell_layout_structure():
+    topo = Topology()
+    layout = dumbbell_layout(topo, num_source_as=3, hosts_per_as=2, num_receivers=2,
+                             bottleneck_bps=1e6)
+    assert len(layout.senders) == 6
+    assert len(layout.access_routers) == 3
+    assert len(layout.receivers) == 2
+    assert layout.bottleneck_link.capacity_bps == 1e6
+    # Every sender must route through the bottleneck to reach the receivers.
+    ra0 = topo.router("Ra0")
+    link = ra0.route_for(Packet(src=layout.senders[0], dst=layout.receivers[0]))
+    assert link.dst_node.name == "Rbl"
+
+
+def test_parking_lot_layout_structure():
+    topo = Topology()
+    layout = parking_lot_layout(topo, hosts_per_group=2, l1_bps=1e6, l2_bps=2e6)
+    assert len(layout.group_a) == len(layout.group_b) == len(layout.group_c) == 2
+    assert layout.bottleneck1.capacity_bps == 1e6
+    assert layout.bottleneck2.capacity_bps == 2e6
+    # Group A reaches its receivers through both bottlenecks.
+    r1 = topo.router("R1")
+    first_hop = r1.route_for(Packet(src="a0", dst=layout.receivers_ab[0]))
+    assert first_hop.dst_node.name == "R2"
+    r2 = topo.router("R2")
+    second_hop = r2.route_for(Packet(src="a0", dst=layout.receivers_ab[0]))
+    assert second_hop.dst_node.name == "R3"
+    # Group C traffic leaves the parking lot at R2.
+    hop_c = r1.route_for(Packet(src="c0", dst=layout.receivers_c[0]))
+    assert hop_c.dst_node.name == "R2"

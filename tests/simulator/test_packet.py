@@ -1,0 +1,58 @@
+"""Tests for packets and header bookkeeping."""
+
+from repro.simulator.packet import (
+    ACK_PACKET_SIZE,
+    DATA_PACKET_SIZE,
+    REQUEST_PACKET_SIZE,
+    Packet,
+    PacketType,
+)
+
+
+def test_default_packet_is_regular_data_size():
+    packet = Packet(src="a", dst="b")
+    assert packet.is_regular
+    assert packet.size_bytes == DATA_PACKET_SIZE
+
+
+def test_packet_uids_are_unique():
+    first = Packet(src="a", dst="b")
+    second = Packet(src="a", dst="b")
+    assert first.uid != second.uid
+
+
+def test_packet_type_predicates():
+    request = Packet(src="a", dst="b", ptype=PacketType.REQUEST)
+    legacy = Packet(src="a", dst="b", ptype=PacketType.LEGACY)
+    assert request.is_request and not request.is_regular and not request.is_legacy
+    assert legacy.is_legacy and not legacy.is_request
+
+
+def test_headers_set_and_get():
+    packet = Packet(src="a", dst="b")
+    packet.set_header("netfence", {"x": 1})
+    assert packet.get_header("netfence") == {"x": 1}
+    assert packet.get_header("missing") is None
+
+
+def test_copy_for_reply_swaps_addressing():
+    packet = Packet(src="a", dst="b", flow_id="f1", src_as="AS-a", dst_as="AS-b",
+                    protocol="tcp")
+    reply = packet.copy_for_reply()
+    assert (reply.src, reply.dst) == ("b", "a")
+    assert (reply.src_as, reply.dst_as) == ("AS-b", "AS-a")
+    assert reply.flow_id == "f1"
+    assert reply.size_bytes == ACK_PACKET_SIZE
+
+
+def test_copy_for_reply_does_not_share_headers():
+    packet = Packet(src="a", dst="b")
+    packet.set_header("h", object())
+    reply = packet.copy_for_reply()
+    assert reply.get_header("h") is None
+
+
+def test_paper_packet_size_constants():
+    # §4.6: a request packet is 92 bytes (40 TCP/IP + 28 NetFence + 24 Passport).
+    assert REQUEST_PACKET_SIZE == 92
+    assert DATA_PACKET_SIZE == 1500

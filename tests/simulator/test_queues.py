@@ -1,0 +1,217 @@
+"""Tests for DropTail, RED, level-priority, and channel queues."""
+
+import random
+
+import pytest
+
+from repro.simulator.packet import Packet, PacketType
+from repro.simulator.queues import (
+    DropTailQueue,
+    LevelPriorityQueue,
+    PriorityChannelQueue,
+    REDQueue,
+)
+
+
+def make_packet(size=1500, ptype=PacketType.REGULAR, priority=0, src="s", dst="d"):
+    return Packet(src=src, dst=dst, size_bytes=size, ptype=ptype, priority=priority)
+
+
+# ---------------------------------------------------------------------------
+# DropTail
+# ---------------------------------------------------------------------------
+
+def test_droptail_fifo_order():
+    queue = DropTailQueue(capacity_bytes=10_000)
+    packets = [make_packet() for _ in range(3)]
+    for packet in packets:
+        assert queue.enqueue(packet)
+    assert [queue.dequeue().uid for _ in range(3)] == [p.uid for p in packets]
+
+
+def test_droptail_drops_when_full():
+    queue = DropTailQueue(capacity_bytes=3_000)
+    assert queue.enqueue(make_packet())
+    assert queue.enqueue(make_packet())
+    assert not queue.enqueue(make_packet())
+    assert queue.stats.dropped == 1
+    assert queue.stats.enqueued == 2
+
+
+def test_droptail_byte_length_tracks_contents():
+    queue = DropTailQueue(capacity_bytes=10_000)
+    queue.enqueue(make_packet(size=500))
+    queue.enqueue(make_packet(size=700))
+    assert queue.byte_length == 1200
+    queue.dequeue()
+    assert queue.byte_length == 700
+
+
+def test_droptail_dequeue_empty_returns_none():
+    queue = DropTailQueue(capacity_bytes=1_000)
+    assert queue.dequeue() is None
+
+
+def test_droptail_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        DropTailQueue(capacity_bytes=0)
+
+
+def test_droptail_drop_callback_invoked():
+    dropped = []
+    queue = DropTailQueue(capacity_bytes=1_500)
+    queue.drop_callback = dropped.append
+    queue.enqueue(make_packet())
+    queue.enqueue(make_packet())
+    assert len(dropped) == 1
+
+
+# ---------------------------------------------------------------------------
+# RED
+# ---------------------------------------------------------------------------
+
+def test_red_accepts_when_queue_short():
+    queue = REDQueue(capacity_bytes=50 * 1500)
+    for _ in range(5):
+        assert queue.enqueue(make_packet())
+    assert queue.stats.dropped == 0
+
+
+def test_red_average_queue_tracks_occupancy():
+    queue = REDQueue(capacity_bytes=50 * 1500, wq=0.5)
+    for _ in range(10):
+        queue.enqueue(make_packet())
+    assert queue.avg_queue > 0
+
+
+def test_red_drops_probabilistically_between_thresholds():
+    rng = random.Random(1)
+    queue = REDQueue(capacity_bytes=20 * 1500, wq=1.0, max_p=0.5, rng=rng)
+    drops = 0
+    for _ in range(200):
+        if not queue.enqueue(make_packet()):
+            drops += 1
+        if len(queue) > 12:
+            queue.dequeue()
+    assert drops > 0
+
+
+def test_red_congested_flag_reflects_average():
+    queue = REDQueue(capacity_bytes=10 * 1500, wq=1.0)
+    assert not queue.congested
+    for _ in range(8):
+        queue.enqueue(make_packet())
+    assert queue.congested
+
+
+def test_red_never_exceeds_physical_capacity():
+    queue = REDQueue(capacity_bytes=5 * 1500, wq=0.0)  # wq=0 disables early drop
+    for _ in range(10):
+        queue.enqueue(make_packet())
+    assert queue.byte_length <= 5 * 1500
+
+
+def test_red_invalid_thresholds_rejected():
+    with pytest.raises(ValueError):
+        REDQueue(capacity_bytes=1000, minthresh_fraction=0.8, maxthresh_fraction=0.5)
+
+
+# ---------------------------------------------------------------------------
+# LevelPriorityQueue (request channel, §4.2)
+# ---------------------------------------------------------------------------
+
+def test_level_priority_serves_higher_levels_first():
+    queue = LevelPriorityQueue(capacity_bytes=10_000)
+    low = make_packet(size=92, ptype=PacketType.REQUEST, priority=0)
+    high = make_packet(size=92, ptype=PacketType.REQUEST, priority=5)
+    queue.enqueue(low)
+    queue.enqueue(high)
+    assert queue.dequeue() is high
+    assert queue.dequeue() is low
+
+
+def test_level_priority_fifo_within_level():
+    queue = LevelPriorityQueue(capacity_bytes=10_000)
+    first = make_packet(size=92, ptype=PacketType.REQUEST, priority=3)
+    second = make_packet(size=92, ptype=PacketType.REQUEST, priority=3)
+    queue.enqueue(first)
+    queue.enqueue(second)
+    assert queue.dequeue() is first
+
+
+def test_level_priority_evicts_lower_level_when_full():
+    queue = LevelPriorityQueue(capacity_bytes=200)
+    low_packets = [make_packet(size=92, ptype=PacketType.REQUEST, priority=0)
+                   for _ in range(2)]
+    for packet in low_packets:
+        assert queue.enqueue(packet)
+    high = make_packet(size=92, ptype=PacketType.REQUEST, priority=7)
+    assert queue.enqueue(high)
+    # One low-priority packet must have been evicted to make room.
+    assert queue.stats.dropped == 1
+    assert queue.dequeue() is high
+
+
+def test_level_priority_drops_equal_priority_arrival_when_full():
+    queue = LevelPriorityQueue(capacity_bytes=184)
+    assert queue.enqueue(make_packet(size=92, ptype=PacketType.REQUEST, priority=2))
+    assert queue.enqueue(make_packet(size=92, ptype=PacketType.REQUEST, priority=2))
+    assert not queue.enqueue(make_packet(size=92, ptype=PacketType.REQUEST, priority=2))
+
+
+def test_level_priority_empty_dequeue():
+    assert LevelPriorityQueue().dequeue() is None
+
+
+# ---------------------------------------------------------------------------
+# PriorityChannelQueue
+# ---------------------------------------------------------------------------
+
+def _channel_queue():
+    return PriorityChannelQueue(
+        channels=["request", "regular", "legacy"],
+        queues={
+            "request": DropTailQueue(capacity_bytes=10_000),
+            "regular": DropTailQueue(capacity_bytes=10_000),
+            "legacy": DropTailQueue(capacity_bytes=10_000),
+        },
+    )
+
+
+def test_channel_queue_classifies_by_packet_type():
+    queue = _channel_queue()
+    queue.enqueue(make_packet(ptype=PacketType.REGULAR))
+    queue.enqueue(make_packet(ptype=PacketType.LEGACY))
+    queue.enqueue(make_packet(size=92, ptype=PacketType.REQUEST))
+    assert queue.channel_length("request") == 1
+    assert queue.channel_length("regular") == 1
+    assert queue.channel_length("legacy") == 1
+
+
+def test_channel_queue_strict_priority_order():
+    queue = _channel_queue()
+    legacy = make_packet(ptype=PacketType.LEGACY)
+    regular = make_packet(ptype=PacketType.REGULAR)
+    request = make_packet(size=92, ptype=PacketType.REQUEST)
+    queue.enqueue(legacy)
+    queue.enqueue(regular)
+    queue.enqueue(request)
+    assert queue.dequeue() is request
+    assert queue.dequeue() is regular
+    assert queue.dequeue() is legacy
+
+
+def test_channel_queue_mismatched_channels_rejected():
+    with pytest.raises(ValueError):
+        PriorityChannelQueue(channels=["a"], queues={"b": DropTailQueue()})
+
+
+def test_channel_queue_inner_drops_counted():
+    queue = PriorityChannelQueue(
+        channels=["regular"],
+        queues={"regular": DropTailQueue(capacity_bytes=1_500)},
+    )
+    queue.classifier = lambda packet: "regular"
+    queue.enqueue(make_packet())
+    queue.enqueue(make_packet())
+    assert queue.stats.dropped == 1

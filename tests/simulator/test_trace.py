@@ -1,0 +1,126 @@
+"""Tests for EWMA, throughput monitors, and link monitors."""
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.link import Link
+from repro.simulator.node import Host
+from repro.simulator.packet import Packet
+from repro.simulator.trace import EWMA, LinkMonitor, ThroughputMonitor
+
+
+def test_ewma_first_sample_initializes():
+    ewma = EWMA(weight=0.1)
+    assert ewma.get() == 0.0
+    ewma.update(10.0)
+    assert ewma.get() == 10.0
+
+
+def test_ewma_moves_toward_samples():
+    ewma = EWMA(weight=0.5, initial=0.0)
+    ewma.update(10.0)
+    assert ewma.get() == pytest.approx(5.0)
+    ewma.update(10.0)
+    assert ewma.get() == pytest.approx(7.5)
+
+
+def test_ewma_weight_validation():
+    with pytest.raises(ValueError):
+        EWMA(weight=0.0)
+    with pytest.raises(ValueError):
+        EWMA(weight=1.5)
+
+
+def test_throughput_monitor_counts_bytes_per_sender():
+    sim = Simulator()
+    monitor = ThroughputMonitor(sim)
+    monitor.start()
+    for _ in range(10):
+        monitor.record(Packet(src="a", dst="d", size_bytes=1000))
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    monitor.stop()
+    assert monitor.throughput_bps("a") == pytest.approx(10 * 1000 * 8 / 1.0)
+
+
+def test_throughput_monitor_ignores_packets_before_start_time():
+    sim = Simulator()
+    monitor = ThroughputMonitor(sim, start_time=5.0)
+    monitor.record(Packet(src="a", dst="d", size_bytes=1000))  # at t=0, ignored
+    sim.schedule(6.0, lambda: monitor.record(Packet(src="a", dst="d", size_bytes=1000)))
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    monitor.stop()
+    assert monitor.records["a"].packets_received == 1
+    assert monitor.throughput_bps("a") == pytest.approx(1000 * 8 / 5.0)
+
+
+def test_throughput_monitor_unknown_sender_is_zero():
+    sim = Simulator()
+    monitor = ThroughputMonitor(sim)
+    assert monitor.throughput_bps("ghost") == 0.0
+
+
+def test_throughputs_bulk_accessor():
+    sim = Simulator()
+    monitor = ThroughputMonitor(sim)
+    monitor.start()
+    monitor.record(Packet(src="a", dst="d", size_bytes=500))
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    values = monitor.throughputs(["a", "b"])
+    assert values["a"] > 0 and values["b"] == 0.0
+
+
+class _Sink(Host):
+    def receive(self, packet, from_link):
+        pass
+
+
+def test_link_monitor_utilization_series():
+    from repro.simulator.queues import DropTailQueue
+
+    sim = Simulator()
+    src, dst = _Sink(sim, "s"), _Sink(sim, "d")
+    link = Link(sim, src, dst, capacity_bps=1e6, delay_s=0.0,
+                queue=DropTailQueue(capacity_bytes=10**6))
+    monitor = LinkMonitor(sim, link, interval=1.0)
+    monitor.start()
+
+    def blast():
+        for _ in range(40):
+            link.send(Packet(src="s", dst="d", size_bytes=1250))
+
+    sim.schedule(0.0, blast)
+    sim.run(until=3.0)
+    monitor.stop()
+    assert len(monitor.utilization_series) == 3
+    # 40 * 1250 B = 0.4 Mbit over a 1 Mbps link → ~0.4 utilization in second 1.
+    assert monitor.utilization_series[0] == pytest.approx(0.4, abs=0.05)
+    assert monitor.mean_utilization <= 1.0
+
+
+def test_link_monitor_loss_series_counts_drops():
+    sim = Simulator()
+    src, dst = _Sink(sim, "s"), _Sink(sim, "d")
+    link = Link(sim, src, dst, capacity_bps=1e5, delay_s=0.0)
+    monitor = LinkMonitor(sim, link, interval=1.0)
+    monitor.start()
+
+    def blast():
+        for _ in range(200):
+            link.send(Packet(src="s", dst="d", size_bytes=1500))
+
+    sim.schedule(0.0, blast)
+    sim.run(until=2.0)
+    monitor.stop()
+    assert monitor.mean_loss_rate > 0
+
+
+def test_flow_record_throughput_over_explicit_duration():
+    sim = Simulator()
+    monitor = ThroughputMonitor(sim)
+    monitor.start()
+    monitor.record(Packet(src="a", dst="d", size_bytes=1000))
+    record = monitor.records["a"]
+    assert record.throughput_bps(duration=2.0) == pytest.approx(4000.0)

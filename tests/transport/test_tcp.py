@@ -1,0 +1,156 @@
+"""Tests for the Reno-style TCP implementation."""
+
+import pytest
+
+from repro.simulator.link import Link
+from repro.simulator.topology import Topology
+from repro.simulator.trace import ThroughputMonitor
+from repro.transport.tcp import MSS, TcpReceiver, TcpSender, TcpState
+
+
+def build_path(bottleneck_bps=2e6, delay_s=0.005, loss_queue_bytes=None):
+    topo = Topology()
+    topo.add_host("a", as_name="A")
+    topo.add_host("b", as_name="B")
+    topo.add_router("R1", as_name="A")
+    topo.add_router("R2", as_name="B")
+    topo.add_duplex_link("a", "R1", 100e6, 0.001)
+    if loss_queue_bytes is not None:
+        from repro.simulator.queues import DropTailQueue
+        topo.add_duplex_link("R1", "R2", bottleneck_bps, delay_s,
+                             queue_factory=lambda c: DropTailQueue(loss_queue_bytes))
+    else:
+        topo.add_duplex_link("R1", "R2", bottleneck_bps, delay_s)
+    topo.add_duplex_link("R2", "b", 100e6, 0.001)
+    topo.finalize()
+    return topo
+
+
+def run_transfer(topo, file_bytes, until=60.0, deadline=200.0):
+    results = []
+    flow_id = "tcp:a->b:1"
+    TcpReceiver(topo.sim, topo.host("b"), flow_id)
+    sender = TcpSender(topo.sim, topo.host("a"), "b", file_bytes=file_bytes,
+                       flow_id=flow_id, deadline_s=deadline,
+                       on_complete=results.append)
+    sender.start()
+    topo.run(until=until)
+    return sender, results
+
+
+def test_small_transfer_completes():
+    topo = build_path()
+    sender, results = run_transfer(topo, file_bytes=20_000)
+    assert results and results[0].completed
+    assert sender.state is TcpState.COMPLETED
+
+
+def test_transfer_time_reasonable_for_20kb():
+    topo = build_path(bottleneck_bps=2e6)
+    _, results = run_transfer(topo, file_bytes=20_000)
+    # Handshake + ~14 segments at 2 Mbps with slow start: well under a second.
+    assert results[0].duration < 1.0
+
+
+def test_large_transfer_fills_the_link():
+    topo = build_path(bottleneck_bps=2e6)
+    monitor = ThroughputMonitor(topo.sim)
+    flow_id = "tcp:a->b:big"
+    TcpReceiver(topo.sim, topo.host("b"), flow_id, monitor=monitor)
+    sender = TcpSender(topo.sim, topo.host("a"), "b", file_bytes=10_000_000,
+                       flow_id=flow_id, deadline_s=None)
+    monitor.start()
+    sender.start()
+    topo.run(until=20.0)
+    monitor.stop()
+    assert monitor.throughput_bps("a") > 0.8 * 2e6
+
+
+def test_transfer_survives_lossy_bottleneck():
+    # A tiny bottleneck queue forces drops; TCP must still finish via
+    # fast retransmit / RTO.
+    topo = build_path(bottleneck_bps=1e6, loss_queue_bytes=3 * 1500)
+    sender, results = run_transfer(topo, file_bytes=200_000, until=120.0)
+    assert results and results[0].completed
+    assert results[0].retransmissions > 0
+
+
+def test_segment_count_matches_file_size():
+    topo = build_path()
+    sender, _ = run_transfer(topo, file_bytes=MSS * 3 + 10)
+    assert sender.total_segments == 4
+
+
+def test_receiver_handles_out_of_order_segments():
+    topo = build_path()
+    flow_id = "tcp:a->b:x"
+    receiver = TcpReceiver(topo.sim, topo.host("b"), flow_id)
+    from repro.simulator.packet import Packet
+    from repro.transport.tcp import TcpHeader
+
+    def deliver(seq):
+        packet = Packet(src="a", dst="b", flow_id=flow_id, protocol="tcp")
+        packet.set_header("tcp", TcpHeader(kind="data", seq=seq))
+        receiver.on_packet(packet)
+
+    deliver(2)
+    assert receiver.next_expected == 1
+    deliver(1)
+    assert receiver.next_expected == 3
+
+
+def test_syn_retries_exhaustion_aborts():
+    # No receiver registered and a black-hole route: the SYN can never be
+    # answered, so after MAX_SYN_RETRIES the sender aborts.
+    topo = build_path()
+    results = []
+    sender = TcpSender(topo.sim, topo.host("a"), "nonexistent", file_bytes=1000,
+                       flow_id="tcp:a->nowhere:1", deadline_s=None,
+                       on_complete=results.append)
+    sender.start()
+    topo.run(until=3000.0)
+    assert results and not results[0].completed
+    assert results[0].abort_reason == "syn_retries_exhausted"
+    assert results[0].syn_retries == TcpSender.MAX_SYN_RETRIES + 1
+
+
+def test_deadline_aborts_slow_transfer():
+    topo = build_path(bottleneck_bps=50e3)  # 50 Kbps: 1 MB cannot finish in 5 s
+    results = []
+    flow_id = "tcp:a->b:slow"
+    TcpReceiver(topo.sim, topo.host("b"), flow_id)
+    sender = TcpSender(topo.sim, topo.host("a"), "b", file_bytes=1_000_000,
+                       flow_id=flow_id, deadline_s=5.0, on_complete=results.append)
+    sender.start()
+    topo.run(until=30.0)
+    assert results and results[0].abort_reason == "deadline_exceeded"
+
+
+def test_cwnd_grows_during_slow_start():
+    topo = build_path()
+    sender, _ = run_transfer(topo, file_bytes=500_000, until=5.0)
+    assert sender.cwnd > 1.0
+
+
+def test_rtt_estimate_converges_to_path_rtt():
+    topo = build_path(bottleneck_bps=10e6, delay_s=0.02)
+    sender, _ = run_transfer(topo, file_bytes=300_000, until=10.0)
+    # Path RTT ≈ 2*(0.001+0.02+0.001) = 44 ms plus queueing.
+    assert sender.srtt is not None
+    assert 0.02 < sender.srtt < 0.3
+
+
+def test_sender_cannot_start_twice():
+    topo = build_path()
+    flow_id = "tcp:a->b:1"
+    TcpReceiver(topo.sim, topo.host("b"), flow_id)
+    sender = TcpSender(topo.sim, topo.host("a"), "b", file_bytes=1000, flow_id=flow_id)
+    sender.start()
+    with pytest.raises(RuntimeError):
+        sender.start()
+
+
+def test_invalid_file_size_rejected():
+    topo = build_path()
+    with pytest.raises(ValueError):
+        TcpSender(topo.sim, topo.host("a"), "b", file_bytes=0, flow_id="f")

@@ -1,0 +1,100 @@
+"""Tests for application workloads (file transfers, web-like traffic)."""
+
+import random
+
+import pytest
+
+from repro.simulator.topology import Topology
+from repro.simulator.trace import ThroughputMonitor
+from repro.transport.traffic import (
+    FileTransferApp,
+    LongRunningTcpApp,
+    WebTrafficApp,
+    web_file_size_sampler,
+)
+
+
+def build_pair(bottleneck_bps=5e6):
+    topo = Topology()
+    topo.add_host("a", as_name="A")
+    topo.add_host("b", as_name="B")
+    topo.add_router("R1", as_name="A")
+    topo.add_router("R2", as_name="B")
+    topo.add_duplex_link("a", "R1", 100e6, 0.001)
+    topo.add_duplex_link("R1", "R2", bottleneck_bps, 0.005)
+    topo.add_duplex_link("R2", "b", 100e6, 0.001)
+    topo.finalize()
+    return topo
+
+
+def test_file_transfer_app_runs_back_to_back_transfers():
+    topo = build_pair()
+    app = FileTransferApp(topo.sim, topo.host("a"), topo.host("b"), file_bytes=20_000)
+    app.start()
+    topo.run(until=10.0)
+    assert app.log.attempted > 5
+    assert app.log.completion_ratio == 1.0
+    assert app.log.average_transfer_time < 1.0
+
+
+def test_file_transfer_app_stop_at():
+    topo = build_pair()
+    app = FileTransferApp(topo.sim, topo.host("a"), topo.host("b"),
+                          file_bytes=20_000, stop_at=2.0)
+    app.start()
+    topo.run(until=10.0)
+    finished_by_stop = app.log.attempted
+    assert finished_by_stop > 0
+    topo.run(until=20.0)
+    assert app.log.attempted == finished_by_stop
+
+
+def test_file_transfer_log_statistics():
+    topo = build_pair()
+    app = FileTransferApp(topo.sim, topo.host("a"), topo.host("b"), file_bytes=20_000)
+    app.start()
+    topo.run(until=5.0)
+    log = app.log
+    assert log.completed == len(log.completed_durations)
+    assert log.total_bytes_completed == log.completed * 20_000
+
+
+def test_web_traffic_app_varies_file_sizes():
+    topo = build_pair()
+    app = WebTrafficApp(topo.sim, topo.host("a"), topo.host("b"),
+                        rng=random.Random(7))
+    app.start()
+    topo.run(until=20.0)
+    sizes = {result.file_bytes for result in app.log.results}
+    assert len(sizes) > 3
+    assert app.log.completion_ratio == 1.0
+
+
+def test_web_file_size_sampler_bounds():
+    rng = random.Random(3)
+    sizes = [web_file_size_sampler(rng) for _ in range(2000)]
+    assert all(1_000 <= size <= 150_000 for size in sizes)
+    # Heavy-ish tail: some large objects, many small ones.
+    assert sum(1 for s in sizes if s > 50_000) > 10
+    assert sum(1 for s in sizes if s < 20_000) > 1000
+
+
+def test_long_running_app_measures_throughput():
+    topo = build_pair(bottleneck_bps=2e6)
+    monitor = ThroughputMonitor(topo.sim)
+    monitor.start()
+    app = LongRunningTcpApp(topo.sim, topo.host("a"), topo.host("b"), monitor=monitor)
+    app.start()
+    topo.run(until=10.0)
+    monitor.stop()
+    assert monitor.throughput_bps("a") > 1e6
+
+
+def test_agents_are_released_after_each_transfer():
+    topo = build_pair()
+    app = FileTransferApp(topo.sim, topo.host("a"), topo.host("b"), file_bytes=20_000)
+    app.start()
+    topo.run(until=10.0)
+    # Only the currently active flow (if any) should remain registered.
+    assert len(topo.host("a").agents) <= 1
+    assert len(topo.host("b").agents) <= 1
