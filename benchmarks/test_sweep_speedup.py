@@ -1,0 +1,65 @@
+"""Sweep engine benchmarks: parallel speedup and serial/parallel identity.
+
+Two properties of :mod:`repro.experiments.sweep` are recorded here:
+
+* ``--jobs N`` is actually faster: a multi-point sweep of latency-bound
+  points must complete at least 1.8× faster with four workers than serially.
+  The points sleep rather than burn CPU so the measurement captures the
+  engine's dispatch overhead and scaling even on single-core CI runners.
+* parallel execution is *safe*: real scenario points run in worker processes
+  produce rows byte-identical to the serial path (each point builds its own
+  simulator and draws randomness only from the spec's seed).
+"""
+
+import time
+
+from repro.experiments import fig8_unwanted, fig9_colluding
+from repro.experiments.sweep import ScenarioSpec, merge_rows, run_sweep
+
+
+def _timed(specs, jobs):
+    start = time.perf_counter()
+    rows = merge_rows(run_sweep(specs, jobs=jobs))
+    return rows, time.perf_counter() - start
+
+
+def test_sweep_parallel_speedup():
+    """Serial vs ``--jobs 4`` wall time on an eight-point sweep."""
+    specs = [ScenarioSpec.make("bench_sleep", seed=i, duration=0.25, payload=i)
+             for i in range(8)]
+    serial_rows, serial_s = _timed(specs, jobs=1)
+    parallel_rows, parallel_s = _timed(specs, jobs=4)
+    speedup = serial_s / parallel_s
+    print(f"\nsweep wall time: serial {serial_s:.2f}s, --jobs 4 {parallel_s:.2f}s "
+          f"-> {speedup:.2f}x speedup")
+    assert parallel_rows == serial_rows
+    assert speedup >= 1.8
+
+
+def test_fig8_parallel_rows_identical_to_serial():
+    """The Fig. 8 quick sweep is byte-identical under ``--jobs 2``."""
+    specs = fig8_unwanted.grid(scale_steps=fig8_unwanted.SCALE_STEPS[:2],
+                               sim_time=40.0)
+    serial_rows, serial_s = _timed(specs, jobs=1)
+    parallel_rows, parallel_s = _timed(specs, jobs=2)
+    print(f"\nfig8 quick sweep: serial {serial_s:.1f}s, --jobs 2 {parallel_s:.1f}s")
+    assert [row.as_tuple() for row in parallel_rows] \
+        == [row.as_tuple() for row in serial_rows]
+    assert parallel_rows == serial_rows
+
+
+def test_fig9_parallel_rows_identical_to_serial():
+    """A reduced Fig. 9 sweep (both workloads) is byte-identical under --jobs 2.
+
+    The full quick grid is exercised by CI's sweep smoke; this check keeps the
+    benchmark suite's runtime bounded while still covering both workloads and
+    every defense system through the worker-process path.
+    """
+    specs = fig9_colluding.grid(scale_steps=fig9_colluding.SCALE_STEPS[:1],
+                                sim_time=60.0, warmup=30.0)
+    serial_rows, serial_s = _timed(specs, jobs=1)
+    parallel_rows, parallel_s = _timed(specs, jobs=2)
+    print(f"\nfig9 reduced sweep: serial {serial_s:.1f}s, --jobs 2 {parallel_s:.1f}s")
+    assert [row.as_tuple() for row in parallel_rows] \
+        == [row.as_tuple() for row in serial_rows]
+    assert parallel_rows == serial_rows

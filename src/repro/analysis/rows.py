@@ -1,0 +1,53 @@
+"""Result-row helpers shared by the sweep engine and the experiment CLI.
+
+Experiment modules return typed dataclass rows (``Fig8Row``,
+``ParkingLotRow``, ...).  These helpers convert them to plain dictionaries
+and JSON so sweep results can be merged, cached, and emitted by
+``netfence-experiment --json`` without each figure module reinventing the
+serialization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Any, Dict, Iterable, List
+
+
+def row_to_dict(row: Any) -> Dict[str, Any]:
+    """Convert one result row (dataclass, mapping, or namedtuple) to a dict."""
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        return dataclasses.asdict(row)
+    if isinstance(row, dict):
+        return dict(row)
+    if hasattr(row, "_asdict"):
+        return dict(row._asdict())
+    raise TypeError(f"cannot convert row of type {type(row).__name__} to a dict")
+
+
+def rows_to_dicts(rows: Iterable[Any]) -> List[Dict[str, Any]]:
+    return [row_to_dict(row) for row in rows]
+
+
+def json_safe(value: Any) -> Any:
+    """Replace non-JSON floats (NaN/inf) with null and encode bytes.
+
+    Strict consumers (``jq``, ``JSON.parse``) reject Python's default
+    ``NaN``/``Infinity`` tokens, and rows like Fig. 8's transfer time are NaN
+    when no transfer completed.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, dict):
+        return {k: json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    return value
+
+
+def rows_to_json(rows: Iterable[Any], indent: int = 2) -> str:
+    """Serialize result rows as a JSON array."""
+    return json.dumps(json_safe(rows_to_dicts(rows)), indent=indent, sort_keys=True)

@@ -48,6 +48,11 @@ class NetFenceParams:
     initial_rate_limit_bps: float = 64_000.0
     max_caching_delay: float = 0.5
     min_cache_bytes: int = 12_000
+    # The leaky bucket's burst tolerance: accrued credit is capped at one
+    # MTU's worth of transmission time, so fractional credit left over from a
+    # departure is preserved (sustained goodput reaches the rate limit) while
+    # idle periods still cannot fund bursts (§4.3.3 — leaky, not token).
+    leaky_bucket_depth_bytes: int = 1500
 
     # Attack detection and monitoring cycles (§4.3.1)
     loss_threshold: float = 0.02

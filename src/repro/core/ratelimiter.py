@@ -159,9 +159,22 @@ class RegularRateLimiter:
         """Pass, cache, or drop a regular packet (Fig. 16)."""
         now = self.sim.now
         if not self._cache:
-            credit_bits = (now - self._last_departure) * self.rate_bps
-            if credit_bits >= packet.size_bytes * 8:
-                self._last_departure = now
+            # Credit drains at the rate limit but is capped at one MTU of
+            # transmission time: idle periods cannot fund bursts (the bucket
+            # stays leaky, §4.3.3), yet fractional credit accrued since the
+            # last departure is preserved instead of being discarded, so
+            # sustained goodput tracks rate_bps even for sub-MTU packets.
+            # A single floored rate keeps accrual and consumption consistent
+            # even if AIMD drives rate_bps below 1 bps.
+            rate = max(self.rate_bps, 1.0)
+            credit_bits = (now - self._last_departure) * rate
+            depth_bits = self.params.leaky_bucket_depth_bytes * 8.0
+            if credit_bits > depth_bits:
+                credit_bits = depth_bits
+                self._last_departure = now - depth_bits / rate
+            tx_bits = packet.size_bytes * 8
+            if credit_bits >= tx_bits:
+                self._last_departure += tx_bits / rate
                 self._account_forward(packet)
                 self.stats.passed += 1
                 return PASS
@@ -213,7 +226,11 @@ class RegularRateLimiter:
             return
         packet = self._cache.popleft()
         self._cache_bytes -= packet.size_bytes
-        self._last_departure = self.sim.now
+        # Consume exactly the packet's transmission time; any residual credit
+        # (the release may have fired early thanks to banked credit) carries
+        # over to the next departure.
+        tx_s = packet.size_bytes * 8 / max(self.rate_bps, 1.0)
+        self._last_departure = min(self._last_departure + tx_s, self.sim.now)
         self._account_forward(packet)
         self.stats.released += 1
         self.release_fn(packet)
@@ -298,4 +315,8 @@ class RegularRateLimiter:
         while self._cache:
             packet = self._cache.popleft()
             self._cache_bytes -= packet.size_bytes
+            # Flushed packets are forwarded like any other release, so they
+            # must show up in the experiment counters too.
+            self._account_forward(packet)
+            self.stats.released += 1
             self.release_fn(packet)

@@ -14,8 +14,11 @@
   feedback (Fig. 13).
 * :mod:`repro.experiments.fig14_inference` — Appendix B.2 rate-limiter
   inference (Fig. 14).
+* :mod:`repro.experiments.sweep` — the parallel sweep engine: declarative
+  ``ScenarioSpec`` grids, multiprocessing execution, on-disk result cache.
 * :mod:`repro.experiments.runner` — CLI entry point that runs any experiment
-  and prints the paper-style table.
+  grid (``--jobs``, ``--points``, ``--json``, ``--cache``) and prints the
+  paper-style table.
 """
 
 from repro.experiments.scenarios import (
@@ -26,6 +29,15 @@ from repro.experiments.scenarios import (
     run_dumbbell_scenario,
     run_parking_lot_scenario,
 )
+from repro.experiments.sweep import (
+    ScenarioSpec,
+    SweepCache,
+    SweepResult,
+    derive_seed,
+    merge_rows,
+    register_point,
+    run_sweep,
+)
 
 __all__ = [
     "DumbbellScenarioConfig",
@@ -34,4 +46,11 @@ __all__ = [
     "ParkingLotScenarioResult",
     "run_dumbbell_scenario",
     "run_parking_lot_scenario",
+    "ScenarioSpec",
+    "SweepCache",
+    "SweepResult",
+    "derive_seed",
+    "merge_rows",
+    "register_point",
+    "run_sweep",
 ]

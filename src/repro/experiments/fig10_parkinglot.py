@@ -19,11 +19,18 @@ policing policy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.scenarios import (
     ParkingLotScenarioConfig,
     run_parking_lot_scenario,
+)
+from repro.experiments.sweep import (
+    ScenarioSpec,
+    SweepCache,
+    merge_rows,
+    register_point,
+    run_sweep,
 )
 
 #: (paper label, L1 bps, L2 bps) — scaled from the paper's 160/240 Mbps so
@@ -52,6 +59,56 @@ class ParkingLotRow:
                 round(self.fair_share_kbps, 1))
 
 
+@register_point("fig10")
+def run_point(
+    policy: str,
+    case_label: str,
+    l1_bps: float,
+    l2_bps: float,
+    hosts_per_group: int = 10,
+    sim_time: float = 200.0,
+    warmup: float = 100.0,
+    seed: int = 1,
+) -> ParkingLotRow:
+    """Run one (policy, capacity case) point of the parking-lot sweep."""
+    config = ParkingLotScenarioConfig(
+        l1_bps=l1_bps,
+        l2_bps=l2_bps,
+        hosts_per_group=hosts_per_group,
+        sim_time=sim_time,
+        warmup=warmup,
+        seed=seed,
+        netfence_policy=policy,
+        attack_rate_bps=400e3,
+    )
+    result = run_parking_lot_scenario(config)
+    return ParkingLotRow(
+        policy=policy,
+        case_label=case_label,
+        group_a_user_kbps=result.avg_user("A") / 1e3,
+        group_a_attacker_kbps=result.avg_attacker("A") / 1e3,
+        fair_share_kbps=config.fair_share_bps / 1e3,
+    )
+
+
+def grid(
+    policy: str = "single",
+    capacity_cases: Sequence[tuple] = CAPACITY_CASES,
+    hosts_per_group: int = 10,
+    sim_time: float = 200.0,
+    warmup: float = 100.0,
+    seed: int = 1,
+) -> List[ScenarioSpec]:
+    """The declarative parking-lot grid: one spec per capacity case."""
+    return [
+        ScenarioSpec.make(
+            "fig10", seed=seed, policy=policy, case_label=label, l1_bps=l1, l2_bps=l2,
+            hosts_per_group=hosts_per_group, sim_time=sim_time, warmup=warmup,
+        )
+        for label, l1, l2 in capacity_cases
+    ]
+
+
 def run(
     policy: str = "single",
     capacity_cases: Sequence[tuple] = CAPACITY_CASES,
@@ -59,31 +116,14 @@ def run(
     sim_time: float = 200.0,
     warmup: float = 100.0,
     seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
 ) -> List[ParkingLotRow]:
     """Run the parking-lot sweep for one policing policy."""
-    rows: List[ParkingLotRow] = []
-    for label, l1, l2 in capacity_cases:
-        config = ParkingLotScenarioConfig(
-            l1_bps=l1,
-            l2_bps=l2,
-            hosts_per_group=hosts_per_group,
-            sim_time=sim_time,
-            warmup=warmup,
-            seed=seed,
-            netfence_policy=policy,
-            attack_rate_bps=400e3,
-        )
-        result = run_parking_lot_scenario(config)
-        rows.append(
-            ParkingLotRow(
-                policy=policy,
-                case_label=label,
-                group_a_user_kbps=result.avg_user("A") / 1e3,
-                group_a_attacker_kbps=result.avg_attacker("A") / 1e3,
-                fair_share_kbps=config.fair_share_bps / 1e3,
-            )
-        )
-    return rows
+    specs = grid(policy=policy, capacity_cases=capacity_cases,
+                 hosts_per_group=hosts_per_group, sim_time=sim_time,
+                 warmup=warmup, seed=seed)
+    return merge_rows(run_sweep(specs, jobs=jobs, cache=cache))
 
 
 def format_table(rows: List[ParkingLotRow], figure: str = "Fig. 10") -> str:

@@ -16,11 +16,18 @@ always-on fair share with a scaled-down sender count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.scenarios import (
     DumbbellScenarioConfig,
     run_dumbbell_scenario,
+)
+from repro.experiments.sweep import (
+    ScenarioSpec,
+    SweepCache,
+    merge_rows,
+    register_point,
+    run_sweep,
 )
 
 TON_VALUES: Sequence[float] = (0.5, 4.0)
@@ -42,6 +49,65 @@ class Fig11Row:
                 round(self.always_on_fair_share_kbps, 1))
 
 
+@register_point("fig11")
+def run_point(
+    ton_s: float,
+    toff_s: float,
+    num_source_as: int = 4,
+    hosts_per_as: int = 3,
+    bottleneck_bps: float = 1.2e6,
+    sim_time: float = 300.0,
+    warmup: float = 100.0,
+    seed: int = 1,
+) -> Fig11Row:
+    """Run one (Ton, Toff) point of the on-off attack sweep."""
+    fair_share = bottleneck_bps / (num_source_as * hosts_per_as)
+    config = DumbbellScenarioConfig(
+        system="netfence",
+        num_source_as=num_source_as,
+        hosts_per_as=hosts_per_as,
+        bottleneck_bps=bottleneck_bps,
+        workload="longrun",
+        attack_type="regular",
+        attack_rate_bps=1.0e6,
+        attack_on_off=(ton_s, toff_s),
+        victim_blocks_attackers=False,
+        num_colluders=9,
+        sim_time=sim_time,
+        warmup=warmup,
+        seed=seed,
+    )
+    result = run_dumbbell_scenario(config)
+    return Fig11Row(
+        ton_s=ton_s,
+        toff_s=toff_s,
+        avg_user_throughput_kbps=result.avg_user_throughput_bps / 1e3,
+        always_on_fair_share_kbps=fair_share / 1e3,
+    )
+
+
+def grid(
+    ton_values: Sequence[float] = TON_VALUES,
+    toff_values: Sequence[float] = TOFF_VALUES,
+    num_source_as: int = 4,
+    hosts_per_as: int = 3,
+    bottleneck_bps: float = 1.2e6,
+    sim_time: float = 300.0,
+    warmup: float = 100.0,
+    seed: int = 1,
+) -> List[ScenarioSpec]:
+    """The declarative Fig. 11 grid: one spec per (Ton, Toff) point."""
+    return [
+        ScenarioSpec.make(
+            "fig11", seed=seed, ton_s=ton, toff_s=toff, num_source_as=num_source_as,
+            hosts_per_as=hosts_per_as, bottleneck_bps=bottleneck_bps,
+            sim_time=sim_time, warmup=warmup,
+        )
+        for ton in ton_values
+        for toff in toff_values
+    ]
+
+
 def run(
     ton_values: Sequence[float] = TON_VALUES,
     toff_values: Sequence[float] = TOFF_VALUES,
@@ -51,37 +117,15 @@ def run(
     sim_time: float = 300.0,
     warmup: float = 100.0,
     seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
 ) -> List[Fig11Row]:
     """Run the on-off attack sweep under NetFence."""
-    rows: List[Fig11Row] = []
-    fair_share = bottleneck_bps / (num_source_as * hosts_per_as)
-    for ton in ton_values:
-        for toff in toff_values:
-            config = DumbbellScenarioConfig(
-                system="netfence",
-                num_source_as=num_source_as,
-                hosts_per_as=hosts_per_as,
-                bottleneck_bps=bottleneck_bps,
-                workload="longrun",
-                attack_type="regular",
-                attack_rate_bps=1.0e6,
-                attack_on_off=(ton, toff),
-                victim_blocks_attackers=False,
-                num_colluders=9,
-                sim_time=sim_time,
-                warmup=warmup,
-                seed=seed,
-            )
-            result = run_dumbbell_scenario(config)
-            rows.append(
-                Fig11Row(
-                    ton_s=ton,
-                    toff_s=toff,
-                    avg_user_throughput_kbps=result.avg_user_throughput_bps / 1e3,
-                    always_on_fair_share_kbps=fair_share / 1e3,
-                )
-            )
-    return rows
+    specs = grid(ton_values=ton_values, toff_values=toff_values,
+                 num_source_as=num_source_as, hosts_per_as=hosts_per_as,
+                 bottleneck_bps=bottleneck_bps, sim_time=sim_time,
+                 warmup=warmup, seed=seed)
+    return merge_rows(run_sweep(specs, jobs=jobs, cache=cache))
 
 
 def format_table(rows: List[Fig11Row]) -> str:

@@ -10,14 +10,33 @@ roughly their fair share in all three capacity cases, including the
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.fig10_parkinglot import (
     CAPACITY_CASES,
     ParkingLotRow,
     format_table,
+    grid as grid_parkinglot,
     run as run_parkinglot,
 )
+from repro.experiments.sweep import ScenarioSpec, SweepCache
+
+
+def grid(
+    capacity_cases: Sequence[tuple] = CAPACITY_CASES,
+    hosts_per_group: int = 10,
+    sim_time: float = 200.0,
+    warmup: float = 100.0,
+    seed: int = 1,
+) -> List[ScenarioSpec]:
+    return grid_parkinglot(
+        policy="multi",
+        capacity_cases=capacity_cases,
+        hosts_per_group=hosts_per_group,
+        sim_time=sim_time,
+        warmup=warmup,
+        seed=seed,
+    )
 
 
 def run(
@@ -26,6 +45,8 @@ def run(
     sim_time: float = 200.0,
     warmup: float = 100.0,
     seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
 ) -> List[ParkingLotRow]:
     return run_parkinglot(
         policy="multi",
@@ -34,6 +55,8 @@ def run(
         sim_time=sim_time,
         warmup=warmup,
         seed=seed,
+        jobs=jobs,
+        cache=cache,
     )
 
 

@@ -12,14 +12,33 @@ fundamental limitation discussed at the end of Appendix B.2).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.fig10_parkinglot import (
     CAPACITY_CASES,
     ParkingLotRow,
     format_table,
+    grid as grid_parkinglot,
     run as run_parkinglot,
 )
+from repro.experiments.sweep import ScenarioSpec, SweepCache
+
+
+def grid(
+    capacity_cases: Sequence[tuple] = CAPACITY_CASES,
+    hosts_per_group: int = 10,
+    sim_time: float = 200.0,
+    warmup: float = 100.0,
+    seed: int = 1,
+) -> List[ScenarioSpec]:
+    return grid_parkinglot(
+        policy="inference",
+        capacity_cases=capacity_cases,
+        hosts_per_group=hosts_per_group,
+        sim_time=sim_time,
+        warmup=warmup,
+        seed=seed,
+    )
 
 
 def run(
@@ -28,6 +47,8 @@ def run(
     sim_time: float = 200.0,
     warmup: float = 100.0,
     seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
 ) -> List[ParkingLotRow]:
     return run_parkinglot(
         policy="inference",
@@ -36,6 +57,8 @@ def run(
         sim_time=sim_time,
         warmup=warmup,
         seed=seed,
+        jobs=jobs,
+        cache=cache,
     )
 
 

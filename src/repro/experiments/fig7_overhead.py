@@ -23,6 +23,14 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.experiments.sweep import (
+    ScenarioSpec,
+    SweepCache,
+    merge_rows,
+    register_point,
+    run_sweep,
+)
+
 from repro.baselines.tva import Capability, CapabilityEndHost, TvaRouter, tva_queue_factory
 from repro.core.access import NetFenceAccessRouter
 from repro.core.bottleneck import NetFenceRouter, netfence_queue_factory
@@ -165,25 +173,49 @@ def _time_operation(make_packet: Callable[[], Packet],
     return elapsed / iterations * 1e9
 
 
-def run(iterations: int = 2000) -> List[OverheadRow]:
-    """Produce the Fig. 7 table (one row per combination)."""
+@register_point("fig7")
+def run_point(attack: bool, iterations: int = 2000, seed: int = 1) -> List[OverheadRow]:
+    """Measure every (system, packet, router) combination for one attack state.
+
+    The micro-benchmark is deterministic apart from wall-clock noise; ``seed``
+    is accepted for sweep-engine uniformity but unused.  Because the rows are
+    wall-clock *measurements*, run them serially (``--jobs 1``) and uncached
+    when the absolute ns/pkt numbers matter: concurrent simulation workers
+    inflate them and a cache replays numbers from a different machine/load.
+    """
     rows: List[OverheadRow] = []
-    for attack in (False, True):
-        nf = _NetFenceOverheadRig(attack)
-        rows.append(OverheadRow("netfence", "request", "bottleneck", attack,
-                                _time_operation(nf.request_packet, nf.bottleneck_op, iterations)))
-        rows.append(OverheadRow("netfence", "request", "access", attack,
-                                _time_operation(nf.request_packet, nf.access_op, iterations)))
-        rows.append(OverheadRow("netfence", "regular", "bottleneck", attack,
-                                _time_operation(nf.regular_packet, nf.bottleneck_op, iterations)))
-        rows.append(OverheadRow("netfence", "regular", "access", attack,
-                                _time_operation(nf.regular_packet, nf.access_op, iterations)))
-        tva = _TvaOverheadRig(attack)
-        rows.append(OverheadRow("tva+", "request", "bottleneck", attack,
-                                _time_operation(tva.request_packet, tva.bottleneck_op, iterations)))
-        rows.append(OverheadRow("tva+", "regular", "access", attack,
-                                _time_operation(tva.regular_packet, tva.access_op, iterations)))
+    nf = _NetFenceOverheadRig(attack)
+    rows.append(OverheadRow("netfence", "request", "bottleneck", attack,
+                            _time_operation(nf.request_packet, nf.bottleneck_op, iterations)))
+    rows.append(OverheadRow("netfence", "request", "access", attack,
+                            _time_operation(nf.request_packet, nf.access_op, iterations)))
+    rows.append(OverheadRow("netfence", "regular", "bottleneck", attack,
+                            _time_operation(nf.regular_packet, nf.bottleneck_op, iterations)))
+    rows.append(OverheadRow("netfence", "regular", "access", attack,
+                            _time_operation(nf.regular_packet, nf.access_op, iterations)))
+    tva = _TvaOverheadRig(attack)
+    rows.append(OverheadRow("tva+", "request", "bottleneck", attack,
+                            _time_operation(tva.request_packet, tva.bottleneck_op, iterations)))
+    rows.append(OverheadRow("tva+", "regular", "access", attack,
+                            _time_operation(tva.regular_packet, tva.access_op, iterations)))
     return rows
+
+
+def grid(iterations: int = 2000, seed: int = 1) -> List[ScenarioSpec]:
+    """The Fig. 7 grid: one spec per attack state."""
+    return [ScenarioSpec.make("fig7", seed=seed, attack=attack, iterations=iterations)
+            for attack in (False, True)]
+
+
+def run(
+    iterations: int = 2000,
+    seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
+) -> List[OverheadRow]:
+    """Produce the Fig. 7 table (one row per combination)."""
+    return merge_rows(run_sweep(grid(iterations=iterations, seed=seed),
+                                jobs=jobs, cache=cache))
 
 
 def format_table(rows: List[OverheadRow]) -> str:

@@ -27,6 +27,13 @@ from repro.experiments.scenarios import (
     DumbbellScenarioResult,
     run_dumbbell_scenario,
 )
+from repro.experiments.sweep import (
+    ScenarioSpec,
+    SweepCache,
+    merge_rows,
+    register_point,
+    run_sweep,
+)
 
 #: (paper x-axis label, number of source ASes, hosts per AS, bottleneck bps).
 #: The per-sender fair share halves from step to step exactly as in the
@@ -78,30 +85,58 @@ def _config_for(system: str, label: str, num_as: int, hosts_per_as: int,
     )
 
 
+@register_point("fig8")
+def run_point(
+    system: str,
+    scale_label: str,
+    num_as: int,
+    hosts_per_as: int,
+    bottleneck_bps: float,
+    sim_time: float = 60.0,
+    seed: int = 1,
+) -> Fig8Row:
+    """Run one (system, scale) point of the Fig. 8 sweep."""
+    config = _config_for(system, scale_label, num_as, hosts_per_as, bottleneck_bps,
+                         sim_time, seed)
+    result = run_dumbbell_scenario(config)
+    return Fig8Row(
+        system=system,
+        scale_label=scale_label,
+        num_senders=config.num_senders,
+        fair_share_bps=config.fair_share_bps,
+        avg_transfer_time_s=result.average_transfer_time,
+        completion_ratio=result.completion_ratio,
+    )
+
+
+def grid(
+    systems: Sequence[str] = SYSTEMS,
+    scale_steps: Sequence[tuple] = SCALE_STEPS,
+    sim_time: float = 60.0,
+    seed: int = 1,
+) -> List[ScenarioSpec]:
+    """The declarative Fig. 8 grid: one spec per (scale, system) point."""
+    return [
+        ScenarioSpec.make(
+            "fig8", seed=seed, system=system, scale_label=label, num_as=num_as,
+            hosts_per_as=hosts_per_as, bottleneck_bps=bottleneck, sim_time=sim_time,
+        )
+        for label, num_as, hosts_per_as, bottleneck in scale_steps
+        for system in systems
+    ]
+
+
 def run(
     systems: Sequence[str] = SYSTEMS,
     scale_steps: Sequence[tuple] = SCALE_STEPS,
     sim_time: float = 60.0,
     seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
 ) -> List[Fig8Row]:
     """Run the Fig. 8 sweep and return one row per (system, scale) point."""
-    rows: List[Fig8Row] = []
-    for label, num_as, hosts_per_as, bottleneck in scale_steps:
-        for system in systems:
-            config = _config_for(system, label, num_as, hosts_per_as, bottleneck,
-                                 sim_time, seed)
-            result = run_dumbbell_scenario(config)
-            rows.append(
-                Fig8Row(
-                    system=system,
-                    scale_label=label,
-                    num_senders=config.num_senders,
-                    fair_share_bps=config.fair_share_bps,
-                    avg_transfer_time_s=result.average_transfer_time,
-                    completion_ratio=result.completion_ratio,
-                )
-            )
-    return rows
+    specs = grid(systems=systems, scale_steps=scale_steps, sim_time=sim_time, seed=seed)
+    return merge_rows(run_sweep(specs, jobs=jobs, cache=cache))
 
 
 def format_table(rows: List[Fig8Row]) -> str:

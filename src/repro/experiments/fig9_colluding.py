@@ -21,11 +21,18 @@ to 1 for every system).  Expected shape (paper):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.scenarios import (
     DumbbellScenarioConfig,
     run_dumbbell_scenario,
+)
+from repro.experiments.sweep import (
+    ScenarioSpec,
+    SweepCache,
+    merge_rows,
+    register_point,
+    run_sweep,
 )
 
 #: (paper x-axis label, #source ASes, hosts per AS, bottleneck bps) — the
@@ -78,6 +85,54 @@ def _config_for(system: str, workload: str, num_as: int, hosts_per_as: int,
     )
 
 
+@register_point("fig9")
+def run_point(
+    system: str,
+    workload: str,
+    scale_label: str,
+    num_as: int,
+    hosts_per_as: int,
+    bottleneck_bps: float,
+    sim_time: float = 240.0,
+    warmup: float = 120.0,
+    seed: int = 1,
+) -> Fig9Row:
+    """Run one (workload, system, scale) point of the Fig. 9 sweep."""
+    config = _config_for(system, workload, num_as, hosts_per_as, bottleneck_bps,
+                         sim_time, warmup, seed)
+    result = run_dumbbell_scenario(config)
+    return Fig9Row(
+        workload=workload,
+        system=system,
+        scale_label=scale_label,
+        num_senders=config.num_senders,
+        throughput_ratio=result.throughput_ratio,
+        fairness_index=result.user_fairness_index,
+        bottleneck_utilization=result.bottleneck_utilization,
+    )
+
+
+def grid(
+    systems: Sequence[str] = SYSTEMS,
+    workloads: Sequence[str] = WORKLOADS,
+    scale_steps: Sequence[tuple] = SCALE_STEPS,
+    sim_time: float = 240.0,
+    warmup: float = 120.0,
+    seed: int = 1,
+) -> List[ScenarioSpec]:
+    """The declarative Fig. 9 grid (9a: longrun, 9b: web)."""
+    return [
+        ScenarioSpec.make(
+            "fig9", seed=seed, system=system, workload=workload, scale_label=label,
+            num_as=num_as, hosts_per_as=hosts_per_as, bottleneck_bps=bottleneck,
+            sim_time=sim_time, warmup=warmup,
+        )
+        for workload in workloads
+        for label, num_as, hosts_per_as, bottleneck in scale_steps
+        for system in systems
+    ]
+
+
 def run(
     systems: Sequence[str] = SYSTEMS,
     workloads: Sequence[str] = WORKLOADS,
@@ -85,27 +140,13 @@ def run(
     sim_time: float = 240.0,
     warmup: float = 120.0,
     seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
 ) -> List[Fig9Row]:
     """Run the Fig. 9 sweep (9a: longrun, 9b: web)."""
-    rows: List[Fig9Row] = []
-    for workload in workloads:
-        for label, num_as, hosts_per_as, bottleneck in scale_steps:
-            for system in systems:
-                config = _config_for(system, workload, num_as, hosts_per_as,
-                                     bottleneck, sim_time, warmup, seed)
-                result = run_dumbbell_scenario(config)
-                rows.append(
-                    Fig9Row(
-                        workload=workload,
-                        system=system,
-                        scale_label=label,
-                        num_senders=config.num_senders,
-                        throughput_ratio=result.throughput_ratio,
-                        fairness_index=result.user_fairness_index,
-                        bottleneck_utilization=result.bottleneck_utilization,
-                    )
-                )
-    return rows
+    specs = grid(systems=systems, workloads=workloads, scale_steps=scale_steps,
+                 sim_time=sim_time, warmup=warmup, seed=seed)
+    return merge_rows(run_sweep(specs, jobs=jobs, cache=cache))
 
 
 def format_table(rows: List[Fig9Row]) -> str:

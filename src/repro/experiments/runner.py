@@ -4,21 +4,33 @@ Usage::
 
     netfence-experiment list
     netfence-experiment fig7
-    netfence-experiment fig8 [--quick]
-    netfence-experiment all [--quick]
+    netfence-experiment fig8 [--quick] [--jobs N] [--points N] [--json]
+    netfence-experiment all [--quick] [--jobs N]
 
-``--quick`` shrinks sweeps (fewer scale points, shorter simulated time) so a
-full pass completes in a few minutes on a laptop; the default settings match
-the values recorded in EXPERIMENTS.md.
+Every experiment is a declarative grid of :class:`ScenarioSpec` points
+executed by :mod:`repro.experiments.sweep`:
+
+* ``--quick`` shrinks sweeps (fewer scale points, shorter simulated time) so
+  a full pass completes in a few minutes on a laptop; the default settings
+  match the values recorded in EXPERIMENTS.md.
+* ``--jobs N`` runs grid points across N worker processes.  Row order (and
+  the formatted table) is byte-identical to a serial run.
+* ``--points N`` keeps only the first N grid points — handy for smoke tests.
+* ``--json`` emits result rows as JSON instead of the paper-style table.
+* ``--cache [DIR]`` caches per-point results on disk keyed on
+  (experiment, params, seed), making re-runs instant.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import Callable, Dict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.analysis.rows import json_safe, rows_to_dicts
 from repro.experiments import (
     fig7_overhead,
     fig8_unwanted,
@@ -29,83 +41,99 @@ from repro.experiments import (
     fig14_inference,
     theorem_fairshare,
 )
+from repro.experiments.sweep import (
+    ScenarioSpec,
+    SweepCache,
+    merge_rows,
+    run_sweep,
+)
 
 
-def _run_fig7(quick: bool) -> str:
-    rows = fig7_overhead.run(iterations=500 if quick else 2000)
-    return fig7_overhead.format_table(rows)
+@dataclass(frozen=True)
+class ExperimentDef:
+    """One runnable experiment: a grid builder plus a table formatter."""
+
+    name: str
+    build_grid: Callable[[bool], List[ScenarioSpec]]
+    format_rows: Callable[[List[Any]], str]
 
 
-def _run_fig8(quick: bool) -> str:
+def _fig7_grid(quick: bool) -> List[ScenarioSpec]:
+    return fig7_overhead.grid(iterations=500 if quick else 2000)
+
+
+def _fig8_grid(quick: bool) -> List[ScenarioSpec]:
     steps = fig8_unwanted.SCALE_STEPS[:2] if quick else fig8_unwanted.SCALE_STEPS
-    rows = fig8_unwanted.run(scale_steps=steps, sim_time=40.0 if quick else 60.0)
-    return fig8_unwanted.format_table(rows)
+    return fig8_unwanted.grid(scale_steps=steps, sim_time=40.0 if quick else 60.0)
 
 
-def _run_fig9(quick: bool) -> str:
+def _fig9_grid(quick: bool) -> List[ScenarioSpec]:
     steps = fig9_colluding.SCALE_STEPS[:2] if quick else fig9_colluding.SCALE_STEPS
-    rows = fig9_colluding.run(
+    return fig9_colluding.grid(
         scale_steps=steps,
         sim_time=150.0 if quick else 240.0,
         warmup=75.0 if quick else 120.0,
     )
-    return fig9_colluding.format_table(rows)
 
 
-def _run_fig10(quick: bool) -> str:
-    rows = fig10_parkinglot.run(
+def _fig10_grid(quick: bool) -> List[ScenarioSpec]:
+    return fig10_parkinglot.grid(
         policy="single",
         sim_time=120.0 if quick else 200.0,
         warmup=60.0 if quick else 100.0,
     )
-    return fig10_parkinglot.format_table(rows)
 
 
-def _run_fig11(quick: bool) -> str:
+def _fig11_grid(quick: bool) -> List[ScenarioSpec]:
     toffs = fig11_onoff.TOFF_VALUES[:2] if quick else fig11_onoff.TOFF_VALUES
-    rows = fig11_onoff.run(
+    return fig11_onoff.grid(
         toff_values=toffs,
         sim_time=150.0 if quick else 300.0,
         warmup=60.0 if quick else 100.0,
     )
-    return fig11_onoff.format_table(rows)
 
 
-def _run_fig13(quick: bool) -> str:
-    rows = fig13_multifeedback.run(
+def _fig13_grid(quick: bool) -> List[ScenarioSpec]:
+    return fig13_multifeedback.grid(
         sim_time=120.0 if quick else 200.0,
         warmup=60.0 if quick else 100.0,
     )
-    return fig10_parkinglot.format_table(rows, figure="Fig. 13 (multi-bottleneck feedback)")
 
 
-def _run_fig14(quick: bool) -> str:
-    rows = fig14_inference.run(
+def _fig14_grid(quick: bool) -> List[ScenarioSpec]:
+    return fig14_inference.grid(
         sim_time=120.0 if quick else 200.0,
         warmup=60.0 if quick else 100.0,
     )
-    return fig10_parkinglot.format_table(rows, figure="Fig. 14 (rate-limiter inference)")
 
 
-def _run_theorem(quick: bool) -> str:
+def _theorem_grid(quick: bool) -> List[ScenarioSpec]:
     if quick:
-        rows = theorem_fairshare.run_fluid(intervals=200)
-        rows.append(theorem_fairshare.run_packet(sim_time=150.0, warmup=75.0))
-    else:
-        rows = theorem_fairshare.run()
-    return theorem_fairshare.format_table(rows)
+        return theorem_fairshare.grid(intervals=200, sim_time=150.0, warmup=75.0)
+    return theorem_fairshare.grid()
 
 
-EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
-    "fig7": _run_fig7,
-    "fig8": _run_fig8,
-    "fig9": _run_fig9,
-    "fig10": _run_fig10,
-    "fig11": _run_fig11,
-    "fig13": _run_fig13,
-    "fig14": _run_fig14,
-    "theorem": _run_theorem,
+EXPERIMENTS: Dict[str, ExperimentDef] = {
+    "fig7": ExperimentDef("fig7", _fig7_grid, fig7_overhead.format_table),
+    "fig8": ExperimentDef("fig8", _fig8_grid, fig8_unwanted.format_table),
+    "fig9": ExperimentDef("fig9", _fig9_grid, fig9_colluding.format_table),
+    "fig10": ExperimentDef("fig10", _fig10_grid, fig10_parkinglot.format_table),
+    "fig11": ExperimentDef("fig11", _fig11_grid, fig11_onoff.format_table),
+    "fig13": ExperimentDef(
+        "fig13", _fig13_grid,
+        lambda rows: fig10_parkinglot.format_table(
+            rows, figure="Fig. 13 (multi-bottleneck feedback)"),
+    ),
+    "fig14": ExperimentDef(
+        "fig14", _fig14_grid,
+        lambda rows: fig10_parkinglot.format_table(
+            rows, figure="Fig. 14 (rate-limiter inference)"),
+    ),
+    "theorem": ExperimentDef("theorem", _theorem_grid, theorem_fairshare.format_table),
 }
+
+#: Default directory for ``--cache`` when no path is given.
+DEFAULT_CACHE_DIR = ".netfence-sweep-cache"
 
 
 def main(argv=None) -> int:
@@ -117,20 +145,63 @@ def main(argv=None) -> int:
                         help="which experiment to run")
     parser.add_argument("--quick", action="store_true",
                         help="smaller sweeps / shorter simulations")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="number of worker processes for sweep points (default 1)")
+    parser.add_argument("--points", type=int, default=None, metavar="N",
+                        help="run only the first N grid points of each experiment")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit result rows as JSON instead of tables")
+    parser.add_argument("--cache", nargs="?", const=DEFAULT_CACHE_DIR, default=None,
+                        metavar="DIR",
+                        help="cache per-point results on disk (default dir: "
+                             f"{DEFAULT_CACHE_DIR})")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.points is not None and args.points < 1:
+        parser.error("--points must be >= 1")
 
+    cache = None
+    if args.cache:
+        try:
+            cache = SweepCache(args.cache)
+        except OSError as exc:
+            parser.error(f"cannot use cache directory {args.cache!r}: {exc}")
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    json_payload: List[Dict[str, Any]] = []
     for name in names:
+        experiment = EXPERIMENTS[name]
+        specs = experiment.build_grid(args.quick)
+        if args.points is not None:
+            specs = specs[: args.points]
         started = time.time()
-        table = EXPERIMENTS[name](args.quick)
+        results = run_sweep(specs, jobs=args.jobs, cache=cache)
+        rows = merge_rows(results)
         elapsed = time.time() - started
-        print(table)
-        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        cached_points = sum(1 for r in results if r.cached)
+        if args.as_json:
+            json_payload.append({
+                "experiment": name,
+                "quick": args.quick,
+                "jobs": args.jobs,
+                "points": len(specs),
+                "cached_points": cached_points,
+                "elapsed_s": round(elapsed, 3),
+                "rows": rows_to_dicts(rows),
+            })
+        else:
+            print(experiment.format_rows(rows))
+            suffix = f", {cached_points}/{len(specs)} points cached" if cache else ""
+            print(f"[{name} completed in {elapsed:.1f}s with --jobs {args.jobs}{suffix}]\n")
+    if args.as_json:
+        json.dump(json_safe(json_payload), sys.stdout, indent=2, sort_keys=True,
+                  default=str, allow_nan=False)
+        print()
     return 0
 
 

@@ -1,0 +1,284 @@
+"""Parallel experiment sweep engine.
+
+Every evaluation figure in the paper is a sweep over scenario scale —
+attacker counts, ``Toff`` values, topology sizes, defense systems.  This
+module expresses such sweeps declaratively and executes them either serially
+or across worker processes:
+
+* :class:`ScenarioSpec` — one grid point: a registered scenario factory name,
+  a frozen parameter assignment, and a seed.  Specs are hashable, picklable,
+  and carry a stable cache key.
+* :func:`register_point` — registers a *point function* under a name.  Point
+  functions are plain module-level callables (``fn(seed=..., **params)``)
+  that build their own :class:`~repro.simulator.engine.Simulator`, run it,
+  and return one row (or a list of rows).  Because every point constructs
+  its simulator from scratch inside the worker, no simulator state is ever
+  shared between processes.
+* :func:`run_sweep` — executes a list of specs with ``jobs`` workers and
+  returns one :class:`SweepResult` per spec **in spec order**, so the merged
+  rows are byte-identical regardless of parallelism.
+* :class:`SweepCache` — an on-disk result cache keyed on
+  ``(experiment, params, seed)`` so re-runs are instant.
+
+Determinism notes: per-point randomness must flow exclusively from the
+spec's ``seed`` (use :func:`derive_seed` to fan a base seed out across grid
+points).  Worker processes are forked where the platform allows it so hash
+randomization — and with it ``set``/``dict`` iteration order — matches the
+parent process exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import multiprocessing
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Modules that register point functions; imported lazily so workers started
+#: with the ``spawn`` method (and fresh interpreters generally) can resolve
+#: any experiment name without the caller pre-importing its module.
+EXPERIMENT_MODULES: Tuple[str, ...] = (
+    "repro.experiments.fig7_overhead",
+    "repro.experiments.fig8_unwanted",
+    "repro.experiments.fig9_colluding",
+    "repro.experiments.fig10_parkinglot",
+    "repro.experiments.fig11_onoff",
+    "repro.experiments.fig13_multifeedback",
+    "repro.experiments.fig14_inference",
+    "repro.experiments.theorem_fairshare",
+)
+
+_POINT_REGISTRY: Dict[str, Callable[..., Any]] = {}
+
+
+def register_point(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a module-level point function under ``name``.
+
+    The function must accept ``seed`` plus the spec's parameters as keyword
+    arguments and return a row dataclass or a list of them.
+    """
+
+    def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+        existing = _POINT_REGISTRY.get(name)
+        if existing is not None and existing is not fn:
+            raise ValueError(f"point function {name!r} is already registered")
+        _POINT_REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def resolve_point(name: str) -> Callable[..., Any]:
+    """Look up a registered point function, importing experiment modules
+    on demand so fresh worker interpreters can self-populate the registry."""
+    if name not in _POINT_REGISTRY:
+        for module in EXPERIMENT_MODULES:
+            importlib.import_module(module)
+    try:
+        return _POINT_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_POINT_REGISTRY)) or "<none>"
+        raise KeyError(f"no point function registered as {name!r}; known: {known}") from None
+
+
+def derive_seed(base_seed: int, *parts: Any) -> int:
+    """Derive a deterministic per-point seed from a base seed and any
+    hashable description of the point (labels, parameter values, ...)."""
+    digest = hashlib.sha256(repr((base_seed,) + parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31 - 1)
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert lists/dicts to tuples so specs stay hashable."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One point of an experiment grid.
+
+    ``experiment`` names a registered point function; ``params`` is a sorted
+    tuple of ``(name, value)`` pairs (use :meth:`make`); ``seed`` seeds every
+    source of randomness inside the point.
+    """
+
+    experiment: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    seed: int = 1
+
+    @classmethod
+    def make(cls, experiment: str, seed: int = 1, **params: Any) -> "ScenarioSpec":
+        return cls(experiment=experiment, seed=seed, params=_freeze(params))
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def cache_key(self) -> str:
+        """Stable digest of (experiment, params, seed) for the result cache."""
+        payload = json.dumps(
+            {"experiment": self.experiment, "params": repr(self.params), "seed": self.seed},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.experiment}({inner}, seed={self.seed})"
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one executed (or cache-served) grid point."""
+
+    spec: ScenarioSpec
+    rows: List[Any]
+    elapsed_s: float = 0.0
+    cached: bool = False
+
+
+def merge_rows(results: Iterable[SweepResult]) -> List[Any]:
+    """Flatten per-point rows in spec order into one result table."""
+    merged: List[Any] = []
+    for result in results:
+        merged.extend(result.rows)
+    return merged
+
+
+class SweepCache:
+    """On-disk result cache keyed on ``(experiment, params, seed)``.
+
+    Entries are pickles of the row list, written atomically so concurrent
+    workers and interrupted runs can never leave a truncated entry behind.
+    """
+
+    #: Bump to invalidate all existing entries when row formats change.
+    VERSION = 1
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, spec: ScenarioSpec) -> str:
+        return os.path.join(
+            self.root, f"{spec.experiment}-v{self.VERSION}-{spec.cache_key()[:24]}.pkl"
+        )
+
+    def get(self, spec: ScenarioSpec) -> Optional[List[Any]]:
+        path = self._path(spec)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def put(self, spec: ScenarioSpec, rows: List[Any]) -> None:
+        path = self._path(spec)
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(rows, fh)
+            os.replace(tmp_path, path)
+        except (OSError, pickle.PicklingError):
+            # The cache is best-effort: a failed write must never fail a sweep.
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+
+def execute_spec(spec: ScenarioSpec) -> SweepResult:
+    """Run one grid point in the current process."""
+    fn = resolve_point(spec.experiment)
+    started = time.perf_counter()
+    out = fn(seed=spec.seed, **spec.kwargs)
+    elapsed = time.perf_counter() - started
+    rows = list(out) if isinstance(out, (list, tuple)) else [out]
+    return SweepResult(spec=spec, rows=rows, elapsed_s=elapsed)
+
+
+def _execute_in_worker(payload: Tuple[ScenarioSpec, str]) -> SweepResult:
+    """Pool entry point: import the point's registering module first.
+
+    Fork workers inherit the parent's registry, but spawn workers (macOS /
+    Windows) start with an empty one; importing the module that called
+    :func:`register_point` repopulates it even for points registered outside
+    :data:`EXPERIMENT_MODULES` (e.g. user extensions or test fixtures).
+    """
+    spec, module = payload
+    try:
+        importlib.import_module(module)
+    except ImportError:
+        pass  # fall back to resolve_point's EXPERIMENT_MODULES scan
+    return execute_spec(spec)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # Prefer fork: workers then share the parent's hash seed (identical
+    # set/dict iteration order) and its already-populated point registry.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_sweep(
+    specs: Sequence[ScenarioSpec],
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
+) -> List[SweepResult]:
+    """Execute every spec and return results in spec order.
+
+    ``jobs <= 1`` runs serially in-process; ``jobs > 1`` fans the uncached
+    points out over a :class:`multiprocessing.Pool`.  The returned row order
+    — and therefore any formatted table — is identical either way.
+    """
+    results: List[Optional[SweepResult]] = [None] * len(specs)
+    pending: List[Tuple[int, ScenarioSpec]] = []
+    for index, spec in enumerate(specs):
+        rows = cache.get(spec) if cache is not None else None
+        if rows is not None:
+            results[index] = SweepResult(spec=spec, rows=rows, cached=True)
+        else:
+            pending.append((index, spec))
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            ctx = _pool_context()
+            workers = min(jobs, len(pending))
+            payloads = [(spec, resolve_point(spec.experiment).__module__)
+                        for _, spec in pending]
+            with ctx.Pool(processes=workers) as pool:
+                executed = pool.map(_execute_in_worker, payloads)
+        else:
+            executed = [execute_spec(spec) for _, spec in pending]
+        for (index, spec), result in zip(pending, executed):
+            results[index] = result
+            if cache is not None:
+                cache.put(spec, result.rows)
+
+    return [result for result in results if result is not None]
+
+
+# ---------------------------------------------------------------------------
+# Synthetic benchmark point
+# ---------------------------------------------------------------------------
+
+@register_point("bench_sleep")
+def _bench_sleep_point(seed: int = 1, duration: float = 0.1, payload: int = 0) -> dict:
+    """A latency-bound synthetic point used by the sweep speedup benchmark.
+
+    Sleeping models a point whose wall-clock cost dominates its CPU cost, so
+    the benchmark measures the engine's dispatch overhead and parallel
+    scaling even on single-core CI runners.
+    """
+    time.sleep(duration)
+    return {"seed": seed, "duration": duration, "payload": payload}

@@ -16,10 +16,17 @@ This experiment checks the bound two ways:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.convergence import AimdFluidModel, FluidSender, fair_share_lower_bound
 from repro.experiments.scenarios import DumbbellScenarioConfig, run_dumbbell_scenario
+from repro.experiments.sweep import (
+    ScenarioSpec,
+    SweepCache,
+    merge_rows,
+    register_point,
+    run_sweep,
+)
 
 
 @dataclass
@@ -80,6 +87,19 @@ def _fluid_case(strategy: str, capacity_bps: float, num_legit: int, num_bad: int
     )
 
 
+@register_point("theorem_fluid")
+def run_fluid_point(
+    strategy: str,
+    capacity_bps: float = 10e6,
+    num_legitimate: int = 25,
+    num_malicious: int = 75,
+    intervals: int = 400,
+    seed: int = 1,
+) -> TheoremRow:
+    """One fluid-model check; the model is deterministic so ``seed`` is unused."""
+    return _fluid_case(strategy, capacity_bps, num_legitimate, num_malicious, intervals)
+
+
 def run_fluid(
     capacity_bps: float = 10e6,
     num_legitimate: int = 25,
@@ -136,10 +156,30 @@ def run_packet(
     )
 
 
-def run() -> List[TheoremRow]:
-    rows = run_fluid()
-    rows.append(run_packet())
-    return rows
+#: Registered under a distinct name so the grid can mix fluid and packet points.
+run_packet_point = register_point("theorem_packet")(run_packet)
+
+
+def grid(
+    strategies: Sequence[str] = ("always-on", "on-off", "slow-ramp"),
+    intervals: int = 400,
+    sim_time: float = 300.0,
+    warmup: float = 150.0,
+    seed: int = 1,
+) -> List[ScenarioSpec]:
+    """The theorem grid: one fluid spec per strategy plus the packet check."""
+    specs = [
+        ScenarioSpec.make("theorem_fluid", seed=seed, strategy=strategy,
+                          intervals=intervals)
+        for strategy in strategies
+    ]
+    specs.append(ScenarioSpec.make("theorem_packet", seed=seed,
+                                   sim_time=sim_time, warmup=warmup))
+    return specs
+
+
+def run(jobs: int = 1, cache: Optional[SweepCache] = None) -> List[TheoremRow]:
+    return merge_rows(run_sweep(grid(), jobs=jobs, cache=cache))
 
 
 def format_table(rows: List[TheoremRow]) -> str:

@@ -137,8 +137,14 @@ class Simulator:
         return self._now
 
     def reset(self) -> None:
-        """Clear all pending events and rewind the clock to zero."""
+        """Clear all pending events and rewind the clock to zero.
+
+        The event sequence counter restarts too, so a reset simulator orders
+        same-instant events exactly like a freshly constructed one — required
+        for deterministic results when sweep workers reuse a simulator.
+        """
         self._queue.clear()
+        self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
         self._stopped = False

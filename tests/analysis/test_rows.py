@@ -1,0 +1,47 @@
+"""Tests for the row serialization helpers used by sweeps and the CLI."""
+
+import collections
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.rows import json_safe, row_to_dict, rows_to_dicts, rows_to_json
+
+
+@dataclass
+class _Row:
+    name: str
+    value: float
+
+
+def test_row_to_dict_accepts_dataclass_mapping_and_namedtuple():
+    assert row_to_dict(_Row("a", 1.5)) == {"name": "a", "value": 1.5}
+    assert row_to_dict({"k": 1}) == {"k": 1}
+    Point = collections.namedtuple("Point", "x y")
+    assert row_to_dict(Point(1, 2)) == {"x": 1, "y": 2}
+
+
+def test_row_to_dict_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        row_to_dict(42)
+
+
+def test_rows_to_json_is_strict_json_despite_nan_and_bytes():
+    text = rows_to_json([_Row("no-transfers", float("nan")),
+                         {"mac": b"\x01\x02", "util": float("inf")}])
+    data = json.loads(text)  # json.loads with default settings accepts NaN…
+    json.loads(text, parse_constant=lambda _: pytest.fail("non-strict token"))
+    assert data[0]["value"] is None
+    assert data[1]["mac"] == "0102"
+    assert data[1]["util"] is None
+
+
+def test_json_safe_recurses_into_containers():
+    assert json_safe({"a": [float("nan"), (b"\xff",)]}) == {"a": [None, ["ff"]]}
+    assert json_safe(1.25) == 1.25
+
+
+def test_rows_to_dicts_preserves_order():
+    rows = rows_to_dicts([_Row("x", 1.0), _Row("y", 2.0)])
+    assert [r["name"] for r in rows] == ["x", "y"]

@@ -238,3 +238,64 @@ def test_inference_adjustment_increases_on_inferred_incr(limiter_rig):
     _feed_steadily(sim, limiter)
     assert limiter.adjust_with_inference() == "increase"
     assert limiter.rate_bps > start
+
+
+# ---------------------------------------------------------------------------
+# Leaky-bucket accounting regressions
+# ---------------------------------------------------------------------------
+
+def test_sustained_small_packet_goodput_tracks_rate_limit():
+    """Fractional accrued credit must survive the pass path (§4.3.3).
+
+    Bursts of sub-MTU packets offered at exactly ``rate_bps`` have to be
+    forwarded at ``rate_bps``.  The pre-fix code reset ``_last_departure`` to
+    ``now`` on every pass, discarding the rest of the burst's accrued credit;
+    with a constrained cache most of each burst was then dropped and the
+    sustained goodput collapsed far below the rate limit.
+    """
+    sim = Simulator()
+    params = NetFenceParams().with_overrides(max_caching_delay=0.02,
+                                             min_cache_bytes=300)
+    limiter = RegularRateLimiter(sim, "s", "L", params, release_fn=lambda p: None,
+                                 initial_rate_bps=120_000.0)
+    burst, size, gap = 8, 150, 0.08   # 8 pkts x 1200 bits / 0.08 s = 120 kbps
+    cycles = 500
+
+    def offer():
+        for _ in range(burst):
+            limiter.police(data_packet(size=size))
+
+    for k in range(cycles):
+        sim.schedule(1.0 + k * gap, offer)
+    sim.run(until=1.0 + cycles * gap)
+    goodput_bps = limiter.stats.bytes_forwarded * 8 / (cycles * gap)
+    assert goodput_bps == pytest.approx(limiter.rate_bps, rel=0.01)
+
+
+def test_idle_credit_still_capped_at_one_mtu_of_small_packets():
+    """Banked credit never exceeds the configured bucket depth."""
+    sim = Simulator()
+    params = NetFenceParams()
+    limiter = RegularRateLimiter(sim, "s", "L", params, release_fn=lambda p: None,
+                                 initial_rate_bps=120_000.0)
+    sim.schedule(1000.0, lambda: None)
+    sim.run()  # a very long idle period
+    verdicts = [limiter.police(data_packet(size=150)) for _ in range(100)]
+    # depth 1500 B / 150 B = at most 10 packets can pass from banked credit.
+    assert verdicts.count(PASS) == params.leaky_bucket_depth_bytes // 150
+
+
+def test_close_updates_release_and_forwarding_counters(limiter_rig):
+    sim, limiter, released = limiter_rig
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    for _ in range(3):
+        limiter.police(data_packet())
+    assert limiter.stats.released == 0
+    forwarded_before = limiter.stats.bytes_forwarded
+    limiter.close()
+    # The two cached packets were flushed through release_fn, so they must be
+    # counted exactly like ordinary releases.
+    assert len(released) == 2
+    assert limiter.stats.released == 2
+    assert limiter.stats.bytes_forwarded == forwarded_before + 2 * 1500

@@ -1,0 +1,202 @@
+"""Tests for the parallel sweep engine and the experiment runner CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments import fig8_unwanted, fig9_colluding, runner, theorem_fairshare
+from repro.experiments.sweep import (
+    ScenarioSpec,
+    SweepCache,
+    derive_seed,
+    execute_spec,
+    merge_rows,
+    register_point,
+    resolve_point,
+    run_sweep,
+)
+
+
+@register_point("_test_square")
+def _square_point(seed=1, value=0, marker_file=None):
+    """A trivial point function; optionally records that it actually ran."""
+    if marker_file is not None:
+        with open(marker_file, "a") as fh:
+            fh.write("x")
+    return {"seed": seed, "square": value * value}
+
+
+# ---------------------------------------------------------------------------
+# Specs
+# ---------------------------------------------------------------------------
+
+def test_spec_params_are_sorted_and_hashable():
+    a = ScenarioSpec.make("_test_square", value=3, marker_file=None)
+    b = ScenarioSpec.make("_test_square", marker_file=None, value=3)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a.kwargs == {"value": 3, "marker_file": None}
+
+
+def test_spec_cache_key_depends_on_params_and_seed():
+    base = ScenarioSpec.make("_test_square", value=3)
+    assert base.cache_key() == ScenarioSpec.make("_test_square", value=3).cache_key()
+    assert base.cache_key() != ScenarioSpec.make("_test_square", value=4).cache_key()
+    assert base.cache_key() != ScenarioSpec.make("_test_square", seed=2, value=3).cache_key()
+
+
+def test_spec_freezes_nested_containers():
+    spec = ScenarioSpec.make("_test_square", value=3, extras={"b": [1, 2], "a": 0})
+    assert hash(spec) is not None
+    assert spec.kwargs["extras"] == (("a", 0), ("b", (1, 2)))
+
+
+def test_derive_seed_is_deterministic_and_spreads():
+    assert derive_seed(1, "fig8", "25K") == derive_seed(1, "fig8", "25K")
+    seeds = {derive_seed(1, "fig8", label) for label in ("25K", "50K", "100K", "200K")}
+    assert len(seeds) == 4
+
+
+def test_resolve_point_imports_experiment_modules():
+    fn = resolve_point("fig8")
+    assert fn is fig8_unwanted.run_point
+    with pytest.raises(KeyError):
+        resolve_point("no-such-experiment")
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def test_run_sweep_serial_preserves_spec_order():
+    specs = [ScenarioSpec.make("_test_square", value=v) for v in (3, 1, 2)]
+    results = run_sweep(specs, jobs=1)
+    assert [r.spec for r in results] == specs
+    assert [r.rows[0]["square"] for r in results] == [9, 1, 4]
+    assert merge_rows(results) == [{"seed": 1, "square": 9},
+                                   {"seed": 1, "square": 1},
+                                   {"seed": 1, "square": 4}]
+
+
+def test_run_sweep_parallel_rows_identical_to_serial():
+    specs = [ScenarioSpec.make("_test_square", value=v, seed=v) for v in range(6)]
+    serial = merge_rows(run_sweep(specs, jobs=1))
+    parallel = merge_rows(run_sweep(specs, jobs=3))
+    assert parallel == serial
+
+
+def test_run_sweep_parallel_matches_serial_on_real_fluid_points():
+    """A real experiment grid run through worker processes is byte-identical."""
+    specs = [
+        ScenarioSpec.make("theorem_fluid", strategy=strategy, intervals=60,
+                          num_legitimate=4, num_malicious=8, capacity_bps=2e6)
+        for strategy in ("always-on", "on-off", "slow-ramp")
+    ]
+    serial = merge_rows(run_sweep(specs, jobs=1))
+    parallel = merge_rows(run_sweep(specs, jobs=2))
+    assert [row.as_tuple() for row in parallel] == [row.as_tuple() for row in serial]
+    assert parallel == serial
+
+
+def test_execute_spec_wraps_single_row_in_list():
+    result = execute_spec(ScenarioSpec.make("_test_square", value=5))
+    assert result.rows == [{"seed": 1, "square": 25}]
+    assert result.elapsed_s >= 0.0
+    assert not result.cached
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+def test_sweep_cache_round_trip(tmp_path):
+    cache = SweepCache(str(tmp_path / "cache"))
+    spec = ScenarioSpec.make("_test_square", value=7)
+    assert cache.get(spec) is None
+    cache.put(spec, [{"square": 49}])
+    assert cache.get(spec) == [{"square": 49}]
+
+
+def test_run_sweep_serves_repeat_runs_from_cache(tmp_path):
+    cache = SweepCache(str(tmp_path / "cache"))
+    marker = tmp_path / "ran.txt"
+    specs = [ScenarioSpec.make("_test_square", value=v, marker_file=str(marker))
+             for v in (2, 3)]
+    first = run_sweep(specs, cache=cache)
+    assert marker.read_text() == "xx"
+    assert all(not r.cached for r in first)
+
+    second = run_sweep(specs, cache=cache)
+    assert marker.read_text() == "xx"  # nothing re-ran
+    assert all(r.cached for r in second)
+    assert merge_rows(second) == merge_rows(first)
+
+
+# ---------------------------------------------------------------------------
+# Grids
+# ---------------------------------------------------------------------------
+
+def test_fig8_grid_covers_every_scale_and_system():
+    specs = fig8_unwanted.grid()
+    assert len(specs) == len(fig8_unwanted.SCALE_STEPS) * len(fig8_unwanted.SYSTEMS)
+    assert all(spec.experiment == "fig8" for spec in specs)
+    labels = {spec.kwargs["scale_label"] for spec in specs}
+    assert labels == {label for label, *_ in fig8_unwanted.SCALE_STEPS}
+
+
+def test_fig9_grid_covers_both_workloads():
+    specs = fig9_colluding.grid(scale_steps=fig9_colluding.SCALE_STEPS[:1])
+    assert len(specs) == 2 * len(fig9_colluding.SYSTEMS)
+    assert {spec.kwargs["workload"] for spec in specs} == {"longrun", "web"}
+
+
+def test_theorem_grid_mixes_fluid_and_packet_points():
+    specs = theorem_fairshare.grid()
+    assert [spec.experiment for spec in specs] == [
+        "theorem_fluid", "theorem_fluid", "theorem_fluid", "theorem_packet",
+    ]
+
+
+def test_runner_grids_exist_for_every_experiment():
+    for name, experiment in runner.EXPERIMENTS.items():
+        quick = experiment.build_grid(True)
+        full = experiment.build_grid(False)
+        assert quick, name
+        assert len(quick) <= len(full)
+
+
+# ---------------------------------------------------------------------------
+# Runner CLI
+# ---------------------------------------------------------------------------
+
+def test_runner_list(capsys):
+    assert runner.main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == sorted(runner.EXPERIMENTS)
+
+
+def test_runner_rejects_bad_jobs_and_points():
+    with pytest.raises(SystemExit):
+        runner.main(["fig7", "--jobs", "0"])
+    with pytest.raises(SystemExit):
+        runner.main(["fig7", "--points", "0"])
+
+
+def test_runner_json_points_limit(capsys):
+    assert runner.main(["fig7", "--quick", "--points", "1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    entry = payload[0]
+    assert entry["experiment"] == "fig7"
+    assert entry["points"] == 1
+    # One fig7 point measures all six (system, packet, router) combinations.
+    assert len(entry["rows"]) == 6
+    assert {"system", "packet_type", "router_type", "attack", "ns_per_packet"} \
+        <= set(entry["rows"][0])
+
+
+def test_runner_table_output_mentions_jobs(capsys):
+    assert runner.main(["fig7", "--quick", "--points", "1", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 7" in out
+    assert "--jobs 2" in out

@@ -1,0 +1,191 @@
+"""Property-style round-trip tests for feedback stamping and validation (§4.4).
+
+Every feedback kind the design stamps — ``nop``, ``L↑``, ``L↓``, and the
+Appendix B.1 multi-bottleneck chain — must validate at the access router that
+stamped it, and must be rejected when tampered with, presented with the wrong
+bottleneck AS, or replayed after the expiration window.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feedback import (
+    BottleneckStamper,
+    FeedbackAction,
+    FeedbackStamper,
+    multi_append,
+    multi_stamp_nop,
+    multi_validate,
+)
+from repro.crypto.keys import AccessRouterSecret, ASKeyRegistry
+
+LOCAL_AS = "AS-src"
+LINK_AS = "AS-core"
+OTHER_AS = "AS-other"
+
+hosts = st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=8)
+links = st.sampled_from(["L1", "L2", "bottleneck", "core-link"])
+timestamps = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+def make_rig(master: bytes = b"prop-roundtrip"):
+    secret = AccessRouterSecret("Ra", master=master)
+    registry = ASKeyRegistry(master=master)
+    stamper = FeedbackStamper(secret, registry, LOCAL_AS)
+    bottleneck = BottleneckStamper(registry, LINK_AS)
+    return secret, registry, stamper, bottleneck
+
+
+# ---------------------------------------------------------------------------
+# nop and L↑
+# ---------------------------------------------------------------------------
+
+@given(hosts, hosts, timestamps)
+def test_nop_round_trip_validates(src, dst, ts):
+    _, _, stamper, _ = make_rig()
+    nop = stamper.stamp_nop(src, dst, ts)
+    assert stamper.validate(nop, src, dst, ts, expiration=4.0)
+
+
+@given(hosts, hosts, links, timestamps)
+def test_incr_round_trip_validates(src, dst, link, ts):
+    _, _, stamper, _ = make_rig()
+    incr = stamper.stamp_incr(src, dst, link, ts)
+    assert incr.is_incr
+    assert stamper.validate(incr, src, dst, ts, expiration=4.0)
+
+
+@given(hosts, hosts, links, timestamps)
+def test_decr_round_trip_validates_with_link_as(src, dst, link, ts):
+    """The Eq. 1 → Eq. 3 chain: nop stamped at the access router, consumed by
+    the bottleneck into L↓, then validated back at the access router."""
+    _, _, stamper, bottleneck = make_rig()
+    nop = stamper.stamp_nop(src, dst, ts)
+    decr = bottleneck.stamp_decr(nop, src, dst, LOCAL_AS, link)
+    assert decr.is_decr
+    assert decr.token_nop is None  # erased to stop downstream tampering
+    assert stamper.validate(decr, src, dst, ts, expiration=4.0, link_as=LINK_AS)
+
+
+@given(hosts, hosts, links, timestamps)
+def test_decr_from_incr_round_trip_validates(src, dst, link, ts):
+    """L↑ carries a dedicated token_nop; the bottleneck consumes that one."""
+    _, _, stamper, bottleneck = make_rig()
+    incr = stamper.stamp_incr(src, dst, link, ts)
+    decr = bottleneck.stamp_decr(incr, src, dst, LOCAL_AS, link)
+    assert stamper.validate(decr, src, dst, ts, expiration=4.0, link_as=LINK_AS)
+
+
+# ---------------------------------------------------------------------------
+# Rejections
+# ---------------------------------------------------------------------------
+
+@given(hosts, hosts, links, timestamps, st.integers(min_value=0, max_value=15))
+def test_tampered_mac_is_rejected(src, dst, link, ts, flip_byte):
+    _, _, stamper, bottleneck = make_rig()
+    for feedback in (
+        stamper.stamp_nop(src, dst, ts),
+        stamper.stamp_incr(src, dst, link, ts),
+        bottleneck.stamp_decr(stamper.stamp_nop(src, dst, ts), src, dst, LOCAL_AS, link),
+    ):
+        index = flip_byte % len(feedback.mac)
+        corrupted = bytes(
+            b ^ (0xFF if i == index else 0) for i, b in enumerate(feedback.mac)
+        )
+        tampered = dataclasses.replace(feedback, mac=corrupted)
+        assert not stamper.validate(tampered, src, dst, ts, expiration=4.0,
+                                    link_as=LINK_AS)
+
+
+@given(hosts, hosts, links, timestamps)
+def test_decr_with_wrong_link_as_is_rejected(src, dst, link, ts):
+    """A sender cannot claim the L↓ came from a different bottleneck AS."""
+    _, _, stamper, bottleneck = make_rig()
+    decr = bottleneck.stamp_decr(stamper.stamp_nop(src, dst, ts), src, dst,
+                                 LOCAL_AS, link)
+    assert not stamper.validate(decr, src, dst, ts, expiration=4.0, link_as=OTHER_AS)
+    assert not stamper.validate(decr, src, dst, ts, expiration=4.0, link_as=None)
+
+
+@given(hosts, hosts, links, timestamps, st.floats(min_value=4.001, max_value=1e4))
+def test_expired_feedback_is_rejected(src, dst, link, ts, age):
+    _, _, stamper, bottleneck = make_rig()
+    for feedback in (
+        stamper.stamp_nop(src, dst, ts),
+        stamper.stamp_incr(src, dst, link, ts),
+        bottleneck.stamp_decr(stamper.stamp_nop(src, dst, ts), src, dst, LOCAL_AS, link),
+    ):
+        assert not stamper.validate(feedback, src, dst, ts + age, expiration=4.0,
+                                    link_as=LINK_AS)
+
+
+@given(hosts, hosts, hosts, timestamps)
+def test_feedback_bound_to_src_dst_pair(src, dst, other, ts):
+    """Feedback stamped for one (src, dst) pair never validates for another."""
+    _, _, stamper, _ = make_rig()
+    nop = stamper.stamp_nop(src, dst, ts)
+    if other != src:
+        assert not stamper.validate(nop, other, dst, ts, expiration=4.0)
+    if other != dst:
+        assert not stamper.validate(nop, src, other, ts, expiration=4.0)
+
+
+# ---------------------------------------------------------------------------
+# Appendix B.1: multi-bottleneck chain (Eqs. 4–5)
+# ---------------------------------------------------------------------------
+
+@given(hosts, hosts, timestamps,
+       st.lists(st.tuples(links, st.sampled_from([FeedbackAction.INCR,
+                                                  FeedbackAction.DECR])),
+                min_size=0, max_size=4, unique_by=lambda pair: pair[0]))
+@settings(max_examples=50)
+def test_multi_feedback_chain_round_trip(src, dst, ts, chain_steps):
+    secret, registry, _, _ = make_rig()
+    feedback = multi_stamp_nop(secret, src, dst, ts)
+    for link, action in chain_steps:
+        feedback = multi_append(registry, LINK_AS, LOCAL_AS, feedback, src, dst,
+                                link, action)
+    assert feedback.chain == tuple((link, action.value) for link, action in chain_steps)
+    assert multi_validate(secret, registry, LOCAL_AS, feedback, src, dst, ts,
+                          expiration=4.0, link_as_resolver=lambda link: LINK_AS)
+    # The summary action is DECR iff any on-path bottleneck stamped DECR.
+    if chain_steps:
+        expect_decr = any(action is FeedbackAction.DECR for _, action in chain_steps)
+        assert feedback.is_decr == expect_decr
+
+
+@given(hosts, hosts, timestamps, links, links)
+def test_multi_feedback_chain_tampering_rejected(src, dst, ts, link_a, link_b):
+    secret, registry, _, _ = make_rig()
+    feedback = multi_stamp_nop(secret, src, dst, ts)
+    feedback = multi_append(registry, LINK_AS, LOCAL_AS, feedback, src, dst,
+                            link_a, FeedbackAction.DECR)
+
+    def resolver(link):
+        return LINK_AS
+
+    # Dropping or rewriting a chain entry invalidates the folded token.
+    truncated = dataclasses.replace(feedback, chain=())
+    assert not multi_validate(secret, registry, LOCAL_AS, truncated, src, dst, ts,
+                              expiration=4.0, link_as_resolver=resolver)
+    if link_b != link_a:
+        rewritten = dataclasses.replace(feedback, chain=((link_b, "decr"),))
+        assert not multi_validate(secret, registry, LOCAL_AS, rewritten, src, dst,
+                                  ts, expiration=4.0, link_as_resolver=resolver)
+    upgraded = dataclasses.replace(feedback, chain=((link_a, "incr"),))
+    assert not multi_validate(secret, registry, LOCAL_AS, upgraded, src, dst, ts,
+                              expiration=4.0, link_as_resolver=resolver)
+    # An unresolvable link AS (no IP-to-AS mapping) is a rejection too.
+    assert not multi_validate(secret, registry, LOCAL_AS, feedback, src, dst, ts,
+                              expiration=4.0, link_as_resolver=lambda link: None)
+
+
+@given(hosts, hosts, timestamps)
+def test_multi_feedback_expired_rejected(src, dst, ts):
+    secret, registry, _, _ = make_rig()
+    feedback = multi_stamp_nop(secret, src, dst, ts)
+    assert not multi_validate(secret, registry, LOCAL_AS, feedback, src, dst,
+                              ts + 4.5, expiration=4.0,
+                              link_as_resolver=lambda link: LINK_AS)
