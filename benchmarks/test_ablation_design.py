@@ -44,8 +44,8 @@ def test_ablation_hysteresis_protects_against_onoff(benchmark, once):
     def run_with_hysteresis(intervals):
         original = scenarios._netfence_components
 
-        def patched(config):
-            params, domain, policy = original(config)
+        def patched(config, plan=None):
+            params, domain, policy = original(config, plan)
             params = params.with_overrides(hysteresis_intervals=intervals)
             domain.params = params
             return params, domain, policy

@@ -1,0 +1,45 @@
+"""Fig. 12 (§5) — partial deployment protects upgraded ASes first.
+
+Expected shape: under NetFence the legitimate-traffic share of the
+bottleneck grows with the deployment fraction, at fraction 1.0 it reaches
+the full-deployment operating point of the other dumbbell experiments, and
+the strategic attacker (AIMD-clock-aligned bursts plus an increase-farming
+trickle) costs legitimate users measurably more than a naive on-off flood
+of equal average volume.
+"""
+
+from repro.experiments import fig12_deployment
+from repro.experiments.sweep import merge_rows, run_sweep
+
+
+def _run_subset():
+    # The netfence half carries the strategy comparison; the fq baseline
+    # only needs the endpoints to show deployment-independence.
+    specs = fig12_deployment.grid(
+        systems=("netfence",), fractions=(0.0, 0.5, 1.0),
+        strategies=("constant", "onoff", "strategic"),
+        sim_time=150.0, warmup=50.0,
+    ) + fig12_deployment.grid(
+        systems=("fq",), fractions=(0.0, 1.0), strategies=("constant",),
+        sim_time=150.0, warmup=50.0,
+    )
+    return merge_rows(run_sweep(specs, jobs=4))
+
+
+def test_fig12_deployment_sweep(benchmark, once):
+    rows = once(benchmark, _run_subset)
+    print("\n" + fig12_deployment.format_table(rows))
+
+    def share(system, fraction, strategy):
+        return [r.legit_share for r in rows
+                if r.system == system and r.deployment_fraction == fraction
+                and r.attacker_strategy == strategy][0]
+
+    # Deployment helps: going from nobody to everybody upgraded must raise
+    # the legitimate share substantially under the constant-rate flood.
+    assert share("netfence", 1.0, "constant") > share("netfence", 0.0, "constant") + 0.1
+    # FQ has no deployment concept: its share must not depend on the fraction.
+    fq_shares = [r.legit_share for r in rows if r.system == "fq"]
+    assert max(fq_shares) - min(fq_shares) < 0.05
+    # The strategic attacker beats the equal-volume naive on-off attacker.
+    assert share("netfence", 1.0, "strategic") < share("netfence", 1.0, "onoff") - 0.05

@@ -37,6 +37,20 @@ def throughput_ratio(
     return user_avg / attacker_avg
 
 
+def traffic_share(throughputs_bps: Sequence[float], capacity_bps: float) -> float:
+    """Fraction of a link's capacity delivered to one sender population.
+
+    The §5 partial-deployment analysis reports the *legitimate-traffic
+    share*: the sum of legitimate senders' goodput over the bottleneck
+    capacity.  Clamped to [0, 1] so measurement jitter (goodput sampled at
+    receivers, capacity at the link) cannot push it out of range.
+    """
+    if capacity_bps <= 0:
+        raise ValueError("capacity_bps must be positive")
+    total = sum(max(v, 0.0) for v in throughputs_bps)
+    return min(total / capacity_bps, 1.0)
+
+
 @dataclass
 class ThroughputSummary:
     """Aggregate view of one sender population's throughputs."""

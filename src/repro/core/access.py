@@ -172,3 +172,26 @@ class NetFenceAccessRouter(Router):
     @property
     def active_rate_limiters(self) -> int:
         return len(self.rate_limiters)
+
+
+class LegacyAccessRouter(Router):
+    """An access router in a non-upgraded AS (§5, partial deployment).
+
+    It performs no policing, validates nothing, and attaches no feedback;
+    packets its own hosts originate without a NetFence header are marked as
+    legacy traffic so every downstream NetFence router serves them on the
+    lowest-priority ``legacy`` channel.  (In the paper the demotion happens
+    at the first NetFence router the packet crosses; marking at the origin
+    access router is observationally identical and keeps transit routers on
+    their fast path.)
+    """
+
+    def __init__(self, sim: Simulator, name: str, as_name: Optional[str] = None) -> None:
+        super().__init__(sim, name, as_name=as_name)
+        self.legacy_marked = 0
+
+    def admit_from_host(self, packet: Packet, from_link: Optional[Link]) -> Optional[bool]:
+        if not packet.is_legacy and get_netfence_header(packet) is None:
+            packet.ptype = PacketType.LEGACY
+            self.legacy_marked += 1
+        return True

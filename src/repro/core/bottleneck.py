@@ -19,9 +19,12 @@ hysteresis of §4.3.4.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
+
+from repro.seeding import derive_seed
 
 from repro.core.domain import NetFenceDomain
 from repro.core.feedback import (
@@ -66,6 +69,7 @@ class NetFenceChannelQueue(PacketQueue):
         capacity_bps: float,
         params: Optional[NetFenceParams] = None,
         as_fairness: bool = False,
+        seed: Optional[int] = None,
     ) -> None:
         super().__init__()
         self.sim = sim
@@ -84,13 +88,15 @@ class NetFenceChannelQueue(PacketQueue):
                 minthresh_fraction=self.params.red_minthresh_fraction,
                 maxthresh_fraction=self.params.red_maxthresh_fraction,
                 wq=self.params.red_wq,
+                seed=seed,
             )
         request_capacity = max(int(qlim_bytes * self.params.request_channel_fraction), 4 * 1_500)
         self.request_queue = LevelPriorityQueue(
             capacity_bytes=request_capacity,
             max_level=self.params.max_priority_level,
         )
-        self.legacy_queue = DropTailQueue(capacity_bytes=max(qlim_bytes // 4, 3_000))
+        legacy_capacity = max(int(qlim_bytes * self.params.legacy_queue_fraction), 3_000)
+        self.legacy_queue = DropTailQueue(capacity_bytes=legacy_capacity)
 
         # Request-channel bandwidth budget (bytes); refills continuously.
         self._request_budget = 0.0
@@ -188,11 +194,20 @@ def netfence_queue_factory(
     sim: Simulator,
     params: Optional[NetFenceParams] = None,
     as_fairness: bool = False,
+    seed: Optional[int] = None,
 ) -> Callable[[float], NetFenceChannelQueue]:
-    """Return a queue factory for :class:`repro.simulator.topology.Topology`."""
+    """Return a queue factory for :class:`repro.simulator.topology.Topology`.
+
+    When ``seed`` is given, each queue the factory builds receives its own
+    seed derived from ``(seed, creation index)``, so every RED instance draws
+    an independent — yet scenario-reproducible — random stream.
+    """
+    counter = itertools.count()
 
     def factory(capacity_bps: float) -> NetFenceChannelQueue:
-        return NetFenceChannelQueue(sim, capacity_bps, params=params, as_fairness=as_fairness)
+        queue_seed = None if seed is None else derive_seed(seed, "bneck-queue", next(counter))
+        return NetFenceChannelQueue(sim, capacity_bps, params=params,
+                                    as_fairness=as_fairness, seed=queue_seed)
 
     return factory
 
@@ -347,6 +362,20 @@ class NetFenceRouter(Router):
             self.mark_overloaded(link.name)
         if now - state.last_attack_time > self.params.monitor_cycle_min_duration:
             self.stop_monitoring(link.name)
+
+    # -- partial deployment (§5) ---------------------------------------------------
+    def on_transit(self, packet: Packet, from_link: Optional[Link]) -> bool:
+        """Demote transit packets that carry no NetFence header.
+
+        Under partial deployment, traffic from legacy ASes reaches NetFence
+        routers unstamped; §5 forwards it on the low-priority legacy channel
+        rather than letting it compete with policed regular traffic.  In a
+        full deployment every packet from a NetFence end host carries a
+        header, so this never fires.
+        """
+        if not packet.is_legacy and get_netfence_header(packet) is None:
+            packet.ptype = PacketType.LEGACY
+        return True
 
     # -- feedback stamping (§4.3.2) ------------------------------------------------
     def before_enqueue(self, packet: Packet, out_link: Link) -> bool:

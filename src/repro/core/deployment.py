@@ -1,0 +1,101 @@
+"""Partial-deployment planning (§5 of the paper).
+
+NetFence is deployable at the granularity of an AS: an upgraded ("enabled")
+AS runs NetFence access routers and its hosts speak the NetFence header
+protocol, while a legacy AS forwards plain IP.  Traffic that reaches a
+NetFence bottleneck without a valid header travels on the low-priority
+``legacy`` channel, so upgraded sources keep their congestion-policing
+guarantees even when most of the Internet has not deployed (§5's incremental
+deployment argument — early adopters are protected first).
+
+:class:`DeploymentPlan` captures one concrete deployment state for a
+scenario: which source ASes are enabled, and whether the bottleneck AS
+itself runs NetFence.  Plans are value objects — hashable, picklable, and
+deterministic for a given ``(num_source_as, fraction, seed)`` — so sweep
+grid points that share a deployment fraction always police the same AS
+subset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.seeding import derive_seed
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """Which parts of a scenario topology run NetFence.
+
+    Attributes:
+        num_source_as: total number of source ASes in the topology.
+        enabled_as: sorted indices of the NetFence-enabled source ASes.
+        bottleneck_enabled: whether the bottleneck AS runs NetFence routers.
+            When ``False`` the bottleneck is a plain FIFO router and no
+            feedback is ever stamped — the fraction-0-everywhere baseline.
+    """
+
+    num_source_as: int
+    enabled_as: Tuple[int, ...] = ()
+    bottleneck_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_source_as < 0:
+            raise ValueError("num_source_as must be non-negative")
+        bad = [i for i in self.enabled_as if not 0 <= i < self.num_source_as]
+        if bad:
+            raise ValueError(f"enabled AS indices out of range: {bad}")
+        ordered = tuple(sorted(set(self.enabled_as)))
+        if ordered != self.enabled_as:
+            object.__setattr__(self, "enabled_as", ordered)
+
+    @classmethod
+    def full(cls, num_source_as: int) -> "DeploymentPlan":
+        """Everyone deployed — the implicit plan of all pre-§5 experiments."""
+        return cls(num_source_as=num_source_as,
+                   enabled_as=tuple(range(num_source_as)))
+
+    @classmethod
+    def from_fraction(
+        cls,
+        num_source_as: int,
+        fraction: float,
+        seed: int = 0,
+        bottleneck_enabled: bool = True,
+    ) -> "DeploymentPlan":
+        """Enable a deterministic, seed-derived subset of the source ASes.
+
+        ``round(fraction * num_source_as)`` ASes are chosen with a dedicated
+        RNG stream derived from ``seed``, so the subset is stable across
+        runs, processes, and sweep workers but varies with the scenario seed
+        like every other source of randomness.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("deployment fraction must be within [0, 1]")
+        count = round(fraction * num_source_as)
+        rng = random.Random(derive_seed(seed, "deployment-plan", num_source_as, count))
+        enabled = tuple(sorted(rng.sample(range(num_source_as), count)))
+        return cls(num_source_as=num_source_as, enabled_as=enabled,
+                   bottleneck_enabled=bottleneck_enabled)
+
+    def is_enabled(self, as_index: int) -> bool:
+        """Whether source AS ``as_index`` runs NetFence."""
+        return as_index in self.enabled_as
+
+    @property
+    def fraction(self) -> float:
+        """The realized deployment fraction among source ASes."""
+        if self.num_source_as == 0:
+            return 0.0
+        return len(self.enabled_as) / self.num_source_as
+
+    @property
+    def is_full(self) -> bool:
+        return self.bottleneck_enabled and len(self.enabled_as) == self.num_source_as
+
+    def describe(self) -> str:
+        bneck = "netfence" if self.bottleneck_enabled else "legacy"
+        return (f"deployment {len(self.enabled_as)}/{self.num_source_as} source ASes, "
+                f"bottleneck {bneck}")

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.core.deployment import DeploymentPlan
 from repro.core.params import NetFenceParams
 from repro.crypto.keys import ASKeyRegistry
 
@@ -21,7 +22,8 @@ class NetFenceDomain:
 
     def __init__(self, params: Optional[NetFenceParams] = None,
                  master: Optional[bytes] = None,
-                 feedback_mode: str = "single") -> None:
+                 feedback_mode: str = "single",
+                 deployment: Optional[DeploymentPlan] = None) -> None:
         if feedback_mode not in ("single", "multi"):
             raise ValueError("feedback_mode must be 'single' or 'multi'")
         self.params = params or NetFenceParams()
@@ -29,6 +31,10 @@ class NetFenceDomain:
         #: "single" is the core design (§4); "multi" carries feedback from
         #: every on-path bottleneck in one packet (Appendix B.1).
         self.feedback_mode = feedback_mode
+        #: The partial-deployment plan this simulation runs under, ``None``
+        #: meaning full deployment (§5).  Recorded here so routers, monitors,
+        #: and result collectors can introspect which ASes are upgraded.
+        self.deployment = deployment
         self._link_owner: Dict[str, str] = {}
 
     def register_link(self, link_name: str, as_name: str) -> None:

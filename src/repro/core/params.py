@@ -67,6 +67,10 @@ class NetFenceParams:
     red_minthresh_fraction: float = 0.5
     red_maxthresh_fraction: float = 0.75
     red_wq: float = 0.1
+    # Fraction of the regular channel's byte limit given to the legacy
+    # channel's drop-tail queue (§5: legacy traffic is served at the lowest
+    # priority, so it needs only a shallow buffer).
+    legacy_queue_fraction: float = 0.25
 
     # Hysteresis: a congested link keeps stamping L↓ for this many control
     # intervals after congestion abates (§4.3.4 shows 2·Ilim is the minimum

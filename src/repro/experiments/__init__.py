@@ -10,6 +10,8 @@
   long-running TCP and web-like workloads (Fig. 9).
 * :mod:`repro.experiments.fig10_parkinglot` — multiple bottlenecks (Fig. 10).
 * :mod:`repro.experiments.fig11_onoff` — microscopic on-off attacks (Fig. 11).
+* :mod:`repro.experiments.fig12_deployment` — §5 partial deployment ×
+  strategic attackers (deployment-fraction sweep).
 * :mod:`repro.experiments.fig13_multifeedback` — Appendix B.1 multi-bottleneck
   feedback (Fig. 13).
 * :mod:`repro.experiments.fig14_inference` — Appendix B.2 rate-limiter

@@ -37,6 +37,7 @@ from repro.experiments import (
     fig9_colluding,
     fig10_parkinglot,
     fig11_onoff,
+    fig12_deployment,
     fig13_multifeedback,
     fig14_inference,
     theorem_fairshare,
@@ -93,6 +94,15 @@ def _fig11_grid(quick: bool) -> List[ScenarioSpec]:
     )
 
 
+def _fig12_grid(quick: bool) -> List[ScenarioSpec]:
+    return fig12_deployment.grid(
+        fractions=(0.0, 0.5, 1.0) if quick else fig12_deployment.FRACTIONS,
+        strategies=("constant", "strategic") if quick else fig12_deployment.STRATEGIES,
+        sim_time=80.0 if quick else 150.0,
+        warmup=30.0 if quick else 50.0,
+    )
+
+
 def _fig13_grid(quick: bool) -> List[ScenarioSpec]:
     return fig13_multifeedback.grid(
         sim_time=120.0 if quick else 200.0,
@@ -119,6 +129,7 @@ EXPERIMENTS: Dict[str, ExperimentDef] = {
     "fig9": ExperimentDef("fig9", _fig9_grid, fig9_colluding.format_table),
     "fig10": ExperimentDef("fig10", _fig10_grid, fig10_parkinglot.format_table),
     "fig11": ExperimentDef("fig11", _fig11_grid, fig11_onoff.format_table),
+    "fig12": ExperimentDef("fig12", _fig12_grid, fig12_deployment.format_table),
     "fig13": ExperimentDef(
         "fig13", _fig13_grid,
         lambda rows: fig10_parkinglot.format_table(

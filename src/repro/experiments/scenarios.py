@@ -17,6 +17,12 @@ workload against each.  The topologies are scaled down relative to the paper
 (the paper itself scales the bottleneck instead of the sender count, §6.3.1);
 what is preserved is the per-sender fair share, which stays in NetFence's
 50–400 Kbps operating region.
+
+Dumbbell scenarios additionally support the §5 partial-deployment axis
+(``deployment_fraction`` / ``bottleneck_deployed`` select which source ASes
+run NetFence access routers versus legacy ones), per-AS workload mixes
+(``as_workloads``), and an ``attack_strategy`` axis — ``constant``,
+equal-volume naive ``onoff``, or the AIMD-aware ``strategic`` attacker.
 """
 
 from __future__ import annotations
@@ -26,12 +32,13 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.metrics import jain_fairness_index, throughput_ratio
+from repro.analysis.metrics import jain_fairness_index, throughput_ratio, traffic_share
 from repro.baselines.fq import fq_queue_factory
 from repro.baselines.stopit import FilterRegistry, StopItAccessRouter, stopit_queue_factory
 from repro.baselines.tva import CapabilityEndHost, TvaRouter, tva_queue_factory
-from repro.core.access import NetFenceAccessRouter
+from repro.core.access import LegacyAccessRouter, NetFenceAccessRouter
 from repro.core.bottleneck import NetFenceRouter, netfence_queue_factory
+from repro.core.deployment import DeploymentPlan
 from repro.core.domain import NetFenceDomain
 from repro.core.endhost import NetFenceEndHost, ReturnPolicy
 from repro.core.multibottleneck import (
@@ -40,6 +47,7 @@ from repro.core.multibottleneck import (
     SingleBottleneckPolicy,
 )
 from repro.core.params import NetFenceParams
+from repro.seeding import derive_seed
 from repro.simulator.node import Router
 from repro.simulator.packet import PacketType, REQUEST_PACKET_SIZE
 from repro.simulator.topology import (
@@ -54,10 +62,11 @@ from repro.transport.traffic import (
     TransferLog,
     WebTrafficApp,
 )
-from repro.transport.udp import OnOffPattern, UdpSender, UdpSink
+from repro.transport.udp import OnOffPattern, StrategicAttacker, UdpSender, UdpSink
 
 SYSTEMS = ("netfence", "tva", "stopit", "fq")
 WORKLOADS = ("files", "longrun", "web")
+ATTACK_STRATEGIES = ("constant", "onoff", "strategic")
 
 
 # ---------------------------------------------------------------------------
@@ -79,12 +88,20 @@ class DumbbellScenarioConfig:
     num_colluders: int = 9
     # Workload.
     workload: str = "longrun"                # files | longrun | web
+    #: Optional per-AS workload mix: source AS ``i`` runs workload
+    #: ``as_workloads[i % len(as_workloads)]``; ``None`` uses ``workload``
+    #: everywhere.
+    as_workloads: Optional[Tuple[str, ...]] = None
     file_bytes: int = 20_000
     # Attack.
     attack_type: str = "regular"             # regular | request
     attack_rate_bps: float = 1.0e6
+    attack_strategy: str = "constant"        # constant | onoff | strategic
     attack_on_off: Optional[Tuple[float, float]] = None   # (Ton, Toff)
     victim_blocks_attackers: bool = False
+    # Partial deployment (§5); only meaningful for system == "netfence".
+    deployment_fraction: float = 1.0
+    bottleneck_deployed: bool = True
     # Timing.
     sim_time: float = 150.0
     warmup: float = 60.0
@@ -99,8 +116,21 @@ class DumbbellScenarioConfig:
             raise ValueError(f"unknown system {self.system!r}; expected one of {SYSTEMS}")
         if self.workload not in WORKLOADS:
             raise ValueError(f"unknown workload {self.workload!r}")
+        for workload in self.as_workloads or ():
+            if workload not in WORKLOADS:
+                raise ValueError(f"unknown per-AS workload {workload!r}")
         if self.attack_type not in ("regular", "request"):
             raise ValueError("attack_type must be 'regular' or 'request'")
+        if self.attack_strategy not in ATTACK_STRATEGIES:
+            raise ValueError(
+                f"unknown attack_strategy {self.attack_strategy!r}; "
+                f"expected one of {ATTACK_STRATEGIES}")
+        if self.attack_strategy == "strategic" and self.attack_on_off is not None:
+            raise ValueError(
+                "attack_on_off cannot be combined with the strategic attacker: "
+                "its burst timing is derived from the defense's AIMD constants")
+        if not 0.0 <= self.deployment_fraction <= 1.0:
+            raise ValueError("deployment_fraction must be within [0, 1]")
 
     @property
     def legit_count_per_as(self) -> int:
@@ -116,6 +146,31 @@ class DumbbellScenarioConfig:
     def fair_share_bps(self) -> float:
         return self.bottleneck_bps / self.num_senders
 
+    @property
+    def deployment_plan(self) -> DeploymentPlan:
+        """The §5 deployment state this scenario runs under."""
+        if self.deployment_fraction >= 1.0:
+            plan = DeploymentPlan.full(self.num_source_as)
+            if not self.bottleneck_deployed:
+                plan = DeploymentPlan(
+                    num_source_as=self.num_source_as,
+                    enabled_as=plan.enabled_as,
+                    bottleneck_enabled=False,
+                )
+            return plan
+        return DeploymentPlan.from_fraction(
+            self.num_source_as,
+            self.deployment_fraction,
+            seed=self.seed,
+            bottleneck_enabled=self.bottleneck_deployed,
+        )
+
+    def workload_for_as(self, as_index: int) -> str:
+        """The legitimate workload run by source AS ``as_index``."""
+        if self.as_workloads:
+            return self.as_workloads[as_index % len(self.as_workloads)]
+        return self.workload
+
 
 @dataclass
 class DumbbellScenarioResult:
@@ -127,6 +182,10 @@ class DumbbellScenarioResult:
     transfer_logs: Dict[str, TransferLog] = field(default_factory=dict)
     bottleneck_utilization: float = 0.0
     bottleneck_loss_rate: float = 0.0
+    #: Source-AS index of every sender (users and attackers).
+    sender_as: Dict[str, int] = field(default_factory=dict)
+    #: Indices of the NetFence-enabled source ASes this run used.
+    enabled_as: Tuple[int, ...] = ()
 
     @property
     def avg_user_throughput_bps(self) -> float:
@@ -162,6 +221,40 @@ class DumbbellScenarioResult:
         completed = sum(log.completed for log in self.transfer_logs.values())
         return completed / attempted if attempted else 0.0
 
+    # -- partial-deployment views (§5) ---------------------------------------
+    @property
+    def legit_share(self) -> float:
+        """Legitimate senders' share of the bottleneck capacity."""
+        return traffic_share(list(self.user_throughputs.values()),
+                             self.config.bottleneck_bps)
+
+    @property
+    def attack_share(self) -> float:
+        """Attack traffic's share of the bottleneck capacity."""
+        return traffic_share(list(self.attacker_throughputs.values()),
+                             self.config.bottleneck_bps)
+
+    def _split_users(self, enabled: bool) -> Dict[str, float]:
+        chosen = set(self.enabled_as)
+        return {
+            user: bps for user, bps in self.user_throughputs.items()
+            if (self.sender_as.get(user) in chosen) == enabled
+        }
+
+    @property
+    def enabled_user_throughputs(self) -> Dict[str, float]:
+        """Throughputs of legitimate users inside NetFence-enabled ASes."""
+        return self._split_users(True)
+
+    @property
+    def legacy_user_throughputs(self) -> Dict[str, float]:
+        """Throughputs of legitimate users inside legacy (non-upgraded) ASes."""
+        return self._split_users(False)
+
+    def avg_throughput_bps(self, throughputs: Dict[str, float]) -> float:
+        values = list(throughputs.values())
+        return sum(values) / len(values) if values else 0.0
+
 
 def _best_request_flood_priority(config: DumbbellScenarioConfig,
                                  params: NetFenceParams,
@@ -184,15 +277,37 @@ def _best_request_flood_priority(config: DumbbellScenarioConfig,
     return best
 
 
-def _netfence_components(config: DumbbellScenarioConfig):
+def _netfence_components(config: DumbbellScenarioConfig,
+                         plan: Optional[DeploymentPlan] = None):
     params = NetFenceParams().scaled(config.time_factor)
-    domain = NetFenceDomain(params=params, master=b"netfence-experiments")
+    domain = NetFenceDomain(params=params, master=b"netfence-experiments",
+                            deployment=plan)
     policy_cls = {
         "single": SingleBottleneckPolicy,
         "multi": MultiFeedbackPolicy,
         "inference": InferencePolicy,
     }[config.netfence_policy]
     return params, domain, policy_cls
+
+
+def _attack_pattern(config: DumbbellScenarioConfig,
+                    params: NetFenceParams) -> Optional[OnOffPattern]:
+    """The on-off pattern of non-strategic attackers, or ``None`` (always on).
+
+    ``constant`` honours an explicit ``attack_on_off`` tuple (the Fig. 11
+    sweep drives Ton/Toff directly); ``onoff`` is the naive equal-volume
+    counterpart of the strategic attacker — same duty cycle, period
+    incommensurate with the AIMD clock.
+    """
+    if config.attack_strategy == "onoff":
+        if config.attack_on_off is not None:
+            return OnOffPattern(on_s=config.attack_on_off[0],
+                                off_s=config.attack_on_off[1])
+        return StrategicAttacker.naive_pattern(params, rate_bps=config.attack_rate_bps)
+    if config.attack_on_off is not None:
+        return OnOffPattern(on_s=config.attack_on_off[0],
+                            off_s=config.attack_on_off[1])
+    return None
 
 
 def run_dumbbell_scenario(config: DumbbellScenarioConfig) -> DumbbellScenarioResult:
@@ -205,13 +320,32 @@ def run_dumbbell_scenario(config: DumbbellScenarioConfig) -> DumbbellScenarioRes
     registry: Optional[FilterRegistry] = None
     params: Optional[NetFenceParams] = None
     domain: Optional[NetFenceDomain] = None
+    plan: Optional[DeploymentPlan] = None
+    access_router_for_as = None
     if config.system == "netfence":
-        params, domain, policy_cls = _netfence_components(config)
+        plan = config.deployment_plan
+        params, domain, policy_cls = _netfence_components(config, plan)
         access_cls: type = NetFenceAccessRouter
-        core_cls: type = NetFenceRouter
         access_kwargs = {"domain": domain, "policy_factory": policy_cls}
-        core_kwargs = {"domain": domain}
-        queue_factory = netfence_queue_factory(sim, params, as_fairness=config.as_fairness)
+        if plan.bottleneck_enabled:
+            core_cls: type = NetFenceRouter
+            core_kwargs = {"domain": domain}
+            queue_factory = netfence_queue_factory(
+                sim, params, as_fairness=config.as_fairness, seed=config.seed
+            )
+        else:
+            # A legacy bottleneck AS: plain FIFO forwarding, no channels, no
+            # feedback stamping — NetFence deployed only at the edge.
+            core_cls = Router
+            core_kwargs = {}
+            queue_factory = None
+        if not all(plan.is_enabled(i) for i in range(config.num_source_as)):
+            nf_kwargs = dict(access_kwargs)
+
+            def access_router_for_as(as_index: int, _kwargs=nf_kwargs):
+                if plan.is_enabled(as_index):
+                    return NetFenceAccessRouter, _kwargs
+                return LegacyAccessRouter, {}
     elif config.system == "tva":
         access_cls = TvaRouter
         core_cls = TvaRouter
@@ -245,6 +379,7 @@ def run_dumbbell_scenario(config: DumbbellScenarioConfig) -> DumbbellScenarioRes
         bottleneck_queue_factory=queue_factory,
         access_router_kwargs=access_kwargs,
         core_router_kwargs=core_kwargs,
+        access_router_for_as=access_router_for_as,
     )
     victim = topo.host(layout.receivers[0])
     colluders = [topo.host(name) for name in layout.receivers[1:]]
@@ -252,13 +387,20 @@ def run_dumbbell_scenario(config: DumbbellScenarioConfig) -> DumbbellScenarioRes
     # ---- sender roles ----------------------------------------------------------
     users: List[str] = []
     attackers: List[str] = []
+    sender_as: Dict[str, int] = {}
     for as_index in range(config.num_source_as):
         hosts = [
             f"s{as_index}_{j}" for j in range(config.hosts_per_as)
         ]
+        for host_name in hosts:
+            sender_as[host_name] = as_index
         legit = hosts[: config.legit_count_per_as]
         users.extend(legit)
         attackers.extend(hosts[config.legit_count_per_as:])
+
+    def host_deployed(host_name: str) -> bool:
+        """Whether a sender's AS runs NetFence (always true outside §5 runs)."""
+        return plan is None or plan.is_enabled(sender_as[host_name])
 
     if registry is not None:
         for as_index in range(config.num_source_as):
@@ -274,15 +416,20 @@ def run_dumbbell_scenario(config: DumbbellScenarioConfig) -> DumbbellScenarioRes
     if config.system == "netfence":
         assert params is not None
         victim_policy = ReturnPolicy(blocked=attacker_set if config.victim_blocks_attackers else None)
-        # In the repeated-file-transfer workload each transfer is a separate
-        # connection that bootstraps its own feedback (Fig. 8's level-0
-        # request + back-off behaviour); long-running/web senders keep the
-        # per-destination feedback loop.
-        per_flow = config.workload == "files"
+        user_set = set(users)
         for host_name in users + attackers:
+            # Hosts in legacy (non-upgraded) ASes do not speak NetFence:
+            # their packets leave unstamped and travel the legacy channel.
+            if not host_deployed(host_name):
+                continue
+            # In the repeated-file-transfer workload each transfer is a
+            # separate connection that bootstraps its own feedback (Fig. 8's
+            # level-0 request + back-off behaviour); long-running/web senders
+            # keep the per-destination feedback loop.
+            per_flow = config.workload_for_as(sender_as[host_name]) == "files"
             netfence_endhosts[host_name] = NetFenceEndHost(
                 sim, topo.host(host_name), params=params,
-                per_flow_feedback=per_flow and host_name in set(users),
+                per_flow_feedback=per_flow and host_name in user_set,
             )
         NetFenceEndHost(sim, victim, params=params, return_policy=victim_policy,
                         send_feedback_packets=True)
@@ -312,12 +459,13 @@ def run_dumbbell_scenario(config: DumbbellScenarioConfig) -> DumbbellScenarioRes
     transfer_logs: Dict[str, TransferLog] = {}
     for user in users:
         src_host = topo.host(user)
-        if config.workload == "files":
+        workload = config.workload_for_as(sender_as[user])
+        if workload == "files":
             app = FileTransferApp(
                 sim, src_host, victim, file_bytes=config.file_bytes, monitor=monitor
             )
             transfer_logs[user] = app.log
-        elif config.workload == "web":
+        elif workload == "web":
             app = WebTrafficApp(
                 sim, src_host, victim, rng=random.Random(rng.randint(0, 2**31)),
                 monitor=monitor,
@@ -328,9 +476,12 @@ def run_dumbbell_scenario(config: DumbbellScenarioConfig) -> DumbbellScenarioRes
         app.start(at=rng.uniform(0.0, 1.0))
 
     # ---- attackers --------------------------------------------------------------------
-    pattern = None
-    if config.attack_on_off is not None:
-        pattern = OnOffPattern(on_s=config.attack_on_off[0], off_s=config.attack_on_off[1])
+    # The strategic attacker adapts its timing to the defense's constants;
+    # against baselines it attacks the same constants it would expect a
+    # NetFence deployment to use (scaled the same way).
+    attack_params = params if params is not None else NetFenceParams().scaled(config.time_factor)
+    strategic = config.attack_strategy == "strategic"
+    pattern = _attack_pattern(config, attack_params)
     if config.attack_type == "request":
         priority = 0
         if config.system == "netfence":
@@ -342,27 +493,40 @@ def run_dumbbell_scenario(config: DumbbellScenarioConfig) -> DumbbellScenarioRes
         src_host = topo.host(attacker)
         if config.attack_type == "request":
             target = victim
-            sender = UdpSender(
-                sim, src_host, target.name,
-                rate_bps=config.attack_rate_bps,
-                packet_size=REQUEST_PACKET_SIZE,
-                ptype=PacketType.REQUEST,
-                priority=priority,
-                pattern=pattern,
-            )
+            attack_ptype = PacketType.REQUEST
+            attack_size = REQUEST_PACKET_SIZE
+            attack_priority = priority
             # Request floods pick their own fixed priority; disable the
             # end-host shim's waiting-time escalation for these sources.
             if attacker in netfence_endhosts:
                 netfence_endhosts[attacker].auto_priority = False
         else:
             target = colluders[index % len(colluders)] if colluders else victim
+            attack_ptype = PacketType.REGULAR
+            attack_size = None
+            attack_priority = 0
+        size_kwargs = {} if attack_size is None else {"packet_size": attack_size}
+        if strategic:
+            sender = StrategicAttacker(
+                sim, src_host, target.name,
+                rate_bps=config.attack_rate_bps,
+                params=attack_params,
+                ptype=attack_ptype,
+                priority=attack_priority,
+                **size_kwargs,
+            )
+            # Synchronized bursts aligned with the AIMD adjustment clock.
+            sender.start_aligned()
+        else:
             sender = UdpSender(
                 sim, src_host, target.name,
                 rate_bps=config.attack_rate_bps,
-                ptype=PacketType.REGULAR,
+                ptype=attack_ptype,
+                priority=attack_priority,
                 pattern=pattern,
+                **size_kwargs,
             )
-        sender.start(at=rng.uniform(0.0, 0.5))
+            sender.start(at=rng.uniform(0.0, 0.5))
 
     # ---- run ---------------------------------------------------------------------------
     link_monitor.start()
@@ -374,6 +538,10 @@ def run_dumbbell_scenario(config: DumbbellScenarioConfig) -> DumbbellScenarioRes
     # ---- collect results -----------------------------------------------------------------
     result = DumbbellScenarioResult(config=config)
     result.transfer_logs = transfer_logs
+    result.sender_as = sender_as
+    result.enabled_as = (
+        plan.enabled_as if plan is not None else tuple(range(config.num_source_as))
+    )
     for user in users:
         result.user_throughputs[user] = monitor.throughput_bps(user)
     for attacker in attackers:
@@ -449,7 +617,7 @@ def run_parking_lot_scenario(config: ParkingLotScenarioConfig) -> ParkingLotScen
         delay_s=config.delay_s,
         access_router_cls=NetFenceAccessRouter,
         core_router_cls=NetFenceRouter,
-        bottleneck_queue_factory=netfence_queue_factory(sim, params),
+        bottleneck_queue_factory=netfence_queue_factory(sim, params, seed=config.seed),
         access_router_kwargs={"domain": domain, "policy_factory": policy_cls},
         core_router_kwargs={"domain": domain},
     )

@@ -29,6 +29,7 @@ parent process exactly.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import importlib
 import json
@@ -40,6 +41,21 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.seeding import derive_seed
+
+__all__ = [
+    "EXPERIMENT_MODULES",
+    "ScenarioSpec",
+    "SweepCache",
+    "SweepResult",
+    "derive_seed",
+    "execute_spec",
+    "merge_rows",
+    "register_point",
+    "resolve_point",
+    "run_sweep",
+]
+
 #: Modules that register point functions; imported lazily so workers started
 #: with the ``spawn`` method (and fresh interpreters generally) can resolve
 #: any experiment name without the caller pre-importing its module.
@@ -49,6 +65,7 @@ EXPERIMENT_MODULES: Tuple[str, ...] = (
     "repro.experiments.fig9_colluding",
     "repro.experiments.fig10_parkinglot",
     "repro.experiments.fig11_onoff",
+    "repro.experiments.fig12_deployment",
     "repro.experiments.fig13_multifeedback",
     "repro.experiments.fig14_inference",
     "repro.experiments.theorem_fairshare",
@@ -85,13 +102,6 @@ def resolve_point(name: str) -> Callable[..., Any]:
     except KeyError:
         known = ", ".join(sorted(_POINT_REGISTRY)) or "<none>"
         raise KeyError(f"no point function registered as {name!r}; known: {known}") from None
-
-
-def derive_seed(base_seed: int, *parts: Any) -> int:
-    """Derive a deterministic per-point seed from a base seed and any
-    hashable description of the point (labels, parameter values, ...)."""
-    digest = hashlib.sha256(repr((base_seed,) + parts).encode()).digest()
-    return int.from_bytes(digest[:8], "big") % (2**31 - 1)
 
 
 def _freeze(value: Any) -> Any:
@@ -160,10 +170,17 @@ class SweepCache:
 
     Entries are pickles of the row list, written atomically so concurrent
     workers and interrupted runs can never leave a truncated entry behind.
+
+    Every entry also records the *row schema* — for dataclass rows, the
+    class identity and its field names at ``put`` time.  ``get`` recomputes
+    the schema of the unpickled rows against the currently imported classes
+    and treats any mismatch as a miss: unpickling bypasses ``__init__``, so
+    without this check a row dataclass that gained or lost a field would be
+    served from cache as a silently stale object.
     """
 
-    #: Bump to invalidate all existing entries when row formats change.
-    VERSION = 1
+    #: Bump to invalidate all existing entries when the cache format changes.
+    VERSION = 2
 
     def __init__(self, root: str) -> None:
         self.root = os.path.abspath(root)
@@ -174,20 +191,38 @@ class SweepCache:
             self.root, f"{spec.experiment}-v{self.VERSION}-{spec.cache_key()[:24]}.pkl"
         )
 
+    @staticmethod
+    def _row_schema(rows: List[Any]) -> Tuple[Any, ...]:
+        """Fingerprint the row types: class identity plus dataclass fields."""
+        schema = []
+        for row in rows:
+            cls = type(row)
+            fields: Optional[Tuple[str, ...]] = None
+            if dataclasses.is_dataclass(row):
+                fields = tuple(f.name for f in dataclasses.fields(cls))
+            schema.append((cls.__module__, cls.__qualname__, fields))
+        return tuple(schema)
+
     def get(self, spec: ScenarioSpec) -> Optional[List[Any]]:
         path = self._path(spec)
         try:
             with open(path, "rb") as fh:
-                return pickle.load(fh)
+                payload = pickle.load(fh)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             return None
+        if not isinstance(payload, dict) or "rows" not in payload:
+            return None
+        rows = payload["rows"]
+        if payload.get("schema") != self._row_schema(rows):
+            return None  # row dataclasses changed since this entry was written
+        return rows
 
     def put(self, spec: ScenarioSpec, rows: List[Any]) -> None:
         path = self._path(spec)
         fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(rows, fh)
+                pickle.dump({"schema": self._row_schema(rows), "rows": rows}, fh)
             os.replace(tmp_path, path)
         except (OSError, pickle.PicklingError):
             # The cache is best-effort: a failed write must never fail a sweep.

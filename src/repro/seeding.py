@@ -1,0 +1,26 @@
+"""Deterministic seed derivation shared across the whole stack.
+
+Every source of randomness in a simulation must flow from one scenario seed,
+but handing the *same* seed (or, worse, a hard-coded one) to independent
+components makes their random streams identical and therefore correlated —
+e.g. every RED queue deciding to drop on the same draw.  :func:`derive_seed`
+fans a base seed out into per-component seeds: mix in any hashable
+description of the component (labels, host names, grid-point parameters) and
+the derived seeds are decorrelated from each other yet fully reproducible.
+
+This lives at the bottom of the dependency stack (no repro imports) so the
+simulator, transport, and experiment layers can all use it; the sweep engine
+re-exports it for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def derive_seed(base_seed: int, *parts: Any) -> int:
+    """Derive a deterministic per-component seed from a base seed and any
+    hashable description of the component (labels, parameter values, ...)."""
+    digest = hashlib.sha256(repr((base_seed,) + parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31 - 1)

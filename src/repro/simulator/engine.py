@@ -105,6 +105,14 @@ class Simulator:
 
         Returns:
             The simulation time when the run stopped.
+
+        Clock contract: the clock advances to ``until`` if and only if every
+        event due at or before ``until`` has been executed (whether the
+        queue drained, only later events remain, or ``max_events`` tripped
+        exactly on the last due event).  When the run stops early — via
+        :meth:`stop`, or ``max_events`` tripping with work still pending —
+        the clock stays at the last executed event's time, so a follow-up
+        ``run(until=...)`` resumes exactly where this one left off.
         """
         if self._running:
             raise RuntimeError("simulator is already running")
@@ -121,7 +129,6 @@ class Simulator:
                 if until is not None and event.time > until:
                     # Put it back for a later run() call and finish.
                     heapq.heappush(self._queue, event)
-                    self._now = until
                     break
                 self._now = event.time
                 event.callback(*event.args)
@@ -129,8 +136,11 @@ class Simulator:
                 executed += 1
                 if max_events is not None and executed >= max_events:
                     break
-            else:
-                if until is not None and until > self._now:
+            if until is not None and until > self._now and not self._stopped:
+                # Drop cancelled events so the peek below sees real work.
+                while self._queue and self._queue[0].cancelled:
+                    heapq.heappop(self._queue)
+                if not self._queue or self._queue[0].time > until:
                     self._now = until
         finally:
             self._running = False
@@ -193,6 +203,12 @@ class PeriodicTimer:
     def _fire(self) -> None:
         if not self._active:
             return
-        self.callback()
-        if self._active:
-            self._event = self.sim.schedule(self.interval, self._fire)
+        # Reschedule even when the callback raises: a monitor or detection
+        # pass whose callback fails once (and whose caller catches the error
+        # around sim.run) must keep ticking instead of silently dying
+        # mid-run.  The exception itself still propagates to the caller.
+        try:
+            self.callback()
+        finally:
+            if self._active:
+                self._event = self.sim.schedule(self.interval, self._fire)

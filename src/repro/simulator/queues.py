@@ -16,12 +16,18 @@ congestion control and as the congestion *detection* signal that drives
 
 from __future__ import annotations
 
+import itertools
 import random
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.seeding import derive_seed
 from repro.simulator.packet import Packet
+
+#: Fallback discriminator for queues constructed without ``rng``/``seed``;
+#: guarantees independent instances never share one random stream.
+_anonymous_queue_ids = itertools.count()
 
 
 @dataclass
@@ -137,6 +143,7 @@ class REDQueue(PacketQueue):
         wq: float = 0.1,
         max_p: float = 0.1,
         rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
     ) -> None:
         super().__init__()
         if capacity_bytes <= 0:
@@ -148,7 +155,17 @@ class REDQueue(PacketQueue):
         self.maxthresh = maxthresh_fraction * capacity_bytes
         self.wq = wq
         self.max_p = max_p
-        self.rng = rng or random.Random(0)
+        # Every queue needs its own random stream: a shared default seed
+        # would make independent queues draw identical, correlated drop
+        # decisions.  Callers pass ``rng`` or a per-instance ``seed``
+        # (derived from the scenario seed) for reproducibility; the
+        # anonymous fallback is decorrelated but construction-order
+        # dependent, so experiments must not rely on it.
+        if rng is None:
+            if seed is None:
+                seed = derive_seed(0, "red-queue-anon", next(_anonymous_queue_ids))
+            rng = random.Random(derive_seed(seed, "red-queue"))
+        self.rng = rng
         self.avg_queue = 0.0
         self._queue: deque[Packet] = deque()
         self._bytes = 0

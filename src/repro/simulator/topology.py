@@ -173,6 +173,9 @@ def dumbbell_layout(
     access_queue_factory: Optional[QueueFactory] = None,
     access_router_kwargs: Optional[dict] = None,
     core_router_kwargs: Optional[dict] = None,
+    access_router_for_as: Optional[
+        Callable[[int], tuple[Type[Router], dict]]
+    ] = None,
 ) -> DumbbellLayout:
     """Build the paper's dumbbell evaluation topology (§6.3.1).
 
@@ -180,6 +183,13 @@ def dumbbell_layout(
     connect through a transit AS whose ``Rbl -> Rbr`` link is the bottleneck.
     Receivers (victim plus optional colluders, each in its own destination
     AS) hang off a destination router ``Rd`` behind ``Rbr``.
+
+    ``access_router_for_as`` optionally overrides the access router of
+    individual source ASes: called with the AS index, it returns the
+    ``(router class, ctor kwargs)`` to use — the hook partial-deployment
+    scenarios use to mix NetFence and legacy access routers in one
+    topology.  The destination router ``Rd`` always uses
+    ``access_router_cls``.
     """
     edge_bps = edge_bps if edge_bps is not None else access_bps
     access_router_kwargs = access_router_kwargs or {}
@@ -205,8 +215,11 @@ def dumbbell_layout(
     for i in range(num_source_as):
         as_name = f"AS-src-{i}"
         ra_name = f"Ra{i}"
-        topo.add_router(ra_name, as_name=as_name, router_cls=access_router_cls,
-                        **access_router_kwargs)
+        if access_router_for_as is not None:
+            ra_cls, ra_kwargs = access_router_for_as(i)
+        else:
+            ra_cls, ra_kwargs = access_router_cls, access_router_kwargs
+        topo.add_router(ra_name, as_name=as_name, router_cls=ra_cls, **ra_kwargs)
         topo.add_duplex_link(ra_name, "Rbl", access_bps, delay_s,
                              queue_factory=access_queue_factory)
         layout.access_routers.append(ra_name)

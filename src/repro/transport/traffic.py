@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.seeding import derive_seed
 from repro.simulator.engine import Simulator
 from repro.simulator.node import Host
 from repro.simulator.trace import ThroughputMonitor
@@ -187,9 +188,17 @@ class WebTrafficApp(_SequentialTransferApp):
         deadline_s: Optional[float] = 200.0,
         monitor: Optional[ThroughputMonitor] = None,
         stop_at: Optional[float] = None,
+        seed: int = 0,
     ) -> None:
         super().__init__(sim, src_host, dst_host, deadline_s, monitor, stop_at)
-        self.rng = rng or random.Random(0)
+        # Without an explicit rng, derive a per-instance stream from the
+        # (seed, src, dst) identity: two apps on different hosts must not
+        # sample identical file-size / think-time sequences.
+        if rng is None:
+            rng = random.Random(
+                derive_seed(seed, "web-traffic", src_host.name, dst_host.name)
+            )
+        self.rng = rng
         self.size_sampler = size_sampler or web_file_size_sampler
         self.gap_range = gap_range
 

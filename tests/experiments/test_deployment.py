@@ -1,0 +1,262 @@
+"""Tests for the §5 partial-deployment subsystem and strategic attackers.
+
+Covers the :class:`DeploymentPlan` value object, the legacy access-router
+path, the strategic attacker's schedule, and the deployment-aware dumbbell
+scenarios behind the ``fig12`` sweep.  Scenario tests use deliberately tiny
+topologies; the full-scale sweep lives in benchmarks/.
+"""
+
+import pytest
+
+from repro.core.access import LegacyAccessRouter
+from repro.core.bottleneck import NetFenceRouter
+from repro.core.deployment import DeploymentPlan
+from repro.core.header import HEADER_KEY, NetFenceHeader
+from repro.core.params import NetFenceParams
+from repro.experiments import fig12_deployment, runner
+from repro.experiments.scenarios import (
+    DumbbellScenarioConfig,
+    run_dumbbell_scenario,
+)
+from repro.simulator.packet import Packet, PacketType
+from repro.transport.udp import StrategicAttacker
+
+
+# ---------------------------------------------------------------------------
+# DeploymentPlan
+# ---------------------------------------------------------------------------
+
+def test_plan_from_fraction_is_deterministic_and_sized():
+    plan = DeploymentPlan.from_fraction(10, 0.5, seed=3)
+    again = DeploymentPlan.from_fraction(10, 0.5, seed=3)
+    assert plan == again
+    assert len(plan.enabled_as) == 5
+    assert plan.fraction == 0.5
+    assert all(0 <= i < 10 for i in plan.enabled_as)
+
+
+def test_plan_fraction_extremes():
+    assert DeploymentPlan.from_fraction(4, 0.0).enabled_as == ()
+    assert DeploymentPlan.from_fraction(4, 1.0).enabled_as == (0, 1, 2, 3)
+    assert DeploymentPlan.full(4).is_full
+    assert not DeploymentPlan.from_fraction(4, 1.0, bottleneck_enabled=False).is_full
+
+
+def test_plan_varies_with_seed():
+    subsets = {DeploymentPlan.from_fraction(10, 0.3, seed=s).enabled_as
+               for s in range(8)}
+    assert len(subsets) > 1
+
+
+def test_plan_rejects_bad_values():
+    with pytest.raises(ValueError):
+        DeploymentPlan.from_fraction(4, 1.5)
+    with pytest.raises(ValueError):
+        DeploymentPlan(num_source_as=2, enabled_as=(5,))
+
+
+def test_plan_is_enabled_and_describe():
+    plan = DeploymentPlan(num_source_as=3, enabled_as=(1,))
+    assert not plan.is_enabled(0) and plan.is_enabled(1)
+    assert "1/3" in plan.describe()
+
+
+# ---------------------------------------------------------------------------
+# Legacy forwarding path
+# ---------------------------------------------------------------------------
+
+def test_legacy_access_router_demotes_unstamped_traffic(sim):
+    router = LegacyAccessRouter(sim, "Ra-legacy", as_name="AS-legacy")
+    packet = Packet(src="s", dst="d")
+    assert packet.ptype is PacketType.REGULAR
+    assert router.admit_from_host(packet, None) is True
+    assert packet.ptype is PacketType.LEGACY
+    assert router.legacy_marked == 1
+
+
+def test_legacy_access_router_leaves_stamped_traffic_alone(sim):
+    router = LegacyAccessRouter(sim, "Ra-legacy")
+    packet = Packet(src="s", dst="d")
+    packet.set_header(HEADER_KEY, NetFenceHeader())
+    router.admit_from_host(packet, None)
+    assert packet.ptype is PacketType.REGULAR
+
+
+def test_netfence_router_demotes_headerless_transit(sim, domain):
+    router = NetFenceRouter(sim, "Rb", as_name="AS-core", domain=domain)
+    bare = Packet(src="s", dst="d")
+    assert router.on_transit(bare, None) is True
+    assert bare.ptype is PacketType.LEGACY
+    stamped = Packet(src="s", dst="d")
+    stamped.set_header(HEADER_KEY, NetFenceHeader())
+    router.on_transit(stamped, None)
+    assert stamped.ptype is PacketType.REGULAR
+
+
+# ---------------------------------------------------------------------------
+# Strategic attacker schedule
+# ---------------------------------------------------------------------------
+
+def test_strategic_timing_aligns_with_the_control_interval():
+    params = NetFenceParams()
+    on_s, off_s, phase_s = StrategicAttacker.timing(params)
+    period = on_s + off_s
+    assert period == pytest.approx(3 * params.control_interval)
+    assert on_s < params.control_interval  # pauses before the adjustment
+    assert phase_s > 0
+
+
+def test_naive_pattern_matches_strategic_average_volume(small_network):
+    params = NetFenceParams()
+    rate = 1.0e6
+    attacker = StrategicAttacker(
+        small_network.sim, small_network.topo.host("bad"), "victim",
+        rate_bps=rate, params=params)
+    naive = StrategicAttacker.naive_pattern(params, rate_bps=rate)
+    naive_avg = rate * naive.on_s / (naive.on_s + naive.off_s)
+    assert attacker.average_rate_bps == pytest.approx(naive_avg, rel=1e-6)
+    # ... but the naive period drifts against the AIMD clock.
+    assert (naive.on_s + naive.off_s) % params.control_interval != pytest.approx(0.0)
+
+
+def test_strategic_attacker_trickles_during_off_phase(small_network):
+    sim = small_network.sim
+    attacker = StrategicAttacker(
+        sim, small_network.topo.host("bad"), "victim",
+        rate_bps=1.0e6, params=NetFenceParams())
+    attacker.start_aligned()
+    pattern = attacker.pattern
+    sim.run(until=pattern.phase_s + pattern.on_s + 0.5)
+    sent_during_burst = attacker.packets_sent
+    assert sent_during_burst > 0
+    # Mid off-phase: still sending, but at the (much lower) trickle rate.
+    sim.run(until=pattern.phase_s + pattern.on_s + pattern.off_s - 0.5)
+    sent_during_off = attacker.packets_sent - sent_during_burst
+    assert sent_during_off > 0
+    off_window = pattern.off_s - 1.0
+    observed_bps = sent_during_off * attacker.packet_size * 8 / off_window
+    assert observed_bps < 0.2 * attacker.rate_bps
+
+
+# ---------------------------------------------------------------------------
+# Deployment-aware scenarios
+# ---------------------------------------------------------------------------
+
+def tiny(system="netfence", **overrides):
+    defaults = dict(
+        system=system,
+        num_source_as=4,
+        hosts_per_as=2,
+        bottleneck_bps=800e3,
+        attack_rate_bps=400e3,
+        num_colluders=2,
+        sim_time=40.0,
+        warmup=20.0,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return DumbbellScenarioConfig(**defaults)
+
+
+def test_config_rejects_bad_deployment_and_strategy():
+    with pytest.raises(ValueError):
+        DumbbellScenarioConfig(deployment_fraction=1.2)
+    with pytest.raises(ValueError):
+        DumbbellScenarioConfig(attack_strategy="sneaky")
+    with pytest.raises(ValueError):
+        DumbbellScenarioConfig(as_workloads=("files", "nonsense"))
+    with pytest.raises(ValueError):
+        # The strategic attacker derives its own timing; an explicit
+        # (Ton, Toff) would be silently ignored, so it is rejected.
+        DumbbellScenarioConfig(attack_strategy="strategic", attack_on_off=(2.0, 8.0))
+
+
+def test_full_deployment_never_builds_legacy_machinery(monkeypatch):
+    """At fraction 1.0 the deployment subsystem must be pure pass-through.
+
+    Guard for the acceptance criterion that fraction 1.0 matches the
+    full-deployment dumbbell scenarios used by Figs. 8–11: no legacy access
+    router may ever be instantiated, and the bottleneck must keep its
+    NetFence channel queue (a plain Router bottleneck would mean
+    ``bottleneck_deployed`` was misread).
+    """
+    import repro.experiments.scenarios as scenarios
+
+    class BoomRouter:
+        def __init__(self, *args, **kwargs):
+            raise AssertionError("LegacyAccessRouter built at full deployment")
+
+    monkeypatch.setattr(scenarios, "LegacyAccessRouter", BoomRouter)
+    full = run_dumbbell_scenario(tiny(deployment_fraction=1.0))
+    assert full.enabled_as == (0, 1, 2, 3)
+    assert full.legacy_user_throughputs == {}
+    assert len(full.enabled_user_throughputs) == 4
+    # Same config, same seed → byte-identical repeat (determinism contract).
+    again = run_dumbbell_scenario(tiny(deployment_fraction=1.0))
+    assert again.user_throughputs == full.user_throughputs
+    assert again.attacker_throughputs == full.attacker_throughputs
+
+
+def test_partial_deployment_protects_upgraded_ases_first():
+    result = run_dumbbell_scenario(tiny(deployment_fraction=0.5))
+    assert len(result.enabled_as) == 2
+    enabled = result.enabled_user_throughputs
+    legacy = result.legacy_user_throughputs
+    assert len(enabled) == 2 and len(legacy) == 2
+    # Upgraded ASes' users keep a policed regular channel; legacy users
+    # share the lowest-priority channel with the legacy attackers.
+    assert result.avg_throughput_bps(enabled) > result.avg_throughput_bps(legacy)
+    assert 0.0 <= result.legit_share <= 1.0
+
+
+def test_zero_deployment_serves_everything_on_the_legacy_channel():
+    result = run_dumbbell_scenario(tiny(deployment_fraction=0.0))
+    assert result.enabled_as == ()
+    assert result.enabled_user_throughputs == {}
+    assert len(result.legacy_user_throughputs) == 4
+
+
+def test_legacy_bottleneck_disables_policing():
+    result = run_dumbbell_scenario(
+        tiny(deployment_fraction=1.0, bottleneck_deployed=False))
+    # No NetFence bottleneck → no mon state → attackers are never policed,
+    # so they keep a large share of the (FIFO) bottleneck.
+    assert result.avg_attacker_throughput_bps > 0.3 * result.config.fair_share_bps
+
+
+def test_per_as_workload_mix():
+    result = run_dumbbell_scenario(
+        tiny(as_workloads=("files", "longrun"), sim_time=30.0, warmup=10.0))
+    # ASes 0 and 2 run the files workload (logged); 1 and 3 run longrun.
+    logged_as = {result.sender_as[user] for user in result.transfer_logs}
+    assert logged_as == {0, 2}
+    assert sum(log.attempted for log in result.transfer_logs.values()) > 0
+
+
+def test_deployment_plan_property_uses_scenario_seed():
+    a = tiny(deployment_fraction=0.5, seed=1).deployment_plan
+    b = tiny(deployment_fraction=0.5, seed=2).deployment_plan
+    assert a == tiny(deployment_fraction=0.5, seed=1).deployment_plan
+    assert len(a.enabled_as) == len(b.enabled_as) == 2
+
+
+# ---------------------------------------------------------------------------
+# fig12 grid and runner wiring
+# ---------------------------------------------------------------------------
+
+def test_fig12_grid_covers_the_full_cross_product():
+    specs = fig12_deployment.grid()
+    assert len(specs) == (len(fig12_deployment.FRACTIONS)
+                          * len(fig12_deployment.STRATEGIES)
+                          * len(fig12_deployment.SYSTEMS))
+    assert all(spec.experiment == "fig12" for spec in specs)
+    fractions = {spec.kwargs["deployment_fraction"] for spec in specs}
+    assert fractions == set(fig12_deployment.FRACTIONS)
+
+
+def test_fig12_registered_with_the_runner():
+    assert "fig12" in runner.EXPERIMENTS
+    quick = runner.EXPERIMENTS["fig12"].build_grid(True)
+    full = runner.EXPERIMENTS["fig12"].build_grid(False)
+    assert {s.kwargs["deployment_fraction"] for s in quick} == {0.0, 0.5, 1.0}
+    assert len(quick) < len(full)

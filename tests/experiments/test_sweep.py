@@ -117,6 +117,57 @@ def test_sweep_cache_round_trip(tmp_path):
     assert cache.get(spec) == [{"square": 49}]
 
 
+def test_sweep_cache_rejects_rows_from_an_older_row_schema(tmp_path):
+    """Cached rows pickled under an older dataclass layout must be a miss.
+
+    Unpickling a dataclass bypasses ``__init__``, so without the schema
+    check a row class that gained a field would be served from cache as a
+    stale object missing the new attribute.
+    """
+    import dataclasses as dc
+
+    import repro.experiments.sweep as sweep_mod
+
+    @dc.dataclass
+    class _Row:
+        value: int
+
+    # Pickle resolves the class through its module attribute; publish it.
+    _Row.__qualname__ = "_CacheSchemaRow"
+    _Row.__module__ = sweep_mod.__name__
+    sweep_mod._CacheSchemaRow = _Row
+    try:
+        cache = SweepCache(str(tmp_path / "cache"))
+        spec = ScenarioSpec.make("_test_square", value=11)
+        cache.put(spec, [_Row(value=11)])
+        assert cache.get(spec) == [_Row(value=11)]
+
+        # The experiment evolves: the row dataclass gains a field.
+        @dc.dataclass
+        class _RowV2:
+            value: int
+            extra: float = 0.0
+
+        _RowV2.__qualname__ = "_CacheSchemaRow"
+        _RowV2.__module__ = sweep_mod.__name__
+        sweep_mod._CacheSchemaRow = _RowV2
+
+        assert cache.get(spec) is None  # stale schema must not be served
+    finally:
+        del sweep_mod._CacheSchemaRow
+
+
+def test_sweep_cache_rejects_legacy_bare_list_payloads(tmp_path):
+    """Entries written before the schema envelope existed are misses."""
+    import pickle
+
+    cache = SweepCache(str(tmp_path / "cache"))
+    spec = ScenarioSpec.make("_test_square", value=12)
+    with open(cache._path(spec), "wb") as fh:
+        pickle.dump([{"square": 144}], fh)
+    assert cache.get(spec) is None
+
+
 def test_run_sweep_serves_repeat_runs_from_cache(tmp_path):
     cache = SweepCache(str(tmp_path / "cache"))
     marker = tmp_path / "ran.txt"

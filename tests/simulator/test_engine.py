@@ -130,6 +130,42 @@ def test_run_until_with_empty_queue_advances_clock(sim):
     assert sim.now == 7.5
 
 
+def test_max_events_with_pending_work_keeps_clock_at_last_event(sim):
+    # Regression: the clock must NOT jump to `until` when the event cap
+    # trips with events still due — a later run() must resume seamlessly.
+    fired = []
+    for i in range(10):
+        sim.schedule(i + 1.0, fired.append, i)
+    assert sim.run(until=20.0, max_events=4) == 4.0
+    assert sim.now == 4.0
+    assert sim.run(until=20.0) == 20.0
+    assert fired == list(range(10))
+
+
+def test_max_events_tripping_on_final_event_matches_drained_run(sim):
+    # Regression: a run capped exactly at the last due event must end at the
+    # same clock value as an uncapped run over the same events.
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.run(until=5.0, max_events=2) == 5.0
+    assert sim.now == 5.0
+
+
+def test_run_until_skips_over_cancelled_events_when_advancing(sim):
+    event = sim.schedule(3.0, lambda: None)
+    event.cancel()
+    assert sim.run(until=10.0) == 10.0
+
+
+def test_stop_keeps_clock_at_last_event_even_with_until(sim):
+    # The documented contract: after stop() the clock stays at the last
+    # executed event's time regardless of `until` or later queued events.
+    sim.schedule(1.0, sim.stop)
+    sim.schedule(5.0, lambda: None)
+    assert sim.run(until=3.0) == 1.0
+    assert sim.now == 1.0
+
+
 def test_periodic_timer_fires_repeatedly(sim):
     ticks = []
     timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
@@ -158,6 +194,42 @@ def test_periodic_timer_custom_first_delay(sim):
 def test_periodic_timer_rejects_nonpositive_interval(sim):
     with pytest.raises(ValueError):
         PeriodicTimer(sim, 0.0, lambda: None)
+
+
+def test_periodic_timer_survives_callback_exception(sim):
+    # Regression: a raising callback must not silently kill the timer —
+    # the error surfaces to the caller, but once handled the timer keeps
+    # ticking on its original schedule.
+    ticks = []
+
+    def flaky():
+        ticks.append(sim.now)
+        if len(ticks) == 2:
+            raise RuntimeError("transient monitor failure")
+
+    timer = PeriodicTimer(sim, 1.0, flaky)
+    timer.start()
+    with pytest.raises(RuntimeError):
+        sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+    sim.run(until=4.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_periodic_timer_stop_inside_raising_callback_stays_stopped(sim):
+    calls = []
+
+    def stop_and_fail():
+        calls.append(sim.now)
+        timer.stop()
+        raise RuntimeError("boom")
+
+    timer = PeriodicTimer(sim, 1.0, stop_and_fail)
+    timer.start()
+    with pytest.raises(RuntimeError):
+        sim.run(until=5.0)
+    sim.run(until=5.0)
+    assert calls == [1.0]
 
 
 # ---------------------------------------------------------------------------

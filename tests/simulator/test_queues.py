@@ -116,6 +116,22 @@ def test_red_invalid_thresholds_rejected():
         REDQueue(capacity_bytes=1000, minthresh_fraction=0.8, maxthresh_fraction=0.5)
 
 
+def test_red_default_rngs_are_decorrelated():
+    # Regression: two independently constructed RED queues used to share a
+    # hard-coded Random(0) seed and drew identical drop decisions.
+    a = REDQueue(capacity_bytes=64 * 1500)
+    b = REDQueue(capacity_bytes=64 * 1500)
+    assert [a.rng.random() for _ in range(16)] != [b.rng.random() for _ in range(16)]
+
+
+def test_red_explicit_seed_is_reproducible():
+    draws = lambda q: [q.rng.random() for _ in range(16)]
+    assert draws(REDQueue(capacity_bytes=1500, seed=7)) == \
+        draws(REDQueue(capacity_bytes=1500, seed=7))
+    assert draws(REDQueue(capacity_bytes=1500, seed=7)) != \
+        draws(REDQueue(capacity_bytes=1500, seed=8))
+
+
 # ---------------------------------------------------------------------------
 # LevelPriorityQueue (request channel, §4.2)
 # ---------------------------------------------------------------------------

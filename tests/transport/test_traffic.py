@@ -98,3 +98,32 @@ def test_agents_are_released_after_each_transfer():
     # Only the currently active flow (if any) should remain registered.
     assert len(topo.host("a").agents) <= 1
     assert len(topo.host("b").agents) <= 1
+
+
+def test_web_apps_on_different_hosts_sample_different_sizes():
+    # Regression: without an explicit rng, every WebTrafficApp used to share
+    # a hard-coded Random(0) and all "independent" web users requested the
+    # exact same file-size sequence.
+    topo = Topology()
+    for name in ("a", "c"):
+        topo.add_host(name, as_name="A")
+    topo.add_host("b", as_name="B")
+    topo.add_router("R", as_name="A")
+    for name in ("a", "b", "c"):
+        topo.add_duplex_link(name, "R", 100e6, 0.001)
+    topo.finalize()
+    app1 = WebTrafficApp(topo.sim, topo.host("a"), topo.host("b"))
+    app2 = WebTrafficApp(topo.sim, topo.host("c"), topo.host("b"))
+    assert [app1._next_file_bytes() for _ in range(20)] != \
+        [app2._next_file_bytes() for _ in range(20)]
+
+
+def test_web_app_seed_controls_the_derived_stream():
+    topo = build_pair()
+
+    def sizes(seed):
+        app = WebTrafficApp(topo.sim, topo.host("a"), topo.host("b"), seed=seed)
+        return [app._next_file_bytes() for _ in range(10)]
+
+    assert sizes(1) == sizes(1)
+    assert sizes(1) != sizes(2)
