@@ -9,46 +9,92 @@ Two properties of :mod:`repro.experiments.sweep` are recorded here:
 * parallel execution is *safe*: real scenario points run in worker processes
   produce rows byte-identical to the serial path (each point builds its own
   simulator and draws randomness only from the spec's seed).
+
+Every parallel run here commits through a :class:`repro.store.ResultStore`,
+and each test folds the store's per-point wall times into a
+``BENCH_sweep.json`` perf-trajectory artifact (section per benchmark) —
+the feedstock for hot-path profiling of the simulator loop.  Set
+``BENCH_SWEEP_PATH`` to relocate the artifact.
 """
 
+import json
+import os
 import time
 
 from repro.experiments import fig8_unwanted, fig9_colluding
 from repro.experiments.sweep import ScenarioSpec, merge_rows, run_sweep
+from repro.store import ResultStore
+
+#: Where the perf-trajectory artifact accumulates (one section per test).
+ARTIFACT_PATH = os.environ.get("BENCH_SWEEP_PATH", "BENCH_sweep.json")
 
 
-def _timed(specs, jobs):
+def _emit(section, payload):
+    """Merge one benchmark's section into the artifact, best-effort."""
+    artifact = {}
+    try:
+        with open(ARTIFACT_PATH) as fh:
+            artifact = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        pass
+    artifact[section] = payload
+    try:
+        with open(ARTIFACT_PATH, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+    except OSError:
+        pass  # a read-only checkout must not fail the benchmark
+
+
+def _trajectory(store):
+    """Per-point wall times as recorded by the result store."""
+    return [
+        {"experiment": p["experiment"], "seed": p["seed"], "params": p["params"],
+         "elapsed_s": round(p["elapsed_s"], 4), "worker_id": p["worker_id"]}
+        for p in store.perf_trajectory()
+    ]
+
+
+def _timed(specs, jobs, cache=None):
     start = time.perf_counter()
-    rows = merge_rows(run_sweep(specs, jobs=jobs))
+    rows = merge_rows(run_sweep(specs, jobs=jobs, cache=cache))
     return rows, time.perf_counter() - start
 
 
-def test_sweep_parallel_speedup():
+def test_sweep_parallel_speedup(tmp_path):
     """Serial vs ``--jobs 4`` wall time on an eight-point sweep."""
     specs = [ScenarioSpec.make("bench_sleep", seed=i, duration=0.25, payload=i)
              for i in range(8)]
+    store = ResultStore(str(tmp_path / "speedup.sqlite"))
     serial_rows, serial_s = _timed(specs, jobs=1)
-    parallel_rows, parallel_s = _timed(specs, jobs=4)
+    parallel_rows, parallel_s = _timed(specs, jobs=4, cache=store)
     speedup = serial_s / parallel_s
     print(f"\nsweep wall time: serial {serial_s:.2f}s, --jobs 4 {parallel_s:.2f}s "
           f"-> {speedup:.2f}x speedup")
+    _emit("bench_sleep_speedup", {
+        "serial_s": round(serial_s, 3), "parallel_s": round(parallel_s, 3),
+        "jobs": 4, "speedup": round(speedup, 2), "points": _trajectory(store),
+    })
     assert parallel_rows == serial_rows
     assert speedup >= 1.8
 
 
-def test_fig8_parallel_rows_identical_to_serial():
+def test_fig8_parallel_rows_identical_to_serial(tmp_path):
     """The Fig. 8 quick sweep is byte-identical under ``--jobs 2``."""
     specs = fig8_unwanted.grid(scale_steps=fig8_unwanted.SCALE_STEPS[:2],
                                sim_time=40.0)
+    store = ResultStore(str(tmp_path / "fig8.sqlite"))
     serial_rows, serial_s = _timed(specs, jobs=1)
-    parallel_rows, parallel_s = _timed(specs, jobs=2)
+    parallel_rows, parallel_s = _timed(specs, jobs=2, cache=store)
     print(f"\nfig8 quick sweep: serial {serial_s:.1f}s, --jobs 2 {parallel_s:.1f}s")
+    _emit("fig8_quick", {"serial_s": round(serial_s, 3),
+                         "parallel_s": round(parallel_s, 3), "jobs": 2,
+                         "points": _trajectory(store)})
     assert [row.as_tuple() for row in parallel_rows] \
         == [row.as_tuple() for row in serial_rows]
     assert parallel_rows == serial_rows
 
 
-def test_fig9_parallel_rows_identical_to_serial():
+def test_fig9_parallel_rows_identical_to_serial(tmp_path):
     """A reduced Fig. 9 sweep (both workloads) is byte-identical under --jobs 2.
 
     The full quick grid is exercised by CI's sweep smoke; this check keeps the
@@ -57,9 +103,13 @@ def test_fig9_parallel_rows_identical_to_serial():
     """
     specs = fig9_colluding.grid(scale_steps=fig9_colluding.SCALE_STEPS[:1],
                                 sim_time=60.0, warmup=30.0)
+    store = ResultStore(str(tmp_path / "fig9.sqlite"))
     serial_rows, serial_s = _timed(specs, jobs=1)
-    parallel_rows, parallel_s = _timed(specs, jobs=2)
+    parallel_rows, parallel_s = _timed(specs, jobs=2, cache=store)
     print(f"\nfig9 reduced sweep: serial {serial_s:.1f}s, --jobs 2 {parallel_s:.1f}s")
+    _emit("fig9_reduced", {"serial_s": round(serial_s, 3),
+                           "parallel_s": round(parallel_s, 3), "jobs": 2,
+                           "points": _trajectory(store)})
     assert [row.as_tuple() for row in parallel_rows] \
         == [row.as_tuple() for row in serial_rows]
     assert parallel_rows == serial_rows

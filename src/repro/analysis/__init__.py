@@ -1,4 +1,5 @@
-"""Analysis helpers: fairness metrics and the Appendix A convergence model."""
+"""Analysis helpers: fairness metrics, the Appendix A convergence model,
+and aggregation views over stored sweep rows."""
 
 from repro.analysis.metrics import (
     jain_fairness_index,
@@ -9,6 +10,11 @@ from repro.analysis.convergence import (
     AimdFluidModel,
     fair_share_lower_bound,
 )
+from repro.analysis.aggregate import (
+    dashboard_payload,
+    group_reduce,
+    pivot_table,
+)
 
 __all__ = [
     "jain_fairness_index",
@@ -16,4 +22,7 @@ __all__ = [
     "summarize_throughputs",
     "AimdFluidModel",
     "fair_share_lower_bound",
+    "dashboard_payload",
+    "group_reduce",
+    "pivot_table",
 ]

@@ -1,0 +1,144 @@
+"""Aggregation views over stored sweep rows.
+
+These helpers turn the flat row dictionaries served by
+:meth:`repro.store.ResultStore.query_rows` into the shapes dashboards
+consume: grouped reductions (one value per group) and pivot tables (one
+series per column value, e.g. legit-share vs deployment fraction with one
+line per attacker strategy).  They are deliberately dependency-free — the
+output is plain JSON-ready dicts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "AGGREGATORS",
+    "group_reduce",
+    "pivot_table",
+    "dashboard_payload",
+]
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+AGGREGATORS: Dict[str, Callable[[Sequence[float]], float]] = {
+    "mean": _mean,
+    "median": _median,
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "count": len,
+}
+
+
+def _numeric(values: Iterable[Any]) -> List[float]:
+    out = []
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if isinstance(value, float) and not math.isfinite(value):
+            continue
+        out.append(value)
+    return out
+
+
+def group_reduce(
+    rows: Iterable[Dict[str, Any]],
+    by: Sequence[str],
+    value: str,
+    agg: str = "mean",
+) -> List[Dict[str, Any]]:
+    """Reduce ``value`` over rows grouped by the ``by`` fields.
+
+    Returns one dict per group — the group fields plus ``{agg}_{value}`` and
+    ``n`` (rows contributing a finite numeric value) — ordered by first
+    appearance, so output order is as deterministic as the row order.
+    """
+    reducer = AGGREGATORS[agg]
+    groups: Dict[Tuple[Any, ...], List[Any]] = {}
+    for row in rows:
+        key = tuple(row.get(field) for field in by)
+        groups.setdefault(key, []).append(row.get(value))
+    out = []
+    for key, values in groups.items():
+        numeric = _numeric(values)
+        entry = dict(zip(by, key))
+        entry[f"{agg}_{value}"] = reducer(numeric) if numeric else None
+        entry["n"] = len(numeric)
+        out.append(entry)
+    return out
+
+
+def pivot_table(
+    rows: Iterable[Dict[str, Any]],
+    index: str,
+    column: str,
+    value: str,
+    agg: str = "mean",
+) -> Dict[str, Any]:
+    """Pivot rows into a dashboard-ready table.
+
+    ``index`` values become the x-axis, ``column`` values become one series
+    each, and each cell reduces ``value`` with ``agg`` (``None`` for empty
+    cells).  Index and column values keep first-appearance order.
+    """
+    reducer = AGGREGATORS[agg]
+    cells: Dict[Tuple[Any, Any], List[Any]] = {}
+    index_values: List[Any] = []
+    column_values: List[Any] = []
+    for row in rows:
+        iv, cv = row.get(index), row.get(column)
+        if iv not in index_values:
+            index_values.append(iv)
+        if cv not in column_values:
+            column_values.append(cv)
+        cells.setdefault((iv, cv), []).append(row.get(value))
+
+    def cell(iv: Any, cv: Any) -> Optional[float]:
+        numeric = _numeric(cells.get((iv, cv), ()))
+        return reducer(numeric) if numeric else None
+
+    return {
+        "index": index,
+        "column": column,
+        "value": value,
+        "agg": agg,
+        "index_values": index_values,
+        "series": [
+            {"name": cv, "values": [cell(iv, cv) for iv in index_values]}
+            for cv in column_values
+        ],
+    }
+
+
+def dashboard_payload(
+    store: Any,
+    experiment: str,
+    index: str,
+    column: str,
+    value: str,
+    agg: str = "mean",
+    params: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One-call dashboard JSON: query the store, pivot, attach provenance.
+
+    ``store`` is a :class:`repro.store.ResultStore`; ``params`` filters on
+    spec parameters (e.g. ``{"system": "netfence"}``).
+    """
+    rows = store.query_rows(experiment=experiment, params=params)
+    payload = pivot_table(rows, index=index, column=column, value=value, agg=agg)
+    payload.update(experiment=experiment, rows=len(rows),
+                   store_path=getattr(store, "path", None))
+    return payload

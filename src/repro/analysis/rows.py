@@ -9,10 +9,32 @@ serialization.
 
 from __future__ import annotations
 
+import csv
 import dataclasses
+import io
 import json
 import math
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+def row_schema(rows: Iterable[Any]) -> Tuple[Any, ...]:
+    """Fingerprint row types: class identity plus dataclass field names.
+
+    Both the pickle-backed :class:`~repro.experiments.sweep.SweepCache` and
+    the SQLite :class:`~repro.store.ResultStore` record this fingerprint at
+    write time and compare it against the currently imported classes at read
+    time: unpickling bypasses ``__init__``, so without the check a row
+    dataclass that gained or lost a field would be served as a silently
+    stale object.
+    """
+    schema = []
+    for row in rows:
+        cls = type(row)
+        fields: Optional[Tuple[str, ...]] = None
+        if dataclasses.is_dataclass(row):
+            fields = tuple(f.name for f in dataclasses.fields(cls))
+        schema.append((cls.__module__, cls.__qualname__, fields))
+    return tuple(schema)
 
 
 def row_to_dict(row: Any) -> Dict[str, Any]:
@@ -51,3 +73,26 @@ def json_safe(value: Any) -> Any:
 def rows_to_json(rows: Iterable[Any], indent: int = 2) -> str:
     """Serialize result rows as a JSON array."""
     return json.dumps(json_safe(rows_to_dicts(rows)), indent=indent, sort_keys=True)
+
+
+def dict_rows_fieldnames(dict_rows: List[Dict[str, Any]]) -> List[str]:
+    """Column order for tabular export: first row's key order (dataclass
+    field order for dataclass rows), then any later-appearing keys sorted."""
+    if not dict_rows:
+        return []
+    fieldnames = list(dict_rows[0])
+    seen = set(fieldnames)
+    extras = sorted({k for row in dict_rows[1:] for k in row} - seen)
+    return fieldnames + extras
+
+
+def rows_to_csv(rows: Iterable[Any]) -> str:
+    """Serialize result rows as CSV with a header line."""
+    dict_rows = [json_safe(row_to_dict(row)) for row in rows]
+    fieldnames = dict_rows_fieldnames(dict_rows)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fieldnames, restval="",
+                            extrasaction="ignore", lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(dict_rows)
+    return buf.getvalue()

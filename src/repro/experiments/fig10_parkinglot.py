@@ -123,7 +123,7 @@ def run(
     specs = grid(policy=policy, capacity_cases=capacity_cases,
                  hosts_per_group=hosts_per_group, sim_time=sim_time,
                  warmup=warmup, seed=seed)
-    return merge_rows(run_sweep(specs, jobs=jobs, cache=cache))
+    return merge_rows(run_sweep(specs, jobs=jobs, cache=cache, strict=True))
 
 
 def format_table(rows: List[ParkingLotRow], figure: str = "Fig. 10") -> str:

@@ -125,7 +125,7 @@ def run(
                  num_source_as=num_source_as, hosts_per_as=hosts_per_as,
                  bottleneck_bps=bottleneck_bps, sim_time=sim_time,
                  warmup=warmup, seed=seed)
-    return merge_rows(run_sweep(specs, jobs=jobs, cache=cache))
+    return merge_rows(run_sweep(specs, jobs=jobs, cache=cache, strict=True))
 
 
 def format_table(rows: List[Fig11Row]) -> str:

@@ -156,7 +156,7 @@ def run(
     """Run the deployment sweep and return one row per grid point."""
     specs = grid(systems=systems, fractions=fractions, strategies=strategies,
                  sim_time=sim_time, warmup=warmup, seed=seed)
-    return merge_rows(run_sweep(specs, jobs=jobs, cache=cache))
+    return merge_rows(run_sweep(specs, jobs=jobs, cache=cache, strict=True))
 
 
 def format_table(rows: List[Fig12Row]) -> str:

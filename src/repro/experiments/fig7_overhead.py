@@ -215,7 +215,7 @@ def run(
 ) -> List[OverheadRow]:
     """Produce the Fig. 7 table (one row per combination)."""
     return merge_rows(run_sweep(grid(iterations=iterations, seed=seed),
-                                jobs=jobs, cache=cache))
+                                jobs=jobs, cache=cache, strict=True))
 
 
 def format_table(rows: List[OverheadRow]) -> str:

@@ -136,7 +136,7 @@ def run(
 ) -> List[Fig8Row]:
     """Run the Fig. 8 sweep and return one row per (system, scale) point."""
     specs = grid(systems=systems, scale_steps=scale_steps, sim_time=sim_time, seed=seed)
-    return merge_rows(run_sweep(specs, jobs=jobs, cache=cache))
+    return merge_rows(run_sweep(specs, jobs=jobs, cache=cache, strict=True))
 
 
 def format_table(rows: List[Fig8Row]) -> str:

@@ -146,7 +146,7 @@ def run(
     """Run the Fig. 9 sweep (9a: longrun, 9b: web)."""
     specs = grid(systems=systems, workloads=workloads, scale_steps=scale_steps,
                  sim_time=sim_time, warmup=warmup, seed=seed)
-    return merge_rows(run_sweep(specs, jobs=jobs, cache=cache))
+    return merge_rows(run_sweep(specs, jobs=jobs, cache=cache, strict=True))
 
 
 def format_table(rows: List[Fig9Row]) -> str:

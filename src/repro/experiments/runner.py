@@ -19,6 +19,15 @@ executed by :mod:`repro.experiments.sweep`:
 * ``--json`` emits result rows as JSON instead of the paper-style table.
 * ``--cache [DIR]`` caches per-point results on disk keyed on
   (experiment, params, seed), making re-runs instant.
+* ``--store PATH`` routes reads and writes through the queryable SQLite
+  :class:`~repro.store.ResultStore` instead of the pickle cache.
+
+Distributed execution (see :mod:`repro.experiments.distrib`)::
+
+    netfence-experiment submit fig12 --quick --queue QDIR
+    netfence-experiment worker --queue QDIR --store results.sqlite   # xN
+    netfence-experiment status --queue QDIR --store results.sqlite
+    netfence-experiment export fig12 --quick --store results.sqlite
 """
 
 from __future__ import annotations
@@ -146,8 +155,18 @@ EXPERIMENTS: Dict[str, ExperimentDef] = {
 #: Default directory for ``--cache`` when no path is given.
 DEFAULT_CACHE_DIR = ".netfence-sweep-cache"
 
+#: Subcommands handled by :mod:`repro.experiments.distrib`.
+DISTRIB_COMMANDS = ("submit", "worker", "export", "status")
+
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in DISTRIB_COMMANDS:
+        # Deferred import: the distributed layer pulls in the SQLite store,
+        # which plain figure runs do not need.
+        from repro.experiments import distrib
+
+        return distrib.cli_main(argv, experiments=EXPERIMENTS)
     parser = argparse.ArgumentParser(
         prog="netfence-experiment",
         description="Reproduce a NetFence (SIGCOMM 2010) evaluation figure or table.",
@@ -166,6 +185,9 @@ def main(argv=None) -> int:
                         metavar="DIR",
                         help="cache per-point results on disk (default dir: "
                              f"{DEFAULT_CACHE_DIR})")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="read/write points through the SQLite result store "
+                             "(queryable via the export/status subcommands)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -177,14 +199,24 @@ def main(argv=None) -> int:
     if args.points is not None and args.points < 1:
         parser.error("--points must be >= 1")
 
+    if args.cache and args.store:
+        parser.error("--cache and --store are mutually exclusive")
     cache = None
     if args.cache:
         try:
             cache = SweepCache(args.cache)
         except OSError as exc:
             parser.error(f"cannot use cache directory {args.cache!r}: {exc}")
+    elif args.store:
+        from repro.store import ResultStore
+
+        try:
+            cache = ResultStore(args.store)
+        except OSError as exc:
+            parser.error(f"cannot open result store {args.store!r}: {exc}")
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     json_payload: List[Dict[str, Any]] = []
+    failed_points = 0
     for name in names:
         experiment = EXPERIMENTS[name]
         specs = experiment.build_grid(args.quick)
@@ -195,6 +227,11 @@ def main(argv=None) -> int:
         rows = merge_rows(results)
         elapsed = time.time() - started
         cached_points = sum(1 for r in results if r.cached)
+        failures = [r for r in results if r.error is not None]
+        failed_points += len(failures)
+        for failure in failures:
+            print(f"[{name} point {failure.spec.describe()} failed]\n{failure.error}",
+                  file=sys.stderr)
         if args.as_json:
             json_payload.append({
                 "experiment": name,
@@ -202,18 +239,21 @@ def main(argv=None) -> int:
                 "jobs": args.jobs,
                 "points": len(specs),
                 "cached_points": cached_points,
+                "failed_points": len(failures),
                 "elapsed_s": round(elapsed, 3),
                 "rows": rows_to_dicts(rows),
             })
         else:
             print(experiment.format_rows(rows))
             suffix = f", {cached_points}/{len(specs)} points cached" if cache else ""
+            if failures:
+                suffix += f", {len(failures)} points FAILED"
             print(f"[{name} completed in {elapsed:.1f}s with --jobs {args.jobs}{suffix}]\n")
     if args.as_json:
         json.dump(json_safe(json_payload), sys.stdout, indent=2, sort_keys=True,
                   default=str, allow_nan=False)
         print()
-    return 0
+    return 1 if failed_points else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

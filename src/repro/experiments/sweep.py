@@ -29,25 +29,33 @@ parent process exactly.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import importlib
 import json
+import logging
 import multiprocessing
 import os
 import pickle
+import socket
 import tempfile
 import time
-from dataclasses import dataclass, field
+import traceback
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.rows import row_schema
 from repro.seeding import derive_seed
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "EXPERIMENT_MODULES",
     "ScenarioSpec",
     "SweepCache",
+    "SweepError",
     "SweepResult",
+    "commit_result",
+    "default_worker_id",
     "derive_seed",
     "execute_spec",
     "merge_rows",
@@ -149,16 +157,29 @@ class ScenarioSpec:
 
 @dataclass
 class SweepResult:
-    """Outcome of one executed (or cache-served) grid point."""
+    """Outcome of one executed (or cache-served) grid point.
+
+    ``error`` carries the formatted traceback when the point raised and the
+    caller asked for capture (the default in :func:`run_sweep`): a sweep
+    with one bad point still returns — and caches — every good point.
+    ``worker_id`` identifies the process that executed the point
+    (``host:pid``), recorded by the result store for provenance.
+    """
 
     spec: ScenarioSpec
     rows: List[Any]
     elapsed_s: float = 0.0
     cached: bool = False
+    error: Optional[str] = None
+    worker_id: Optional[str] = None
 
 
 def merge_rows(results: Iterable[SweepResult]) -> List[Any]:
-    """Flatten per-point rows in spec order into one result table."""
+    """Flatten per-point rows in spec order into one result table.
+
+    Failed points (``result.error`` set) contribute no rows; callers that
+    must not silently drop points should inspect the results for errors.
+    """
     merged: List[Any] = []
     for result in results:
         merged.extend(result.rows)
@@ -191,17 +212,9 @@ class SweepCache:
             self.root, f"{spec.experiment}-v{self.VERSION}-{spec.cache_key()[:24]}.pkl"
         )
 
-    @staticmethod
-    def _row_schema(rows: List[Any]) -> Tuple[Any, ...]:
-        """Fingerprint the row types: class identity plus dataclass fields."""
-        schema = []
-        for row in rows:
-            cls = type(row)
-            fields: Optional[Tuple[str, ...]] = None
-            if dataclasses.is_dataclass(row):
-                fields = tuple(f.name for f in dataclasses.fields(cls))
-            schema.append((cls.__module__, cls.__qualname__, fields))
-        return tuple(schema)
+    #: Shared with :class:`repro.store.ResultStore`, which applies the same
+    #: staleness rule to its records.
+    _row_schema = staticmethod(row_schema)
 
     def get(self, spec: ScenarioSpec) -> Optional[List[Any]]:
         path = self._path(spec)
@@ -232,30 +245,72 @@ class SweepCache:
                 pass
 
 
-def execute_spec(spec: ScenarioSpec) -> SweepResult:
-    """Run one grid point in the current process."""
-    fn = resolve_point(spec.experiment)
+def default_worker_id() -> str:
+    """``host:pid`` of the executing process, for result-store provenance."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class SweepError(RuntimeError):
+    """Raised by ``run_sweep(strict=True)`` when any grid point failed.
+
+    Completed points were already committed to the cache/store before this
+    is raised; ``results`` holds every per-point outcome and ``failures``
+    the failed subset.
+    """
+
+    def __init__(self, results: List["SweepResult"]) -> None:
+        self.results = results
+        self.failures = [r for r in results if r.error is not None]
+        detail = "\n\n".join(f"{r.spec.describe()}:\n{r.error}"
+                             for r in self.failures)
+        super().__init__(f"{len(self.failures)} sweep point(s) failed:\n{detail}")
+
+
+def execute_spec(spec: ScenarioSpec, capture_errors: bool = False) -> SweepResult:
+    """Run one grid point in the current process.
+
+    With ``capture_errors`` a raising point (or an unknown experiment name)
+    yields a rowless :class:`SweepResult` whose ``error`` holds the
+    formatted traceback instead of propagating — the mode :func:`run_sweep`
+    and the distributed worker use so one bad point cannot sink a sweep.
+    """
     started = time.perf_counter()
-    out = fn(seed=spec.seed, **spec.kwargs)
+    try:
+        fn = resolve_point(spec.experiment)
+        out = fn(seed=spec.seed, **spec.kwargs)
+    except Exception:
+        if not capture_errors:
+            raise
+        return SweepResult(spec=spec, rows=[], elapsed_s=time.perf_counter() - started,
+                           error=traceback.format_exc(), worker_id=default_worker_id())
     elapsed = time.perf_counter() - started
     rows = list(out) if isinstance(out, (list, tuple)) else [out]
-    return SweepResult(spec=spec, rows=rows, elapsed_s=elapsed)
+    return SweepResult(spec=spec, rows=rows, elapsed_s=elapsed,
+                       worker_id=default_worker_id())
 
 
-def _execute_in_worker(payload: Tuple[ScenarioSpec, str]) -> SweepResult:
+def _execute_in_worker(payload: Tuple[int, ScenarioSpec, str]) -> Tuple[int, SweepResult]:
     """Pool entry point: import the point's registering module first.
 
     Fork workers inherit the parent's registry, but spawn workers (macOS /
     Windows) start with an empty one; importing the module that called
     :func:`register_point` repopulates it even for points registered outside
     :data:`EXPERIMENT_MODULES` (e.g. user extensions or test fixtures).
+    Results come back tagged with the spec's index because the pool consumes
+    them out of order (``imap_unordered``).
     """
-    spec, module = payload
+    index, spec, module = payload
     try:
         importlib.import_module(module)
     except ImportError:
-        pass  # fall back to resolve_point's EXPERIMENT_MODULES scan
-    return execute_spec(spec)
+        # A spawn-mode worker that cannot re-import the registering module
+        # would otherwise fail with a bare "no point function registered"
+        # KeyError; name the module so the registry miss is diagnosable.
+        logger.warning(
+            "could not import %r (registering module of point %r); "
+            "falling back to the EXPERIMENT_MODULES scan",
+            module, spec.experiment)
+    return index, execute_spec(spec, capture_errors=True)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -265,16 +320,55 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def commit_result(cache: Any, result: SweepResult) -> None:
+    """Commit one finished point to a cache or store (errors are not cached).
+
+    Accepts anything with the ``SweepCache`` ``put(spec, rows)`` protocol;
+    objects that also expose ``put_result(result)`` — the
+    :class:`repro.store.ResultStore` — additionally receive the point's wall
+    time and worker id.
+    """
+    if cache is None or result.error is not None:
+        return
+    put_result = getattr(cache, "put_result", None)
+    if put_result is not None:
+        put_result(result)
+    else:
+        cache.put(result.spec, result.rows)
+
+
+def _registering_module(spec: ScenarioSpec) -> str:
+    """Module whose import re-registers the spec's point, for pool workers."""
+    try:
+        return resolve_point(spec.experiment).__module__
+    except KeyError:
+        # Unknown experiment: let the worker re-resolve and capture the
+        # failure as that point's error instead of sinking the whole sweep.
+        return __name__
+
+
 def run_sweep(
     specs: Sequence[ScenarioSpec],
     jobs: int = 1,
-    cache: Optional[SweepCache] = None,
+    cache: Optional[Any] = None,
+    strict: bool = False,
 ) -> List[SweepResult]:
     """Execute every spec and return results in spec order.
 
     ``jobs <= 1`` runs serially in-process; ``jobs > 1`` fans the uncached
     points out over a :class:`multiprocessing.Pool`.  The returned row order
     — and therefore any formatted table — is identical either way.
+
+    A raising point no longer aborts the sweep mid-flight: its result
+    carries the traceback in ``error`` and contributes no rows, while every
+    other point completes normally.  Finished points are committed to
+    ``cache`` (a :class:`SweepCache` or :class:`repro.store.ResultStore`)
+    **as they finish** — ``imap_unordered`` under the hood — so an
+    interrupted or partially failing parallel sweep keeps all completed
+    work.  With ``strict=True`` a :class:`SweepError` is raised at the end
+    when any point failed (after the commits), for callers that consume the
+    merged rows without inspecting per-point errors — e.g. the figure
+    modules' ``run()`` helpers.
     """
     results: List[Optional[SweepResult]] = [None] * len(specs)
     pending: List[Tuple[int, ScenarioSpec]] = []
@@ -289,18 +383,22 @@ def run_sweep(
         if jobs > 1 and len(pending) > 1:
             ctx = _pool_context()
             workers = min(jobs, len(pending))
-            payloads = [(spec, resolve_point(spec.experiment).__module__)
-                        for _, spec in pending]
+            payloads = [(index, spec, _registering_module(spec))
+                        for index, spec in pending]
             with ctx.Pool(processes=workers) as pool:
-                executed = pool.map(_execute_in_worker, payloads)
+                for index, result in pool.imap_unordered(_execute_in_worker, payloads):
+                    results[index] = result
+                    commit_result(cache, result)
         else:
-            executed = [execute_spec(spec) for _, spec in pending]
-        for (index, spec), result in zip(pending, executed):
-            results[index] = result
-            if cache is not None:
-                cache.put(spec, result.rows)
+            for index, spec in pending:
+                result = execute_spec(spec, capture_errors=True)
+                results[index] = result
+                commit_result(cache, result)
 
-    return [result for result in results if result is not None]
+    final = [result for result in results if result is not None]
+    if strict and any(result.error is not None for result in final):
+        raise SweepError(final)
+    return final
 
 
 # ---------------------------------------------------------------------------

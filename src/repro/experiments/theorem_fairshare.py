@@ -179,7 +179,7 @@ def grid(
 
 
 def run(jobs: int = 1, cache: Optional[SweepCache] = None) -> List[TheoremRow]:
-    return merge_rows(run_sweep(grid(), jobs=jobs, cache=cache))
+    return merge_rows(run_sweep(grid(), jobs=jobs, cache=cache, strict=True))
 
 
 def format_table(rows: List[TheoremRow]) -> str:

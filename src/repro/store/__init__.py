@@ -1,0 +1,12 @@
+"""Queryable, append-only result store for sweep executions.
+
+:class:`ResultStore` is the durable sibling of the per-point pickle
+:class:`~repro.experiments.sweep.SweepCache`: one SQLite file that every
+worker — local ``run_sweep`` processes and distributed ``runner worker``
+processes alike — commits finished grid points to, and that analysis and
+dashboards query afterwards.
+"""
+
+from repro.store.result_store import PointRecord, ResultStore
+
+__all__ = ["PointRecord", "ResultStore"]

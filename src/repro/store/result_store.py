@@ -1,0 +1,316 @@
+"""SQLite-backed, append-only store for executed sweep points.
+
+Layout (one database file, shared by any number of workers)::
+
+    points      one record per *execution* of a grid point: the spec identity
+                (experiment, params JSON, seed, cache_key), the row-schema
+                fingerprint, a pickle of the typed row list, per-point wall
+                time, the committing worker id, and a timestamp.
+    point_rows  one JSON record per result row, flattened for SQL-side
+                filtering and for readers that do not import the row classes.
+
+The store is **append-only**: re-executing a point inserts a new ``points``
+record rather than overwriting the old one, so the database doubles as a
+perf trajectory (wall time per point over time, per worker).  Readers that
+want "the" result of a point take the newest record for its cache key.
+
+Reads of typed rows apply the same staleness rule as ``SweepCache``: the
+row-schema fingerprint recorded at write time must match the fingerprint
+recomputed from the unpickled rows against the currently imported classes,
+otherwise the record is treated as missing (``get`` returns ``None``).  The
+flattened JSON rows remain queryable either way.
+
+Concurrency: every public method opens its own short-lived connection, so
+one ``ResultStore`` object may be shared across threads, and any number of
+processes (``runner worker`` fleets included) may point at the same file —
+SQLite's locking serializes the commits.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pickle
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.rows import json_safe, row_schema, rows_to_dicts
+from repro.experiments.sweep import ScenarioSpec, SweepResult, default_worker_id
+
+__all__ = ["PointRecord", "ResultStore", "default_worker_id"]
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS points (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    cache_key   TEXT    NOT NULL,
+    experiment  TEXT    NOT NULL,
+    params_json TEXT    NOT NULL,
+    seed        INTEGER NOT NULL,
+    row_schema  TEXT    NOT NULL,
+    rows_blob   BLOB    NOT NULL,
+    num_rows    INTEGER NOT NULL,
+    elapsed_s   REAL    NOT NULL,
+    worker_id   TEXT    NOT NULL,
+    created_at  REAL    NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_points_cache_key  ON points (cache_key, id);
+CREATE INDEX IF NOT EXISTS idx_points_experiment ON points (experiment, id);
+CREATE TABLE IF NOT EXISTS point_rows (
+    point_id  INTEGER NOT NULL REFERENCES points (id),
+    row_index INTEGER NOT NULL,
+    data      TEXT    NOT NULL,
+    PRIMARY KEY (point_id, row_index)
+);
+"""
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """Metadata of one stored execution (no row payload)."""
+
+    point_id: int
+    cache_key: str
+    experiment: str
+    params: Dict[str, Any]
+    seed: int
+    num_rows: int
+    elapsed_s: float
+    worker_id: str
+    created_at: float
+
+
+def _params_json(spec: ScenarioSpec) -> str:
+    """Spec params as canonical JSON (frozen tuples become lists)."""
+    return json.dumps(json_safe(spec.kwargs), sort_keys=True, default=repr)
+
+
+class ResultStore:
+    """Append-only SQLite result store keyed by ``ScenarioSpec.cache_key()``.
+
+    Implements the ``get(spec)`` / ``put(spec, rows)`` protocol of
+    :class:`~repro.experiments.sweep.SweepCache`, so it can be passed
+    wherever a sweep cache is accepted, plus :meth:`put_result` which also
+    records per-point wall time and the committing worker id.
+    """
+
+    #: Bump to segregate databases when the on-disk layout changes.
+    VERSION = 1
+
+    def __init__(self, path: str, worker_id: Optional[str] = None) -> None:
+        self.path = os.path.abspath(path)
+        self.worker_id = worker_id or default_worker_id()
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with contextlib.closing(self._connect()) as conn, conn:
+            conn.executescript(_SCHEMA_SQL)
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        conn.row_factory = sqlite3.Row
+        return conn
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def put_result(self, result: SweepResult, worker_id: Optional[str] = None) -> int:
+        """Append one executed point; returns the new ``points`` record id."""
+        if result.error is not None:
+            raise ValueError(
+                f"refusing to store a failed point: {result.spec.describe()}")
+        return self._append(
+            result.spec,
+            result.rows,
+            elapsed_s=result.elapsed_s,
+            worker_id=worker_id or result.worker_id or self.worker_id,
+        )
+
+    def put(self, spec: ScenarioSpec, rows: List[Any]) -> int:
+        """SweepCache-compatible write (no timing / worker metadata)."""
+        return self._append(spec, rows, elapsed_s=0.0, worker_id=self.worker_id)
+
+    def _append(self, spec: ScenarioSpec, rows: List[Any], elapsed_s: float,
+                worker_id: str) -> int:
+        blob = pickle.dumps(rows)
+        schema = repr(row_schema(rows))
+        dict_rows = [json.dumps(json_safe(d), sort_keys=True, default=repr)
+                     for d in rows_to_dicts(rows)]
+        with contextlib.closing(self._connect()) as conn, conn:
+            cursor = conn.execute(
+                "INSERT INTO points (cache_key, experiment, params_json, seed,"
+                " row_schema, rows_blob, num_rows, elapsed_s, worker_id, created_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (spec.cache_key(), spec.experiment, _params_json(spec), spec.seed,
+                 schema, blob, len(rows), elapsed_s, worker_id, time.time()),
+            )
+            point_id = cursor.lastrowid
+            conn.executemany(
+                "INSERT INTO point_rows (point_id, row_index, data) VALUES (?, ?, ?)",
+                [(point_id, index, data) for index, data in enumerate(dict_rows)],
+            )
+        return point_id
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def get(self, spec: ScenarioSpec) -> Optional[List[Any]]:
+        """Newest stored row list for the spec, or ``None``.
+
+        A record whose row classes have since changed shape (stale schema
+        fingerprint) is treated as missing, exactly like ``SweepCache``.
+        """
+        with contextlib.closing(self._connect()) as conn, conn:
+            record = conn.execute(
+                "SELECT row_schema, rows_blob FROM points WHERE cache_key = ?"
+                " ORDER BY id DESC LIMIT 1",
+                (spec.cache_key(),),
+            ).fetchone()
+        if record is None:
+            return None
+        try:
+            rows = pickle.loads(record["rows_blob"])
+        except Exception:
+            return None  # row classes renamed/moved since this was written
+        if repr(row_schema(rows)) != record["row_schema"]:
+            return None
+        return rows
+
+    def point_records(self, experiment: Optional[str] = None,
+                      latest_only: bool = False) -> List[PointRecord]:
+        """Stored execution metadata, oldest first.
+
+        ``latest_only`` keeps only the newest record per cache key — the
+        view a dashboard of current results wants; the default keeps every
+        execution — the view a perf trajectory wants.
+        """
+        query = ("SELECT id, cache_key, experiment, params_json, seed, num_rows,"
+                 " elapsed_s, worker_id, created_at FROM points")
+        args: Tuple[Any, ...] = ()
+        if experiment is not None:
+            query += " WHERE experiment = ?"
+            args = (experiment,)
+        query += " ORDER BY id"
+        with contextlib.closing(self._connect()) as conn, conn:
+            records = conn.execute(query, args).fetchall()
+        if latest_only:
+            newest: Dict[str, sqlite3.Row] = {}
+            for record in records:
+                newest[record["cache_key"]] = record
+            records = sorted(newest.values(), key=lambda r: r["id"])
+        return [
+            PointRecord(
+                point_id=r["id"], cache_key=r["cache_key"],
+                experiment=r["experiment"], params=json.loads(r["params_json"]),
+                seed=r["seed"], num_rows=r["num_rows"], elapsed_s=r["elapsed_s"],
+                worker_id=r["worker_id"], created_at=r["created_at"],
+            )
+            for r in records
+        ]
+
+    def query_rows(
+        self,
+        experiment: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+        where: Optional[Callable[[Dict[str, Any]], bool]] = None,
+        latest_only: bool = True,
+        meta: bool = False,
+    ) -> List[Dict[str, Any]]:
+        """Flattened result rows as dictionaries.
+
+        ``params`` filters on spec parameters by equality (``{"system":
+        "netfence"}``); ``where`` is an arbitrary predicate over the row
+        dict.  With ``meta=True`` each row gains underscore-prefixed spec
+        and provenance fields (``_experiment``, ``_seed``, ``_params``,
+        ``_worker_id``, ``_elapsed_s``, ``_created_at``).  Rows are served
+        from the flattened JSON table, so they remain readable even when
+        the typed row classes have changed since the write.
+        """
+        records = self.point_records(experiment=experiment, latest_only=latest_only)
+        if params:
+            frozen = json.loads(json.dumps(json_safe(params), default=repr))
+            records = [r for r in records
+                       if all(r.params.get(k) == v for k, v in frozen.items())]
+        if not records:
+            return []
+        ids = [r.point_id for r in records]
+        by_id = {r.point_id: r for r in records}
+        placeholders = ",".join("?" * len(ids))
+        with contextlib.closing(self._connect()) as conn, conn:
+            raw = conn.execute(
+                f"SELECT point_id, row_index, data FROM point_rows"
+                f" WHERE point_id IN ({placeholders})"
+                f" ORDER BY point_id, row_index",
+                ids,
+            ).fetchall()
+        out: List[Dict[str, Any]] = []
+        for record in raw:
+            row = json.loads(record["data"])
+            if where is not None and not where(row):
+                continue
+            if meta:
+                point = by_id[record["point_id"]]
+                row.update(
+                    _experiment=point.experiment, _seed=point.seed,
+                    _params=point.params, _worker_id=point.worker_id,
+                    _elapsed_s=point.elapsed_s, _created_at=point.created_at,
+                )
+            out.append(row)
+        return out
+
+    # ------------------------------------------------------------------
+    # Aggregate views
+    # ------------------------------------------------------------------
+
+    def experiments(self) -> List[str]:
+        with contextlib.closing(self._connect()) as conn, conn:
+            records = conn.execute(
+                "SELECT DISTINCT experiment FROM points ORDER BY experiment"
+            ).fetchall()
+        return [r["experiment"] for r in records]
+
+    def summary(self) -> List[Dict[str, Any]]:
+        """Per-experiment totals for ``runner status`` and dashboards."""
+        with contextlib.closing(self._connect()) as conn, conn:
+            records = conn.execute(
+                "SELECT experiment,"
+                " COUNT(DISTINCT cache_key) AS points,"
+                " COUNT(*) AS executions,"
+                " SUM(num_rows) AS rows,"
+                " SUM(elapsed_s) AS total_elapsed_s,"
+                " COUNT(DISTINCT worker_id) AS workers,"
+                " MAX(created_at) AS last_written"
+                " FROM points GROUP BY experiment ORDER BY experiment"
+            ).fetchall()
+        return [dict(r) for r in records]
+
+    def perf_trajectory(self, experiment: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Every execution's wall time, oldest first — profiling feedstock."""
+        return [
+            {"experiment": r.experiment, "cache_key": r.cache_key, "seed": r.seed,
+             "params": r.params, "elapsed_s": r.elapsed_s, "worker_id": r.worker_id,
+             "created_at": r.created_at}
+            for r in self.point_records(experiment=experiment, latest_only=False)
+        ]
+
+    def fetch_specs(self, specs: Sequence[ScenarioSpec]) -> Tuple[List[Any], List[ScenarioSpec]]:
+        """Merged typed rows for ``specs`` in spec order, plus missing specs.
+
+        This is the read side of the acceptance contract: after any number
+        of workers filled the store, fetching a grid in its declared order
+        reproduces the exact merged row list a single-process ``run_sweep``
+        of that grid returns.
+        """
+        merged: List[Any] = []
+        missing: List[ScenarioSpec] = []
+        for spec in specs:
+            rows = self.get(spec)
+            if rows is None:
+                missing.append(spec)
+            else:
+                merged.extend(rows)
+        return merged, missing

@@ -1,0 +1,353 @@
+"""Tests for the shared-directory work queue, worker loop, and distrib CLI."""
+
+import json
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.distrib import (
+    LeaseLost,
+    QueueWorker,
+    WorkQueue,
+)
+from repro.experiments.sweep import ScenarioSpec, merge_rows, run_sweep
+from repro.store import ResultStore
+
+
+def bench_specs(n=4, duration=0.0):
+    return [ScenarioSpec.make("bench_sleep", seed=i, duration=duration, payload=i)
+            for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Queue basics
+# ---------------------------------------------------------------------------
+
+def test_submit_is_idempotent_and_counts_pending(tmp_path):
+    queue = WorkQueue(str(tmp_path / "q"))
+    specs = bench_specs(3)
+    assert queue.submit(specs) == 3
+    assert queue.submit(specs) == 0  # already enqueued
+    counts = queue.counts()
+    assert counts == {"tasks": 3, "pending": 3, "running": 0, "done": 0,
+                      "failed": 0}
+    assert not queue.drained()
+
+
+def test_claim_execute_complete_lifecycle(tmp_path):
+    queue = WorkQueue(str(tmp_path / "q"))
+    (spec,) = bench_specs(1)
+    queue.submit([spec])
+    lease = queue.claim("w0", ttl=30.0)
+    assert lease is not None
+    assert lease.spec == spec
+    assert queue.counts()["running"] == 1
+    assert queue.claim("w1", ttl=30.0) is None  # held elsewhere
+    assert queue.complete(lease, elapsed_s=0.1)
+    assert queue.counts() == {"tasks": 1, "pending": 0, "running": 0,
+                              "done": 1, "failed": 0}
+    assert queue.drained()
+    assert queue.claim("w1", ttl=30.0) is None  # done tasks are not re-claimed
+    assert queue.submit([spec]) == 0  # finished work is not re-enqueued
+
+
+def test_completed_failure_is_recorded_not_retried(tmp_path):
+    queue = WorkQueue(str(tmp_path / "q"))
+    (spec,) = bench_specs(1)
+    queue.submit([spec])
+    lease = queue.claim("w0")
+    assert queue.complete(lease, error="Traceback: boom")
+    counts = queue.counts()
+    assert counts["failed"] == 1 and counts["done"] == 0
+    assert queue.drained()  # deterministic failures do not wedge the queue
+    assert queue.failures() == [(lease.key, "Traceback: boom")]
+
+
+# ---------------------------------------------------------------------------
+# Lease contention (satellite: exactly one winner, expiry reclaim)
+# ---------------------------------------------------------------------------
+
+def test_racing_claims_yield_exactly_one_lease(tmp_path):
+    queue = WorkQueue(str(tmp_path / "q"))
+    queue.submit(bench_specs(1))
+    n_threads = 8
+    barrier = threading.Barrier(n_threads)
+    leases = [None] * n_threads
+
+    def racer(i):
+        barrier.wait()
+        leases[i] = queue.claim(f"w{i}", ttl=30.0)
+
+    threads = [threading.Thread(target=racer, args=(i,)) for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    winners = [lease for lease in leases if lease is not None]
+    assert len(winners) == 1
+
+
+def test_expired_lease_is_reclaimable_and_loser_detects_theft(tmp_path):
+    queue = WorkQueue(str(tmp_path / "q"))
+    queue.submit(bench_specs(1))
+    stale = queue.claim("w0", ttl=0.05)
+    assert stale is not None
+    time.sleep(0.1)
+    # Racing stealers: exactly one reclaims the expired lease.
+    n_threads = 4
+    barrier = threading.Barrier(n_threads)
+    leases = [None] * n_threads
+
+    def stealer(i):
+        barrier.wait()
+        leases[i] = queue.claim(f"thief{i}", ttl=30.0)
+
+    threads = [threading.Thread(target=stealer, args=(i,)) for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    winners = [lease for lease in leases if lease is not None]
+    assert len(winners) == 1
+    # The original holder's heartbeat must see the theft, not renew through it.
+    with pytest.raises(LeaseLost):
+        queue.renew(stale, ttl=30.0)
+    # The thief's lease renews fine.
+    queue.renew(winners[0], ttl=30.0)
+
+
+def test_corrupt_lease_file_is_stolen_after_grace(tmp_path):
+    """Regression: a 0-byte lease (claimer died between the O_EXCL create
+    and the JSON write) must become claimable once its mtime + ttl passes,
+    not wedge the task forever."""
+    queue = WorkQueue(str(tmp_path / "q"))
+    queue.submit(bench_specs(1))
+    lease = queue.claim("w0", ttl=0.1)
+    open(queue._lease_path(lease.key), "w").close()  # truncate to 0 bytes
+    assert queue.claim("w1", ttl=0.1) is None  # fresh corrupt lease: grace
+    time.sleep(0.15)
+    # The grace window is mtime + the *claimer's* ttl (the dead claimer's
+    # intended ttl is unreadable from a truncated lease).
+    recovered = queue.claim("w1", ttl=0.1)
+    assert recovered is not None
+    assert recovered.worker_id == "w1"
+    queue.renew(recovered, ttl=30.0)  # stolen lease is fully owned
+
+
+def test_corrupt_done_marker_counts_as_done_everywhere(tmp_path):
+    """Regression: claim() skips any existing done marker, so counts() and
+    drained() must treat an unparseable marker as done too — otherwise the
+    task is unclaimable yet 'pending' forever and workers never exit."""
+    queue = WorkQueue(str(tmp_path / "q"))
+    (spec,) = bench_specs(1)
+    queue.submit([spec])
+    open(queue._done_path(WorkQueue.task_key(spec)), "w").close()
+    assert queue.claim("w0") is None
+    counts = queue.counts()
+    assert counts["pending"] == 0
+    assert counts["done"] == 1
+    assert queue.drained()
+
+
+def test_renew_extends_expiry_for_live_lease(tmp_path):
+    queue = WorkQueue(str(tmp_path / "q"))
+    queue.submit(bench_specs(1))
+    lease = queue.claim("w0", ttl=0.2)
+    first_expiry = lease.expires_at
+    queue.renew(lease, ttl=60.0)
+    assert lease.expires_at > first_expiry
+    time.sleep(0.25)  # original ttl elapsed; renewed lease must still hold
+    assert queue.claim("w1", ttl=30.0) is None
+
+
+# ---------------------------------------------------------------------------
+# Worker loop
+# ---------------------------------------------------------------------------
+
+def test_single_worker_drains_queue_into_store(tmp_path):
+    queue = WorkQueue(str(tmp_path / "q"))
+    store = ResultStore(str(tmp_path / "s.sqlite"))
+    specs = bench_specs(3)
+    queue.submit(specs)
+    stats = QueueWorker(queue, store=store, worker_id="solo").run()
+    assert stats.claimed == 3
+    assert stats.completed == 3
+    assert stats.failed == 0
+    assert queue.drained()
+    merged, missing = store.fetch_specs(specs)
+    assert not missing
+    assert merged == merge_rows(run_sweep(specs))
+
+
+def test_worker_records_point_failures(tmp_path):
+    queue = WorkQueue(str(tmp_path / "q"))
+    store = ResultStore(str(tmp_path / "s.sqlite"))
+    bad = ScenarioSpec.make("no_such_experiment", seed=1)
+    specs = bench_specs(2) + [bad]
+    queue.submit(specs)
+    stats = QueueWorker(queue, store=store, worker_id="solo").run()
+    assert stats.completed == 2
+    assert stats.failed == 1
+    assert "no_such_experiment" in stats.errors[0]
+    assert queue.drained()
+    merged, missing = store.fetch_specs(specs)
+    assert missing == [bad]  # failures never reach the store
+    assert len(merged) == 2
+
+
+def test_worker_max_points_and_idle_timeout(tmp_path):
+    queue = WorkQueue(str(tmp_path / "q"))
+    queue.submit(bench_specs(3))
+    stats = QueueWorker(queue, worker_id="capped", max_points=1).run()
+    assert stats.claimed == 1
+    # Remaining tasks pending, someone else holds nothing: idle_timeout lets a
+    # worker on an empty-but-undrained queue give up.
+    lease = queue.claim("other", ttl=60.0)
+    assert lease is not None
+    started = time.time()
+    stats = QueueWorker(queue, worker_id="bored", idle_timeout=0.3,
+                        poll_interval=0.05, max_points=2).run()
+    assert stats.claimed == 1  # took the one remaining free task
+    assert time.time() - started < 5.0
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: two worker processes, zero duplicates, export == run_sweep
+# ---------------------------------------------------------------------------
+
+def _worker_process(queue_dir, store_path, worker_id):
+    queue = WorkQueue(queue_dir)
+    store = ResultStore(store_path)
+    QueueWorker(queue, store=store, worker_id=worker_id, lease_ttl=30.0).run()
+
+
+@pytest.mark.skipif("fork" not in multiprocessing.get_all_start_methods(),
+                    reason="needs fork start method")
+def test_two_worker_processes_share_grid_with_zero_duplicate_executions(tmp_path):
+    queue_dir = str(tmp_path / "q")
+    store_path = str(tmp_path / "s.sqlite")
+    specs = bench_specs(6, duration=0.02)
+    WorkQueue(queue_dir).submit(specs)
+    ctx = multiprocessing.get_context("fork")
+    procs = [ctx.Process(target=_worker_process,
+                         args=(queue_dir, store_path, f"proc{i}"))
+             for i in range(2)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    queue = WorkQueue(queue_dir)
+    assert queue.drained()
+    assert queue.counts()["done"] == 6
+    store = ResultStore(store_path)
+    # Append-only store: a duplicate execution would appear as a 7th record.
+    records = store.point_records()
+    assert len(records) == 6
+    assert len({record.cache_key for record in records}) == 6
+    # The merged grid equals a single-process run_sweep, row for row.
+    merged, missing = store.fetch_specs(specs)
+    assert not missing
+    assert merged == merge_rows(run_sweep(specs))
+
+
+# ---------------------------------------------------------------------------
+# CLI (runner submit / worker / export / status)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def bench_experiment(monkeypatch):
+    """Register a tiny 'bench' experiment grid with the runner."""
+    specs = bench_specs(3)
+    definition = runner.ExperimentDef(
+        "bench", lambda quick: specs, lambda rows: f"bench rows={len(rows)}")
+    monkeypatch.setitem(runner.EXPERIMENTS, "bench", definition)
+    return specs
+
+
+def test_cli_submit_worker_status_export_round_trip(tmp_path, capsys,
+                                                    bench_experiment):
+    queue_dir = str(tmp_path / "q")
+    store_path = str(tmp_path / "s.sqlite")
+
+    assert runner.main(["submit", "bench", "--queue", queue_dir]) == 0
+    assert "bench: enqueued 3/3 points" in capsys.readouterr().out
+
+    assert runner.main(["worker", "--queue", queue_dir, "--store", store_path,
+                        "--worker-id", "cli-w0"]) == 0
+    out = capsys.readouterr().out
+    assert "cli-w0: 3 completed, 0 failed" in out
+
+    assert runner.main(["status", "--queue", queue_dir, "--store", store_path]) == 0
+    out = capsys.readouterr().out
+    assert "3 done" in out
+    assert "store bench_sleep: 3 points" in out
+
+    assert runner.main(["export", "bench", "--store", store_path,
+                        "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["experiment"] == "bench"
+    assert payload[0]["missing"] == 0
+    assert payload[0]["rows"] == [
+        {"seed": i, "duration": 0.0, "payload": i} for i in range(3)]
+
+    # table format goes through the experiment's own formatter
+    assert runner.main(["export", "bench", "--store", store_path]) == 0
+    assert "bench rows=3" in capsys.readouterr().out
+
+    # csv format emits a header plus one line per row
+    assert runner.main(["export", "bench", "--store", store_path,
+                        "--format", "csv"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines[0] == "seed,duration,payload"
+    assert len(lines) == 4
+
+    # --where filters rows
+    assert runner.main(["export", "bench", "--store", store_path,
+                        "--format", "json", "--where", "payload=1"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["rows"] == [{"seed": 1, "duration": 0.0, "payload": 1}]
+
+
+def test_cli_export_fails_on_missing_points_unless_allowed(tmp_path, capsys,
+                                                           bench_experiment):
+    store_path = str(tmp_path / "s.sqlite")
+    store = ResultStore(store_path)
+    results = run_sweep(bench_experiment[:1], cache=store)
+    assert results[0].error is None
+
+    assert runner.main(["export", "bench", "--store", store_path,
+                        "--format", "json"]) == 1
+    assert "missing 2/3 grid points" in capsys.readouterr().err
+
+    assert runner.main(["export", "bench", "--store", store_path,
+                        "--format", "json", "--allow-missing"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["missing"] == 2
+    assert len(payload[0]["rows"]) == 1
+
+
+def test_cli_run_with_store_then_export_matches(tmp_path, capsys,
+                                                bench_experiment):
+    """`runner <exp> --store` fills the same store `runner export` reads."""
+    store_path = str(tmp_path / "s.sqlite")
+    assert runner.main(["bench", "--store", store_path, "--json"]) == 0
+    run_payload = json.loads(capsys.readouterr().out)
+    assert runner.main(["export", "bench", "--store", store_path,
+                        "--format", "json"]) == 0
+    export_payload = json.loads(capsys.readouterr().out)
+    assert export_payload[0]["rows"] == run_payload[0]["rows"]
+
+
+def test_cli_rejects_cache_plus_store(tmp_path, bench_experiment):
+    with pytest.raises(SystemExit):
+        runner.main(["bench", "--cache", str(tmp_path / "c"),
+                     "--store", str(tmp_path / "s.sqlite")])
+
+
+def test_cli_status_requires_a_target():
+    with pytest.raises(SystemExit):
+        runner.main(["status"])

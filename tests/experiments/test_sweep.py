@@ -1,6 +1,7 @@
 """Tests for the parallel sweep engine and the experiment runner CLI."""
 
 import json
+import logging
 
 import pytest
 
@@ -24,6 +25,14 @@ def _square_point(seed=1, value=0, marker_file=None):
         with open(marker_file, "a") as fh:
             fh.write("x")
     return {"seed": seed, "square": value * value}
+
+
+@register_point("_test_faulty")
+def _faulty_point(seed=1, value=0, marker_file=None):
+    """Like ``_test_square`` but raises on negative values."""
+    if value < 0:
+        raise ValueError(f"cannot square a strictly negative value: {value}")
+    return _square_point(seed=seed, value=value, marker_file=marker_file)
 
 
 # ---------------------------------------------------------------------------
@@ -103,6 +112,106 @@ def test_execute_spec_wraps_single_row_in_list():
     assert result.rows == [{"seed": 1, "square": 25}]
     assert result.elapsed_s >= 0.0
     assert not result.cached
+    assert result.error is None
+    assert result.worker_id and ":" in result.worker_id
+
+
+def test_execute_spec_raises_by_default_and_captures_on_request():
+    spec = ScenarioSpec.make("_test_faulty", value=-3)
+    with pytest.raises(ValueError):
+        execute_spec(spec)
+    result = execute_spec(spec, capture_errors=True)
+    assert result.rows == []
+    assert "strictly negative value: -3" in result.error
+
+
+# ---------------------------------------------------------------------------
+# Failure capture (one bad point must not sink the sweep)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_run_sweep_keeps_completed_points_when_one_raises(tmp_path, jobs):
+    """Regression: under ``jobs > 1`` the old ``pool.map`` propagated the
+    first exception and every completed point's work (and cache entry) was
+    lost.  Now the bad point carries the traceback in ``error`` and every
+    good point is returned *and cached*."""
+    cache = SweepCache(str(tmp_path / "cache"))
+    marker = tmp_path / "ran.txt"
+    specs = [ScenarioSpec.make("_test_faulty", value=v, marker_file=str(marker))
+             for v in (2, -1, 3, 4)]
+    results = run_sweep(specs, jobs=jobs, cache=cache)
+    assert [r.spec for r in results] == specs
+    assert [r.error is None for r in results] == [True, False, True, True]
+    assert "strictly negative value" in results[1].error
+    assert results[1].rows == []
+    assert merge_rows(results) == [{"seed": 1, "square": 4},
+                                   {"seed": 1, "square": 9},
+                                   {"seed": 1, "square": 16}]
+    # The three good points were committed incrementally; only the bad one
+    # re-runs on the next sweep.
+    assert marker.read_text() == "xxx"
+    rerun = run_sweep(specs, jobs=jobs, cache=cache)
+    assert [r.cached for r in rerun] == [True, False, True, True]
+    assert marker.read_text() == "xxx"
+
+
+def test_run_sweep_strict_raises_after_committing_good_points(tmp_path):
+    """Library callers (the figure modules' run() helpers) pass strict=True:
+    a failed point raises instead of silently truncating the merged rows,
+    but only *after* every completed point was committed to the cache."""
+    from repro.experiments.sweep import SweepError
+
+    cache = SweepCache(str(tmp_path / "cache"))
+    specs = [ScenarioSpec.make("_test_faulty", value=v) for v in (2, -1, 3)]
+    with pytest.raises(SweepError) as excinfo:
+        run_sweep(specs, cache=cache, strict=True)
+    assert "strictly negative value" in str(excinfo.value)
+    assert [r.spec for r in excinfo.value.failures] == [specs[1]]
+    assert cache.get(specs[0]) == [{"seed": 1, "square": 4}]
+    assert cache.get(specs[2]) == [{"seed": 1, "square": 9}]
+
+
+def test_figure_run_helpers_are_strict():
+    """Every module-level run() consumes merged rows blind, so each must
+    opt into strict sweeps — a failed point raises instead of producing a
+    silently incomplete table."""
+    import inspect
+
+    from repro.experiments import (
+        fig7_overhead, fig8_unwanted, fig9_colluding, fig10_parkinglot,
+        fig11_onoff, fig12_deployment, theorem_fairshare,
+    )
+
+    for module in (fig7_overhead, fig8_unwanted, fig9_colluding,
+                   fig10_parkinglot, fig11_onoff, fig12_deployment,
+                   theorem_fairshare):
+        assert "strict=True" in inspect.getsource(module.run), module.__name__
+
+
+def test_run_sweep_captures_unknown_experiment_as_point_error():
+    specs = [ScenarioSpec.make("_test_square", value=2),
+             ScenarioSpec.make("_no_such_point"),
+             ScenarioSpec.make("_test_square", value=3)]
+    for jobs in (1, 2):
+        results = run_sweep(specs, jobs=jobs)
+        assert "_no_such_point" in results[1].error
+        assert merge_rows(results) == [{"seed": 1, "square": 4},
+                                       {"seed": 1, "square": 9}]
+
+
+def test_execute_in_worker_warns_when_registering_module_is_missing(caplog):
+    """Regression: a spawn-mode worker that cannot import the registering
+    module used to swallow the ImportError silently, leaving only a cryptic
+    registry miss."""
+    from repro.experiments.sweep import _execute_in_worker
+
+    spec = ScenarioSpec.make("_test_square", value=4)
+    with caplog.at_level(logging.WARNING, logger="repro.experiments.sweep"):
+        index, result = _execute_in_worker((7, spec, "repro.no_such_module"))
+    assert index == 7
+    assert result.rows == [{"seed": 1, "square": 16}]  # registry scan still works
+    assert any("repro.no_such_module" in record.message
+               for record in caplog.records)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,225 @@
+"""Tests for the SQLite-backed, append-only sweep result store."""
+
+import dataclasses as dc
+import sqlite3
+import time
+
+import pytest
+
+from repro.analysis.aggregate import dashboard_payload, group_reduce, pivot_table
+from repro.analysis.rows import row_schema, rows_to_csv
+from repro.experiments.sweep import ScenarioSpec, SweepResult, run_sweep
+from repro.store import ResultStore
+
+
+@dc.dataclass
+class StoreRow:
+    system: str
+    scale: int
+    goodput: float
+
+    def as_tuple(self):
+        return (self.system, self.scale, self.goodput)
+
+
+def spec_for(seed=1, **params):
+    return ScenarioSpec.make("_store_test", seed=seed, **params)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "results.sqlite"), worker_id="w-test")
+
+
+# ---------------------------------------------------------------------------
+# Round trip + append-only semantics
+# ---------------------------------------------------------------------------
+
+def test_get_returns_none_for_unknown_spec(store):
+    assert store.get(spec_for(scale=1)) is None
+
+
+def test_put_get_round_trips_typed_rows(store):
+    spec = spec_for(scale=25, system="netfence")
+    rows = [StoreRow("netfence", 25, 0.91), StoreRow("netfence", 25, 0.88)]
+    store.put(spec, rows)
+    fetched = store.get(spec)
+    assert fetched == rows
+    assert [type(row) for row in fetched] == [StoreRow, StoreRow]
+
+
+def test_append_only_newest_record_wins(store):
+    spec = spec_for(scale=50)
+    store.put(spec, [StoreRow("netfence", 50, 0.5)])
+    store.put(spec, [StoreRow("netfence", 50, 0.7)])
+    assert store.get(spec) == [StoreRow("netfence", 50, 0.7)]
+    records = store.point_records()
+    assert len(records) == 2  # both executions kept — the perf trajectory
+    assert len(store.point_records(latest_only=True)) == 1
+
+
+def test_put_result_records_timing_and_worker(store):
+    spec = spec_for(scale=100)
+    result = SweepResult(spec=spec, rows=[StoreRow("fq", 100, 0.3)],
+                         elapsed_s=1.25, worker_id="hostA:42")
+    store.put_result(result)
+    (record,) = store.point_records()
+    assert record.experiment == "_store_test"
+    assert record.seed == 1
+    assert record.params == {"scale": 100}
+    assert record.elapsed_s == 1.25
+    assert record.worker_id == "hostA:42"
+    assert record.num_rows == 1
+    assert record.created_at <= time.time()
+
+
+def test_put_result_refuses_failed_points(store):
+    result = SweepResult(spec=spec_for(), rows=[], error="Traceback ...")
+    with pytest.raises(ValueError):
+        store.put_result(result)
+
+
+def test_stored_schema_fingerprint_matches_shared_helper(store):
+    spec = spec_for(scale=7)
+    rows = [StoreRow("netfence", 7, 0.9)]
+    store.put(spec, rows)
+    with sqlite3.connect(store.path) as conn:
+        (stored,) = conn.execute("SELECT row_schema FROM points").fetchone()
+    assert stored == repr(row_schema(rows))
+
+
+# ---------------------------------------------------------------------------
+# Query / aggregation API
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def filled(store):
+    for system in ("netfence", "fq"):
+        for scale in (25, 50):
+            spec = spec_for(system=system, scale=scale)
+            store.put_result(SweepResult(
+                spec=spec, rows=[StoreRow(system, scale, 0.9 if system == "netfence" else 0.4)],
+                elapsed_s=0.5, worker_id="w-test"))
+    return store
+
+
+def test_query_rows_filters_by_experiment_and_params(filled):
+    rows = filled.query_rows(experiment="_store_test")
+    assert len(rows) == 4
+    netfence = filled.query_rows(experiment="_store_test",
+                                 params={"system": "netfence"})
+    assert {row["system"] for row in netfence} == {"netfence"}
+    assert filled.query_rows(experiment="nope") == []
+
+
+def test_query_rows_predicate_and_meta(filled):
+    rows = filled.query_rows(where=lambda row: row["scale"] == 50, meta=True)
+    assert len(rows) == 2
+    for row in rows:
+        assert row["scale"] == 50
+        assert row["_experiment"] == "_store_test"
+        assert row["_worker_id"] == "w-test"
+        assert row["_elapsed_s"] == 0.5
+        assert row["_params"]["scale"] == 50
+
+
+def test_summary_and_perf_trajectory(filled):
+    (entry,) = filled.summary()
+    assert entry["experiment"] == "_store_test"
+    assert entry["points"] == 4
+    assert entry["executions"] == 4
+    assert entry["rows"] == 4
+    assert entry["total_elapsed_s"] == pytest.approx(2.0)
+    assert entry["workers"] == 1
+    trajectory = filled.perf_trajectory()
+    assert [p["elapsed_s"] for p in trajectory] == [0.5] * 4
+    assert all(p["worker_id"] == "w-test" for p in trajectory)
+
+
+def test_fetch_specs_preserves_spec_order_and_reports_missing(filled):
+    specs = [spec_for(system="fq", scale=50), spec_for(system="netfence", scale=25),
+             spec_for(system="netfence", scale=999)]
+    merged, missing = filled.fetch_specs(specs)
+    assert [row.as_tuple() for row in merged] == [("fq", 50, 0.4), ("netfence", 25, 0.9)]
+    assert missing == [specs[2]]
+
+
+def test_group_reduce_and_pivot_views(filled):
+    rows = filled.query_rows(experiment="_store_test")
+    reduced = group_reduce(rows, by=["system"], value="goodput", agg="mean")
+    by_system = {entry["system"]: entry for entry in reduced}
+    assert by_system["netfence"]["mean_goodput"] == pytest.approx(0.9)
+    assert by_system["fq"]["n"] == 2
+    pivot = pivot_table(rows, index="scale", column="system", value="goodput")
+    assert pivot["index_values"] == [25, 50]
+    series = {s["name"]: s["values"] for s in pivot["series"]}
+    assert series["fq"] == [pytest.approx(0.4), pytest.approx(0.4)]
+
+
+def test_dashboard_payload_attaches_provenance(filled):
+    payload = dashboard_payload(filled, "_store_test", index="scale",
+                                column="system", value="goodput",
+                                params={"system": "netfence"})
+    assert payload["experiment"] == "_store_test"
+    assert payload["rows"] == 2
+    assert payload["store_path"] == filled.path
+    assert [s["name"] for s in payload["series"]] == ["netfence"]
+
+
+def test_rows_to_csv_header_and_values(filled):
+    text = rows_to_csv([StoreRow("netfence", 25, 0.9)])
+    assert text.splitlines() == ["system,scale,goodput", "netfence,25,0.9"]
+
+
+# ---------------------------------------------------------------------------
+# Staleness + sweep integration
+# ---------------------------------------------------------------------------
+
+def test_get_rejects_rows_stored_under_a_stale_schema(store):
+    """A row class that changed shape since the write must be a miss,
+    mirroring SweepCache's VERSION-2 behavior."""
+    import repro.store.result_store as store_mod
+
+    @dc.dataclass
+    class _Row:
+        value: int
+
+    _Row.__qualname__ = "_StoreSchemaRow"
+    _Row.__module__ = store_mod.__name__
+    store_mod._StoreSchemaRow = _Row
+    try:
+        spec = spec_for(scale=11)
+        store.put(spec, [_Row(value=11)])
+        assert store.get(spec) == [_Row(value=11)]
+
+        @dc.dataclass
+        class _RowV2:
+            value: int
+            extra: float = 0.0
+
+        _RowV2.__qualname__ = "_StoreSchemaRow"
+        _RowV2.__module__ = store_mod.__name__
+        store_mod._StoreSchemaRow = _RowV2
+
+        assert store.get(spec) is None
+        # ... but the flattened JSON rows stay queryable regardless.
+        assert store.query_rows(experiment="_store_test",
+                                params={"scale": 11}) == [{"value": 11}]
+    finally:
+        del store_mod._StoreSchemaRow
+
+
+def test_run_sweep_uses_store_as_cache(tmp_path):
+    store = ResultStore(str(tmp_path / "sweep.sqlite"))
+    specs = [ScenarioSpec.make("bench_sleep", seed=i, duration=0.0, payload=i)
+             for i in range(3)]
+    first = run_sweep(specs, cache=store)
+    assert all(not r.cached for r in first)
+    # run_sweep committed through put_result: wall time and worker recorded.
+    records = store.point_records()
+    assert len(records) == 3
+    assert all(record.elapsed_s >= 0.0 and ":" in record.worker_id
+               for record in records)
+    second = run_sweep(specs, cache=store)
+    assert all(r.cached for r in second)
+    assert [r.rows for r in second] == [r.rows for r in first]
