@@ -44,11 +44,12 @@ def test_ablation_hysteresis_protects_against_onoff(benchmark, once):
     def run_with_hysteresis(intervals):
         original = scenarios._netfence_components
 
-        def patched(config, plan=None):
-            params, domain, policy = original(config, plan)
+        def patched(time_factor, policy, master=b"netfence-experiments", plan=None):
+            params, domain, policy_cls = original(time_factor, policy,
+                                                  master=master, plan=plan)
             params = params.with_overrides(hysteresis_intervals=intervals)
             domain.params = params
-            return params, domain, policy
+            return params, domain, policy_cls
 
         scenarios._netfence_components = patched
         try:

@@ -21,7 +21,7 @@ import json
 import os
 import time
 
-from repro.experiments import fig8_unwanted, fig9_colluding
+from repro.experiments import fig6_scaling, fig8_unwanted, fig9_colluding
 from repro.experiments.sweep import ScenarioSpec, merge_rows, run_sweep
 from repro.store import ResultStore
 
@@ -92,6 +92,37 @@ def test_fig8_parallel_rows_identical_to_serial(tmp_path):
     assert [row.as_tuple() for row in parallel_rows] \
         == [row.as_tuple() for row in serial_rows]
     assert parallel_rows == serial_rows
+
+
+def test_fig6_point_wall_time_recorded(tmp_path):
+    """One large-topology fig6_scaling point's wall time joins the trajectory.
+
+    The perf artifact so far only covered dumbbell/parking-lot points; this
+    section starts the trend line for generated AS-graph topologies (64 ASes,
+    a million represented bots) so future simulator-loop optimizations are
+    measured against the workload the scaling sweep actually runs.
+    """
+    specs = fig6_scaling.grid(
+        systems=("netfence",), placements=("uniform",),
+        topology_sizes=(64,), botnet_sizes=(1_000_000,),
+        size_ref=64, botnet_ref=1_000_000,
+        sim_time=30.0, warmup=10.0,
+    )
+    assert len(specs) == 1
+    store = ResultStore(str(tmp_path / "fig6.sqlite"))
+    rows, elapsed = _timed(specs, jobs=1, cache=store)
+    (row,) = rows
+    print(f"\nfig6 point (64 AS, 1M bots): {elapsed:.1f}s wall, "
+          f"{row.limiter_state_total} limiters")
+    _emit("fig6_point", {
+        "wall_s": round(elapsed, 3),
+        "num_as": row.num_as,
+        "botnet_size": row.botnet_size,
+        "attacker_hosts": row.attacker_hosts,
+        "limiter_state_total": row.limiter_state_total,
+        "points": _trajectory(store),
+    })
+    assert row.limiter_state_total > 0
 
 
 def test_fig9_parallel_rows_identical_to_serial(tmp_path):

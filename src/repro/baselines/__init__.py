@@ -8,13 +8,20 @@
   filters with hierarchical fair queuing as the fallback.
 """
 
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Type
+
 from repro.baselines.common import ChannelQueue, channel_queue_factory
 from repro.baselines.fq import FairQueueRouter, fq_queue_factory
 from repro.baselines.tva import CapabilityEndHost, TvaRouter, tva_queue_factory
 from repro.baselines.stopit import FilterRegistry, StopItAccessRouter, stopit_queue_factory
+from repro.simulator.engine import Simulator
+from repro.simulator.node import Router
 
 __all__ = [
+    "BaselineWiring",
     "ChannelQueue",
+    "baseline_wiring",
     "channel_queue_factory",
     "FairQueueRouter",
     "fq_queue_factory",
@@ -25,3 +32,37 @@ __all__ = [
     "StopItAccessRouter",
     "stopit_queue_factory",
 ]
+
+
+@dataclass
+class BaselineWiring:
+    """Router classes and queue factory for one baseline defense system.
+
+    Shared by every scenario family (dumbbell, parking lot, AS graph) so
+    the per-system ``if``-chains live in exactly one place.  ``registry``
+    is only set for StopIt; scenario builders must register each (host,
+    access router) pair with it.
+    """
+
+    access_cls: Type[Router] = Router
+    core_cls: Type[Router] = Router
+    access_kwargs: dict = field(default_factory=dict)
+    core_kwargs: dict = field(default_factory=dict)
+    queue_factory: Optional[Callable] = None
+    registry: Optional[FilterRegistry] = None
+
+
+def baseline_wiring(system: str, sim: Simulator) -> BaselineWiring:
+    """The router/queue wiring of one baseline (``tva``/``stopit``/``fq``)."""
+    if system == "tva":
+        return BaselineWiring(access_cls=TvaRouter, core_cls=TvaRouter,
+                              queue_factory=tva_queue_factory(sim))
+    if system == "stopit":
+        registry = FilterRegistry(sim)
+        return BaselineWiring(access_cls=StopItAccessRouter,
+                              access_kwargs={"registry": registry},
+                              queue_factory=stopit_queue_factory(sim),
+                              registry=registry)
+    if system == "fq":
+        return BaselineWiring(queue_factory=fq_queue_factory())
+    raise ValueError(f"unknown baseline system {system!r}")

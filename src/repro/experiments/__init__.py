@@ -24,10 +24,13 @@
 """
 
 from repro.experiments.scenarios import (
+    ASGraphScenarioConfig,
+    ASGraphScenarioResult,
     DumbbellScenarioConfig,
     DumbbellScenarioResult,
     ParkingLotScenarioConfig,
     ParkingLotScenarioResult,
+    run_asgraph_scenario,
     run_dumbbell_scenario,
     run_parking_lot_scenario,
 )
@@ -42,10 +45,13 @@ from repro.experiments.sweep import (
 )
 
 __all__ = [
+    "ASGraphScenarioConfig",
+    "ASGraphScenarioResult",
     "DumbbellScenarioConfig",
     "DumbbellScenarioResult",
     "ParkingLotScenarioConfig",
     "ParkingLotScenarioResult",
+    "run_asgraph_scenario",
     "run_dumbbell_scenario",
     "run_parking_lot_scenario",
     "ScenarioSpec",

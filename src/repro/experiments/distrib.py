@@ -17,13 +17,16 @@ Queue directory layout::
 
     tasks/<experiment>-<key>.task   pickled ScenarioSpec (append-only)
     leases/<key>.lease              JSON {worker, nonce, claimed_at, expires_at}
-    done/<key>.done                 JSON {worker, elapsed_s, error, finished_at}
+    done/<key>.done                 JSON {worker, elapsed_s, error, attempts, finished_at}
+    retries/<key>.retry             JSON {attempts, last_error, recorded_at}
 
 A task is *pending* when it has neither lease nor done marker, *running*
 while a live lease exists, and *finished* once a done marker is written
-(``error`` non-null for deterministic failures, which are not retried).
-Workers renew their lease from a heartbeat thread while a point executes;
-a worker that dies mid-point leaves a lease that expires and is reclaimed.
+(``error`` non-null once a failure exhausts the worker's ``--retries``
+budget; earlier failed attempts are recorded under ``retries/`` and the
+task returns to pending).  Workers renew their lease from a heartbeat
+thread while a point executes; a worker that dies mid-point leaves a
+lease that expires and is reclaimed.
 
 Typical session (the ``netfence-experiment`` CLI fronts all of this)::
 
@@ -32,6 +35,7 @@ Typical session (the ``netfence-experiment`` CLI fronts all of this)::
     runner worker --queue Q --store S.sqlite &     # on machine B
     runner status --queue Q --store S.sqlite
     runner export fig12 --quick --store S.sqlite   # merged rows, grid order
+    runner compact --store S.sqlite                # GC superseded executions
 """
 
 from __future__ import annotations
@@ -90,7 +94,9 @@ class WorkQueue:
         self.tasks_dir = os.path.join(self.root, "tasks")
         self.leases_dir = os.path.join(self.root, "leases")
         self.done_dir = os.path.join(self.root, "done")
-        for path in (self.tasks_dir, self.leases_dir, self.done_dir):
+        self.retries_dir = os.path.join(self.root, "retries")
+        for path in (self.tasks_dir, self.leases_dir, self.done_dir,
+                     self.retries_dir):
             os.makedirs(path, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -109,6 +115,9 @@ class WorkQueue:
 
     def _done_path(self, key: str) -> str:
         return os.path.join(self.done_dir, f"{key}.done")
+
+    def _retry_path(self, key: str) -> str:
+        return os.path.join(self.retries_dir, f"{key}.retry")
 
     # ------------------------------------------------------------------
     # Producer side
@@ -231,7 +240,7 @@ class WorkQueue:
         os.replace(tmp, lease_path)
 
     def complete(self, lease: Lease, elapsed_s: float = 0.0,
-                 error: Optional[str] = None) -> bool:
+                 error: Optional[str] = None, attempts: int = 1) -> bool:
         """Mark a claimed task finished; returns False if already finished.
 
         The marker is fully written to a temp file and *then* published with
@@ -244,7 +253,8 @@ class WorkQueue:
         tmp = f"{done_path}.tmp-{uuid.uuid4().hex}"
         with open(tmp, "w") as fh:
             json.dump({"worker": lease.worker_id, "elapsed_s": elapsed_s,
-                       "error": error, "finished_at": time.time()}, fh)
+                       "error": error, "attempts": attempts,
+                       "finished_at": time.time()}, fh)
         try:
             os.link(tmp, done_path)
             finished = True
@@ -261,12 +271,65 @@ class WorkQueue:
             pass
         return finished
 
+    def owns(self, lease: Lease) -> bool:
+        """Whether the lease file still carries this holder's nonce."""
+        current = self._read_json(self._lease_path(lease.key))
+        return current is not None and current.get("nonce") == lease.nonce
+
     def release(self, lease: Lease) -> None:
-        """Drop a lease without finishing it (the task becomes pending)."""
+        """Drop a held lease without finishing it (the task becomes pending).
+
+        A lease that was stolen after expiry is left to the thief —
+        unlinking it would reopen a task the thief is still executing.  The
+        check is an atomic take: the lease file is renamed aside first (so
+        no steal can slip between check and unlink), then inspected, and
+        restored if it turns out to carry a thief's nonce.  The restore can
+        at worst clobber a brand-new third claimant's lease, which that
+        claimant's next heartbeat detects as :class:`LeaseLost` — the
+        documented duplicated-work-never-divergent-results envelope.
+        """
+        lease_path = self._lease_path(lease.key)
+        stash = f"{lease_path}.release-{uuid.uuid4().hex}"
         try:
-            os.unlink(self._lease_path(lease.key))
+            os.replace(lease_path, stash)
+        except OSError:
+            return  # already gone (completed or stolen-and-finished)
+        current = self._read_json(stash)
+        if current is not None and current.get("nonce") != lease.nonce:
+            os.replace(stash, lease_path)  # a thief's live lease: put it back
+            return
+        try:
+            os.unlink(stash)
         except OSError:
             pass
+
+    # ------------------------------------------------------------------
+    # Retry budget
+    # ------------------------------------------------------------------
+
+    def failed_attempts(self, key: str) -> int:
+        """Failed attempts recorded for a task (0 when it never failed)."""
+        marker = self._read_json(self._retry_path(key))
+        if marker is None:
+            return 0
+        return int(marker.get("attempts", 0))
+
+    def record_failed_attempt(self, key: str, error: str) -> int:
+        """Record one more failed attempt; returns the new count.
+
+        Only the lease holder calls this (the lease makes it exclusive),
+        so a plain atomic replace is race-free.  The marker keeps the last
+        error so ``status`` can explain retries even after a later attempt
+        succeeds.
+        """
+        attempts = self.failed_attempts(key) + 1
+        path = self._retry_path(key)
+        tmp = f"{path}.tmp-{uuid.uuid4().hex}"
+        with open(tmp, "w") as fh:
+            json.dump({"attempts": attempts, "last_error": error,
+                       "recorded_at": time.time()}, fh)
+        os.replace(tmp, path)
+        return attempts
 
     # ------------------------------------------------------------------
     # Introspection
@@ -330,6 +393,7 @@ class WorkerStats:
     claimed: int = 0
     completed: int = 0
     failed: int = 0
+    retried: int = 0
     lost_leases: int = 0
     elapsed_s: float = 0.0
     errors: List[str] = field(default_factory=list)
@@ -342,8 +406,15 @@ class QueueWorker:
     ``lease_ttl / 3`` seconds; if renewal reports the lease stolen, the
     result is discarded (not committed, not marked done) and the stealer's
     execution stands.  The loop exits when the queue is drained, after
-    ``max_points`` completions, or after ``idle_timeout`` seconds without
+    ``max_points`` terminal points (completions or final failures — retried
+    attempts do not count), or after ``idle_timeout`` seconds without
     claimable work.
+
+    ``retries`` is the budget for flaky points: a point that raises is
+    re-queued (its failed attempt recorded in the queue's ``retries/``
+    markers) up to ``retries`` times before the failure becomes final, and
+    the attempt number that finally succeeded is written to the store's
+    provenance columns.
     """
 
     def __init__(
@@ -355,7 +426,10 @@ class QueueWorker:
         poll_interval: float = 0.2,
         max_points: Optional[int] = None,
         idle_timeout: Optional[float] = None,
+        retries: int = 1,
     ) -> None:
+        if retries < 0:
+            raise ValueError("retries cannot be negative")
         self.queue = queue
         self.store = store
         self.worker_id = worker_id or default_worker_id()
@@ -363,6 +437,7 @@ class QueueWorker:
         self.poll_interval = poll_interval
         self.max_points = max_points
         self.idle_timeout = idle_timeout
+        self.retries = retries
 
     def _execute_leased(self, lease: Lease) -> Tuple[SweepResult, bool]:
         """Run the point under heartbeat renewal; returns (result, lost)."""
@@ -390,7 +465,11 @@ class QueueWorker:
         stats = WorkerStats(worker_id=self.worker_id)
         idle_since: Optional[float] = None
         while True:
-            if self.max_points is not None and stats.claimed >= self.max_points:
+            # max_points bounds *terminal* outcomes (completions and final
+            # failures): a retried claim must not consume the budget, or a
+            # flaky first point could exhaust it with nothing finished.
+            if (self.max_points is not None
+                    and stats.completed + stats.failed >= self.max_points):
                 break
             lease = self.queue.claim(self.worker_id, ttl=self.lease_ttl)
             if lease is None:
@@ -404,14 +483,31 @@ class QueueWorker:
                 continue
             idle_since = None
             stats.claimed += 1
+            attempt = self.queue.failed_attempts(lease.key) + 1
             result, lost = self._execute_leased(lease)
             if lost:
                 stats.lost_leases += 1
                 continue
+            if result.error is not None and attempt <= self.retries:
+                stats.elapsed_s += result.elapsed_s
+                # The heartbeat may not have observed a steal that happened
+                # after its last renewal; re-check ownership so a stolen
+                # lease is neither charged a failed attempt nor reopened
+                # under the thief's feet.
+                if not self.queue.owns(lease):
+                    stats.lost_leases += 1
+                    continue
+                # Spend one unit of the retry budget: record the failed
+                # attempt and put the task back in the pending state.
+                self.queue.record_failed_attempt(lease.key, result.error)
+                self.queue.release(lease)
+                stats.retried += 1
+                continue
             if result.error is None and self.store is not None:
-                self.store.put_result(result, worker_id=self.worker_id)
+                self.store.put_result(result, worker_id=self.worker_id,
+                                      attempt=attempt)
             if self.queue.complete(lease, elapsed_s=result.elapsed_s,
-                                   error=result.error):
+                                   error=result.error, attempts=attempt):
                 if result.error is None:
                     stats.completed += 1
                 else:
@@ -456,10 +552,12 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     worker = QueueWorker(
         queue, store=store, worker_id=args.worker_id, lease_ttl=args.lease_ttl,
         max_points=args.max_points, idle_timeout=args.idle_timeout,
+        retries=args.retries,
     )
     stats = worker.run()
     print(f"worker {stats.worker_id}: {stats.completed} completed, "
-          f"{stats.failed} failed, {stats.lost_leases} leases lost, "
+          f"{stats.failed} failed, {stats.retried} retried, "
+          f"{stats.lost_leases} leases lost, "
           f"{stats.elapsed_s:.1f}s simulated-point wall time")
     for error in stats.errors:
         print(error.rstrip(), file=sys.stderr)
@@ -527,6 +625,18 @@ def _format_export(args: argparse.Namespace, experiments: Dict[str, Any],
     return "\n".join(chunks) + ("\n" if chunks else "")
 
 
+def _cmd_compact(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    stats = store.compact()
+    saved = stats["bytes_before"] - stats["bytes_after"]
+    print(f"store {args.store}: removed {stats['removed_executions']} superseded "
+          f"execution(s) ({stats['removed_rows']} rows), kept "
+          f"{stats['kept_points']} latest point(s), "
+          f"{stats['bytes_before']} -> {stats['bytes_after']} bytes "
+          f"({saved} reclaimed)")
+    return 0
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     if args.queue:
         counts = WorkQueue(args.queue).counts()
@@ -578,6 +688,9 @@ def cli_main(argv: List[str], experiments: Dict[str, Any]) -> int:
     p_worker.add_argument("--idle-timeout", type=float, default=None, metavar="S",
                           help="exit after S seconds with no claimable work "
                                "(default: exit only when the queue drains)")
+    p_worker.add_argument("--retries", type=int, default=1, metavar="N",
+                          help="re-queue a raising point up to N times before "
+                               "its failure becomes final (default 1)")
 
     p_export = sub.add_parser("export", help="export stored rows for a grid")
     p_export.add_argument("experiment", choices=exp_choices)
@@ -597,6 +710,10 @@ def cli_main(argv: List[str], experiments: Dict[str, Any]) -> int:
     p_status.add_argument("--queue", default=None, metavar="DIR")
     p_status.add_argument("--store", default=None, metavar="PATH")
 
+    p_compact = sub.add_parser(
+        "compact", help="drop superseded store executions and VACUUM")
+    p_compact.add_argument("--store", required=True, metavar="PATH")
+
     args = parser.parse_args(argv)
     if args.command == "submit":
         return _cmd_submit(args, experiments)
@@ -604,4 +721,6 @@ def cli_main(argv: List[str], experiments: Dict[str, Any]) -> int:
         return _cmd_worker(args)
     if args.command == "export":
         return _cmd_export(args, experiments)
+    if args.command == "compact":
+        return _cmd_compact(args)
     return _cmd_status(args)

@@ -28,6 +28,7 @@ Distributed execution (see :mod:`repro.experiments.distrib`)::
     netfence-experiment worker --queue QDIR --store results.sqlite   # xN
     netfence-experiment status --queue QDIR --store results.sqlite
     netfence-experiment export fig12 --quick --store results.sqlite
+    netfence-experiment compact --store results.sqlite
 """
 
 from __future__ import annotations
@@ -41,6 +42,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis.rows import json_safe, rows_to_dicts
 from repro.experiments import (
+    fig6_scaling,
     fig7_overhead,
     fig8_unwanted,
     fig9_colluding,
@@ -66,6 +68,19 @@ class ExperimentDef:
     name: str
     build_grid: Callable[[bool], List[ScenarioSpec]]
     format_rows: Callable[[List[Any]], str]
+
+
+def _fig6_scaling_grid(quick: bool) -> List[ScenarioSpec]:
+    if quick:
+        return fig6_scaling.grid(
+            topology_sizes=(12, 20, 32),
+            botnet_sizes=(10_000, 1_000_000),
+            placements=("uniform", "stub_concentrated"),
+            size_ref=20,
+            sim_time=40.0,
+            warmup=15.0,
+        )
+    return fig6_scaling.grid()
 
 
 def _fig7_grid(quick: bool) -> List[ScenarioSpec]:
@@ -133,6 +148,8 @@ def _theorem_grid(quick: bool) -> List[ScenarioSpec]:
 
 
 EXPERIMENTS: Dict[str, ExperimentDef] = {
+    "fig6_scaling": ExperimentDef(
+        "fig6_scaling", _fig6_scaling_grid, fig6_scaling.format_table),
     "fig7": ExperimentDef("fig7", _fig7_grid, fig7_overhead.format_table),
     "fig8": ExperimentDef("fig8", _fig8_grid, fig8_unwanted.format_table),
     "fig9": ExperimentDef("fig9", _fig9_grid, fig9_colluding.format_table),
@@ -156,7 +173,7 @@ EXPERIMENTS: Dict[str, ExperimentDef] = {
 DEFAULT_CACHE_DIR = ".netfence-sweep-cache"
 
 #: Subcommands handled by :mod:`repro.experiments.distrib`.
-DISTRIB_COMMANDS = ("submit", "worker", "export", "status")
+DISTRIB_COMMANDS = ("submit", "worker", "export", "status", "compact")
 
 
 def main(argv=None) -> int:

@@ -1,6 +1,7 @@
 """Shared attack scenarios for the evaluation experiments (§6.3).
 
-Two scenario families cover every simulation figure in the paper:
+Three scenario families drive the simulation figures — the paper's two
+hand-built layouts plus a generated Internet-scale family:
 
 * **Dumbbell** (Figs. 8, 9, 11): ten source ASes behind one bottleneck link,
   a victim destination, and optionally colluding destinations.  Each sender
@@ -10,6 +11,11 @@ Two scenario families cover every simulation figure in the paper:
 * **Parking lot** (Figs. 10, 13, 14): two bottleneck links in series and
   three sender groups, used to study flows that cross multiple ``mon``-state
   bottlenecks.
+* **AS graph** (fig6_scaling): a :mod:`repro.topogen` generated AS-level
+  topology (core/transit/stub tiers, valley-free routing) with an
+  aggregated botnet placed by a :mod:`~repro.topogen.placement` model —
+  the family that scales to 10^4–10^6 represented bots and measures the
+  O(#AS) router-state claim.
 
 The same builders instantiate any of the four defense systems (``netfence``,
 ``tva``, ``stopit``, ``fq``) so that the comparison figures run the identical
@@ -33,9 +39,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import jain_fairness_index, throughput_ratio, traffic_share
-from repro.baselines.fq import fq_queue_factory
-from repro.baselines.stopit import FilterRegistry, StopItAccessRouter, stopit_queue_factory
-from repro.baselines.tva import CapabilityEndHost, TvaRouter, tva_queue_factory
+from repro.baselines import BaselineWiring, baseline_wiring
+from repro.baselines.stopit import FilterRegistry
+from repro.baselines.tva import CapabilityEndHost
 from repro.core.access import LegacyAccessRouter, NetFenceAccessRouter
 from repro.core.bottleneck import NetFenceRouter, netfence_queue_factory
 from repro.core.deployment import DeploymentPlan
@@ -277,17 +283,44 @@ def _best_request_flood_priority(config: DumbbellScenarioConfig,
     return best
 
 
-def _netfence_components(config: DumbbellScenarioConfig,
+def _netfence_components(time_factor: float, policy: str,
+                         master: bytes = b"netfence-experiments",
                          plan: Optional[DeploymentPlan] = None):
-    params = NetFenceParams().scaled(config.time_factor)
-    domain = NetFenceDomain(params=params, master=b"netfence-experiments",
-                            deployment=plan)
+    """Params, domain, and policing-policy class shared by every NetFence
+    scenario family (the counterpart of :func:`repro.baselines.baseline_wiring`)."""
+    params = NetFenceParams().scaled(time_factor)
+    domain = NetFenceDomain(params=params, master=master, deployment=plan)
     policy_cls = {
         "single": SingleBottleneckPolicy,
         "multi": MultiFeedbackPolicy,
         "inference": InferencePolicy,
-    }[config.netfence_policy]
+    }[policy]
     return params, domain, policy_cls
+
+
+def _netfence_wiring(sim, time_factor: float, policy: str,
+                     master: bytes = b"netfence-experiments",
+                     seed: Optional[int] = None,
+                     plan: Optional[DeploymentPlan] = None,
+                     as_fairness: bool = False):
+    """Router classes and queue factory for a (full) NetFence deployment.
+
+    Returns ``(params, domain, wiring)`` with the same
+    :class:`~repro.baselines.BaselineWiring` record shape the baselines
+    use; scenario families with partial-deployment axes override the
+    record's core/queue entries for the legacy-bottleneck case.
+    """
+    params, domain, policy_cls = _netfence_components(time_factor, policy,
+                                                      master=master, plan=plan)
+    wiring = BaselineWiring(
+        access_cls=NetFenceAccessRouter,
+        access_kwargs={"domain": domain, "policy_factory": policy_cls},
+        core_cls=NetFenceRouter,
+        core_kwargs={"domain": domain},
+        queue_factory=netfence_queue_factory(sim, params,
+                                             as_fairness=as_fairness, seed=seed),
+    )
+    return params, domain, wiring
 
 
 def _attack_pattern(config: DumbbellScenarioConfig,
@@ -324,15 +357,15 @@ def run_dumbbell_scenario(config: DumbbellScenarioConfig) -> DumbbellScenarioRes
     access_router_for_as = None
     if config.system == "netfence":
         plan = config.deployment_plan
-        params, domain, policy_cls = _netfence_components(config, plan)
-        access_cls: type = NetFenceAccessRouter
-        access_kwargs = {"domain": domain, "policy_factory": policy_cls}
+        params, domain, wiring = _netfence_wiring(
+            sim, config.time_factor, config.netfence_policy, plan=plan,
+            seed=config.seed, as_fairness=config.as_fairness)
+        access_cls: type = wiring.access_cls
+        access_kwargs = wiring.access_kwargs
         if plan.bottleneck_enabled:
-            core_cls: type = NetFenceRouter
-            core_kwargs = {"domain": domain}
-            queue_factory = netfence_queue_factory(
-                sim, params, as_fairness=config.as_fairness, seed=config.seed
-            )
+            core_cls: type = wiring.core_cls
+            core_kwargs = wiring.core_kwargs
+            queue_factory = wiring.queue_factory
         else:
             # A legacy bottleneck AS: plain FIFO forwarding, no channels, no
             # feedback stamping — NetFence deployed only at the edge.
@@ -346,25 +379,14 @@ def run_dumbbell_scenario(config: DumbbellScenarioConfig) -> DumbbellScenarioRes
                 if plan.is_enabled(as_index):
                     return NetFenceAccessRouter, _kwargs
                 return LegacyAccessRouter, {}
-    elif config.system == "tva":
-        access_cls = TvaRouter
-        core_cls = TvaRouter
-        access_kwargs = {}
-        core_kwargs = {}
-        queue_factory = tva_queue_factory(sim)
-    elif config.system == "stopit":
-        registry = FilterRegistry(sim)
-        access_cls = StopItAccessRouter
-        core_cls = Router
-        access_kwargs = {"registry": registry}
-        core_kwargs = {}
-        queue_factory = stopit_queue_factory(sim)
-    else:  # fq
-        access_cls = Router
-        core_cls = Router
-        access_kwargs = {}
-        core_kwargs = {}
-        queue_factory = fq_queue_factory()
+    else:  # tva | stopit | fq share the BaselineWiring table
+        wiring = baseline_wiring(config.system, sim)
+        access_cls = wiring.access_cls
+        core_cls = wiring.core_cls
+        access_kwargs = wiring.access_kwargs
+        core_kwargs = wiring.core_kwargs
+        queue_factory = wiring.queue_factory
+        registry = wiring.registry
 
     layout = dumbbell_layout(
         topo,
@@ -598,13 +620,8 @@ class ParkingLotScenarioResult:
 def run_parking_lot_scenario(config: ParkingLotScenarioConfig) -> ParkingLotScenarioResult:
     """Run the §6.3.2 multi-bottleneck colluding attack under NetFence."""
     rng = random.Random(config.seed)
-    params = NetFenceParams().scaled(config.time_factor)
-    domain = NetFenceDomain(params=params, master=b"netfence-parkinglot")
-    policy_cls = {
-        "single": SingleBottleneckPolicy,
-        "multi": MultiFeedbackPolicy,
-        "inference": InferencePolicy,
-    }[config.netfence_policy]
+    params, domain, policy_cls = _netfence_components(
+        config.time_factor, config.netfence_policy, master=b"netfence-parkinglot")
 
     topo = Topology()
     sim = topo.sim
@@ -661,4 +678,248 @@ def run_parking_lot_scenario(config: ParkingLotScenarioConfig) -> ParkingLotScen
     for group, (users, attackers) in group_roles.items():
         result.group_user_throughputs[group] = [monitor.throughput_bps(u) for u in users]
         result.group_attacker_throughputs[group] = [monitor.throughput_bps(a) for a in attackers]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# AS-graph scenarios (fig6_scaling: Internet-scale botnets over repro.topogen)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ASGraphScenarioConfig:
+    """One botnet-scaling simulation on a generated AS-level topology.
+
+    The botnet is **aggregated**: :mod:`repro.topogen.placement` collapses
+    ``botnet_size`` bots into at most a couple of simulated hosts per AS,
+    each standing in for ``multiplicity`` real bots, and each host's flood
+    rate is scaled by its multiplicity.  ``attack_cap_multiple`` bounds the
+    *aggregate* attack volume (relative to the bottleneck) so a 10^6-bot
+    point stays simulable — past ~3x the bottleneck, extra volume only adds
+    drops at the congested queue, not new behaviour.
+
+    The attack is a Fig.-9-style **colluding flood**: bots send regular
+    traffic to colluding receivers in the victim's AS, so no receiver ever
+    withholds authorization.  Under ``stopit`` this means *no filters are
+    installed* by design — the colluders requested the traffic — and the
+    defense under test is StopIt's hierarchical-fair-queuing fallback at
+    the congested link, exactly as in the dumbbell colluder scenarios.
+    """
+
+    system: str = "netfence"
+    # Topology (generated by repro.topogen.asgraph from this seed).
+    num_as: int = 24
+    bottleneck_bps: float = 2.4e6
+    interas_bps: float = 200e6
+    edge_bps: float = 1e9
+    delay_s: float = 0.005
+    # Botnet and placement.
+    botnet_size: int = 10_000
+    placement_model: str = "uniform"
+    max_attacker_hosts_per_as: int = 2
+    per_bot_rate_bps: float = 5_000.0
+    attack_cap_multiple: float = 3.0
+    # Legitimate side.
+    num_users: int = 6
+    num_colluders: int = 4
+    # Timing.
+    sim_time: float = 60.0
+    warmup: float = 20.0
+    time_factor: float = 1.0
+    seed: int = 1
+    # NetFence specifics.
+    netfence_policy: str = "single"          # single | multi | inference
+
+    def __post_init__(self) -> None:
+        from repro.topogen.placement import PLACEMENT_MODELS
+
+        if self.system not in SYSTEMS:
+            raise ValueError(f"unknown system {self.system!r}; expected one of {SYSTEMS}")
+        if self.placement_model not in PLACEMENT_MODELS:
+            raise ValueError(
+                f"unknown placement model {self.placement_model!r}; "
+                f"expected one of {PLACEMENT_MODELS}")
+        if self.botnet_size < 1:
+            raise ValueError("botnet_size must be positive")
+        if self.num_as < 4:
+            raise ValueError("num_as must be at least 4")
+
+    @property
+    def attack_total_bps(self) -> float:
+        """Aggregate botnet volume entering the network (capped, see above)."""
+        return min(self.botnet_size * self.per_bot_rate_bps,
+                   self.attack_cap_multiple * self.bottleneck_bps)
+
+
+@dataclass
+class ASGraphScenarioResult:
+    """Measurements from one AS-graph botnet simulation."""
+
+    config: ASGraphScenarioConfig
+    graph_fingerprint: str = ""
+    victim_as: str = ""
+    bottleneck_as: str = ""
+    num_attacker_hosts: int = 0
+    represented_bots: int = 0
+    user_throughputs: Dict[str, float] = field(default_factory=dict)
+    attacker_throughputs: Dict[str, float] = field(default_factory=dict)
+    #: Active rate-limiter count per access router at the end of the run —
+    #: the per-AS policing state the paper bounds by O(#AS).
+    limiter_counts: Dict[str, int] = field(default_factory=dict)
+    #: Flow-state entries held by the bottleneck link's queue (per-sender
+    #: DRR/HFQ buckets for the baselines; channel queues for NetFence).
+    bottleneck_queue_state: int = 0
+    bottleneck_utilization: float = 0.0
+    bottleneck_loss_rate: float = 0.0
+
+    @property
+    def legit_share(self) -> float:
+        """Legitimate users' share of the bottleneck capacity."""
+        return traffic_share(list(self.user_throughputs.values()),
+                             self.config.bottleneck_bps)
+
+    @property
+    def attack_share(self) -> float:
+        return traffic_share(list(self.attacker_throughputs.values()),
+                             self.config.bottleneck_bps)
+
+    @property
+    def avg_user_throughput_bps(self) -> float:
+        values = list(self.user_throughputs.values())
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def limiter_state_total(self) -> int:
+        """Rate limiters across all access routers — the O(#AS) claim's
+        numerator: grows with the AS count, never with ``botnet_size``."""
+        return sum(self.limiter_counts.values())
+
+    @property
+    def limiter_state_max(self) -> int:
+        """Largest single-router limiter table (per-router state bound)."""
+        return max(self.limiter_counts.values(), default=0)
+
+
+def _queue_state_size(queue) -> int:
+    """Duck-typed count of per-flow state entries held by a link queue."""
+    count = len(getattr(queue, "_flows", ()))
+    for attr in ("request_queue", "regular_queue", "legacy_queue"):
+        inner = getattr(queue, attr, None)
+        if inner is not None:
+            count += len(getattr(inner, "_flows", ()))
+    return count
+
+
+def run_asgraph_scenario(config: ASGraphScenarioConfig) -> ASGraphScenarioResult:
+    """Generate, place, realize, and run one botnet-scaling simulation."""
+    from repro.topogen import generate_as_graph, place, realize
+
+    rng = random.Random(config.seed)
+    graph = generate_as_graph(config.num_as, seed=config.seed)
+    placement = place(
+        graph,
+        config.placement_model,
+        num_bots=config.botnet_size,
+        num_users=config.num_users,
+        num_colluders=config.num_colluders,
+        max_attacker_hosts_per_as=config.max_attacker_hosts_per_as,
+        seed=config.seed,
+    )
+
+    topo = Topology()
+    sim = topo.sim
+    registry: Optional[FilterRegistry] = None
+    params: Optional[NetFenceParams] = None
+    if config.system == "netfence":
+        params, domain, wiring = _netfence_wiring(
+            sim, config.time_factor, config.netfence_policy,
+            master=b"netfence-topogen", seed=config.seed)
+    else:
+        wiring = baseline_wiring(config.system, sim)
+        registry = wiring.registry
+    access_cls = wiring.access_cls
+    core_cls = wiring.core_cls
+    access_kwargs = wiring.access_kwargs
+    core_kwargs = wiring.core_kwargs
+    queue_factory = wiring.queue_factory
+
+    realized = realize(
+        graph,
+        placement,
+        topo=topo,
+        access_router_cls=access_cls,
+        access_router_kwargs=access_kwargs,
+        core_router_cls=core_cls,
+        core_router_kwargs=core_kwargs,
+        bottleneck_queue_factory=queue_factory,
+        bottleneck_bps=config.bottleneck_bps,
+        interas_bps=config.interas_bps,
+        edge_bps=config.edge_bps,
+        delay_s=config.delay_s,
+    )
+    victim = topo.host(realized.victim)
+    colluders = [topo.host(name) for name in realized.colluders]
+    senders = list(realized.users) + list(realized.attackers)
+
+    if registry is not None:
+        for placed in senders:
+            registry.register_host(placed.name, realized.as_router[placed.as_name])
+
+    monitor = ThroughputMonitor(sim)
+    link_monitor = LinkMonitor(sim, realized.bottleneck_link, interval=1.0)
+
+    # -- end-host shims -------------------------------------------------------
+    if config.system == "netfence":
+        assert params is not None
+        for placed in senders:
+            NetFenceEndHost(sim, topo.host(placed.name), params=params)
+        NetFenceEndHost(sim, victim, params=params, send_feedback_packets=True)
+        for colluder in colluders:
+            NetFenceEndHost(sim, colluder, params=params, send_feedback_packets=True)
+    elif config.system == "tva":
+        for placed in senders:
+            CapabilityEndHost(sim, topo.host(placed.name))
+        CapabilityEndHost(sim, victim, send_grant_packets=True)
+        for colluder in colluders:
+            CapabilityEndHost(sim, colluder, send_grant_packets=True)
+
+    # -- workloads ------------------------------------------------------------
+    for placed in realized.users:
+        app = LongRunningTcpApp(sim, topo.host(placed.name), victim, monitor=monitor)
+        app.start(at=rng.uniform(0.0, 1.0))
+    for sink_host in [victim] + colluders:
+        UdpSink(sim, sink_host, monitor=monitor)
+    total_bots = max(placement.represented_bots, 1)
+    for index, placed in enumerate(realized.attackers):
+        target = colluders[index % len(colluders)] if colluders else victim
+        rate = config.attack_total_bps * placed.multiplicity / total_bots
+        sender = UdpSender(sim, topo.host(placed.name), target.name,
+                           rate_bps=max(rate, 1.0), ptype=PacketType.REGULAR)
+        sender.start(at=rng.uniform(0.0, 0.5))
+
+    # -- run ------------------------------------------------------------------
+    link_monitor.start()
+    monitor.start_at(config.warmup)
+    topo.run(until=config.sim_time)
+    monitor.stop()
+    link_monitor.stop()
+
+    # -- collect --------------------------------------------------------------
+    result = ASGraphScenarioResult(
+        config=config,
+        graph_fingerprint=graph.fingerprint(),
+        victim_as=placement.victim_as,
+        bottleneck_as=realized.bottleneck_as,
+        num_attacker_hosts=len(realized.attackers),
+        represented_bots=placement.represented_bots,
+    )
+    for placed in realized.users:
+        result.user_throughputs[placed.name] = monitor.throughput_bps(placed.name)
+    for placed in realized.attackers:
+        result.attacker_throughputs[placed.name] = monitor.throughput_bps(placed.name)
+    for as_name, router_name in realized.access_routers.items():
+        router = topo.router(router_name)
+        result.limiter_counts[router_name] = getattr(router, "active_rate_limiters", 0)
+    result.bottleneck_queue_state = _queue_state_size(realized.bottleneck_link.queue)
+    result.bottleneck_utilization = link_monitor.mean_utilization
+    result.bottleneck_loss_rate = link_monitor.mean_loss_rate
     return result

@@ -68,6 +68,7 @@ __all__ = [
 #: with the ``spawn`` method (and fresh interpreters generally) can resolve
 #: any experiment name without the caller pre-importing its module.
 EXPERIMENT_MODULES: Tuple[str, ...] = (
+    "repro.experiments.fig6_scaling",
     "repro.experiments.fig7_overhead",
     "repro.experiments.fig8_unwanted",
     "repro.experiments.fig9_colluding",

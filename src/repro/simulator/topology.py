@@ -99,9 +99,18 @@ class Topology:
         reverse = self.add_link(b, a, capacity_bps, delay_s, queue_factory)
         return forward, reverse
 
-    def finalize(self) -> None:
-        """Compute static routes.  Call after all nodes/links are added."""
-        build_routes(self.nodes.values(), self.links)
+    def finalize(
+        self,
+        route_builder: Optional[Callable[[Sequence[Node], Sequence[Link]], None]] = None,
+    ) -> None:
+        """Compute static routes.  Call after all nodes/links are added.
+
+        ``route_builder`` replaces the default shortest-path computation
+        with a custom one (same signature as :func:`build_routes`); the
+        AS-graph realizer uses it to install valley-free routes instead.
+        """
+        builder = route_builder or build_routes
+        builder(list(self.nodes.values()), self.links)
         self._finalized = True
 
     # -- lookup -------------------------------------------------------------

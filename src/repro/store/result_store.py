@@ -54,7 +54,8 @@ CREATE TABLE IF NOT EXISTS points (
     num_rows    INTEGER NOT NULL,
     elapsed_s   REAL    NOT NULL,
     worker_id   TEXT    NOT NULL,
-    created_at  REAL    NOT NULL
+    created_at  REAL    NOT NULL,
+    attempt     INTEGER NOT NULL DEFAULT 1
 );
 CREATE INDEX IF NOT EXISTS idx_points_cache_key  ON points (cache_key, id);
 CREATE INDEX IF NOT EXISTS idx_points_experiment ON points (experiment, id);
@@ -80,6 +81,8 @@ class PointRecord:
     elapsed_s: float
     worker_id: str
     created_at: float
+    #: Which execution attempt produced this record (> 1 after queue retries).
+    attempt: int = 1
 
 
 def _params_json(spec: ScenarioSpec) -> str:
@@ -107,6 +110,12 @@ class ResultStore:
             os.makedirs(parent, exist_ok=True)
         with contextlib.closing(self._connect()) as conn, conn:
             conn.executescript(_SCHEMA_SQL)
+            # Databases written before the retry-budget provenance column
+            # existed are migrated in place (the default backfills attempt 1).
+            columns = {row["name"] for row in conn.execute("PRAGMA table_info(points)")}
+            if "attempt" not in columns:
+                conn.execute(
+                    "ALTER TABLE points ADD COLUMN attempt INTEGER NOT NULL DEFAULT 1")
 
     def _connect(self) -> sqlite3.Connection:
         conn = sqlite3.connect(self.path, timeout=30.0)
@@ -117,8 +126,14 @@ class ResultStore:
     # Write path
     # ------------------------------------------------------------------
 
-    def put_result(self, result: SweepResult, worker_id: Optional[str] = None) -> int:
-        """Append one executed point; returns the new ``points`` record id."""
+    def put_result(self, result: SweepResult, worker_id: Optional[str] = None,
+                   attempt: int = 1) -> int:
+        """Append one executed point; returns the new ``points`` record id.
+
+        ``attempt`` records which execution attempt succeeded — the retry
+        budget of :class:`~repro.experiments.distrib.QueueWorker` passes
+        values > 1 when a flaky point needed re-queuing.
+        """
         if result.error is not None:
             raise ValueError(
                 f"refusing to store a failed point: {result.spec.describe()}")
@@ -127,6 +142,7 @@ class ResultStore:
             result.rows,
             elapsed_s=result.elapsed_s,
             worker_id=worker_id or result.worker_id or self.worker_id,
+            attempt=attempt,
         )
 
     def put(self, spec: ScenarioSpec, rows: List[Any]) -> int:
@@ -134,7 +150,7 @@ class ResultStore:
         return self._append(spec, rows, elapsed_s=0.0, worker_id=self.worker_id)
 
     def _append(self, spec: ScenarioSpec, rows: List[Any], elapsed_s: float,
-                worker_id: str) -> int:
+                worker_id: str, attempt: int = 1) -> int:
         blob = pickle.dumps(rows)
         schema = repr(row_schema(rows))
         dict_rows = [json.dumps(json_safe(d), sort_keys=True, default=repr)
@@ -142,10 +158,11 @@ class ResultStore:
         with contextlib.closing(self._connect()) as conn, conn:
             cursor = conn.execute(
                 "INSERT INTO points (cache_key, experiment, params_json, seed,"
-                " row_schema, rows_blob, num_rows, elapsed_s, worker_id, created_at)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                " row_schema, rows_blob, num_rows, elapsed_s, worker_id, created_at,"
+                " attempt)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (spec.cache_key(), spec.experiment, _params_json(spec), spec.seed,
-                 schema, blob, len(rows), elapsed_s, worker_id, time.time()),
+                 schema, blob, len(rows), elapsed_s, worker_id, time.time(), attempt),
             )
             point_id = cursor.lastrowid
             conn.executemany(
@@ -189,7 +206,7 @@ class ResultStore:
         execution — the view a perf trajectory wants.
         """
         query = ("SELECT id, cache_key, experiment, params_json, seed, num_rows,"
-                 " elapsed_s, worker_id, created_at FROM points")
+                 " elapsed_s, worker_id, created_at, attempt FROM points")
         args: Tuple[Any, ...] = ()
         if experiment is not None:
             query += " WHERE experiment = ?"
@@ -208,6 +225,7 @@ class ResultStore:
                 experiment=r["experiment"], params=json.loads(r["params_json"]),
                 seed=r["seed"], num_rows=r["num_rows"], elapsed_s=r["elapsed_s"],
                 worker_id=r["worker_id"], created_at=r["created_at"],
+                attempt=r["attempt"],
             )
             for r in records
         ]
@@ -258,6 +276,7 @@ class ResultStore:
                     _experiment=point.experiment, _seed=point.seed,
                     _params=point.params, _worker_id=point.worker_id,
                     _elapsed_s=point.elapsed_s, _created_at=point.created_at,
+                    _attempt=point.attempt,
                 )
             out.append(row)
         return out
@@ -293,7 +312,7 @@ class ResultStore:
         return [
             {"experiment": r.experiment, "cache_key": r.cache_key, "seed": r.seed,
              "params": r.params, "elapsed_s": r.elapsed_s, "worker_id": r.worker_id,
-             "created_at": r.created_at}
+             "created_at": r.created_at, "attempt": r.attempt}
             for r in self.point_records(experiment=experiment, latest_only=False)
         ]
 
@@ -314,3 +333,38 @@ class ResultStore:
             else:
                 merged.extend(rows)
         return merged, missing
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def compact(self) -> Dict[str, int]:
+        """Garbage-collect superseded executions and shrink the database.
+
+        Keeps only the newest ``points`` record per cache key (the record
+        every read path serves), deletes the older executions and their
+        flattened rows, then ``VACUUM``\\ s the file.  This trades the perf
+        trajectory of the dropped executions for disk space — run it when
+        the append-only history has served its purpose.
+        """
+        bytes_before = os.path.getsize(self.path)
+        with contextlib.closing(self._connect()) as conn:
+            with conn:
+                removed_rows = conn.execute(
+                    "DELETE FROM point_rows WHERE point_id NOT IN"
+                    " (SELECT MAX(id) FROM points GROUP BY cache_key)"
+                ).rowcount
+                removed = conn.execute(
+                    "DELETE FROM points WHERE id NOT IN"
+                    " (SELECT MAX(id) FROM points GROUP BY cache_key)"
+                ).rowcount
+                (kept,) = conn.execute("SELECT COUNT(*) FROM points").fetchone()
+            # VACUUM must run outside the transaction the context opened.
+            conn.execute("VACUUM")
+        return {
+            "removed_executions": removed,
+            "removed_rows": removed_rows,
+            "kept_points": kept,
+            "bytes_before": bytes_before,
+            "bytes_after": os.path.getsize(self.path),
+        }

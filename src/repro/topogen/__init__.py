@@ -1,0 +1,48 @@
+"""Internet-scale topology generation (`repro.topogen`).
+
+The paper's headline scaling claim — per-AS congestion policing keeps
+router state O(#AS), so the defense survives multimillion-node botnets —
+cannot be probed on the two hand-built evaluation layouts.  This package
+turns "add a scenario" into "describe a graph":
+
+* :mod:`repro.topogen.asgraph` — seeded generators for AS-level graphs
+  with power-law degree tiers (core / transit / stub), provider-customer
+  and IXP-style peering edges, and Gao-Rexford valley-free route
+  selection, all captured in a declarative :class:`ASGraphSpec`.
+* :mod:`repro.topogen.placement` — botnet / victim / legitimate-user
+  placement models (uniform, stub-concentrated, colluding-AS clusters)
+  with per-AS host *aggregation*: one simulated host stands in for N
+  bots, which is what lets a single grid point represent 10^4–10^6
+  attackers.
+* :mod:`repro.topogen.realize` — compiles an ``ASGraphSpec`` plus a
+  ``PlacementPlan`` into the existing :class:`~repro.simulator.topology.
+  Topology` / router machinery, injecting per-system router classes the
+  same way :func:`~repro.simulator.topology.dumbbell_layout` does.
+"""
+
+from repro.topogen.asgraph import (
+    ASEdge,
+    ASGraphSpec,
+    generate_as_graph,
+    valley_free_next_hops,
+)
+from repro.topogen.placement import (
+    PLACEMENT_MODELS,
+    PlacedHost,
+    PlacementPlan,
+    place,
+)
+from repro.topogen.realize import RealizedScenario, realize
+
+__all__ = [
+    "ASEdge",
+    "ASGraphSpec",
+    "PLACEMENT_MODELS",
+    "PlacedHost",
+    "PlacementPlan",
+    "RealizedScenario",
+    "generate_as_graph",
+    "place",
+    "realize",
+    "valley_free_next_hops",
+]

@@ -1,0 +1,339 @@
+"""Seeded AS-level graph generation and valley-free route selection.
+
+The generator follows the measured shape of the inter-domain topology
+(a small densely peered core, a transit tier, and a power-law-weighted
+stub fringe — cf. Kotronis et al., *Stitching Inter-Domain Paths over
+IXPs*, and the scalable-internetworking hierarchy of Garcia-Luna-Aceves
+& Varma) rather than reproducing any specific measured snapshot:
+
+* **core** ASes peer in a full mesh (the IXP / tier-1 clique);
+* **transit** ASes buy transit from one or two cores (chosen with
+  preferential attachment, so core customer degrees follow a power law)
+  and peer with earlier transits with some probability;
+* **stub** ASes buy transit from one or two transits (again chosen
+  preferentially) and occasionally open a public peering with another
+  stub.
+
+Everything is derived from a single seed through dedicated
+:func:`~repro.seeding.derive_seed` streams, so a given
+``(num_as, seed)`` pair always yields a byte-identical edge list —
+:meth:`ASGraphSpec.edge_list_bytes` is the determinism contract the CI
+check compares across builds.
+
+Route selection is Gao-Rexford valley-free: customer routes are
+preferred over peer routes over provider routes, ties broken by path
+length and then lexicographic next hop, so the next-hop maps are as
+deterministic as the graph itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from repro.seeding import derive_seed
+
+TIER_CORE = "core"
+TIER_TRANSIT = "transit"
+TIER_STUB = "stub"
+TIERS = (TIER_CORE, TIER_TRANSIT, TIER_STUB)
+
+#: Edge kinds: ``p2c`` runs provider -> customer, ``p2p`` is (settlement
+#: free) peering and is stored once with src < dst.
+P2C = "p2c"
+P2P = "p2p"
+
+
+@dataclass(frozen=True)
+class ASEdge:
+    """One inter-AS business relationship.
+
+    ``p2c`` edges run provider → customer; ``p2p`` edges are symmetric
+    and canonicalized with ``src < dst`` so the edge list has a single
+    spelling per relationship.
+    """
+
+    src: str
+    dst: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in (P2C, P2P):
+            raise ValueError(f"unknown edge kind {self.kind!r}")
+        if self.kind == P2P and self.src > self.dst:
+            low, high = self.dst, self.src
+            object.__setattr__(self, "src", low)
+            object.__setattr__(self, "dst", high)
+
+    def describe(self) -> str:
+        arrow = "->" if self.kind == P2C else "--"
+        return f"{self.src}{arrow}{self.dst}"
+
+
+@dataclass(frozen=True)
+class ASGraphSpec:
+    """A declarative AS-level graph: tiers plus relationship edges.
+
+    The spec is a value object (hashable, picklable) so sweep grid
+    points can carry or re-derive it; all adjacency views are computed
+    on demand and cached per instance.
+    """
+
+    seed: int
+    tiers: Tuple[Tuple[str, str], ...]     # (as_name, tier), generation order
+    edges: Tuple[ASEdge, ...]              # canonical sorted order
+
+    # -- basic views ---------------------------------------------------------
+    @property
+    def num_as(self) -> int:
+        return len(self.tiers)
+
+    def as_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.tiers)
+
+    def tier_of(self, as_name: str) -> str:
+        return self._tier_map()[as_name]
+
+    def names_in_tier(self, tier: str) -> Tuple[str, ...]:
+        return tuple(name for name, t in self.tiers if t == tier)
+
+    def _tier_map(self) -> Dict[str, str]:
+        cached = self.__dict__.get("_tier_map_cache")
+        if cached is None:
+            cached = dict(self.tiers)
+            self.__dict__["_tier_map_cache"] = cached
+        return cached
+
+    # -- adjacency -----------------------------------------------------------
+    def adjacency(self) -> Tuple[Dict[str, Set[str]], Dict[str, Set[str]], Dict[str, Set[str]]]:
+        """``(providers, customers, peers)`` adjacency maps."""
+        cached = self.__dict__.get("_adjacency_cache")
+        if cached is None:
+            providers: Dict[str, Set[str]] = {name: set() for name in self.as_names()}
+            customers: Dict[str, Set[str]] = {name: set() for name in self.as_names()}
+            peers: Dict[str, Set[str]] = {name: set() for name in self.as_names()}
+            for edge in self.edges:
+                if edge.kind == P2C:
+                    customers[edge.src].add(edge.dst)
+                    providers[edge.dst].add(edge.src)
+                else:
+                    peers[edge.src].add(edge.dst)
+                    peers[edge.dst].add(edge.src)
+            cached = (providers, customers, peers)
+            self.__dict__["_adjacency_cache"] = cached
+        return cached
+
+    def providers_of(self, as_name: str) -> Tuple[str, ...]:
+        return tuple(sorted(self.adjacency()[0][as_name]))
+
+    def customers_of(self, as_name: str) -> Tuple[str, ...]:
+        return tuple(sorted(self.adjacency()[1][as_name]))
+
+    def peers_of(self, as_name: str) -> Tuple[str, ...]:
+        return tuple(sorted(self.adjacency()[2][as_name]))
+
+    def degree(self, as_name: str) -> int:
+        providers, customers, peers = self.adjacency()
+        return len(providers[as_name]) + len(customers[as_name]) + len(peers[as_name])
+
+    # -- determinism contract ------------------------------------------------
+    def edge_list_bytes(self) -> bytes:
+        """Canonical serialized edge list: the seeded-determinism contract.
+
+        Two builds generating the same ``(num_as, seed)`` graph must
+        produce byte-identical output here (compared by CI).
+        """
+        lines = [f"{edge.kind} {edge.src} {edge.dst}" for edge in self.edges]
+        return ("\n".join(lines) + "\n").encode()
+
+    def fingerprint(self) -> str:
+        """SHA-256 over tiers + edge list — stable graph identity."""
+        digest = hashlib.sha256()
+        for name, tier in self.tiers:
+            digest.update(f"{name}={tier};".encode())
+        digest.update(self.edge_list_bytes())
+        return digest.hexdigest()
+
+    def describe(self) -> str:
+        counts = {tier: len(self.names_in_tier(tier)) for tier in TIERS}
+        p2c = sum(1 for e in self.edges if e.kind == P2C)
+        p2p = len(self.edges) - p2c
+        return (f"ASGraphSpec(seed={self.seed}, {self.num_as} ASes: "
+                f"{counts[TIER_CORE]} core / {counts[TIER_TRANSIT]} transit / "
+                f"{counts[TIER_STUB]} stub; {p2c} p2c + {p2p} p2p edges)")
+
+
+def _weighted_pick(rng: random.Random, candidates: Sequence[str],
+                   weights: Mapping[str, float], count: int) -> List[str]:
+    """Sample ``count`` distinct candidates with probability ∝ weight."""
+    chosen: List[str] = []
+    pool = list(candidates)
+    for _ in range(min(count, len(pool))):
+        total = sum(weights.get(name, 1.0) for name in pool)
+        draw = rng.random() * total
+        acc = 0.0
+        picked = pool[-1]
+        for name in pool:
+            acc += weights.get(name, 1.0)
+            if draw < acc:
+                picked = name
+                break
+        chosen.append(picked)
+        pool.remove(picked)
+    return chosen
+
+
+def generate_as_graph(
+    num_as: int,
+    seed: int = 1,
+    core_fraction: float = 0.08,
+    transit_fraction: float = 0.22,
+    multihome_prob: float = 0.3,
+    transit_peer_prob: float = 0.25,
+    stub_peer_prob: float = 0.05,
+) -> ASGraphSpec:
+    """Generate a hierarchical AS graph with power-law degree tiers.
+
+    The provider choices use preferential attachment (probability ∝
+    current customer degree + 1), which is what produces the heavy-tailed
+    transit degrees; ``multihome_prob`` is the chance a customer AS buys
+    transit from a second provider.
+    """
+    if num_as < 4:
+        raise ValueError("need at least 4 ASes (1 core, 1 transit, 2 stubs)")
+    rng = random.Random(derive_seed(seed, "asgraph", num_as))
+
+    num_core = max(1, round(core_fraction * num_as))
+    num_transit = max(1, round(transit_fraction * num_as))
+    num_stub = num_as - num_core - num_transit
+    if num_stub < 1:
+        num_core = 1
+        num_transit = max(1, num_as - 2)
+        num_stub = num_as - num_core - num_transit
+
+    cores = [f"C{i:03d}" for i in range(num_core)]
+    transits = [f"T{i:03d}" for i in range(num_transit)]
+    stubs = [f"X{i:03d}" for i in range(num_stub)]
+    tiers = tuple(
+        [(name, TIER_CORE) for name in cores]
+        + [(name, TIER_TRANSIT) for name in transits]
+        + [(name, TIER_STUB) for name in stubs]
+    )
+
+    edges: Set[ASEdge] = set()
+    customer_degree: Dict[str, int] = {name: 0 for name, _ in tiers}
+
+    # Core clique: tier-1s exchange routes settlement-free (IXP mesh).
+    for i, a in enumerate(cores):
+        for b in cores[i + 1:]:
+            edges.add(ASEdge(a, b, P2P))
+
+    def buy_transit(customer: str, providers: Sequence[str]) -> None:
+        count = 2 if len(providers) > 1 and rng.random() < multihome_prob else 1
+        weights = {name: customer_degree[name] + 1.0 for name in providers}
+        for provider in _weighted_pick(rng, providers, weights, count):
+            edges.add(ASEdge(provider, customer, P2C))
+            customer_degree[provider] += 1
+
+    for index, transit in enumerate(transits):
+        buy_transit(transit, cores)
+        if index and rng.random() < transit_peer_prob:
+            peer = rng.choice(transits[:index])
+            edges.add(ASEdge(transit, peer, P2P))
+
+    for index, stub in enumerate(stubs):
+        buy_transit(stub, transits)
+        if index and rng.random() < stub_peer_prob:
+            peer = rng.choice(stubs[:index])
+            edges.add(ASEdge(stub, peer, P2P))
+
+    ordered = tuple(sorted(edges, key=lambda e: (e.kind, e.src, e.dst)))
+    return ASGraphSpec(seed=seed, tiers=tiers, edges=ordered)
+
+
+def valley_free_next_hops(spec: ASGraphSpec, dst: str) -> Dict[str, str]:
+    """Gao-Rexford next hops from every AS toward destination AS ``dst``.
+
+    Preference order is the classic one — customer routes over peer
+    routes over provider routes, then shorter AS paths, then the
+    lexicographically smallest next hop — which both matches BGP
+    practice and keeps the result deterministic.
+
+    Returns a map ``as_name -> next AS on the path`` (``dst`` maps to
+    itself).  ASes with no valley-free path to ``dst`` are absent.
+    """
+    if dst not in spec._tier_map():
+        raise KeyError(f"unknown destination AS {dst!r}")
+    providers, customers, peers = spec.adjacency()
+    next_hop: Dict[str, str] = {dst: dst}
+    dist: Dict[str, int] = {dst: 0}
+
+    # Stage 1 — customer routes: BFS upward from dst through providers;
+    # every AS with dst in its customer cone routes down through the
+    # customer it was reached from.
+    frontier = [dst]
+    while frontier:
+        upcoming: List[str] = []
+        for as_name in sorted(frontier):
+            for provider in sorted(providers[as_name]):
+                if provider not in next_hop:
+                    next_hop[provider] = as_name
+                    dist[provider] = dist[as_name] + 1
+                    upcoming.append(provider)
+        frontier = upcoming
+    customer_routed = set(next_hop)
+
+    # Stage 2 — peer routes: one peer hop into the customer cone.  Only
+    # customer routes are exported to peers (Gao-Rexford), so a peer
+    # route never extends another peer or provider route.
+    for as_name in spec.as_names():
+        if as_name in next_hop:
+            continue
+        best: Tuple[int, str] | None = None
+        for peer in sorted(peers[as_name]):
+            if peer in customer_routed:
+                candidate = (dist[peer] + 1, peer)
+                if best is None or candidate < best:
+                    best = candidate
+        if best is not None:
+            dist[as_name], next_hop[as_name] = best
+
+    # Stage 3 — provider routes: any routed provider exports its route
+    # to its customers, so unrouted ASes climb until they reach one.
+    # Routes from stages 1–2 are *never* overwritten: a customer or peer
+    # route beats a provider route regardless of length (class-before-
+    # length preference); only among stage-3 assignments does the shortest
+    # (then lexicographically smallest) provider win.
+    preferred = set(next_hop)
+    heap: List[Tuple[int, str]] = sorted((d, name) for name, d in dist.items())
+    heapq.heapify(heap)
+    while heap:
+        d, as_name = heapq.heappop(heap)
+        if d > dist.get(as_name, d):
+            continue
+        for customer in sorted(customers[as_name]):
+            if customer in preferred:
+                continue
+            if customer not in next_hop or dist[customer] > d + 1:
+                next_hop[customer] = as_name
+                dist[customer] = d + 1
+                heapq.heappush(heap, (d + 1, customer))
+    return next_hop
+
+
+def as_path(spec: ASGraphSpec, src: str, dst: str,
+            next_hops: Dict[str, str] | None = None) -> List[str]:
+    """The selected AS path from ``src`` to ``dst`` (inclusive)."""
+    hops = next_hops if next_hops is not None else valley_free_next_hops(spec, dst)
+    if src not in hops:
+        raise KeyError(f"{src} has no valley-free route to {dst}")
+    path = [src]
+    while path[-1] != dst:
+        nxt = hops[path[-1]]
+        if nxt in path:
+            raise RuntimeError(f"routing loop toward {dst}: {path + [nxt]}")
+        path.append(nxt)
+    return path

@@ -1,0 +1,206 @@
+"""Botnet / victim / legitimate-user placement over an AS graph.
+
+A placement decides **where** the actors of a scaling scenario live and
+**how many real hosts** each simulated host stands in for:
+
+* ``uniform`` — bots spread across every eligible AS (the "every ISP has
+  infections" model);
+* ``stub_concentrated`` — bots only in stub (edge) ASes, the measured
+  botnet shape: compromised machines live in access networks, not in
+  transit cores;
+* ``clustered`` — bots packed into a few colluding ASes (the §4.5
+  compromised-AS threat model), which is the worst case for per-AS
+  policing.
+
+**Aggregation** is what makes multimillion-node botnets simulable: each
+AS gets at most ``max_attacker_hosts_per_as`` simulated attacker hosts,
+and every host carries a ``multiplicity`` — the number of real bots it
+represents.  The scenario layer scales each host's attack rate by its
+multiplicity, so the traffic entering the network is that of the full
+botnet while the simulated host count stays O(#AS).  The per-AS
+congestion-policing state the paper bounds (rate limiters keyed on
+(sender, bottleneck)) then scales with the number of ASes, never with
+``num_bots`` — exactly the claim the ``fig6_scaling`` sweep measures.
+
+The victim (and its colluding receivers, the targets of fig.-9-style
+colluding floods) lives in a stub AS; the victim's AS and its direct
+providers never host senders, so the access side of the bottleneck link
+stays clean.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.seeding import derive_seed
+from repro.topogen.asgraph import ASGraphSpec, TIER_STUB
+
+PLACEMENT_MODELS = ("uniform", "stub_concentrated", "clustered")
+
+ROLE_ATTACKER = "attacker"
+ROLE_USER = "user"
+ROLE_VICTIM = "victim"
+ROLE_COLLUDER = "colluder"
+
+
+@dataclass(frozen=True)
+class PlacedHost:
+    """One simulated host: its AS, its role, and how many real hosts it
+    stands in for (``multiplicity`` > 1 only for aggregated attackers)."""
+
+    name: str
+    as_name: str
+    role: str
+    multiplicity: int = 1
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """Where every actor of a scaling scenario lives."""
+
+    model: str
+    seed: int
+    num_bots: int
+    victim_as: str
+    hosts: Tuple[PlacedHost, ...]
+
+    def __post_init__(self) -> None:
+        if self.model not in PLACEMENT_MODELS:
+            raise ValueError(f"unknown placement model {self.model!r}")
+
+    def with_role(self, role: str) -> Tuple[PlacedHost, ...]:
+        return tuple(host for host in self.hosts if host.role == role)
+
+    @property
+    def attackers(self) -> Tuple[PlacedHost, ...]:
+        return self.with_role(ROLE_ATTACKER)
+
+    @property
+    def users(self) -> Tuple[PlacedHost, ...]:
+        return self.with_role(ROLE_USER)
+
+    @property
+    def victim(self) -> PlacedHost:
+        return self.with_role(ROLE_VICTIM)[0]
+
+    @property
+    def colluders(self) -> Tuple[PlacedHost, ...]:
+        return self.with_role(ROLE_COLLUDER)
+
+    @property
+    def represented_bots(self) -> int:
+        """Real bots represented across all aggregated attacker hosts."""
+        return sum(host.multiplicity for host in self.attackers)
+
+    @property
+    def sender_as_names(self) -> Tuple[str, ...]:
+        """ASes hosting senders (attackers or users), sorted."""
+        return tuple(sorted({h.as_name for h in self.hosts
+                             if h.role in (ROLE_ATTACKER, ROLE_USER)}))
+
+    def bots_per_as(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for host in self.attackers:
+            out[host.as_name] = out.get(host.as_name, 0) + host.multiplicity
+        return out
+
+    def describe(self) -> str:
+        return (f"PlacementPlan({self.model}, {self.num_bots} bots as "
+                f"{len(self.attackers)} aggregated hosts across "
+                f"{len(self.bots_per_as())} ASes, {len(self.users)} users, "
+                f"victim in {self.victim_as})")
+
+
+def _spread(total: int, buckets: Sequence[str], rng: random.Random) -> Dict[str, int]:
+    """Deterministically split ``total`` units across buckets, remainder
+    assigned to a random (seeded) subset so no bucket is systematically
+    favoured across grid points."""
+    if not buckets:
+        raise ValueError("no eligible ASes to place bots in")
+    base, remainder = divmod(total, len(buckets))
+    counts = {name: base for name in buckets}
+    for name in rng.sample(list(buckets), remainder):
+        counts[name] += 1
+    return {name: count for name, count in counts.items() if count > 0}
+
+
+def place(
+    spec: ASGraphSpec,
+    model: str,
+    num_bots: int,
+    num_users: int = 8,
+    num_colluders: int = 4,
+    max_attacker_hosts_per_as: int = 2,
+    cluster_fraction: float = 0.1,
+    seed: int = 1,
+) -> PlacementPlan:
+    """Place the botnet, the legitimate users, and the victim side.
+
+    Bots are spread over the model's eligible ASes and then *aggregated*:
+    each AS contributes at most ``max_attacker_hosts_per_as`` simulated
+    hosts whose multiplicities sum to the AS's bot count.  Users go to
+    stub ASes round-robin (sharing ASes with bots, as real eyeballs do).
+    """
+    if model not in PLACEMENT_MODELS:
+        raise ValueError(f"unknown placement model {model!r}; "
+                         f"expected one of {PLACEMENT_MODELS}")
+    if num_bots < 1:
+        raise ValueError("num_bots must be positive")
+    rng = random.Random(derive_seed(seed, "placement", model, num_bots, num_users))
+
+    stubs = list(spec.names_in_tier(TIER_STUB))
+    if not stubs:
+        raise ValueError("graph has no stub ASes to host a victim")
+    # Prefer a single-homed, peering-free stub: its one provider uplink is
+    # then the unavoidable bottleneck for every sender (a multihomed victim
+    # would let part of the traffic route around the congested link).
+    single_homed = [name for name in sorted(stubs)
+                    if len(spec.providers_of(name)) == 1
+                    and not spec.peers_of(name)]
+    victim_as = rng.choice(single_homed or sorted(stubs))
+    # The victim's AS, its direct providers, and its peers never host
+    # senders, so the bottleneck (the victim AS's uplink) is congested only
+    # by transit traffic, mirroring the dumbbell's source/destination
+    # separation.
+    excluded: Set[str] = ({victim_as} | set(spec.providers_of(victim_as))
+                          | set(spec.peers_of(victim_as)))
+
+    all_eligible = [name for name in spec.as_names() if name not in excluded]
+    stub_eligible = [name for name in stubs if name not in excluded]
+    if model == "uniform":
+        bot_ases: Sequence[str] = all_eligible
+    elif model == "stub_concentrated":
+        bot_ases = stub_eligible or all_eligible
+    else:  # clustered: a few colluding ASes harbour the whole botnet
+        pool = stub_eligible or all_eligible
+        cluster_size = max(1, round(cluster_fraction * len(pool)))
+        bot_ases = sorted(rng.sample(sorted(pool), min(cluster_size, len(pool))))
+
+    hosts: List[PlacedHost] = []
+    for as_name, bots in sorted(_spread(num_bots, bot_ases, rng).items()):
+        host_count = min(max_attacker_hosts_per_as, bots)
+        base, remainder = divmod(bots, host_count)
+        for index in range(host_count):
+            multiplicity = base + (1 if index < remainder else 0)
+            hosts.append(PlacedHost(
+                name=f"bot_{as_name}_{index}", as_name=as_name,
+                role=ROLE_ATTACKER, multiplicity=multiplicity,
+            ))
+
+    user_ases = stub_eligible or all_eligible
+    for index in range(num_users):
+        as_name = user_ases[index % len(user_ases)]
+        hosts.append(PlacedHost(
+            name=f"usr_{as_name}_{index}", as_name=as_name, role=ROLE_USER,
+        ))
+
+    hosts.append(PlacedHost(name="victim", as_name=victim_as, role=ROLE_VICTIM))
+    for index in range(num_colluders):
+        hosts.append(PlacedHost(
+            name=f"col{index}", as_name=victim_as, role=ROLE_COLLUDER,
+        ))
+
+    return PlacementPlan(model=model, seed=seed, num_bots=num_bots,
+                         victim_as=victim_as, hosts=tuple(hosts))

@@ -40,6 +40,25 @@ def test_max_min_negative_capacity_rejected():
         max_min_fair_shares(-1.0, {"a": 1.0})
 
 
+def test_max_min_zero_capacity_allocates_nothing():
+    shares = max_min_fair_shares(0.0, {"a": 10.0, "b": 20.0})
+    assert shares == {"a": 0.0, "b": 0.0}
+
+
+def test_max_min_single_demand_below_capacity_is_fully_satisfied():
+    assert max_min_fair_shares(100.0, {"solo": 30.0}) == {"solo": 30.0}
+
+
+def test_max_min_single_demand_above_capacity_is_capped():
+    assert max_min_fair_shares(100.0, {"solo": 250.0}) == {"solo": 100.0}
+
+
+def test_max_min_zero_demand_entry_costs_nothing():
+    shares = max_min_fair_shares(90.0, {"idle": 0.0, "busy": 500.0})
+    assert shares["idle"] == 0.0
+    assert shares["busy"] == pytest.approx(90.0)
+
+
 # ---------------------------------------------------------------------------
 # PerASRateLimiter
 # ---------------------------------------------------------------------------
@@ -131,3 +150,45 @@ def test_single_burst_does_not_trigger_detection():
 def test_detector_invalid_capacity():
     with pytest.raises(ValueError):
         HeavyHitterDetector(capacity_bps=0)
+
+
+# ---------------------------------------------------------------------------
+# Interval rollover (the per-AS aggregation of repro.topogen leans on this:
+# an aggregated host's whole-AS traffic must be re-budgeted every interval)
+# ---------------------------------------------------------------------------
+
+def test_throttle_budget_replenishes_each_interval():
+    detector = HeavyHitterDetector(capacity_bps=1.2e6, interval_s=1.0,
+                                   trigger_intervals=1)
+    run_intervals(detector, {"hog": 200, "good": 5}, intervals=2)
+    assert "hog" in detector.throttled
+    # Exhaust the first interval's budget completely...
+    while detector.admit(packet("hog")):
+        pass
+    assert not detector.admit(packet("hog"))
+    # ...then the rollover must grant a fresh fair-share budget, not leave
+    # the AS starved on the stale exhausted one.
+    detector.end_interval()
+    assert detector.admit(packet("hog"))
+
+
+def test_rollover_clears_per_interval_observations():
+    detector = HeavyHitterDetector(capacity_bps=1.2e6, interval_s=1.0,
+                                   trigger_intervals=2)
+    # One heavy interval, then silence: the heavy bytes must not leak into
+    # the next interval's rate estimate and keep the offense streak alive.
+    run_intervals(detector, {"bursty": 200}, intervals=1)
+    run_intervals(detector, {"bursty": 1, "other": 1}, intervals=1)
+    assert detector._offense_streak["bursty"] == 0
+    assert "bursty" not in detector.throttled
+
+
+def test_forgiven_as_loses_its_throttle_budget_entry():
+    detector = HeavyHitterDetector(capacity_bps=1.2e6, interval_s=1.0,
+                                   trigger_intervals=1, forgive_intervals=1)
+    run_intervals(detector, {"noisy": 200, "good": 5}, intervals=2)
+    assert "noisy" in detector.throttled
+    run_intervals(detector, {"noisy": 1, "good": 5}, intervals=2)
+    assert "noisy" not in detector.throttled
+    # Unthrottled ASes are admitted without consulting any stale budget.
+    assert all(detector.admit(packet("noisy")) for _ in range(200))

@@ -13,13 +13,35 @@ from repro.experiments.distrib import (
     QueueWorker,
     WorkQueue,
 )
-from repro.experiments.sweep import ScenarioSpec, merge_rows, run_sweep
+from repro.experiments.sweep import (
+    ScenarioSpec,
+    merge_rows,
+    register_point,
+    run_sweep,
+)
 from repro.store import ResultStore
 
 
 def bench_specs(n=4, duration=0.0):
     return [ScenarioSpec.make("bench_sleep", seed=i, duration=duration, payload=i)
             for i in range(n)]
+
+
+@register_point("flaky_marker")
+def _flaky_marker_point(seed=1, marker="", fail_times=1):
+    """Fails its first ``fail_times`` executions, then succeeds — the
+    retry-budget tests' stand-in for a transiently flaky grid point."""
+    import os
+
+    attempts = 0
+    if os.path.exists(marker):
+        with open(marker) as fh:
+            attempts = int(fh.read() or 0)
+    with open(marker, "w") as fh:
+        fh.write(str(attempts + 1))
+    if attempts < fail_times:
+        raise RuntimeError(f"transient failure #{attempts + 1}")
+    return {"seed": seed, "recovered_after": attempts}
 
 
 # ---------------------------------------------------------------------------
@@ -215,6 +237,104 @@ def test_worker_max_points_and_idle_timeout(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# Retry budget (satellite: flaky points are re-queued, attempts recorded)
+# ---------------------------------------------------------------------------
+
+def test_failed_attempts_bookkeeping(tmp_path):
+    queue = WorkQueue(str(tmp_path / "q"))
+    assert queue.failed_attempts("deadbeef") == 0
+    assert queue.record_failed_attempt("deadbeef", "Traceback: boom") == 1
+    assert queue.record_failed_attempt("deadbeef", "Traceback: boom2") == 2
+    assert queue.failed_attempts("deadbeef") == 2
+
+
+def test_flaky_point_is_retried_and_attempt_recorded_in_store(tmp_path):
+    queue = WorkQueue(str(tmp_path / "q"))
+    store = ResultStore(str(tmp_path / "s.sqlite"))
+    spec = ScenarioSpec.make("flaky_marker", seed=1,
+                             marker=str(tmp_path / "marker"), fail_times=1)
+    queue.submit([spec])
+    stats = QueueWorker(queue, store=store, worker_id="patient",
+                        retries=1).run()
+    assert stats.retried == 1
+    assert stats.completed == 1
+    assert stats.failed == 0
+    counts = queue.counts()
+    assert counts["done"] == 1 and counts["failed"] == 0
+    # The store's provenance columns say which attempt finally succeeded.
+    (record,) = store.point_records()
+    assert record.attempt == 2
+    rows, missing = store.fetch_specs([spec])
+    assert not missing and rows == [{"seed": 1, "recovered_after": 1}]
+
+
+def test_retry_budget_exhaustion_is_a_final_failure(tmp_path):
+    queue = WorkQueue(str(tmp_path / "q"))
+    spec = ScenarioSpec.make("flaky_marker", seed=2,
+                             marker=str(tmp_path / "marker"), fail_times=10)
+    queue.submit([spec])
+    stats = QueueWorker(queue, worker_id="persistent", retries=2).run()
+    assert stats.retried == 2
+    assert stats.failed == 1
+    assert stats.completed == 0
+    counts = queue.counts()
+    assert counts["failed"] == 1
+    assert queue.drained()
+    (key, error) = queue.failures()[0]
+    assert "transient failure #3" in error
+
+
+def test_zero_retries_keeps_the_fail_fast_behaviour(tmp_path):
+    queue = WorkQueue(str(tmp_path / "q"))
+    spec = ScenarioSpec.make("flaky_marker", seed=3,
+                             marker=str(tmp_path / "marker"), fail_times=1)
+    queue.submit([spec])
+    stats = QueueWorker(queue, worker_id="hasty", retries=0).run()
+    assert stats.retried == 0
+    assert stats.failed == 1
+    assert queue.counts()["failed"] == 1
+
+
+def test_negative_retries_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        QueueWorker(WorkQueue(str(tmp_path / "q")), retries=-1)
+
+
+def test_retried_attempts_do_not_consume_the_max_points_budget(tmp_path):
+    """Regression: with --max-points 1, a transiently flaky point must be
+    retried to completion, not counted twice and abandoned pending."""
+    queue = WorkQueue(str(tmp_path / "q"))
+    spec = ScenarioSpec.make("flaky_marker", seed=4,
+                             marker=str(tmp_path / "marker"), fail_times=1)
+    queue.submit([spec])
+    stats = QueueWorker(queue, worker_id="budgeted", retries=1,
+                        max_points=1).run()
+    assert stats.claimed == 2
+    assert stats.retried == 1
+    assert stats.completed == 1
+    assert queue.drained()
+
+
+def test_release_leaves_a_stolen_lease_untouched(tmp_path):
+    """Regression: a holder whose lease expired and was stolen must not
+    unlink the thief's live lease when it releases for a retry — that
+    would reopen a task the thief is still executing."""
+    queue = WorkQueue(str(tmp_path / "q"))
+    queue.submit(bench_specs(1))
+    stale = queue.claim("w0", ttl=0.05)
+    time.sleep(0.1)
+    thief = queue.claim("w1", ttl=30.0)
+    assert thief is not None
+    assert not queue.owns(stale)
+    assert queue.owns(thief)
+    queue.release(stale)  # no-op: the thief's lease stands
+    assert queue.owns(thief)
+    assert queue.claim("w2", ttl=30.0) is None  # task not reopened
+    queue.release(thief)
+    assert queue.claim("w2", ttl=30.0) is not None
+
+
+# ---------------------------------------------------------------------------
 # Acceptance: two worker processes, zero duplicates, export == run_sweep
 # ---------------------------------------------------------------------------
 
@@ -340,6 +460,33 @@ def test_cli_run_with_store_then_export_matches(tmp_path, capsys,
                         "--format", "json"]) == 0
     export_payload = json.loads(capsys.readouterr().out)
     assert export_payload[0]["rows"] == run_payload[0]["rows"]
+
+
+def test_cli_compact_drops_superseded_executions(tmp_path, capsys,
+                                                 bench_experiment):
+    store_path = str(tmp_path / "s.sqlite")
+    store = ResultStore(store_path)
+    for result in run_sweep(bench_experiment):
+        store.put_result(result)
+        store.put_result(result)  # stack a superseded execution per point
+    assert runner.main(["compact", "--store", store_path]) == 0
+    out = capsys.readouterr().out
+    assert "removed 3 superseded execution(s)" in out
+    assert len(ResultStore(store_path).point_records()) == 3
+
+
+def test_cli_worker_retries_flag(tmp_path, capsys, monkeypatch):
+    queue_dir = str(tmp_path / "q")
+    store_path = str(tmp_path / "s.sqlite")
+    spec = ScenarioSpec.make("flaky_marker", seed=9,
+                             marker=str(tmp_path / "marker"), fail_times=1)
+    WorkQueue(queue_dir).submit([spec])
+    assert runner.main(["worker", "--queue", queue_dir, "--store", store_path,
+                        "--worker-id", "cli-retry", "--retries", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "1 completed, 0 failed, 1 retried" in out
+    (record,) = ResultStore(store_path).point_records()
+    assert record.attempt == 2
 
 
 def test_cli_rejects_cache_plus_store(tmp_path, bench_experiment):

@@ -1,0 +1,117 @@
+"""Tests for the botnet-scaling sweep (fig6_scaling over repro.topogen)."""
+
+import pytest
+
+from repro.experiments import fig6_scaling
+from repro.experiments.runner import EXPERIMENTS
+from repro.experiments.scenarios import (
+    ASGraphScenarioConfig,
+    run_asgraph_scenario,
+)
+from repro.experiments.sweep import merge_rows, run_sweep
+
+#: Small-but-real scenario settings shared by the slow tests: a shrunk
+#: control interval keeps several AIMD rounds inside a short simulation.
+FAST = dict(sim_time=12.0, warmup=4.0, time_factor=0.25)
+
+
+# ---------------------------------------------------------------------------
+# Grid shape (the acceptance contract)
+# ---------------------------------------------------------------------------
+
+def test_quick_grid_spans_required_axes():
+    specs = EXPERIMENTS["fig6_scaling"].build_grid(True)
+    sizes = {spec.kwargs["num_as"] for spec in specs}
+    botnets = {spec.kwargs["botnet_size"] for spec in specs}
+    placements = {spec.kwargs["placement"] for spec in specs}
+    systems = {spec.kwargs["system"] for spec in specs}
+    assert len(sizes) >= 3
+    assert len(botnets) >= 2
+    assert len(placements) >= 2
+    assert "netfence" in systems and systems - {"netfence"}
+
+
+def test_grid_unions_the_two_axes_without_duplicates():
+    specs = fig6_scaling.grid(systems=("netfence",), placements=("uniform",),
+                              topology_sizes=(8, 16, 24), botnet_sizes=(100, 200),
+                              size_ref=16, botnet_ref=100)
+    points = [(s.kwargs["num_as"], s.kwargs["botnet_size"]) for s in specs]
+    assert len(points) == len(set(points))
+    assert set(points) == {(8, 100), (16, 100), (24, 100), (16, 200)}
+
+
+def test_botnet_axis_changes_no_topology_point():
+    a = fig6_scaling.grid(botnet_sizes=(10, 20))
+    b = fig6_scaling.grid(botnet_sizes=(10, 30))
+    top_a = {(s.kwargs["num_as"], s.kwargs["botnet_size"]) for s in a}
+    assert (fig6_scaling.TOPOLOGY_SIZES[0], 10) in top_a
+
+
+# ---------------------------------------------------------------------------
+# Scenario behaviour
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def netfence_small():
+    config = ASGraphScenarioConfig(system="netfence", num_as=10,
+                                   botnet_size=2_000, seed=3, **FAST)
+    return config, run_asgraph_scenario(config)
+
+
+def test_netfence_installs_rate_limiters_under_attack(netfence_small):
+    _, result = netfence_small
+    assert result.limiter_state_total > 0
+    assert result.limiter_state_max <= result.limiter_state_total
+    assert 0.0 <= result.legit_share <= 1.0
+    assert result.represented_bots == 2_000
+
+
+def test_limiter_state_tracks_ases_not_bots():
+    small = run_asgraph_scenario(ASGraphScenarioConfig(
+        system="netfence", num_as=8, botnet_size=2_000, seed=3, **FAST))
+    swarm = run_asgraph_scenario(ASGraphScenarioConfig(
+        system="netfence", num_as=8, botnet_size=2_000_000, seed=3, **FAST))
+    wide = run_asgraph_scenario(ASGraphScenarioConfig(
+        system="netfence", num_as=20, botnet_size=2_000, seed=3, **FAST))
+    # Three decades more bots: identical aggregated host count, so the
+    # policing state cannot grow with the botnet...
+    assert swarm.num_attacker_hosts == small.num_attacker_hosts
+    assert swarm.limiter_state_total <= small.limiter_state_total * 1.5 + 2
+    # ...while more ASes means proportionally more (bounded per-AS) state.
+    assert wide.limiter_state_total > small.limiter_state_total
+
+
+def test_attack_volume_is_capped_for_huge_botnets():
+    config = ASGraphScenarioConfig(system="netfence", botnet_size=10**6)
+    assert config.attack_total_bps == pytest.approx(
+        config.attack_cap_multiple * config.bottleneck_bps)
+    tiny = ASGraphScenarioConfig(system="netfence", botnet_size=10,
+                                 per_bot_rate_bps=5_000.0)
+    assert tiny.attack_total_bps == pytest.approx(50_000.0)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ASGraphScenarioConfig(system="warp-drive")
+    with pytest.raises(ValueError):
+        ASGraphScenarioConfig(botnet_size=0)
+    with pytest.raises(ValueError):
+        ASGraphScenarioConfig(placement_model="nope")
+
+
+# ---------------------------------------------------------------------------
+# Point function + formatting round trip
+# ---------------------------------------------------------------------------
+
+def test_point_rows_are_deterministic_and_formattable():
+    specs = fig6_scaling.grid(systems=("netfence", "fq"), placements=("uniform",),
+                              topology_sizes=(10,), botnet_sizes=(2_000,),
+                              size_ref=10, botnet_ref=2_000,
+                              sim_time=10.0, warmup=4.0, seed=5)
+    assert len(specs) == 2
+    first = merge_rows(run_sweep(specs))
+    second = merge_rows(run_sweep(specs))
+    assert [row.as_tuple() for row in first] == [row.as_tuple() for row in second]
+    assert first[0].graph_fingerprint == second[0].graph_fingerprint
+    table = fig6_scaling.format_table(first)
+    assert "fig6_scaling" in table and "netfence" in table and "fq" in table

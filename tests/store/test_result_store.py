@@ -223,3 +223,64 @@ def test_run_sweep_uses_store_as_cache(tmp_path):
     second = run_sweep(specs, cache=store)
     assert all(r.cached for r in second)
     assert [r.rows for r in second] == [r.rows for r in first]
+
+
+# ---------------------------------------------------------------------------
+# Attempt provenance (retry budgets) + compaction
+# ---------------------------------------------------------------------------
+
+def test_put_result_records_attempt_number(store):
+    spec = spec_for(scale=7)
+    result = SweepResult(spec=spec, rows=[StoreRow("netfence", 7, 0.9)],
+                         elapsed_s=0.5, worker_id="w-flaky")
+    store.put_result(result, attempt=3)
+    (record,) = store.point_records()
+    assert record.attempt == 3
+    (row,) = store.query_rows(meta=True)
+    assert row["_attempt"] == 3
+
+
+def test_attempt_defaults_to_one(store):
+    store.put(spec_for(scale=8), [StoreRow("netfence", 8, 0.8)])
+    (record,) = store.point_records()
+    assert record.attempt == 1
+    (entry,) = store.perf_trajectory()
+    assert entry["attempt"] == 1
+
+
+def test_pre_attempt_databases_are_migrated_in_place(tmp_path):
+    path = str(tmp_path / "old.sqlite")
+    store = ResultStore(path, worker_id="w-old")
+    store.put(spec_for(scale=9), [StoreRow("netfence", 9, 0.9)])
+    with sqlite3.connect(path) as conn:
+        conn.execute("ALTER TABLE points DROP COLUMN attempt")
+    migrated = ResultStore(path, worker_id="w-new")
+    (record,) = migrated.point_records()
+    assert record.attempt == 1  # backfilled by the migration default
+
+
+def test_compact_keeps_only_latest_execution_per_point(store):
+    spec_a, spec_b = spec_for(scale=1), spec_for(scale=2)
+    store.put(spec_a, [StoreRow("netfence", 1, 0.1)])
+    store.put(spec_a, [StoreRow("netfence", 1, 0.2)])
+    store.put(spec_a, [StoreRow("netfence", 1, 0.3)])
+    store.put(spec_b, [StoreRow("netfence", 2, 0.9)])
+    stats = store.compact()
+    assert stats["removed_executions"] == 2
+    assert stats["kept_points"] == 2
+    assert stats["bytes_after"] <= stats["bytes_before"]
+    # The read path still serves the newest execution of every point.
+    assert store.get(spec_a) == [StoreRow("netfence", 1, 0.3)]
+    assert store.get(spec_b) == [StoreRow("netfence", 2, 0.9)]
+    assert len(store.point_records()) == 2
+    # The flattened rows of dropped executions are gone too.
+    assert len(store.query_rows(latest_only=False)) == 2
+
+
+def test_compact_on_compacted_store_is_a_no_op(store):
+    store.put(spec_for(scale=3), [StoreRow("netfence", 3, 0.5)])
+    store.compact()
+    stats = store.compact()
+    assert stats["removed_executions"] == 0
+    assert stats["removed_rows"] == 0
+    assert stats["kept_points"] == 1

@@ -1,0 +1,161 @@
+"""Tests for the seeded AS-graph generator and valley-free routing."""
+
+import pytest
+
+from repro.topogen.asgraph import (
+    ASEdge,
+    TIER_CORE,
+    TIER_STUB,
+    TIER_TRANSIT,
+    as_path,
+    generate_as_graph,
+    valley_free_next_hops,
+)
+
+
+# ---------------------------------------------------------------------------
+# Generator structure
+# ---------------------------------------------------------------------------
+
+def test_tier_counts_partition_the_as_space():
+    spec = generate_as_graph(40, seed=7)
+    core = spec.names_in_tier(TIER_CORE)
+    transit = spec.names_in_tier(TIER_TRANSIT)
+    stub = spec.names_in_tier(TIER_STUB)
+    assert len(core) + len(transit) + len(stub) == spec.num_as == 40
+    assert core and transit and stub
+    assert len(stub) > len(transit) > len(core)
+
+
+def test_every_non_core_as_has_a_provider():
+    spec = generate_as_graph(32, seed=5)
+    for name in spec.as_names():
+        if spec.tier_of(name) == TIER_CORE:
+            assert not spec.providers_of(name)  # tier-1s buy from nobody
+        else:
+            assert spec.providers_of(name)
+
+
+def test_core_is_a_full_peering_mesh():
+    spec = generate_as_graph(60, seed=2)
+    cores = spec.names_in_tier(TIER_CORE)
+    assert len(cores) >= 2
+    for i, a in enumerate(cores):
+        for b in cores[i + 1:]:
+            assert b in spec.peers_of(a)
+
+
+def test_stub_providers_are_transits():
+    spec = generate_as_graph(40, seed=9)
+    for stub in spec.names_in_tier(TIER_STUB):
+        assert all(spec.tier_of(p) == TIER_TRANSIT for p in spec.providers_of(stub))
+
+
+def test_too_small_graph_rejected():
+    with pytest.raises(ValueError):
+        generate_as_graph(3)
+
+
+# ---------------------------------------------------------------------------
+# Determinism (the CI contract: same seed => byte-identical edge list)
+# ---------------------------------------------------------------------------
+
+def test_same_seed_yields_byte_identical_edge_list():
+    a = generate_as_graph(48, seed=11)
+    b = generate_as_graph(48, seed=11)
+    assert a.edge_list_bytes() == b.edge_list_bytes()
+    assert a.fingerprint() == b.fingerprint()
+    assert a == b
+
+
+def test_different_seed_yields_different_graph():
+    a = generate_as_graph(48, seed=11)
+    b = generate_as_graph(48, seed=12)
+    assert a.edge_list_bytes() != b.edge_list_bytes()
+
+
+def test_peering_edges_are_canonicalized():
+    edge = ASEdge("B", "A", "p2p")
+    assert (edge.src, edge.dst) == ("A", "B")
+    assert edge == ASEdge("A", "B", "p2p")
+
+
+def test_unknown_edge_kind_rejected():
+    with pytest.raises(ValueError):
+        ASEdge("A", "B", "sibling")
+
+
+# ---------------------------------------------------------------------------
+# Valley-free route selection
+# ---------------------------------------------------------------------------
+
+def _edge_direction(spec, a, b):
+    """'up' for customer->provider, 'down' for provider->customer, 'peer'."""
+    if b in spec.providers_of(a):
+        return "up"
+    if b in spec.customers_of(a):
+        return "down"
+    assert b in spec.peers_of(a), f"{a}->{b} is not an edge"
+    return "peer"
+
+
+def test_all_pairs_reachable_and_valley_free():
+    spec = generate_as_graph(28, seed=4)
+    for dst in spec.as_names():
+        hops = valley_free_next_hops(spec, dst)
+        assert set(hops) == set(spec.as_names())
+        for src in spec.as_names():
+            path = as_path(spec, src, dst, hops)
+            assert path[0] == src and path[-1] == dst
+            directions = [_edge_direction(spec, a, b)
+                          for a, b in zip(path, path[1:])]
+            # Gao-Rexford shape: up* peer? down* — once the path stops
+            # climbing it may take one peer hop and must then only descend.
+            stages = "".join({"up": "u", "peer": "p", "down": "d"}[d]
+                             for d in directions)
+            assert "pu" not in stages and "du" not in stages and "dp" not in stages
+            assert stages.count("p") <= 1
+
+
+def test_customer_route_preferred_over_provider_route():
+    # dst's provider must route down to dst directly, never via its own
+    # providers, however short that detour looks.
+    spec = generate_as_graph(24, seed=6)
+    stub = spec.names_in_tier(TIER_STUB)[0]
+    hops = valley_free_next_hops(spec, stub)
+    for provider in spec.providers_of(stub):
+        assert hops[provider] == stub
+
+
+def test_longer_customer_route_beats_shorter_provider_route():
+    """Regression: class preference is absolute, not length-tie-broken.
+
+    X reaches D through the customer chain X->Y->E->D (dist 3) and could
+    also climb to its provider A, which is D's other provider (dist 2).
+    Gao-Rexford says the customer route wins regardless of length — the
+    provider route costs money and must only be a last resort.
+    """
+    from repro.topogen.asgraph import ASGraphSpec
+
+    spec = ASGraphSpec(seed=0, tiers=(
+        ("A", TIER_CORE), ("E", TIER_TRANSIT), ("X", TIER_TRANSIT),
+        ("Y", TIER_TRANSIT), ("D", TIER_STUB)), edges=(
+        ASEdge("A", "D", "p2c"), ASEdge("E", "D", "p2c"),
+        ASEdge("Y", "E", "p2c"), ASEdge("X", "Y", "p2c"),
+        ASEdge("A", "X", "p2c"),
+    ))
+    hops = valley_free_next_hops(spec, "D")
+    assert hops["X"] == "Y"  # customer route, never the provider shortcut via A
+    assert as_path(spec, "X", "D", hops) == ["X", "Y", "E", "D"]
+
+
+def test_next_hops_deterministic():
+    spec = generate_as_graph(36, seed=8)
+    dst = spec.names_in_tier(TIER_STUB)[3]
+    assert valley_free_next_hops(spec, dst) == valley_free_next_hops(spec, dst)
+
+
+def test_unknown_destination_rejected():
+    spec = generate_as_graph(24, seed=1)
+    with pytest.raises(KeyError):
+        valley_free_next_hops(spec, "AS-nowhere")

@@ -1,0 +1,72 @@
+"""Tests for botnet/victim/user placement and per-AS aggregation."""
+
+import pytest
+
+from repro.topogen.asgraph import TIER_STUB, generate_as_graph
+from repro.topogen.placement import PLACEMENT_MODELS, place
+
+
+@pytest.fixture
+def spec():
+    return generate_as_graph(32, seed=5)
+
+
+def test_bots_are_conserved_through_aggregation(spec):
+    for model in PLACEMENT_MODELS:
+        plan = place(spec, model, num_bots=123_457, seed=3)
+        assert plan.represented_bots == 123_457
+
+
+def test_aggregation_bounds_hosts_per_as(spec):
+    plan = place(spec, "uniform", num_bots=1_000_000,
+                 max_attacker_hosts_per_as=2, seed=3)
+    per_as = {}
+    for host in plan.attackers:
+        per_as[host.as_name] = per_as.get(host.as_name, 0) + 1
+        assert host.multiplicity >= 1
+    assert max(per_as.values()) <= 2
+    # A million bots collapse to O(#AS) simulated hosts.
+    assert len(plan.attackers) <= 2 * spec.num_as
+
+
+def test_victim_side_never_hosts_senders(spec):
+    for model in PLACEMENT_MODELS:
+        plan = place(spec, model, num_bots=10_000, seed=3)
+        protected = {plan.victim_as} | set(spec.providers_of(plan.victim_as))
+        sender_as = {h.as_name for h in plan.attackers + plan.users}
+        assert not sender_as & protected
+        assert plan.victim.as_name == plan.victim_as
+        assert all(c.as_name == plan.victim_as for c in plan.colluders)
+
+
+def test_stub_concentrated_places_bots_only_in_stubs(spec):
+    plan = place(spec, "stub_concentrated", num_bots=10_000, seed=3)
+    assert all(spec.tier_of(h.as_name) == TIER_STUB for h in plan.attackers)
+
+
+def test_clustered_concentrates_bots_in_few_ases(spec):
+    uniform = place(spec, "uniform", num_bots=10_000, seed=3)
+    clustered = place(spec, "clustered", num_bots=10_000, seed=3)
+    assert len(clustered.bots_per_as()) < len(uniform.bots_per_as())
+    assert len(clustered.bots_per_as()) <= max(1, round(0.1 * spec.num_as)) + 1
+
+
+def test_users_and_colluders_counted(spec):
+    plan = place(spec, "uniform", num_bots=100, num_users=5, num_colluders=3, seed=2)
+    assert len(plan.users) == 5
+    assert len(plan.colluders) == 3
+
+
+def test_placement_is_deterministic(spec):
+    a = place(spec, "uniform", num_bots=9_999, seed=7)
+    b = place(spec, "uniform", num_bots=9_999, seed=7)
+    assert a == b
+    c = place(spec, "uniform", num_bots=9_999, seed=8)
+    assert a != c
+
+
+def test_invalid_inputs_rejected(spec):
+    with pytest.raises(ValueError):
+        place(spec, "teleported", num_bots=10)
+    with pytest.raises(ValueError):
+        place(spec, "uniform", num_bots=0)

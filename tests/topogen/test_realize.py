@@ -1,0 +1,104 @@
+"""Tests for compiling (graph, placement) into a runnable Topology."""
+
+import pytest
+
+from repro.core.access import NetFenceAccessRouter
+from repro.core.bottleneck import NetFenceChannelQueue, NetFenceRouter, netfence_queue_factory
+from repro.core.domain import NetFenceDomain
+from repro.simulator.node import Router
+from repro.simulator.packet import Packet
+from repro.topogen import generate_as_graph, place, realize
+from repro.topogen.asgraph import as_path
+
+
+@pytest.fixture
+def compiled():
+    spec = generate_as_graph(20, seed=4)
+    plan = place(spec, "uniform", num_bots=5_000, num_users=4, seed=4)
+    return spec, plan, realize(spec, plan, bottleneck_bps=2e6)
+
+
+def test_one_router_per_as_plus_all_hosts(compiled):
+    spec, plan, realized = compiled
+    assert set(realized.as_router) == set(spec.as_names())
+    assert len(realized.topo.routers) == spec.num_as
+    assert {h.name for h in realized.topo.hosts} == {h.name for h in plan.hosts}
+
+
+def test_bottleneck_is_the_victim_uplink(compiled):
+    spec, plan, realized = compiled
+    assert realized.bottleneck_as == spec.providers_of(plan.victim_as)[0]
+    link = realized.bottleneck_link
+    assert link is not None
+    assert link.src_node.name == realized.as_router[realized.bottleneck_as]
+    assert link.dst_node.name == realized.as_router[plan.victim_as]
+    assert link.capacity_bps == 2e6
+
+
+def test_routes_follow_the_valley_free_as_path(compiled):
+    spec, plan, realized = compiled
+    topo = realized.topo
+    victim_as = plan.victim_as
+    for placed in realized.attackers[:5] + realized.users[:2]:
+        expected = as_path(spec, placed.as_name, victim_as)
+        node = topo.router(realized.as_router[placed.as_name])
+        walked = [placed.as_name]
+        while node.name != realized.as_router[victim_as]:
+            link = node.route_for(Packet(src=placed.name, dst=realized.victim))
+            assert link is not None, f"{node.name} has no route to the victim"
+            node = link.dst_node
+            walked.append(node.as_name)
+        assert walked == expected
+
+
+def test_sender_ases_get_the_access_router_class():
+    from repro.simulator.topology import Topology
+
+    spec = generate_as_graph(20, seed=4)
+    plan = place(spec, "uniform", num_bots=5_000, num_users=4, seed=4)
+    domain = NetFenceDomain(master=b"test-topogen")
+    topo = Topology()
+    realized = realize(
+        spec, plan,
+        topo=topo,
+        access_router_cls=NetFenceAccessRouter,
+        access_router_kwargs={"domain": domain},
+        core_router_cls=NetFenceRouter,
+        core_router_kwargs={"domain": domain},
+        bottleneck_queue_factory=netfence_queue_factory(topo.sim),
+    )
+    for as_name in plan.sender_as_names:
+        assert isinstance(topo.router(realized.as_router[as_name]), NetFenceAccessRouter)
+    assert isinstance(topo.router(realized.as_router[realized.bottleneck_as]),
+                      NetFenceRouter)
+    assert isinstance(topo.router(realized.as_router[plan.victim_as]),
+                      NetFenceAccessRouter)
+    assert isinstance(realized.bottleneck_link.queue, NetFenceChannelQueue)
+
+
+def test_per_as_access_router_hook_overrides_individual_ases():
+    spec = generate_as_graph(20, seed=4)
+    plan = place(spec, "uniform", num_bots=5_000, num_users=4, seed=4)
+    upgraded = set(plan.sender_as_names[::2])
+
+    def for_as(as_name):
+        if as_name in upgraded:
+            return NetFenceAccessRouter, {"domain": NetFenceDomain(master=b"t")}
+        return Router, {}
+
+    realized = realize(spec, plan, access_router_for_as=for_as)
+    for as_name in plan.sender_as_names:
+        router = realized.topo.router(realized.as_router[as_name])
+        expected = NetFenceAccessRouter if as_name in upgraded else Router
+        assert type(router) is expected
+
+
+def test_realized_topology_delivers_packets(compiled):
+    spec, plan, realized = compiled
+    topo = realized.topo
+    source = realized.attackers[0]
+    host = topo.host(source.name)
+    victim = topo.host(realized.victim)
+    host.send(Packet(src=source.name, dst=realized.victim, size_bytes=500))
+    topo.run(until=2.0)
+    assert victim.packets_received == 1
