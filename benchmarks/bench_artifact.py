@@ -1,0 +1,41 @@
+"""Shared helper: merge benchmark sections into the BENCH_sweep.json artifact.
+
+Every benchmark folds its numbers into one JSON artifact (one section per
+benchmark, deep-merged so several tests can contribute to one section).
+Set ``BENCH_SWEEP_PATH`` to relocate the artifact.  Writes are best-effort:
+a read-only checkout must never fail a benchmark.
+"""
+
+import json
+import os
+
+#: Where the perf-trajectory artifact accumulates.
+ARTIFACT_PATH = os.environ.get("BENCH_SWEEP_PATH", "BENCH_sweep.json")
+
+
+def _deep_merge(target, update):
+    for key, value in update.items():
+        if isinstance(value, dict) and isinstance(target.get(key), dict):
+            _deep_merge(target[key], value)
+        else:
+            target[key] = value
+
+
+def emit(section, payload):
+    """Deep-merge one benchmark's section into the artifact, best-effort."""
+    artifact = {}
+    try:
+        with open(ARTIFACT_PATH) as fh:
+            artifact = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        pass
+    section_data = artifact.setdefault(section, {})
+    if isinstance(section_data, dict) and isinstance(payload, dict):
+        _deep_merge(section_data, payload)
+    else:
+        artifact[section] = payload
+    try:
+        with open(ARTIFACT_PATH, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+    except OSError:
+        pass

@@ -17,32 +17,12 @@ the feedstock for hot-path profiling of the simulator loop.  Set
 ``BENCH_SWEEP_PATH`` to relocate the artifact.
 """
 
-import json
-import os
 import time
 
+from bench_artifact import emit as _emit
 from repro.experiments import fig6_scaling, fig8_unwanted, fig9_colluding
 from repro.experiments.sweep import ScenarioSpec, merge_rows, run_sweep
 from repro.store import ResultStore
-
-#: Where the perf-trajectory artifact accumulates (one section per test).
-ARTIFACT_PATH = os.environ.get("BENCH_SWEEP_PATH", "BENCH_sweep.json")
-
-
-def _emit(section, payload):
-    """Merge one benchmark's section into the artifact, best-effort."""
-    artifact = {}
-    try:
-        with open(ARTIFACT_PATH) as fh:
-            artifact = json.load(fh)
-    except (OSError, json.JSONDecodeError):
-        pass
-    artifact[section] = payload
-    try:
-        with open(ARTIFACT_PATH, "w") as fh:
-            json.dump(artifact, fh, indent=2, sort_keys=True)
-    except OSError:
-        pass  # a read-only checkout must not fail the benchmark
 
 
 def _trajectory(store):

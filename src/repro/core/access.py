@@ -27,7 +27,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.domain import NetFenceDomain
 from repro.core.feedback import FeedbackStamper
-from repro.core.header import NetFenceHeader, get_netfence_header
+from repro.core.header import HEADER_KEY, NetFenceHeader, get_netfence_header
 from repro.core.multibottleneck import PENDING_KEY, PolicingPolicy, SingleBottleneckPolicy
 from repro.core.ratelimiter import RegularRateLimiter, RequestRateLimiter
 from repro.crypto.keys import AccessRouterSecret
@@ -119,16 +119,19 @@ class NetFenceAccessRouter(Router):
 
     # -- policing hooks ----------------------------------------------------------
     def admit_from_host(self, packet: Packet, from_link: Optional[Link]) -> Optional[bool]:
-        if packet.is_legacy:
+        # Inlined ptype/header reads: this hook runs for every packet every
+        # local host sends.
+        ptype = packet.ptype
+        if ptype is PacketType.LEGACY:
             self.counters["legacy"] += 1
             return True
-        header = get_netfence_header(packet)
+        header = packet.headers.get(HEADER_KEY)
         if header is None:
             # Sender does not speak NetFence: legacy channel, lowest priority.
             packet.ptype = PacketType.LEGACY
             self.counters["legacy"] += 1
             return True
-        if packet.is_regular:
+        if ptype is PacketType.REGULAR:
             return self._police_regular(packet, header)
         return self._police_request(packet, header)
 

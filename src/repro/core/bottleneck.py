@@ -33,7 +33,7 @@ from repro.core.feedback import (
     FeedbackAction,
     multi_append,
 )
-from repro.core.header import NetFenceHeader, get_netfence_header
+from repro.core.header import HEADER_KEY, NetFenceHeader, get_netfence_header
 from repro.core.params import NetFenceParams
 from repro.simulator.engine import PeriodicTimer, Simulator
 from repro.simulator.fairqueue import DRRQueue, per_source_as_key
@@ -128,9 +128,10 @@ class NetFenceChannelQueue(PacketQueue):
 
     # -- PacketQueue interface -------------------------------------------------------
     def enqueue(self, packet: Packet) -> bool:
-        if packet.is_request:
+        ptype = packet.ptype
+        if ptype is PacketType.REQUEST:
             queue: PacketQueue = self.request_queue
-        elif packet.is_regular:
+        elif ptype is PacketType.REGULAR:
             queue = self.regular_queue
         else:
             queue = self.legacy_queue
@@ -260,6 +261,11 @@ class NetFenceRouter(Router):
         self.params = self.domain.params
         self.stamper = BottleneckStamper(self.domain.key_registry, as_name or name)
         self.link_states: Dict[str, LinkMonitorState] = {}
+        #: Number of monitored links currently in the ``mon`` state.  While
+        #: zero, :meth:`before_enqueue` takes a single-test fast path — no
+        #: state lookup, no header fetch — which is the common case for
+        #: transit routers and unattacked links.
+        self._mon_count = 0
         self._monitored_names = monitored_links
         self._force_mon = force_mon
         self._detect_timer = PeriodicTimer(
@@ -291,10 +297,13 @@ class NetFenceRouter(Router):
             state.in_mon = True
             state.mon_since = self.sim.now
             state.monitoring_cycles_started += 1
+            self._mon_count += 1
         state.last_attack_time = self.sim.now
 
     def stop_monitoring(self, link_name: str) -> None:
         state = self.link_states[link_name]
+        if state.in_mon:
+            self._mon_count -= 1
         state.in_mon = False
         state.stamping_until = -math.inf
 
@@ -373,16 +382,20 @@ class NetFenceRouter(Router):
         full deployment every packet from a NetFence end host carries a
         header, so this never fires.
         """
-        if not packet.is_legacy and get_netfence_header(packet) is None:
+        if packet.ptype is not PacketType.LEGACY and HEADER_KEY not in packet.headers:
             packet.ptype = PacketType.LEGACY
         return True
 
     # -- feedback stamping (§4.3.2) ------------------------------------------------
     def before_enqueue(self, packet: Packet, out_link: Link) -> bool:
-        state = self.link_states.get(out_link.name)
-        if state is None or not state.in_mon or packet.is_legacy:
+        if not self._mon_count:
+            # Fast path: no link is in a monitoring cycle, so no stamping can
+            # apply — skip the per-packet state/header lookups entirely.
             return True
-        header = get_netfence_header(packet)
+        state = self.link_states.get(out_link.name)
+        if state is None or not state.in_mon or packet.ptype is PacketType.LEGACY:
+            return True
+        header = packet.headers.get(HEADER_KEY)
         if header is None or header.feedback is None:
             return True
         if self.domain.feedback_mode == "multi":

@@ -147,15 +147,25 @@ class NetFenceEndHost:
 
     # -- outbound path ------------------------------------------------------------
     def _outbound(self, packet: Packet) -> Optional[bool]:
-        if packet.is_legacy:
+        if packet.ptype is PacketType.LEGACY:
             return True
-        peer = self._peer(packet.dst, packet.flow_id)
+        # _peer()/_state_key() inlined for the common per-peer mode: this
+        # filter runs on every packet the host sends.
+        dst = packet.dst
+        key = (f"{dst}#{packet.flow_id}"
+               if self.per_flow_feedback and packet.flow_id else dst)
+        peer = self.peers.get(key)
+        if peer is None:
+            peer = _PeerFeedbackState(peer_name=dst)
+            self.peers[key] = peer
         header = NetFenceHeader()
         presented = self._select_presented(peer)
         now = self.sim.now
         if presented is not None:
             packet.ptype = PacketType.REGULAR
-            header.feedback = presented.copy()
+            # Feedback values are immutable by contract (routers replace,
+            # never mutate), so the header can alias the stored instance.
+            header.feedback = presented
             self.stats_regular_sent += 1
         else:
             # No valid feedback for this destination: the packet travels on
@@ -169,38 +179,52 @@ class NetFenceEndHost:
             peer.last_request_time = now
             self.stats_requests_sent += 1
         if peer.to_return is not None and self.return_policy.allows(packet.dst):
-            header.returned = peer.to_return.copy()
+            header.returned = peer.to_return
             peer.returned_dirty = False
-        packet.set_header(HEADER_KEY, header)
+        packet.headers[HEADER_KEY] = header
         return True
 
     def _select_presented(self, peer: _PeerFeedbackState) -> Optional[Feedback]:
+        # Runs once per outbound packet; freshness checks are inlined (no
+        # per-call closure, no ``is_fresh`` method calls on the hot path).
         now = self.sim.now
         w = self.params.feedback_expiration
-
-        def fresh(fb: Optional[Feedback]) -> Optional[Feedback]:
-            if fb is not None and fb.is_fresh(now, w):
-                return fb
-            return None
-
-        if self.presentation_strategy == "hide_decr":
-            return fresh(peer.latest_incr) or fresh(peer.latest_nop)
-        if self.presentation_strategy == "stale":
+        strategy = self.presentation_strategy
+        incr = peer.latest_incr
+        incr_fresh = incr is not None and abs(now - incr.ts) <= w
+        if strategy == "hide_decr":
+            if incr_fresh:
+                return incr
+            nop = peer.latest_nop
+            return nop if nop is not None and abs(now - nop.ts) <= w else None
+        if strategy == "stale":
             # Present the newest incr feedback even if it has expired — the
             # access router must reject it (security test).
-            return peer.latest_incr or fresh(peer.latest_nop) or fresh(peer.latest_decr)
+            if incr is not None:
+                return incr
+            nop = peer.latest_nop
+            if nop is not None and abs(now - nop.ts) <= w:
+                return nop
+            decr = peer.latest_decr
+            return decr if decr is not None and abs(now - decr.ts) <= w else None
         # "honest": present unexpired L↑ even when newer L↓ exists (§4.3.4 —
         # the aggressive-but-admissible strategy every sender should mimic);
         # otherwise present the most recently received unexpired feedback, so
         # that a sender that has just learnt of a mon-state bottleneck starts
         # using its rate limiter right away instead of riding an older nop.
-        incr = fresh(peer.latest_incr)
-        if incr is not None:
+        if incr_fresh:
             return incr
-        candidates = [fb for fb in (fresh(peer.latest_nop), fresh(peer.latest_decr)) if fb]
-        if not candidates:
-            return None
-        return max(candidates, key=lambda fb: fb.ts)
+        nop = peer.latest_nop
+        if nop is not None and abs(now - nop.ts) > w:
+            nop = None
+        decr = peer.latest_decr
+        if decr is not None and abs(now - decr.ts) > w:
+            decr = None
+        if nop is None:
+            return decr
+        if decr is None:
+            return nop
+        return decr if decr.ts > nop.ts else nop
 
     def _request_priority(self, peer: _PeerFeedbackState, now: float) -> int:
         if peer.last_request_time is None:
@@ -213,12 +237,12 @@ class NetFenceEndHost:
 
     # -- inbound path -----------------------------------------------------------
     def _inbound(self, packet: Packet) -> Optional[bool]:
-        header: Optional[NetFenceHeader] = packet.get_header(HEADER_KEY)
+        header: Optional[NetFenceHeader] = packet.headers.get(HEADER_KEY)
         if header is None:
             return True
         peer = self._peer(packet.src, packet.flow_id)
         if header.feedback is not None:
-            peer.to_return = header.feedback.copy()
+            peer.to_return = header.feedback
             peer.returned_dirty = True
         if header.returned is not None:
             self._absorb_returned(peer, header.returned)
@@ -230,13 +254,13 @@ class NetFenceEndHost:
     def _absorb_returned(self, peer: _PeerFeedbackState, feedback: Feedback) -> None:
         if feedback.is_nop:
             if peer.latest_nop is None or feedback.ts >= peer.latest_nop.ts:
-                peer.latest_nop = feedback.copy()
+                peer.latest_nop = feedback
         elif feedback.is_incr:
             if peer.latest_incr is None or feedback.ts >= peer.latest_incr.ts:
-                peer.latest_incr = feedback.copy()
+                peer.latest_incr = feedback
         else:
             if peer.latest_decr is None or feedback.ts >= peer.latest_decr.ts:
-                peer.latest_decr = feedback.copy()
+                peer.latest_decr = feedback
 
     # -- dedicated feedback packets (one-way flows) ------------------------------
     def _emit_feedback_packets(self) -> None:

@@ -16,7 +16,7 @@ malicious downstream router cannot recompute or overwrite the feedback.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from enum import Enum
 from typing import Optional, Sequence
 
@@ -37,7 +37,7 @@ class FeedbackAction(Enum):
     DECR = "decr"
 
 
-@dataclass
+@dataclass(slots=True)
 class Feedback:
     """One congestion policing feedback value.
 
@@ -47,6 +47,12 @@ class Feedback:
     chain feedback, ``action`` summarizes the chain (``decr`` if any link
     stamped ``decr``) so the end-host presentation logic can treat it like
     ordinary feedback.
+
+    **Treat instances as immutable.**  Stampers and routers always *replace*
+    a header's feedback with a freshly constructed value, never mutate one
+    in place; that contract lets the hot paths (end-host bookkeeping, packet
+    headers) alias a single instance instead of copying it per packet.  Use
+    :meth:`copy` (or ``dataclasses.replace``) when a derived value is needed.
     """
 
     mode: FeedbackMode
@@ -79,7 +85,12 @@ class Feedback:
         return abs(now - self.ts) <= expiration
 
     def copy(self) -> "Feedback":
-        return replace(self)
+        # Direct construction: senders copy feedback on every outbound packet,
+        # and ``dataclasses.replace`` re-inspects fields on each call.
+        return Feedback(
+            self.mode, self.link, self.action, self.ts,
+            self.mac, self.token_nop, self.chain,
+        )
 
     def describe(self) -> str:
         """Human-readable form used in logs and example output."""
@@ -106,6 +117,13 @@ class FeedbackStamper:
         self.secret = secret
         self.registry = registry
         self.local_as = local_as
+        # MAC-verification memo.  A sender presents the *same* feedback value
+        # on every packet until new feedback arrives (once per control
+        # interval at most), so the verification outcome — a pure function of
+        # the feedback's fields, the addressing, and the epoch keys derived
+        # from its timestamp — is recomputed thousands of times.  Freshness
+        # (the only ``now``-dependent part) is checked outside the memo.
+        self._verify_cache: dict = {}
 
     # -- stamping ------------------------------------------------------------
     def token_nop(self, src: str, dst: str, ts: float, key: Optional[bytes] = None) -> bytes:
@@ -151,10 +169,23 @@ class FeedbackStamper:
             return False
         if not feedback.mac:
             return False
-        for key in self.secret.candidates(feedback.ts):
-            if self._validate_with_key(feedback, src, dst, key, link_as):
-                return True
-        return False
+        # ``ts`` determines the candidate keys (epoch-derived), so the memo
+        # key covers every input of the MAC verification below.
+        memo_key = (
+            feedback.mac, feedback.mode, feedback.link, feedback.action,
+            feedback.ts, src, dst, link_as,
+        )
+        verdict = self._verify_cache.get(memo_key)
+        if verdict is None:
+            verdict = False
+            for key in self.secret.candidates(feedback.ts):
+                if self._validate_with_key(feedback, src, dst, key, link_as):
+                    verdict = True
+                    break
+            if len(self._verify_cache) >= 8192:
+                self._verify_cache.clear()
+            self._verify_cache[memo_key] = verdict
+        return verdict
 
     def _validate_with_key(
         self,

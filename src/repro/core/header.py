@@ -34,7 +34,7 @@ LINK_ID_BYTES = 4
 TOKEN_NOP_BYTES = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class NetFenceHeader:
     """The shim header carried by request and regular packets.
 

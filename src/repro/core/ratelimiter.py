@@ -132,6 +132,12 @@ class RegularRateLimiter:
         self._cache_bytes = 0
         self._last_departure = sim.now
         self._unleash_event: Optional[Event] = None
+        # Hot-path constants: the bucket depth in bits and the cache-capacity
+        # floor never change after construction, so the per-packet charge in
+        # :meth:`police` avoids re-deriving them from params every time.
+        self._depth_bits = params.leaky_bucket_depth_bytes * 8.0
+        self._min_cache_bytes = float(params.min_cache_bytes)
+        self._max_caching_delay = params.max_caching_delay
 
         # Idle-termination bookkeeping (§4.3.1): a limiter can be removed once
         # it has neither seen L↓ feedback nor dropped a packet for Ta seconds.
@@ -168,7 +174,7 @@ class RegularRateLimiter:
             # even if AIMD drives rate_bps below 1 bps.
             rate = max(self.rate_bps, 1.0)
             credit_bits = (now - self._last_departure) * rate
-            depth_bits = self.params.leaky_bucket_depth_bytes * 8.0
+            depth_bits = self._depth_bits
             if credit_bits > depth_bits:
                 credit_bits = depth_bits
                 self._last_departure = now - depth_bits / rate
@@ -198,8 +204,8 @@ class RegularRateLimiter:
         # TCP sender always has room for a couple of segments (Fig. 3 notes
         # every limiter queues at least one packet).
         capacity_bytes = max(
-            self.rate_bps * self.params.max_caching_delay / 8.0,
-            float(self.params.min_cache_bytes),
+            self.rate_bps * self._max_caching_delay / 8.0,
+            self._min_cache_bytes,
         )
         return self._cache_bytes + packet.size_bytes > capacity_bytes
 
@@ -222,6 +228,9 @@ class RegularRateLimiter:
         self._unleash_event = self.sim.schedule(delay, self._unleash)
 
     def _unleash(self) -> None:
+        # This event has fired; drop the handle so a later close() does not
+        # cancel an already-dispatched event.
+        self._unleash_event = None
         if not self._cache:
             return
         packet = self._cache.popleft()

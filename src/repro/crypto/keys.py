@@ -40,20 +40,37 @@ class AccessRouterSecret:
         self.router_name = router_name
         self.rotation_interval = rotation_interval
         self._master = master if master is not None else os.urandom(16)
+        # The per-epoch key derivation is a keyed hash; caching it is a pure
+        # memoization (same epoch → same key) but removes two MAC
+        # computations from *every* feedback validation on the hot path.
+        # Epochs advance with simulation time, so both caches stay tiny.
+        self._key_cache: Dict[int, bytes] = {}
+        self._candidate_cache: Dict[int, Tuple[bytes, ...]] = {}
 
     def _epoch(self, now: float) -> int:
         return int(now // self.rotation_interval)
 
+    def _key_for_epoch(self, epoch: int) -> bytes:
+        key = self._key_cache.get(epoch)
+        if key is None:
+            key = derive_key(self._master, self.router_name, epoch)
+            self._key_cache[epoch] = key
+        return key
+
     def current(self, now: float) -> bytes:
         """The secret in force at simulation time ``now``."""
-        return derive_key(self._master, self.router_name, self._epoch(now))
+        return self._key_for_epoch(self._epoch(now))
 
     def candidates(self, now: float) -> Tuple[bytes, ...]:
         """Secrets that may have signed still-fresh feedback (current + previous)."""
         epoch = self._epoch(now)
-        previous = max(epoch - 1, 0)
-        keys = {epoch: None, previous: None}
-        return tuple(derive_key(self._master, self.router_name, e) for e in keys)
+        cached = self._candidate_cache.get(epoch)
+        if cached is None:
+            previous = max(epoch - 1, 0)
+            epochs = (epoch,) if previous == epoch else (epoch, previous)
+            cached = tuple(self._key_for_epoch(e) for e in epochs)
+            self._candidate_cache[epoch] = cached
+        return cached
 
 
 class ASKeyRegistry:

@@ -20,20 +20,31 @@ MAC_BYTES = 4
 
 
 def _encode_field(field: Field) -> bytes:
-    if field is None:
-        return b"\x00"
-    if isinstance(field, bytes):
-        return field
+    # Checks ordered by hot-path frequency (src/dst/link strings, then the
+    # float timestamp, then token bytes); bool must stay ahead of int since
+    # bool is an int subclass.  Encodings are unchanged.
     if isinstance(field, str):
         return field.encode("utf-8")
+    if isinstance(field, float):
+        # Quantize to microseconds so equal timestamps hash identically.
+        return int(round(field * 1e6)).to_bytes(16, "big", signed=True)
+    if isinstance(field, bytes):
+        return field
+    if field is None:
+        return b"\x00"
     if isinstance(field, bool):
         return b"\x01" if field else b"\x00"
     if isinstance(field, int):
         return field.to_bytes(16, "big", signed=True)
-    if isinstance(field, float):
-        # Quantize to microseconds so equal timestamps hash identically.
-        return int(round(field * 1e6)).to_bytes(16, "big", signed=True)
     raise TypeError(f"unsupported MAC field type: {type(field)!r}")
+
+
+#: Keyed-hasher midstates, one per MAC key.  Initializing a keyed BLAKE2b
+#: hashes a full key block; ``copy()`` of the initialized hasher reproduces
+#: that state with a memcpy.  Keys are few (per-epoch router secrets and
+#: AS-pair keys), so the cache stays tiny; it is cleared defensively if a
+#: pathological caller floods it with distinct keys.
+_midstate_cache: dict = {}
 
 
 def compute_mac(key: bytes, *fields: Field, length: int = MAC_BYTES) -> bytes:
@@ -44,11 +55,19 @@ def compute_mac(key: bytes, *fields: Field, length: int = MAC_BYTES) -> bytes:
     """
     if not key:
         raise ValueError("MAC key must be non-empty")
-    digest = hashlib.blake2b(key=key[:64], digest_size=16)
+    base = _midstate_cache.get(key)
+    if base is None:
+        base = hashlib.blake2b(key=key[:64], digest_size=16)
+        if len(_midstate_cache) >= 4096:
+            _midstate_cache.clear()
+        _midstate_cache[key] = base
+    digest = base.copy()
+    parts = []
     for field in fields:
         encoded = _encode_field(field)
-        digest.update(len(encoded).to_bytes(4, "big"))
-        digest.update(encoded)
+        parts.append(len(encoded).to_bytes(4, "big"))
+        parts.append(encoded)
+    digest.update(b"".join(parts))
     return digest.digest()[:length]
 
 

@@ -29,6 +29,10 @@ Distributed execution (see :mod:`repro.experiments.distrib`)::
     netfence-experiment status --queue QDIR --store results.sqlite
     netfence-experiment export fig12 --quick --store results.sqlite
     netfence-experiment compact --store results.sqlite
+
+Hot-path profiling (see :mod:`repro.perf`)::
+
+    netfence-experiment profile fig12 --quick [--point N] [--top N] [--json]
 """
 
 from __future__ import annotations
@@ -184,6 +188,11 @@ def main(argv=None) -> int:
         from repro.experiments import distrib
 
         return distrib.cli_main(argv, experiments=EXPERIMENTS)
+    if argv and argv[0] == "profile":
+        # Deferred import, same reasoning: profiling is not needed by runs.
+        from repro import perf
+
+        return perf.cli_main(argv[1:], experiments=EXPERIMENTS)
     parser = argparse.ArgumentParser(
         prog="netfence-experiment",
         description="Reproduce a NetFence (SIGCOMM 2010) evaluation figure or table.",

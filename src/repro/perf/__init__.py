@@ -1,0 +1,76 @@
+"""``repro.perf`` — hot-path profiling and performance measurement.
+
+Two consumers:
+
+* ``python -m repro.experiments.runner profile <experiment>`` — profile one
+  grid point of any registered experiment and print a cProfile-derived
+  hot-spot table plus per-phase event counts (see :func:`cli_main`).
+* ``benchmarks/test_hotpath.py`` — microbenchmarks of the simulator's hot
+  paths and the fig12 single-point speedup gate, normalized across machines
+  by :func:`calibration_workload`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional
+
+from repro.perf.profile import (
+    HotSpot,
+    ProfileReport,
+    calibrate,
+    calibration_workload,
+    format_report,
+    profile_spec,
+)
+
+__all__ = [
+    "HotSpot",
+    "ProfileReport",
+    "calibrate",
+    "calibration_workload",
+    "cli_main",
+    "format_report",
+    "profile_spec",
+]
+
+
+def cli_main(argv: List[str], experiments: Dict[str, Any]) -> int:
+    """Entry point for ``runner profile`` (argv excludes the subcommand)."""
+    parser = argparse.ArgumentParser(
+        prog="netfence-experiment profile",
+        description="Profile one grid point of an experiment: cProfile "
+                    "hot-spot table plus per-phase event counts.",
+    )
+    parser.add_argument("experiment", choices=sorted(experiments),
+                        help="experiment whose grid supplies the point")
+    parser.add_argument("--quick", action="store_true",
+                        help="use the experiment's --quick grid")
+    parser.add_argument("--point", type=int, default=0, metavar="N",
+                        help="grid index of the point to profile (default 0)")
+    parser.add_argument("--top", type=int, default=25, metavar="N",
+                        help="hot-spot table rows (default 25)")
+    parser.add_argument("--no-census", action="store_true",
+                        help="skip the event-census pass (two runs, not three)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the report as JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    experiment = experiments[args.experiment]
+    specs = experiment.build_grid(args.quick)
+    if not 0 <= args.point < len(specs):
+        parser.error(f"--point must be in [0, {len(specs) - 1}] "
+                     f"({len(specs)} grid points)")
+    spec = specs[args.point]
+    print(f"profiling point {args.point}/{len(specs) - 1}: {spec.describe()}",
+          file=sys.stderr)
+    report = profile_spec(spec, top=args.top, census=not args.no_census)
+    if args.as_json:
+        json.dump(asdict(report), sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(format_report(report))
+    return 0

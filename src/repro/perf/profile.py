@@ -1,0 +1,183 @@
+"""Hot-path profiling for experiment points.
+
+:func:`profile_spec` runs one :class:`~repro.experiments.sweep.ScenarioSpec`
+three times:
+
+1. a plain timed run (honest wall time, no instrumentation);
+2. a :mod:`cProfile` run, reduced to a hot-spot table;
+3. an event-census run — a dispatch tap on the simulator counts every
+   executed event per callback, giving per-phase event counts (link
+   serialization, propagation deliveries, transport send loops, timer
+   ticks, ...) without cProfile's distortion.
+
+Wall times are machine-dependent, so :func:`calibration_workload` measures a
+fixed pure-Python spin loop; dividing a wall time by the calibration time
+gives a machine-normalized cost that the hot-path benchmarks and the CI
+regression gate can compare across runs and hosts.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.simulator.engine import Simulator
+
+#: Iteration count of the calibration spin loop.  Fixed forever: recorded
+#: baselines are only comparable against the same workload.
+_CALIBRATION_ITERATIONS = 2_000_000
+
+
+def calibration_workload() -> float:
+    """Run the fixed machine-speed calibration loop; returns its wall time."""
+    start = time.perf_counter()
+    acc = 0
+    for i in range(_CALIBRATION_ITERATIONS):
+        acc = (acc + i * 31) % 1000003
+    # ``acc`` is deliberately unused: the loop exists only to burn a fixed
+    # amount of interpreter work.
+    return time.perf_counter() - start
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Best (minimum) wall time of the calibration workload over ``repeats``.
+
+    Interference on shared machines only ever slows the loop down, so the
+    minimum is the most stable estimate of the machine's real speed.
+    """
+    return min(calibration_workload() for _ in range(repeats))
+
+
+@dataclass
+class HotSpot:
+    """One row of the cProfile hot-spot table."""
+
+    ncalls: int
+    tottime: float
+    cumtime: float
+    location: str  # "file:lineno(function)"
+
+
+@dataclass
+class ProfileReport:
+    """Everything :func:`profile_spec` learns about one grid point."""
+
+    description: str
+    wall_s: float
+    calib_s: float
+    hotspots: List[HotSpot] = field(default_factory=list)
+    #: Executed events per callback qualname (the per-phase event counts).
+    event_census: Dict[str, int] = field(default_factory=dict)
+    events_processed: int = 0
+
+    @property
+    def normalized_wall(self) -> float:
+        """Wall time in calibration units (machine-speed independent)."""
+        return self.wall_s / self.calib_s if self.calib_s else float("nan")
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events_processed / self.wall_s if self.wall_s else 0.0
+
+
+def _census_run(spec: Any) -> Dict[str, int]:
+    """Execute the spec once with a dispatch tap counting callbacks."""
+    from repro.experiments.sweep import execute_spec
+
+    counts: Dict[str, int] = {}
+
+    def tap(callback) -> None:
+        name = getattr(callback, "__qualname__", None) or repr(callback)
+        counts[name] = counts.get(name, 0) + 1
+
+    previous = Simulator.default_dispatch_tap
+    Simulator.default_dispatch_tap = tap
+    try:
+        execute_spec(spec)
+    finally:
+        Simulator.default_dispatch_tap = previous
+    return counts
+
+
+def _hotspot_table(profiler: cProfile.Profile, top: int) -> List[HotSpot]:
+    stats = pstats.Stats(profiler)
+    rows: List[HotSpot] = []
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append(HotSpot(
+            ncalls=nc,
+            tottime=round(tt, 4),
+            cumtime=round(ct, 4),
+            location=f"{filename}:{lineno}({funcname})",
+        ))
+    rows.sort(key=lambda r: r.tottime, reverse=True)
+    return rows[:top]
+
+
+def profile_spec(
+    spec: Any,
+    top: int = 25,
+    census: bool = True,
+    calib_s: Optional[float] = None,
+) -> ProfileReport:
+    """Profile one grid point; see the module docstring for the passes run.
+
+    ``calib_s`` may be supplied to skip re-measuring the calibration loop
+    (e.g. when profiling several points in one process).
+    """
+    from repro.experiments.sweep import execute_spec
+
+    started = time.perf_counter()
+    execute_spec(spec)
+    wall_s = time.perf_counter() - started
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    execute_spec(spec)
+    profiler.disable()
+
+    report = ProfileReport(
+        description=spec.describe(),
+        wall_s=wall_s,
+        calib_s=calibrate() if calib_s is None else calib_s,
+        hotspots=_hotspot_table(profiler, top),
+    )
+    if census:
+        report.event_census = _census_run(spec)
+        report.events_processed = sum(report.event_census.values())
+    return report
+
+
+def format_report(report: ProfileReport, census_top: int = 20) -> str:
+    """Render a profile report as the ``runner profile`` hot-spot table."""
+    lines = [
+        f"Profile: {report.description}",
+        f"wall time         : {report.wall_s:.3f} s",
+        f"calibration       : {report.calib_s:.3f} s "
+        f"(normalized wall: {report.normalized_wall:.2f} calibration units)",
+    ]
+    if report.events_processed:
+        lines.append(
+            f"events dispatched : {report.events_processed:,} "
+            f"({report.events_per_second:,.0f}/s)"
+        )
+    lines.append("")
+    lines.append("hot spots (by internal time):")
+    lines.append(f"{'ncalls':>10}  {'tottime':>8}  {'cumtime':>8}  function")
+    for spot in report.hotspots:
+        lines.append(
+            f"{spot.ncalls:>10}  {spot.tottime:>8.3f}  {spot.cumtime:>8.3f}  {spot.location}"
+        )
+    if report.event_census:
+        lines.append("")
+        lines.append("per-phase event counts (by callback):")
+        lines.append(f"{'events':>10}  callback")
+        ranked = sorted(report.event_census.items(), key=lambda kv: (-kv[1], kv[0]))
+        for name, count in ranked[:census_top]:
+            lines.append(f"{count:>10,}  {name}")
+        hidden = len(ranked) - census_top
+        if hidden > 0:
+            lines.append(f"{'':>10}  ... and {hidden} more callbacks")
+    return "\n".join(lines)

@@ -1,37 +1,68 @@
 """Discrete-event simulation engine.
 
-A small, deterministic event scheduler built on :mod:`heapq`.  Events are
-ordered by (time, sequence number) so that events scheduled for the same
-instant fire in the order they were scheduled, which keeps simulations
-reproducible across runs and platforms.
+A small, deterministic event scheduler built on :mod:`heapq`.  The heap holds
+plain ``(time, seq, event)`` tuples so event ordering is resolved entirely by
+C-level tuple comparison — events scheduled for the same instant fire in the
+order they were scheduled, which keeps simulations reproducible across runs
+and platforms, and no Python ``__lt__`` ever runs on the hot path.
+
+Cancellation is lazy (O(1)): a cancelled event stays in the heap and is
+skipped when it surfaces.  To stop cancel-heavy workloads (retransmit timers,
+rate-limiter releases) from bloating the heap for the rest of the run, the
+simulator opportunistically *compacts* the heap — rebuilds it from the live
+events — once cancelled entries outnumber live ones.  Compaction preserves
+the ``(time, seq)`` dispatch order exactly, so it is invisible to results.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, seq)``; the payload fields do not participate
-    in ordering.  ``cancelled`` events stay in the heap but are skipped when
-    popped (lazy deletion), which keeps cancellation O(1).
+    Events are ordered by their ``(time, seq)`` key, carried by the heap
+    tuple — the payload fields do not participate in ordering.  ``cancelled``
+    events stay in the heap but are skipped when popped (lazy deletion),
+    which keeps cancellation O(1); the owning simulator counts cancellations
+    so it can compact the heap when they pile up.
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: tuple = field(default=(), compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        sim: Optional["Simulator"] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when due."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancelled()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = ", cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.6f}, seq={self.seq}{flag})"
+
+
+#: Compaction only kicks in above this many cancelled entries, so small
+#: simulations never pay the rebuild.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Simulator:
@@ -44,13 +75,31 @@ class Simulator:
         sim.run(until=10.0)
     """
 
+    #: Class-wide default for :attr:`dispatch_tap`, applied to simulators at
+    #: construction time.  :mod:`repro.perf` sets this (in a try/finally)
+    #: to census events inside experiment points that build their own
+    #: simulator; it is ``None`` in normal runs.  The tap receives the
+    #: *callback* being dispatched.
+    default_dispatch_tap: Optional[Callable[[Callable[..., Any]], None]] = None
+
     def __init__(self) -> None:
-        self._queue: list[Event] = []
-        self._seq = itertools.count()
+        #: Heap of ``(time, seq, event_or_None, callback, args)`` entries.
+        #: ``seq`` is unique, so tuple comparison never reaches the payload;
+        #: entry[2] is ``None`` for fast-path events that can never be
+        #: cancelled (no :class:`Event` is allocated for those).
+        self._queue: list[tuple] = []
+        self._seq = 0
         self._now = 0.0
         self._processed = 0
+        self._cancelled = 0
         self._running = False
         self._stopped = False
+        #: Optional per-dispatch trace hook ``tap(callback)``; ``None`` (the
+        #: default) keeps the run loop on its fast path — a single local
+        #: ``None`` test per event.  Attach before calling :meth:`run`.
+        self.dispatch_tap: Optional[Callable[[Callable[..., Any]], None]] = (
+            Simulator.default_dispatch_tap
+        )
 
     @property
     def now(self) -> float:
@@ -64,8 +113,50 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return len(self._queue)
+        """Number of *live* events still in the queue.
+
+        Cancelled events awaiting lazy deletion are excluded, so pollers see
+        real remaining work rather than phantom entries.
+        """
+        return len(self._queue) - self._cancelled
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots (pre-compaction)."""
+        return self._cancelled
+
+    # -- cancellation bookkeeping -------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        # Opportunistic compaction: once cancelled entries exceed the live
+        # ones (and are worth the rebuild), drop them all at O(live).
+        if (
+            self._cancelled > _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        ``(time, seq)`` keys are unique, so re-heapifying the live entries
+        reproduces the exact dispatch order of the lazy-deletion path.  The
+        list is mutated in place so aliases held by a running :meth:`run`
+        loop stay valid.
+        """
+        self._queue[:] = [
+            entry for entry in self._queue
+            if entry[2] is None or not entry[2].cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+
+    # -- scheduling ---------------------------------------------------------
+    # Both schedule methods build the Event via ``__new__`` plus direct slot
+    # stores instead of calling ``Event.__init__``: scheduling is the single
+    # hottest call in a simulation (once per packet transmission, delivery,
+    # and transport tick), and skipping the extra Python frame is a measured
+    # win.  Keep the slot assignments in sync with ``Event.__init__``.
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
@@ -74,7 +165,31 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule an event in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event.__new__(Event)
+        event.time = time = self._now + delay
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event._sim = self
+        heapq.heappush(self._queue, (time, seq, event, callback, args))
+        return event
+
+    def schedule_fast(self, delay: float, callback: Callable[..., Any],
+                      args: tuple = ()) -> None:
+        """Schedule a callback that will *never be cancelled* — no handle.
+
+        The fast path for high-volume internal events (link serialization
+        and propagation): no :class:`Event` is allocated and nothing is
+        returned, only the heap tuple exists.  Callers that might ever need
+        to cancel must use :meth:`schedule` instead.  ``args`` is passed as
+        a tuple (not ``*args``) to avoid re-packing.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (self._now + delay, seq, None, callback, args))
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at an absolute simulation time."""
@@ -82,8 +197,16 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule an event at t={time:.6f}, before now={self._now:.6f}"
             )
-        event = Event(time=time, seq=next(self._seq), callback=callback, args=args)
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event.__new__(Event)
+        event.time = time
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event._sim = self
+        heapq.heappush(self._queue, (time, seq, event, callback, args))
         return event
 
     def cancel(self, event: Optional[Event]) -> None:
@@ -119,44 +242,75 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        # Hoisted loop constants: the time limit and event cap become plain
+        # float comparisons, and the trace hook is read once (attach taps
+        # before calling run()).
+        limit = float("inf") if until is None else until
+        cap = float("inf") if max_events is None else max_events
+        tap = self.dispatch_tap
         try:
-            while self._queue:
+            while queue:
                 if self._stopped:
                     break
-                event = heapq.heappop(self._queue)
-                if event.cancelled:
+                entry = queue[0]
+                event = entry[2]
+                if event is not None and event.cancelled:
+                    heappop(queue)
+                    self._cancelled -= 1
                     continue
-                if until is not None and event.time > until:
-                    # Put it back for a later run() call and finish.
-                    heapq.heappush(self._queue, event)
+                if entry[0] > limit:
+                    # Leave it queued for a later run() call and finish.
                     break
-                self._now = event.time
-                event.callback(*event.args)
-                self._processed += 1
+                heappop(queue)
+                self._now = entry[0]
+                if event is not None:
+                    # Detach the handle: a cancel() issued after dispatch
+                    # (e.g. by the event's own callback, or a later cleanup
+                    # pass) must not count a tombstone that is no longer in
+                    # the heap — that would corrupt pending_events and
+                    # trigger spurious compactions.
+                    event._sim = None
+                if tap is not None:
+                    tap(entry[3])
+                entry[3](*entry[4])
                 executed += 1
-                if max_events is not None and executed >= max_events:
+                if executed >= cap:
                     break
             if until is not None and until > self._now and not self._stopped:
                 # Drop cancelled events so the peek below sees real work.
-                while self._queue and self._queue[0].cancelled:
-                    heapq.heappop(self._queue)
-                if not self._queue or self._queue[0].time > until:
+                while queue:
+                    event = queue[0][2]
+                    if event is None or not event.cancelled:
+                        break
+                    heappop(queue)
+                    self._cancelled -= 1
+                if not queue or queue[0][0] > until:
                     self._now = until
         finally:
+            # Flushed once per run rather than once per event; callbacks
+            # observing events_processed mid-run see the pre-run value.
+            self._processed += executed
             self._running = False
         return self._now
 
     def reset(self) -> None:
         """Clear all pending events and rewind the clock to zero.
 
-        The event sequence counter restarts too, so a reset simulator orders
-        same-instant events exactly like a freshly constructed one — required
-        for deterministic results when sweep workers reuse a simulator.
+        After a reset the simulator is indistinguishable from a freshly
+        constructed one: the event sequence counter restarts (so same-instant
+        events order exactly like a new instance — required for deterministic
+        results when sweep workers reuse a simulator), and every counter and
+        flag (``events_processed``, cancellation bookkeeping, ``stop()``
+        requests) is cleared too.
         """
         self._queue.clear()
-        self._seq = itertools.count()
+        self._seq = 0
         self._now = 0.0
         self._processed = 0
+        self._cancelled = 0
+        self._running = False
         self._stopped = False
 
 

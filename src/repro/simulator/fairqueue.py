@@ -12,11 +12,20 @@ The paper's baselines rely on fair queuing at congested links:
 DRR follows Shreedhar & Varghese [38]: each active flow has a deficit
 counter; a flow may send packets as long as its deficit covers them, and its
 deficit grows by one quantum per round.  This gives O(1) per-packet work.
+
+State lifecycle: per-flow state is held in compact ``__slots__`` records and
+is **evicted the moment a flow drains** (its deficit was reset to zero at
+that point anyway, so eviction is invisible to scheduling).  Without
+eviction, every sender ever seen would occupy a ``max_flows`` slot forever —
+under host churn the queue would converge to dropping every packet from new
+senders, and a hierarchical queue's memory would grow with every AS ever
+seen.  Eager eviction also makes ``active_flows`` /
+``active_level1_buckets`` O(1): live state *is* the active set.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import deque
 from typing import Callable, Deque, Dict, Optional
 
 from repro.simulator.packet import Packet
@@ -41,6 +50,17 @@ def per_source_as_key(packet: Packet) -> str:
     return packet.src_as or packet.src
 
 
+class _FlowState:
+    """Per-flow DRR state: FIFO, byte count, and deficit counter."""
+
+    __slots__ = ("queue", "bytes", "deficit")
+
+    def __init__(self) -> None:
+        self.queue: Deque[Packet] = deque()
+        self.bytes = 0
+        self.deficit = 0.0
+
+
 class DRRQueue(PacketQueue):
     """Deficit Round Robin fair queue.
 
@@ -50,6 +70,8 @@ class DRRQueue(PacketQueue):
         per_flow_capacity_bytes: byte capacity of each bucket's FIFO.
         max_flows: upper bound on simultaneously active buckets (safety
             valve; arrivals for new buckets beyond the bound are dropped).
+            Only *live* buckets count — drained flows are evicted, so churn
+            through many senders never exhausts the bound.
     """
 
     def __init__(
@@ -64,100 +86,83 @@ class DRRQueue(PacketQueue):
         self.quantum_bytes = quantum_bytes
         self.per_flow_capacity_bytes = per_flow_capacity_bytes
         self.max_flows = max_flows
-        self._flows: "OrderedDict[str, Deque[Packet]]" = OrderedDict()
-        self._flow_bytes: Dict[str, int] = {}
-        self._deficits: Dict[str, float] = {}
+        #: Live flows only; a drained flow is evicted immediately, so every
+        #: entry holds at least one packet (outside a dequeue in progress).
+        self._flows: Dict[str, _FlowState] = {}
         self._active: Deque[str] = deque()
         self._bytes = 0
         self._count = 0
 
-    # -- helpers -----------------------------------------------------------
-    def _flow_queue(self, key: str) -> Optional[Deque[Packet]]:
-        if key not in self._flows:
-            if len(self._flows) >= self.max_flows:
-                return None
-            self._flows[key] = deque()
-            self._flow_bytes[key] = 0
-            self._deficits[key] = 0.0
-        return self._flows[key]
-
     @property
     def active_flows(self) -> int:
-        """Number of buckets that currently hold at least one packet."""
-        return sum(1 for q in self._flows.values() if q)
+        """Number of buckets that currently hold at least one packet (O(1))."""
+        return len(self._flows)
 
     # -- PacketQueue interface ---------------------------------------------
     def enqueue(self, packet: Packet) -> bool:
         key = self.key_fn(packet)
-        queue = self._flow_queue(key)
-        if queue is None:
-            self._drop(packet)
-            return False
-        if self._flow_bytes[key] + packet.size_bytes > self.per_flow_capacity_bytes:
-            self._drop(packet)
-            return False
-        was_empty = not queue
-        queue.append(packet)
-        self._flow_bytes[key] += packet.size_bytes
-        self._bytes += packet.size_bytes
+        flows = self._flows
+        state = flows.get(key)
+        size = packet.size_bytes
+        if state is None:
+            # New flow: reject without leaving ghost state behind when the
+            # flow table is full or the packet alone overflows the bucket.
+            if len(flows) >= self.max_flows or size > self.per_flow_capacity_bytes:
+                self._drop(packet)
+                return False
+            state = _FlowState()
+            flows[key] = state
+            state.queue.append(packet)
+            state.bytes = size
+            self._active.append(key)
+        else:
+            if state.bytes + size > self.per_flow_capacity_bytes:
+                self._drop(packet)
+                return False
+            if not state.queue:  # pragma: no cover - drained flows are evicted
+                self._active.append(key)
+            state.queue.append(packet)
+            state.bytes += size
+        self._bytes += size
         self._count += 1
         self.stats.record_enqueue(packet)
-        if was_empty:
-            self._active.append(key)
         return True
 
     def dequeue(self) -> Optional[Packet]:
         # Round-robin over active buckets; a bucket sends while its deficit
-        # covers the head packet, then moves to the back of the round.
-        rounds_without_progress = 0
-        while self._active and rounds_without_progress <= len(self._active):
-            key = self._active[0]
-            queue = self._flows[key]
-            if not queue:
-                self._active.popleft()
-                self._deficits[key] = 0.0
+        # covers the head packet, then moves to the back of the round.  The
+        # quantum grants guarantee progress whenever packets are queued.
+        if not self._count:
+            return None
+        active = self._active
+        flows = self._flows
+        quantum = self.quantum_bytes
+        while True:
+            key = active[0]
+            state = flows.get(key)
+            if state is None or not state.queue:  # pragma: no cover - defensive
+                active.popleft()
+                flows.pop(key, None)
                 continue
-            head = queue[0]
-            if self._deficits[key] >= head.size_bytes:
-                queue.popleft()
-                self._deficits[key] -= head.size_bytes
-                self._flow_bytes[key] -= head.size_bytes
-                self._bytes -= head.size_bytes
+            head = state.queue[0]
+            size = head.size_bytes
+            if state.deficit >= size:
+                state.queue.popleft()
+                state.deficit -= size
+                state.bytes -= size
+                self._bytes -= size
                 self._count -= 1
                 self.stats.record_dequeue(head)
-                if not queue:
-                    self._active.popleft()
-                    self._deficits[key] = 0.0
+                if not state.queue:
+                    # Drained: evict the whole record.  The deficit would be
+                    # reset to zero here anyway, so eviction cannot change
+                    # future scheduling decisions.
+                    active.popleft()
+                    del flows[key]
                 return head
             # Not enough deficit: grant a quantum and rotate.
-            self._deficits[key] += self.quantum_bytes
-            self._active.rotate(-1)
-            rounds_without_progress += 1
-        # Either empty, or deficits were too small: force-grant until a
-        # packet can go (guarantees progress when non-empty).
-        if self._count:
-            while True:
-                key = self._active[0]
-                queue = self._flows[key]
-                if not queue:
-                    self._active.popleft()
-                    continue
-                head = queue[0]
-                if self._deficits[key] < head.size_bytes:
-                    self._deficits[key] += self.quantum_bytes
-                    self._active.rotate(-1)
-                    continue
-                queue.popleft()
-                self._deficits[key] -= head.size_bytes
-                self._flow_bytes[key] -= head.size_bytes
-                self._bytes -= head.size_bytes
-                self._count -= 1
-                self.stats.record_dequeue(head)
-                if not queue:
-                    self._active.popleft()
-                    self._deficits[key] = 0.0
-                return head
-        return None
+            state.deficit += quantum
+            active.rotate(-1)
 
     def __len__(self) -> int:
         return self._count
@@ -165,6 +170,16 @@ class DRRQueue(PacketQueue):
     @property
     def byte_length(self) -> int:
         return self._bytes
+
+
+class _BucketState:
+    """Level-1 bucket state: the inner DRR plus the outer deficit counter."""
+
+    __slots__ = ("queue", "deficit")
+
+    def __init__(self, queue: DRRQueue) -> None:
+        self.queue = queue
+        self.deficit = 0.0
 
 
 class HierarchicalFairQueue(PacketQueue):
@@ -175,6 +190,10 @@ class HierarchicalFairQueue(PacketQueue):
     DRR of DRRs: the outer round-robin shares the link across level-1 buckets
     (ASes); each bucket's inner DRR shares the bucket's turn across its own
     level-2 flows (hosts).
+
+    Like :class:`DRRQueue`, drained level-1 buckets (and with them their
+    inner DRR state) are evicted immediately, so memory tracks the *live*
+    AS set instead of every AS ever seen.
     """
 
     def __init__(
@@ -189,32 +208,32 @@ class HierarchicalFairQueue(PacketQueue):
         self.level2_key = level2_key
         self.quantum_bytes = quantum_bytes
         self.per_flow_capacity_bytes = per_flow_capacity_bytes
-        self._buckets: Dict[str, DRRQueue] = {}
-        self._deficits: Dict[str, float] = {}
+        #: Live buckets only (eager eviction, as in :class:`DRRQueue`).
+        self._buckets: Dict[str, _BucketState] = {}
         self._active: Deque[str] = deque()
         self._count = 0
         self._bytes = 0
 
-    def _bucket(self, key: str) -> DRRQueue:
-        bucket = self._buckets.get(key)
-        if bucket is None:
-            bucket = DRRQueue(
-                key_fn=self.level2_key,
-                quantum_bytes=self.quantum_bytes,
-                per_flow_capacity_bytes=self.per_flow_capacity_bytes,
-            )
-            self._buckets[key] = bucket
-            self._deficits[key] = 0.0
-        return bucket
-
     def enqueue(self, packet: Packet) -> bool:
         key = self.level1_key(packet)
-        bucket = self._bucket(key)
-        was_empty = len(bucket) == 0
-        accepted = bucket.enqueue(packet)
+        state = self._buckets.get(key)
+        created = state is None
+        if created:
+            state = _BucketState(
+                DRRQueue(
+                    key_fn=self.level2_key,
+                    quantum_bytes=self.quantum_bytes,
+                    per_flow_capacity_bytes=self.per_flow_capacity_bytes,
+                )
+            )
+        was_empty = created or len(state.queue) == 0
+        accepted = state.queue.enqueue(packet)
         if not accepted:
+            # Never keep an empty bucket created for a rejected packet.
             self._drop(packet)
             return False
+        if created:
+            self._buckets[key] = state
         self._count += 1
         self._bytes += packet.size_bytes
         self.stats.record_enqueue(packet)
@@ -225,30 +244,35 @@ class HierarchicalFairQueue(PacketQueue):
     def dequeue(self) -> Optional[Packet]:
         if not self._count:
             return None
+        active = self._active
+        buckets = self._buckets
+        quantum = self.quantum_bytes
         while True:
-            key = self._active[0]
-            bucket = self._buckets[key]
-            if len(bucket) == 0:
-                self._active.popleft()
-                self._deficits[key] = 0.0
+            key = active[0]
+            state = buckets.get(key)
+            if state is None or len(state.queue) == 0:  # pragma: no cover - defensive
+                active.popleft()
+                buckets.pop(key, None)
                 continue
             # Peek at the size the inner DRR will release next; approximate
             # with the quantum-driven grant loop used by DRRQueue.
-            if self._deficits[key] <= 0:
-                self._deficits[key] += self.quantum_bytes
-                self._active.rotate(-1)
+            if state.deficit <= 0:
+                state.deficit += quantum
+                active.rotate(-1)
                 continue
-            packet = bucket.dequeue()
+            packet = state.queue.dequeue()
             if packet is None:  # pragma: no cover - defensive
-                self._active.popleft()
+                active.popleft()
+                del buckets[key]
                 continue
-            self._deficits[key] -= packet.size_bytes
+            state.deficit -= packet.size_bytes
             self._count -= 1
             self._bytes -= packet.size_bytes
             self.stats.record_dequeue(packet)
-            if len(bucket) == 0:
-                self._active.popleft()
-                self._deficits[key] = 0.0
+            if len(state.queue) == 0:
+                # Drained: evict the bucket and its inner DRR state.
+                active.popleft()
+                del buckets[key]
             return packet
 
     def __len__(self) -> int:
@@ -260,4 +284,5 @@ class HierarchicalFairQueue(PacketQueue):
 
     @property
     def active_level1_buckets(self) -> int:
-        return sum(1 for b in self._buckets.values() if len(b))
+        """Number of level-1 buckets holding at least one packet (O(1))."""
+        return len(self._buckets)

@@ -13,7 +13,7 @@ seconds of propagation.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.simulator.engine import Simulator
 from repro.simulator.packet import Packet
@@ -69,13 +69,28 @@ class Link:
         self.packets_delivered = 0
         self.bytes_offered = 0
         self.packets_offered = 0
+        #: Optional per-packet trace hooks, called as ``tap(packet, link)``
+        #: when a packet finishes serialization / is delivered downstream.
+        #: ``None`` (the default) keeps the transmit path hook-free — the
+        #: fast path is a single attribute test per packet.
+        self.transmit_tap: Optional[Callable[[Packet, "Link"], None]] = None
+        self.deliver_tap: Optional[Callable[[Packet, "Link"], None]] = None
+        #: Cached once: whether the queue is rate-capped (exposes
+        #: ``time_until_ready``), so the drain path skips the ``getattr``.
+        self._time_until_ready = getattr(queue, "time_until_ready", None)
+        #: Bound-method caches: one attribute load instead of two on the
+        #: per-packet paths (the queue object is fixed for the link's
+        #: lifetime; nothing in-tree ever swaps ``link.queue``).
+        self._schedule_fast = sim.schedule_fast
+        self._enqueue = queue.enqueue
+        self._dequeue = queue.dequeue
 
     # -- transmission -------------------------------------------------------
     def send(self, packet: Packet) -> None:
         """Offer a packet to the link (called by the upstream node)."""
         self.bytes_offered += packet.size_bytes
         self.packets_offered += 1
-        accepted = self.queue.enqueue(packet)
+        accepted = self._enqueue(packet)
         if accepted and not self._busy:
             self._start_next_transmission()
 
@@ -84,29 +99,29 @@ class Link:
         return packet.size_bytes * 8.0 / self.capacity_bps
 
     def _start_next_transmission(self) -> None:
-        packet = self.queue.dequeue()
+        packet = self._dequeue()
         if packet is None:
             self._busy = False
             self._schedule_poke_if_needed()
             return
         self._busy = True
-        tx_time = self.serialization_delay(packet)
-        self.sim.schedule(tx_time, self._finish_transmission, packet)
+        # Inlined serialization_delay(); scheduled on the no-handle fast path
+        # — transmission-end events are never cancelled.
+        tx_time = packet.size_bytes * 8.0 / self.capacity_bps
+        self._schedule_fast(tx_time, self._finish_transmission, (packet,))
 
     def _schedule_poke_if_needed(self) -> None:
         # Rate-capped queues (e.g. NetFence's 5 % request channel) can hold
         # packets while refusing to release one right now.  Ask the queue when
         # to try again so the link does not stall forever.
-        if len(self.queue) == 0 or self._poke_pending:
-            return
-        time_until_ready = getattr(self.queue, "time_until_ready", None)
-        if time_until_ready is None:
+        time_until_ready = self._time_until_ready
+        if time_until_ready is None or self._poke_pending or len(self.queue) == 0:
             return
         wait = time_until_ready()
         if wait is None:
             return
         self._poke_pending = True
-        self.sim.schedule(max(wait, 1e-6), self._poke)
+        self.sim.schedule_fast(max(wait, 1e-6), self._poke)
 
     def _poke(self) -> None:
         self._poke_pending = False
@@ -116,10 +131,20 @@ class Link:
     def _finish_transmission(self, packet: Packet) -> None:
         self.bytes_delivered += packet.size_bytes
         self.packets_delivered += 1
-        self.sim.schedule(self.delay_s, self._deliver, packet)
+        if self.transmit_tap is not None:
+            self.transmit_tap(packet, self)
+        # Delivery events are never cancelled either; with no deliver tap
+        # attached, skip the _deliver wrapper frame and hand the packet
+        # straight to the downstream node's receive.
+        if self.deliver_tap is None:
+            self._schedule_fast(self.delay_s, self.dst_node.receive, (packet, self))
+        else:
+            self._schedule_fast(self.delay_s, self._deliver, (packet,))
         self._start_next_transmission()
 
     def _deliver(self, packet: Packet) -> None:
+        if self.deliver_tap is not None:
+            self.deliver_tap(packet, self)
         self.dst_node.receive(packet, self)
 
     # -- accounting ----------------------------------------------------------

@@ -55,6 +55,7 @@ class Host(Node):
     def __init__(self, sim: Simulator, name: str, as_name: Optional[str] = None) -> None:
         super().__init__(sim, name)
         self.as_name = as_name
+        self._access_link: Optional[Link] = None
         self.agents: Dict[str, PacketAgent] = {}
         self.default_agent: Optional[PacketAgent] = None
         self.orphan_packets = 0
@@ -77,14 +78,24 @@ class Host(Node):
         self.agents.pop(flow_id, None)
 
     # -- I/O -----------------------------------------------------------------
+    def attach_link(self, link: Link) -> None:
+        super().attach_link(link)
+        self._access_link = None  # re-validate on next use
+
     @property
     def access_link(self) -> Link:
-        """The host's single uplink to its access router."""
-        if len(self.links) != 1:
-            raise RuntimeError(
-                f"host {self.name} must have exactly one uplink, has {len(self.links)}"
-            )
-        return next(iter(self.links.values()))
+        """The host's single uplink to its access router (cached; hosts send
+        every packet through it, so the single-uplink check runs once per
+        topology change instead of once per packet)."""
+        link = self._access_link
+        if link is None:
+            if len(self.links) != 1:
+                raise RuntimeError(
+                    f"host {self.name} must have exactly one uplink, has {len(self.links)}"
+                )
+            link = next(iter(self.links.values()))
+            self._access_link = link
+        return link
 
     def send(self, packet: Packet) -> None:
         """Send a packet into the network through the access link."""
@@ -95,7 +106,11 @@ class Host(Node):
             if outbound_filter(packet) is False:
                 return
         self.packets_sent += 1
-        self.access_link.send(packet)
+        # Direct slot read with property fallback: one per packet sent.
+        link = self._access_link
+        if link is None:
+            link = self.access_link
+        link.send(packet)
 
     def receive(self, packet: Packet, from_link: Optional[Link]) -> None:
         self.packets_received += 1
@@ -149,9 +164,11 @@ class Router(Node):
 
     def is_from_my_hosts(self, packet: Packet, from_link: Optional[Link]) -> bool:
         """True when the packet entered the network at this router."""
-        if from_link is None:
-            return packet.src in self.local_hosts
-        return isinstance(from_link.src_node, Host) and packet.src in self.local_hosts
+        # Set-membership first: transit routers have no local hosts, so the
+        # common case short-circuits before the isinstance check.
+        if packet.src not in self.local_hosts:
+            return False
+        return from_link is None or isinstance(from_link.src_node, Host)
 
     # -- hooks ----------------------------------------------------------------
     def admit_from_host(self, packet: Packet, from_link: Optional[Link]) -> Optional[bool]:
@@ -168,7 +185,11 @@ class Router(Node):
 
     # -- forwarding -------------------------------------------------------------
     def receive(self, packet: Packet, from_link: Optional[Link]) -> None:
-        if self.is_from_my_hosts(packet, from_link):
+        # is_from_my_hosts() inlined — this dispatch runs for every packet
+        # arriving at every router.
+        if packet.src in self.local_hosts and (
+            from_link is None or isinstance(from_link.src_node, Host)
+        ):
             verdict = self.admit_from_host(packet, from_link)
             if verdict is None:
                 return  # the policing layer owns the packet now
@@ -183,7 +204,8 @@ class Router(Node):
 
     def forward(self, packet: Packet) -> None:
         """Push the packet toward its destination (post-policing)."""
-        out_link = self.route_for(packet)
+        # Inlined route_for(): one dict lookup per forwarded packet.
+        out_link = self.routes.get(packet.dst)
         if out_link is None:
             self.packets_dropped += 1
             return

@@ -39,9 +39,12 @@ class PacketType(Enum):
     LEGACY = "legacy"
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A network packet.
+
+    ``__slots__`` keeps per-packet memory small and attribute access fast —
+    packets are the single most-allocated object in a simulation run.
 
     Attributes:
         src: source host identifier.

@@ -102,20 +102,28 @@ class DropTailQueue(PacketQueue):
         self._bytes = 0
 
     def enqueue(self, packet: Packet) -> bool:
-        if self._bytes + packet.size_bytes > self.capacity_bytes:
+        size = packet.size_bytes
+        if self._bytes + size > self.capacity_bytes:
             self._drop(packet)
             return False
         self._queue.append(packet)
-        self._bytes += packet.size_bytes
-        self.stats.record_enqueue(packet)
+        self._bytes += size
+        # Stats inlined: DropTail queues sit on every link, so these two
+        # counters are the hottest accounting in the simulator.
+        stats = self.stats
+        stats.enqueued += 1
+        stats.enqueued_bytes += size
         return True
 
     def dequeue(self) -> Optional[Packet]:
         if not self._queue:
             return None
         packet = self._queue.popleft()
-        self._bytes -= packet.size_bytes
-        self.stats.record_dequeue(packet)
+        size = packet.size_bytes
+        self._bytes -= size
+        stats = self.stats
+        stats.dequeued += 1
+        stats.dequeued_bytes += size
         return packet
 
     def __len__(self) -> int:
@@ -183,33 +191,43 @@ class REDQueue(PacketQueue):
         return self.max_p * (self.avg_queue - self.minthresh) / span
 
     def enqueue(self, packet: Packet) -> bool:
-        self._update_average()
-        if self._bytes + packet.size_bytes > self.capacity_bytes:
+        # ``_update_average`` and ``_drop_probability`` inlined: RED guards
+        # the bottleneck's regular channel, so this runs for every arrival.
+        avg = (1 - self.wq) * self.avg_queue + self.wq * self._bytes
+        self.avg_queue = avg
+        size = packet.size_bytes
+        if self._bytes + size > self.capacity_bytes:
             self._drop(packet)
             return False
-        p_drop = self._drop_probability()
-        if p_drop >= 1.0:
-            self._drop(packet)
-            return False
-        if p_drop > 0.0:
-            # Uniformize drops the way RED does (count since last drop).
-            self._count_since_drop += 1
-            effective = min(1.0, p_drop * self._count_since_drop)
-            if self.rng.random() < effective:
-                self._count_since_drop = 0
+        if avg >= self.minthresh:
+            if avg >= self.maxthresh:
                 self._drop(packet)
                 return False
+            p_drop = self.max_p * (avg - self.minthresh) / (self.maxthresh - self.minthresh)
+            if p_drop > 0.0:
+                # Uniformize drops the way RED does (count since last drop).
+                self._count_since_drop += 1
+                effective = min(1.0, p_drop * self._count_since_drop)
+                if self.rng.random() < effective:
+                    self._count_since_drop = 0
+                    self._drop(packet)
+                    return False
         self._queue.append(packet)
-        self._bytes += packet.size_bytes
-        self.stats.record_enqueue(packet)
+        self._bytes += size
+        stats = self.stats
+        stats.enqueued += 1
+        stats.enqueued_bytes += size
         return True
 
     def dequeue(self) -> Optional[Packet]:
         if not self._queue:
             return None
         packet = self._queue.popleft()
-        self._bytes -= packet.size_bytes
-        self.stats.record_dequeue(packet)
+        size = packet.size_bytes
+        self._bytes -= size
+        stats = self.stats
+        stats.dequeued += 1
+        stats.dequeued_bytes += size
         return packet
 
     def __len__(self) -> int:
@@ -315,6 +333,7 @@ class LevelPriorityQueue(PacketQueue):
         self.max_level = max_level
         self._levels: Dict[int, deque[Packet]] = {}
         self._bytes = 0
+        self._count = 0
 
     def enqueue(self, packet: Packet) -> bool:
         level = min(max(packet.priority, 0), self.max_level)
@@ -326,12 +345,14 @@ class LevelPriorityQueue(PacketQueue):
             # Evict a lower-priority packet to make room.
             victim = self._levels[victim_level].pop()
             self._bytes -= victim.size_bytes
+            self._count -= 1
             self._drop(victim)
             if self._bytes + packet.size_bytes > self.capacity_bytes:
                 self._drop(packet)
                 return False
         self._levels.setdefault(level, deque()).append(packet)
         self._bytes += packet.size_bytes
+        self._count += 1
         self.stats.record_enqueue(packet)
         return True
 
@@ -340,17 +361,17 @@ class LevelPriorityQueue(PacketQueue):
         return min(nonempty) if nonempty else None
 
     def dequeue(self) -> Optional[Packet]:
-        nonempty = [lvl for lvl, q in self._levels.items() if q]
-        if not nonempty:
+        if not self._count:
             return None
-        level = max(nonempty)
+        level = max(lvl for lvl, q in self._levels.items() if q)
         packet = self._levels[level].popleft()
         self._bytes -= packet.size_bytes
+        self._count -= 1
         self.stats.record_dequeue(packet)
         return packet
 
     def __len__(self) -> int:
-        return sum(len(q) for q in self._levels.values())
+        return self._count
 
     @property
     def byte_length(self) -> int:

@@ -108,8 +108,24 @@ class UdpSender:
             resume = self.pattern.next_on_time(now)
             self._event = self.sim.schedule(max(resume - now, 1e-9), self._send_next)
             return
-        self._emit_packet()
-        self._event = self.sim.schedule(self.interval, self._send_next)
+        # _emit_packet() and the ``interval`` property are inlined here (one
+        # call frame each per packet); mid-run ``rate_bps`` changes are still
+        # honoured.  Keep in sync with _emit_packet below.
+        packet = Packet(
+            src=self.host.name,
+            dst=self.dst,
+            size_bytes=self.packet_size,
+            ptype=self.ptype,
+            flow_id=self.flow_id,
+            protocol="udp",
+            priority=self.priority,
+        )
+        self.packets_sent += 1
+        self.bytes_sent += packet.size_bytes
+        self.host.send(packet)
+        self._event = self.sim.schedule(
+            self.packet_size * 8.0 / self.rate_bps, self._send_next
+        )
 
     def _emit_packet(self) -> None:
         packet = Packet(

@@ -1,0 +1,99 @@
+"""Tests for the repro.perf profiling subsystem."""
+
+import json
+
+import pytest
+
+from repro import perf
+from repro.experiments.sweep import ScenarioSpec, register_point
+from repro.simulator.engine import PeriodicTimer, Simulator
+
+
+@register_point("perf_mini_sim")
+def _mini_sim_point(seed: int = 1, events: int = 50) -> dict:
+    """A tiny simulator-backed point for census/profile tests."""
+    sim = Simulator()
+    fired = {"ticks": 0}
+
+    def tick():
+        fired["ticks"] += 1
+
+    timer = PeriodicTimer(sim, 0.1, tick)
+    timer.start()
+    for i in range(events):
+        sim.schedule(i * 0.01, lambda: None)
+    sim.run(until=1.0)
+    timer.stop()
+    return {"seed": seed, "ticks": fired["ticks"]}
+
+
+def test_profile_spec_produces_hotspots_and_census():
+    spec = ScenarioSpec.make("perf_mini_sim", seed=3, events=40)
+    report = perf.profile_spec(spec, top=10, calib_s=0.1)
+    assert report.description == spec.describe()
+    assert report.wall_s > 0
+    assert report.calib_s == 0.1
+    assert 0 < len(report.hotspots) <= 10
+    assert all(spot.ncalls >= 1 for spot in report.hotspots)
+    # Census saw the scheduled lambdas and the periodic timer ticks.
+    assert report.events_processed == sum(report.event_census.values())
+    assert report.events_processed >= 40
+    assert any("_fire" in name for name in report.event_census)
+
+
+def test_profile_spec_census_tap_is_restored():
+    spec = ScenarioSpec.make("perf_mini_sim", seed=1, events=5)
+    perf.profile_spec(spec, top=5, calib_s=0.1)
+    assert Simulator.default_dispatch_tap is None
+    assert Simulator().dispatch_tap is None
+
+
+def test_profile_spec_without_census():
+    spec = ScenarioSpec.make("perf_mini_sim", seed=1, events=5)
+    report = perf.profile_spec(spec, census=False, calib_s=0.1)
+    assert report.event_census == {}
+    assert report.events_processed == 0
+
+
+def test_format_report_renders_tables():
+    spec = ScenarioSpec.make("perf_mini_sim", seed=2, events=20)
+    report = perf.profile_spec(spec, top=5, calib_s=0.1)
+    text = perf.format_report(report)
+    assert "hot spots (by internal time):" in text
+    assert "per-phase event counts (by callback):" in text
+    assert "events dispatched" in text
+    assert "calibration units" in text
+
+
+def test_normalized_wall_divides_by_calibration():
+    report = perf.ProfileReport(description="x", wall_s=4.0, calib_s=0.5)
+    assert report.normalized_wall == pytest.approx(8.0)
+
+
+def test_dispatch_tap_sees_every_callback():
+    sim = Simulator()
+    seen = []
+    sim.dispatch_tap = seen.append
+    marks = []
+    sim.schedule(1.0, marks.append, "a")
+    sim.schedule_fast(2.0, marks.append, ("b",))
+    sim.run()
+    assert marks == ["a", "b"]
+    assert seen == [marks.append, marks.append]
+
+
+def test_cli_main_profiles_an_experiment(capsys):
+    class _Def:
+        @staticmethod
+        def build_grid(quick):
+            assert quick
+            return [ScenarioSpec.make("perf_mini_sim", seed=1, events=10)]
+
+    rc = perf.cli_main(["mini", "--quick", "--top", "5", "--json"],
+                       experiments={"mini": _Def()})
+    assert rc == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert payload["wall_s"] > 0
+    assert len(payload["hotspots"]) <= 5
+    assert payload["event_census"]

@@ -233,6 +233,129 @@ def test_periodic_timer_stop_inside_raising_callback_stays_stopped(sim):
 
 
 # ---------------------------------------------------------------------------
+# pending_events reports live work only
+# ---------------------------------------------------------------------------
+
+def test_pending_events_excludes_cancelled(sim):
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending_events == 5
+    events[0].cancel()
+    events[3].cancel()
+    assert sim.pending_events == 3
+    assert sim.cancelled_pending == 2
+
+
+def test_pending_events_zero_when_only_cancelled_remain(sim):
+    # A drained()-style poller must see no phantom work.
+    for event in [sim.schedule(1.0, lambda: None) for _ in range(4)]:
+        event.cancel()
+    assert sim.pending_events == 0
+
+
+def test_double_cancel_counts_once(sim):
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.cancelled_pending == 1
+    assert sim.pending_events == 0
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_cancel_after_dispatch_does_not_corrupt_accounting(sim):
+    # Cancelling an event that already fired must be a no-op: it left the
+    # heap at dispatch, so no tombstone exists to account for.
+    event = sim.schedule(1.0, lambda: None)
+    sim.run()
+    event.cancel()
+    assert sim.pending_events == 0
+    assert sim.cancelled_pending == 0
+
+
+def test_cancel_own_event_from_callback_does_not_corrupt_accounting(sim):
+    # The PeriodicTimer.stop()-inside-callback / TCP-abort pattern: the
+    # running event's handle is cancelled while it executes.
+    timer = PeriodicTimer(sim, 1.0, lambda: timer.stop())
+    timer.start()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.cancelled_pending == 0
+
+
+# ---------------------------------------------------------------------------
+# Heap compaction under cancel-heavy workloads
+# ---------------------------------------------------------------------------
+
+def test_compaction_prunes_cancelled_entries(sim):
+    keep = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    doomed = [sim.schedule(float(i + 1) + 0.5, lambda: None) for i in range(200)]
+    for event in doomed:
+        event.cancel()
+    # Cancelled events repeatedly exceeded the live ones: the heap must have
+    # been compacted instead of keeping all 200 tombstones around.
+    assert sim.pending_events == 10
+    assert sim.cancelled_pending <= 64  # bounded by the compaction threshold
+    assert len(sim._queue) == sim.pending_events + sim.cancelled_pending
+    assert all(not event.cancelled for event in keep)
+
+
+def test_compaction_preserves_dispatch_order_and_results(sim):
+    # The same cancel-heavy workload with and without compaction in the mix
+    # must fire the surviving events in identical (time, seq) order.
+    def drive(simulator):
+        fired = []
+        events = []
+        for i in range(300):
+            events.append(simulator.schedule(
+                ((i * 7) % 50) + 1.0, fired.append, i))
+        # Cancel a deterministic two-thirds, enough to trigger compaction.
+        for i, event in enumerate(events):
+            if i % 3 != 0:
+                event.cancel()
+        simulator.run()
+        return fired
+
+    first = drive(Simulator())
+    second = drive(Simulator())
+    assert first == second
+    assert first == sorted(first, key=lambda i: (((i * 7) % 50) + 1.0, i))
+    assert len(first) == 100
+
+
+def test_cancel_heavy_workload_mid_run_stays_correct(sim):
+    # Cancellations issued by callbacks during the run (the rate-limiter /
+    # retransmit-timer pattern) must not disturb later dispatches.
+    fired = []
+    timers = [sim.schedule(10.0 + i * 1e-3, fired.append, f"timer{i}")
+              for i in range(150)]
+
+    def cancel_timers():
+        for timer in timers:
+            timer.cancel()
+        fired.append("cancelled")
+
+    sim.schedule(1.0, cancel_timers)
+    sim.schedule(2.0, fired.append, "after")
+    sim.schedule(20.0, fired.append, "end")
+    sim.run()
+    assert fired == ["cancelled", "after", "end"]
+
+
+def test_schedule_fast_interleaves_with_regular_events(sim):
+    # schedule_fast events carry no handle but share the same (time, seq)
+    # ordering domain as regular events.
+    order = []
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule_fast(1.0, order.append, ("b",))
+    sim.schedule(1.0, order.append, "c")
+    sim.schedule_fast(0.5, order.append, ("early",))
+    sim.run()
+    assert order == ["early", "a", "b", "c"]
+    assert sim.events_processed == 4
+
+
+# ---------------------------------------------------------------------------
 # reset() determinism (sweep workers reuse simulators)
 # ---------------------------------------------------------------------------
 
@@ -242,6 +365,20 @@ def test_reset_restarts_sequence_counter():
     sim.reset()
     again = sim.schedule(1.0, lambda: None)
     assert again.seq == first.seq
+
+
+def test_reset_clears_cancellation_bookkeeping_like_a_fresh_instance():
+    sim = Simulator()
+    for event in [sim.schedule(1.0, lambda: None) for _ in range(8)]:
+        event.cancel()
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=0.5)
+    sim.stop()
+    sim.reset()
+    fresh = Simulator()
+    snapshot = lambda s: (s.now, s.events_processed, s.pending_events,
+                          s.cancelled_pending, s._seq, s._stopped, s._running)
+    assert snapshot(sim) == snapshot(fresh)
 
 
 def test_reset_simulator_orders_events_like_a_fresh_one():

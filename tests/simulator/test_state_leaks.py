@@ -1,0 +1,202 @@
+"""Regression tests for queue/heap state leaks (PR 5 bugfixes).
+
+Three families:
+
+* **Flow churn** — fair queues must evict drained per-flow state instead of
+  letting ghost entries consume ``max_flows`` slots forever.  Before the
+  fix, cycling through more than ``max_flows`` distinct senders made a
+  :class:`DRRQueue` drop every packet from any new sender.
+* **Hierarchical bucket churn** — the same leak one level up: drained
+  level-1 buckets (and their inner DRR state) must be removed, so memory
+  tracks the live AS set, not every AS ever seen.
+* **Byte accounting** — after any enqueue/drain cycle, every queue class
+  must report ``len == 0`` and ``byte_length == 0`` (no residual counters).
+"""
+
+import pytest
+
+from repro.core.bottleneck import NetFenceChannelQueue
+from repro.simulator.engine import Simulator
+from repro.simulator.fairqueue import DRRQueue, HierarchicalFairQueue
+from repro.simulator.packet import Packet, PacketType
+from repro.simulator.queues import (
+    DropTailQueue,
+    LevelPriorityQueue,
+    PriorityChannelQueue,
+    REDQueue,
+)
+
+
+def make_packet(src="s", dst="d", size=1000, src_as=None, ptype=PacketType.REGULAR,
+                priority=0):
+    return Packet(src=src, dst=dst, size_bytes=size, src_as=src_as, ptype=ptype,
+                  priority=priority)
+
+
+def drain(queue):
+    out = []
+    while True:
+        packet = queue.dequeue()
+        if packet is None:
+            return out
+        out.append(packet)
+
+
+# ---------------------------------------------------------------------------
+# Flow churn (DRRQueue)
+# ---------------------------------------------------------------------------
+
+def test_drr_flow_churn_does_not_exhaust_max_flows():
+    # Cycle 2 x max_flows distinct senders through the queue; every one must
+    # be accepted because drained flows are evicted.
+    queue = DRRQueue(max_flows=4)
+    for i in range(8):
+        assert queue.enqueue(make_packet(src=f"sender{i}")), f"sender{i} rejected"
+        assert queue.dequeue() is not None
+    assert queue.active_flows == 0
+
+
+def test_drr_new_sender_accepted_after_draining_max_flows_plus_one():
+    # The acceptance-criterion scenario: drain max_flows + 1 distinct
+    # senders, then a brand-new sender must still be accepted.
+    queue = DRRQueue(max_flows=3)
+    for i in range(4):
+        assert queue.enqueue(make_packet(src=f"old{i}"))
+        queue.dequeue()
+    assert queue.enqueue(make_packet(src="newcomer"))
+    assert queue.dequeue().src == "newcomer"
+
+
+def test_drr_batch_churn_with_interleaved_flows():
+    # Batches of concurrent flows (not strictly one-at-a-time churn).
+    queue = DRRQueue(max_flows=8)
+    for batch in range(5):
+        for i in range(8):
+            assert queue.enqueue(make_packet(src=f"b{batch}h{i}"))
+        assert len(drain(queue)) == 8
+        assert queue.active_flows == 0
+
+
+def test_drr_simultaneously_active_flows_still_bounded():
+    # Eviction must not relax the cap on *live* flows.
+    queue = DRRQueue(max_flows=2)
+    assert queue.enqueue(make_packet(src="a"))
+    assert queue.enqueue(make_packet(src="b"))
+    assert not queue.enqueue(make_packet(src="c"))
+    assert queue.stats.dropped == 1
+
+
+def test_drr_rejected_new_flow_leaves_no_ghost_state():
+    # A new flow whose first packet is rejected (oversized) must not occupy
+    # a flow slot.
+    queue = DRRQueue(max_flows=2, per_flow_capacity_bytes=1500)
+    assert not queue.enqueue(make_packet(src="fat", size=4000))
+    assert queue.active_flows == 0
+    # Both slots are still available for real flows.
+    assert queue.enqueue(make_packet(src="a"))
+    assert queue.enqueue(make_packet(src="b"))
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical bucket churn
+# ---------------------------------------------------------------------------
+
+def test_hierarchical_evicts_drained_level1_buckets():
+    queue = HierarchicalFairQueue()
+    for cycle in range(10):
+        for as_index in range(5):
+            assert queue.enqueue(make_packet(
+                src=f"c{cycle}a{as_index}", src_as=f"AS-{cycle}-{as_index}"))
+        drain(queue)
+        # Memory tracks the live AS set (zero after a drain), not the
+        # 5 * (cycle + 1) ASes ever seen.
+        assert queue.active_level1_buckets == 0
+        assert len(queue._buckets) == 0
+
+
+def test_hierarchical_rejected_packet_leaves_no_empty_bucket():
+    queue = HierarchicalFairQueue(per_flow_capacity_bytes=1500)
+    assert not queue.enqueue(make_packet(src="fat", src_as="AS9", size=4000))
+    assert queue.active_level1_buckets == 0
+
+
+def test_hierarchical_fairness_unchanged_by_eviction():
+    # Eviction resets a bucket's deficit exactly like the pre-fix drain path
+    # did, so round-robin service keeps level-1 fairness.
+    queue = HierarchicalFairQueue(per_flow_capacity_bytes=1_000_000)
+    for _ in range(60):
+        queue.enqueue(make_packet(src="as1_h0", src_as="AS1"))
+    for _ in range(60):
+        queue.enqueue(make_packet(src="as2_h0", src_as="AS2"))
+    served = [queue.dequeue() for _ in range(40)]
+    as1 = sum(1 for p in served if p.src_as == "AS1")
+    assert 15 <= as1 <= 25  # ~half the service each
+
+
+# ---------------------------------------------------------------------------
+# Byte-accounting invariants across every queue class
+# ---------------------------------------------------------------------------
+
+def _netfence_queue():
+    return NetFenceChannelQueue(Simulator(), capacity_bps=10e6, seed=7)
+
+
+def _priority_channel_queue():
+    return PriorityChannelQueue(
+        ["request", "regular", "legacy"],
+        {"request": DropTailQueue(capacity_bytes=10_000_000),
+         "regular": DropTailQueue(capacity_bytes=10_000_000),
+         "legacy": DropTailQueue(capacity_bytes=10_000_000)},
+    )
+
+
+QUEUE_FACTORIES = [
+    pytest.param(lambda: DropTailQueue(capacity_bytes=10_000_000), id="droptail"),
+    pytest.param(lambda: REDQueue(capacity_bytes=10_000_000, seed=3), id="red"),
+    pytest.param(lambda: LevelPriorityQueue(capacity_bytes=10_000_000), id="levelprio"),
+    pytest.param(_priority_channel_queue, id="prio-channel"),
+    pytest.param(lambda: DRRQueue(per_flow_capacity_bytes=10_000_000), id="drr"),
+    pytest.param(lambda: HierarchicalFairQueue(per_flow_capacity_bytes=10_000_000),
+                 id="hfq"),
+    pytest.param(_netfence_queue, id="netfence-channel"),
+]
+
+
+@pytest.mark.parametrize("factory", QUEUE_FACTORIES)
+def test_len_and_bytes_return_to_zero_after_drain(factory):
+    queue = factory()
+    total = 0
+    for i in range(30):
+        packet = make_packet(src=f"h{i % 7}", src_as=f"AS{i % 3}",
+                             size=500 + 100 * (i % 4))
+        assert queue.enqueue(packet)
+        total += packet.size_bytes
+    assert len(queue) == 30
+    assert queue.byte_length == total
+    served = drain(queue)
+    assert len(served) == 30
+    assert len(queue) == 0
+    assert queue.byte_length == 0
+
+
+@pytest.mark.parametrize("factory", QUEUE_FACTORIES)
+def test_interleaved_enqueue_dequeue_keeps_accounting_exact(factory):
+    queue = factory()
+    live_bytes = 0
+    live_count = 0
+    for round_index in range(12):
+        for i in range(4):
+            packet = make_packet(src=f"h{i}", src_as=f"AS{i % 2}",
+                                 size=400 + 150 * i)
+            assert queue.enqueue(packet)
+            live_bytes += packet.size_bytes
+            live_count += 1
+        for _ in range(3):
+            packet = queue.dequeue()
+            assert packet is not None
+            live_bytes -= packet.size_bytes
+            live_count -= 1
+        assert len(queue) == live_count
+        assert queue.byte_length == live_bytes
+    drain(queue)
+    assert len(queue) == 0 and queue.byte_length == 0
