@@ -1,0 +1,79 @@
+"""Live-policer throughput benchmark: serve + loadgen in one process.
+
+Runs the ``runner serve`` policer on an ephemeral loopback port and drives
+it with the loadgen scenario, then records the live path's numbers in the
+``serve`` section of ``BENCH_sweep.json``:
+
+* ``pps`` — datagrams policed per second (ingress) and emitted per second
+  (egress) through the full decode → access-police → stamp → queue →
+  pace → encode pipeline;
+* ``latency_ms`` — per-packet one-way latency percentiles (sender
+  ``created_at`` to egress, same wall clock on loopback), which is
+  dominated by queueing at the emulated bottleneck;
+* the loadgen verdict (legit goodput share under flood), so the perf
+  trajectory also tracks the defense outcome on the live path.
+
+Asserted floors are deliberately loose — this is a paced, loopback,
+pure-Python policer; the benchmark tracks trends, the smoke test enforces
+behaviour.
+"""
+
+import asyncio
+
+from bench_artifact import emit as _emit
+from repro.runtime.loadgen import run_scenario
+from repro.runtime.serve import start_policer
+
+CAPACITY_BPS = 1_000_000.0
+WARMUP_S = 1.5
+DURATION_S = 3.0
+
+
+def test_serve_loadgen_bench():
+    async def scenario():
+        policer = await start_policer(port=0, capacity_bps=CAPACITY_BPS)
+        port = policer.transport.get_extra_info("sockname")[1]
+        rx_before = policer.counters["packets_rx"]
+        tx_before = policer.counters["packets_tx"]
+        result = await run_scenario(
+            ("127.0.0.1", port),
+            legit=2,
+            attackers=2,
+            legit_rate_bps=120_000.0,
+            attack_rate_bps=480_000.0,
+            warmup_s=WARMUP_S,
+            duration_s=DURATION_S,
+            capacity_bps=CAPACITY_BPS,
+        )
+        rx = policer.counters["packets_rx"] - rx_before
+        tx = policer.counters["packets_tx"] - tx_before
+        await policer.shutdown()
+        return policer.stats(event="bench"), result, rx, tx
+
+    stats, result, rx, tx = asyncio.run(scenario())
+    elapsed = WARMUP_S + DURATION_S
+    ingress_pps = rx / elapsed
+    egress_pps = tx / elapsed
+
+    assert ingress_pps > 10.0
+    assert egress_pps > 10.0
+    assert stats["unverified_admissions"] == 0
+
+    _emit("serve", {
+        "capacity_bps": CAPACITY_BPS,
+        "offered": {
+            "legit_senders": result["legit"],
+            "attackers": result["attackers"],
+            "legit_rate_bps": result["legit_rate_bps"],
+            "attack_rate_bps": result["attack_rate_bps"],
+        },
+        "pps": {
+            "ingress": round(ingress_pps, 1),
+            "egress": round(egress_pps, 1),
+        },
+        "latency_ms": stats["latency_ms"],
+        "legit_share": round(result["legit_share"], 4),
+        "legit_share_of_capacity": round(result["legit_share_of_capacity"], 4),
+        "unverified_admissions": stats["unverified_admissions"],
+        "queue_dropped": stats["queue"]["dropped"],
+    })

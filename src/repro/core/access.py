@@ -31,7 +31,8 @@ from repro.core.header import HEADER_KEY, NetFenceHeader, get_netfence_header
 from repro.core.multibottleneck import PENDING_KEY, PolicingPolicy, SingleBottleneckPolicy
 from repro.core.ratelimiter import RegularRateLimiter, RequestRateLimiter
 from repro.crypto.keys import AccessRouterSecret
-from repro.simulator.engine import PeriodicTimer, Simulator
+from repro.runtime.clock import Clock
+from repro.simulator.engine import PeriodicTimer
 from repro.simulator.link import Link
 from repro.simulator.node import Router
 from repro.simulator.packet import Packet, PacketType
@@ -42,7 +43,7 @@ class NetFenceAccessRouter(Router):
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         name: str,
         as_name: Optional[str] = None,
         domain: Optional[NetFenceDomain] = None,
@@ -50,7 +51,7 @@ class NetFenceAccessRouter(Router):
         policy_factory: Optional[Callable[[], PolicingPolicy]] = None,
         secret: Optional[AccessRouterSecret] = None,
     ) -> None:
-        super().__init__(sim, name, as_name=as_name)
+        super().__init__(clock, name, as_name=as_name)
         self.domain = domain or NetFenceDomain()
         self.params = self.domain.params
         self.local_as = as_name or name
@@ -76,7 +77,7 @@ class NetFenceAccessRouter(Router):
         }
 
         self._adjust_timer = PeriodicTimer(
-            sim, self.params.control_interval, self._adjust_all
+            clock, self.params.control_interval, self._adjust_all
         )
         self._adjust_timer.start()
 
@@ -87,7 +88,7 @@ class NetFenceAccessRouter(Router):
         limiter = self.rate_limiters.get(key)
         if limiter is None:
             limiter = RegularRateLimiter(
-                self.sim,
+                self.clock,
                 sender,
                 link,
                 self.params,
@@ -142,7 +143,7 @@ class NetFenceAccessRouter(Router):
         if limiter is None:
             limiter = RequestRateLimiter(self.params)
             self.request_limiters[packet.src] = limiter
-        if not limiter.admit(packet, self.sim.now):
+        if not limiter.admit(packet, self.clock.now):
             self.counters["request_dropped"] += 1
             return False
         header.priority = packet.priority
@@ -189,8 +190,8 @@ class LegacyAccessRouter(Router):
     their fast path.)
     """
 
-    def __init__(self, sim: Simulator, name: str, as_name: Optional[str] = None) -> None:
-        super().__init__(sim, name, as_name=as_name)
+    def __init__(self, clock: Clock, name: str, as_name: Optional[str] = None) -> None:
+        super().__init__(clock, name, as_name=as_name)
         self.legacy_marked = 0
 
     def admit_from_host(self, packet: Packet, from_link: Optional[Link]) -> Optional[bool]:

@@ -35,7 +35,8 @@ from repro.core.feedback import (
 )
 from repro.core.header import HEADER_KEY, NetFenceHeader, get_netfence_header
 from repro.core.params import NetFenceParams
-from repro.simulator.engine import PeriodicTimer, Simulator
+from repro.runtime.clock import Clock
+from repro.simulator.engine import PeriodicTimer
 from repro.simulator.fairqueue import DRRQueue, per_source_as_key
 from repro.simulator.link import Link
 from repro.simulator.node import Router
@@ -65,14 +66,14 @@ class NetFenceChannelQueue(PacketQueue):
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         capacity_bps: float,
         params: Optional[NetFenceParams] = None,
         as_fairness: bool = False,
         seed: Optional[int] = None,
     ) -> None:
         super().__init__()
-        self.sim = sim
+        self.clock = clock
         self.params = params or NetFenceParams()
         self.capacity_bps = capacity_bps
         qlim_bytes = max(int(self.params.queue_limit_seconds * capacity_bps / 8), 3_000)
@@ -101,7 +102,7 @@ class NetFenceChannelQueue(PacketQueue):
         # Request-channel bandwidth budget (bytes); refills continuously.
         self._request_budget = 0.0
         self._request_budget_max = max(request_capacity, 1_500)
-        self._budget_updated = sim.now
+        self._budget_updated = clock.now
 
         self.on_regular_drop: Optional[Callable[[Packet], None]] = None
         for queue in (self.request_queue, self.regular_queue, self.legacy_queue):
@@ -117,7 +118,7 @@ class NetFenceChannelQueue(PacketQueue):
 
     # -- request budget -----------------------------------------------------------
     def _refill_budget(self) -> None:
-        now = self.sim.now
+        now = self.clock.now
         elapsed = now - self._budget_updated
         if elapsed > 0:
             rate = self.params.request_channel_fraction * self.capacity_bps / 8.0
@@ -192,7 +193,7 @@ class NetFenceChannelQueue(PacketQueue):
 
 
 def netfence_queue_factory(
-    sim: Simulator,
+    clock: Clock,
     params: Optional[NetFenceParams] = None,
     as_fairness: bool = False,
     seed: Optional[int] = None,
@@ -207,7 +208,7 @@ def netfence_queue_factory(
 
     def factory(capacity_bps: float) -> NetFenceChannelQueue:
         queue_seed = None if seed is None else derive_seed(seed, "bneck-queue", next(counter))
-        return NetFenceChannelQueue(sim, capacity_bps, params=params,
+        return NetFenceChannelQueue(clock, capacity_bps, params=params,
                                     as_fairness=as_fairness, seed=queue_seed)
 
     return factory
@@ -249,14 +250,14 @@ class NetFenceRouter(Router):
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         name: str,
         as_name: Optional[str] = None,
         domain: Optional[NetFenceDomain] = None,
         monitored_links: Optional[list[str]] = None,
         force_mon: bool = False,
     ) -> None:
-        super().__init__(sim, name, as_name=as_name)
+        super().__init__(clock, name, as_name=as_name)
         self.domain = domain or NetFenceDomain()
         self.params = self.domain.params
         self.stamper = BottleneckStamper(self.domain.key_registry, as_name or name)
@@ -269,7 +270,7 @@ class NetFenceRouter(Router):
         self._monitored_names = monitored_links
         self._force_mon = force_mon
         self._detect_timer = PeriodicTimer(
-            sim, self.params.detection_interval, self._detect_all
+            clock, self.params.detection_interval, self._detect_all
         )
         self._detect_timer.start()
 
@@ -295,10 +296,10 @@ class NetFenceRouter(Router):
         state = self.link_states[link_name]
         if not state.in_mon:
             state.in_mon = True
-            state.mon_since = self.sim.now
+            state.mon_since = self.clock.now
             state.monitoring_cycles_started += 1
             self._mon_count += 1
-        state.last_attack_time = self.sim.now
+        state.last_attack_time = self.clock.now
 
     def stop_monitoring(self, link_name: str) -> None:
         state = self.link_states[link_name]
@@ -310,7 +311,7 @@ class NetFenceRouter(Router):
     def mark_overloaded(self, link_name: str, now: Optional[float] = None) -> None:
         """Extend the L↓ stamping hysteresis for a link."""
         state = self.link_states[link_name]
-        now = self.sim.now if now is None else now
+        now = self.clock.now if now is None else now
         state.stamping_until = max(
             state.stamping_until, now + self.params.hysteresis_duration
         )
@@ -320,7 +321,7 @@ class NetFenceRouter(Router):
         # link is in the mon state; outside mon it only feeds the loss EWMA
         # through the periodic detection pass.
         if state.in_mon:
-            state.last_attack_time = self.sim.now
+            state.last_attack_time = self.clock.now
             self.mark_overloaded(state.link.name)
 
     def _detect_all(self) -> None:
@@ -348,7 +349,7 @@ class NetFenceRouter(Router):
         loss_avg = state.loss_ewma.update(interval_loss)
         util_avg = state.util_ewma.update(min(interval_util, 1.0))
 
-        now = self.sim.now
+        now = self.clock.now
         attack_now = (
             interval_loss > self.params.loss_threshold
             or loss_avg > self.params.loss_threshold
@@ -412,7 +413,7 @@ class NetFenceRouter(Router):
         state: LinkMonitorState,
     ) -> None:
         feedback = header.feedback
-        overloaded = state.is_overloaded(self.sim.now)
+        overloaded = state.is_overloaded(self.clock.now)
         if feedback.is_nop:
             # Rule 1: nop feedback is always replaced with L↓ so the access
             # router instantiates a rate limiter for this link.
@@ -440,7 +441,7 @@ class NetFenceRouter(Router):
         feedback = header.feedback
         action = (
             FeedbackAction.DECR
-            if state.is_overloaded(self.sim.now)
+            if state.is_overloaded(self.clock.now)
             else FeedbackAction.INCR
         )
         header.feedback = multi_append(

@@ -29,7 +29,8 @@ from typing import Callable, Dict, Optional, Set
 from repro.core.feedback import Feedback
 from repro.core.header import HEADER_KEY, NetFenceHeader
 from repro.core.params import NetFenceParams
-from repro.simulator.engine import PeriodicTimer, Simulator
+from repro.runtime.clock import Clock
+from repro.simulator.engine import PeriodicTimer
 from repro.simulator.node import Host
 from repro.simulator.packet import Packet, PacketType
 
@@ -79,7 +80,8 @@ class NetFenceEndHost:
     """Attach NetFence send/receive behaviour to a :class:`Host`.
 
     Args:
-        sim: simulation engine.
+        clock: the driving clock — a Simulator in swept scenarios, a
+            WallClock when the shim fronts a real socket (runner loadgen).
         host: the host to instrument.
         params: NetFence parameters.
         return_policy: which peers get their feedback returned.
@@ -99,7 +101,7 @@ class NetFenceEndHost:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         host: Host,
         params: Optional[NetFenceParams] = None,
         return_policy: Optional[ReturnPolicy] = None,
@@ -109,7 +111,7 @@ class NetFenceEndHost:
         auto_priority: bool = True,
         per_flow_feedback: bool = False,
     ) -> None:
-        self.sim = sim
+        self.clock = clock
         self.host = host
         self.params = params or NetFenceParams()
         self.return_policy = return_policy or ReturnPolicy()
@@ -127,7 +129,7 @@ class NetFenceEndHost:
         self._feedback_timer: Optional[PeriodicTimer] = None
         if send_feedback_packets:
             self._feedback_timer = PeriodicTimer(
-                sim, feedback_packet_interval, self._emit_feedback_packets
+                clock, feedback_packet_interval, self._emit_feedback_packets
             )
             self._feedback_timer.start()
 
@@ -160,7 +162,7 @@ class NetFenceEndHost:
             self.peers[key] = peer
         header = NetFenceHeader()
         presented = self._select_presented(peer)
-        now = self.sim.now
+        now = self.clock.now
         if presented is not None:
             packet.ptype = PacketType.REGULAR
             # Feedback values are immutable by contract (routers replace,
@@ -187,7 +189,7 @@ class NetFenceEndHost:
     def _select_presented(self, peer: _PeerFeedbackState) -> Optional[Feedback]:
         # Runs once per outbound packet; freshness checks are inlined (no
         # per-call closure, no ``is_fresh`` method calls on the hot path).
-        now = self.sim.now
+        now = self.clock.now
         w = self.params.feedback_expiration
         strategy = self.presentation_strategy
         incr = peer.latest_incr

@@ -123,7 +123,14 @@ class FeedbackStamper:
         # the feedback's fields, the addressing, and the epoch keys derived
         # from its timestamp — is recomputed thousands of times.  Freshness
         # (the only ``now``-dependent part) is checked outside the memo.
+        # The memo is sharded by the feedback timestamp's key epoch: once the
+        # validating clock enters a new epoch, shards older than the previous
+        # epoch can never be consulted again (their feedback is stale by the
+        # freshness check) and are dropped wholesale.  A wall-clock policer
+        # crosses an epoch every ``rotation_interval`` seconds, so without
+        # eviction this memo would grow for the life of the process.
         self._verify_cache: dict = {}
+        self._memo_epoch = 0
 
     # -- stamping ------------------------------------------------------------
     def token_nop(self, src: str, dst: str, ts: float, key: Optional[bytes] = None) -> bytes:
@@ -171,20 +178,29 @@ class FeedbackStamper:
             return False
         # ``ts`` determines the candidate keys (epoch-derived), so the memo
         # key covers every input of the MAC verification below.
+        now_epoch = self.secret.epoch_of(now)
+        if now_epoch > self._memo_epoch:
+            self._memo_epoch = now_epoch
+            floor = now_epoch - 1
+            for stale in [e for e in self._verify_cache if e < floor]:
+                del self._verify_cache[stale]
+        memo = self._verify_cache.get(now_epoch)
+        if memo is None:
+            memo = self._verify_cache[now_epoch] = {}
         memo_key = (
             feedback.mac, feedback.mode, feedback.link, feedback.action,
             feedback.ts, src, dst, link_as,
         )
-        verdict = self._verify_cache.get(memo_key)
+        verdict = memo.get(memo_key)
         if verdict is None:
             verdict = False
             for key in self.secret.candidates(feedback.ts):
                 if self._validate_with_key(feedback, src, dst, key, link_as):
                     verdict = True
                     break
-            if len(self._verify_cache) >= 8192:
-                self._verify_cache.clear()
-            self._verify_cache[memo_key] = verdict
+            if len(memo) >= 8192:
+                memo.clear()
+            memo[memo_key] = verdict
         return verdict
 
     def _validate_with_key(

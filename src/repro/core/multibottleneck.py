@@ -57,7 +57,7 @@ class PolicingPolicy:
     # -- stamping / validation ------------------------------------------------
     def stamp_initial(self, packet: Packet) -> Feedback:
         """The feedback an access router stamps when forwarding (nop, Eq. 1)."""
-        return self.router.stamper.stamp_nop(packet.src, packet.dst, self.router.sim.now)
+        return self.router.stamper.stamp_nop(packet.src, packet.dst, self.router.clock.now)
 
     def validate(self, packet: Packet, feedback: Feedback) -> bool:
         link_as = self.router.domain.as_for_link(feedback.link) if feedback.is_decr else None
@@ -65,7 +65,7 @@ class PolicingPolicy:
             feedback,
             packet.src,
             packet.dst,
-            self.router.sim.now,
+            self.router.clock.now,
             self.router.params.feedback_expiration,
             link_as=link_as,
         )
@@ -112,7 +112,7 @@ class PolicingPolicy:
         header: Optional[NetFenceHeader] = packet.get_header("netfence")
         if header is None:
             return
-        now = self.router.sim.now
+        now = self.router.clock.now
         if not links:
             header.feedback = self.stamp_initial(packet)
             return
@@ -145,7 +145,7 @@ class MultiFeedbackPolicy(PolicingPolicy):
 
     def stamp_initial(self, packet: Packet) -> Feedback:
         return multi_stamp_nop(
-            self.router.secret, packet.src, packet.dst, self.router.sim.now
+            self.router.secret, packet.src, packet.dst, self.router.clock.now
         )
 
     def validate(self, packet: Packet, feedback: Feedback) -> bool:
@@ -156,7 +156,7 @@ class MultiFeedbackPolicy(PolicingPolicy):
             feedback,
             packet.src,
             packet.dst,
-            self.router.sim.now,
+            self.router.clock.now,
             self.router.params.feedback_expiration,
             self.router.domain.as_for_link,
         )

@@ -25,7 +25,8 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.access import NetFenceAccessRouter
 from repro.core.ratelimiter import RegularRateLimiter
-from repro.simulator.engine import PeriodicTimer, Simulator
+from repro.runtime.clock import Clock
+from repro.simulator.engine import PeriodicTimer
 
 
 @dataclass
@@ -100,11 +101,11 @@ class QuotaEnforcer:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         router: NetFenceAccessRouter,
         quota: Optional[CongestionQuota] = None,
     ) -> None:
-        self.sim = sim
+        self.clock = clock
         self.router = router
         self.quota = quota or CongestionQuota()
         self.dropped_over_quota = 0
@@ -112,9 +113,9 @@ class QuotaEnforcer:
         self._last_decreases: Dict[Tuple[str, str], int] = {}
 
         # Piggyback on the router's control interval and the quota period.
-        self._audit_timer = PeriodicTimer(sim, router.params.control_interval, self._audit)
+        self._audit_timer = PeriodicTimer(clock, router.params.control_interval, self._audit)
         self._audit_timer.start()
-        self._replenish_timer = PeriodicTimer(sim, self.quota.period_s, self.quota.replenish)
+        self._replenish_timer = PeriodicTimer(clock, self.quota.period_s, self.quota.replenish)
         self._replenish_timer.start()
 
         # Intercept policing results: wrap each limiter's police() lazily.

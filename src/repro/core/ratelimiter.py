@@ -24,7 +24,7 @@ from typing import Callable, Deque, Optional
 
 from repro.core.feedback import Feedback
 from repro.core.params import NetFenceParams
-from repro.simulator.engine import Event, Simulator
+from repro.runtime.clock import Clock, ClockHandle
 from repro.simulator.packet import Packet
 
 #: Policing verdicts, mirroring the paper's pseudo-code.
@@ -102,14 +102,14 @@ class RegularRateLimiter:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         sender: str,
         link: str,
         params: NetFenceParams,
         release_fn: Callable[[Packet], None],
         initial_rate_bps: Optional[float] = None,
     ) -> None:
-        self.sim = sim
+        self.clock = clock
         self.sender = sender
         self.link = link
         self.params = params
@@ -119,7 +119,7 @@ class RegularRateLimiter:
 
         # AIMD bookkeeping (Fig. 17).
         self.has_incr = False
-        self.interval_start = sim.now
+        self.interval_start = clock.now
         self._interval_bytes = 0
 
         # Appendix B.2 extensions (rate-limiter inference).
@@ -130,8 +130,8 @@ class RegularRateLimiter:
         # Leaky bucket.
         self._cache: Deque[Packet] = deque()
         self._cache_bytes = 0
-        self._last_departure = sim.now
-        self._unleash_event: Optional[Event] = None
+        self._last_departure = clock.now
+        self._unleash_event: Optional[ClockHandle] = None
         # Hot-path constants: the bucket depth in bits and the cache-capacity
         # floor never change after construction, so the per-packet charge in
         # :meth:`police` avoids re-deriving them from params every time.
@@ -141,13 +141,13 @@ class RegularRateLimiter:
 
         # Idle-termination bookkeeping (§4.3.1): a limiter can be removed once
         # it has neither seen L↓ feedback nor dropped a packet for Ta seconds.
-        self.last_pressure_time = sim.now
+        self.last_pressure_time = clock.now
 
     # -- feedback status --------------------------------------------------------
     def update_status(self, feedback: Feedback) -> None:
         """Record the feedback presented with a packet (Fig. 17's update_status)."""
         if feedback.is_decr:
-            self.last_pressure_time = self.sim.now
+            self.last_pressure_time = self.clock.now
             self.is_active = True
         if feedback.is_incr:
             self.is_active = True
@@ -163,7 +163,7 @@ class RegularRateLimiter:
     # -- policing -----------------------------------------------------------------
     def police(self, packet: Packet) -> str:
         """Pass, cache, or drop a regular packet (Fig. 16)."""
-        now = self.sim.now
+        now = self.clock.now
         if not self._cache:
             # Credit drains at the rate limit but is capped at one MTU of
             # transmission time: idle periods cannot fund bursts (the bucket
@@ -211,7 +211,7 @@ class RegularRateLimiter:
 
     def _record_drop(self, packet: Packet) -> None:
         self.stats.dropped += 1
-        self.last_pressure_time = self.sim.now
+        self.last_pressure_time = self.clock.now
 
     def _account_forward(self, packet: Packet) -> None:
         self._interval_bytes += packet.size_bytes
@@ -223,9 +223,9 @@ class RegularRateLimiter:
             return
         head = self._cache[0]
         wait = head.size_bytes * 8 / max(self.rate_bps, 1.0)
-        elapsed = self.sim.now - self._last_departure
+        elapsed = self.clock.now - self._last_departure
         delay = max(wait - elapsed, 0.0)
-        self._unleash_event = self.sim.schedule(delay, self._unleash)
+        self._unleash_event = self.clock.schedule(delay, self._unleash)
 
     def _unleash(self) -> None:
         # This event has fired; drop the handle so a later close() does not
@@ -239,7 +239,7 @@ class RegularRateLimiter:
         # (the release may have fired early thanks to banked credit) carries
         # over to the next departure.
         tx_s = packet.size_bytes * 8 / max(self.rate_bps, 1.0)
-        self._last_departure = min(self._last_departure + tx_s, self.sim.now)
+        self._last_departure = min(self._last_departure + tx_s, self.clock.now)
         self._account_forward(packet)
         self.stats.released += 1
         self.release_fn(packet)
@@ -249,7 +249,7 @@ class RegularRateLimiter:
     # -- AIMD adjustment ----------------------------------------------------------
     @property
     def interval_throughput_bps(self) -> float:
-        elapsed = max(self.sim.now - self.interval_start, 1e-9)
+        elapsed = max(self.clock.now - self.interval_start, 1e-9)
         return self._interval_bytes * 8 / elapsed
 
     def adjust(self) -> str:
@@ -300,7 +300,7 @@ class RegularRateLimiter:
         self.has_incr_star = False
         self.is_active = False
         self.is_active_star = False
-        self.interval_start = self.sim.now
+        self.interval_start = self.clock.now
         self._interval_bytes = 0
 
     # -- lifecycle -----------------------------------------------------------------
@@ -310,7 +310,7 @@ class RegularRateLimiter:
 
     def idle_for(self) -> float:
         """Seconds since the limiter last saw L↓ feedback or dropped a packet."""
-        return self.sim.now - self.last_pressure_time
+        return self.clock.now - self.last_pressure_time
 
     def close(self) -> None:
         """Cancel pending releases (used when the access router removes the limiter).

@@ -43,12 +43,32 @@ class AccessRouterSecret:
         # The per-epoch key derivation is a keyed hash; caching it is a pure
         # memoization (same epoch → same key) but removes two MAC
         # computations from *every* feedback validation on the hot path.
-        # Epochs advance with simulation time, so both caches stay tiny.
+        # Entries from epochs older than current−1 are evicted whenever the
+        # clock reaches a new epoch: a finite simulation crosses a handful of
+        # epochs, but a wall-clock ``runner serve`` process crosses one every
+        # ``rotation_interval`` seconds for as long as it runs, and no key
+        # older than the previous epoch can validate still-fresh feedback.
         self._key_cache: Dict[int, bytes] = {}
         self._candidate_cache: Dict[int, Tuple[bytes, ...]] = {}
+        self._max_epoch = 0
 
     def _epoch(self, now: float) -> int:
         return int(now // self.rotation_interval)
+
+    def epoch_of(self, now: float) -> int:
+        """The key epoch in force at time ``now`` (public for cache owners)."""
+        return int(now // self.rotation_interval)
+
+    def _note_epoch(self, epoch: int) -> None:
+        """Record clock progress; evict cache entries from expired epochs."""
+        if epoch <= self._max_epoch:
+            return
+        self._max_epoch = epoch
+        floor = epoch - 1
+        for cache in (self._key_cache, self._candidate_cache):
+            stale = [e for e in cache if e < floor]
+            for e in stale:
+                del cache[e]
 
     def _key_for_epoch(self, epoch: int) -> bytes:
         key = self._key_cache.get(epoch)
@@ -59,13 +79,16 @@ class AccessRouterSecret:
 
     def current(self, now: float) -> bytes:
         """The secret in force at simulation time ``now``."""
-        return self._key_for_epoch(self._epoch(now))
+        epoch = self._epoch(now)
+        self._note_epoch(epoch)
+        return self._key_for_epoch(epoch)
 
     def candidates(self, now: float) -> Tuple[bytes, ...]:
         """Secrets that may have signed still-fresh feedback (current + previous)."""
         epoch = self._epoch(now)
         cached = self._candidate_cache.get(epoch)
         if cached is None:
+            self._note_epoch(epoch)
             previous = max(epoch - 1, 0)
             epochs = (epoch,) if previous == epoch else (epoch, previous)
             cached = tuple(self._key_for_epoch(e) for e in epochs)

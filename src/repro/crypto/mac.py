@@ -19,6 +19,23 @@ Field = Union[str, bytes, int, float, None]
 MAC_BYTES = 4
 
 
+def quantize_ts(ts: float) -> int:
+    """Timestamp → integer microseconds, matching :func:`_encode_field`.
+
+    The wire codec (:mod:`repro.runtime.codec`) carries timestamps as this
+    integer so that a MAC stamped on one side of a socket verifies on the
+    other: both sides hash ``quantize_ts(ts)``, and ``quantize_ts(us / 1e6)
+    == us`` exactly for any |us| below ~2**52 (microsecond counts fit a
+    float's 53-bit mantissa for tens of millions of years).
+    """
+    return int(round(ts * 1e6))
+
+
+def unquantize_ts(us: int) -> float:
+    """Inverse of :func:`quantize_ts` (exact for |us| < 2**52)."""
+    return us / 1e6
+
+
 def _encode_field(field: Field) -> bytes:
     # Checks ordered by hot-path frequency (src/dst/link strings, then the
     # float timestamp, then token bytes); bool must stay ahead of int since
@@ -26,8 +43,9 @@ def _encode_field(field: Field) -> bytes:
     if isinstance(field, str):
         return field.encode("utf-8")
     if isinstance(field, float):
-        # Quantize to microseconds so equal timestamps hash identically.
-        return int(round(field * 1e6)).to_bytes(16, "big", signed=True)
+        # Quantize to microseconds so equal timestamps hash identically
+        # (shared with the wire codec via quantize_ts).
+        return quantize_ts(field).to_bytes(16, "big", signed=True)
     if isinstance(field, bytes):
         return field
     if field is None:

@@ -193,6 +193,16 @@ def main(argv=None) -> int:
         from repro import perf
 
         return perf.cli_main(argv[1:], experiments=EXPERIMENTS)
+    if argv and argv[0] == "serve":
+        # Deferred import: the live policer pulls in asyncio wiring that
+        # simulation sweeps never touch.
+        from repro.runtime.serve import cli_main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        from repro.runtime.loadgen import cli_main as loadgen_main
+
+        return loadgen_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="netfence-experiment",
         description="Reproduce a NetFence (SIGCOMM 2010) evaluation figure or table.",

@@ -1,0 +1,40 @@
+"""Production runtime: the sim/production seam.
+
+The defense logic in :mod:`repro.core` is written against a small *clock*
+interface (``now`` / ``schedule`` / ``schedule_at`` / ``cancel``) rather
+than against the discrete-event :class:`~repro.simulator.engine.Simulator`
+directly.  This package supplies the other side of that seam:
+
+* :mod:`repro.runtime.clock` — the :class:`Clock` protocol (which
+  ``Simulator`` satisfies natively) and :class:`WallClock`, the same
+  interface over a real :mod:`asyncio` event loop;
+* :mod:`repro.runtime.codec` — a deterministic wire format for
+  :class:`~repro.simulator.packet.Packet` and the NetFence shim header, so
+  stamped MACs verify identically on both sides of a UDP socket;
+* :mod:`repro.runtime.serve` — ``runner serve``: a long-lived asyncio UDP
+  policer built from the *same* access-router / bottleneck-router / channel
+  queue classes the simulator uses, driven by :class:`WallClock`;
+* :mod:`repro.runtime.loadgen` — ``runner loadgen``: an attacker/listener
+  loadgen harness that drives a live policer over loopback and reports the
+  legitimate traffic share under attack.
+"""
+
+from repro.runtime.clock import Clock, ClockHandle, WallClock
+from repro.runtime.codec import (
+    CodecError,
+    decode_frame,
+    decode_packet,
+    encode_hello,
+    encode_packet,
+)
+
+__all__ = [
+    "Clock",
+    "ClockHandle",
+    "WallClock",
+    "CodecError",
+    "decode_frame",
+    "decode_packet",
+    "encode_hello",
+    "encode_packet",
+]

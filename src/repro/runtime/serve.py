@@ -1,0 +1,441 @@
+"""``runner serve`` — a live asyncio UDP NetFence policer.
+
+This is the production side of the sim/production seam: the *same*
+:class:`~repro.core.access.NetFenceAccessRouter`,
+:class:`~repro.core.bottleneck.NetFenceRouter` and
+:class:`~repro.core.bottleneck.NetFenceChannelQueue` classes that run inside
+swept simulations are composed over a :class:`~repro.runtime.clock.WallClock`
+and fed real datagrams:
+
+* every datagram is decoded with :mod:`repro.runtime.codec`;
+* ``hello`` frames register a host name at a socket address (the stand-in
+  for the access link that binds a host to its access router);
+* ``packet`` frames enter :meth:`NetFenceAccessRouter.admit_from_host`
+  exactly as simulated packets do — request-channel policing, feedback
+  validation, per-(sender, bottleneck) rate limiting and all;
+* admitted packets pass the bottleneck router's ``on_transit`` /
+  ``before_enqueue`` hooks (L↓ stamping while a monitoring cycle is open),
+  sit in the three-channel queue, and drain at the configured link capacity
+  before being re-encoded and sent to the destination's registered address.
+
+The epoch secret ``Ka`` rotates on wall-clock time; the rollover eviction in
+:class:`~repro.crypto.keys.AccessRouterSecret` keeps a long-running policer's
+key caches bounded.  Because :class:`WallClock` anchors ``now`` to the Unix
+epoch, two processes on one machine agree on epochs and on per-packet
+latency measurements.
+
+The policer asserts its own output: every *regular* packet leaving the
+queue must carry feedback that validates against the access router's
+secret (the access router re-stamps feedback on every forward, so a nonzero
+``unverified_admissions`` counter means policing was bypassed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import collections
+import json
+import signal
+import sys
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.core.access import NetFenceAccessRouter
+from repro.core.bottleneck import NetFenceChannelQueue, NetFenceRouter
+from repro.core.domain import NetFenceDomain
+from repro.core.header import HEADER_KEY
+from repro.core.params import NetFenceParams
+from repro.crypto.keys import AccessRouterSecret
+from repro.runtime.clock import WallClock
+from repro.runtime.codec import CodecError, decode_frame, encode_packet
+from repro.simulator.packet import Packet, PacketType
+
+#: The AS every live host and both live routers belong to.  The loadgen
+#: harness imports it so that the pairwise key ``Kai`` used for ``L↓``
+#: stamping resolves identically on both sides of the socket.
+SERVE_AS = "AS-edge"
+
+#: Name of the single policed output link.
+BOTTLENECK_LINK = "live-bneck"
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 9633
+DEFAULT_CAPACITY_BPS = 1_000_000.0
+DEFAULT_SECRET = "netfence-dev"
+
+
+def percentiles_ms(samples) -> Dict[str, float]:
+    """p50/p90/p99/max of a latency sample set, in milliseconds."""
+    if not samples:
+        return {"n": 0}
+    data = sorted(samples)
+    n = len(data)
+
+    def pick(q: float) -> float:
+        idx = min(int(q * (n - 1) + 0.5), n - 1)
+        return round(data[idx] * 1000.0, 3)
+
+    return {
+        "n": n,
+        "p50": pick(0.50),
+        "p90": pick(0.90),
+        "p99": pick(0.99),
+        "max": round(data[-1] * 1000.0, 3),
+    }
+
+
+class _WireNeighbor:
+    """The far end of the egress link: the UDP socket."""
+
+    name = "wire"
+
+
+class _EgressLink:
+    """The slice of the :class:`~repro.simulator.link.Link` surface that
+    :class:`NetFenceRouter` needs: a name to register with the domain, a
+    queue to watch, a capacity and a delivered-bytes counter for the
+    attack-detection loop.  Transmission itself is the drain task's job."""
+
+    def __init__(self, name: str, capacity_bps: float, queue: NetFenceChannelQueue) -> None:
+        self.name = name
+        self.capacity_bps = capacity_bps
+        self.queue = queue
+        self.bytes_delivered = 0
+        self.dst_node = _WireNeighbor()
+        self.src_node: Optional[object] = None
+
+
+class _LiveAccessRouter(NetFenceAccessRouter):
+    """Access router whose :meth:`forward` hands packets to the live egress
+    path instead of a routing table.  Rate-limiter releases re-enter through
+    here, so cached packets take the same egress path as pass-through ones."""
+
+    def __init__(self, *args, egress, **kwargs) -> None:
+        self._egress_fn = egress
+        super().__init__(*args, **kwargs)
+
+    def forward(self, packet: Packet) -> None:
+        self.packets_forwarded += 1
+        self._egress_fn(packet)
+
+
+class LivePolicer(asyncio.DatagramProtocol):
+    """A NetFence access + bottleneck router pair over one UDP socket."""
+
+    def __init__(
+        self,
+        clock: WallClock,
+        params: Optional[NetFenceParams] = None,
+        master: bytes = DEFAULT_SECRET.encode(),
+        capacity_bps: float = DEFAULT_CAPACITY_BPS,
+        force_mon: bool = False,
+        as_fairness: bool = False,
+    ) -> None:
+        self.clock = clock
+        self.params = params or NetFenceParams()
+        self.capacity_bps = capacity_bps
+        self.domain = NetFenceDomain(params=self.params, master=master)
+        self.secret = AccessRouterSecret("live-Ra", master=master)
+        self.access = _LiveAccessRouter(
+            clock,
+            "live-Ra",
+            as_name=SERVE_AS,
+            domain=self.domain,
+            secret=self.secret,
+            egress=self._egress,
+        )
+        self.bottleneck = NetFenceRouter(
+            clock, "live-Rb", as_name=SERVE_AS, domain=self.domain, force_mon=force_mon
+        )
+        self.queue = NetFenceChannelQueue(
+            clock, capacity_bps, params=self.params, as_fairness=as_fairness
+        )
+        self.egress_link = _EgressLink(BOTTLENECK_LINK, capacity_bps, self.queue)
+        self.bottleneck.attach_link(self.egress_link)
+
+        #: host name -> socket address, learned from ``hello`` frames.
+        self.addrs: Dict[str, Tuple[str, int]] = {}
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.accepting = True
+        self._drain_wake = asyncio.Event()
+        self._drain_task: Optional[asyncio.Task] = None
+        #: Recent per-packet one-way queueing latencies (created_at → egress).
+        self.latencies: Deque[float] = collections.deque(maxlen=4096)
+        self.counters: Dict[str, int] = {
+            "datagrams_rx": 0,
+            "codec_errors": 0,
+            "hellos": 0,
+            "packets_rx": 0,
+            "ingress_dropped": 0,
+            "egress_dropped": 0,
+            "packets_tx": 0,
+            "bytes_tx": 0,
+            "undeliverable": 0,
+            "unverified_admissions": 0,
+        }
+
+    # -- asyncio protocol ---------------------------------------------------------
+    def connection_made(self, transport) -> None:  # pragma: no cover - asyncio glue
+        self.transport = transport
+        self._drain_task = asyncio.get_running_loop().create_task(self._drain())
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        if not self.accepting:
+            return
+        self.counters["datagrams_rx"] += 1
+        try:
+            kind, value = decode_frame(data)
+        except CodecError:
+            self.counters["codec_errors"] += 1
+            return
+        if kind == "hello":
+            name, _as_name = value
+            self.addrs[name] = addr
+            self.access.register_local_host(name)
+            self.counters["hellos"] += 1
+            return
+        packet: Packet = value
+        # Every datagram on this socket entered the network here: the access
+        # router, not the sender, decides the packet's source AS.
+        packet.src_as = SERVE_AS
+        self.counters["packets_rx"] += 1
+        verdict = self.access.admit_from_host(packet, None)
+        if verdict is True:
+            self._egress(packet)
+        elif verdict is False:
+            self.counters["ingress_dropped"] += 1
+        # verdict None: a rate limiter cached the packet; its release
+        # re-enters through _LiveAccessRouter.forward → _egress.
+
+    def error_received(self, exc) -> None:  # pragma: no cover - asyncio glue
+        pass
+
+    # -- egress path --------------------------------------------------------------
+    def _egress(self, packet: Packet) -> None:
+        bneck = self.bottleneck
+        if not bneck.on_transit(packet, None):
+            self.counters["egress_dropped"] += 1
+            return
+        if not bneck.before_enqueue(packet, self.egress_link):
+            self.counters["egress_dropped"] += 1
+            return
+        bneck.packets_forwarded += 1
+        if self.queue.enqueue(packet):
+            self._drain_wake.set()
+        # else: the channel queue dropped it (recorded in queue stats, and —
+        # for regular packets — fed back into attack detection).
+
+    async def _drain(self) -> None:
+        """Dequeue at link speed; re-encode and transmit each packet."""
+        queue = self.queue
+        while True:
+            packet = queue.dequeue()
+            if packet is None:
+                wait = queue.time_until_ready()
+                if wait is not None:
+                    # Only budget-capped request traffic remains.
+                    await asyncio.sleep(min(wait, 0.05))
+                    continue
+                if not self.accepting:
+                    return  # drained
+                self._drain_wake.clear()
+                if len(queue):
+                    continue  # raced with an enqueue
+                try:
+                    await asyncio.wait_for(self._drain_wake.wait(), timeout=0.25)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            self._deliver(packet)
+            await asyncio.sleep(packet.size_bytes * 8.0 / self.capacity_bps)
+
+    def _deliver(self, packet: Packet) -> None:
+        now = self.clock.now
+        if packet.ptype is PacketType.REGULAR:
+            header = packet.headers.get(HEADER_KEY)
+            feedback = header.feedback if header is not None else None
+            link_as = (
+                self.domain.as_for_link(feedback.link)
+                if feedback is not None and feedback.link
+                else None
+            )
+            if feedback is None or not self.access.stamper.validate(
+                feedback,
+                packet.src,
+                packet.dst,
+                now,
+                self.params.feedback_expiration,
+                link_as=link_as,
+            ):
+                self.counters["unverified_admissions"] += 1
+        self.egress_link.bytes_delivered += packet.size_bytes
+        self.latencies.append(now - packet.created_at)
+        addr = self.addrs.get(packet.dst)
+        if addr is None:
+            self.counters["undeliverable"] += 1
+            return
+        self.counters["packets_tx"] += 1
+        self.counters["bytes_tx"] += packet.size_bytes
+        assert self.transport is not None
+        self.transport.sendto(encode_packet(packet), addr)
+
+    # -- lifecycle ----------------------------------------------------------------
+    async def shutdown(self, drain_timeout: float = 2.0) -> None:
+        """Stop accepting datagrams, drain the queue, cancel timers."""
+        self.accepting = False
+        self._drain_wake.set()
+        if self._drain_task is not None:
+            try:
+                await asyncio.wait_for(self._drain_task, timeout=drain_timeout)
+            except asyncio.TimeoutError:
+                self._drain_task.cancel()
+        self.access._adjust_timer.stop()
+        self.bottleneck._detect_timer.stop()
+        for limiter in self.access.rate_limiters.values():
+            limiter.close()
+        if self.transport is not None:
+            self.transport.close()
+
+    # -- introspection ------------------------------------------------------------
+    def stats(self, event: str = "stats") -> Dict[str, object]:
+        state = self.bottleneck.link_state(BOTTLENECK_LINK)
+        return {
+            "event": event,
+            "now": round(self.clock.now, 3),
+            "capacity_bps": self.capacity_bps,
+            "registered_hosts": len(self.addrs),
+            "key_epoch": self.secret.epoch_of(self.clock.now),
+            "access": dict(self.access.counters),
+            "active_rate_limiters": self.access.active_rate_limiters,
+            "in_mon": state.in_mon,
+            "decr_stamped": state.decr_stamped,
+            "queue": {
+                "depth_pkts": len(self.queue),
+                "depth_bytes": self.queue.byte_length,
+                "arrivals": self.queue.stats.arrivals,
+                "dropped": self.queue.stats.dropped,
+                "regular_dropped": self.queue.regular_queue.stats.dropped,
+            },
+            "latency_ms": percentiles_ms(self.latencies),
+            **self.counters,
+        }
+
+
+async def start_policer(
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    **policer_kwargs,
+) -> LivePolicer:
+    """Bind a :class:`LivePolicer` to a UDP socket (port 0 → ephemeral)."""
+    loop = asyncio.get_running_loop()
+    clock = WallClock(loop)
+    _transport, protocol = await loop.create_datagram_endpoint(
+        lambda: LivePolicer(clock, **policer_kwargs),
+        local_addr=(host, port),
+    )
+    return protocol
+
+
+async def _serve(args: argparse.Namespace) -> Dict[str, object]:
+    policer = await start_policer(
+        host=args.host,
+        port=args.port,
+        params=NetFenceParams(),
+        master=args.secret.encode(),
+        capacity_bps=args.capacity_bps,
+        force_mon=args.force_mon,
+        as_fairness=args.as_fairness,
+    )
+    sockname = policer.transport.get_extra_info("sockname")
+    _emit(
+        {"event": "listening", "host": sockname[0], "port": sockname[1],
+         "capacity_bps": args.capacity_bps},
+        args.json,
+    )
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-Unix
+            pass
+
+    async def _stats_loop() -> None:
+        while True:
+            await asyncio.sleep(args.stats_interval)
+            _emit(policer.stats(), args.json)
+
+    stats_task = (
+        loop.create_task(_stats_loop()) if args.stats_interval > 0 else None
+    )
+    try:
+        if args.duration > 0:
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=args.duration)
+            except asyncio.TimeoutError:
+                pass
+        else:
+            await stop.wait()
+    finally:
+        if stats_task is not None:
+            stats_task.cancel()
+        await policer.shutdown()
+    return policer.stats(event="final")
+
+
+def _emit(payload: Dict[str, object], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(payload), flush=True)
+        return
+    event = payload.get("event")
+    if event == "listening":
+        print(f"serve: listening on {payload['host']}:{payload['port']} "
+              f"(capacity {payload['capacity_bps']:.0f} bps)", flush=True)
+        return
+    latency = payload.get("latency_ms", {})
+    print(
+        f"serve[{event}] t={payload['now']} rx={payload['packets_rx']} "
+        f"tx={payload['packets_tx']} dropped={payload['queue']['dropped']} "
+        f"mon={payload['in_mon']} limiters={payload['active_rate_limiters']} "
+        f"unverified={payload['unverified_admissions']} "
+        f"p50={latency.get('p50', '-')}ms p99={latency.get('p99', '-')}ms",
+        flush=True,
+    )
+
+
+def cli_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="runner serve",
+        description="Run a live NetFence policer on a UDP socket.",
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST)
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"UDP port to bind (default {DEFAULT_PORT}; 0 = ephemeral)")
+    parser.add_argument("--capacity-bps", type=float, default=DEFAULT_CAPACITY_BPS,
+                        help="egress link capacity in bits/s")
+    parser.add_argument("--secret", default=DEFAULT_SECRET,
+                        help="master secret for Ka/Kai derivation")
+    parser.add_argument("--force-mon", action="store_true",
+                        help="start with the bottleneck link in the mon state")
+    parser.add_argument("--as-fairness", action="store_true",
+                        help="per-source-AS DRR on the regular channel (§4.5)")
+    parser.add_argument("--stats-interval", type=float, default=0.0,
+                        help="print a stats line every N seconds (0 = off)")
+    parser.add_argument("--duration", type=float, default=0.0,
+                        help="stop after N seconds (0 = run until SIGINT/SIGTERM)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable JSON-lines output")
+    args = parser.parse_args(argv)
+
+    try:
+        final = asyncio.run(_serve(args))
+    except OSError as exc:
+        print(f"serve: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    _emit(final, args.json)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(cli_main())

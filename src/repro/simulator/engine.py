@@ -17,7 +17,11 @@ the ``(time, seq)`` dispatch order exactly, so it is invisible to results.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import, avoids a
+    # runtime dependency from the lowest layer on repro.runtime
+    from repro.runtime.clock import Clock
 
 
 class Event:
@@ -315,28 +319,40 @@ class Simulator:
 
 
 class PeriodicTimer:
-    """A repeating timer bound to a :class:`Simulator`.
+    """A repeating timer bound to a clock.
 
     Calls ``callback()`` every ``interval`` seconds until :meth:`stop`.
     The first call fires ``interval`` seconds after :meth:`start` (or after
     ``first_delay`` if given).
+
+    ``clock`` is anything satisfying :class:`repro.runtime.clock.Clock` —
+    a :class:`Simulator` for discrete-event runs, or a
+    :class:`~repro.runtime.clock.WallClock` when the same timer drives a
+    live policer (it only ever calls ``clock.schedule``).
     """
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: "Clock",
         interval: float,
         callback: Callable[[], Any],
         first_delay: Optional[float] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
-        self.sim = sim
+        self.clock = clock
         self.interval = interval
         self.callback = callback
         self.first_delay = interval if first_delay is None else first_delay
-        self._event: Optional[Event] = None
+        #: the pending handle — an :class:`Event` under the simulator, an
+        #: ``asyncio.TimerHandle`` under a wall clock
+        self._event: Optional[Any] = None
         self._active = False
+
+    @property
+    def sim(self) -> "Clock":
+        """Backward-compat alias for :attr:`clock`."""
+        return self.clock
 
     @property
     def active(self) -> bool:
@@ -346,7 +362,7 @@ class PeriodicTimer:
         if self._active:
             return
         self._active = True
-        self._event = self.sim.schedule(self.first_delay, self._fire)
+        self._event = self.clock.schedule(self.first_delay, self._fire)
 
     def stop(self) -> None:
         self._active = False
@@ -365,4 +381,4 @@ class PeriodicTimer:
             self.callback()
         finally:
             if self._active:
-                self._event = self.sim.schedule(self.interval, self._fire)
+                self._event = self.clock.schedule(self.interval, self._fire)

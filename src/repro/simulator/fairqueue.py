@@ -13,6 +13,10 @@ DRR follows Shreedhar & Varghese [38]: each active flow has a deficit
 counter; a flow may send packets as long as its deficit covers them, and its
 deficit grows by one quantum per round.  This gives O(1) per-packet work.
 
+Like :mod:`repro.simulator.queues`, these schedulers are clock-free pure
+state machines — time never enters the DRR algorithm — so they serve both
+the simulator and the live runtime (:mod:`repro.runtime.serve`) unchanged.
+
 State lifecycle: per-flow state is held in compact ``__slots__`` records and
 is **evicted the moment a flow drains** (its deficit was reset to zero at
 that point anyway, so eviction is invisible to scheduling).  Without

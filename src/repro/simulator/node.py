@@ -9,11 +9,13 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Protocol
 
-from repro.simulator.engine import Simulator
 from repro.simulator.link import Link
 from repro.simulator.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.clock import Clock
 
 
 class PacketAgent(Protocol):
@@ -24,13 +26,24 @@ class PacketAgent(Protocol):
 
 
 class Node:
-    """Base class for all network nodes."""
+    """Base class for all network nodes.
 
-    def __init__(self, sim: Simulator, name: str) -> None:
-        self.sim = sim
+    ``clock`` is anything satisfying :class:`repro.runtime.clock.Clock`:
+    the discrete-event :class:`~repro.simulator.engine.Simulator` inside
+    swept scenarios, or a :class:`~repro.runtime.clock.WallClock` when a
+    router subclass polices real datagrams (``runner serve``).
+    """
+
+    def __init__(self, clock: "Clock", name: str) -> None:
+        self.clock = clock
         self.name = name
         #: Outgoing links keyed by the neighbour node's name.
         self.links: Dict[str, Link] = {}
+
+    @property
+    def sim(self) -> "Clock":
+        """Backward-compat alias for :attr:`clock`."""
+        return self.clock
 
     def attach_link(self, link: Link) -> None:
         """Register an outgoing link (called by the topology builder)."""
@@ -52,8 +65,8 @@ class Host(Node):
     they are counted as orphans and discarded.
     """
 
-    def __init__(self, sim: Simulator, name: str, as_name: Optional[str] = None) -> None:
-        super().__init__(sim, name)
+    def __init__(self, clock: "Clock", name: str, as_name: Optional[str] = None) -> None:
+        super().__init__(clock, name)
         self.as_name = as_name
         self._access_link: Optional[Link] = None
         self.agents: Dict[str, PacketAgent] = {}
@@ -101,7 +114,7 @@ class Host(Node):
         """Send a packet into the network through the access link."""
         if packet.src_as is None:
             packet.src_as = self.as_name
-        packet.created_at = self.sim.now
+        packet.created_at = self.clock.now
         for outbound_filter in self.outbound_filters:
             if outbound_filter(packet) is False:
                 return
@@ -140,8 +153,8 @@ class Router(Node):
       where NetFence's bottleneck routers stamp congestion policing feedback.
     """
 
-    def __init__(self, sim: Simulator, name: str, as_name: Optional[str] = None) -> None:
-        super().__init__(sim, name)
+    def __init__(self, clock: "Clock", name: str, as_name: Optional[str] = None) -> None:
+        super().__init__(clock, name)
         self.as_name = as_name
         #: destination host name -> outgoing link
         self.routes: Dict[str, Link] = {}

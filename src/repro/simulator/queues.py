@@ -12,6 +12,12 @@ paper uses (Fig. 3): ``minthresh = 0.5·Qlim``, ``maxthresh = 0.75·Qlim``,
 EWMA weight ``wq = 0.1``.  NetFence's bottleneck routers use RED both for
 congestion control and as the congestion *detection* signal that drives
 ``L↓`` stamping.
+
+These queues are pure state machines: they never read a clock or schedule
+events, so the same instances run unmodified under the discrete-event
+:class:`~repro.simulator.engine.Simulator` and inside the live asyncio
+policer (:mod:`repro.runtime.serve`), which drains them against a
+:class:`~repro.runtime.clock.WallClock`.
 """
 
 from __future__ import annotations

@@ -11,11 +11,14 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.simulator.engine import PeriodicTimer, Simulator
+from repro.simulator.engine import PeriodicTimer
 from repro.simulator.link import Link
 from repro.simulator.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.clock import Clock
 
 
 class EWMA:
@@ -73,8 +76,8 @@ class ThroughputMonitor:
     monitoring window ``[start_time, end_time]``.
     """
 
-    def __init__(self, sim: Simulator, start_time: Optional[float] = None) -> None:
-        self.sim = sim
+    def __init__(self, clock: "Clock", start_time: Optional[float] = None) -> None:
+        self.clock = clock
         self.records: Dict[str, FlowRecord] = defaultdict(FlowRecord)
         #: Packets received before ``start_time`` are not counted.  Pass the
         #: measurement-window start up front (e.g. the experiment warmup) or
@@ -83,23 +86,23 @@ class ThroughputMonitor:
         self.end_time: Optional[float] = None
 
     def start(self) -> None:
-        self.start_time = self.sim.now
+        self.start_time = self.clock.now
 
     def start_at(self, time: float) -> None:
         """Begin the measurement window at an absolute simulation time."""
         self.start_time = time
 
     def stop(self) -> None:
-        self.end_time = self.sim.now
+        self.end_time = self.clock.now
 
     def record(self, packet: Packet) -> None:
-        if self.start_time is not None and self.sim.now < self.start_time:
+        if self.start_time is not None and self.clock.now < self.start_time:
             return
-        self.records[packet.src].record(packet, self.sim.now)
+        self.records[packet.src].record(packet, self.clock.now)
 
     def window(self) -> float:
         start = self.start_time or 0.0
-        end = self.end_time if self.end_time is not None else self.sim.now
+        end = self.end_time if self.end_time is not None else self.clock.now
         return max(end - start, 1e-12)
 
     def throughput_bps(self, sender: str) -> float:
@@ -120,8 +123,8 @@ class LinkMonitor:
     utilization (§6.3.2 reports > 90 % for NetFence, ~100 % for others).
     """
 
-    def __init__(self, sim: Simulator, link: Link, interval: float = 1.0) -> None:
-        self.sim = sim
+    def __init__(self, clock: "Clock", link: Link, interval: float = 1.0) -> None:
+        self.clock = clock
         self.link = link
         self.interval = interval
         self.utilization_series: List[float] = []
@@ -129,7 +132,7 @@ class LinkMonitor:
         self._last_bytes = 0
         self._last_drops = 0
         self._last_arrivals = 0
-        self._timer = PeriodicTimer(sim, interval, self._sample)
+        self._timer = PeriodicTimer(clock, interval, self._sample)
 
     def start(self) -> None:
         self._last_bytes = self.link.bytes_delivered

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, Optional, Set
 
-from repro.simulator.engine import Event, Simulator
+from repro.runtime.clock import Clock, ClockHandle
 from repro.simulator.node import Host
 from repro.simulator.packet import ACK_PACKET_SIZE, Packet, PacketType
 from repro.simulator.trace import ThroughputMonitor
@@ -87,12 +87,12 @@ class TcpReceiver:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         host: Host,
         flow_id: str,
         monitor: Optional[ThroughputMonitor] = None,
     ) -> None:
-        self.sim = sim
+        self.clock = clock
         self.host = host
         self.flow_id = flow_id
         self.monitor = monitor
@@ -153,7 +153,7 @@ class TcpSender:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         host: Host,
         dst: str,
         file_bytes: int,
@@ -163,7 +163,7 @@ class TcpSender:
     ) -> None:
         if file_bytes <= 0:
             raise ValueError("file_bytes must be positive")
-        self.sim = sim
+        self.clock = clock
         self.host = host
         self.dst = dst
         self.file_bytes = file_bytes
@@ -175,7 +175,7 @@ class TcpSender:
         self.state = TcpState.CLOSED
         self.result = TcpTransferResult(
             flow_id=flow_id, src=host.name, dst=dst,
-            file_bytes=file_bytes, start_time=sim.now,
+            file_bytes=file_bytes, start_time=clock.now,
         )
 
         # Congestion control state (segments).
@@ -193,9 +193,9 @@ class TcpSender:
         self._timed_at = 0.0
 
         self._syn_retries = 0
-        self._syn_timer: Optional[Event] = None
-        self._rto_timer: Optional[Event] = None
-        self._deadline_timer: Optional[Event] = None
+        self._syn_timer: Optional[ClockHandle] = None
+        self._rto_timer: Optional[ClockHandle] = None
+        self._deadline_timer: Optional[ClockHandle] = None
 
         host.add_agent(flow_id, self)
 
@@ -204,10 +204,10 @@ class TcpSender:
         """Open the connection and begin the transfer."""
         if self.state is not TcpState.CLOSED:
             raise RuntimeError("sender already started")
-        self.result.start_time = self.sim.now
+        self.result.start_time = self.clock.now
         self.state = TcpState.SYN_SENT
         if self.deadline_s is not None:
-            self._deadline_timer = self.sim.schedule(self.deadline_s, self._on_deadline)
+            self._deadline_timer = self.clock.schedule(self.deadline_s, self._on_deadline)
         self._send_syn()
 
     @property
@@ -227,7 +227,7 @@ class TcpSender:
         packet.set_header("tcp", TcpHeader(kind="syn", seq=0))
         self.host.send(packet)
         timeout = self.INITIAL_SYN_TIMEOUT * (2 ** self._syn_retries)
-        self._syn_timer = self.sim.schedule(timeout, self._on_syn_timeout)
+        self._syn_timer = self.clock.schedule(timeout, self._on_syn_timeout)
 
     def _on_syn_timeout(self) -> None:
         if self.state is not TcpState.SYN_SENT:
@@ -256,7 +256,7 @@ class TcpSender:
             self.result.retransmissions += 1
         elif self._timed_seq is None:
             self._timed_seq = seq
-            self._timed_at = self.sim.now
+            self._timed_at = self.clock.now
         self.host.send(packet)
 
     def _fill_window(self) -> None:
@@ -322,7 +322,7 @@ class TcpSender:
     def _update_rtt(self, ack: int) -> None:
         if self._timed_seq is None or ack <= self._timed_seq:
             return
-        sample = self.sim.now - self._timed_at
+        sample = self.clock.now - self._timed_at
         self._timed_seq = None
         if self.srtt is None:
             self.srtt = sample
@@ -341,7 +341,7 @@ class TcpSender:
         if self.snd_una > self.total_segments:
             self._rto_timer = None
             return
-        self._rto_timer = self.sim.schedule(self.rto, self._on_rto)
+        self._rto_timer = self.clock.schedule(self.rto, self._on_rto)
 
     def _on_rto(self) -> None:
         if self.state is not TcpState.ESTABLISHED or self.finished:
@@ -355,7 +355,7 @@ class TcpSender:
         self._timed_seq = None
         self._send_data(self.snd_una, retransmit=True)
         self.snd_next = self.snd_una + 1
-        self._rto_timer = self.sim.schedule(self.rto, self._on_rto)
+        self._rto_timer = self.clock.schedule(self.rto, self._on_rto)
 
     def _on_deadline(self) -> None:
         if not self.finished:
@@ -372,7 +372,7 @@ class TcpSender:
         self.state = TcpState.COMPLETED
         self._cancel_timers()
         self.result.completed = True
-        self.result.end_time = self.sim.now
+        self.result.end_time = self.clock.now
         if self.on_complete is not None:
             self.on_complete(self.result)
 
@@ -381,6 +381,6 @@ class TcpSender:
         self._cancel_timers()
         self.result.completed = False
         self.result.abort_reason = reason
-        self.result.end_time = self.sim.now
+        self.result.end_time = self.clock.now
         if self.on_complete is not None:
             self.on_complete(self.result)

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.seeding import derive_seed
-from repro.simulator.engine import Simulator
+from repro.runtime.clock import Clock
 from repro.simulator.node import Host
 from repro.simulator.trace import ThroughputMonitor
 from repro.transport.tcp import TcpReceiver, TcpSender, TcpTransferResult
@@ -84,14 +84,14 @@ class _SequentialTransferApp:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         src_host: Host,
         dst_host: Host,
         deadline_s: Optional[float] = 200.0,
         monitor: Optional[ThroughputMonitor] = None,
         stop_at: Optional[float] = None,
     ) -> None:
-        self.sim = sim
+        self.clock = clock
         self.src_host = src_host
         self.dst_host = dst_host
         self.deadline_s = deadline_s
@@ -113,8 +113,8 @@ class _SequentialTransferApp:
         if self._running:
             return
         self._running = True
-        delay = max(0.0, at - self.sim.now)
-        self.sim.schedule(delay, self._start_next_transfer)
+        delay = max(0.0, at - self.clock.now)
+        self.clock.schedule(delay, self._start_next_transfer)
 
     def stop(self) -> None:
         self._running = False
@@ -122,14 +122,14 @@ class _SequentialTransferApp:
     def _start_next_transfer(self) -> None:
         if not self._running:
             return
-        if self.stop_at is not None and self.sim.now >= self.stop_at:
+        if self.stop_at is not None and self.clock.now >= self.stop_at:
             self._running = False
             return
         self._transfer_index += 1
         flow_id = f"tcp:{self.src_host.name}->{self.dst_host.name}:{self._transfer_index}"
-        TcpReceiver(self.sim, self.dst_host, flow_id, monitor=self.monitor)
+        TcpReceiver(self.clock, self.dst_host, flow_id, monitor=self.monitor)
         sender = TcpSender(
-            self.sim,
+            self.clock,
             self.src_host,
             self.dst_host.name,
             file_bytes=self._next_file_bytes(),
@@ -146,7 +146,7 @@ class _SequentialTransferApp:
         self.src_host.remove_agent(result.flow_id)
         self.dst_host.remove_agent(result.flow_id)
         if self._running:
-            self.sim.schedule(self._next_gap(), self._start_next_transfer)
+            self.clock.schedule(self._next_gap(), self._start_next_transfer)
 
 
 class FileTransferApp(_SequentialTransferApp):
@@ -154,7 +154,7 @@ class FileTransferApp(_SequentialTransferApp):
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         src_host: Host,
         dst_host: Host,
         file_bytes: int = 20_000,
@@ -163,7 +163,7 @@ class FileTransferApp(_SequentialTransferApp):
         monitor: Optional[ThroughputMonitor] = None,
         stop_at: Optional[float] = None,
     ) -> None:
-        super().__init__(sim, src_host, dst_host, deadline_s, monitor, stop_at)
+        super().__init__(clock, src_host, dst_host, deadline_s, monitor, stop_at)
         self.file_bytes = file_bytes
         self.gap_s = gap_s
 
@@ -179,7 +179,7 @@ class WebTrafficApp(_SequentialTransferApp):
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         src_host: Host,
         dst_host: Host,
         rng: Optional[random.Random] = None,
@@ -190,7 +190,7 @@ class WebTrafficApp(_SequentialTransferApp):
         stop_at: Optional[float] = None,
         seed: int = 0,
     ) -> None:
-        super().__init__(sim, src_host, dst_host, deadline_s, monitor, stop_at)
+        super().__init__(clock, src_host, dst_host, deadline_s, monitor, stop_at)
         # Without an explicit rng, derive a per-instance stream from the
         # (seed, src, dst) identity: two apps on different hosts must not
         # sample identical file-size / think-time sequences.
@@ -220,19 +220,19 @@ class LongRunningTcpApp:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         src_host: Host,
         dst_host: Host,
         monitor: Optional[ThroughputMonitor] = None,
         file_bytes: int = 1_000_000_000,
     ) -> None:
-        self.sim = sim
+        self.clock = clock
         self.src_host = src_host
         self.dst_host = dst_host
         self.flow_id = f"tcp:{src_host.name}->{dst_host.name}:long"
-        self.receiver = TcpReceiver(sim, dst_host, self.flow_id, monitor=monitor)
+        self.receiver = TcpReceiver(clock, dst_host, self.flow_id, monitor=monitor)
         self.sender = TcpSender(
-            sim,
+            clock,
             src_host,
             dst_host.name,
             file_bytes=file_bytes,
@@ -241,5 +241,5 @@ class LongRunningTcpApp:
         )
 
     def start(self, at: float = 0.0) -> None:
-        delay = max(0.0, at - self.sim.now)
-        self.sim.schedule(delay, self.sender.start)
+        delay = max(0.0, at - self.clock.now)
+        self.clock.schedule(delay, self.sender.start)

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from repro.core.params import NetFenceParams
-from repro.simulator.engine import Simulator
+from repro.runtime.clock import Clock
 from repro.simulator.node import Host
 from repro.simulator.packet import DATA_PACKET_SIZE, Packet, PacketType
 from repro.simulator.trace import ThroughputMonitor
@@ -55,7 +55,7 @@ class UdpSender:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         host: Host,
         dst: str,
         rate_bps: float,
@@ -67,7 +67,7 @@ class UdpSender:
     ) -> None:
         if rate_bps <= 0:
             raise ValueError("rate_bps must be positive")
-        self.sim = sim
+        self.clock = clock
         self.host = host
         self.dst = dst
         self.rate_bps = rate_bps
@@ -91,8 +91,8 @@ class UdpSender:
         if self._running:
             return
         self._running = True
-        delay = 0.0 if at is None else max(0.0, at - self.sim.now)
-        self._event = self.sim.schedule(delay, self._send_next)
+        delay = 0.0 if at is None else max(0.0, at - self.clock.now)
+        self._event = self.clock.schedule(delay, self._send_next)
 
     def stop(self) -> None:
         self._running = False
@@ -103,10 +103,10 @@ class UdpSender:
     def _send_next(self) -> None:
         if not self._running:
             return
-        now = self.sim.now
+        now = self.clock.now
         if self.pattern is not None and not self.pattern.is_on(now):
             resume = self.pattern.next_on_time(now)
-            self._event = self.sim.schedule(max(resume - now, 1e-9), self._send_next)
+            self._event = self.clock.schedule(max(resume - now, 1e-9), self._send_next)
             return
         # _emit_packet() and the ``interval`` property are inlined here (one
         # call frame each per packet); mid-run ``rate_bps`` changes are still
@@ -123,7 +123,7 @@ class UdpSender:
         self.packets_sent += 1
         self.bytes_sent += packet.size_bytes
         self.host.send(packet)
-        self._event = self.sim.schedule(
+        self._event = self.clock.schedule(
             self.packet_size * 8.0 / self.rate_bps, self._send_next
         )
 
@@ -185,7 +185,7 @@ class StrategicAttacker(UdpSender):
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         host: Host,
         dst: str,
         rate_bps: float,
@@ -211,7 +211,7 @@ class StrategicAttacker(UdpSender):
             trickle_bps = self.params.initial_rate_limit_bps
         self.trickle_bps = trickle_bps
         super().__init__(
-            sim, host, dst, rate_bps,
+            clock, host, dst, rate_bps,
             packet_size=packet_size, flow_id=flow_id, ptype=ptype,
             pattern=OnOffPattern(on_s=on_s, off_s=off_s, phase_s=phase_s),
             priority=priority,
@@ -276,7 +276,7 @@ class StrategicAttacker(UdpSender):
     def start_aligned(self, not_before: float = 0.0) -> None:
         """Start at the next control-interval boundary at or after ``not_before``."""
         interval = self.params.control_interval
-        at = math.ceil(max(not_before, self.sim.now) / interval) * interval
+        at = math.ceil(max(not_before, self.clock.now) / interval) * interval
         self.start(at=at + self.pattern.phase_s if self.pattern else at)
 
     def _send_next(self) -> None:
@@ -285,9 +285,9 @@ class StrategicAttacker(UdpSender):
         if self.trickle_bps <= 0:
             super()._send_next()
             return
-        rate = self.rate_bps if self.pattern.is_on(self.sim.now) else self.trickle_bps
+        rate = self.rate_bps if self.pattern.is_on(self.clock.now) else self.trickle_bps
         self._emit_packet()
-        self._event = self.sim.schedule(self.packet_size * 8.0 / rate, self._send_next)
+        self._event = self.clock.schedule(self.packet_size * 8.0 / rate, self._send_next)
 
 
 class UdpSink:
@@ -295,12 +295,12 @@ class UdpSink:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         host: Host,
         monitor: Optional[ThroughputMonitor] = None,
         on_receive: Optional[Callable[[Packet], None]] = None,
     ) -> None:
-        self.sim = sim
+        self.clock = clock
         self.host = host
         self.monitor = monitor
         self.on_receive = on_receive

@@ -1,0 +1,259 @@
+"""Property tests for the wire codec (repro.runtime.codec).
+
+Three families, mirroring ``test_feedback_roundtrip.py``:
+
+* ``decode(encode(p)) == p`` for every packet type, with and without the
+  NetFence header, feedback of every kind, and multi-bottleneck chains;
+* ``encode(decode(b)) == b`` — the encoding is canonical, so a decoded
+  frame re-encodes byte-identically;
+* malformed bytes (truncations, flipped bytes, trailing garbage, bad magic)
+  either raise :class:`CodecError` or decode to a frame — never any other
+  exception type;
+* MACs stamped before encoding verify after a decode round trip, including
+  timestamps that do not sit on a microsecond boundary.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feedback import (
+    Feedback,
+    FeedbackAction,
+    FeedbackMode,
+    FeedbackStamper,
+)
+from repro.core.header import HEADER_KEY, NetFenceHeader
+from repro.crypto.keys import AccessRouterSecret, ASKeyRegistry
+from repro.crypto.mac import quantize_ts, unquantize_ts
+from repro.runtime.codec import (
+    MAGIC,
+    CodecError,
+    decode_frame,
+    decode_packet,
+    encode_hello,
+    encode_packet,
+)
+from repro.simulator.packet import Packet, PacketType
+
+hosts = st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=8)
+links = st.sampled_from(["L1", "L2", "bottleneck", "core-link"])
+#: Timestamps on the microsecond grid round-trip exactly through the wire's
+#: i64-microsecond representation, so equality assertions are exact.
+wire_timestamps = st.integers(min_value=0, max_value=2_000_000_000_000_000).map(
+    unquantize_ts
+)
+
+feedback_values = st.builds(
+    Feedback,
+    mode=st.sampled_from([FeedbackMode.NOP, FeedbackMode.MON]),
+    link=st.one_of(st.none(), links),
+    action=st.sampled_from([FeedbackAction.INCR, FeedbackAction.DECR]),
+    ts=wire_timestamps,
+    mac=st.binary(min_size=0, max_size=16),
+    token_nop=st.one_of(st.none(), st.binary(min_size=0, max_size=16)),
+    chain=st.one_of(
+        st.none(),
+        st.lists(
+            st.tuples(links, st.sampled_from(["incr", "decr"])),
+            min_size=0,
+            max_size=4,
+        ).map(tuple),
+    ),
+)
+
+headers = st.builds(
+    NetFenceHeader,
+    feedback=st.one_of(st.none(), feedback_values),
+    returned=st.one_of(st.none(), feedback_values),
+    priority=st.integers(min_value=0, max_value=10),
+)
+
+
+@st.composite
+def packets(draw):
+    packet = Packet(
+        src=draw(hosts),
+        dst=draw(hosts),
+        size_bytes=draw(st.integers(min_value=0, max_value=65_535)),
+        ptype=draw(st.sampled_from(list(PacketType))),
+        flow_id=draw(st.text(alphabet="abc-0123456789", max_size=12)),
+        protocol=draw(st.sampled_from(["udp", "tcp", "netfence-fb"])),
+        created_at=draw(wire_timestamps),
+        priority=draw(st.integers(min_value=0, max_value=10)),
+        src_as=draw(st.one_of(st.none(), hosts)),
+        dst_as=draw(st.one_of(st.none(), hosts)),
+    )
+    header = draw(st.one_of(st.none(), headers))
+    if header is not None:
+        packet.set_header(HEADER_KEY, header)
+    return packet
+
+
+# ---------------------------------------------------------------------------
+# decode(encode(p)) == p
+# ---------------------------------------------------------------------------
+
+@given(packets())
+@settings(max_examples=200)
+def test_packet_round_trip(packet):
+    decoded = decode_packet(encode_packet(packet))
+    assert decoded == packet
+    assert decoded.ptype is packet.ptype
+    header = packet.headers.get(HEADER_KEY)
+    if header is not None:
+        assert decoded.headers[HEADER_KEY] == header
+
+
+@given(hosts, st.one_of(st.none(), hosts))
+def test_hello_round_trip(name, as_name):
+    kind, value = decode_frame(encode_hello(name, as_name))
+    assert kind == "hello"
+    assert value == (name, as_name)
+
+
+# ---------------------------------------------------------------------------
+# encode(decode(b)) == b  (canonical encoding)
+# ---------------------------------------------------------------------------
+
+@given(packets())
+@settings(max_examples=200)
+def test_encoding_is_canonical(packet):
+    wire = encode_packet(packet)
+    assert encode_packet(decode_packet(wire)) == wire
+
+
+@given(hosts, st.one_of(st.none(), hosts))
+def test_hello_encoding_is_canonical(name, as_name):
+    wire = encode_hello(name, as_name)
+    _, (got_name, got_as) = decode_frame(wire)
+    assert encode_hello(got_name, got_as) == wire
+
+
+# ---------------------------------------------------------------------------
+# Malformed input rejection
+# ---------------------------------------------------------------------------
+
+@given(packets(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=200)
+def test_truncation_rejected(packet, cut):
+    wire = encode_packet(packet)
+    truncated = wire[: cut % len(wire)]
+    with pytest.raises(CodecError):
+        decode_frame(truncated)
+
+
+@given(packets(), st.binary(min_size=1, max_size=8))
+@settings(max_examples=100)
+def test_trailing_garbage_rejected(packet, tail):
+    with pytest.raises(CodecError):
+        decode_frame(encode_packet(packet) + tail)
+
+
+@given(st.binary(max_size=64))
+def test_arbitrary_bytes_never_crash(data):
+    """Random bytes either decode or raise CodecError — nothing else."""
+    try:
+        decode_frame(data)
+    except CodecError:
+        pass
+
+
+@given(packets(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=200)
+def test_bit_flips_never_crash(packet, position):
+    wire = bytearray(encode_packet(packet))
+    wire[position % len(wire)] ^= 0xFF
+    try:
+        decode_frame(bytes(wire))
+    except CodecError:
+        pass
+
+
+def test_bad_magic_rejected():
+    wire = bytearray(encode_packet(Packet(src="a", dst="b")))
+    assert wire[:2] == MAGIC
+    wire[0] ^= 0xFF
+    with pytest.raises(CodecError):
+        decode_frame(bytes(wire))
+
+
+def test_unknown_version_rejected():
+    wire = bytearray(encode_packet(Packet(src="a", dst="b")))
+    wire[2] = 0x7F
+    with pytest.raises(CodecError):
+        decode_frame(bytes(wire))
+
+
+def test_unknown_kind_rejected():
+    wire = bytearray(encode_packet(Packet(src="a", dst="b")))
+    wire[3] = 0x7F
+    with pytest.raises(CodecError):
+        decode_frame(bytes(wire))
+
+
+# ---------------------------------------------------------------------------
+# MAC transparency across the wire
+# ---------------------------------------------------------------------------
+
+LOCAL_AS = "AS-src"
+
+#: Arbitrary float timestamps (not µs-aligned): the reconstructed ts may
+#: differ by sub-microsecond noise, but the MAC hashes the quantized value,
+#: so validation must still succeed.
+float_timestamps = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+def make_stamper(master: bytes = b"codec-roundtrip"):
+    secret = AccessRouterSecret("Ra", master=master)
+    registry = ASKeyRegistry(master=master)
+    return FeedbackStamper(secret, registry, LOCAL_AS)
+
+
+@given(hosts, hosts, float_timestamps)
+@settings(max_examples=100)
+def test_stamped_nop_verifies_after_wire_round_trip(src, dst, ts):
+    stamper = make_stamper()
+    packet = Packet(src=src, dst=dst, ptype=PacketType.REGULAR)
+    packet.set_header(
+        HEADER_KEY, NetFenceHeader(feedback=stamper.stamp_nop(src, dst, ts))
+    )
+    decoded = decode_packet(encode_packet(packet))
+    feedback = decoded.headers[HEADER_KEY].feedback
+    assert quantize_ts(feedback.ts) == quantize_ts(ts)
+    assert stamper.validate(feedback, src, dst, ts, expiration=4.0)
+
+
+@given(hosts, hosts, links, float_timestamps)
+@settings(max_examples=100)
+def test_stamped_incr_verifies_after_wire_round_trip(src, dst, link, ts):
+    stamper = make_stamper()
+    packet = Packet(src=src, dst=dst, ptype=PacketType.REGULAR)
+    packet.set_header(
+        HEADER_KEY, NetFenceHeader(feedback=stamper.stamp_incr(src, dst, link, ts))
+    )
+    decoded = decode_packet(encode_packet(packet))
+    feedback = decoded.headers[HEADER_KEY].feedback
+    assert stamper.validate(feedback, src, dst, ts, expiration=4.0)
+
+
+@given(hosts, hosts, links, float_timestamps, st.integers(min_value=0, max_value=3))
+@settings(max_examples=100)
+def test_tampered_wire_mac_rejected(src, dst, link, ts, flip):
+    stamper = make_stamper()
+    feedback = stamper.stamp_incr(src, dst, link, ts)
+    corrupted = bytes(
+        b ^ (0xFF if i == flip % len(feedback.mac) else 0)
+        for i, b in enumerate(feedback.mac)
+    )
+    packet = Packet(src=src, dst=dst, ptype=PacketType.REGULAR)
+    packet.set_header(
+        HEADER_KEY,
+        NetFenceHeader(feedback=dataclasses.replace(feedback, mac=corrupted)),
+    )
+    decoded = decode_packet(encode_packet(packet))
+    assert not stamper.validate(
+        decoded.headers[HEADER_KEY].feedback, src, dst, ts, expiration=4.0
+    )

@@ -1,0 +1,82 @@
+"""The Clock seam: Simulator and WallClock behind one interface."""
+
+import asyncio
+
+from repro.runtime.clock import Clock, ClockHandle, WallClock
+from repro.simulator.engine import PeriodicTimer, Simulator
+
+
+def test_simulator_satisfies_clock_protocol():
+    sim = Simulator()
+    assert isinstance(sim, Clock)
+    event = sim.schedule(1.0, lambda: None)
+    assert isinstance(event, ClockHandle)
+
+
+def test_wallclock_satisfies_clock_protocol():
+    async def check():
+        clock = WallClock(asyncio.get_running_loop())
+        assert isinstance(clock, Clock)
+        handle = clock.schedule(10.0, lambda: None)
+        assert isinstance(handle, ClockHandle)
+        clock.cancel(handle)
+
+    asyncio.run(check())
+
+
+def test_wallclock_now_is_unix_anchored():
+    import time
+
+    async def check():
+        clock = WallClock(asyncio.get_running_loop())
+        assert abs(clock.now - time.time()) < 1.0
+
+    asyncio.run(check())
+
+
+def test_wallclock_schedule_ordering():
+    async def check():
+        clock = WallClock(asyncio.get_running_loop())
+        fired = []
+        done = asyncio.Event()
+        clock.schedule(0.03, lambda: (fired.append("late"), done.set()))
+        clock.schedule(0.01, fired.append, "early")
+        clock.schedule_at(clock.now, fired.append, "immediate")
+        clock.schedule(-5.0, fired.append, "clamped")  # negative delay → now
+        await asyncio.wait_for(done.wait(), timeout=2.0)
+        assert fired[-1] == "late"
+        assert set(fired[:-1]) == {"early", "immediate", "clamped"}
+
+    asyncio.run(check())
+
+
+def test_wallclock_cancel():
+    async def check():
+        clock = WallClock(asyncio.get_running_loop())
+        fired = []
+        handle = clock.schedule(0.01, fired.append, "cancelled")
+        clock.cancel(handle)
+        clock.cancel(None)  # tolerated, like Simulator.cancel
+        await asyncio.sleep(0.05)
+        assert fired == []
+
+    asyncio.run(check())
+
+
+def test_periodic_timer_runs_over_wallclock():
+    """The same PeriodicTimer that drives AIMD/detection in simulations
+    ticks over a real event loop."""
+
+    async def check():
+        clock = WallClock(asyncio.get_running_loop())
+        ticks = []
+        timer = PeriodicTimer(clock, 0.02, lambda: ticks.append(clock.now))
+        timer.start()
+        await asyncio.sleep(0.11)
+        timer.stop()
+        count = len(ticks)
+        await asyncio.sleep(0.05)
+        assert len(ticks) == count  # stop() really cancels
+        assert count >= 3
+
+    asyncio.run(check())

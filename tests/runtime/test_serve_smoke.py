@@ -1,0 +1,73 @@
+"""In-process smoke test: live policer + loadgen over loopback.
+
+Starts a :class:`~repro.runtime.serve.LivePolicer` on an ephemeral UDP port
+and drives it with the loadgen scenario (legitimate senders plus flooders
+the victim refuses to return feedback to).  The invariants mirror the CI
+serve-smoke job:
+
+* legitimate senders keep the majority of the victim's goodput — the
+  flooders never obtain valid feedback, so they are confined to the
+  request channel's 5 % bandwidth cap;
+* every regular packet the policer emits carries feedback that validates
+  against the access router's secret (``unverified_admissions == 0``);
+* the feedback loop actually ran (regular packets were admitted, dedicated
+  feedback packets flowed back to the senders).
+"""
+
+import asyncio
+
+from repro.runtime.loadgen import run_scenario
+from repro.runtime.serve import start_policer
+
+CAPACITY_BPS = 1_000_000.0
+
+
+def test_live_policer_under_flood():
+    async def scenario():
+        policer = await start_policer(port=0, capacity_bps=CAPACITY_BPS)
+        port = policer.transport.get_extra_info("sockname")[1]
+        try:
+            result = await run_scenario(
+                ("127.0.0.1", port),
+                legit=2,
+                attackers=2,
+                legit_rate_bps=120_000.0,
+                attack_rate_bps=480_000.0,
+                warmup_s=2.0,
+                duration_s=3.0,
+                capacity_bps=CAPACITY_BPS,
+            )
+        finally:
+            await policer.shutdown()
+        return policer, result
+
+    policer, result = asyncio.run(scenario())
+    stats = policer.stats(event="final")
+
+    # Traffic flowed end to end, and the NetFence bootstrap completed:
+    # request -> nop feedback -> regular channel.
+    assert result["victim_rx_packets"] > 0
+    assert result["feedback_packets_sent"] > 0
+    assert stats["access"]["regular_nop"] > 0
+    assert result["codec_errors"] == 0
+    assert stats["codec_errors"] == 0
+
+    # The victim withholds feedback from the attackers, so their floods ride
+    # the capped request channel: legitimate senders keep the goodput.
+    assert result["legit_share"] >= 0.6, result
+
+    # Zero unverified admissions: every regular packet the policer forwarded
+    # carried freshly re-stamped, verifiable feedback.
+    assert stats["unverified_admissions"] == 0, stats
+
+
+def test_policer_shutdown_drains_and_stops_timers():
+    async def scenario():
+        policer = await start_policer(port=0, capacity_bps=CAPACITY_BPS)
+        await policer.shutdown()
+        # Shutdown is idempotent and leaves no running drain task.
+        assert policer._drain_task is not None
+        assert policer._drain_task.done()
+        await policer.shutdown()
+
+    asyncio.run(scenario())
