@@ -36,8 +36,6 @@ def _onoff_config(hysteresis_intervals):
 def test_ablation_hysteresis_protects_against_onoff(benchmark, once):
     """Compare the full 2·Ilim hysteresis against no hysteresis."""
     import repro.experiments.scenarios as scenarios
-    from repro.core.params import NetFenceParams
-    from repro.core.domain import NetFenceDomain
 
     results = {}
 

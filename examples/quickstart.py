@@ -32,7 +32,7 @@ WARMUP = 40.0
 def build_network(params: NetFenceParams, domain: NetFenceDomain) -> Topology:
     """Wire up hosts, access routers, and the bottleneck."""
     topo = Topology()
-    queue_factory = netfence_queue_factory(topo.sim, params)
+    queue_factory = netfence_queue_factory(topo.clock, params)
 
     for name, as_name in [("user", "AS-src"), ("attacker", "AS-src"),
                           ("victim", "AS-dst"), ("colluder", "AS-dst")]:
@@ -57,7 +57,7 @@ def main() -> None:
     params = NetFenceParams()
     domain = NetFenceDomain(params=params)
     topo = build_network(params, domain)
-    sim = topo.sim
+    sim = topo.clock
 
     # End-host shims: every NetFence sender/receiver gets one.  The colluder
     # gladly returns feedback to the attacker (that is what makes this a

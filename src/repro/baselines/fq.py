@@ -8,9 +8,8 @@ comes entirely from the link schedulers.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
-from repro.simulator.engine import Simulator
 from repro.simulator.fairqueue import DRRQueue, per_sender_key
 from repro.simulator.node import Router
 

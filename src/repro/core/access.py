@@ -28,7 +28,7 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.core.domain import NetFenceDomain
 from repro.core.feedback import FeedbackStamper
 from repro.core.header import HEADER_KEY, NetFenceHeader, get_netfence_header
-from repro.core.multibottleneck import PENDING_KEY, PolicingPolicy, SingleBottleneckPolicy
+from repro.core.multibottleneck import PolicingPolicy, SingleBottleneckPolicy
 from repro.core.ratelimiter import RegularRateLimiter, RequestRateLimiter
 from repro.crypto.keys import AccessRouterSecret
 from repro.runtime.clock import Clock

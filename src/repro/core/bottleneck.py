@@ -33,7 +33,7 @@ from repro.core.feedback import (
     FeedbackAction,
     multi_append,
 )
-from repro.core.header import HEADER_KEY, NetFenceHeader, get_netfence_header
+from repro.core.header import HEADER_KEY, NetFenceHeader
 from repro.core.params import NetFenceParams
 from repro.runtime.clock import Clock
 from repro.simulator.engine import PeriodicTimer

@@ -23,8 +23,8 @@ only moves feedback around:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
 
 from repro.core.feedback import Feedback
 from repro.core.header import HEADER_KEY, NetFenceHeader

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.crypto.keys import AccessRouterSecret, ASKeyRegistry
 from repro.crypto.mac import compute_mac, mac_equal

@@ -20,7 +20,7 @@ case (mon both ways) is 28 bytes, matching the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.feedback import Feedback

@@ -31,7 +31,7 @@ from repro.core.feedback import (
     multi_validate,
 )
 from repro.core.header import NetFenceHeader
-from repro.core.ratelimiter import CACHED, DROP, PASS, RegularRateLimiter
+from repro.core.ratelimiter import CACHED, DROP, RegularRateLimiter
 from repro.simulator.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

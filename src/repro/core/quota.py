@@ -20,7 +20,7 @@ rate limiters' accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.access import NetFenceAccessRouter

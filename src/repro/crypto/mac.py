@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from typing import Iterable, Union
+from typing import Union
 
 Field = Union[str, bytes, int, float, None]
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro.experiments.sweep import (
     ScenarioSpec,
@@ -31,15 +31,14 @@ from repro.experiments.sweep import (
     run_sweep,
 )
 
-from repro.baselines.tva import Capability, CapabilityEndHost, TvaRouter, tva_queue_factory
+from repro.baselines.tva import Capability, TvaRouter, tva_queue_factory
 from repro.core.access import NetFenceAccessRouter
 from repro.core.bottleneck import NetFenceRouter, netfence_queue_factory
 from repro.core.domain import NetFenceDomain
 from repro.core.endhost import NetFenceEndHost
-from repro.core.header import NetFenceHeader, get_netfence_header
+from repro.core.header import NetFenceHeader
 from repro.core.params import NetFenceParams
 from repro.crypto.mac import compute_mac
-from repro.simulator.engine import Simulator
 from repro.simulator.packet import Packet, PacketType, REQUEST_PACKET_SIZE
 from repro.simulator.topology import Topology
 
@@ -66,7 +65,7 @@ class _NetFenceOverheadRig:
         self.params = NetFenceParams()
         self.domain = NetFenceDomain(params=self.params, master=b"fig7")
         self.topo = Topology()
-        sim = self.topo.sim
+        sim = self.topo.clock
         self.topo.add_host("src", as_name="AS-src")
         self.topo.add_host("dst", as_name="AS-dst")
         self.access = self.topo.add_router(
@@ -100,7 +99,7 @@ class _NetFenceOverheadRig:
     def regular_packet(self) -> Packet:
         packet = Packet(src="src", dst="dst", size_bytes=1500,
                         ptype=PacketType.REGULAR, flow_id="bench", src_as="AS-src")
-        now = self.topo.sim.now
+        now = self.topo.clock.now
         if self.attack:
             feedback = self.access.stamper.stamp_incr("src", "dst", self.out_link.name, now)
         else:
@@ -121,7 +120,7 @@ class _TvaOverheadRig:
 
     def __init__(self, attack: bool) -> None:
         self.topo = Topology()
-        sim = self.topo.sim
+        sim = self.topo.clock
         self.topo.add_host("src", as_name="AS-src")
         self.topo.add_host("dst", as_name="AS-dst")
         self.access = self.topo.add_router("Ra", as_name="AS-src", router_cls=TvaRouter)
@@ -166,10 +165,12 @@ def _time_operation(make_packet: Callable[[], Packet],
                     iterations: int) -> float:
     """Average wall-clock nanoseconds per operation."""
     packets = [make_packet() for _ in range(iterations)]
-    start = time.perf_counter()
+    # Fig. 7 *measures* real per-operation wall time (header/MAC processing
+    # cost, §6.2) — the one experiment where wall-clock reads are the point.
+    start = time.perf_counter()  # nf: disable=NF002
     for packet in packets:
         operation(packet)
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # nf: disable=NF002
     return elapsed / iterations * 1e9
 
 

@@ -19,8 +19,8 @@ bottleneck) points reported, mirroring the paper's x-axis labels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.experiments.scenarios import (
     DumbbellScenarioConfig,

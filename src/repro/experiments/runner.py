@@ -33,6 +33,10 @@ Distributed execution (see :mod:`repro.experiments.distrib`)::
 Hot-path profiling (see :mod:`repro.perf`)::
 
     netfence-experiment profile fig12 --quick [--point N] [--top N] [--json]
+
+Static analysis (see :mod:`repro.lint`)::
+
+    netfence-experiment lint [--strict] [--json] [--select/--ignore CODES] [paths...]
 """
 
 from __future__ import annotations
@@ -42,7 +46,7 @@ import json
 import sys
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List
 
 from repro.analysis.rows import json_safe, rows_to_dicts
 from repro.experiments import (
@@ -203,6 +207,12 @@ def main(argv=None) -> int:
         from repro.runtime.loadgen import cli_main as loadgen_main
 
         return loadgen_main(argv[1:])
+    if argv and argv[0] == "lint":
+        # Deferred import: the linter is a dev/CI tool; figure runs never
+        # need the AST machinery.
+        from repro.lint import cli_main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="netfence-experiment",
         description="Reproduce a NetFence (SIGCOMM 2010) evaluation figure or table.",

@@ -33,7 +33,6 @@ equal-volume naive ``onoff``, or the AIMD-aware ``strategic`` attacker.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -53,7 +52,6 @@ from repro.core.multibottleneck import (
     SingleBottleneckPolicy,
 )
 from repro.core.params import NetFenceParams
-from repro.seeding import derive_seed
 from repro.simulator.node import Router
 from repro.simulator.packet import PacketType, REQUEST_PACKET_SIZE
 from repro.simulator.topology import (
@@ -347,7 +345,7 @@ def run_dumbbell_scenario(config: DumbbellScenarioConfig) -> DumbbellScenarioRes
     """Build, run, and measure one dumbbell attack simulation."""
     rng = random.Random(config.seed)
     topo = Topology()
-    sim = topo.sim
+    sim = topo.clock
 
     # ---- per-system router classes and bottleneck queue -----------------------
     registry: Optional[FilterRegistry] = None
@@ -624,7 +622,7 @@ def run_parking_lot_scenario(config: ParkingLotScenarioConfig) -> ParkingLotScen
         config.time_factor, config.netfence_policy, master=b"netfence-parkinglot")
 
     topo = Topology()
-    sim = topo.sim
+    sim = topo.clock
     layout = parking_lot_layout(
         topo,
         hosts_per_group=config.hosts_per_group,
@@ -826,7 +824,7 @@ def run_asgraph_scenario(config: ASGraphScenarioConfig) -> ASGraphScenarioResult
     )
 
     topo = Topology()
-    sim = topo.sim
+    sim = topo.clock
     registry: Optional[FilterRegistry] = None
     params: Optional[NetFenceParams] = None
     if config.system == "netfence":

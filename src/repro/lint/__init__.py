@@ -1,0 +1,38 @@
+"""``repro.lint`` — an AST-based invariant linter for this repo.
+
+Every major PR in this codebase's history fixed a recurrence of the same
+bug families by hand: shared module-level RNGs breaking determinism (PR 2),
+ghost-flow state leaks and un-slotted hot-path dataclasses (PR 5), and
+wall-time reads that bypass the injected-clock seam (PR 6).  This package
+encodes those invariants as lint rules with stable ``NFxxx`` codes so CI
+fails instead of relying on reviewer memory.
+
+Structure:
+
+* one :class:`~repro.lint.registry.LintRule` (an ``ast.NodeVisitor``) per
+  rule, registered under a stable code in :mod:`repro.lint.rules`;
+* per-path scoping: each rule declares which layers it applies to;
+* two suppression mechanisms: inline ``# nf: disable=NFxxx`` comments
+  (:mod:`repro.lint.suppress`) and a committed fingerprint baseline
+  (:mod:`repro.lint.baseline`);
+* ``runner lint [--strict] [--json] [--select/--ignore] [paths...]``
+  (:mod:`repro.lint.cli`).
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.cli import cli_main
+from repro.lint.engine import LintResult, lint_paths, lint_source
+from repro.lint.registry import LintRule, all_rules, register
+from repro.lint.violations import Violation
+
+__all__ = [
+    "Baseline",
+    "LintResult",
+    "LintRule",
+    "Violation",
+    "all_rules",
+    "cli_main",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

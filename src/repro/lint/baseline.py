@@ -1,0 +1,70 @@
+"""Committed-baseline suppression.
+
+A baseline file freezes the set of *known* findings so the linter can gate
+on **new** violations while a legacy debt burns down.  Entries are violation
+fingerprints (rule code + logical path + stripped source line), which
+survive unrelated line-number drift; each fingerprint carries a count so a
+baseline never absorbs *additional* copies of the same finding.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.lint.violations import Violation
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """A multiset of waived violation fingerprints."""
+
+    def __init__(self, counts: Counter | None = None) -> None:
+        self.counts: Counter = Counter(counts or {})
+
+    @classmethod
+    def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
+        return cls(Counter(v.fingerprint for v in violations))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} in {path}"
+            )
+        counts = Counter(
+            {str(fp): int(n) for fp, n in payload.get("fingerprints", {}).items()}
+        )
+        return cls(counts)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "fingerprints": dict(sorted(self.counts.items())),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def partition(
+        self, violations: Iterable[Violation]
+    ) -> Tuple[List[Violation], List[Violation]]:
+        """Split violations into ``(new, baselined)``.
+
+        Each baseline fingerprint absorbs at most its recorded count, so a
+        *second* occurrence of a waived finding still surfaces as new.
+        """
+        remaining = Counter(self.counts)
+        fresh: List[Violation] = []
+        waived: List[Violation] = []
+        for violation in violations:
+            if remaining.get(violation.fingerprint, 0) > 0:
+                remaining[violation.fingerprint] -= 1
+                waived.append(violation)
+            else:
+                fresh.append(violation)
+        return fresh, waived

@@ -1,0 +1,117 @@
+"""``runner lint`` — check the repo's invariants statically.
+
+Usage::
+
+    netfence-experiment lint [paths...] [--strict] [--json]
+                             [--select NF001,NF007] [--ignore NF002]
+                             [--baseline lint-baseline.json] [--write-baseline]
+                             [--list-rules]
+
+Exit codes: 0 clean (or findings without ``--strict``), 1 findings under
+``--strict``, 2 usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import lint_paths
+from repro.lint.registry import all_rules, select_rules
+from repro.lint.report import format_catalog, format_text, to_json
+
+#: Default target when no paths are given: the source tree, resolved
+#: relative to the working directory like every other runner subcommand.
+DEFAULT_TARGETS = ("src/repro",)
+
+
+def _parse_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code.strip().upper() for code in raw.split(",") if code.strip()]
+
+
+def cli_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="runner lint",
+        description="AST-based invariant linter (determinism, clock seam, "
+                    "hot path, lifecycle, security).",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help=f"files/directories to lint (default: {DEFAULT_TARGETS[0]})")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any non-suppressed finding")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit a machine-readable report")
+    parser.add_argument("--select", metavar="CODES", default=None,
+                        help="comma-separated rule codes to run exclusively")
+    parser.add_argument("--ignore", metavar="CODES", default=None,
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="committed baseline of waived findings")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings to --baseline and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="show the offending source line under each finding")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(format_catalog(all_rules()))
+        return 0
+
+    try:
+        select = _parse_codes(args.select)
+        ignore = _parse_codes(args.ignore)
+        select_rules(select, ignore)  # validate codes before touching files
+    except KeyError as exc:
+        print(f"lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    targets = list(args.paths) if args.paths else list(DEFAULT_TARGETS)
+    missing = [t for t in targets if not Path(t).exists()]
+    if missing:
+        print(f"lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        if args.baseline is None:
+            print("lint: --write-baseline requires --baseline PATH", file=sys.stderr)
+            return 2
+        result = lint_paths(targets, select=select, ignore=ignore)
+        Baseline.from_violations(result.violations).save(args.baseline)
+        print(f"lint: baseline with {len(result.violations)} finding(s) "
+              f"written to {args.baseline}")
+        return 0
+
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"lint: cannot load baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    result = lint_paths(targets, select=select, ignore=ignore, baseline=baseline)
+
+    if args.as_json:
+        json.dump(to_json(result), sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(format_text(result, verbose=args.verbose))
+
+    if result.parse_errors:
+        return 2
+    if result.violations and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(cli_main())

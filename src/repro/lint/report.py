@@ -1,0 +1,63 @@
+"""Text and JSON rendering of a :class:`~repro.lint.engine.LintResult`."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Type
+
+from repro.lint.engine import LintResult
+from repro.lint.registry import LintRule
+
+
+def format_text(result: LintResult, verbose: bool = False) -> str:
+    lines: List[str] = []
+    for path, error in result.parse_errors:
+        lines.append(f"{path}:1:0: NF000 {error}")
+    for violation in result.violations:
+        lines.append(violation.format())
+        snippet = violation.source_line.strip()
+        if verbose and snippet:
+            lines.append(f"    {snippet}")
+    by_code = Counter(v.code for v in result.violations)
+    summary = (
+        f"{len(result.violations)} finding(s) in {result.files_checked} file(s)"
+        if result.violations or result.parse_errors
+        else f"clean: {result.files_checked} file(s)"
+    )
+    if by_code:
+        summary += " [" + ", ".join(f"{c}×{n}" for c, n in sorted(by_code.items())) + "]"
+    if result.suppressed:
+        summary += f", {len(result.suppressed)} suppressed inline"
+    if result.baselined:
+        summary += f", {len(result.baselined)} baselined"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def to_json(result: LintResult) -> Dict[str, Any]:
+    return {
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "violations": [v.to_dict() for v in result.violations],
+        "suppressed": [v.to_dict() for v in result.suppressed],
+        "baselined_count": len(result.baselined),
+        "parse_errors": [
+            {"path": path, "error": error} for path, error in result.parse_errors
+        ],
+        "counts_by_code": dict(
+            sorted(Counter(v.code for v in result.violations).items())
+        ),
+    }
+
+
+def format_catalog(rules: List[Type[LintRule]]) -> str:
+    """Human-readable rule catalog for ``--list-rules``."""
+    lines = []
+    for rule in rules:
+        lines.append(f"{rule.code}  {rule.name}")
+        lines.append(f"       {rule.rationale}")
+        if rule.history:
+            lines.append(f"       history: {rule.history}")
+        lines.append(f"       scope: {', '.join(rule.paths)}"
+                     + (f" (excluding {', '.join(rule.exclude)})" if rule.exclude else ""))
+    return "\n".join(lines)

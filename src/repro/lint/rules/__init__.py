@@ -1,0 +1,17 @@
+"""Built-in rule modules.
+
+Importing this package registers every bundled rule (each module's
+``@register`` decorators run as a side effect).  Adding a rule = adding a
+module here with a new stable ``NFxxx`` code; the registry rejects
+duplicate codes at import time.
+"""
+
+from repro.lint.rules import (  # noqa: F401
+    asyncio_rules,
+    clockseam,
+    determinism,
+    hotpath,
+    lifecycle,
+    robustness,
+    security,
+)

@@ -1,0 +1,92 @@
+"""Asyncio rules for the live runtime: never block the event loop.
+
+History: PR 6's ``runner serve`` drains a policer queue and answers
+datagrams on one event loop; a single ``time.sleep`` in that path stalls
+every sender and turns latency percentiles into garbage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set, Tuple
+
+from repro.lint.context import FileContext
+from repro.lint.registry import LintRule, register
+
+#: ``module.attr`` calls that block the calling thread.
+_BLOCKING_QUALIFIED: Set[Tuple[str, str]] = {
+    ("time", "sleep"),
+    ("os", "system"),
+    ("os", "popen"),
+    ("socket", "create_connection"),
+    ("socket", "getaddrinfo"),
+    ("socket", "gethostbyname"),
+    ("subprocess", "run"),
+    ("subprocess", "call"),
+    ("subprocess", "check_call"),
+    ("subprocess", "check_output"),
+    ("subprocess", "Popen"),
+}
+
+
+@register
+class NoBlockingInAsyncRule(LintRule):
+    """NF009: blocking calls inside ``async def`` in the runtime layer."""
+
+    code = "NF009"
+    name = "no-blocking-calls-in-async"
+    rationale = (
+        "The live policer shares one event loop between ingress datagrams, "
+        "the paced drain task and stats; a blocking call (time.sleep, sync "
+        "socket/subprocess ops) stalls all of them. Use asyncio.sleep / "
+        "loop executors instead."
+    )
+    history = "PR 6 (runner serve single-loop policer + loadgen)"
+    paths = ("repro/runtime/*",)
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._blocking_aliases: Set[str] = set()
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            if (node.module or "", alias.name) in _BLOCKING_QUALIFIED:
+                self._blocking_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._scan_async_body(node)
+        self.generic_visit(node)
+
+    def _scan_async_body(self, func: ast.AsyncFunctionDef) -> None:
+        # Walk the async function's statements without descending into
+        # nested ``async def``s (they get their own visit).  Nested *sync*
+        # helpers still run on the loop when called from here, so their
+        # bodies are scanned as part of this function.
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.AsyncFunctionDef):
+                continue
+            if isinstance(node, ast.Call):
+                self._check_call(node)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and (func.value.id, func.attr) in _BLOCKING_QUALIFIED
+        ):
+            self.report(
+                node,
+                f"blocking call {func.value.id}.{func.attr}() inside async "
+                "def; use the asyncio equivalent or run_in_executor",
+            )
+        elif isinstance(func, ast.Name) and func.id in self._blocking_aliases:
+            self.report(
+                node,
+                f"blocking call {func.id}() inside async def; use the "
+                "asyncio equivalent or run_in_executor",
+            )

@@ -1,0 +1,106 @@
+"""Clock-seam rules: core/transport/runtime speak ``.clock``, never ``.sim``.
+
+History: PR 6 refactored every core/ and transport/ component onto an
+injected :class:`repro.runtime.clock.Clock` so the same routers police both
+simulated packets and live datagrams; ``.sim`` survives only as a read-only
+compat alias on sim-native classes.  New ``.sim`` accesses in the seam
+layers would quietly re-weld the defense logic to the simulator.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.lint.context import FileContext
+from repro.lint.registry import LintRule, register
+
+_US_PER_S = (1e6, 1_000_000)
+
+
+@register
+class SimAttributeRule(LintRule):
+    """NF003: ``.sim`` attribute access in clock-seam layers."""
+
+    code = "NF003"
+    name = "no-sim-attribute-in-seam-layers"
+    rationale = (
+        "core/, transport/ and runtime/ components receive an injected clock; "
+        "touching a .sim attribute re-couples them to the discrete-event "
+        "engine and breaks the live (WallClock) deployment."
+    )
+    history = "PR 6 (sim → clock rename across core/ and transport/)"
+    paths = ("repro/core/*", "repro/transport/*", "repro/runtime/*")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "sim":
+            self.report(
+                node,
+                "access to the legacy .sim alias; use the injected .clock "
+                "(repro.runtime.clock.Clock) instead",
+            )
+        self.generic_visit(node)
+
+
+@register
+class HandRolledQuantizeRule(LintRule):
+    """NF004: hand-rolled microsecond timestamp conversion at the wire/MAC
+    boundary instead of ``crypto.mac.quantize_ts``/``unquantize_ts``."""
+
+    code = "NF004"
+    name = "use-quantize-ts"
+    rationale = (
+        "MACs verify across a socket only because both sides hash the exact "
+        "same integer-microsecond timestamp; an ad-hoc int(ts * 1e6) that "
+        "drifts from quantize_ts (rounding mode, width) makes stamped "
+        "feedback fail verification after a round trip."
+    )
+    history = "PR 6 (wire codec quantize_ts so MACs survive the socket)"
+    paths = ("repro/runtime/*", "repro/crypto/*")
+    exclude = ("repro/crypto/mac.py",)  # the canonical implementation
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._reported_binops: Set[int] = set()
+
+    @staticmethod
+    def _is_us_scale(node: ast.AST) -> bool:
+        return isinstance(node, ast.Constant) and node.value in _US_PER_S
+
+    def _check_binop(self, node: ast.BinOp) -> bool:
+        if isinstance(node.op, ast.Mult):
+            return self._is_us_scale(node.left) or self._is_us_scale(node.right)
+        if isinstance(node.op, ast.Div):
+            return self._is_us_scale(node.right)
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("int", "round")
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.BinOp)
+            and self._check_binop(node.args[0])
+        ):
+            self._reported_binops.add(id(node.args[0]))
+            self.report(
+                node,
+                "hand-rolled microsecond timestamp conversion; use "
+                "repro.crypto.mac.quantize_ts so MACs hash identically on "
+                "both sides of the wire",
+            )
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if (
+            isinstance(node.op, ast.Div)
+            and self._is_us_scale(node.right)
+            and id(node) not in self._reported_binops
+        ):
+            self.report(
+                node,
+                "hand-rolled microseconds→seconds conversion; use "
+                "repro.crypto.mac.unquantize_ts",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,163 @@
+"""Determinism rules: every random/time source must be injected and seeded.
+
+History: PR 2 spent a whole satellite purging shared module-level RNGs
+(``REDQueue``/``WebTrafficApp`` drew from one global stream, correlating
+drops across queues and breaking row determinism), and PR 6 moved every
+wall-time read behind the injected-clock seam.  These rules keep both bugs
+from coming back.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.lint.context import FileContext
+from repro.lint.registry import LintRule, register
+
+#: ``random.<fn>`` calls that draw from the hidden module-level RNG.
+_MODULE_RNG_FNS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "setstate", "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+}
+
+_WALL_TIME_FNS = {
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+}
+
+_DATETIME_FNS = {"now", "utcnow", "today"}
+
+
+@register
+class ModuleLevelRandomRule(LintRule):
+    """NF001: calls into the shared module-level RNG (``random.random()``,
+    ``random.randint()``, …) or importing those functions directly."""
+
+    code = "NF001"
+    name = "no-module-level-random"
+    rationale = (
+        "Draws from the hidden global RNG correlate independent components "
+        "and break row determinism; construct random.Random(derive_seed(...)) "
+        "per component instead."
+    )
+    history = "PR 2 (REDQueue/WebTrafficApp shared-stream determinism fix)"
+    paths = ("repro/*",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MODULE_RNG_FNS
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+        ):
+            self.report(
+                node,
+                f"call to the shared module-level RNG random.{func.attr}(); "
+                "use a per-instance random.Random(seeding.derive_seed(...))",
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            bad = sorted(
+                alias.name for alias in node.names if alias.name in _MODULE_RNG_FNS
+            )
+            if bad:
+                self.report(
+                    node,
+                    f"importing {', '.join(bad)} from random binds the shared "
+                    "module-level RNG; import Random and seed it with "
+                    "seeding.derive_seed",
+                )
+        self.generic_visit(node)
+
+
+@register
+class WallClockRule(LintRule):
+    """NF002: direct wall-clock reads outside the runtime layer."""
+
+    code = "NF002"
+    name = "no-wall-clock-outside-runtime"
+    rationale = (
+        "Simulation layers must read time from the injected clock; a direct "
+        "time.time()/time.monotonic()/datetime.now() silently desynchronizes "
+        "sim runs and made rows irreproducible before the clock seam."
+    )
+    history = "PR 6 (injected Clock protocol; WallClock owns wall time)"
+    paths = ("repro/*",)
+    # Operational layers measure real elapsed time / lease TTLs / provenance
+    # timestamps by design; repro.runtime is where WallClock itself lives.
+    exclude = (
+        "repro/runtime/*",
+        "repro/perf/*",
+        "repro/store/*",
+        "repro/experiments/distrib.py",
+        "repro/experiments/runner.py",
+        "repro/experiments/sweep.py",
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            owner, attr = func.value.id, func.attr
+            if owner == "time" and attr in _WALL_TIME_FNS:
+                self.report(
+                    node,
+                    f"wall-clock read time.{attr}(); take the injected clock's "
+                    ".now instead (repro.runtime.clock.Clock)",
+                )
+            elif owner in ("datetime", "date") and attr in _DATETIME_FNS:
+                self.report(
+                    node,
+                    f"wall-clock read {owner}.{attr}(); derive times from the "
+                    "injected clock so runs stay reproducible",
+                )
+        self.generic_visit(node)
+
+
+@register
+class UnseededRngRule(LintRule):
+    """NF011: RNG construction without an explicit derived seed."""
+
+    code = "NF011"
+    name = "no-unseeded-rng"
+    rationale = (
+        "random.Random() with no arguments seeds from the OS; the stream "
+        "differs per process and the row is unreproducible. Seed every RNG "
+        "from seeding.derive_seed(base_seed, component...)."
+    )
+    history = "PR 2 (per-instance seeded RNGs, cache schema versioning)"
+    paths = ("repro/*",)
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._random_aliases: Set[str] = set()
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name == "Random":
+                    self._random_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        is_rng_ctor = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "Random"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+        ) or (isinstance(func, ast.Name) and func.id in self._random_aliases)
+        if is_rng_ctor and not node.args and not node.keywords:
+            self.report(
+                node,
+                "unseeded RNG construction; pass "
+                "seeding.derive_seed(base_seed, ...) so the stream is "
+                "deterministic and decorrelated",
+            )
+        self.generic_visit(node)

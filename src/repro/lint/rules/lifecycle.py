@@ -1,0 +1,127 @@
+"""Lifecycle rule: ``reset()`` must restore every ``__init__`` attribute.
+
+History: PR 1 found ``Simulator.reset()`` failing to rewind the event
+sequence counter (same-instant events ordered differently after a reset),
+and PR 5 found queue/heap state surviving reuse (ghost flows, stale
+cancellation bookkeeping).  The common shape: ``__init__`` grows a field,
+``reset()`` doesn't, and the leak only shows under worker reuse.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Set
+
+from repro.lint.registry import LintRule, register
+
+
+def _self_attr_target(node: ast.AST) -> Optional[str]:
+    """``self.X`` when ``node`` is that attribute on ``self``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _assigned_attrs(func: ast.FunctionDef) -> Set[str]:
+    """Attributes bound via ``self.X = ...`` (plain, annotated, aug, tuple)."""
+    attrs: Set[str] = set()
+    for node in ast.walk(func):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.For):
+            targets = [node.target]
+        for target in targets:
+            stack = [target]
+            while stack:
+                item = stack.pop()
+                if isinstance(item, (ast.Tuple, ast.List)):
+                    stack.extend(item.elts)
+                else:
+                    attr = _self_attr_target(item)
+                    if attr is not None:
+                        attrs.add(attr)
+    return attrs
+
+
+def _touched_attrs(func: ast.FunctionDef) -> Set[str]:
+    """Attributes *reinitialized* by ``func``: assigned, or reset in place
+    via a mutating call like ``self.X.clear()`` / ``self.X.update(...)``."""
+    touched = _assigned_attrs(func)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            owner = _self_attr_target(node.func.value)
+            if owner is not None:
+                touched.add(owner)
+    return touched
+
+
+def _self_method_calls(func: ast.FunctionDef) -> Set[str]:
+    """Names of ``self.method(...)`` calls made anywhere in ``func``."""
+    calls: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            attr = _self_attr_target(node.func)
+            if attr is not None:
+                calls.add(attr)
+    return calls
+
+
+@register
+class ResetParityRule(LintRule):
+    """NF008: every attribute assigned in ``__init__`` must be restored by
+    ``reset()`` (directly, in place, or via a helper method it calls)."""
+
+    code = "NF008"
+    name = "reset-restores-all-state"
+    rationale = (
+        "A reset() that misses one __init__ field leaks state across reuse — "
+        "the PR 5 ghost-flow shape: correct in fresh-instance tests, wrong "
+        "the first time a sweep worker reuses the object."
+    )
+    history = "PR 1 (Simulator.reset seq counter) / PR 5 (queue state leaks)"
+    paths = ("repro/*",)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        methods: Dict[str, ast.FunctionDef] = {
+            item.name: item
+            for item in node.body
+            if isinstance(item, ast.FunctionDef)
+        }
+        init = methods.get("__init__")
+        reset = methods.get("reset")
+        if init is not None and reset is not None:
+            required = _assigned_attrs(init)
+            restored = self._restored_by(reset, methods, visited=set())
+            missing = sorted(required - restored)
+            if missing:
+                self.report(
+                    reset,
+                    f"{node.name}.reset() does not restore __init__ "
+                    f"attribute(s): {', '.join(missing)} — state will leak "
+                    "across instance reuse",
+                )
+        self.generic_visit(node)
+
+    def _restored_by(
+        self,
+        func: ast.FunctionDef,
+        methods: Dict[str, ast.FunctionDef],
+        visited: Set[str],
+    ) -> Set[str]:
+        """Attributes ``func`` restores, following ``self.helper()`` calls
+        into same-class methods (``self.__init__()`` restores everything)."""
+        visited.add(func.name)
+        restored = _touched_attrs(func)
+        for called in _self_method_calls(func):
+            if called == "__init__" and "__init__" in methods:
+                restored |= _assigned_attrs(methods["__init__"])
+            elif called in methods and called not in visited:
+                restored |= self._restored_by(methods[called], methods, visited)
+        return restored

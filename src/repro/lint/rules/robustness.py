@@ -1,0 +1,67 @@
+"""Robustness rule: no silently swallowed exceptions.
+
+History: the PR 3 worker loop and the PR 6 serve/loadgen loops both
+deliberately *capture and surface* per-point and per-datagram errors
+(``SweepResult.error``, codec-error counters).  A bare ``except:`` or an
+``except Exception: pass`` in such a loop converts a real failure into a
+silent wedge — the worker "drains" a queue while producing nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.registry import LintRule, register
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(expr: ast.AST) -> bool:
+    if isinstance(expr, ast.Name):
+        return expr.id in _BROAD
+    if isinstance(expr, ast.Tuple):
+        return any(_is_broad(elt) for elt in expr.elts)
+    return False
+
+
+def _is_silent(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or ellipsis
+        if isinstance(stmt, ast.Continue):
+            continue
+        return False
+    return True
+
+
+@register
+class NoSilentExceptRule(LintRule):
+    """NF010: no bare ``except:``; no silent broad ``except Exception: pass``."""
+
+    code = "NF010"
+    name = "no-silent-except"
+    rationale = (
+        "A bare or broad except that only passes turns failures into silent "
+        "wedges (a worker loop that swallows its own crash keeps heartbeating "
+        "while doing nothing). Catch the specific error, or record/log it."
+    )
+    history = "PR 3 (per-point error capture) / PR 6 (codec-error counters)"
+    paths = ("repro/*",)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare except: catches SystemExit/KeyboardInterrupt too; name "
+                "the exception type",
+            )
+        elif _is_broad(node.type) and _is_silent(node.body):
+            self.report(
+                node,
+                "broad except with a pass-only body silently swallows "
+                "failures; catch the specific type or record the error",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,143 @@
+"""Security rules for the crypto and live-runtime layers.
+
+These encode the ROADMAP's machine-checked-invariant direction ("malicious
+⇒ never forwarded"): the wire boundary must never execute attacker-shaped
+bytes, secret comparisons must be constant-time, and security checks must
+survive ``python -O``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional
+
+from repro.lint.registry import LintRule, register
+
+#: Identifier shapes that hold MAC/secret material.
+_SECRET_NAME = re.compile(
+    r"(^|_)(mac|token|digest|sig|signature|secret|key)s?(_|$)", re.IGNORECASE
+)
+
+_UNSAFE_DESERIALIZE = {
+    ("pickle", "load"), ("pickle", "loads"),
+    ("marshal", "load"), ("marshal", "loads"),
+    ("shelve", "open"),
+}
+
+
+def _identifier_of(expr: ast.AST) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Call):
+        return _identifier_of(expr.func)
+    return None
+
+
+def _is_benign_operand(expr: ast.AST) -> bool:
+    """Comparisons against None / empty bytes are presence checks, not
+    secret comparisons."""
+    return isinstance(expr, ast.Constant) and expr.value in (None, b"", "")
+
+
+@register
+class NoUnsafeDeserializeRule(LintRule):
+    """NF012: no pickle/marshal/eval/exec at the wire boundary."""
+
+    code = "NF012"
+    name = "no-unsafe-deserialization"
+    rationale = (
+        "runner serve feeds attacker-controlled datagrams into the decode "
+        "path; pickle/marshal/eval on such bytes is remote code execution. "
+        "The deterministic codec (repro.runtime.codec) is the only wire "
+        "format."
+    )
+    history = "PR 6 (wire codec; serve smoke gates on codec_errors)"
+    paths = ("repro/runtime/*", "repro/crypto/*")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and (func.value.id, func.attr) in _UNSAFE_DESERIALIZE
+        ):
+            self.report(
+                node,
+                f"{func.value.id}.{func.attr}() executes arbitrary objects; "
+                "use the deterministic wire codec (repro.runtime.codec)",
+            )
+        elif isinstance(func, ast.Name) and func.id in ("eval", "exec"):
+            self.report(
+                node,
+                f"{func.id}() in a wire/crypto layer is code execution on "
+                "data; parse explicitly instead",
+            )
+        self.generic_visit(node)
+
+
+@register
+class ConstantTimeMacCompareRule(LintRule):
+    """NF013: MAC/secret comparison via ``==`` instead of ``mac_equal``."""
+
+    code = "NF013"
+    name = "constant-time-mac-compare"
+    rationale = (
+        "== on MAC/token/key bytes short-circuits on the first differing "
+        "byte, leaking a timing oracle an attacker can use to forge feedback "
+        "one byte at a time; compare with crypto.mac.mac_equal "
+        "(hmac.compare_digest)."
+    )
+    history = "crypto.mac.mac_equal exists precisely for this (seed)"
+    paths = (
+        "repro/crypto/*",
+        "repro/runtime/*",
+        "repro/passport/*",
+        "repro/core/feedback.py",
+        "repro/core/access.py",
+        "repro/core/bottleneck.py",
+        "repro/core/endhost.py",
+    )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if len(node.ops) == 1 and isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+            left, right = node.left, node.comparators[0]
+            for side, other in ((left, right), (right, left)):
+                name = _identifier_of(side)
+                if (
+                    name is not None
+                    and _SECRET_NAME.search(name)
+                    and not _is_benign_operand(other)
+                ):
+                    self.report(
+                        node,
+                        f"comparing {name!r} with ==/!= is not constant-time; "
+                        "use crypto.mac.mac_equal for MAC/secret material",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+@register
+class NoAssertGuardsRule(LintRule):
+    """NF014: no ``assert`` statements in crypto/runtime production code."""
+
+    code = "NF014"
+    name = "no-assert-guards"
+    rationale = (
+        "assert disappears under python -O, so an asserted security or "
+        "liveness invariant is only checked in debug runs; raise an explicit "
+        "exception (or count and surface the condition) instead."
+    )
+    history = "PR 6 (serve self-asserts its unverified-admissions invariant)"
+    paths = ("repro/runtime/*", "repro/crypto/*")
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self.report(
+            node,
+            "assert is stripped under -O; raise an explicit exception so the "
+            "invariant holds in production",
+        )
+        self.generic_visit(node)

@@ -1,0 +1,50 @@
+"""Inline suppression comments.
+
+Two forms, mirroring the repo's historical review conventions:
+
+* ``# nf: disable=NF001`` (or ``=NF001,NF007``) on the offending line —
+  suppresses those codes for that line only;
+* ``# nf: disable-file=NF002`` near the top of a file (first 10 lines) —
+  suppresses the codes for the whole file.  ``all`` suppresses every rule.
+
+Suppressions are deliberate, reviewable waivers; the engine counts them so
+``--json`` reports never hide how many findings were waived.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set
+
+_INLINE_RE = re.compile(r"#\s*nf:\s*disable=([A-Za-z0-9_, ]+)")
+_FILE_RE = re.compile(r"#\s*nf:\s*disable-file=([A-Za-z0-9_, ]+)")
+
+#: File-level pragmas must appear within this many leading lines.
+_FILE_PRAGMA_WINDOW = 10
+
+
+def _parse_codes(raw: str) -> Set[str]:
+    return {part.strip().upper() for part in raw.split(",") if part.strip()}
+
+
+class SuppressionIndex:
+    """Per-file map of suppressed rule codes."""
+
+    def __init__(self, lines: List[str]) -> None:
+        self.by_line: Dict[int, Set[str]] = {}
+        self.file_wide: Set[str] = set()
+        for lineno, text in enumerate(lines, start=1):
+            if "nf:" not in text:
+                continue
+            inline = _INLINE_RE.search(text)
+            if inline:
+                self.by_line.setdefault(lineno, set()).update(_parse_codes(inline.group(1)))
+            file_wide = _FILE_RE.search(text)
+            if file_wide and lineno <= _FILE_PRAGMA_WINDOW:
+                self.file_wide.update(_parse_codes(file_wide.group(1)))
+
+    def is_suppressed(self, code: str, lineno: int) -> bool:
+        if "ALL" in self.file_wide or code in self.file_wide:
+            return True
+        codes = self.by_line.get(lineno)
+        return codes is not None and ("ALL" in codes or code in codes)

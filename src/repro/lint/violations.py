@@ -1,0 +1,45 @@
+"""Violation record emitted by lint rules."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding at one source location.
+
+    ``fingerprint`` identifies the finding by *content* — rule code, logical
+    path, and the stripped source line — rather than by line number, so a
+    committed baseline keeps matching after unrelated edits shift lines.
+    """
+
+    code: str
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    source_line: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        key = f"{self.code}|{self.path}|{self.source_line.strip()}"
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "source_line": self.source_line,
+            "fingerprint": self.fingerprint,
+        }

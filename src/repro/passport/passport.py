@@ -15,7 +15,7 @@ constant for packet-size accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.crypto.keys import ASKeyRegistry
 from repro.crypto.mac import compute_mac, mac_equal

@@ -38,7 +38,7 @@ magic, unknown enum codes, non-UTF-8 — raises :class:`CodecError`.
 from __future__ import annotations
 
 import struct
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 from repro.core.feedback import Feedback, FeedbackAction, FeedbackMode
 from repro.core.header import HEADER_KEY, NetFenceHeader
@@ -344,7 +344,7 @@ def _decode_hello_body(r: _Reader) -> Tuple[str, Optional[str]]:
 # Top-level frame dispatch
 # ---------------------------------------------------------------------------
 
-def decode_frame(data: bytes):
+def decode_frame(data: bytes) -> Tuple[str, Any]:
     """Decode one datagram.
 
     Returns ``("packet", Packet)`` or ``("hello", (name, as_name))``.

@@ -23,7 +23,7 @@ import argparse
 import asyncio
 import json
 import sys
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import traffic_share
 from repro.core.endhost import NetFenceEndHost, ReturnPolicy
@@ -43,7 +43,7 @@ class LiveHost(Host):
 
     def __init__(self, clock: WallClock, name: str, as_name: str = SERVE_AS) -> None:
         super().__init__(clock, name, as_name=as_name)
-        self.transport: Optional[asyncio.DatagramTransport] = None
+        self._transport: Optional[asyncio.DatagramTransport] = None
         self.codec_errors = 0
 
     def send(self, packet: Packet) -> None:
@@ -54,12 +54,21 @@ class LiveHost(Host):
             if outbound_filter(packet) is False:
                 return
         self.packets_sent += 1
-        assert self.transport is not None
         self.transport.sendto(encode_packet(packet))
 
     def hello(self) -> None:
-        assert self.transport is not None
         self.transport.sendto(encode_hello(self.name, self.as_name))
+
+    @property
+    def transport(self) -> asyncio.DatagramTransport:
+        """The connected socket; raises (even under -O) if used too early."""
+        if self._transport is None:
+            raise RuntimeError(f"host {self.name} has no connected transport")
+        return self._transport
+
+    @transport.setter
+    def transport(self, transport: asyncio.DatagramTransport) -> None:
+        self._transport = transport
 
     def on_datagram(self, data: bytes) -> None:
         try:
@@ -76,10 +85,10 @@ class _HostEndpoint(asyncio.DatagramProtocol):
     def __init__(self, host: LiveHost) -> None:
         self.host = host
 
-    def connection_made(self, transport) -> None:
+    def connection_made(self, transport: asyncio.DatagramTransport) -> None:
         self.host.transport = transport
 
-    def datagram_received(self, data: bytes, addr) -> None:
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
         self.host.on_datagram(data)
 
 
@@ -162,8 +171,8 @@ async def run_scenario(
         shim.stop()
     await asyncio.sleep(0.1)  # let in-flight datagrams land
     for host in hosts:
-        if host.transport is not None:
-            host.transport.close()
+        if host._transport is not None:
+            host._transport.close()
 
     legit_bytes = sum(bytes_by_src.get(name, 0) for name in legit_names)
     attack_bytes = sum(bytes_by_src.get(name, 0) for name in attacker_names)
@@ -203,7 +212,7 @@ def _emit(result: Dict[str, object], as_json: bool) -> None:
     )
 
 
-def cli_main(argv=None) -> int:
+def cli_main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="runner loadgen",
         description="Drive a live NetFence policer with legitimate + attack traffic.",

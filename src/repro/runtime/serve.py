@@ -38,7 +38,7 @@ import collections
 import json
 import signal
 import sys
-from typing import Deque, Dict, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Optional, Sequence, Tuple
 
 from repro.core.access import NetFenceAccessRouter
 from repro.core.bottleneck import NetFenceChannelQueue, NetFenceRouter
@@ -64,7 +64,7 @@ DEFAULT_CAPACITY_BPS = 1_000_000.0
 DEFAULT_SECRET = "netfence-dev"
 
 
-def percentiles_ms(samples) -> Dict[str, float]:
+def percentiles_ms(samples: Sequence[float]) -> Dict[str, float]:
     """p50/p90/p99/max of a latency sample set, in milliseconds."""
     if not samples:
         return {"n": 0}
@@ -110,7 +110,8 @@ class _LiveAccessRouter(NetFenceAccessRouter):
     path instead of a routing table.  Rate-limiter releases re-enter through
     here, so cached packets take the same egress path as pass-through ones."""
 
-    def __init__(self, *args, egress, **kwargs) -> None:
+    def __init__(self, *args: Any, egress: Callable[[Packet], None],
+                 **kwargs: Any) -> None:
         self._egress_fn = egress
         super().__init__(*args, **kwargs)
 
@@ -175,7 +176,7 @@ class LivePolicer(asyncio.DatagramProtocol):
         }
 
     # -- asyncio protocol ---------------------------------------------------------
-    def connection_made(self, transport) -> None:  # pragma: no cover - asyncio glue
+    def connection_made(self, transport: asyncio.DatagramTransport) -> None:  # pragma: no cover - asyncio glue
         self.transport = transport
         self._drain_task = asyncio.get_running_loop().create_task(self._drain())
 
@@ -207,7 +208,7 @@ class LivePolicer(asyncio.DatagramProtocol):
         # verdict None: a rate limiter cached the packet; its release
         # re-enters through _LiveAccessRouter.forward → _egress.
 
-    def error_received(self, exc) -> None:  # pragma: no cover - asyncio glue
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover - asyncio glue
         pass
 
     # -- egress path --------------------------------------------------------------
@@ -276,7 +277,10 @@ class LivePolicer(asyncio.DatagramProtocol):
             return
         self.counters["packets_tx"] += 1
         self.counters["bytes_tx"] += packet.size_bytes
-        assert self.transport is not None
+        if self.transport is None:
+            # Deliveries only happen after connection_made; a None transport
+            # here is a lifecycle bug and must fail loudly even under -O.
+            raise RuntimeError("policer transport not connected")
         self.transport.sendto(encode_packet(packet), addr)
 
     # -- lifecycle ----------------------------------------------------------------
@@ -324,7 +328,7 @@ class LivePolicer(asyncio.DatagramProtocol):
 async def start_policer(
     host: str = DEFAULT_HOST,
     port: int = 0,
-    **policer_kwargs,
+    **policer_kwargs: Any,
 ) -> LivePolicer:
     """Bind a :class:`LivePolicer` to a UDP socket (port 0 → ephemeral)."""
     loop = asyncio.get_running_loop()
@@ -404,7 +408,7 @@ def _emit(payload: Dict[str, object], as_json: bool) -> None:
     )
 
 
-def cli_main(argv=None) -> int:
+def cli_main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="runner serve",
         description="Run a live NetFence policer on a UDP socket.",

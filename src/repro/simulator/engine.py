@@ -316,6 +316,7 @@ class Simulator:
         self._cancelled = 0
         self._running = False
         self._stopped = False
+        self.dispatch_tap = Simulator.default_dispatch_tap
 
 
 class PeriodicTimer:

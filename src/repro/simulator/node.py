@@ -9,7 +9,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Protocol
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Protocol
 
 from repro.simulator.link import Link
 from repro.simulator.packet import Packet

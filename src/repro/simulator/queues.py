@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 import random
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.seeding import derive_seed
@@ -36,7 +36,7 @@ from repro.simulator.packet import Packet
 _anonymous_queue_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats:
     """Counters shared by all queue implementations."""
 

@@ -33,15 +33,20 @@ class Topology:
     """A collection of nodes and links plus route computation."""
 
     def __init__(self, sim: Optional[Simulator] = None) -> None:
-        self.sim = sim or Simulator()
+        self.clock = sim or Simulator()
         self.nodes: Dict[str, Node] = {}
         self.links: List[Link] = []
         self._finalized = False
 
+    @property
+    def sim(self) -> Simulator:
+        """Backward-compat alias for :attr:`clock` (see PR 6's clock seam)."""
+        return self.clock
+
     # -- construction -----------------------------------------------------
     def add_host(self, name: str, as_name: Optional[str] = None) -> Host:
         self._check_name(name)
-        host = Host(self.sim, name, as_name=as_name)
+        host = Host(self.clock, name, as_name=as_name)
         self.nodes[name] = host
         return host
 
@@ -53,7 +58,7 @@ class Topology:
         **kwargs,
     ) -> Router:
         self._check_name(name)
-        router = router_cls(self.sim, name, as_name=as_name, **kwargs)
+        router = router_cls(self.clock, name, as_name=as_name, **kwargs)
         self.nodes[name] = router
         return router
 
@@ -80,7 +85,7 @@ class Topology:
         dst_node = self.nodes[dst]
         queue = queue_factory(capacity_bps) if queue_factory else None
         link = Link(
-            self.sim, src_node, dst_node, capacity_bps, delay_s, queue=queue, name=name
+            self.clock, src_node, dst_node, capacity_bps, delay_s, queue=queue, name=name
         )
         src_node.attach_link(link)
         self.links.append(link)
@@ -141,10 +146,10 @@ class Topology:
         return [n for n in self.nodes.values() if isinstance(n, Router)]
 
     def run(self, until: float) -> float:
-        """Convenience wrapper around ``sim.run``."""
+        """Convenience wrapper around ``clock.run``."""
         if not self._finalized:
             self.finalize()
-        return self.sim.run(until=until)
+        return self.clock.run(until=until)
 
 
 @dataclass

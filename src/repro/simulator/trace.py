@@ -10,7 +10,7 @@ simulated systems.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.simulator.engine import PeriodicTimer

@@ -21,9 +21,9 @@ measure.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Optional, Set
 
 from repro.runtime.clock import Clock, ClockHandle
 from repro.simulator.node import Host

@@ -33,10 +33,10 @@ def test_fq_gives_senders_equal_shares_under_flood():
     topo.add_duplex_link("R1", "R2", 1e6, 0.005, queue_factory=fq_queue_factory())
     topo.add_duplex_link("R2", "dst", 100e6, 0.001)
     topo.finalize()
-    monitor = ThroughputMonitor(topo.sim, start_time=2.0)
-    UdpSink(topo.sim, topo.host("dst"), monitor=monitor)
-    UdpSender(topo.sim, topo.host("good"), "dst", rate_bps=2e6).start()
-    UdpSender(topo.sim, topo.host("bad"), "dst", rate_bps=5e6).start()
+    monitor = ThroughputMonitor(topo.clock, start_time=2.0)
+    UdpSink(topo.clock, topo.host("dst"), monitor=monitor)
+    UdpSender(topo.clock, topo.host("good"), "dst", rate_bps=2e6).start()
+    UdpSender(topo.clock, topo.host("bad"), "dst", rate_bps=5e6).start()
     topo.run(until=10.0)
     monitor.stop()
     good = monitor.throughput_bps("good")

@@ -11,7 +11,7 @@ from repro.transport.udp import UdpSender, UdpSink
 
 def build_stopit_network(bottleneck_bps=1e6):
     topo = Topology()
-    sim = topo.sim
+    sim = topo.clock
     registry = FilterRegistry(sim, install_delay_s=0.1)
     topo.add_host("good", as_name="A")
     topo.add_host("bad", as_name="A")
@@ -31,10 +31,10 @@ def build_stopit_network(bottleneck_bps=1e6):
 
 def test_filter_blocks_attacker_at_source_access_router():
     topo, registry = build_stopit_network()
-    monitor = ThroughputMonitor(topo.sim, start_time=2.0)
-    UdpSink(topo.sim, topo.host("victim"), monitor=monitor)
-    UdpSender(topo.sim, topo.host("bad"), "victim", rate_bps=2e6).start()
-    UdpSender(topo.sim, topo.host("good"), "victim", rate_bps=500e3).start()
+    monitor = ThroughputMonitor(topo.clock, start_time=2.0)
+    UdpSink(topo.clock, topo.host("victim"), monitor=monitor)
+    UdpSender(topo.clock, topo.host("bad"), "victim", rate_bps=2e6).start()
+    UdpSender(topo.clock, topo.host("good"), "victim", rate_bps=500e3).start()
     registry.install_filter("bad", "victim")
     topo.run(until=10.0)
     monitor.stop()
@@ -45,8 +45,8 @@ def test_filter_blocks_attacker_at_source_access_router():
 
 def test_filter_installation_is_delayed():
     topo, registry = build_stopit_network()
-    sink = UdpSink(topo.sim, topo.host("victim"))
-    UdpSender(topo.sim, topo.host("bad"), "victim", rate_bps=1e6).start()
+    sink = UdpSink(topo.clock, topo.host("victim"))
+    UdpSender(topo.clock, topo.host("bad"), "victim", rate_bps=1e6).start()
     registry.install_filter("bad", "victim")
     topo.run(until=0.05)  # before the install delay elapses
     assert sink.packets_received > 0
@@ -80,10 +80,10 @@ def test_fallback_hierarchical_fairness_without_filters():
     """With no filters installed (colluding receivers), StopIt falls back to
     hierarchical fair queuing and behaves like per-sender FQ."""
     topo, _ = build_stopit_network(bottleneck_bps=1e6)
-    monitor = ThroughputMonitor(topo.sim, start_time=3.0)
-    UdpSink(topo.sim, topo.host("victim"), monitor=monitor)
-    UdpSender(topo.sim, topo.host("bad"), "victim", rate_bps=5e6).start()
-    UdpSender(topo.sim, topo.host("good"), "victim", rate_bps=2e6).start()
+    monitor = ThroughputMonitor(topo.clock, start_time=3.0)
+    UdpSink(topo.clock, topo.host("victim"), monitor=monitor)
+    UdpSender(topo.clock, topo.host("bad"), "victim", rate_bps=5e6).start()
+    UdpSender(topo.clock, topo.host("good"), "victim", rate_bps=2e6).start()
     topo.run(until=13.0)
     monitor.stop()
     good = monitor.throughput_bps("good")

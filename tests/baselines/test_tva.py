@@ -6,13 +6,12 @@ from repro.baselines.tva import Capability, CapabilityEndHost, TvaRouter, tva_qu
 from repro.simulator.packet import Packet, PacketType
 from repro.simulator.topology import Topology
 from repro.simulator.trace import ThroughputMonitor
-from repro.transport.traffic import LongRunningTcpApp
 from repro.transport.udp import UdpSender, UdpSink
 
 
 def build_tva_pair(bottleneck_bps=1e6):
     topo = Topology()
-    sim = topo.sim
+    sim = topo.clock
     topo.add_host("src", as_name="A")
     topo.add_host("dst", as_name="B")
     topo.add_router("R1", as_name="A", router_cls=TvaRouter)
@@ -27,7 +26,7 @@ def build_tva_pair(bottleneck_bps=1e6):
 
 def test_sender_without_capability_sends_requests():
     topo = build_tva_pair()
-    CapabilityEndHost(topo.sim, topo.host("src"))
+    CapabilityEndHost(topo.clock, topo.host("src"))
     packet = Packet(src="src", dst="dst", ptype=PacketType.REGULAR, flow_id="f")
     topo.host("src").send(packet)
     assert packet.is_request
@@ -35,10 +34,10 @@ def test_sender_without_capability_sends_requests():
 
 def test_receiver_grants_capability_and_sender_uses_it():
     topo = build_tva_pair()
-    sender_stack = CapabilityEndHost(topo.sim, topo.host("src"))
-    CapabilityEndHost(topo.sim, topo.host("dst"), send_grant_packets=True)
-    UdpSink(topo.sim, topo.host("dst"))
-    UdpSender(topo.sim, topo.host("src"), "dst", rate_bps=200e3).start()
+    sender_stack = CapabilityEndHost(topo.clock, topo.host("src"))
+    CapabilityEndHost(topo.clock, topo.host("dst"), send_grant_packets=True)
+    UdpSink(topo.clock, topo.host("dst"))
+    UdpSender(topo.clock, topo.host("src"), "dst", rate_bps=200e3).start()
     topo.run(until=2.0)
     assert "dst" in sender_stack.capabilities
     # Subsequent packets travel as regular packets carrying the capability.
@@ -49,11 +48,11 @@ def test_receiver_grants_capability_and_sender_uses_it():
 
 def test_victim_denies_capability_to_attacker():
     topo = build_tva_pair()
-    attacker_stack = CapabilityEndHost(topo.sim, topo.host("src"))
-    CapabilityEndHost(topo.sim, topo.host("dst"), send_grant_packets=True,
+    attacker_stack = CapabilityEndHost(topo.clock, topo.host("src"))
+    CapabilityEndHost(topo.clock, topo.host("dst"), send_grant_packets=True,
                       grant_policy=lambda peer: peer != "src")
-    UdpSink(topo.sim, topo.host("dst"))
-    UdpSender(topo.sim, topo.host("src"), "dst", rate_bps=200e3).start()
+    UdpSink(topo.clock, topo.host("dst"))
+    UdpSender(topo.clock, topo.host("src"), "dst", rate_bps=200e3).start()
     topo.run(until=2.0)
     assert "dst" not in attacker_stack.capabilities
 
@@ -77,7 +76,7 @@ def test_transit_router_demotes_mismatched_capability():
 
 def test_capability_verification():
     topo = build_tva_pair()
-    stack = CapabilityEndHost(topo.sim, topo.host("dst"))
+    stack = CapabilityEndHost(topo.clock, topo.host("dst"))
     good = stack._make_grant("src")
     assert stack.verify(good)
     assert not stack.verify(Capability(sender="src", receiver="dst", token=b"1234"))
@@ -87,7 +86,7 @@ def test_per_destination_fairness_penalizes_shared_victim():
     """The regular channel is fair-queued per destination: one victim queue
     competes with each colluder queue (the Fig. 9 TVA+ weakness)."""
     topo = Topology()
-    sim = topo.sim
+    sim = topo.clock
     for name in ("u", "a1", "a2", "a3"):
         topo.add_host(name, as_name="SRC")
     for name in ("victim", "c1", "c2", "c3"):

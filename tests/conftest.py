@@ -41,7 +41,7 @@ class SmallNetFenceNetwork:
         self.params = params
         self.domain = domain
         self.topo = Topology()
-        sim = self.topo.sim
+        sim = self.topo.clock
         queue_factory = netfence_queue_factory(sim, params)
         for name, as_name in [("good", "AS-src"), ("bad", "AS-src"),
                               ("victim", "AS-dst"), ("colluder", "AS-dst")]:
@@ -72,8 +72,13 @@ class SmallNetFenceNetwork:
                 sim, self.topo.host(host), params=params, send_feedback_packets=True)
 
     @property
+    def clock(self) -> Simulator:
+        return self.topo.clock
+
+    @property
     def sim(self) -> Simulator:
-        return self.topo.sim
+        """Backward-compat alias for :attr:`clock`."""
+        return self.topo.clock
 
 
 @pytest.fixture

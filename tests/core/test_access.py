@@ -5,7 +5,6 @@ import pytest
 from repro.core.access import NetFenceAccessRouter
 from repro.core.domain import NetFenceDomain
 from repro.core.header import NetFenceHeader, get_netfence_header
-from repro.core.params import NetFenceParams
 from repro.simulator.packet import Packet, PacketType
 from repro.simulator.topology import Topology
 
@@ -61,12 +60,12 @@ def test_request_packet_gets_nop_feedback_stamped(rig):
 
 def test_regular_packet_with_valid_nop_passes_and_is_refreshed(rig):
     topo, access, from_link = rig
-    old = access.stamper.stamp_nop("src", "dst", topo.sim.now)
+    old = access.stamper.stamp_nop("src", "dst", topo.clock.now)
     packet = regular_packet(feedback=old)
     topo.run(until=1.0)
     assert access.admit_from_host(packet, from_link) is True
     refreshed = get_netfence_header(packet).feedback
-    assert refreshed.is_nop and refreshed.ts == pytest.approx(topo.sim.now)
+    assert refreshed.is_nop and refreshed.ts == pytest.approx(topo.clock.now)
     assert access.counters["regular_nop"] == 1
 
 
@@ -74,7 +73,7 @@ def test_regular_packet_with_forged_feedback_demoted_to_request(rig):
     topo, access, from_link = rig
     from repro.core.feedback import Feedback, FeedbackAction, FeedbackMode
     forged = Feedback(FeedbackMode.MON, "Rb->dst", FeedbackAction.INCR,
-                      ts=topo.sim.now, mac=b"\x00\x00\x00\x00")
+                      ts=topo.clock.now, mac=b"\x00\x00\x00\x00")
     packet = regular_packet(feedback=forged)
     access.admit_from_host(packet, from_link)
     assert packet.is_request
@@ -83,7 +82,7 @@ def test_regular_packet_with_forged_feedback_demoted_to_request(rig):
 
 def test_regular_packet_with_expired_feedback_demoted(rig):
     topo, access, from_link = rig
-    old = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.sim.now)
+    old = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.clock.now)
     topo.run(until=10.0)
     packet = regular_packet(feedback=old)
     access.admit_from_host(packet, from_link)
@@ -94,7 +93,7 @@ def test_mon_feedback_creates_rate_limiter_and_restamps_incr(rig):
     topo, access, from_link = rig
     forwarded = []
     access.forward_tap = lambda packet, link: forwarded.append(packet)
-    feedback = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.sim.now)
+    feedback = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.clock.now)
     packet = regular_packet(feedback=feedback)
     verdict = access.admit_from_host(packet, from_link)
     # A brand-new leaky bucket has no accumulated credit, so the first packet
@@ -113,7 +112,7 @@ def test_decr_feedback_also_restamped_as_incr(rig):
     forwarded = []
     access.forward_tap = lambda packet, link: forwarded.append(packet)
     from repro.core.feedback import BottleneckStamper
-    nop = access.stamper.stamp_nop("src", "dst", topo.sim.now)
+    nop = access.stamper.stamp_nop("src", "dst", topo.clock.now)
     decr = BottleneckStamper(access.domain.key_registry, "AS-core").stamp_decr(
         nop, "src", "dst", "AS-src", "Rb->dst")
     packet = regular_packet(feedback=decr)
@@ -125,7 +124,7 @@ def test_decr_feedback_also_restamped_as_incr(rig):
 
 def test_flood_through_rate_limiter_caches_then_drops(rig):
     topo, access, from_link = rig
-    feedback = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.sim.now)
+    feedback = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.clock.now)
     verdicts = []
     for _ in range(60):
         packet = regular_packet(feedback=feedback.copy())
@@ -137,7 +136,7 @@ def test_flood_through_rate_limiter_caches_then_drops(rig):
 
 def test_cached_packets_are_forwarded_later(rig):
     topo, access, from_link = rig
-    feedback = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.sim.now)
+    feedback = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.clock.now)
     for _ in range(5):
         access.admit_from_host(regular_packet(feedback=feedback.copy()), from_link)
     before = access.packets_forwarded
@@ -172,7 +171,7 @@ def test_rate_limiter_garbage_collected_after_idle_timeout(params, domain):
     topo.add_duplex_link("Rb", "dst", 10e6, 0.001)
     topo.finalize()
     from_link = topo.link_between("src", "Ra")
-    feedback = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.sim.now)
+    feedback = access.stamper.stamp_incr("src", "dst", "Rb->dst", topo.clock.now)
     packet = regular_packet(feedback=feedback)
     access.admit_from_host(packet, from_link)
     assert access.active_rate_limiters == 1

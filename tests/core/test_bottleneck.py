@@ -119,7 +119,7 @@ def test_as_fairness_mode_uses_per_as_queue():
 @pytest.fixture
 def router_rig(params, domain):
     topo = Topology()
-    sim = topo.sim
+    sim = topo.clock
     topo.add_host("src", as_name="AS-src")
     topo.add_host("dst", as_name="AS-dst")
     router = topo.add_router("Rb", as_name="AS-core", router_cls=NetFenceRouter,
@@ -204,8 +204,8 @@ def test_hysteresis_expires_after_two_control_intervals(router_rig):
     router.start_monitoring(out_link.name)
     router.mark_overloaded(out_link.name)
     state = router.link_state(out_link.name)
-    assert state.is_overloaded(topo.sim.now)
-    horizon = topo.sim.now + router.params.hysteresis_duration
+    assert state.is_overloaded(topo.clock.now)
+    horizon = topo.clock.now + router.params.hysteresis_duration
     assert state.is_overloaded(horizon - 0.01)
     assert not state.is_overloaded(horizon + 0.01)
 
@@ -221,7 +221,7 @@ def test_link_ownership_registered_in_domain(router_rig):
 
 def test_flood_triggers_monitoring_cycle(params, domain):
     topo = Topology()
-    sim = topo.sim
+    sim = topo.clock
     topo.add_host("src", as_name="AS-src")
     topo.add_host("dst", as_name="AS-dst")
     topo.add_router("Rb", as_name="AS-core", router_cls=NetFenceRouter, domain=domain)
@@ -240,7 +240,7 @@ def test_flood_triggers_monitoring_cycle(params, domain):
 
 def test_no_attack_no_monitoring_cycle(params, domain):
     topo = Topology()
-    sim = topo.sim
+    sim = topo.clock
     topo.add_host("src", as_name="AS-src")
     topo.add_host("dst", as_name="AS-dst")
     topo.add_router("Rb", as_name="AS-core", router_cls=NetFenceRouter, domain=domain)
@@ -259,7 +259,7 @@ def test_monitoring_cycle_ends_after_quiet_period(params, domain):
     quiet = params.with_overrides(monitor_cycle_min_duration=3.0)
     quiet_domain = NetFenceDomain(params=quiet, master=b"q")
     topo = Topology()
-    sim = topo.sim
+    sim = topo.clock
     topo.add_host("src", as_name="AS-src")
     topo.add_host("dst", as_name="AS-dst")
     topo.add_router("Rb", as_name="AS-core", router_cls=NetFenceRouter,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.domain import NetFenceDomain
 from repro.core.feedback import (
     BottleneckStamper,
     Feedback,

@@ -7,7 +7,6 @@ from repro.core.bottleneck import NetFenceRouter, netfence_queue_factory
 from repro.core.domain import NetFenceDomain
 from repro.core.header import NetFenceHeader, get_netfence_header
 from repro.core.multibottleneck import InferencePolicy, MultiFeedbackPolicy
-from repro.core.params import NetFenceParams
 from repro.simulator.packet import Packet, PacketType
 from repro.simulator.topology import Topology
 
@@ -15,7 +14,7 @@ from repro.simulator.topology import Topology
 def build_two_bottleneck_path(params, domain, policy_factory):
     """src -- Ra == R1 --L1-- R2 --L2-- R3 == dst with both links in mon."""
     topo = Topology()
-    sim = topo.sim
+    sim = topo.clock
     qf = netfence_queue_factory(sim, params)
     topo.add_host("src", as_name="AS-src")
     topo.add_host("dst", as_name="AS-dst")
@@ -99,9 +98,9 @@ def inference_rig(params):
 
 def test_inference_policy_builds_destination_cache(inference_rig):
     topo, access = inference_rig
-    fb1 = access.stamper.stamp_incr("src", "dst", "R1->R2", topo.sim.now)
+    fb1 = access.stamper.stamp_incr("src", "dst", "R1->R2", topo.clock.now)
     access.admit_from_host(regular_packet(fb1), topo.link_between("src", "Ra"))
-    fb2 = access.stamper.stamp_incr("src", "dst", "R2->dst", topo.sim.now)
+    fb2 = access.stamper.stamp_incr("src", "dst", "R2->dst", topo.clock.now)
     access.admit_from_host(regular_packet(fb2), topo.link_between("src", "Ra"))
     cache = access.policy.destination_cache["dst"]
     assert cache == {"R1->R2", "R2->dst"}
@@ -112,14 +111,14 @@ def test_inference_policy_builds_destination_cache(inference_rig):
 
 def test_inference_policy_restamps_lowest_rate_link(inference_rig):
     topo, access = inference_rig
-    fb1 = access.stamper.stamp_incr("src", "dst", "R1->R2", topo.sim.now)
+    fb1 = access.stamper.stamp_incr("src", "dst", "R1->R2", topo.clock.now)
     access.admit_from_host(regular_packet(fb1), topo.link_between("src", "Ra"))
-    fb2 = access.stamper.stamp_incr("src", "dst", "R2->dst", topo.sim.now)
+    fb2 = access.stamper.stamp_incr("src", "dst", "R2->dst", topo.clock.now)
     access.admit_from_host(regular_packet(fb2), topo.link_between("src", "Ra"))
     # Make one limiter much slower; the next packet must be restamped with it.
     access.limiter_for("src", "R1->R2").rate_bps = 10_000.0
     access.limiter_for("src", "R2->dst").rate_bps = 500_000.0
-    packet = regular_packet(access.stamper.stamp_incr("src", "dst", "R2->dst", topo.sim.now))
+    packet = regular_packet(access.stamper.stamp_incr("src", "dst", "R2->dst", topo.clock.now))
     verdict = access.admit_from_host(packet, topo.link_between("src", "Ra"))
     if verdict is True:
         assert get_netfence_header(packet).feedback.link == "R1->R2"
@@ -130,9 +129,9 @@ def test_inference_policy_restamps_lowest_rate_link(inference_rig):
 
 def test_inference_updates_inferred_state_of_silent_limiter(inference_rig):
     topo, access = inference_rig
-    fb1 = access.stamper.stamp_incr("src", "dst", "R1->R2", topo.sim.now)
+    fb1 = access.stamper.stamp_incr("src", "dst", "R1->R2", topo.clock.now)
     access.admit_from_host(regular_packet(fb1), topo.link_between("src", "Ra"))
-    fb2 = access.stamper.stamp_incr("src", "dst", "R2->dst", topo.sim.now)
+    fb2 = access.stamper.stamp_incr("src", "dst", "R2->dst", topo.clock.now)
     access.admit_from_host(regular_packet(fb2), topo.link_between("src", "Ra"))
     silent = access.limiter_for("src", "R1->R2")
     # The second packet carried R2's feedback, so R1's limiter saw it only as

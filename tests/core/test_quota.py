@@ -71,7 +71,7 @@ def enforcer_rig():
     topo.add_duplex_link("Rb", "dst", 10e6, 0.001)
     topo.finalize()
     quota = CongestionQuota(quota_bytes=30_000, period_s=1_000.0)
-    enforcer = QuotaEnforcer(topo.sim, access, quota=quota)
+    enforcer = QuotaEnforcer(topo.clock, access, quota=quota)
     return topo, access, enforcer
 
 
@@ -80,11 +80,11 @@ def packet_with_feedback(access, action="decr"):
         # The sender keeps receiving L↓ from the congested bottleneck and
         # honestly presents it (it has nothing better).
         from repro.core.feedback import BottleneckStamper
-        nop = access.stamper.stamp_nop("src", "dst", access.sim.now)
+        nop = access.stamper.stamp_nop("src", "dst", access.clock.now)
         feedback = BottleneckStamper(access.domain.key_registry, "AS-core").stamp_decr(
             nop, "src", "dst", "AS-src", "Rb->dst")
     else:
-        feedback = access.stamper.stamp_nop("src", "dst", access.sim.now)
+        feedback = access.stamper.stamp_nop("src", "dst", access.clock.now)
     packet = Packet(src="src", dst="dst", size_bytes=1500, ptype=PacketType.REGULAR,
                     flow_id="f", src_as="AS-src")
     packet.set_header("netfence", NetFenceHeader(feedback=feedback))
@@ -95,14 +95,14 @@ def flood(topo, access, duration, rate_pps=40):
     """Offer a steady stream of mon-feedback packets from the local host."""
     from_link = topo.link_between("src", "Ra")
     interval = 1.0 / rate_pps
-    stop_at = topo.sim.now + duration
+    stop_at = topo.clock.now + duration
 
     def send():
         access.receive(packet_with_feedback(access), from_link)
-        if topo.sim.now + interval < stop_at:
-            topo.sim.schedule(interval, send)
+        if topo.clock.now + interval < stop_at:
+            topo.clock.schedule(interval, send)
 
-    topo.sim.schedule(0.0, send)
+    topo.clock.schedule(0.0, send)
     topo.run(until=stop_at)
 
 

@@ -110,7 +110,7 @@ def test_naive_pattern_matches_strategic_average_volume(small_network):
     params = NetFenceParams()
     rate = 1.0e6
     attacker = StrategicAttacker(
-        small_network.sim, small_network.topo.host("bad"), "victim",
+        small_network.clock, small_network.topo.host("bad"), "victim",
         rate_bps=rate, params=params)
     naive = StrategicAttacker.naive_pattern(params, rate_bps=rate)
     naive_avg = rate * naive.on_s / (naive.on_s + naive.off_s)
@@ -120,7 +120,7 @@ def test_naive_pattern_matches_strategic_average_volume(small_network):
 
 
 def test_strategic_attacker_trickles_during_off_phase(small_network):
-    sim = small_network.sim
+    sim = small_network.clock
     attacker = StrategicAttacker(
         sim, small_network.topo.host("bad"), "victim",
         rate_bps=1.0e6, params=NetFenceParams())

@@ -4,9 +4,7 @@ These exercise the whole stack (end hosts, access routers, bottleneck
 routers, feedback, AIMD) on the small four-host network from conftest.
 """
 
-import pytest
 
-from repro.core.params import NetFenceParams
 from repro.simulator.trace import ThroughputMonitor
 from repro.transport.traffic import FileTransferApp, LongRunningTcpApp
 from repro.transport.udp import UdpSender, UdpSink
@@ -14,8 +12,8 @@ from repro.transport.udp import UdpSender, UdpSink
 
 def test_tcp_works_through_netfence_without_attack(small_network):
     net = small_network
-    monitor = ThroughputMonitor(net.sim, start_time=10.0)
-    app = LongRunningTcpApp(net.sim, net.topo.host("good"), net.topo.host("victim"),
+    monitor = ThroughputMonitor(net.clock, start_time=10.0)
+    app = LongRunningTcpApp(net.clock, net.topo.host("good"), net.topo.host("victim"),
                             monitor=monitor)
     app.start()
     net.topo.run(until=40.0)
@@ -27,8 +25,8 @@ def test_tcp_works_through_netfence_without_attack(small_network):
 
 def test_flood_triggers_monitoring_and_policing(small_network):
     net = small_network
-    UdpSink(net.sim, net.topo.host("colluder"))
-    UdpSender(net.sim, net.topo.host("bad"), "colluder", rate_bps=800e3).start()
+    UdpSink(net.clock, net.topo.host("colluder"))
+    UdpSender(net.clock, net.topo.host("bad"), "colluder", rate_bps=800e3).start()
     net.topo.run(until=30.0)
     assert net.left.in_monitoring_cycle(net.bottleneck.name)
     # The attacker's access router must have created a rate limiter for it.
@@ -37,12 +35,12 @@ def test_flood_triggers_monitoring_and_policing(small_network):
 
 def test_colluding_attacker_held_near_fair_share(small_network):
     net = small_network
-    monitor = ThroughputMonitor(net.sim, start_time=60.0)
-    UdpSink(net.sim, net.topo.host("colluder"), monitor=monitor)
+    monitor = ThroughputMonitor(net.clock, start_time=60.0)
+    UdpSink(net.clock, net.topo.host("colluder"), monitor=monitor)
     monitor_victim = monitor
-    UdpSink(net.sim, net.topo.host("victim"), monitor=monitor_victim)
-    UdpSender(net.sim, net.topo.host("bad"), "colluder", rate_bps=800e3).start()
-    app = LongRunningTcpApp(net.sim, net.topo.host("good"), net.topo.host("victim"),
+    UdpSink(net.clock, net.topo.host("victim"), monitor=monitor_victim)
+    UdpSender(net.clock, net.topo.host("bad"), "colluder", rate_bps=800e3).start()
+    app = LongRunningTcpApp(net.clock, net.topo.host("good"), net.topo.host("victim"),
                             monitor=monitor)
     app.start(at=0.5)
     net.topo.run(until=150.0)
@@ -59,10 +57,10 @@ def test_victim_withholding_feedback_starves_attacker(small_network):
     net = small_network
     # The victim identifies "bad" and refuses to return feedback (§3.3).
     net.endhosts["victim"].return_policy.block("bad")
-    monitor = ThroughputMonitor(net.sim, start_time=20.0)
-    UdpSink(net.sim, net.topo.host("victim"), monitor=monitor)
-    UdpSender(net.sim, net.topo.host("bad"), "victim", rate_bps=800e3).start()
-    app = LongRunningTcpApp(net.sim, net.topo.host("good"), net.topo.host("victim"),
+    monitor = ThroughputMonitor(net.clock, start_time=20.0)
+    UdpSink(net.clock, net.topo.host("victim"), monitor=monitor)
+    UdpSender(net.clock, net.topo.host("bad"), "victim", rate_bps=800e3).start()
+    app = LongRunningTcpApp(net.clock, net.topo.host("good"), net.topo.host("victim"),
                             monitor=monitor)
     app.start(at=0.5)
     net.topo.run(until=60.0)
@@ -80,9 +78,9 @@ def test_strategic_sender_hiding_decr_gains_nothing(params, domain):
 
     # Honest attacker run.
     net_honest = SmallNetFenceNetwork(params, domain)
-    monitor_h = ThroughputMonitor(net_honest.sim, start_time=60.0)
-    UdpSink(net_honest.sim, net_honest.topo.host("colluder"), monitor=monitor_h)
-    UdpSender(net_honest.sim, net_honest.topo.host("bad"), "colluder",
+    monitor_h = ThroughputMonitor(net_honest.clock, start_time=60.0)
+    UdpSink(net_honest.clock, net_honest.topo.host("colluder"), monitor=monitor_h)
+    UdpSender(net_honest.clock, net_honest.topo.host("bad"), "colluder",
               rate_bps=800e3).start()
     net_honest.topo.run(until=120.0)
     honest_rate = monitor_h.throughput_bps("bad")
@@ -92,9 +90,9 @@ def test_strategic_sender_hiding_decr_gains_nothing(params, domain):
     domain2 = NetFenceDomain(params=params, master=b"strategic")
     net_cheat = SmallNetFenceNetwork(params, domain2)
     net_cheat.endhosts["bad"].presentation_strategy = "hide_decr"
-    monitor_c = ThroughputMonitor(net_cheat.sim, start_time=60.0)
-    UdpSink(net_cheat.sim, net_cheat.topo.host("colluder"), monitor=monitor_c)
-    UdpSender(net_cheat.sim, net_cheat.topo.host("bad"), "colluder",
+    monitor_c = ThroughputMonitor(net_cheat.clock, start_time=60.0)
+    UdpSink(net_cheat.clock, net_cheat.topo.host("colluder"), monitor=monitor_c)
+    UdpSender(net_cheat.clock, net_cheat.topo.host("bad"), "colluder",
               rate_bps=800e3).start()
     net_cheat.topo.run(until=120.0)
     cheat_rate = monitor_c.throughput_bps("bad")
@@ -104,9 +102,9 @@ def test_strategic_sender_hiding_decr_gains_nothing(params, domain):
 
 def test_repeated_file_transfers_complete_during_attack(small_network):
     net = small_network
-    UdpSink(net.sim, net.topo.host("colluder"))
-    UdpSender(net.sim, net.topo.host("bad"), "colluder", rate_bps=600e3).start()
-    app = FileTransferApp(net.sim, net.topo.host("good"), net.topo.host("victim"),
+    UdpSink(net.clock, net.topo.host("colluder"))
+    UdpSender(net.clock, net.topo.host("bad"), "colluder", rate_bps=600e3).start()
+    app = FileTransferApp(net.clock, net.topo.host("good"), net.topo.host("victim"),
                           file_bytes=20_000)
     app.start(at=1.0)
     net.topo.run(until=90.0)
@@ -116,8 +114,8 @@ def test_repeated_file_transfers_complete_during_attack(small_network):
 
 def test_netfence_header_overhead_only_on_netfence_packets(small_network):
     net = small_network
-    UdpSink(net.sim, net.topo.host("victim"))
-    UdpSender(net.sim, net.topo.host("good"), "victim", rate_bps=100e3).start()
+    UdpSink(net.clock, net.topo.host("victim"))
+    UdpSender(net.clock, net.topo.host("good"), "victim", rate_bps=100e3).start()
     net.topo.run(until=5.0)
     victim = net.topo.host("victim")
     assert victim.packets_received > 0

@@ -1,0 +1,127 @@
+"""``runner lint`` CLI behavior: exit codes, JSON shape, dispatch."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import main as runner_main
+from repro.lint import cli_main
+
+CLEAN = "def f(clock):\n    return clock.now\n"
+BAD = "import time\nstamp = time.time()\n"
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    # The logical path anchors at the last `repro/` segment, so a fixture
+    # under tmp_path scopes exactly like a real source file.
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    path = pkg / "access.py"
+    path.write_text(BAD)
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True, exist_ok=True)
+    path = pkg / "clean.py"
+    path.write_text(CLEAN)
+    return path
+
+
+def test_clean_file_exits_zero(clean_file, capsys):
+    assert cli_main([str(clean_file), "--strict"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_findings_exit_one_only_under_strict(bad_file, capsys):
+    assert cli_main([str(bad_file)]) == 0
+    assert cli_main([str(bad_file), "--strict"]) == 1
+    out = capsys.readouterr().out
+    assert "NF002" in out
+
+
+def test_json_report_shape(bad_file, capsys):
+    assert cli_main([str(bad_file), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    assert payload["counts_by_code"].get("NF002") == 1
+    (violation,) = payload["violations"]
+    assert violation["code"] == "NF002"
+    assert violation["line"] == 2
+    assert violation["fingerprint"]
+
+
+def test_select_and_ignore_flags(bad_file):
+    assert cli_main([str(bad_file), "--strict", "--select", "NF001"]) == 0
+    assert cli_main([str(bad_file), "--strict", "--ignore", "NF002"]) == 0
+    assert cli_main([str(bad_file), "--strict", "--select", "NF002"]) == 1
+
+
+def test_unknown_rule_code_is_usage_error(bad_file, capsys):
+    assert cli_main([str(bad_file), "--select", "NF999"]) == 2
+    assert "NF999" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert cli_main([str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_syntax_error_exits_two(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    assert cli_main([str(broken)]) == 2
+    assert "NF000" in capsys.readouterr().out
+
+
+def test_list_rules_catalog(capsys):
+    assert cli_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("NF001", "NF008", "NF014"):
+        assert code in out
+
+
+def test_write_baseline_then_strict_passes(bad_file, tmp_path, capsys):
+    baseline = tmp_path / "lint-baseline.json"
+    assert cli_main(
+        [str(bad_file), "--baseline", str(baseline), "--write-baseline"]
+    ) == 0
+    assert baseline.exists()
+    assert cli_main(
+        [str(bad_file), "--strict", "--baseline", str(baseline)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "baselined" in out
+    # A *new* finding in the same file still gates.
+    bad_file.write_text(BAD + "extra = time.monotonic()\n")
+    assert cli_main(
+        [str(bad_file), "--strict", "--baseline", str(baseline)]
+    ) == 1
+
+
+def test_write_baseline_requires_baseline_path(bad_file, capsys):
+    assert cli_main([str(bad_file), "--write-baseline"]) == 2
+    assert "--baseline" in capsys.readouterr().err
+
+
+def test_corrupt_baseline_is_usage_error(bad_file, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{not json")
+    assert cli_main([str(bad_file), "--baseline", str(baseline)]) == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_verbose_shows_offending_source_line(bad_file, capsys):
+    cli_main([str(bad_file), "--verbose"])
+    assert "time.time()" in capsys.readouterr().out
+
+
+def test_runner_dispatches_lint_subcommand(bad_file, capsys):
+    assert runner_main(["lint", "--strict", str(bad_file)]) == 1
+    assert "NF002" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""Self-lint: the shipped source tree must satisfy its own invariants."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import cli_main, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_source_tree_is_lint_clean():
+    result = lint_paths([str(SRC)])
+    formatted = "\n".join(v.format() for v in result.violations)
+    assert result.ok, f"self-lint found violations:\n{formatted}"
+    assert result.files_checked > 50
+    assert result.parse_errors == []
+
+
+def test_strict_self_lint_exits_zero(capsys):
+    assert cli_main([str(SRC), "--strict"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_seeded_violation_fails_strict_and_names_the_rule(tmp_path, capsys):
+    # Plant a determinism violation in a scoped copy of the tree layout and
+    # confirm the gate catches it by code.
+    pkg = tmp_path / "repro" / "simulator"
+    pkg.mkdir(parents=True)
+    seeded = pkg / "seeded.py"
+    seeded.write_text("import random\njitter = random.random()\n")
+    assert cli_main([str(tmp_path), "--strict"]) == 1
+    out = capsys.readouterr().out
+    assert "NF001" in out
+    assert "seeded.py" in out
+
+
+def test_suppressions_in_tree_are_counted_not_hidden():
+    # fig7 intentionally reads the wall clock (it *measures* per-op cost);
+    # those waivers must surface in the result rather than vanish.
+    result = lint_paths([str(SRC)])
+    waived_codes = {v.code for v in result.suppressed}
+    assert "NF002" in waived_codes
+    fig7 = [v for v in result.suppressed if v.path.endswith("fig7_overhead.py")]
+    assert len(fig7) == 2

@@ -1,0 +1,58 @@
+"""Run the external static-analysis gates when the tools are installed.
+
+CI installs mypy and ruff; the test container may not have them.  These
+tests exercise the *committed configs* (mypy.ini / ruff.toml) so a config
+typo fails here rather than only in CI.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The strictly-typed packages (mirrors the mypy.ini strict sections and
+#: the CI invocation).
+MYPY_TARGETS = ("src/repro/runtime", "src/repro/crypto", "src/repro/lint")
+
+
+def _run(cmd: list) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        cmd, cwd=REPO_ROOT, capture_output=True, text=True, timeout=600
+    )
+
+
+def _have(module: str) -> bool:
+    probe = subprocess.run(
+        [sys.executable, "-m", module, "--version"],
+        capture_output=True,
+        cwd=REPO_ROOT,
+    )
+    return probe.returncode == 0
+
+
+def test_configs_are_committed():
+    assert (REPO_ROOT / "mypy.ini").is_file()
+    assert (REPO_ROOT / "ruff.toml").is_file()
+
+
+def test_mypy_strict_packages():
+    if not _have("mypy"):
+        pytest.skip("mypy not installed in this environment (CI installs it)")
+    proc = _run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini", *MYPY_TARGETS]
+    )
+    assert proc.returncode == 0, f"mypy failed:\n{proc.stdout}\n{proc.stderr}"
+
+
+def test_ruff_check():
+    if not (_have("ruff") or shutil.which("ruff")):
+        pytest.skip("ruff not installed in this environment (CI installs it)")
+    runner = [sys.executable, "-m", "ruff"] if _have("ruff") else [str(shutil.which("ruff"))]
+    proc = _run([*runner, "check", "src", "tests", "benchmarks", "examples"])
+    assert proc.returncode == 0, f"ruff failed:\n{proc.stdout}\n{proc.stderr}"

@@ -1,0 +1,124 @@
+"""Suppression mechanics: inline waivers, file pragmas, and the baseline."""
+
+from __future__ import annotations
+
+from repro.lint import Baseline, lint_source
+from repro.lint.engine import check_source
+from repro.lint.registry import select_rules
+
+BAD_LINE = "import time\nstamp = time.time()\n"
+PATH = "repro/core/access.py"
+
+
+def active_and_suppressed(source: str, path: str = PATH):
+    return check_source(source, path, select_rules())
+
+
+def test_inline_disable_waives_only_that_line():
+    source = (
+        "import time\n"
+        "a = time.time()  # nf: disable=NF002\n"
+        "b = time.time()\n"
+    )
+    active, suppressed = active_and_suppressed(source)
+    assert [v.line for v in active if v.code == "NF002"] == [3]
+    assert [v.line for v in suppressed] == [2]
+
+
+def test_inline_disable_is_code_specific():
+    source = "import time\na = time.time()  # nf: disable=NF001\n"
+    active, suppressed = active_and_suppressed(source)
+    assert [v.code for v in active] == ["NF002"]
+    assert suppressed == []
+
+
+def test_inline_disable_accepts_multiple_codes():
+    source = (
+        "import time, random\n"
+        "a = time.time() + random.random()  # nf: disable=NF001, NF002\n"
+    )
+    active, suppressed = active_and_suppressed(source)
+    assert active == []
+    assert {v.code for v in suppressed} == {"NF001", "NF002"}
+
+
+def test_file_pragma_waives_whole_file():
+    source = (
+        "# nf: disable-file=NF002\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.time()\n"
+    )
+    active, suppressed = active_and_suppressed(source)
+    assert active == []
+    assert len(suppressed) == 2
+
+
+def test_file_pragma_outside_header_window_is_ignored():
+    source = "\n" * 15 + "# nf: disable-file=NF002\nimport time\na = time.time()\n"
+    active, _ = active_and_suppressed(source)
+    assert [v.code for v in active] == ["NF002"]
+
+
+def test_disable_all_wildcard():
+    source = "import time\na = time.time()  # nf: disable=all\n"
+    active, suppressed = active_and_suppressed(source)
+    assert active == []
+    assert [v.code for v in suppressed] == ["NF002"]
+
+
+# -- baseline ------------------------------------------------------------------
+
+def test_baseline_round_trip(tmp_path):
+    violations = lint_source(BAD_LINE, PATH)
+    assert violations
+    baseline = Baseline.from_violations(violations)
+    path = tmp_path / "lint-baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.counts == baseline.counts
+
+    fresh, waived = loaded.partition(violations)
+    assert fresh == []
+    assert waived == violations
+
+
+def test_baseline_fingerprints_survive_line_drift():
+    moved = "import time\n\n\n\nstamp = time.time()\n"
+    baseline = Baseline.from_violations(lint_source(BAD_LINE, PATH))
+    fresh, waived = baseline.partition(lint_source(moved, PATH))
+    assert fresh == []
+    assert len(waived) == 1
+
+
+def test_baseline_does_not_absorb_extra_copies():
+    # One waived finding; a second identical occurrence must still surface.
+    doubled = "import time\nstamp = time.time()\nstamp = time.time()\n"
+    baseline = Baseline.from_violations(lint_source(BAD_LINE, PATH))
+    fresh, waived = baseline.partition(lint_source(doubled, PATH))
+    assert len(waived) == 1
+    assert len(fresh) == 1
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"version": 99, "fingerprints": {}}')
+    try:
+        Baseline.load(path)
+    except ValueError as exc:
+        assert "version" in str(exc)
+    else:  # pragma: no cover - defensive
+        raise AssertionError("expected ValueError for unknown version")
+
+
+def test_fingerprint_depends_on_code_path_and_content():
+    (violation,) = [
+        v for v in lint_source(BAD_LINE, PATH) if v.code == "NF002"
+    ]
+    (other_path,) = [
+        v
+        for v in lint_source(BAD_LINE, "repro/core/bottleneck.py")
+        if v.code == "NF002"
+    ]
+    assert violation.fingerprint != other_path.fingerprint
+    assert violation.fingerprint == violation.fingerprint  # stable

@@ -396,3 +396,20 @@ def test_reset_simulator_orders_events_like_a_fresh_one():
     drive(reused)
     reused.reset()
     assert drive(reused) == drive(Simulator())
+
+
+def test_reset_detaches_instance_dispatch_tap():
+    # A tap attached for one run must not leak into the next scenario when a
+    # sweep worker reuses the simulator (the same class of state leak PR 5
+    # fixed for counters; found by the NF008 lifecycle lint rule).
+    sim = Simulator()
+    seen = []
+    sim.dispatch_tap = lambda callback: seen.append(callback)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert len(seen) == 1
+    sim.reset()
+    assert sim.dispatch_tap is Simulator.default_dispatch_tap
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert len(seen) == 1

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.simulator.node import Host, Router
-from repro.simulator.packet import Packet, PacketType
+from repro.simulator.node import Router
+from repro.simulator.packet import Packet
 from repro.simulator.topology import Topology, dumbbell_layout, parking_lot_layout
 from repro.simulator.trace import ThroughputMonitor
 from repro.transport.udp import UdpSender, UdpSink
@@ -39,9 +39,9 @@ def test_local_hosts_registered_on_access_router():
 
 def test_end_to_end_delivery_through_routers():
     topo = build_line_topology()
-    monitor = ThroughputMonitor(topo.sim)
-    UdpSink(topo.sim, topo.host("b"), monitor=monitor)
-    sender = UdpSender(topo.sim, topo.host("a"), "b", rate_bps=1e6)
+    monitor = ThroughputMonitor(topo.clock)
+    UdpSink(topo.clock, topo.host("b"), monitor=monitor)
+    sender = UdpSender(topo.clock, topo.host("a"), "b", rate_bps=1e6)
     sender.start()
     topo.run(until=1.0)
     assert monitor.records["a"].packets_received > 50
@@ -67,8 +67,8 @@ def test_admit_from_host_false_drops_packet():
     topo.add_duplex_link("a", "R", 1e6, 0.001)
     topo.add_duplex_link("R", "b", 1e6, 0.001)
     topo.finalize()
-    sink = UdpSink(topo.sim, topo.host("b"))
-    UdpSender(topo.sim, topo.host("a"), "b", rate_bps=1e6).start()
+    sink = UdpSink(topo.clock, topo.host("b"))
+    UdpSender(topo.clock, topo.host("a"), "b", rate_bps=1e6).start()
     topo.run(until=0.5)
     assert sink.packets_received == 0
 

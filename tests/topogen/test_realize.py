@@ -65,7 +65,7 @@ def test_sender_ases_get_the_access_router_class():
         access_router_kwargs={"domain": domain},
         core_router_cls=NetFenceRouter,
         core_router_kwargs={"domain": domain},
-        bottleneck_queue_factory=netfence_queue_factory(topo.sim),
+        bottleneck_queue_factory=netfence_queue_factory(topo.clock),
     )
     for as_name in plan.sender_as_names:
         assert isinstance(topo.router(realized.as_router[as_name]), NetFenceAccessRouter)

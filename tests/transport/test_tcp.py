@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.simulator.link import Link
 from repro.simulator.topology import Topology
 from repro.simulator.trace import ThroughputMonitor
 from repro.transport.tcp import MSS, TcpReceiver, TcpSender, TcpState
@@ -29,8 +28,8 @@ def build_path(bottleneck_bps=2e6, delay_s=0.005, loss_queue_bytes=None):
 def run_transfer(topo, file_bytes, until=60.0, deadline=200.0):
     results = []
     flow_id = "tcp:a->b:1"
-    TcpReceiver(topo.sim, topo.host("b"), flow_id)
-    sender = TcpSender(topo.sim, topo.host("a"), "b", file_bytes=file_bytes,
+    TcpReceiver(topo.clock, topo.host("b"), flow_id)
+    sender = TcpSender(topo.clock, topo.host("a"), "b", file_bytes=file_bytes,
                        flow_id=flow_id, deadline_s=deadline,
                        on_complete=results.append)
     sender.start()
@@ -54,10 +53,10 @@ def test_transfer_time_reasonable_for_20kb():
 
 def test_large_transfer_fills_the_link():
     topo = build_path(bottleneck_bps=2e6)
-    monitor = ThroughputMonitor(topo.sim)
+    monitor = ThroughputMonitor(topo.clock)
     flow_id = "tcp:a->b:big"
-    TcpReceiver(topo.sim, topo.host("b"), flow_id, monitor=monitor)
-    sender = TcpSender(topo.sim, topo.host("a"), "b", file_bytes=10_000_000,
+    TcpReceiver(topo.clock, topo.host("b"), flow_id, monitor=monitor)
+    sender = TcpSender(topo.clock, topo.host("a"), "b", file_bytes=10_000_000,
                        flow_id=flow_id, deadline_s=None)
     monitor.start()
     sender.start()
@@ -84,7 +83,7 @@ def test_segment_count_matches_file_size():
 def test_receiver_handles_out_of_order_segments():
     topo = build_path()
     flow_id = "tcp:a->b:x"
-    receiver = TcpReceiver(topo.sim, topo.host("b"), flow_id)
+    receiver = TcpReceiver(topo.clock, topo.host("b"), flow_id)
     from repro.simulator.packet import Packet
     from repro.transport.tcp import TcpHeader
 
@@ -104,7 +103,7 @@ def test_syn_retries_exhaustion_aborts():
     # answered, so after MAX_SYN_RETRIES the sender aborts.
     topo = build_path()
     results = []
-    sender = TcpSender(topo.sim, topo.host("a"), "nonexistent", file_bytes=1000,
+    sender = TcpSender(topo.clock, topo.host("a"), "nonexistent", file_bytes=1000,
                        flow_id="tcp:a->nowhere:1", deadline_s=None,
                        on_complete=results.append)
     sender.start()
@@ -118,8 +117,8 @@ def test_deadline_aborts_slow_transfer():
     topo = build_path(bottleneck_bps=50e3)  # 50 Kbps: 1 MB cannot finish in 5 s
     results = []
     flow_id = "tcp:a->b:slow"
-    TcpReceiver(topo.sim, topo.host("b"), flow_id)
-    sender = TcpSender(topo.sim, topo.host("a"), "b", file_bytes=1_000_000,
+    TcpReceiver(topo.clock, topo.host("b"), flow_id)
+    sender = TcpSender(topo.clock, topo.host("a"), "b", file_bytes=1_000_000,
                        flow_id=flow_id, deadline_s=5.0, on_complete=results.append)
     sender.start()
     topo.run(until=30.0)
@@ -143,8 +142,8 @@ def test_rtt_estimate_converges_to_path_rtt():
 def test_sender_cannot_start_twice():
     topo = build_path()
     flow_id = "tcp:a->b:1"
-    TcpReceiver(topo.sim, topo.host("b"), flow_id)
-    sender = TcpSender(topo.sim, topo.host("a"), "b", file_bytes=1000, flow_id=flow_id)
+    TcpReceiver(topo.clock, topo.host("b"), flow_id)
+    sender = TcpSender(topo.clock, topo.host("a"), "b", file_bytes=1000, flow_id=flow_id)
     sender.start()
     with pytest.raises(RuntimeError):
         sender.start()
@@ -153,4 +152,4 @@ def test_sender_cannot_start_twice():
 def test_invalid_file_size_rejected():
     topo = build_path()
     with pytest.raises(ValueError):
-        TcpSender(topo.sim, topo.host("a"), "b", file_bytes=0, flow_id="f")
+        TcpSender(topo.clock, topo.host("a"), "b", file_bytes=0, flow_id="f")

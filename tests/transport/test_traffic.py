@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.simulator.topology import Topology
 from repro.simulator.trace import ThroughputMonitor
@@ -29,7 +28,7 @@ def build_pair(bottleneck_bps=5e6):
 
 def test_file_transfer_app_runs_back_to_back_transfers():
     topo = build_pair()
-    app = FileTransferApp(topo.sim, topo.host("a"), topo.host("b"), file_bytes=20_000)
+    app = FileTransferApp(topo.clock, topo.host("a"), topo.host("b"), file_bytes=20_000)
     app.start()
     topo.run(until=10.0)
     assert app.log.attempted > 5
@@ -39,7 +38,7 @@ def test_file_transfer_app_runs_back_to_back_transfers():
 
 def test_file_transfer_app_stop_at():
     topo = build_pair()
-    app = FileTransferApp(topo.sim, topo.host("a"), topo.host("b"),
+    app = FileTransferApp(topo.clock, topo.host("a"), topo.host("b"),
                           file_bytes=20_000, stop_at=2.0)
     app.start()
     topo.run(until=10.0)
@@ -51,7 +50,7 @@ def test_file_transfer_app_stop_at():
 
 def test_file_transfer_log_statistics():
     topo = build_pair()
-    app = FileTransferApp(topo.sim, topo.host("a"), topo.host("b"), file_bytes=20_000)
+    app = FileTransferApp(topo.clock, topo.host("a"), topo.host("b"), file_bytes=20_000)
     app.start()
     topo.run(until=5.0)
     log = app.log
@@ -61,7 +60,7 @@ def test_file_transfer_log_statistics():
 
 def test_web_traffic_app_varies_file_sizes():
     topo = build_pair()
-    app = WebTrafficApp(topo.sim, topo.host("a"), topo.host("b"),
+    app = WebTrafficApp(topo.clock, topo.host("a"), topo.host("b"),
                         rng=random.Random(7))
     app.start()
     topo.run(until=20.0)
@@ -81,9 +80,9 @@ def test_web_file_size_sampler_bounds():
 
 def test_long_running_app_measures_throughput():
     topo = build_pair(bottleneck_bps=2e6)
-    monitor = ThroughputMonitor(topo.sim)
+    monitor = ThroughputMonitor(topo.clock)
     monitor.start()
-    app = LongRunningTcpApp(topo.sim, topo.host("a"), topo.host("b"), monitor=monitor)
+    app = LongRunningTcpApp(topo.clock, topo.host("a"), topo.host("b"), monitor=monitor)
     app.start()
     topo.run(until=10.0)
     monitor.stop()
@@ -92,7 +91,7 @@ def test_long_running_app_measures_throughput():
 
 def test_agents_are_released_after_each_transfer():
     topo = build_pair()
-    app = FileTransferApp(topo.sim, topo.host("a"), topo.host("b"), file_bytes=20_000)
+    app = FileTransferApp(topo.clock, topo.host("a"), topo.host("b"), file_bytes=20_000)
     app.start()
     topo.run(until=10.0)
     # Only the currently active flow (if any) should remain registered.
@@ -112,8 +111,8 @@ def test_web_apps_on_different_hosts_sample_different_sizes():
     for name in ("a", "b", "c"):
         topo.add_duplex_link(name, "R", 100e6, 0.001)
     topo.finalize()
-    app1 = WebTrafficApp(topo.sim, topo.host("a"), topo.host("b"))
-    app2 = WebTrafficApp(topo.sim, topo.host("c"), topo.host("b"))
+    app1 = WebTrafficApp(topo.clock, topo.host("a"), topo.host("b"))
+    app2 = WebTrafficApp(topo.clock, topo.host("c"), topo.host("b"))
     assert [app1._next_file_bytes() for _ in range(20)] != \
         [app2._next_file_bytes() for _ in range(20)]
 
@@ -122,7 +121,7 @@ def test_web_app_seed_controls_the_derived_stream():
     topo = build_pair()
 
     def sizes(seed):
-        app = WebTrafficApp(topo.sim, topo.host("a"), topo.host("b"), seed=seed)
+        app = WebTrafficApp(topo.clock, topo.host("a"), topo.host("b"), seed=seed)
         return [app._next_file_bytes() for _ in range(10)]
 
     assert sizes(1) == sizes(1)

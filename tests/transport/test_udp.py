@@ -21,10 +21,10 @@ def build_pair(capacity_bps=10e6):
 
 def test_cbr_sender_achieves_configured_rate():
     topo = build_pair()
-    monitor = ThroughputMonitor(topo.sim)
+    monitor = ThroughputMonitor(topo.clock)
     monitor.start()
-    UdpSink(topo.sim, topo.host("b"), monitor=monitor)
-    UdpSender(topo.sim, topo.host("a"), "b", rate_bps=1e6).start()
+    UdpSink(topo.clock, topo.host("b"), monitor=monitor)
+    UdpSender(topo.clock, topo.host("a"), "b", rate_bps=1e6).start()
     topo.run(until=5.0)
     monitor.stop()
     assert monitor.throughput_bps("a") == pytest.approx(1e6, rel=0.05)
@@ -32,10 +32,10 @@ def test_cbr_sender_achieves_configured_rate():
 
 def test_sender_stop_halts_traffic():
     topo = build_pair()
-    sink = UdpSink(topo.sim, topo.host("b"))
-    sender = UdpSender(topo.sim, topo.host("a"), "b", rate_bps=1e6)
+    sink = UdpSink(topo.clock, topo.host("b"))
+    sender = UdpSender(topo.clock, topo.host("a"), "b", rate_bps=1e6)
     sender.start()
-    topo.sim.schedule(1.0, sender.stop)
+    topo.clock.schedule(1.0, sender.stop)
     topo.run(until=3.0)
     received_at_1s = sink.packets_received
     assert received_at_1s > 0
@@ -45,8 +45,8 @@ def test_sender_stop_halts_traffic():
 
 def test_sender_start_delay():
     topo = build_pair()
-    sink = UdpSink(topo.sim, topo.host("b"))
-    sender = UdpSender(topo.sim, topo.host("a"), "b", rate_bps=1e6)
+    sink = UdpSink(topo.clock, topo.host("b"))
+    sender = UdpSender(topo.clock, topo.host("a"), "b", rate_bps=1e6)
     sender.start(at=2.0)
     topo.run(until=1.9)
     assert sink.packets_received == 0
@@ -56,8 +56,8 @@ def test_sender_start_delay():
 
 def test_request_flood_packet_type_and_priority():
     topo = build_pair()
-    sink = UdpSink(topo.sim, topo.host("b"))
-    UdpSender(topo.sim, topo.host("a"), "b", rate_bps=1e6, packet_size=92,
+    sink = UdpSink(topo.clock, topo.host("b"))
+    UdpSender(topo.clock, topo.host("a"), "b", rate_bps=1e6, packet_size=92,
               ptype=PacketType.REQUEST, priority=7).start()
     topo.run(until=0.1)
     assert sink.packets_received > 0
@@ -68,7 +68,7 @@ def test_request_flood_packet_type_and_priority():
 def test_invalid_rate_rejected():
     topo = build_pair()
     with pytest.raises(ValueError):
-        UdpSender(topo.sim, topo.host("a"), "b", rate_bps=0)
+        UdpSender(topo.clock, topo.host("a"), "b", rate_bps=0)
 
 
 def test_on_off_pattern_phase_logic():
@@ -81,11 +81,11 @@ def test_on_off_pattern_phase_logic():
 
 def test_on_off_sender_respects_duty_cycle():
     topo = build_pair()
-    monitor = ThroughputMonitor(topo.sim)
+    monitor = ThroughputMonitor(topo.clock)
     monitor.start()
-    UdpSink(topo.sim, topo.host("b"), monitor=monitor)
+    UdpSink(topo.clock, topo.host("b"), monitor=monitor)
     pattern = OnOffPattern(on_s=1.0, off_s=1.0)
-    UdpSender(topo.sim, topo.host("a"), "b", rate_bps=2e6, pattern=pattern).start()
+    UdpSender(topo.clock, topo.host("a"), "b", rate_bps=2e6, pattern=pattern).start()
     topo.run(until=10.0)
     monitor.stop()
     # 50 % duty cycle at 2 Mbps → about 1 Mbps average.
@@ -94,7 +94,7 @@ def test_on_off_sender_respects_duty_cycle():
 
 def test_sink_counts_bytes():
     topo = build_pair()
-    sink = UdpSink(topo.sim, topo.host("b"))
-    UdpSender(topo.sim, topo.host("a"), "b", rate_bps=1e6, packet_size=1000).start()
+    sink = UdpSink(topo.clock, topo.host("b"))
+    UdpSender(topo.clock, topo.host("a"), "b", rate_bps=1e6, packet_size=1000).start()
     topo.run(until=1.0)
     assert sink.bytes_received == sink.packets_received * 1000
