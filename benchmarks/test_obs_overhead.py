@@ -1,0 +1,144 @@
+"""Telemetry overhead gate: metrics + tracing must stay cheap on the hot path.
+
+Times the fig12 ``--quick`` single point in two modes — the default
+disabled telemetry (the null fast path) and an enabled
+:class:`~repro.obs.metrics.MetricsRegistry` plus an active
+:class:`~repro.obs.trace.PacketTracer` — and gates the slowdown of the
+enabled mode.  Shared-machine noise comes in phases that dwarf the effect
+being measured, so the estimator pairs aggressively: each iteration runs
+*both* modes back to back (alternating which goes first, so a drift ramp
+cannot systematically land on one mode) and yields one
+calibration-normalized ratio; the gate takes the minimum ratio across
+iterations.  A quiet pair reveals the true per-mode cost, while a genuine
+instrumentation regression shifts every pair — including the minimum —
+which is the same one-sided-noise argument ``benchmarks/test_hotpath.py``
+makes for min-of-pairs wall times.
+
+The gate also re-checks the PR's zero-interference claim: the point's
+swept rows must stay byte-identical to the committed hotpath golden in
+both modes — instrumentation observes decisions, it never changes them.
+
+Results land in the ``obs`` section of ``BENCH_sweep.json``.
+"""
+
+import json
+import os
+import time
+
+from bench_artifact import emit as _emit
+from repro import perf
+from repro.analysis.rows import json_safe, rows_to_dicts
+from repro.experiments import fig12_deployment
+from repro.experiments.sweep import execute_spec
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import PacketTracer, use_tracer
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+GOLDEN_PATH = os.path.join(DATA_DIR, "hotpath_golden_fig12.json")
+
+#: Maximum tolerated calibration-normalized slowdown with telemetry enabled.
+#: The acceptance target is <=5 %; the default leaves headroom for shared-CI
+#: machine character (see HOTPATH_REGRESSION_TOLERANCE's rationale) and can
+#: be tightened on a quiet baseline host.
+MAX_OVERHEAD = float(os.environ.get("OBS_MAX_OVERHEAD", "1.05"))
+
+SAMPLES = int(os.environ.get("OBS_OVERHEAD_SAMPLES", "5"))
+
+#: Sampling rounds.  Shared-machine noise phases can outlast one round of
+#: pairs (every sample of one mode lands in a loud phase while the other
+#: mode catches a quiet slot); a fresh round minutes^-1 later almost never
+#: repeats that alignment, so the gate keeps the best estimate across
+#: rounds and stops early once it is under the limit.
+MAX_ROUNDS = int(os.environ.get("OBS_OVERHEAD_ROUNDS", "3"))
+
+
+def _fig12_point_spec():
+    specs = fig12_deployment.grid(fractions=(0.5,), strategies=("constant",),
+                                  sim_time=80.0, warmup=30.0)
+    return specs[0]
+
+
+def _timed_point(spec):
+    """One (normalized, wall, calib, rows) sample with paired calibration."""
+    calib = perf.calibration_workload()
+    start = time.perf_counter()
+    result = execute_spec(spec)
+    wall = time.perf_counter() - start
+    return wall / calib, wall, calib, result.rows
+
+
+def test_fig12_quick_point_telemetry_overhead_and_row_identity():
+    with open(GOLDEN_PATH) as fh:
+        golden = json.load(fh)["rows"]
+    spec = _fig12_point_spec()
+
+    def _enabled_point():
+        registry = MetricsRegistry(enabled=True)
+        tracer = PacketTracer()
+        with use_registry(registry), use_tracer(tracer):
+            sample = _timed_point(spec)
+        return sample, tracer.emitted
+
+    overhead = float("inf")
+    disabled_norm = enabled_norm = float("inf")
+    all_ratios = []
+    disabled_rows = enabled_rows = None
+    events = rounds = 0
+    for rounds in range(1, MAX_ROUNDS + 1):
+        ratios, disabled_norms, enabled_norms = [], [], []
+        for i in range(SAMPLES):
+            if i % 2 == 0:
+                disabled = _timed_point(spec)
+                enabled, events = _enabled_point()
+            else:
+                enabled, events = _enabled_point()
+                disabled = _timed_point(spec)
+            disabled_rows, enabled_rows = disabled[3], enabled[3]
+            disabled_norms.append(disabled[0])
+            enabled_norms.append(enabled[0])
+            ratios.append(enabled[0] / disabled[0])
+        all_ratios.extend(ratios)
+
+        # Two conservative estimators, gate on the lower: the quietest
+        # adjacent pair, and the ratio of per-mode minima across the round.
+        # A noise phase can inflate either one, but a genuine
+        # instrumentation regression inflates both — noise is one-sided, so
+        # neither can hide a real cost that is present in every sample.
+        estimate = min(min(ratios), min(enabled_norms) / min(disabled_norms))
+        if estimate < overhead:
+            overhead = estimate
+            disabled_norm = min(disabled_norms)
+            enabled_norm = min(enabled_norms)
+        if overhead <= MAX_OVERHEAD:
+            break
+
+    disabled_dicts = json_safe(rows_to_dicts(disabled_rows))
+    enabled_dicts = json_safe(rows_to_dicts(enabled_rows))
+    print(f"\nobs overhead: disabled {disabled_norm:.2f} vs enabled "
+          f"{enabled_norm:.2f} calibration units -> x{overhead:.3f} "
+          f"({rounds} round(s); pairs: "
+          f"{', '.join(f'x{r:.3f}' for r in all_ratios)}; "
+          f"{events} trace events/run); gate x{MAX_OVERHEAD}")
+    _emit("obs", {"fig12_quick_point_overhead": {
+        "disabled_normalized_wall": round(disabled_norm, 2),
+        "enabled_normalized_wall": round(enabled_norm, 2),
+        "overhead_ratio": round(overhead, 3),
+        "pair_ratios": [round(r, 3) for r in all_ratios],
+        "rounds": rounds,
+        "trace_events_per_run": events,
+        "max_overhead": MAX_OVERHEAD,
+        "rows_identical_disabled": disabled_dicts == golden,
+        "rows_identical_enabled": enabled_dicts == golden,
+        "spec": spec.describe(),
+    }})
+
+    # Telemetry observes; it never changes results — in either mode.
+    assert disabled_dicts == golden, "rows diverged with telemetry disabled"
+    assert enabled_dicts == golden, "rows diverged with telemetry ENABLED"
+    # The tracer actually saw the hot path (queue drops dominate this point).
+    assert events > 0
+    # The overhead gate itself.
+    assert overhead <= MAX_OVERHEAD, (
+        f"telemetry overhead x{overhead:.3f} exceeds the x{MAX_OVERHEAD} gate "
+        f"(disabled {disabled_norm:.2f}, enabled {enabled_norm:.2f})"
+    )

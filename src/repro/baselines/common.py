@@ -48,10 +48,10 @@ class ChannelQueue(PacketQueue):
         for queue in (self.request_queue, self.regular_queue, self.legacy_queue):
             queue.drop_callback = self._inner_drop
 
-    def _inner_drop(self, packet: Packet) -> None:
-        self.stats.record_drop(packet)
+    def _inner_drop(self, packet: Packet, reason: str = "tail") -> None:
+        self.stats.record_drop(packet, reason)
         if self.drop_callback is not None:
-            self.drop_callback(packet)
+            self.drop_callback(packet, reason)
 
     def _refill_budget(self) -> None:
         now = self.sim.now

@@ -31,6 +31,8 @@ from repro.core.header import HEADER_KEY, NetFenceHeader, get_netfence_header
 from repro.core.multibottleneck import PolicingPolicy, SingleBottleneckPolicy
 from repro.core.ratelimiter import RegularRateLimiter, RequestRateLimiter
 from repro.crypto.keys import AccessRouterSecret
+from repro.obs.metrics import get_registry
+from repro.obs.trace import ReasonCode, active_tracer
 from repro.runtime.clock import Clock
 from repro.simulator.engine import PeriodicTimer
 from repro.simulator.link import Link
@@ -81,6 +83,36 @@ class NetFenceAccessRouter(Router):
         )
         self._adjust_timer.start()
 
+        # Telemetry: the tracer is captured once at construction (the
+        # disabled cost is one ``is not None`` test at the cold decision
+        # branches); metrics bridge the existing counters through pull-based
+        # watches, registered only when the active registry is enabled.
+        self._tracer = active_tracer()
+        self._trace_point = f"access:{name}"
+        registry = get_registry()
+        if registry.enabled:
+            label = {"router": name}
+            for event in self.counters:
+                registry.watch(
+                    "netfence_access_events_total",
+                    lambda key=event: self.counters[key],
+                    help="access-router policing decisions by outcome",
+                    labels={**label, "event": event})
+            registry.watch("netfence_rate_limiters",
+                           lambda: len(self.rate_limiters),
+                           help="live (sender, bottleneck) rate limiters",
+                           labels=label)
+            registry.watch("netfence_request_limiters",
+                           lambda: len(self.request_limiters),
+                           help="live per-sender request limiters",
+                           labels=label)
+            registry.watch("netfence_secret_epoch_cache",
+                           lambda: self.secret.cache_size,
+                           help="cached secret-key epochs", labels=label)
+            registry.watch("netfence_stamper_memo_cache",
+                           lambda: self.stamper.memo_size,
+                           help="memoized feedback verifications", labels=label)
+
     # -- limiter management -----------------------------------------------------
     def get_rate_limiter(self, sender: str, link: str) -> RegularRateLimiter:
         """Find or create the rate limiter for a (sender, bottleneck link) pair."""
@@ -102,9 +134,16 @@ class NetFenceAccessRouter(Router):
         verdict = self.policy.continue_chain(packet)
         if verdict is True:
             self.counters["regular_cached"] += 1
+            if self._tracer is not None:
+                self._tracer.emit(self._trace_point, ReasonCode.RELEASED,
+                                  packet, ts=self.clock.now)
             self.forward(packet)
         elif verdict is False:
             self.counters["regular_dropped"] += 1
+            if self._tracer is not None:
+                self._tracer.emit(self._trace_point, ReasonCode.DROP_POLICED,
+                                  packet, ts=self.clock.now,
+                                  detail="dropped after release")
         # verdict None: the packet was cached again by a later limiter.
 
     def _adjust_all(self) -> None:
@@ -131,6 +170,10 @@ class NetFenceAccessRouter(Router):
             # Sender does not speak NetFence: legacy channel, lowest priority.
             packet.ptype = PacketType.LEGACY
             self.counters["legacy"] += 1
+            if self._tracer is not None:
+                self._tracer.emit(self._trace_point,
+                                  ReasonCode.DEMOTED_LEGACY, packet,
+                                  ts=self.clock.now, detail="no NetFence header")
             return True
         if ptype is PacketType.REGULAR:
             return self._police_regular(packet, header)
@@ -145,10 +188,20 @@ class NetFenceAccessRouter(Router):
             self.request_limiters[packet.src] = limiter
         if not limiter.admit(packet, self.clock.now):
             self.counters["request_dropped"] += 1
+            if self._tracer is not None:
+                self._tracer.emit(self._trace_point,
+                                  ReasonCode.DROP_REQUEST_TOKENS, packet,
+                                  ts=self.clock.now,
+                                  detail=f"level {packet.priority}")
             return False
         header.priority = packet.priority
         header.feedback = self.policy.stamp_initial(packet)
         self.counters["request_admitted"] += 1
+        if self._tracer is not None:
+            self._tracer.emit(self._trace_point,
+                              ReasonCode.ADMITTED_REQUEST, packet,
+                              ts=self.clock.now,
+                              detail=f"level {packet.priority}")
         return True
 
     # -- regular channel (§4.3.3) -------------------------------------------------------
@@ -157,15 +210,38 @@ class NetFenceAccessRouter(Router):
         if feedback is None or not self.policy.validate(packet, feedback):
             # Invalid feedback: demote to the request channel (§4.4).
             self.counters["regular_invalid"] += 1
+            if self._tracer is not None:
+                # Distinguish a stale-but-genuine MAC from a missing/forged
+                # one: re-checking freshness here is cold-path only.
+                if feedback is not None and not feedback.is_fresh(
+                        self.clock.now, self.params.feedback_expiration):
+                    reason = ReasonCode.MAC_STALE
+                    detail = f"feedback ts={feedback.ts:.3f}"
+                else:
+                    reason = ReasonCode.UNVERIFIED_FEEDBACK
+                    detail = "missing feedback" if feedback is None else "bad MAC"
+                self._tracer.emit(self._trace_point, reason, packet,
+                                  ts=self.clock.now, detail=detail)
             return self._police_request(packet, header)
         if feedback.is_nop and not feedback.chain:
             header.feedback = self.policy.stamp_initial(packet)
             self.counters["regular_nop"] += 1
+            if self._tracer is not None:
+                self._tracer.emit(self._trace_point, ReasonCode.ADMITTED_NOP,
+                                  packet, ts=self.clock.now)
             return True
         verdict = self.policy.police_mon(packet, header, feedback)
         if verdict is True:
             self.counters["regular_passed"] += 1
+            if self._tracer is not None:
+                self._tracer.emit(self._trace_point,
+                                  ReasonCode.ADMITTED_REGULAR, packet,
+                                  ts=self.clock.now)
         elif verdict is False:
+            # No trace event here: a False verdict always originates in a
+            # component that already emitted the precise reason (the rate
+            # limiter's DROP_CACHE_DELAY) — a second, vaguer DROP_POLICED
+            # for the same packet would only double the emission volume.
             self.counters["regular_dropped"] += 1
         return verdict
 

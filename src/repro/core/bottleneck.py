@@ -35,6 +35,8 @@ from repro.core.feedback import (
 )
 from repro.core.header import HEADER_KEY, NetFenceHeader
 from repro.core.params import NetFenceParams
+from repro.obs.metrics import get_registry
+from repro.obs.trace import ReasonCode, active_tracer
 from repro.runtime.clock import Clock
 from repro.simulator.engine import PeriodicTimer
 from repro.simulator.fairqueue import DRRQueue, per_source_as_key
@@ -109,12 +111,12 @@ class NetFenceChannelQueue(PacketQueue):
             queue.drop_callback = self._inner_drop
 
     # -- drop bubbling -----------------------------------------------------------
-    def _inner_drop(self, packet: Packet) -> None:
-        self.stats.record_drop(packet)
+    def _inner_drop(self, packet: Packet, reason: str = "tail") -> None:
+        self.stats.record_drop(packet, reason)
         if packet.is_regular and self.on_regular_drop is not None:
             self.on_regular_drop(packet)
         if self.drop_callback is not None:
-            self.drop_callback(packet)
+            self.drop_callback(packet, reason)
 
     # -- request budget -----------------------------------------------------------
     def _refill_budget(self) -> None:
@@ -269,10 +271,30 @@ class NetFenceRouter(Router):
         self._mon_count = 0
         self._monitored_names = monitored_links
         self._force_mon = force_mon
+        self.demoted_legacy = 0
         self._detect_timer = PeriodicTimer(
             clock, self.params.detection_interval, self._detect_all
         )
         self._detect_timer.start()
+        # Telemetry: cold-path tracer captured at construction; metrics are
+        # pull-based watches, registered only under an enabled registry.
+        self._tracer = active_tracer()
+        self._trace_point = f"router:{name}"
+        registry = get_registry()
+        if registry.enabled:
+            label = {"router": name}
+            registry.watch("netfence_mon_links", lambda: self._mon_count,
+                           help="monitored links currently in the mon state",
+                           labels=label)
+            registry.watch("netfence_demoted_legacy_total",
+                           lambda: self.demoted_legacy,
+                           help="headerless transit packets demoted to legacy",
+                           labels=label)
+            registry.watch(
+                "netfence_decr_stamped_total",
+                lambda: sum(s.decr_stamped for s in self.link_states.values()),
+                help="L-down feedback stamps across monitored links",
+                labels=label)
 
     # -- wiring -----------------------------------------------------------------
     def attach_link(self, link: Link) -> None:
@@ -385,6 +407,11 @@ class NetFenceRouter(Router):
         """
         if packet.ptype is not PacketType.LEGACY and HEADER_KEY not in packet.headers:
             packet.ptype = PacketType.LEGACY
+            self.demoted_legacy += 1
+            if self._tracer is not None:
+                self._tracer.emit(self._trace_point,
+                                  ReasonCode.DEMOTED_LEGACY, packet,
+                                  ts=self.clock.now, detail="no NetFence header")
         return True
 
     # -- feedback stamping (§4.3.2) ------------------------------------------------
@@ -421,6 +448,10 @@ class NetFenceRouter(Router):
                 feedback, packet.src, packet.dst, packet.src_as or "", out_link.name
             )
             state.decr_stamped += 1
+            if self._tracer is not None:
+                self._tracer.emit(self._trace_point, ReasonCode.STAMPED_DECR,
+                                  packet, ts=self.clock.now,
+                                  detail=f"rule 1 (nop) on {out_link.name}")
         elif feedback.is_decr:
             # Rule 2: an upstream bottleneck already stamped L'↓ — leave it.
             return
@@ -430,6 +461,10 @@ class NetFenceRouter(Router):
                 feedback, packet.src, packet.dst, packet.src_as or "", out_link.name
             )
             state.decr_stamped += 1
+            if self._tracer is not None:
+                self._tracer.emit(self._trace_point, ReasonCode.STAMPED_DECR,
+                                  packet, ts=self.clock.now,
+                                  detail=f"rule 3 (overloaded) on {out_link.name}")
 
     def _stamp_multi(
         self,
@@ -456,6 +491,10 @@ class NetFenceRouter(Router):
         )
         if action is FeedbackAction.DECR:
             state.decr_stamped += 1
+            if self._tracer is not None:
+                self._tracer.emit(self._trace_point, ReasonCode.STAMPED_DECR,
+                                  packet, ts=self.clock.now,
+                                  detail=f"multi append on {out_link.name}")
 
     # -- introspection ------------------------------------------------------------
     def link_state(self, link_name: str) -> LinkMonitorState:

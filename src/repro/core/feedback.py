@@ -203,6 +203,11 @@ class FeedbackStamper:
             memo[memo_key] = verdict
         return verdict
 
+    @property
+    def memo_size(self) -> int:
+        """Memoized verification entries across epochs, for telemetry gauges."""
+        return sum(len(memo) for memo in self._verify_cache.values())
+
     def _validate_with_key(
         self,
         feedback: Feedback,

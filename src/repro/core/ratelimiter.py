@@ -24,6 +24,7 @@ from typing import Callable, Deque, Optional
 
 from repro.core.feedback import Feedback
 from repro.core.params import NetFenceParams
+from repro.obs.trace import ReasonCode, active_tracer
 from repro.runtime.clock import Clock, ClockHandle
 from repro.simulator.packet import Packet
 
@@ -143,6 +144,11 @@ class RegularRateLimiter:
         # it has neither seen L↓ feedback nor dropped a packet for Ta seconds.
         self.last_pressure_time = clock.now
 
+        # Tracing touches only the cache/drop branches, never the PASS fast
+        # path, so a limiter with tracing off pays nothing per passed packet.
+        self._tracer = active_tracer()
+        self._trace_point = f"limiter:{sender}->{link}"
+
     # -- feedback status --------------------------------------------------------
     def update_status(self, feedback: Feedback) -> None:
         """Record the feedback presented with a packet (Fig. 17's update_status)."""
@@ -194,6 +200,10 @@ class RegularRateLimiter:
         self._cache.append(packet)
         self._cache_bytes += packet.size_bytes
         self.stats.cached += 1
+        if self._tracer is not None:
+            self._tracer.emit(self._trace_point,
+                              ReasonCode.RATE_LIMITED, packet, ts=now,
+                              detail=f"cached at {self.rate_bps:.0f} bps")
         if len(self._cache) == 1:
             self._schedule_next_unleash()
         return CACHED
@@ -212,6 +222,11 @@ class RegularRateLimiter:
     def _record_drop(self, packet: Packet) -> None:
         self.stats.dropped += 1
         self.last_pressure_time = self.clock.now
+        if self._tracer is not None:
+            self._tracer.emit(self._trace_point,
+                              ReasonCode.DROP_CACHE_DELAY, packet,
+                              ts=self.clock.now,
+                              detail=f"cache {self._cache_bytes}B full")
 
     def _account_forward(self, packet: Packet) -> None:
         self._interval_bytes += packet.size_bytes

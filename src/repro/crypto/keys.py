@@ -95,6 +95,11 @@ class AccessRouterSecret:
             self._candidate_cache[epoch] = cached
         return cached
 
+    @property
+    def cache_size(self) -> int:
+        """Cached epoch entries (key + candidate caches), for telemetry gauges."""
+        return len(self._key_cache) + len(self._candidate_cache)
+
 
 class ASKeyRegistry:
     """Pairwise AS keys ``Kai`` (stand-in for the Passport/BGP DH exchange).

@@ -37,6 +37,11 @@ Hot-path profiling (see :mod:`repro.perf`)::
 Static analysis (see :mod:`repro.lint`)::
 
     netfence-experiment lint [--strict] [--json] [--select/--ignore CODES] [paths...]
+
+Telemetry (see :mod:`repro.obs` and :mod:`repro.runtime.dashboard`)::
+
+    netfence-experiment trace fig12 --quick [--point N] [--follow WHO] [--json]
+    netfence-experiment dashboard --store results.sqlite [--queue QDIR] [--serve-log LOG]
 """
 
 from __future__ import annotations
@@ -213,6 +218,16 @@ def main(argv=None) -> int:
         from repro.lint import cli_main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # Deferred import: tracing replays one point with the obs layer on.
+        from repro.obs.cli import cli_main as trace_main
+
+        return trace_main(argv[1:], experiments=EXPERIMENTS)
+    if argv and argv[0] == "dashboard":
+        # Deferred import: the dashboard pulls in the asyncio HTTP server.
+        from repro.runtime.dashboard import cli_main as dashboard_main
+
+        return dashboard_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="netfence-experiment",
         description="Reproduce a NetFence (SIGCOMM 2010) evaluation figure or table.",

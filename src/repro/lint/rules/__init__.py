@@ -14,4 +14,5 @@ from repro.lint.rules import (  # noqa: F401
     lifecycle,
     robustness,
     security,
+    telemetry,
 )

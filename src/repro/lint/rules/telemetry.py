@@ -1,0 +1,73 @@
+"""Telemetry rules: observable output goes through the obs layer, not stdout.
+
+History: before PR 8 the live policer and loadgen reported state through
+hand-rolled ``print()`` dicts, which made their stats impossible to scrape,
+version, or test.  PR 8 moved metrics onto :mod:`repro.obs`; this rule keeps
+stray ``print()`` debugging from reattaching library code to stdout.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.context import FileContext
+from repro.lint.registry import LintRule, register
+
+#: Function names that *are* CLI surface: their stdout is the product.
+_CLI_ENTRY_NAMES = ("main", "cli_main")
+_CLI_ENTRY_PREFIX = "_cmd_"
+
+
+def _is_cli_entry(name: str) -> bool:
+    return name in _CLI_ENTRY_NAMES or name.startswith(_CLI_ENTRY_PREFIX)
+
+
+@register
+class NoBarePrintRule(LintRule):
+    """NF015: ``print()`` in library code (outside CLI entry points)."""
+
+    code = "NF015"
+    name = "no-print-outside-cli"
+    rationale = (
+        "Library layers must report through repro.obs (metrics, traces, "
+        "structured snapshots); a print() in non-CLI code is untestable, "
+        "unscrapable stdout. CLI surface (main/cli_main/_cmd_*) is exempt; "
+        "waive deliberate JSON-lines emitters via the committed baseline."
+    )
+    history = "PR 8 (unified telemetry layer superseding printed stats dicts)"
+    paths = ("repro/*",)
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._func_stack: List[str] = []
+
+    def _visit_function(self, node: ast.AST, name: str) -> None:
+        self._func_stack.append(name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+            and not any(_is_cli_entry(name) for name in self._func_stack)
+        ):
+            where = (
+                f"in {'.'.join(self._func_stack)}()"
+                if self._func_stack
+                else "at module level"
+            )
+            self.report(
+                node,
+                f"print() {where} is library stdout; report through "
+                "repro.obs instruments or return structured data to the CLI "
+                "layer (main/cli_main/_cmd_* are exempt)",
+            )
+        self.generic_visit(node)

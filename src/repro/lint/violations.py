@@ -26,7 +26,12 @@ class Violation:
 
     @property
     def fingerprint(self) -> str:
-        key = f"{self.code}|{self.path}|{self.source_line.strip()}"
+        # Hash the *logical* path, not the invocation path, so a committed
+        # baseline matches whether lint runs on `src/repro`, an absolute
+        # path, or from a different working directory.
+        from repro.lint.context import logical_path
+
+        key = f"{self.code}|{logical_path(self.path)}|{self.source_line.strip()}"
         return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
 
     def format(self) -> str:

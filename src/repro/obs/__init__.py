@@ -1,0 +1,51 @@
+"""Unified telemetry: clock-agnostic metrics, packet tracing, exporters.
+
+``repro.obs`` is the cross-cutting observability layer:
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with label sets and
+  a disabled-by-default null fast path (see that module's docstring for the
+  cost model);
+* :mod:`repro.obs.trace` — a bounded ring buffer of reasoned per-packet
+  decision events (:class:`~repro.obs.trace.ReasonCode`), driving
+  ``runner trace``;
+* :mod:`repro.obs.export` — JSON snapshots, Prometheus text, and the
+  ``metric_rows`` bridge into :class:`~repro.store.ResultStore`.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.trace import (
+    PacketTracer,
+    ReasonCode,
+    TraceEvent,
+    active_tracer,
+    set_tracer,
+    use_tracer,
+)
+from repro.obs.export import (
+    commit_metric_rows,
+    metric_rows,
+    prometheus_text,
+    snapshot,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "PacketTracer",
+    "ReasonCode",
+    "TraceEvent",
+    "active_tracer",
+    "set_tracer",
+    "use_tracer",
+    "commit_metric_rows",
+    "metric_rows",
+    "prometheus_text",
+    "snapshot",
+]

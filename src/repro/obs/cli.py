@@ -1,0 +1,181 @@
+"""``runner trace`` — replay one grid point with packet tracing switched on.
+
+Runs a single :class:`~repro.experiments.sweep.ScenarioSpec` in-process with
+a :class:`~repro.obs.trace.PacketTracer` installed, then prints a reasoned
+reconstruction of what happened to packets: a reason-code census, and the
+full recorded path of a chosen packet (by ``--uid``, by ``--follow``
+endpoint/flow substring, or — by default — the first packet that was
+dropped).  With ``--metrics-store`` the run also executes under an enabled
+:class:`~repro.obs.metrics.MetricsRegistry` and commits the per-point metric
+summary into a :class:`~repro.store.result_store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.export import commit_metric_rows
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import PacketTracer, ReasonCode, TraceEvent, use_tracer
+
+__all__ = ["cli_main"]
+
+
+def _parse_reasons(raw: Optional[str]) -> Optional[List[ReasonCode]]:
+    if not raw:
+        return None
+    out = []
+    for token in raw.split(","):
+        token = token.strip().upper()
+        if not token:
+            continue
+        try:
+            out.append(ReasonCode[token])
+        except KeyError:
+            valid = ", ".join(r.name for r in ReasonCode)
+            raise ValueError(f"unknown reason code {token!r}; one of: {valid}")
+    return out or None
+
+
+def _pick_path(tracer: PacketTracer, uid: Optional[int],
+               follow: Optional[str]) -> List[TraceEvent]:
+    """The packet path to print: explicit uid > follow filter > first drop."""
+    if uid is not None:
+        return tracer.by_uid(uid)
+    if follow is not None:
+        return tracer.matching(follow=follow)
+    dropped = tracer.dropped_uids()
+    if dropped:
+        return tracer.by_uid(dropped[0])
+    return []
+
+
+def cli_main(argv: Optional[Sequence[str]] = None,
+             experiments: Optional[Dict[str, Any]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="runner trace",
+        description="Re-run one grid point with packet-path tracing enabled.",
+    )
+    parser.add_argument("experiment",
+                        help="experiment name (as in 'runner list')")
+    parser.add_argument("--point", type=int, default=0,
+                        help="grid point index to trace (default 0)")
+    parser.add_argument("--quick", action="store_true",
+                        help="use the experiment's --quick grid")
+    parser.add_argument("--follow", default=None, metavar="WHO",
+                        help="print events whose src/dst/flow matches WHO")
+    parser.add_argument("--uid", type=int, default=None,
+                        help="print the full path of this packet uid")
+    parser.add_argument("--reasons", default=None, metavar="CODES",
+                        help="comma-separated ReasonCode filter for --follow "
+                             "output (e.g. DROP_RED,DROP_TAIL)")
+    parser.add_argument("--capacity", type=int, default=100_000,
+                        help="trace ring-buffer capacity (default 100000)")
+    parser.add_argument("--limit", type=int, default=40,
+                        help="max events to print per section (default 40)")
+    parser.add_argument("--metrics-store", default=None, metavar="PATH",
+                        help="also run with metrics enabled and commit the "
+                             "per-point metric summary to this result store")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the trace as JSON instead of text")
+    args = parser.parse_args(argv)
+
+    if experiments is None:
+        from repro.experiments.runner import EXPERIMENTS
+        experiments = EXPERIMENTS
+    experiment = experiments.get(args.experiment)
+    if experiment is None:
+        print(f"trace: unknown experiment {args.experiment!r} "
+              f"(try: {', '.join(sorted(experiments))})", file=sys.stderr)
+        return 2
+    try:
+        reasons = _parse_reasons(args.reasons)
+    except ValueError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+
+    specs = experiment.build_grid(args.quick)
+    if not 0 <= args.point < len(specs):
+        print(f"trace: --point {args.point} out of range "
+              f"(grid has {len(specs)} points)", file=sys.stderr)
+        return 2
+    spec = specs[args.point]
+
+    from repro.experiments.sweep import execute_spec
+
+    tracer = PacketTracer(capacity=args.capacity)
+    registry = MetricsRegistry(enabled=True)
+    with use_tracer(tracer):
+        if args.metrics_store:
+            with use_registry(registry):
+                result = execute_spec(spec, capture_errors=True)
+        else:
+            result = execute_spec(spec, capture_errors=True)
+    if result.error is not None:
+        print(f"trace: point failed:\n{result.error}", file=sys.stderr)
+        return 1
+
+    if args.metrics_store:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.metrics_store)
+        written = commit_metric_rows(store, spec.experiment, spec.cache_key(),
+                                     registry)
+        print(f"trace: committed {written} metric rows to "
+              f"{args.metrics_store}", file=sys.stderr)
+
+    path = _pick_path(tracer, args.uid, args.follow)
+    if args.follow is not None and reasons is not None:
+        path = [e for e in path if e.reason in reasons]
+
+    if args.as_json:
+        payload = {
+            "spec": spec.describe(),
+            "point": args.point,
+            "events_recorded": len(tracer),
+            "events_emitted": tracer.emitted,
+            "reason_counts": tracer.reason_counts(),
+            "dropped_uids": tracer.dropped_uids()[: args.limit],
+            "path": [e.to_dict() for e in path[: args.limit]],
+        }
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+
+    print(f"trace: {spec.describe()}")
+    print(f"trace: {len(tracer)} events buffered "
+          f"({tracer.emitted} emitted, capacity {tracer.capacity})")
+    counts = tracer.reason_counts()
+    if counts:
+        width = max(len(name) for name in counts)
+        print("\nreason counts:")
+        for name, count in counts.items():
+            print(f"  {name:<{width}}  {count}")
+    else:
+        print("\nno events recorded — did the scenario emit any decisions?")
+
+    if path:
+        if args.uid is not None:
+            title = f"path of uid={args.uid}"
+        elif args.follow is not None:
+            title = f"events matching {args.follow!r}"
+        else:
+            title = f"path of first dropped packet (uid={path[0].uid})"
+        print(f"\n{title}:")
+        for event in path[: args.limit]:
+            print(f"  {event.format()}")
+        if len(path) > args.limit:
+            print(f"  ... {len(path) - args.limit} more "
+                  f"(raise --limit to see them)")
+    elif args.uid is not None or args.follow is not None:
+        print("\nno matching events")
+    else:
+        print("\nno dropped packets recorded")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(cli_main())

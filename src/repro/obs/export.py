@@ -1,0 +1,133 @@
+"""Exporters: JSON snapshots, Prometheus text, and the ResultStore bridge.
+
+Three consumers pull from a :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :func:`snapshot` — a flat ``{name{labels}: value}`` dict for JSON-lines
+  streams (the live policer's stats events build on this);
+* :func:`prometheus_text` — the Prometheus exposition format served by the
+  policer's ``--metrics-port`` endpoint and the dashboard's ``/metrics``;
+* :func:`metric_rows` / :func:`commit_metric_rows` — per-point metric
+  summaries flattened into dict rows and committed into a
+  :class:`~repro.store.ResultStore` ``metric_rows`` table, so sweeps leave
+  queryable telemetry next to their result rows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "flat_name",
+    "snapshot",
+    "prometheus_text",
+    "metric_rows",
+    "commit_metric_rows",
+]
+
+
+def flat_name(name: str, labels: Any) -> str:
+    """``name`` or ``name{k="v",...}`` for labeled instruments."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def snapshot(registry: MetricsRegistry, now: Optional[float] = None) -> Dict[str, Any]:
+    """Flat JSON-ready view of every instrument.
+
+    Histograms flatten to ``name_count`` / ``name_sum``; the timestamp key
+    is only present when the caller (or the registry's clock) provides one,
+    keeping the exporter clock-agnostic.
+    """
+    out: Dict[str, Any] = {}
+    ts = now if now is not None else registry.now
+    if ts is not None:
+        out["_ts"] = ts
+    for instrument in registry:
+        key = flat_name(instrument.name, instrument.labels)
+        if isinstance(instrument, Histogram):
+            out[f"{key}_count"] = instrument.count
+            out[f"{key}_sum"] = instrument.sum
+        else:
+            out[key] = instrument.collect()
+    return out
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus exposition format (text/plain version 0.0.4)."""
+    lines: List[str] = []
+    seen_help: set = set()
+    for instrument in registry:
+        if instrument.name not in seen_help:
+            seen_help.add(instrument.name)
+            if instrument.help:
+                lines.append(f"# HELP {instrument.name} {instrument.help}")
+            kind = instrument.kind if instrument.kind != "null" else "untyped"
+            lines.append(f"# TYPE {instrument.name} {kind}")
+        if isinstance(instrument, Histogram):
+            base = dict(instrument.labels)
+            for bound, cumulative in instrument.cumulative():
+                labels = tuple(sorted({**base, "le": _fmt(bound)}.items()))
+                lines.append(
+                    f"{flat_name(instrument.name + '_bucket', labels)} {cumulative}")
+            lines.append(
+                f"{flat_name(instrument.name + '_sum', instrument.labels)} "
+                f"{_fmt(instrument.sum)}")
+            lines.append(
+                f"{flat_name(instrument.name + '_count', instrument.labels)} "
+                f"{instrument.count}")
+        else:
+            lines.append(
+                f"{flat_name(instrument.name, instrument.labels)} "
+                f"{_fmt(instrument.collect())}")
+    return "\n".join(lines) + "\n"
+
+
+def metric_rows(registry: MetricsRegistry) -> List[Dict[str, Any]]:
+    """One dict row per instrument: ``{name, labels, kind, value}``.
+
+    Histogram rows carry ``value`` = count plus ``sum`` and the cumulative
+    bucket counts, so a store reader can rebuild percentiles.
+    """
+    rows: List[Dict[str, Any]] = []
+    for instrument in registry:
+        row: Dict[str, Any] = {
+            "name": instrument.name,
+            "labels": dict(instrument.labels),
+            "kind": instrument.kind,
+            "value": instrument.collect(),
+        }
+        if isinstance(instrument, Histogram):
+            row["sum"] = instrument.sum
+            row["buckets"] = [
+                {"le": _fmt(bound), "count": cumulative}
+                for bound, cumulative in instrument.cumulative()
+            ]
+        rows.append(row)
+    return rows
+
+
+def commit_metric_rows(store: Any, experiment: str, cache_key: str,
+                       registry: MetricsRegistry,
+                       now: Optional[float] = None) -> int:
+    """Flatten ``registry`` and append it to ``store`` (ResultStore bridge).
+
+    Returns the number of metric rows written.  ``store`` needs only the
+    ``put_metric_rows`` method, so tests can pass fakes.
+    """
+    rows = metric_rows(registry)
+    store.put_metric_rows(experiment, cache_key, rows,
+                          now=now if now is not None else registry.now)
+    return len(rows)

@@ -1,0 +1,313 @@
+"""Clock-agnostic metrics: counters, gauges, and fixed-bucket histograms.
+
+Design constraints, in order of importance:
+
+1. **Disabled is free.**  The default process-global registry is disabled;
+   a disabled registry hands out shared *null* instruments whose methods are
+   no-ops and registers nothing.  Components therefore guard registration
+   with ``if registry.enabled:`` at **construction** time, so the simulator
+   hot path pays nothing — not even a no-op call — when telemetry is off,
+   and hotpath-bench golden rows stay byte-identical.
+
+2. **Clock-agnostic.**  Instruments never read time.  A registry may carry
+   a :class:`~repro.runtime.clock.Clock` purely so exporters can timestamp
+   snapshots consistently under *either* simulated or wall time; nothing in
+   this module calls ``time.time()`` (lint rule NF002 territory).
+
+3. **Pull over push.**  Components already keep counters
+   (:class:`~repro.simulator.queues.QueueStats`, the access router's
+   ``counters`` dict, :class:`~repro.core.ratelimiter.RateLimiterStats`).
+   The cheapest instrument is therefore a *callback gauge*
+   (:meth:`MetricsRegistry.watch`) evaluated only at collection time —
+   zero per-packet cost even when enabled.  Direct ``inc()``/``observe()``
+   instruments exist for paths that have no pre-existing counter (the live
+   policer, exporters, tests).
+
+Label sets are plain ``dict``\\ s; ``counter(name, labels={...})`` returns
+the same child for the same ``(name, labels)`` pair, Prometheus-style.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Fixed default histogram buckets (seconds-ish scale; callers override).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0
+)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Optional[Dict[str, Any]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelSet = (), help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def collect(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up, down, or be computed on demand."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelSet = (), help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Evaluate ``fn`` at collection time instead of storing a value."""
+        self._fn = fn
+
+    def collect(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative bucket counts plus sum/count."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def collect(self) -> float:
+        return float(self.count)
+
+
+class _NullInstrument:
+    """Shared no-op instrument handed out by disabled registries.
+
+    Implements the union of the three instrument surfaces so call sites can
+    hold one without isinstance checks; every mutator is a no-op.
+    """
+
+    name = ""
+    labels: LabelSet = ()
+    help = ""
+    kind = "null"
+    value = 0.0
+    sum = 0.0
+    count = 0
+    buckets: Tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        return []
+
+    def collect(self) -> float:
+        return 0.0
+
+
+NULL_COUNTER = _NullInstrument()
+NULL_GAUGE = _NullInstrument()
+NULL_HISTOGRAM = _NullInstrument()
+
+
+class MetricsRegistry:
+    """A set of named, label-keyed instruments.
+
+    ``enabled=False`` turns every factory into a return of the shared null
+    instrument — the fast path that keeps disabled telemetry free.  The
+    optional ``clock`` is only consulted by exporters (to timestamp
+    snapshots); the registry itself never reads time.
+    """
+
+    def __init__(self, enabled: bool = True, clock: Optional[Any] = None) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self._instruments: Dict[Tuple[str, LabelSet], Any] = {}
+        self._lock = threading.Lock()
+
+    # -- factories ---------------------------------------------------------
+    def _get_or_make(self, name: str, labels: LabelSet, factory: Callable[[], Any]) -> Any:
+        key = (name, labels)
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "",
+                labels: Optional[Dict[str, Any]] = None) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        frozen = _freeze_labels(labels)
+        return self._get_or_make(name, frozen, lambda: Counter(name, frozen, help))
+
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[Dict[str, Any]] = None) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE  # type: ignore[return-value]
+        frozen = _freeze_labels(labels)
+        return self._get_or_make(name, frozen, lambda: Gauge(name, frozen, help))
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Optional[Dict[str, Any]] = None,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        frozen = _freeze_labels(labels)
+        return self._get_or_make(
+            name, frozen, lambda: Histogram(name, frozen, help, buckets))
+
+    def watch(self, name: str, fn: Callable[[], float], help: str = "",
+              labels: Optional[Dict[str, Any]] = None) -> Gauge:
+        """A callback gauge: ``fn`` is evaluated at collection time only.
+
+        This is the instrument components bridge their existing counters
+        through — registration is a one-time cost at construction and the
+        per-event cost is zero.
+        """
+        gauge = self.gauge(name, help=help, labels=labels)
+        gauge.set_function(fn)
+        return gauge
+
+    # -- collection --------------------------------------------------------
+    def __iter__(self) -> Iterator[Any]:
+        with self._lock:
+            instruments = list(self._instruments.values())
+        return iter(sorted(instruments, key=lambda i: (i.name, i.labels)))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    @property
+    def now(self) -> Optional[float]:
+        """The registry clock's reading, if a clock was injected."""
+        return self.clock.now if self.clock is not None else None
+
+
+#: Process-global default registry: telemetry is opt-in, so it starts
+#: disabled and every instrument it hands out is a shared null.
+_default_registry = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry components consult at construction."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process-global default; returns the old one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+class use_registry:
+    """Context manager: swap the global registry in and back out.
+
+    Components capture instruments at *construction*, so the swap must wrap
+    scenario construction (e.g. the whole ``execute_spec`` call), not just
+    the simulation run.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._previous is not None:
+            set_registry(self._previous)

@@ -1,0 +1,291 @@
+"""``runner dashboard`` — a live HTTP view over stores, queues, and serve logs.
+
+A single stdlib asyncio HTTP service (built on :mod:`repro.runtime.httpd`)
+that exposes what an experiment operator wants to watch while a sweep or a
+live policer runs:
+
+* ``/api/summary`` — per-experiment totals from a
+  :class:`~repro.store.result_store.ResultStore`;
+* ``/api/payload`` — :func:`repro.analysis.aggregate.dashboard_payload`
+  pivots (``?experiment=…&index=…&column=…&value=…&agg=…``);
+* ``/api/queue`` — pending/running/done/failed counts and failures from a
+  :class:`~repro.experiments.distrib.WorkQueue` directory (``--queue``);
+* ``/api/serve`` — the tail of a ``runner serve --json`` stats stream
+  (``--serve-log``), so live-policer counters show up next to sweep results;
+* ``/`` — a small single-file HTML view that polls those endpoints.
+
+The store is reopened per request: it is an append-only SQLite database that
+other worker processes are committing to, and a fresh connection per poll is
+the simplest way to always read the latest committed points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.aggregate import dashboard_payload
+from repro.runtime.httpd import (
+    HttpServer,
+    Response,
+    html_response,
+    json_response,
+    text_response,
+)
+from repro.store.result_store import ResultStore
+
+__all__ = ["DashboardService", "cli_main", "DASHBOARD_HTML"]
+
+#: How many trailing serve-log events ``/api/serve`` returns by default.
+DEFAULT_SERVE_TAIL = 20
+
+DASHBOARD_HTML = """<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro dashboard</title>
+<style>
+ body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 1.5rem;
+        background: #11151a; color: #d8dee9; }
+ h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.5rem; }
+ table { border-collapse: collapse; margin-top: .5rem; }
+ th, td { border: 1px solid #3b4252; padding: .25rem .6rem; text-align: right; }
+ th { background: #1b222c; }
+ td:first-child, th:first-child { text-align: left; }
+ .err { color: #bf616a; } .ok { color: #a3be8c; }
+ #meta { color: #81a1c1; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>repro dashboard</h1>
+<div id="meta">loading…</div>
+<h2>pivot</h2><div id="pivot">–</div>
+<h2>work queue</h2><div id="queue">–</div>
+<h2>live serve</h2><div id="serve">–</div>
+<script>
+const qs = new URLSearchParams(window.location.search);
+function cell(v) { return (typeof v === "number") ? v.toFixed(4) : (v ?? "–"); }
+function table(head, rows) {
+  let h = "<table><tr>" + head.map(c => `<th>${c}</th>`).join("") + "</tr>";
+  for (const r of rows) h += "<tr>" + r.map(c => `<td>${cell(c)}</td>`).join("") + "</tr>";
+  return h + "</table>";
+}
+async function refresh() {
+  try {
+    const summary = await (await fetch("/api/summary")).json();
+    document.getElementById("meta").textContent =
+      `store=${summary.store_path} experiments=${summary.experiments.join(", ") || "none"}`;
+    const exp = qs.get("experiment") || summary.experiments[0];
+    if (exp) {
+      const args = new URLSearchParams({
+        experiment: exp,
+        index: qs.get("index") || "deployment_fraction",
+        column: qs.get("column") || "system",
+        value: qs.get("value") || "legit_share",
+        agg: qs.get("agg") || "mean",
+      });
+      const p = await (await fetch(`/api/payload?${args}`)).json();
+      if (p.error) {
+        document.getElementById("pivot").innerHTML = `<span class="err">${p.error}</span>`;
+      } else {
+        document.getElementById("pivot").innerHTML =
+          `<div id="meta">${p.experiment}: ${p.agg}(${p.value}) by ${p.index} × ${p.column}` +
+          ` — ${p.rows} rows</div>` +
+          table([p.index, ...p.series.map(s => s.name)],
+                p.index_values.map((iv, i) => [iv, ...p.series.map(s => s.values[i])]));
+      }
+    }
+    const q = await (await fetch("/api/queue")).json();
+    document.getElementById("queue").innerHTML = q.error
+      ? `<span>${q.error}</span>`
+      : table(Object.keys(q.counts), [Object.values(q.counts)]) +
+        (q.failures.length ? `<p class="err">${q.failures.length} failures</p>` : "");
+    const s = await (await fetch("/api/serve")).json();
+    if (s.error || !s.events.length) {
+      document.getElementById("serve").textContent = s.error || "no events yet";
+    } else {
+      const last = s.events[s.events.length - 1];
+      document.getElementById("serve").innerHTML =
+        table(["event", "now", "rx", "tx", "dropped", "limiters", "unverified"],
+              [[last.event, last.now, last.packets_rx, last.packets_tx,
+                last.queue ? last.queue.dropped : "–",
+                last.active_rate_limiters, last.unverified_admissions]]);
+    }
+  } catch (err) {
+    document.getElementById("meta").innerHTML = `<span class="err">${err}</span>`;
+  }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"""
+
+
+class DashboardService:
+    """Route table + data access for the dashboard HTTP server."""
+
+    def __init__(
+        self,
+        store_path: str,
+        queue_dir: Optional[str] = None,
+        serve_log: Optional[str] = None,
+    ) -> None:
+        self.store_path = store_path
+        self.queue_dir = queue_dir
+        self.serve_log = serve_log
+
+    # -- data access -------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        store = ResultStore(self.store_path)
+        return {
+            "store_path": store.path,
+            "experiments": store.experiments(),
+            "summary": store.summary(),
+        }
+
+    def payload(self, query: Dict[str, str]) -> Dict[str, Any]:
+        experiment = query.get("experiment")
+        if not experiment:
+            raise ValueError("missing required query parameter: experiment")
+        store = ResultStore(self.store_path)
+        return dashboard_payload(
+            store,
+            experiment,
+            index=query.get("index", "deployment_fraction"),
+            column=query.get("column", "system"),
+            value=query.get("value", "legit_share"),
+            agg=query.get("agg", "mean"),
+        )
+
+    def queue_status(self) -> Dict[str, Any]:
+        if self.queue_dir is None:
+            return {"error": "no --queue directory configured"}
+        if not os.path.isdir(self.queue_dir):
+            return {"error": f"queue directory not found: {self.queue_dir}"}
+        from repro.experiments.distrib import WorkQueue
+
+        queue = WorkQueue(self.queue_dir)
+        return {
+            "counts": queue.counts(),
+            "failures": [{"key": key, "error": error}
+                         for key, error in queue.failures()],
+        }
+
+    def serve_tail(self, limit: int = DEFAULT_SERVE_TAIL) -> Dict[str, Any]:
+        if self.serve_log is None:
+            return {"error": "no --serve-log configured", "events": []}
+        if not os.path.exists(self.serve_log):
+            return {"error": f"serve log not found: {self.serve_log}",
+                    "events": []}
+        events: List[Dict[str, Any]] = []
+        with open(self.serve_log, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                with contextlib.suppress(json.JSONDecodeError):
+                    event = json.loads(line)
+                    if isinstance(event, dict):
+                        events.append(event)
+        return {"path": self.serve_log, "events": events[-limit:]}
+
+    # -- routing -----------------------------------------------------------
+    def handle(self, path: str, query: Dict[str, str]) -> Optional[Response]:
+        if path in ("/", "/index.html"):
+            return html_response(DASHBOARD_HTML)
+        if path == "/healthz":
+            return text_response("ok\n")
+        if path == "/api/summary":
+            return json_response(self.summary())
+        if path == "/api/payload":
+            try:
+                return json_response(self.payload(query))
+            except (ValueError, KeyError) as exc:
+                return json_response({"error": str(exc)}, status=400)
+        if path == "/api/queue":
+            return json_response(self.queue_status())
+        if path == "/api/serve":
+            try:
+                limit = int(query.get("limit", str(DEFAULT_SERVE_TAIL)))
+            except ValueError:
+                return json_response({"error": "limit must be an int"},
+                                     status=400)
+            return json_response(self.serve_tail(limit=limit))
+        return None
+
+    def server(self) -> HttpServer:
+        return HttpServer(self.handle)
+
+
+async def _run(args: argparse.Namespace) -> int:
+    service = DashboardService(
+        store_path=args.store,
+        queue_dir=args.queue,
+        serve_log=args.serve_log,
+    )
+    server = service.server()
+    host, port = await server.start(args.host, args.port)
+    listening = {"event": "listening", "host": host, "port": port,
+                 "store": args.store}
+    if args.json:
+        print(json.dumps(listening), flush=True)
+    else:
+        print(f"dashboard: http://{host}:{port}/ (store {args.store})",
+              flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-Unix
+            pass
+    try:
+        if args.duration > 0:
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=args.duration)
+            except asyncio.TimeoutError:
+                pass
+        else:
+            await stop.wait()
+    finally:
+        await server.close()
+    return 0
+
+
+def cli_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="runner dashboard",
+        description="Serve a live HTML/JSON dashboard over a result store.",
+    )
+    parser.add_argument("--store", required=True,
+                        help="path to the ResultStore SQLite database")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port to bind (default 0 = ephemeral)")
+    parser.add_argument("--queue", default=None,
+                        help="WorkQueue directory to report on")
+    parser.add_argument("--serve-log", default=None,
+                        help="JSON-lines stats stream from 'runner serve --json'")
+    parser.add_argument("--duration", type=float, default=0.0,
+                        help="stop after N seconds (0 = run until SIGINT/SIGTERM)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable listening event")
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.store):
+        print(f"dashboard: store not found: {args.store}", file=sys.stderr)
+        return 1
+    return asyncio.run(_run(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(cli_main())

@@ -1,0 +1,153 @@
+"""A minimal stdlib asyncio HTTP/1.1 GET server for telemetry endpoints.
+
+Both the live policer's ``/metrics`` endpoint (:mod:`repro.runtime.serve`)
+and the dashboard service (:mod:`repro.runtime.dashboard`) need the same
+thing: serve a handful of GET routes from inside an existing asyncio event
+loop with no third-party dependencies.  This module provides exactly that —
+request-line + header parsing, a routing callback, and connection-per-request
+semantics (``Connection: close``).  It is deliberately not a general web
+server: no keep-alive, no chunked bodies, no methods besides GET/HEAD.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "Response",
+    "json_response",
+    "text_response",
+    "html_response",
+    "HttpServer",
+]
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+#: A route handler: ``(path, query) -> Response`` (or ``None`` for 404).
+Handler = Callable[[str, Dict[str, str]], Optional["Response"]]
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADER_LINES = 64
+
+
+@dataclass
+class Response:
+    """One HTTP response: status, content type, and an encoded body."""
+
+    body: bytes
+    status: int = 200
+    content_type: str = "text/plain; charset=utf-8"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        reason = _STATUS_TEXT.get(self.status, "Unknown")
+        head = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            "Connection: close",
+        ]
+        head.extend(f"{k}: {v}" for k, v in self.headers.items())
+        return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + self.body
+
+
+def json_response(payload: Any, status: int = 200) -> Response:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return Response(body, status=status,
+                    content_type="application/json; charset=utf-8")
+
+
+def text_response(text: str, status: int = 200,
+                  content_type: str = "text/plain; charset=utf-8") -> Response:
+    return Response(text.encode("utf-8"), status=status,
+                    content_type=content_type)
+
+
+def html_response(html: str, status: int = 200) -> Response:
+    return text_response(html, status=status,
+                         content_type="text/html; charset=utf-8")
+
+
+class HttpServer:
+    """Serve GET requests from ``handler`` on an asyncio event loop."""
+
+    def __init__(self, handler: Handler) -> None:
+        self.handler = handler
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> Tuple[str, int]:
+        """Bind and listen; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        sockets = self._server.sockets
+        if not sockets:
+            raise RuntimeError("server started without a listening socket")
+        bound_host, bound_port = sockets[0].getsockname()[:2]
+        return str(bound_host), int(bound_port)
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def serving(self) -> bool:
+        return self._server is not None
+
+    # -- request handling --------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            response = await self._read_and_dispatch(reader)
+            writer.write(response.encode())
+            await writer.drain()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_and_dispatch(self, reader: asyncio.StreamReader) -> Response:
+        try:
+            raw = await reader.readline()
+        except ValueError:
+            return text_response("request line too long", status=400)
+        if len(raw) > _MAX_REQUEST_LINE:
+            return text_response("request line too long", status=400)
+        parts = raw.decode("latin-1", "replace").split()
+        if len(parts) != 3:
+            return text_response("malformed request line", status=400)
+        method, target = parts[0], parts[1]
+        # Drain headers (bounded); this tiny server ignores their content.
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+        if method not in ("GET", "HEAD"):
+            return text_response("only GET is supported", status=405)
+        split = urlsplit(target)
+        query = dict(parse_qsl(split.query))
+        try:
+            response = self.handler(split.path, query)
+        except Exception as exc:  # surface handler bugs as 500s, keep serving
+            return text_response(f"handler error: {exc!r}", status=500)
+        if response is None:
+            return text_response("not found", status=404)
+        if method == "HEAD":
+            response = Response(b"", status=response.status,
+                                content_type=response.content_type)
+        return response

@@ -46,8 +46,12 @@ from repro.core.domain import NetFenceDomain
 from repro.core.header import HEADER_KEY
 from repro.core.params import NetFenceParams
 from repro.crypto.keys import AccessRouterSecret
+from repro.obs.export import prometheus_text, snapshot
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import ReasonCode, active_tracer
 from repro.runtime.clock import WallClock
 from repro.runtime.codec import CodecError, decode_frame, encode_packet
+from repro.runtime.httpd import HttpServer, Response, json_response, text_response
 from repro.simulator.packet import Packet, PacketType
 
 #: The AS every live host and both live routers belong to.  The loadgen
@@ -137,20 +141,29 @@ class LivePolicer(asyncio.DatagramProtocol):
         self.capacity_bps = capacity_bps
         self.domain = NetFenceDomain(params=self.params, master=master)
         self.secret = AccessRouterSecret("live-Ra", master=master)
-        self.access = _LiveAccessRouter(
-            clock,
-            "live-Ra",
-            as_name=SERVE_AS,
-            domain=self.domain,
-            secret=self.secret,
-            egress=self._egress,
-        )
-        self.bottleneck = NetFenceRouter(
-            clock, "live-Rb", as_name=SERVE_AS, domain=self.domain, force_mon=force_mon
-        )
-        self.queue = NetFenceChannelQueue(
-            clock, capacity_bps, params=self.params, as_fairness=as_fairness
-        )
+        # The live policer always runs with metrics on: its own registry is
+        # installed around component construction so the access router,
+        # bottleneck router, and every queue register their pull-based
+        # watches against it (simulated sweeps, by contrast, keep the
+        # process-global registry disabled).
+        self.registry = MetricsRegistry(enabled=True, clock=clock)
+        self._tracer = active_tracer()
+        with use_registry(self.registry):
+            self.access = _LiveAccessRouter(
+                clock,
+                "live-Ra",
+                as_name=SERVE_AS,
+                domain=self.domain,
+                secret=self.secret,
+                egress=self._egress,
+            )
+            self.bottleneck = NetFenceRouter(
+                clock, "live-Rb", as_name=SERVE_AS, domain=self.domain,
+                force_mon=force_mon
+            )
+            self.queue = NetFenceChannelQueue(
+                clock, capacity_bps, params=self.params, as_fairness=as_fairness
+            )
         self.egress_link = _EgressLink(BOTTLENECK_LINK, capacity_bps, self.queue)
         self.bottleneck.attach_link(self.egress_link)
 
@@ -174,6 +187,27 @@ class LivePolicer(asyncio.DatagramProtocol):
             "undeliverable": 0,
             "unverified_admissions": 0,
         }
+        # Bridge the policer's own counters and state into the registry so
+        # the /metrics endpoint and JSON snapshots see one coherent set.
+        for event in self.counters:
+            self.registry.watch(
+                "netfence_serve_events_total",
+                lambda key=event: self.counters[key],
+                help="live policer ingress/egress events by outcome",
+                labels={"event": event})
+        self.registry.watch("netfence_serve_registered_hosts",
+                            lambda: len(self.addrs),
+                            help="hosts registered via hello frames")
+        self.registry.watch("netfence_serve_key_epoch",
+                            lambda: float(self.secret.epoch_of(self.clock.now)),
+                            help="current Ka rotation epoch")
+        self.registry.watch("netfence_serve_in_mon",
+                            lambda: float(self.in_mon),
+                            help="1 while the egress link is in the mon state")
+        self._latency_hist = self.registry.histogram(
+            "netfence_serve_latency_seconds",
+            help="per-packet queueing latency (created_at to egress)",
+            buckets=(0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5))
 
     # -- asyncio protocol ---------------------------------------------------------
     def connection_made(self, transport: asyncio.DatagramTransport) -> None:  # pragma: no cover - asyncio glue
@@ -269,14 +303,26 @@ class LivePolicer(asyncio.DatagramProtocol):
                 link_as=link_as,
             ):
                 self.counters["unverified_admissions"] += 1
+                if self._tracer is not None:
+                    self._tracer.emit("serve:deliver",
+                                      ReasonCode.UNVERIFIED_FEEDBACK, packet,
+                                      ts=now, detail="egress assert failed")
         self.egress_link.bytes_delivered += packet.size_bytes
-        self.latencies.append(now - packet.created_at)
+        latency = now - packet.created_at
+        self.latencies.append(latency)
+        self._latency_hist.observe(latency)
         addr = self.addrs.get(packet.dst)
         if addr is None:
             self.counters["undeliverable"] += 1
+            if self._tracer is not None:
+                self._tracer.emit("serve:deliver",
+                                  ReasonCode.DROP_UNDELIVERABLE, packet, ts=now)
             return
         self.counters["packets_tx"] += 1
         self.counters["bytes_tx"] += packet.size_bytes
+        if self._tracer is not None:
+            self._tracer.emit("serve:deliver", ReasonCode.DELIVERED, packet,
+                              ts=now, detail=f"to {addr[0]}:{addr[1]}")
         if self.transport is None:
             # Deliveries only happen after connection_made; a None transport
             # here is a lifecycle bug and must fail loudly even under -O.
@@ -301,7 +347,26 @@ class LivePolicer(asyncio.DatagramProtocol):
             self.transport.close()
 
     # -- introspection ------------------------------------------------------------
+    @property
+    def in_mon(self) -> bool:
+        return self.bottleneck.link_state(BOTTLENECK_LINK).in_mon
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Flat ``{metric{labels}: value}`` view of the policer's registry."""
+        return snapshot(self.registry)
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition text for the policer's registry."""
+        return prometheus_text(self.registry)
+
     def stats(self, event: str = "stats") -> Dict[str, object]:
+        """One JSON-lines stats event.
+
+        The flat legacy keys (asserted by the CI serve-smoke job and the
+        loadgen harness) are preserved; drop reasons and cache sizes ride
+        along as new sub-keys sourced from the same state the registry
+        watches read.
+        """
         state = self.bottleneck.link_state(BOTTLENECK_LINK)
         return {
             "event": event,
@@ -313,11 +378,17 @@ class LivePolicer(asyncio.DatagramProtocol):
             "active_rate_limiters": self.access.active_rate_limiters,
             "in_mon": state.in_mon,
             "decr_stamped": state.decr_stamped,
+            "caches": {
+                "secret_epochs": self.secret.cache_size,
+                "stamper_memo": self.access.stamper.memo_size,
+                "registry_instruments": len(self.registry),
+            },
             "queue": {
                 "depth_pkts": len(self.queue),
                 "depth_bytes": self.queue.byte_length,
                 "arrivals": self.queue.stats.arrivals,
                 "dropped": self.queue.stats.dropped,
+                "drop_reasons": self.queue.stats.drop_reasons(),
                 "regular_dropped": self.queue.regular_queue.stats.dropped,
             },
             "latency_ms": percentiles_ms(self.latencies),
@@ -340,6 +411,22 @@ async def start_policer(
     return protocol
 
 
+def metrics_endpoint(policer: LivePolicer) -> HttpServer:
+    """The policer's HTTP telemetry surface (Prometheus + JSON)."""
+
+    def handler(path: str, query: Dict[str, str]) -> Optional[Response]:
+        if path == "/metrics":
+            return text_response(policer.metrics_text(),
+                                 content_type="text/plain; version=0.0.4")
+        if path == "/stats.json":
+            return json_response(policer.stats())
+        if path == "/healthz":
+            return text_response("ok\n")
+        return None
+
+    return HttpServer(handler)
+
+
 async def _serve(args: argparse.Namespace) -> Dict[str, object]:
     policer = await start_policer(
         host=args.host,
@@ -350,12 +437,20 @@ async def _serve(args: argparse.Namespace) -> Dict[str, object]:
         force_mon=args.force_mon,
         as_fairness=args.as_fairness,
     )
+    metrics_server: Optional[HttpServer] = None
+    metrics_port: Optional[int] = None
+    if args.metrics_port is not None:
+        metrics_server = metrics_endpoint(policer)
+        _mhost, metrics_port = await metrics_server.start(
+            args.host, args.metrics_port)
     sockname = policer.transport.get_extra_info("sockname")
-    _emit(
-        {"event": "listening", "host": sockname[0], "port": sockname[1],
-         "capacity_bps": args.capacity_bps},
-        args.json,
-    )
+    listening: Dict[str, object] = {
+        "event": "listening", "host": sockname[0], "port": sockname[1],
+        "capacity_bps": args.capacity_bps,
+    }
+    if metrics_port is not None:
+        listening["metrics_port"] = metrics_port
+    _emit(listening, args.json)
 
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -384,6 +479,8 @@ async def _serve(args: argparse.Namespace) -> Dict[str, object]:
     finally:
         if stats_task is not None:
             stats_task.cancel()
+        if metrics_server is not None:
+            await metrics_server.close()
         await policer.shutdown()
     return policer.stats(event="final")
 
@@ -426,6 +523,9 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
                         help="per-source-AS DRR on the regular channel (§4.5)")
     parser.add_argument("--stats-interval", type=float, default=0.0,
                         help="print a stats line every N seconds (0 = off)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        help="serve /metrics (Prometheus text) and /stats.json "
+                             "on this TCP port (0 = ephemeral; default off)")
     parser.add_argument("--duration", type=float, default=0.0,
                         help="stop after N seconds (0 = run until SIGINT/SIGTERM)")
     parser.add_argument("--json", action="store_true",

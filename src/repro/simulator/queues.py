@@ -28,6 +28,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import QUEUE_DROP_REASONS, active_tracer
 from repro.seeding import derive_seed
 from repro.simulator.packet import Packet
 
@@ -35,17 +37,38 @@ from repro.simulator.packet import Packet
 #: guarantees independent instances never share one random stream.
 _anonymous_queue_ids = itertools.count()
 
+#: Metric-label discriminator: queues have no names, so an enabled registry
+#: labels each queue's gauges by class + construction index.
+_queue_metric_ids = itertools.count()
+
 
 @dataclass(slots=True)
 class QueueStats:
-    """Counters shared by all queue implementations."""
+    """Counters shared by all queue implementations.
+
+    Drops are recorded *by reason* — ``tail`` (over byte capacity),
+    ``early`` (RED early/forced drop), ``evicted`` (priority eviction), and
+    ``other`` (e.g. an unroutable channel).  The pre-existing ``dropped``
+    total remains available as a derived sum, so row schemas and detection
+    deltas (:meth:`~repro.core.bottleneck.NetFenceRouter._detect`) are
+    unchanged.
+    """
 
     enqueued: int = 0
     dequeued: int = 0
-    dropped: int = 0
+    dropped_tail: int = 0
+    dropped_early: int = 0
+    dropped_evicted: int = 0
+    dropped_other: int = 0
     enqueued_bytes: int = 0
     dequeued_bytes: int = 0
     dropped_bytes: int = 0
+
+    @property
+    def dropped(self) -> int:
+        """Total drops across all reasons (the historical flat counter)."""
+        return (self.dropped_tail + self.dropped_early
+                + self.dropped_evicted + self.dropped_other)
 
     @property
     def arrivals(self) -> int:
@@ -57,6 +80,15 @@ class QueueStats:
         total = self.arrivals
         return self.dropped / total if total else 0.0
 
+    def drop_reasons(self) -> Dict[str, int]:
+        """Reason -> count, for stats payloads and exporters."""
+        return {
+            "tail": self.dropped_tail,
+            "early": self.dropped_early,
+            "evicted": self.dropped_evicted,
+            "other": self.dropped_other,
+        }
+
     def record_enqueue(self, packet: Packet) -> None:
         self.enqueued += 1
         self.enqueued_bytes += packet.size_bytes
@@ -65,8 +97,15 @@ class QueueStats:
         self.dequeued += 1
         self.dequeued_bytes += packet.size_bytes
 
-    def record_drop(self, packet: Packet) -> None:
-        self.dropped += 1
+    def record_drop(self, packet: Packet, reason: str = "tail") -> None:
+        if reason == "tail":
+            self.dropped_tail += 1
+        elif reason == "early":
+            self.dropped_early += 1
+        elif reason == "evicted":
+            self.dropped_evicted += 1
+        else:
+            self.dropped_other += 1
         self.dropped_bytes += packet.size_bytes
 
 
@@ -75,7 +114,30 @@ class PacketQueue:
 
     def __init__(self) -> None:
         self.stats = QueueStats()
-        self.drop_callback: Optional[Callable[[Packet], None]] = None
+        self.drop_callback: Optional[Callable[[Packet, str], None]] = None
+        # Telemetry is captured at construction: tracing costs one ``is not
+        # None`` test on the (cold) drop path, and metric registration only
+        # happens under an *enabled* registry, so the default-disabled case
+        # adds nothing to enqueue/dequeue.
+        self._tracer = active_tracer()
+        self._trace_point = f"queue:{type(self).__name__}"
+        registry = get_registry()
+        if registry.enabled:
+            label = {"queue": f"{type(self).__name__}-{next(_queue_metric_ids)}"}
+            registry.watch("netfence_queue_depth_pkts", lambda: len(self),
+                           help="instantaneous queue depth", labels=label)
+            registry.watch("netfence_queue_enqueued_total",
+                           lambda: self.stats.enqueued,
+                           help="packets accepted", labels=label)
+            registry.watch("netfence_queue_dropped_total",
+                           lambda: self.stats.dropped,
+                           help="packets dropped (all reasons)", labels=label)
+            for reason in ("tail", "early", "evicted", "other"):
+                registry.watch(
+                    "netfence_queue_drop_reason_total",
+                    lambda r=reason: self.stats.drop_reasons()[r],
+                    help="packets dropped by reason",
+                    labels={**label, "reason": reason})
 
     def enqueue(self, packet: Packet) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -90,10 +152,13 @@ class PacketQueue:
     def byte_length(self) -> int:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def _drop(self, packet: Packet) -> None:
-        self.stats.record_drop(packet)
+    def _drop(self, packet: Packet, reason: str = "tail") -> None:
+        self.stats.record_drop(packet, reason)
+        if self._tracer is not None:
+            self._tracer.emit(self._trace_point,
+                              QUEUE_DROP_REASONS[reason], packet)
         if self.drop_callback is not None:
-            self.drop_callback(packet)
+            self.drop_callback(packet, reason)
 
 
 class DropTailQueue(PacketQueue):
@@ -207,7 +272,7 @@ class REDQueue(PacketQueue):
             return False
         if avg >= self.minthresh:
             if avg >= self.maxthresh:
-                self._drop(packet)
+                self._drop(packet, "early")
                 return False
             p_drop = self.max_p * (avg - self.minthresh) / (self.maxthresh - self.minthresh)
             if p_drop > 0.0:
@@ -216,7 +281,7 @@ class REDQueue(PacketQueue):
                 effective = min(1.0, p_drop * self._count_since_drop)
                 if self.rng.random() < effective:
                     self._count_since_drop = 0
-                    self._drop(packet)
+                    self._drop(packet, "early")
                     return False
         self._queue.append(packet)
         self._bytes += size
@@ -277,10 +342,10 @@ class PriorityChannelQueue(PacketQueue):
             # Bubble inner-queue drops up through this queue's stats.
             q.drop_callback = self._inner_drop
 
-    def _inner_drop(self, packet: Packet) -> None:
-        self.stats.record_drop(packet)
+    def _inner_drop(self, packet: Packet, reason: str = "tail") -> None:
+        self.stats.record_drop(packet, reason)
         if self.drop_callback is not None:
-            self.drop_callback(packet)
+            self.drop_callback(packet, reason)
 
     @staticmethod
     def _default_classifier(packet: Packet) -> str:
@@ -290,7 +355,7 @@ class PriorityChannelQueue(PacketQueue):
         channel = self.classifier(packet)
         queue = self.queues.get(channel)
         if queue is None:
-            self.stats.record_drop(packet)
+            self._drop(packet, "other")
             return False
         accepted = queue.enqueue(packet)
         if accepted:
@@ -352,7 +417,7 @@ class LevelPriorityQueue(PacketQueue):
             victim = self._levels[victim_level].pop()
             self._bytes -= victim.size_bytes
             self._count -= 1
-            self._drop(victim)
+            self._drop(victim, "evicted")
             if self._bytes + packet.size_bytes > self.capacity_bytes:
                 self._drop(packet)
                 return False

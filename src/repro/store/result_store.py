@@ -65,6 +65,20 @@ CREATE TABLE IF NOT EXISTS point_rows (
     data      TEXT    NOT NULL,
     PRIMARY KEY (point_id, row_index)
 );
+CREATE TABLE IF NOT EXISTS metric_rows (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    experiment  TEXT    NOT NULL,
+    cache_key   TEXT    NOT NULL,
+    name        TEXT    NOT NULL,
+    labels_json TEXT    NOT NULL,
+    kind        TEXT    NOT NULL,
+    value       REAL    NOT NULL,
+    data        TEXT    NOT NULL,
+    recorded_at REAL,
+    created_at  REAL    NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_metric_rows_point
+    ON metric_rows (experiment, cache_key, id);
 """
 
 
@@ -278,6 +292,79 @@ class ResultStore:
                     _elapsed_s=point.elapsed_s, _created_at=point.created_at,
                     _attempt=point.attempt,
                 )
+            out.append(row)
+        return out
+
+    # ------------------------------------------------------------------
+    # Metric rows (repro.obs bridge)
+    # ------------------------------------------------------------------
+
+    def put_metric_rows(
+        self,
+        experiment: str,
+        cache_key: str,
+        rows: Sequence[Dict[str, Any]],
+        now: Optional[float] = None,
+    ) -> int:
+        """Append per-point metric summaries (see :mod:`repro.obs.export`).
+
+        Each row is the ``metric_rows`` shape — ``{name, labels, kind,
+        value, ...}`` — committed next to the experiment point it describes.
+        ``now`` is the *telemetry* clock reading (simulated or wall); the
+        wall-clock ``created_at`` provenance stamp is recorded separately.
+        Returns the number of rows written.
+        """
+        created = time.time()
+        payload = [
+            (
+                experiment,
+                cache_key,
+                str(row.get("name", "")),
+                json.dumps(row.get("labels", {}), sort_keys=True),
+                str(row.get("kind", "")),
+                float(row.get("value", 0.0)),
+                json.dumps(json_safe(row), sort_keys=True),
+                now,
+                created,
+            )
+            for row in rows
+        ]
+        with contextlib.closing(self._connect()) as conn, conn:
+            conn.executemany(
+                "INSERT INTO metric_rows (experiment, cache_key, name,"
+                " labels_json, kind, value, data, recorded_at, created_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                payload,
+            )
+        return len(payload)
+
+    def query_metric_rows(
+        self,
+        experiment: Optional[str] = None,
+        cache_key: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Stored metric rows, oldest first, with provenance fields attached."""
+        clauses, args = [], []
+        for column, wanted in (("experiment", experiment),
+                               ("cache_key", cache_key), ("name", name)):
+            if wanted is not None:
+                clauses.append(f"{column} = ?")
+                args.append(wanted)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        with contextlib.closing(self._connect()) as conn, conn:
+            records = conn.execute(
+                f"SELECT * FROM metric_rows{where} ORDER BY id", args
+            ).fetchall()
+        out: List[Dict[str, Any]] = []
+        for record in records:
+            row = json.loads(record["data"])
+            row.update(
+                _experiment=record["experiment"],
+                _cache_key=record["cache_key"],
+                _recorded_at=record["recorded_at"],
+                _created_at=record["created_at"],
+            )
             out.append(row)
         return out
 

@@ -1,0 +1,154 @@
+"""Tests for result aggregation: group_reduce, pivot_table, dashboard_payload."""
+
+import math
+
+import pytest
+
+from repro.analysis.aggregate import (
+    AGGREGATORS,
+    dashboard_payload,
+    group_reduce,
+    pivot_table,
+)
+
+ROWS = [
+    {"strategy": "netfence", "scale": 25, "goodput": 0.9},
+    {"strategy": "netfence", "scale": 50, "goodput": 0.7},
+    {"strategy": "fq", "scale": 25, "goodput": 0.4},
+    {"strategy": "fq", "scale": 50, "goodput": 0.2},
+]
+
+
+# ---------------------------------------------------------------------------
+# group_reduce
+# ---------------------------------------------------------------------------
+
+def test_group_reduce_mean_by_strategy():
+    out = group_reduce(ROWS, by=["strategy"], value="goodput", agg="mean")
+    by_strategy = {entry["strategy"]: entry for entry in out}
+    assert by_strategy["netfence"]["mean_goodput"] == pytest.approx(0.8)
+    assert by_strategy["fq"]["mean_goodput"] == pytest.approx(0.3)
+    assert by_strategy["netfence"]["n"] == 2
+
+
+def test_group_reduce_all_aggregators_agree_on_singleton():
+    row = [{"k": "a", "v": 3.0}]
+    for agg in AGGREGATORS:
+        out = group_reduce(row, by=["k"], value="v", agg=agg)
+        expected = 1 if agg == "count" else 3.0
+        assert out[0][f"{agg}_v"] == expected, agg
+
+
+def test_group_reduce_skips_non_numeric_bool_and_nonfinite():
+    rows = [
+        {"k": "a", "v": 1.0},
+        {"k": "a", "v": "oops"},
+        {"k": "a", "v": True},
+        {"k": "a", "v": math.nan},
+        {"k": "a", "v": None},
+    ]
+    out = group_reduce(rows, by=["k"], value="v", agg="sum")
+    assert out[0]["sum_v"] == pytest.approx(1.0)
+
+
+def test_group_reduce_group_with_no_numeric_values_yields_none():
+    rows = [{"k": "a", "v": "text"}]
+    out = group_reduce(rows, by=["k"], value="v", agg="mean")
+    assert out[0]["mean_v"] is None
+    assert out[0]["n"] == 0  # n counts numeric contributions only
+
+
+def test_group_reduce_unknown_aggregator_raises():
+    with pytest.raises(KeyError):
+        group_reduce(ROWS, by=["strategy"], value="goodput", agg="mode")
+
+
+def test_group_reduce_empty_rows():
+    assert group_reduce([], by=["strategy"], value="goodput", agg="mean") == []
+
+
+# ---------------------------------------------------------------------------
+# pivot_table
+# ---------------------------------------------------------------------------
+
+def _series(table):
+    return {s["name"]: s["values"] for s in table["series"]}
+
+
+def test_pivot_table_index_by_column():
+    table = pivot_table(ROWS, index="scale", column="strategy", value="goodput")
+    assert table["index"] == "scale"
+    assert table["index_values"] == [25, 50]  # first-appearance order
+    series = _series(table)
+    assert series["netfence"] == [pytest.approx(0.9), pytest.approx(0.7)]
+    assert series["fq"] == [pytest.approx(0.4), pytest.approx(0.2)]
+
+
+def test_pivot_table_fills_missing_cells_with_none():
+    sparse = ROWS[:3]  # fq has no scale=50 row
+    table = pivot_table(sparse, index="scale", column="strategy", value="goodput")
+    assert _series(table)["fq"] == [pytest.approx(0.4), None]
+
+
+def test_pivot_table_unknown_column_collapses_to_single_series():
+    table = pivot_table(ROWS, index="scale", column="nope", value="goodput")
+    series = _series(table)
+    assert list(series.keys()) == [None]
+    assert len(series[None]) == len(table["index_values"])
+
+
+def test_pivot_table_unknown_aggregator_raises():
+    with pytest.raises(KeyError):
+        pivot_table(ROWS, index="scale", column="strategy",
+                    value="goodput", agg="p99")
+
+
+def test_pivot_table_empty_rows():
+    table = pivot_table([], index="scale", column="strategy", value="goodput")
+    assert table["index_values"] == []
+    assert table["series"] == []
+
+
+# ---------------------------------------------------------------------------
+# dashboard_payload
+# ---------------------------------------------------------------------------
+
+class FakeStore:
+    path = "/tmp/fake.sqlite"
+
+    def __init__(self, rows):
+        self._rows = rows
+        self.queries = []
+
+    def query_rows(self, experiment=None, params=None):
+        self.queries.append((experiment, params))
+        return list(self._rows)
+
+
+def test_dashboard_payload_attaches_provenance_and_forwards_params():
+    store = FakeStore(ROWS)
+    payload = dashboard_payload(
+        store, "fig12", index="scale", column="strategy", value="goodput",
+        params={"seed": 1},
+    )
+    assert payload["experiment"] == "fig12"
+    assert payload["rows"] == 4
+    assert payload["store_path"] == "/tmp/fake.sqlite"
+    assert _series(payload)["netfence"][0] == pytest.approx(0.9)
+    assert store.queries == [("fig12", {"seed": 1})]
+
+
+def test_dashboard_payload_empty_store():
+    payload = dashboard_payload(
+        FakeStore([]), "fig12", index="scale", column="strategy",
+        value="goodput",
+    )
+    assert payload["rows"] == 0
+    assert payload["index_values"] == []
+    assert payload["series"] == []
+
+
+def test_dashboard_payload_unknown_aggregator_raises():
+    with pytest.raises(KeyError):
+        dashboard_payload(FakeStore(ROWS), "fig12", index="scale",
+                          column="strategy", value="goodput", agg="nope")

@@ -422,6 +422,62 @@ def test_nf014_passes_explicit_raise_and_non_security_layers():
     )
 
 
+# -- NF015: print outside CLI entry points ------------------------------------
+
+def test_nf015_flags_print_in_library_code():
+    assert "NF015" in codes(
+        """
+        def deliver(packet):
+            print("delivered", packet)
+        """,
+        "repro/core/bottleneck.py",
+    )
+    assert "NF015" in codes(
+        'print("module import side effect")\n', "repro/simulator/queues.py"
+    )
+
+
+def test_nf015_flags_print_in_nested_helper_of_cli():
+    # A helper *defined inside* cli_main is still CLI surface; one defined
+    # beside it is not.
+    assert "NF015" in codes(
+        """
+        def _format(rows):
+            print(rows)
+
+        def cli_main(argv=None):
+            _format([])
+            return 0
+        """,
+        "repro/experiments/runner.py",
+    )
+
+
+def test_nf015_passes_cli_entry_points():
+    assert "NF015" not in codes(
+        """
+        def main(argv=None):
+            print("report")
+
+        def cli_main(argv=None):
+            def emit(line):
+                print(line)
+            emit("ok")
+            return 0
+
+        def _cmd_status(args):
+            print("queue empty")
+        """,
+        "repro/experiments/distrib.py",
+    )
+
+
+def test_nf015_out_of_scope_outside_repro():
+    assert "NF015" not in codes(
+        'print("scratch")\n', "scripts/scratch.py"
+    )
+
+
 # -- select/ignore plumbing ----------------------------------------------------
 
 def test_select_and_ignore_filter_rules():

@@ -1,0 +1,110 @@
+"""Tests for metric export: snapshots, Prometheus text, and store rows."""
+
+import pytest
+
+from repro.obs.export import (
+    commit_metric_rows,
+    flat_name,
+    metric_rows,
+    prometheus_text,
+    snapshot,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.simulator.engine import Simulator
+from repro.store.result_store import ResultStore
+
+
+def _populated_registry(clock=None):
+    registry = MetricsRegistry(clock=clock)
+    registry.counter("ingress_total", help="packets in",
+                     labels={"router": "r1"}).inc(3)
+    registry.counter("ingress_total", labels={"router": "r2"}).inc(1)
+    registry.gauge("queue_depth", help="instant depth").set(7)
+    hist = registry.histogram("delay_seconds", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    return registry
+
+
+def test_flat_name_renders_frozen_label_pairs():
+    assert flat_name("tx", ()) == "tx"
+    assert flat_name("tx", (("a", "1"), ("b", "2"))) == 'tx{a="1",b="2"}'
+
+
+def test_snapshot_flattens_instruments():
+    snap = snapshot(_populated_registry())
+    assert snap['ingress_total{router="r1"}'] == 3.0
+    assert snap['ingress_total{router="r2"}'] == 1.0
+    assert snap["queue_depth"] == 7.0
+    assert snap["delay_seconds_count"] == 4.0
+    assert snap["delay_seconds_sum"] == pytest.approx(5.555)
+    assert "_ts" not in snap
+
+
+def test_snapshot_timestamps_from_clock_or_argument():
+    sim = Simulator()
+    sim.schedule(4.0, lambda: None)
+    sim.run()
+    clocked = snapshot(_populated_registry(clock=sim))
+    assert clocked["_ts"] == pytest.approx(4.0)
+    explicit = snapshot(_populated_registry(), now=12.5)
+    assert explicit["_ts"] == 12.5
+
+
+def test_prometheus_text_format():
+    text = prometheus_text(_populated_registry())
+    lines = text.splitlines()
+    assert text.endswith("\n")
+    assert "# HELP ingress_total packets in" in lines
+    assert lines.count("# HELP ingress_total packets in") == 1  # once per name
+    assert "# TYPE ingress_total counter" in lines
+    assert 'ingress_total{router="r1"} 3' in lines
+    assert "# TYPE queue_depth gauge" in lines
+    assert "# TYPE delay_seconds histogram" in lines
+    assert 'delay_seconds_bucket{le="0.01"} 1' in lines
+    assert 'delay_seconds_bucket{le="1"} 3' in lines
+    assert 'delay_seconds_bucket{le="+Inf"} 4' in lines
+    assert "delay_seconds_count 4" in lines
+    # un-helped metric gets no HELP line
+    assert not any(line.startswith("# HELP queue_depth ") and
+                   line != "# HELP queue_depth instant depth"
+                   for line in lines)
+
+
+def test_metric_rows_shapes():
+    rows = metric_rows(_populated_registry())
+    by_kind = {}
+    for row in rows:
+        by_kind.setdefault(row["kind"], []).append(row)
+    assert {r["labels"]["router"] for r in by_kind["counter"]} == {"r1", "r2"}
+    (hist_row,) = by_kind["histogram"]
+    assert hist_row["value"] == 4.0
+    assert hist_row["sum"] == pytest.approx(5.555)
+    assert [b["count"] for b in hist_row["buckets"]] == [1, 2, 3, 4]
+    assert hist_row["buckets"][-1]["le"] == "+Inf"
+
+
+def test_commit_metric_rows_to_fake_store():
+    calls = []
+
+    class FakeStore:
+        def put_metric_rows(self, experiment, cache_key, rows, now=None):
+            calls.append((experiment, cache_key, rows, now))
+
+    registry = _populated_registry()
+    n = commit_metric_rows(FakeStore(), "fig12", "cache-1", registry, now=9.0)
+    assert n == len(calls[0][2]) == 4
+    assert calls[0][:2] == ("fig12", "cache-1")
+    assert calls[0][3] == 9.0
+
+
+def test_commit_and_query_metric_rows_round_trip(tmp_path):
+    store = ResultStore(str(tmp_path / "results.sqlite"), worker_id="w-test")
+    registry = _populated_registry()
+    n = commit_metric_rows(store, "fig12", "ck", registry, now=1.5)
+    assert n == 4
+    fetched = store.query_metric_rows(experiment="fig12")
+    assert len(fetched) == 4
+    names = {row["name"] for row in fetched}
+    assert names == {"ingress_total", "queue_depth", "delay_seconds"}
+    assert store.query_metric_rows(experiment="missing") == []

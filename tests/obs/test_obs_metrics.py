@@ -1,0 +1,177 @@
+"""Tests for the clock-agnostic metrics registry and its instruments."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_COUNTER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.simulator.engine import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+
+def test_counter_increments_and_rejects_negative():
+    counter = Counter("events_total")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.collect() == pytest.approx(3.5)
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_inc_dec_and_callback():
+    gauge = Gauge("depth")
+    gauge.set(7)
+    gauge.inc(3)
+    gauge.dec(1)
+    assert gauge.collect() == pytest.approx(9.0)
+    backing = [1, 2, 3]
+    gauge.set_function(lambda: len(backing))
+    assert gauge.collect() == 3.0
+    backing.append(4)
+    assert gauge.collect() == 4.0  # evaluated at collection, not at set time
+
+
+def test_histogram_buckets_sum_count_and_cumulative():
+    hist = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        hist.observe(value)
+    assert hist.count == 5
+    assert hist.sum == pytest.approx(56.05)
+    assert hist.counts == [1, 2, 1, 1]  # per-bucket, +Inf last
+    cumulative = hist.cumulative()
+    assert cumulative[0] == (0.1, 1)
+    assert cumulative[1] == (1.0, 3)
+    assert cumulative[2] == (10.0, 4)
+    assert cumulative[3] == (float("inf"), 5)
+
+
+def test_histogram_rejects_unsorted_or_empty_buckets():
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=(1.0, 0.5))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_same_name_and_labels_return_the_same_child():
+    registry = MetricsRegistry()
+    a = registry.counter("tx", labels={"router": "r1"})
+    b = registry.counter("tx", labels={"router": "r1"})
+    c = registry.counter("tx", labels={"router": "r2"})
+    assert a is b
+    assert a is not c
+    a.inc()
+    assert b.collect() == 1.0
+    assert len(registry) == 2
+
+
+def test_label_order_does_not_matter():
+    registry = MetricsRegistry()
+    a = registry.gauge("g", labels={"x": 1, "y": 2})
+    b = registry.gauge("g", labels={"y": 2, "x": 1})
+    assert a is b
+
+
+def test_iteration_is_sorted_by_name_then_labels():
+    registry = MetricsRegistry()
+    registry.counter("b")
+    registry.counter("a", labels={"k": "2"})
+    registry.counter("a", labels={"k": "1"})
+    keys = [(i.name, i.labels) for i in registry]
+    assert keys == sorted(keys)
+
+
+def test_watch_registers_a_callback_gauge():
+    registry = MetricsRegistry()
+    state = {"n": 5}
+    gauge = registry.watch("state_size", lambda: state["n"])
+    assert gauge.collect() == 5.0
+    state["n"] = 9
+    assert gauge.collect() == 9.0
+
+
+def test_disabled_registry_hands_out_shared_nulls_and_registers_nothing():
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("tx")
+    gauge = registry.gauge("depth")
+    hist = registry.histogram("lat")
+    # All mutators are no-ops, nothing is registered.
+    counter.inc()
+    gauge.set(10)
+    hist.observe(1.0)
+    assert counter is NULL_COUNTER or counter.collect() == 0.0
+    assert len(registry) == 0
+    assert list(registry) == []
+
+
+def test_registry_now_reads_the_injected_clock():
+    sim = Simulator()
+    registry = MetricsRegistry(clock=sim)
+    assert registry.now == 0.0
+    sim.schedule(2.5, lambda: None)
+    sim.run()
+    assert registry.now == pytest.approx(2.5)
+    assert MetricsRegistry().now is None
+
+
+def test_default_buckets_are_ascending():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+def test_concurrent_factory_calls_yield_one_instrument():
+    registry = MetricsRegistry()
+    instruments = []
+
+    def grab():
+        instruments.append(registry.counter("shared"))
+
+    threads = [threading.Thread(target=grab) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(set(map(id, instruments))) == 1
+
+
+# ---------------------------------------------------------------------------
+# Global default + scoped override
+# ---------------------------------------------------------------------------
+
+def test_process_global_default_registry_is_disabled():
+    assert get_registry().enabled is False
+
+
+def test_use_registry_swaps_in_and_back_out():
+    before = get_registry()
+    scoped = MetricsRegistry(enabled=True)
+    with use_registry(scoped) as active:
+        assert active is scoped
+        assert get_registry() is scoped
+    assert get_registry() is before
+
+
+def test_set_registry_returns_the_previous_one():
+    before = get_registry()
+    replacement = MetricsRegistry(enabled=True)
+    old = set_registry(replacement)
+    try:
+        assert old is before
+        assert get_registry() is replacement
+    finally:
+        set_registry(before)

@@ -1,0 +1,147 @@
+"""Tests for the packet-path tracer and reason-code vocabulary."""
+
+from dataclasses import dataclass, field
+from itertools import count
+
+import pytest
+
+from repro.obs.trace import (
+    QUEUE_DROP_REASONS,
+    PacketTracer,
+    ReasonCode,
+    active_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+_UIDS = count(1)
+
+
+@dataclass
+class FakePacket:
+    src: str = "s1"
+    dst: str = "d1"
+    flow_id: str = "s1->d1"
+    ptype: str = "regular"
+    uid: int = field(default_factory=lambda: next(_UIDS))
+
+
+def test_reason_code_drop_predicate_matches_prefix():
+    assert ReasonCode.DROP_TAIL.is_drop
+    assert ReasonCode.DROP_POLICED.is_drop
+    assert not ReasonCode.ADMITTED_REQUEST.is_drop
+    assert not ReasonCode.DELIVERED.is_drop
+    drops = {code for code in ReasonCode if code.is_drop}
+    assert drops == {code for code in ReasonCode if code.value.startswith("DROP_")}
+
+
+def test_queue_drop_reason_mapping_is_total_over_queue_kinds():
+    assert QUEUE_DROP_REASONS["tail"] is ReasonCode.DROP_TAIL
+    assert QUEUE_DROP_REASONS["early"] is ReasonCode.DROP_RED
+    assert all(reason.is_drop for reason in QUEUE_DROP_REASONS.values())
+
+
+def test_emit_records_packet_identity_and_sequence():
+    tracer = PacketTracer()
+    packet = FakePacket()
+    tracer.emit("queue:bottleneck", ReasonCode.DROP_TAIL, packet, ts=3.25,
+                detail="qlen=64")
+    (event,) = tracer.events
+    assert event.uid == packet.uid
+    assert event.src == "s1"
+    assert event.dst == "d1"
+    assert event.flow == "s1->d1"
+    assert event.ts == 3.25
+    assert event.point == "queue:bottleneck"
+    assert event.reason is ReasonCode.DROP_TAIL
+    assert event.detail == "qlen=64"
+    assert "DROP_TAIL" in event.format()
+    assert event.to_dict()["reason"] == "DROP_TAIL"
+
+
+def test_ring_buffer_evicts_oldest_but_counts_everything():
+    tracer = PacketTracer(capacity=3)
+    packets = [FakePacket() for _ in range(5)]
+    for i, packet in enumerate(packets):
+        tracer.emit("p", ReasonCode.DELIVERED, packet, ts=float(i))
+    assert tracer.emitted == 5
+    assert len(tracer.events) == 3
+    assert [e.uid for e in tracer.events] == [p.uid for p in packets[2:]]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        PacketTracer(capacity=0)
+
+
+def test_by_uid_reconstructs_one_packet_path():
+    tracer = PacketTracer()
+    victim, other = FakePacket(), FakePacket()
+    tracer.emit("access", ReasonCode.ADMITTED_REGULAR, victim, ts=1.0)
+    tracer.emit("access", ReasonCode.ADMITTED_REGULAR, other, ts=1.1)
+    tracer.emit("queue:bottleneck", ReasonCode.DROP_TAIL, victim, ts=2.0)
+    path = tracer.by_uid(victim.uid)
+    assert [e.reason for e in path] == [
+        ReasonCode.ADMITTED_REGULAR,
+        ReasonCode.DROP_TAIL,
+    ]
+    assert tracer.by_uid(10**9) == []
+
+
+def test_matching_filters_by_endpoint_and_reason():
+    tracer = PacketTracer()
+    a = FakePacket(src="alice", dst="bob", flow_id="alice->bob")
+    b = FakePacket(src="carol", dst="bob", flow_id="carol->bob")
+    tracer.emit("access", ReasonCode.ADMITTED_REGULAR, a, ts=0.0)
+    tracer.emit("access", ReasonCode.RATE_LIMITED, b, ts=0.1)
+    tracer.emit("queue", ReasonCode.DROP_TAIL, a, ts=0.2)
+
+    alice = tracer.matching(follow="alice")
+    assert [e.uid for e in alice] == [a.uid, a.uid]
+    bob = tracer.matching(follow="bob")
+    assert len(bob) == 3  # matches dst on every event
+
+    limited = tracer.matching(reasons={ReasonCode.RATE_LIMITED})
+    assert [e.uid for e in limited] == [b.uid]
+    both = tracer.matching(follow="alice", reasons={ReasonCode.DROP_TAIL})
+    assert [e.reason for e in both] == [ReasonCode.DROP_TAIL]
+
+
+def test_reason_counts_and_dropped_uids():
+    tracer = PacketTracer()
+    first, second = FakePacket(), FakePacket()
+    tracer.emit("q", ReasonCode.DROP_TAIL, first, ts=0.0)
+    tracer.emit("q", ReasonCode.DROP_TAIL, second, ts=0.1)
+    tracer.emit("q", ReasonCode.DROP_RED, first, ts=0.2)
+    tracer.emit("q", ReasonCode.DELIVERED, second, ts=0.3)
+    counts = dict(tracer.reason_counts())
+    assert counts == {"DROP_TAIL": 2, "DROP_RED": 1, "DELIVERED": 1}
+    # first-drop order, no duplicates
+    assert tracer.dropped_uids() == [first.uid, second.uid]
+
+
+def test_use_tracer_installs_and_restores():
+    before = active_tracer()
+    scoped = PacketTracer()
+    with use_tracer(scoped) as active:
+        assert active is scoped
+        assert active_tracer() is scoped
+    assert active_tracer() is before
+
+
+def test_set_tracer_returns_previous():
+    before = active_tracer()
+    replacement = PacketTracer()
+    old = set_tracer(replacement)
+    try:
+        assert old is before
+        assert active_tracer() is replacement
+    finally:
+        set_tracer(before)
+
+
+def test_default_tracer_is_inert():
+    # The process-global default must not accumulate events from library
+    # code paths that emit unconditionally.
+    tracer = active_tracer()
+    assert tracer is None or tracer.emitted == 0

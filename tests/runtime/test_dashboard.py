@@ -1,0 +1,240 @@
+"""Tests for the dashboard service routes and the stdlib asyncio HTTP server."""
+
+import asyncio
+import dataclasses as dc
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.sweep import ScenarioSpec, SweepResult
+from repro.runtime.dashboard import (
+    DASHBOARD_HTML,
+    DashboardService,
+    cli_main,
+)
+from repro.runtime.httpd import HttpServer, json_response
+from repro.store import ResultStore
+
+
+@dc.dataclass
+class Row:
+    system: str
+    deployment_fraction: float
+    legit_share: float
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    store = ResultStore(str(tmp_path / "results.sqlite"), worker_id="w-dash")
+    for system, share in (("netfence", 0.9), ("fq", 0.4)):
+        spec = ScenarioSpec.make("fig12", seed=1, system=system,
+                                 deployment_fraction=0.5)
+        store.put_result(SweepResult(
+            spec=spec, rows=[Row(system, 0.5, share)],
+            elapsed_s=0.1, worker_id="w-dash"))
+    return store.path
+
+
+@pytest.fixture
+def service(store_path):
+    return DashboardService(store_path)
+
+
+# ---------------------------------------------------------------------------
+# Route handlers (sync, no sockets)
+# ---------------------------------------------------------------------------
+
+def test_root_serves_the_html_view(service):
+    response = service.handle("/", {})
+    assert response.status == 200
+    assert b"repro dashboard" in response.body
+    assert service.handle("/index.html", {}).body == response.body
+    assert "repro dashboard" in DASHBOARD_HTML
+
+
+def test_healthz(service):
+    response = service.handle("/healthz", {})
+    assert response.status == 200
+    assert response.body == b"ok\n"
+
+
+def test_unknown_path_returns_none_for_404(service):
+    assert service.handle("/nope", {}) is None
+
+
+def test_summary_lists_experiments(service):
+    response = service.handle("/api/summary", {})
+    payload = json.loads(response.body)
+    assert payload["experiments"] == ["fig12"]
+
+
+def test_payload_pivots_the_store(service):
+    response = service.handle("/api/payload", {"experiment": "fig12"})
+    assert response.status == 200
+    payload = json.loads(response.body)
+    assert payload["experiment"] == "fig12"
+    assert payload["rows"] == 2
+    assert payload["index_values"] == [0.5]
+    series = {s["name"]: s["values"] for s in payload["series"]}
+    assert series["netfence"] == [pytest.approx(0.9)]
+    assert series["fq"] == [pytest.approx(0.4)]
+
+
+def test_payload_without_experiment_is_400(service):
+    response = service.handle("/api/payload", {})
+    assert response.status == 400
+    assert "experiment" in json.loads(response.body)["error"]
+
+
+def test_payload_unknown_agg_is_400_not_500(service):
+    response = service.handle("/api/payload",
+                              {"experiment": "fig12", "agg": "p99"})
+    assert response.status == 400
+
+
+def test_queue_without_configuration_reports_error(service):
+    payload = json.loads(service.handle("/api/queue", {}).body)
+    assert "error" in payload
+
+
+def test_queue_with_missing_directory_reports_error(store_path, tmp_path):
+    service = DashboardService(store_path,
+                               queue_dir=str(tmp_path / "missing-queue"))
+    payload = json.loads(service.handle("/api/queue", {}).body)
+    assert "not found" in payload["error"]
+
+
+def test_serve_tail_parses_jsonl_and_skips_garbage(store_path, tmp_path):
+    log = tmp_path / "serve.jsonl"
+    events = [{"event": "stats", "now": float(i), "packets_rx": i}
+              for i in range(5)]
+    lines = [json.dumps(e) for e in events]
+    lines.insert(2, "not json at all")
+    lines.insert(4, "")
+    log.write_text("\n".join(lines) + "\n")
+
+    service = DashboardService(store_path, serve_log=str(log))
+    payload = json.loads(service.handle("/api/serve", {"limit": "3"}).body)
+    assert [e["packets_rx"] for e in payload["events"]] == [2, 3, 4]
+
+    bad = service.handle("/api/serve", {"limit": "many"})
+    assert bad.status == 400
+
+
+def test_serve_tail_without_log_reports_error(service):
+    payload = json.loads(service.handle("/api/serve", {}).body)
+    assert "error" in payload
+    assert payload["events"] == []
+
+
+# ---------------------------------------------------------------------------
+# End-to-end over a real socket
+# ---------------------------------------------------------------------------
+
+def _fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.read()
+
+
+def test_http_server_serves_the_dashboard_end_to_end(service):
+    async def scenario():
+        server = service.server()
+        host, port = await server.start("127.0.0.1", 0)
+        assert server.serving
+        base = f"http://{host}:{port}"
+        loop = asyncio.get_running_loop()
+        try:
+            status, body = await loop.run_in_executor(
+                None, _fetch, f"{base}/api/summary")
+            assert status == 200
+            assert json.loads(body)["experiments"] == ["fig12"]
+            status, body = await loop.run_in_executor(
+                None, _fetch, f"{base}/")
+            assert b"repro dashboard" in body
+            with pytest.raises(urllib.error.HTTPError) as err:
+                await loop.run_in_executor(None, _fetch, f"{base}/nope")
+            assert err.value.code == 404
+        finally:
+            await server.close()
+        assert not server.serving
+
+    asyncio.run(scenario())
+
+
+def test_http_server_rejects_non_get_methods():
+    async def scenario():
+        server = HttpServer(lambda path, query: json_response({"ok": True}))
+        host, port = await server.start("127.0.0.1", 0)
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"POST / HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            status_line = await reader.readline()
+            assert b"405" in status_line
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_http_server_head_strips_the_body():
+    async def scenario():
+        server = HttpServer(lambda path, query: json_response({"ok": True}))
+        host, port = await server.start("127.0.0.1", 0)
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"HEAD / HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            head, _, body = raw.partition(b"\r\n\r\n")
+            assert b"200" in head.splitlines()[0]
+            assert body == b""
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_http_server_handler_exception_becomes_500():
+    def boom(path, query):
+        raise RuntimeError("kaboom")
+
+    async def scenario():
+        server = HttpServer(boom)
+        host, port = await server.start("127.0.0.1", 0)
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            assert b"500" in raw.splitlines()[0]
+            assert b"kaboom" in raw
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_main_rejects_missing_store(tmp_path, capsys):
+    assert cli_main(["--store", str(tmp_path / "absent.sqlite")]) == 1
+    assert "not found" in capsys.readouterr().err
+
+
+def test_cli_main_serves_for_duration(store_path, capsys):
+    assert cli_main(["--store", store_path, "--port", "0",
+                     "--duration", "0.2", "--json"]) == 0
+    listening = json.loads(capsys.readouterr().out.splitlines()[0])
+    assert listening["event"] == "listening"
+    assert listening["port"] > 0

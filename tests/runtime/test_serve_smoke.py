@@ -15,9 +15,10 @@ serve-smoke job:
 """
 
 import asyncio
+import urllib.request
 
 from repro.runtime.loadgen import run_scenario
-from repro.runtime.serve import start_policer
+from repro.runtime.serve import metrics_endpoint, start_policer
 
 CAPACITY_BPS = 1_000_000.0
 
@@ -59,6 +60,54 @@ def test_live_policer_under_flood():
     # Zero unverified admissions: every regular packet the policer forwarded
     # carried freshly re-stamped, verifiable feedback.
     assert stats["unverified_admissions"] == 0, stats
+
+
+def test_metrics_endpoint_exposes_live_counters():
+    """/metrics serves Prometheus text with nonzero ingress counters and a
+    zero unverified-admissions counter after a short loopback run."""
+
+    def _fetch(url):
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.read().decode("utf-8")
+
+    async def scenario():
+        policer = await start_policer(port=0, capacity_bps=CAPACITY_BPS)
+        udp_port = policer.transport.get_extra_info("sockname")[1]
+        server = metrics_endpoint(policer)
+        host, http_port = await server.start("127.0.0.1", 0)
+        loop = asyncio.get_running_loop()
+        base = f"http://{host}:{http_port}"
+        try:
+            await run_scenario(
+                ("127.0.0.1", udp_port),
+                legit=1,
+                attackers=0,
+                legit_rate_bps=120_000.0,
+                warmup_s=0.5,
+                duration_s=1.0,
+                capacity_bps=CAPACITY_BPS,
+            )
+            text = await loop.run_in_executor(None, _fetch, f"{base}/metrics")
+            health = await loop.run_in_executor(None, _fetch, f"{base}/healthz")
+        finally:
+            await server.close()
+            await policer.shutdown()
+        return text, health
+
+    text, health = asyncio.run(scenario())
+    assert health == "ok\n"
+    assert "# TYPE netfence_serve_events_total gauge" in text
+
+    values = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        key, _, value = line.rpartition(" ")
+        values[key] = float(value)
+    assert values['netfence_serve_events_total{event="packets_rx"}'] > 0
+    assert values['netfence_serve_events_total{event="packets_tx"}'] > 0
+    assert values['netfence_serve_events_total{event="unverified_admissions"}'] == 0
+    assert values["netfence_serve_registered_hosts"] >= 1
 
 
 def test_policer_shutdown_drains_and_stops_timers():

@@ -60,10 +60,11 @@ def test_droptail_rejects_bad_capacity():
 def test_droptail_drop_callback_invoked():
     dropped = []
     queue = DropTailQueue(capacity_bytes=1_500)
-    queue.drop_callback = dropped.append
+    queue.drop_callback = lambda pkt, reason: dropped.append((pkt, reason))
     queue.enqueue(make_packet())
     queue.enqueue(make_packet())
     assert len(dropped) == 1
+    assert dropped[0][1] == "tail"
 
 
 # ---------------------------------------------------------------------------

@@ -284,3 +284,52 @@ def test_compact_on_compacted_store_is_a_no_op(store):
     assert stats["removed_executions"] == 0
     assert stats["removed_rows"] == 0
     assert stats["kept_points"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Metric rows (telemetry summaries committed next to sweep points)
+# ---------------------------------------------------------------------------
+
+def test_put_and_query_metric_rows_round_trip(store):
+    rows = [
+        {"name": "ingress_total", "labels": {"router": "r1"},
+         "kind": "counter", "value": 42.0},
+        {"name": "queue_depth", "labels": {}, "kind": "gauge", "value": 7.0},
+    ]
+    written = store.put_metric_rows("fig12", "cache-abc", rows, now=80.0)
+    assert written == 2
+
+    fetched = store.query_metric_rows(experiment="fig12")
+    assert [row["name"] for row in fetched] == ["ingress_total", "queue_depth"]
+    first = fetched[0]
+    assert first["labels"] == {"router": "r1"}
+    assert first["value"] == 42.0
+    assert first["_experiment"] == "fig12"
+    assert first["_cache_key"] == "cache-abc"
+    assert first["_recorded_at"] == 80.0  # telemetry clock, not wall clock
+    assert first["_created_at"] <= time.time()
+
+
+def test_query_metric_rows_filters(store):
+    store.put_metric_rows("fig12", "ck-1",
+                          [{"name": "a", "kind": "counter", "value": 1.0}])
+    store.put_metric_rows("fig12", "ck-2",
+                          [{"name": "b", "kind": "counter", "value": 2.0}])
+    store.put_metric_rows("fig13", "ck-3",
+                          [{"name": "a", "kind": "counter", "value": 3.0}])
+
+    assert len(store.query_metric_rows()) == 3
+    assert len(store.query_metric_rows(experiment="fig12")) == 2
+    (by_key,) = store.query_metric_rows(cache_key="ck-2")
+    assert by_key["name"] == "b"
+    by_name = store.query_metric_rows(name="a")
+    assert [row["value"] for row in by_name] == [1.0, 3.0]
+    assert store.query_metric_rows(experiment="nope") == []
+
+
+def test_metric_rows_survive_compaction(store):
+    store.put(spec_for(scale=4), [StoreRow("netfence", 4, 0.8)])
+    store.put_metric_rows("_store_test", "ck",
+                          [{"name": "m", "kind": "gauge", "value": 1.5}])
+    store.compact()
+    assert len(store.query_metric_rows()) == 1
