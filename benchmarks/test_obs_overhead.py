@@ -3,7 +3,8 @@
 Times the fig12 ``--quick`` single point in two modes — the default
 disabled telemetry (the null fast path) and an enabled
 :class:`~repro.obs.metrics.MetricsRegistry` plus an active
-:class:`~repro.obs.trace.PacketTracer` — and gates the slowdown of the
+:class:`~repro.obs.trace.PacketTracer` plus an active
+:class:`~repro.obs.spans.SpanRecorder` — and gates the slowdown of the
 enabled mode.  Shared-machine noise comes in phases that dwarf the effect
 being measured, so the estimator pairs aggressively: each iteration runs
 *both* modes back to back (alternating which goes first, so a drift ramp
@@ -31,6 +32,7 @@ from repro.analysis.rows import json_safe, rows_to_dicts
 from repro.experiments import fig12_deployment
 from repro.experiments.sweep import execute_spec
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.spans import SpanRecorder, use_span_recorder
 from repro.obs.trace import PacketTracer, use_tracer
 
 DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
@@ -75,23 +77,25 @@ def test_fig12_quick_point_telemetry_overhead_and_row_identity():
     def _enabled_point():
         registry = MetricsRegistry(enabled=True)
         tracer = PacketTracer()
-        with use_registry(registry), use_tracer(tracer):
+        spans = SpanRecorder()
+        with use_registry(registry), use_tracer(tracer), \
+                use_span_recorder(spans):
             sample = _timed_point(spec)
-        return sample, tracer.emitted
+        return sample, tracer.emitted, spans.finished
 
     overhead = float("inf")
     disabled_norm = enabled_norm = float("inf")
     all_ratios = []
     disabled_rows = enabled_rows = None
-    events = rounds = 0
+    events = spans_finished = rounds = 0
     for rounds in range(1, MAX_ROUNDS + 1):
         ratios, disabled_norms, enabled_norms = [], [], []
         for i in range(SAMPLES):
             if i % 2 == 0:
                 disabled = _timed_point(spec)
-                enabled, events = _enabled_point()
+                enabled, events, spans_finished = _enabled_point()
             else:
-                enabled, events = _enabled_point()
+                enabled, events, spans_finished = _enabled_point()
                 disabled = _timed_point(spec)
             disabled_rows, enabled_rows = disabled[3], enabled[3]
             disabled_norms.append(disabled[0])
@@ -118,7 +122,8 @@ def test_fig12_quick_point_telemetry_overhead_and_row_identity():
           f"{enabled_norm:.2f} calibration units -> x{overhead:.3f} "
           f"({rounds} round(s); pairs: "
           f"{', '.join(f'x{r:.3f}' for r in all_ratios)}; "
-          f"{events} trace events/run); gate x{MAX_OVERHEAD}")
+          f"{events} trace events/run, {spans_finished} span(s)); "
+          f"gate x{MAX_OVERHEAD}")
     _emit("obs", {"fig12_quick_point_overhead": {
         "disabled_normalized_wall": round(disabled_norm, 2),
         "enabled_normalized_wall": round(enabled_norm, 2),
@@ -126,6 +131,7 @@ def test_fig12_quick_point_telemetry_overhead_and_row_identity():
         "pair_ratios": [round(r, 3) for r in all_ratios],
         "rounds": rounds,
         "trace_events_per_run": events,
+        "spans_per_run": spans_finished,
         "max_overhead": MAX_OVERHEAD,
         "rows_identical_disabled": disabled_dicts == golden,
         "rows_identical_enabled": enabled_dicts == golden,
@@ -137,6 +143,8 @@ def test_fig12_quick_point_telemetry_overhead_and_row_identity():
     assert enabled_dicts == golden, "rows diverged with telemetry ENABLED"
     # The tracer actually saw the hot path (queue drops dominate this point).
     assert events > 0
+    # The span recorder wrapped the point execution itself.
+    assert spans_finished > 0
     # The overhead gate itself.
     assert overhead <= MAX_OVERHEAD, (
         f"telemetry overhead x{overhead:.3f} exceeds the x{MAX_OVERHEAD} gate "

@@ -1,0 +1,181 @@
+"""``runner bench report`` — surface the perf trajectory the store collects.
+
+:meth:`~repro.store.result_store.ResultStore.perf_trajectory` records every
+execution's wall time, append-only, but until this module nothing ever read
+it back.  The report answers the operator question "is this experiment
+getting slower?" from two feeds:
+
+* **Store trajectory** — per ``(experiment, cache_key)`` the first recorded
+  execution is the baseline and the latest is the current cost; a point
+  re-executed after a code change therefore measures that change.  Points
+  executed only once carry no trend and are reported but not gated.
+* **Benchmark artifact** — the headline numbers each benchmark folded into
+  ``BENCH_sweep.json`` (see ``benchmarks/bench_artifact.py``), flattened to
+  ``section.key`` scalars for at-a-glance display next to the trajectory.
+
+``--fail-on-regression PCT`` turns the trajectory trend into an exit code:
+any experiment whose repeated points got more than ``PCT`` percent slower
+in aggregate fails the run — the CI hook that makes perf drift visible
+per-PR instead of per-complaint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["bench_headlines", "cli_main", "perf_report"]
+
+
+def perf_report(trajectory: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-experiment trend over a :meth:`perf_trajectory` row list.
+
+    For every cache key with more than one execution, the oldest execution
+    is the baseline and the newest the current cost; the experiment's
+    ``regression_pct`` compares the summed current cost of those repeated
+    points against their summed baselines (``None`` when nothing repeated).
+    """
+    by_key: Dict[tuple, List[Dict[str, Any]]] = {}
+    for row in trajectory:  # oldest first, as perf_trajectory returns them
+        by_key.setdefault((row["experiment"], row["cache_key"]), []).append(row)
+
+    experiments: Dict[str, Dict[str, Any]] = {}
+    for (experiment, _key), rows in by_key.items():
+        entry = experiments.setdefault(experiment, {
+            "experiment": experiment, "points": 0, "executions": 0,
+            "repeated_points": 0, "baseline_s": 0.0, "latest_s": 0.0,
+        })
+        entry["points"] += 1
+        entry["executions"] += len(rows)
+        if len(rows) > 1:
+            entry["repeated_points"] += 1
+            entry["baseline_s"] += float(rows[0]["elapsed_s"])
+            entry["latest_s"] += float(rows[-1]["elapsed_s"])
+
+    out = []
+    for entry in experiments.values():
+        if entry["repeated_points"] and entry["baseline_s"] > 0:
+            entry["regression_pct"] = round(
+                (entry["latest_s"] - entry["baseline_s"])
+                / entry["baseline_s"] * 100.0, 2)
+        else:
+            entry["regression_pct"] = None
+        entry["baseline_s"] = round(entry["baseline_s"], 4)
+        entry["latest_s"] = round(entry["latest_s"], 4)
+        out.append(entry)
+    return sorted(out, key=lambda e: e["experiment"])
+
+
+def bench_headlines(artifact: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten a ``BENCH_sweep.json`` artifact to ``section.key`` scalars.
+
+    Only numeric leaves survive (lists such as per-point dumps are elided);
+    nesting flattens with dots, so ``hotpath.microbench.enqueue_us`` reads
+    the same in the report as in the artifact.
+    """
+    out: Dict[str, float] = {}
+
+    def walk(prefix: str, value: Any) -> None:
+        if isinstance(value, bool):
+            return
+        if isinstance(value, (int, float)):
+            out[prefix] = float(value)
+        elif isinstance(value, dict):
+            for key in sorted(value):
+                walk(f"{prefix}.{key}" if prefix else str(key), value[key])
+
+    walk("", artifact)
+    return out
+
+
+def _load_artifact(path: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _format_report(report: List[Dict[str, Any]],
+                   headlines: Dict[str, float]) -> str:
+    lines = []
+    if report:
+        lines.append("perf trajectory (store):")
+        for entry in report:
+            trend = ("n/a (no repeated points)"
+                     if entry["regression_pct"] is None else
+                     f"{entry['regression_pct']:+.2f}% "
+                     f"({entry['baseline_s']}s -> {entry['latest_s']}s over "
+                     f"{entry['repeated_points']} repeated point(s))")
+            lines.append(f"  {entry['experiment']}: {entry['points']} points, "
+                         f"{entry['executions']} executions, trend {trend}")
+    else:
+        lines.append("perf trajectory (store): no executions recorded")
+    if headlines:
+        lines.append("benchmark headlines (BENCH_sweep.json):")
+        lines.extend(f"  {name} = {value}"
+                     for name, value in sorted(headlines.items()))
+    return "\n".join(lines)
+
+
+def cli_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="runner bench",
+        description="Report the perf trajectory and benchmark headlines.",
+    )
+    parser.add_argument("command", choices=("report",),
+                        help="only 'report' for now")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="ResultStore database to read the trajectory from")
+    parser.add_argument("--experiment", default=None,
+                        help="restrict the trajectory to one experiment")
+    parser.add_argument("--bench-json", default="BENCH_sweep.json",
+                        metavar="PATH",
+                        help="benchmark artifact to summarize (default "
+                             "BENCH_sweep.json; missing file = skipped)")
+    parser.add_argument("--fail-on-regression", type=float, default=None,
+                        metavar="PCT",
+                        help="exit 1 if any experiment's repeated points got "
+                             "more than PCT percent slower")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable JSON output")
+    args = parser.parse_args(argv)
+
+    report: List[Dict[str, Any]] = []
+    if args.store is not None:
+        from repro.store.result_store import ResultStore
+
+        store = ResultStore(args.store)
+        report = perf_report(store.perf_trajectory(experiment=args.experiment))
+
+    artifact = _load_artifact(args.bench_json) if args.bench_json else None
+    headlines = bench_headlines(artifact) if artifact else {}
+
+    regressed = [
+        entry for entry in report
+        if args.fail_on_regression is not None
+        and entry["regression_pct"] is not None
+        and entry["regression_pct"] > args.fail_on_regression
+    ]
+
+    if args.as_json:
+        print(json.dumps({
+            "trajectory": report,
+            "headlines": headlines,
+            "fail_on_regression_pct": args.fail_on_regression,
+            "regressed": [e["experiment"] for e in regressed],
+        }, sort_keys=True))
+    else:
+        print(_format_report(report, headlines))
+        for entry in regressed:
+            print(f"bench: {entry['experiment']} regressed "
+                  f"{entry['regression_pct']:+.2f}% "
+                  f"(> {args.fail_on_regression}%)", file=sys.stderr)
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(cli_main())

@@ -53,8 +53,22 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.rows import json_safe, row_to_dict, rows_to_csv, rows_to_dicts
 from repro.experiments.sweep import ScenarioSpec, SweepResult, execute_spec
+from repro.obs.log import JsonLinesLogger
+from repro.obs.spans import SpanRecorder, active_span_recorder, use_span_recorder
 from repro.store import ResultStore
 from repro.store.result_store import default_worker_id
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-Unix
+    _resource = None  # type: ignore[assignment]
+
+
+def _rss_kb() -> Optional[int]:
+    """Peak resident set size of this worker process, in kB (None off-Unix)."""
+    if _resource is None:  # pragma: no cover - non-Unix
+        return None
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
 
 __all__ = [
     "Lease",
@@ -396,6 +410,7 @@ class WorkerStats:
     retried: int = 0
     lost_leases: int = 0
     elapsed_s: float = 0.0
+    heartbeat_renewals: int = 0
     errors: List[str] = field(default_factory=list)
 
 
@@ -438,16 +453,24 @@ class QueueWorker:
         self.max_points = max_points
         self.idle_timeout = idle_timeout
         self.retries = retries
+        self._spans = active_span_recorder()
 
-    def _execute_leased(self, lease: Lease) -> Tuple[SweepResult, bool]:
-        """Run the point under heartbeat renewal; returns (result, lost)."""
+    def _execute_leased(self, lease: Lease) -> Tuple[SweepResult, bool, int]:
+        """Run the point under heartbeat renewal.
+
+        Returns ``(result, lost, renewals)`` — ``renewals`` being how many
+        times the heartbeat extended the lease, a direct read on how close
+        the point came to the ``lease_ttl`` steal horizon.
+        """
         stop = threading.Event()
         lost = threading.Event()
+        renewals = [0]
 
         def heartbeat() -> None:
             while not stop.wait(self.lease_ttl / 3.0):
                 try:
                     self.queue.renew(lease, ttl=self.lease_ttl)
+                    renewals[0] += 1
                 except LeaseLost:
                     lost.set()
                     return
@@ -459,11 +482,12 @@ class QueueWorker:
         finally:
             stop.set()
             thread.join()
-        return result, lost.is_set()
+        return result, lost.is_set(), renewals[0]
 
     def run(self) -> WorkerStats:
         stats = WorkerStats(worker_id=self.worker_id)
         idle_since: Optional[float] = None
+        claim_started = time.time()
         while True:
             # max_points bounds *terminal* outcomes (completions and final
             # failures): a retried claim must not consume the budget, or a
@@ -483,12 +507,27 @@ class QueueWorker:
                 continue
             idle_since = None
             stats.claimed += 1
+            claim_latency = time.time() - claim_started
+            spans = self._spans
+            point_span = exec_span = None
+            if spans is not None:
+                point_span = spans.start(
+                    "worker.point", ts=time.time(),
+                    attrs={"experiment": lease.spec.experiment,
+                           "key": lease.key, "worker": self.worker_id})
+                exec_span = spans.start("worker.execute", parent=point_span,
+                                        ts=time.time())
             attempt = self.queue.failed_attempts(lease.key) + 1
-            result, lost = self._execute_leased(lease)
+            result, lost, renewals = self._execute_leased(lease)
+            stats.heartbeat_renewals += renewals
+            if spans is not None and exec_span is not None:
+                spans.finish(exec_span, ts=time.time(),
+                             status="error" if result.error else "ok")
+            outcome = "completed"
             if lost:
                 stats.lost_leases += 1
-                continue
-            if result.error is not None and attempt <= self.retries:
+                outcome = "lost_lease"
+            elif result.error is not None and attempt <= self.retries:
                 stats.elapsed_s += result.elapsed_s
                 # The heartbeat may not have observed a steal that happened
                 # after its last renewal; re-check ownership so a stolen
@@ -496,24 +535,57 @@ class QueueWorker:
                 # under the thief's feet.
                 if not self.queue.owns(lease):
                     stats.lost_leases += 1
-                    continue
-                # Spend one unit of the retry budget: record the failed
-                # attempt and put the task back in the pending state.
-                self.queue.record_failed_attempt(lease.key, result.error)
-                self.queue.release(lease)
-                stats.retried += 1
-                continue
-            if result.error is None and self.store is not None:
-                self.store.put_result(result, worker_id=self.worker_id,
-                                      attempt=attempt)
-            if self.queue.complete(lease, elapsed_s=result.elapsed_s,
-                                   error=result.error, attempts=attempt):
-                if result.error is None:
-                    stats.completed += 1
+                    outcome = "lost_lease"
                 else:
-                    stats.failed += 1
-                    stats.errors.append(result.error)
-            stats.elapsed_s += result.elapsed_s
+                    # Spend one unit of the retry budget: record the failed
+                    # attempt and put the task back in the pending state.
+                    self.queue.record_failed_attempt(lease.key, result.error)
+                    self.queue.release(lease)
+                    stats.retried += 1
+                    outcome = "retried"
+            else:
+                commit_span = None
+                if spans is not None:
+                    commit_span = spans.start("worker.commit",
+                                              parent=point_span, ts=time.time())
+                if result.error is None and self.store is not None:
+                    self.store.put_result(result, worker_id=self.worker_id,
+                                          attempt=attempt)
+                if self.queue.complete(lease, elapsed_s=result.elapsed_s,
+                                       error=result.error, attempts=attempt):
+                    if result.error is None:
+                        stats.completed += 1
+                    else:
+                        stats.failed += 1
+                        stats.errors.append(result.error)
+                        outcome = "failed"
+                else:
+                    outcome = "already_done"
+                if spans is not None and commit_span is not None:
+                    spans.finish(commit_span, ts=time.time())
+                stats.elapsed_s += result.elapsed_s
+            if spans is not None and point_span is not None:
+                spans.finish(
+                    point_span, ts=time.time(),
+                    status="ok" if outcome in ("completed", "already_done")
+                    else outcome)
+            if self.store is not None:
+                # The operational half of the point's provenance: how long
+                # the claim waited, how hard the heartbeat worked, and what
+                # the process footprint was when the point finished.
+                self.store.put_worker_rows([{
+                    "worker_id": self.worker_id,
+                    "experiment": lease.spec.experiment,
+                    "cache_key": lease.key,
+                    "attempt": attempt,
+                    "claim_latency_s": round(claim_latency, 6),
+                    "heartbeat_renewals": renewals,
+                    "elapsed_s": result.elapsed_s,
+                    "rss_kb": _rss_kb(),
+                    "outcome": outcome,
+                    "error": bool(result.error),
+                }])
+            claim_started = time.time()
         return stats
 
 
@@ -549,16 +621,38 @@ def _cmd_submit(args: argparse.Namespace, experiments: Dict[str, Any]) -> int:
 def _cmd_worker(args: argparse.Namespace) -> int:
     queue = WorkQueue(args.queue)
     store = ResultStore(args.store) if args.store else None
-    worker = QueueWorker(
-        queue, store=store, worker_id=args.worker_id, lease_ttl=args.lease_ttl,
-        max_points=args.max_points, idle_timeout=args.idle_timeout,
-        retries=args.retries,
-    )
-    stats = worker.run()
-    print(f"worker {stats.worker_id}: {stats.completed} completed, "
-          f"{stats.failed} failed, {stats.retried} retried, "
-          f"{stats.lost_leases} leases lost, "
-          f"{stats.elapsed_s:.1f}s simulated-point wall time")
+    spans = SpanRecorder(capacity=16384) if args.spans else None
+    log = JsonLinesLogger(name="worker") if args.json else None
+
+    def _make_and_run() -> WorkerStats:
+        worker = QueueWorker(
+            queue, store=store, worker_id=args.worker_id,
+            lease_ttl=args.lease_ttl, max_points=args.max_points,
+            idle_timeout=args.idle_timeout, retries=args.retries,
+        )
+        return worker.run()
+
+    if spans is not None:
+        with use_span_recorder(spans):
+            stats = _make_and_run()
+    else:
+        stats = _make_and_run()
+
+    if log is not None:
+        if spans is not None:
+            for record in spans.to_dicts():
+                log.span_record(record)
+        log.emit("worker_stats", worker_id=stats.worker_id,
+                 claimed=stats.claimed, completed=stats.completed,
+                 failed=stats.failed, retried=stats.retried,
+                 lost_leases=stats.lost_leases,
+                 heartbeat_renewals=stats.heartbeat_renewals,
+                 elapsed_s=round(stats.elapsed_s, 3))
+    else:
+        print(f"worker {stats.worker_id}: {stats.completed} completed, "
+              f"{stats.failed} failed, {stats.retried} retried, "
+              f"{stats.lost_leases} leases lost, "
+              f"{stats.elapsed_s:.1f}s simulated-point wall time")
     for error in stats.errors:
         print(error.rstrip(), file=sys.stderr)
     return 1 if stats.failed else 0
@@ -691,6 +785,11 @@ def cli_main(argv: List[str], experiments: Dict[str, Any]) -> int:
     p_worker.add_argument("--retries", type=int, default=1, metavar="N",
                           help="re-queue a raising point up to N times before "
                                "its failure becomes final (default 1)")
+    p_worker.add_argument("--spans", action="store_true",
+                          help="record claim/execute/commit spans per point")
+    p_worker.add_argument("--json", action="store_true",
+                          help="machine-readable JSON-lines output "
+                               "(includes spans with --spans)")
 
     p_export = sub.add_parser("export", help="export stored rows for a grid")
     p_export.add_argument("experiment", choices=exp_choices)

@@ -228,6 +228,19 @@ def main(argv=None) -> int:
         from repro.runtime.dashboard import cli_main as dashboard_main
 
         return dashboard_main(argv[1:])
+    if argv and argv[0] == "flightdump":
+        # Deferred import: forensic pretty-printing is an operator tool.
+        from repro.obs.flight import cli_main as flight_main
+
+        return flight_main(argv[1:])
+    if argv and argv[0] == "bench" and argv[1:2] == ["report"]:
+        # Only the `bench report` form dispatches here — a registered
+        # experiment may itself be called "bench" (the test fixtures use
+        # that name), and plain `runner bench` must keep running it.
+        # Deferred import: the perf report reads the store lazily anyway.
+        from repro.analysis.bench_report import cli_main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="netfence-experiment",
         description="Reproduce a NetFence (SIGCOMM 2010) evaluation figure or table.",

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.rows import row_schema
+from repro.obs.spans import active_span_recorder
 from repro.seeding import derive_seed
 
 logger = logging.getLogger(__name__)
@@ -275,17 +276,28 @@ def execute_spec(spec: ScenarioSpec, capture_errors: bool = False) -> SweepResul
     formatted traceback instead of propagating — the mode :func:`run_sweep`
     and the distributed worker use so one bad point cannot sink a sweep.
     """
+    recorder = active_span_recorder()
+    span = None
+    if recorder is not None:
+        span = recorder.start(
+            "sweep.point", ts=time.perf_counter(),
+            attrs={"experiment": spec.experiment, "seed": spec.seed})
     started = time.perf_counter()
     try:
         fn = resolve_point(spec.experiment)
         out = fn(seed=spec.seed, **spec.kwargs)
     except Exception:
+        if recorder is not None and span is not None:
+            recorder.finish(span, ts=time.perf_counter(), status="error")
         if not capture_errors:
             raise
         return SweepResult(spec=spec, rows=[], elapsed_s=time.perf_counter() - started,
                            error=traceback.format_exc(), worker_id=default_worker_id())
     elapsed = time.perf_counter() - started
     rows = list(out) if isinstance(out, (list, tuple)) else [out]
+    if recorder is not None and span is not None:
+        span.set_attr("rows", len(rows))
+        recorder.finish(span, ts=time.perf_counter())
     return SweepResult(spec=spec, rows=rows, elapsed_s=elapsed,
                        worker_id=default_worker_id())
 

@@ -18,6 +18,13 @@ from repro.lint.registry import LintRule, register
 _CLI_ENTRY_NAMES = ("main", "cli_main")
 _CLI_ENTRY_PREFIX = "_cmd_"
 
+#: ``logging`` module attributes that emit through (or configure) the root
+#: logger — the stealth sibling of ``logging.getLogger()``.
+_ROOT_LOGGER_ATTRS = frozenset({
+    "getLogger", "basicConfig", "debug", "info", "warning", "warn",
+    "error", "exception", "critical", "log",
+})
+
 
 def _is_cli_entry(name: str) -> bool:
     return name in _CLI_ENTRY_NAMES or name.startswith(_CLI_ENTRY_PREFIX)
@@ -69,5 +76,63 @@ class NoBarePrintRule(LintRule):
                 f"print() {where} is library stdout; report through "
                 "repro.obs instruments or return structured data to the CLI "
                 "layer (main/cli_main/_cmd_* are exempt)",
+            )
+        self.generic_visit(node)
+
+
+@register
+class NoStdlibLoggingRule(LintRule):
+    """NF016: stdlib ``logging`` acquired outside :mod:`repro.obs.log`."""
+
+    code = "NF016"
+    name = "no-stdlib-logging-outside-obs"
+    rationale = (
+        "Structured logging goes through repro.obs.log.JsonLinesLogger; a "
+        "logging.getLogger() or root-logger call (logging.warning(...), "
+        "logging.basicConfig(), ...) elsewhere forks the process onto a "
+        "second, unstructured log stream that the flight recorder and "
+        "runner trace --spans never see. The stdlib bridge in "
+        "repro.obs.log is the one sanctioned crossing; CLI entry points "
+        "(main/cli_main/_cmd_*) are exempt, and deliberate legacy sites "
+        "are waived via the committed baseline."
+    )
+    history = "PR 9 (distributed observability: JSON-lines logging layer)"
+    paths = ("repro/*",)
+    exclude = ("repro/obs/log.py",)
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._func_stack: List[str] = []
+
+    def _visit_function(self, node: ast.AST, name: str) -> None:
+        self._func_stack.append(name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "logging"
+            and func.attr in _ROOT_LOGGER_ATTRS
+            and not any(_is_cli_entry(name) for name in self._func_stack)
+        ):
+            where = (
+                f"in {'.'.join(self._func_stack)}()"
+                if self._func_stack
+                else "at module level"
+            )
+            self.report(
+                node,
+                f"logging.{func.attr}() {where} bypasses the structured "
+                "log stream; emit through repro.obs.log.JsonLinesLogger "
+                "(or bridge_stdlib for third-party records)",
             )
         self.generic_visit(node)

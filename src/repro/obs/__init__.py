@@ -9,7 +9,16 @@
   decision events (:class:`~repro.obs.trace.ReasonCode`), driving
   ``runner trace``;
 * :mod:`repro.obs.export` — JSON snapshots, Prometheus text, and the
-  ``metric_rows`` bridge into :class:`~repro.store.ResultStore`.
+  ``metric_rows`` bridge into :class:`~repro.store.ResultStore`;
+* :mod:`repro.obs.spans` — causal spans (trace/span/parent ids) with a
+  ring-buffered :class:`~repro.obs.spans.SpanRecorder` and a wire-codec
+  trace-context field, so one packet can be followed across processes;
+* :mod:`repro.obs.log` — structured JSON-lines event logging with injected
+  clocks and trace/span correlation, shared by ``serve``/``loadgen``/the
+  worker fleet;
+* :mod:`repro.obs.flight` — the live policer's always-on flight recorder
+  (bounded rings of spans + logs + metrics snapshots, dumped to a forensic
+  JSON file on trigger).
 """
 
 from repro.obs.metrics import (
@@ -32,6 +41,17 @@ from repro.obs.export import (
     prometheus_text,
     snapshot,
 )
+from repro.obs.spans import (
+    TRACE_KEY,
+    Span,
+    SpanContext,
+    SpanRecorder,
+    active_span_recorder,
+    set_span_recorder,
+    use_span_recorder,
+)
+from repro.obs.log import JsonLinesLogger, bridge_stdlib
+from repro.obs.flight import FlightRecorder
 
 __all__ = [
     "MetricsRegistry",
@@ -48,4 +68,14 @@ __all__ = [
     "metric_rows",
     "prometheus_text",
     "snapshot",
+    "TRACE_KEY",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "active_span_recorder",
+    "set_span_recorder",
+    "use_span_recorder",
+    "JsonLinesLogger",
+    "bridge_stdlib",
+    "FlightRecorder",
 ]

@@ -8,6 +8,14 @@ endpoint/flow substring, or — by default — the first packet that was
 dropped).  With ``--metrics-store`` the run also executes under an enabled
 :class:`~repro.obs.metrics.MetricsRegistry` and commits the per-point metric
 summary into a :class:`~repro.store.result_store.ResultStore`.
+
+``runner trace --spans LOG [LOG ...]`` is the cross-process mode: instead
+of re-running anything it reads ``{"event": "span"}`` records out of one or
+more JSON-lines logs — typically a ``runner serve --json --spans`` log and
+a ``runner loadgen --json --spans`` log from the same session — and
+re-links them into causal trees with
+:func:`~repro.obs.spans.build_trees`, so one packet's journey shows up as
+one tree even though its spans were recorded by different processes.
 """
 
 from __future__ import annotations
@@ -19,9 +27,88 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs.export import commit_metric_rows
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.spans import build_trees, format_tree, parse_span_id
 from repro.obs.trace import PacketTracer, ReasonCode, TraceEvent, use_tracer
 
 __all__ = ["cli_main"]
+
+
+def _read_span_records(paths: Sequence[str]) -> List[Dict[str, Any]]:
+    """All span records from the given JSON-lines logs, start-time order."""
+    records: List[Dict[str, Any]] = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict) and record.get("event") == "span":
+                    records.append(record)
+    records.sort(key=lambda r: (r.get("start_ts") is None,
+                                r.get("start_ts") or 0.0))
+    return records
+
+
+def _cmd_spans(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="runner trace --spans",
+        description="Stitch span records from JSON-lines logs into causal trees.",
+    )
+    parser.add_argument("logs", nargs="+", metavar="LOG",
+                        help="JSON-lines log files (serve/loadgen/worker --json)")
+    parser.add_argument("--trace-id", default=None, metavar="HEX",
+                        help="only show this trace")
+    parser.add_argument("--cross-process-only", action="store_true",
+                        help="only show traces spanning more than one process")
+    parser.add_argument("--limit", type=int, default=20,
+                        help="max trees to print (default 20)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the trees as JSON instead of text")
+    args = parser.parse_args(argv)
+
+    try:
+        records = _read_span_records(args.logs)
+    except OSError as exc:
+        print(f"trace: cannot read log: {exc}", file=sys.stderr)
+        return 2
+    if args.trace_id is not None:
+        wanted = parse_span_id(args.trace_id)
+        records = [r for r in records
+                   if "trace" in r and parse_span_id(r["trace"]) == wanted]
+    trees = build_trees(records)
+
+    def processes(node: Dict[str, Any]) -> set:
+        out = {node["span"].get("process")} - {None}
+        for child in node["children"]:
+            out |= processes(child)
+        return out
+
+    by_procs = [(tree, processes(tree)) for tree in trees]
+    cross = [tree for tree, procs in by_procs if len(procs) > 1]
+    if args.cross_process_only:
+        trees = cross
+
+    if args.as_json:
+        json.dump({
+            "span_records": len(records),
+            "traces": len(by_procs),
+            "cross_process_traces": len(cross),
+            "trees": trees[: args.limit],
+        }, sys.stdout, sort_keys=True)
+        print()
+        return 0
+
+    print(f"trace: {len(records)} span records, {len(by_procs)} trace(s), "
+          f"{len(cross)} crossing processes")
+    for tree in trees[: args.limit]:
+        print(format_tree(tree))
+    if len(trees) > args.limit:
+        print(f"... {len(trees) - args.limit} more (raise --limit)")
+    return 0
 
 
 def _parse_reasons(raw: Optional[str]) -> Optional[List[ReasonCode]]:
@@ -55,6 +142,9 @@ def _pick_path(tracer: PacketTracer, uid: Optional[int],
 
 def cli_main(argv: Optional[Sequence[str]] = None,
              experiments: Optional[Dict[str, Any]] = None) -> int:
+    if argv is not None and "--spans" in argv:
+        rest = [a for a in argv if a != "--spans"]
+        return _cmd_spans(rest)
     parser = argparse.ArgumentParser(
         prog="runner trace",
         description="Re-run one grid point with packet-path tracing enabled.",

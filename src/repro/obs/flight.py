@@ -1,0 +1,203 @@
+"""Flight recorder: an always-on forensic ring for the live policer.
+
+A long-running policer that collapses — goodput falls through the SLO
+floor, an unverified feedback slips through, an exception kills the drain
+task — is undebuggable from counters alone: by the time an operator looks,
+the interesting history is gone.  The flight recorder keeps that history
+*continuously* in three bounded rings —
+
+* recent finished spans (fed by a
+  :class:`~repro.obs.spans.SpanRecorder` sink),
+* recent structured log records (fed by a
+  :class:`~repro.obs.log.JsonLinesLogger` sink),
+* periodic metrics snapshots (pushed by the stats loop),
+
+— and on a *trigger* writes everything, plus the trigger's own context, to
+a single JSON file.  Triggers in the live policer: ``SIGUSR1`` (operator
+request), the first ``unverified_admissions`` increment, a legit-share SLO
+breach, and an unhandled exception in the drain path.  :func:`dump` is
+first-trigger-wins per recorder: a storm of unverified admissions produces
+one dump naming the first, not a disk full of files.
+
+``runner flightdump <file>`` pretty-prints a dump: header, metrics delta,
+log tail, and the recorded spans re-linked into causal trees via
+:func:`~repro.obs.spans.build_trees`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
+
+from repro.obs.spans import build_trees, format_tree
+
+__all__ = ["FlightRecorder", "cli_main", "format_dump"]
+
+
+class FlightRecorder:
+    """Bounded rings of spans + logs + metrics snapshots, dumped on trigger."""
+
+    def __init__(
+        self,
+        span_capacity: int = 2048,
+        log_capacity: int = 1024,
+        metrics_capacity: int = 64,
+        wall: Callable[[], float] = time.time,
+    ) -> None:
+        self.spans: Deque[Dict[str, Any]] = deque(maxlen=span_capacity)
+        self.logs: Deque[Dict[str, Any]] = deque(maxlen=log_capacity)
+        self.metrics: Deque[Dict[str, Any]] = deque(maxlen=metrics_capacity)
+        self._wall = wall
+        #: Trigger name of the first dump, ``None`` until one fires.
+        self.triggered: Optional[str] = None
+        #: Path the dump was written to.
+        self.dump_path: Optional[str] = None
+
+    # -- ring feeds (sinks) -------------------------------------------------
+    def record_span(self, span: Dict[str, Any]) -> None:
+        self.spans.append(span)
+
+    def record_log(self, record: Dict[str, Any]) -> None:
+        self.logs.append(record)
+
+    def record_metrics(self, snapshot: Dict[str, Any]) -> None:
+        self.metrics.append(snapshot)
+
+    # -- dumping ------------------------------------------------------------
+    def payload(self, trigger: str,
+                context: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """The forensic record as a JSON-safe dict (no file written)."""
+        return {
+            "event": "flight_dump",
+            "trigger": trigger,
+            "dumped_at": round(self._wall(), 6),
+            "context": context or {},
+            "spans": list(self.spans),
+            "logs": list(self.logs),
+            "metrics_snapshots": list(self.metrics),
+        }
+
+    def dump(self, path: str, trigger: str,
+             context: Optional[Dict[str, Any]] = None) -> Optional[str]:
+        """Write the forensic file once; later triggers are no-ops.
+
+        Returns the path on the first call, ``None`` afterwards.  Write
+        failures are swallowed after marking the recorder triggered — the
+        flight recorder must never take the process down with it.
+        """
+        if self.triggered is not None:
+            return None
+        self.triggered = trigger
+        payload = self.payload(trigger, context=context)
+        try:
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True, default=repr)
+                fh.write("\n")
+        except OSError:
+            return None
+        self.dump_path = path
+        return path
+
+
+# ---------------------------------------------------------------------------
+# ``runner flightdump`` — pretty-print a dump file
+# ---------------------------------------------------------------------------
+
+def _metric_lines(snapshots: List[Dict[str, Any]], limit: int) -> List[str]:
+    """First-vs-last snapshot comparison: the metrics that actually moved."""
+    if not snapshots:
+        return ["  (no metrics snapshots recorded)"]
+    first, last = snapshots[0], snapshots[-1]
+    moved = []
+    for key in sorted(last):
+        if key.startswith("_"):
+            continue
+        before, after = first.get(key), last.get(key)
+        if isinstance(after, (int, float)) and before != after:
+            moved.append(f"  {key}: {before} -> {after}")
+    if not moved:
+        return ["  (no metric moved between the first and last snapshot)"]
+    if len(moved) > limit:
+        moved = moved[:limit] + [f"  ... {len(moved) - limit} more"]
+    return moved
+
+
+def format_dump(payload: Dict[str, Any], limit: int = 20) -> str:
+    """Human-readable rendering of one flight-recorder dump."""
+    lines = [
+        f"flight dump: trigger={payload.get('trigger', '?')} "
+        f"at {payload.get('dumped_at', '?')}",
+    ]
+    context = payload.get("context") or {}
+    for key in sorted(context):
+        lines.append(f"  context.{key} = {context[key]!r}")
+
+    snapshots = payload.get("metrics_snapshots") or []
+    lines.append(f"\nmetrics ({len(snapshots)} snapshot(s); moved values):")
+    lines.extend(_metric_lines(snapshots, limit))
+
+    logs = payload.get("logs") or []
+    lines.append(f"\nlog tail ({len(logs)} record(s)):")
+    for record in logs[-limit:]:
+        ts = record.get("ts", "-")
+        level = record.get("level", "?")
+        event = record.get("event", "?")
+        rest = {k: v for k, v in record.items()
+                if k not in ("ts", "level", "event", "logger")}
+        lines.append(f"  {ts} [{level}] {event} {json.dumps(rest, sort_keys=True, default=repr)}")
+
+    spans = payload.get("spans") or []
+    trees = build_trees(spans)
+    lines.append(f"\nspans ({len(spans)} recorded, {len(trees)} trace(s)):")
+    for tree in trees[:limit]:
+        lines.append(format_tree(tree))
+    if len(trees) > limit:
+        lines.append(f"... {len(trees) - limit} more trace(s)")
+    return "\n".join(lines)
+
+
+def cli_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="runner flightdump",
+        description="Pretty-print a live-policer flight-recorder dump.",
+    )
+    parser.add_argument("dump", help="path to a flight-recorder JSON dump")
+    parser.add_argument("--limit", type=int, default=20,
+                        help="max log lines / span trees to print (default 20)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="re-emit the dump as indented JSON instead")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.dump, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"flightdump: cannot read {args.dump}: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(payload, dict) or payload.get("event") != "flight_dump":
+        print(f"flightdump: {args.dump} is not a flight-recorder dump",
+              file=sys.stderr)
+        return 1
+
+    try:
+        if args.as_json:
+            json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+            print()
+        else:
+            print(format_dump(payload, limit=args.limit))
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; that is not an error.
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # does not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(cli_main())

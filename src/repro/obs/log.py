@@ -1,0 +1,186 @@
+"""Structured JSON-lines event logging with trace/span correlation.
+
+Before this module, every live process wrote its own ad-hoc JSON dicts to
+stdout (``serve.py``/``loadgen.py`` ``_emit`` helpers) and the worker fleet
+reported nothing machine-readable at all.  :class:`JsonLinesLogger` is the
+one emitter they all share:
+
+* **One record shape.**  Every line is a JSON object with ``ts`` (wall
+  seconds), ``event``, ``level``, and ``logger``; when the logger holds an
+  injected clock the record also carries ``sim_ts`` — the telemetry clock
+  reading, which for a :class:`~repro.runtime.clock.WallClock` coincides
+  with wall time and for a simulation clock is simulated seconds.
+* **Correlation built in.**  Pass ``span=`` (a
+  :class:`~repro.obs.spans.Span` or
+  :class:`~repro.obs.spans.SpanContext`) and the record gains the
+  ``trace``/``span``/``parent`` id fields, so ``runner trace --spans`` can
+  stitch log lines from different processes into one causal tree.
+* **Clock discipline.**  Wall time is read through the injected ``wall``
+  callable (defaulting to ``time.time``), never inline — the same seam the
+  rest of the codebase uses so simulated runs stay reproducible.
+* **Tee-able.**  ``add_sink`` registers callables that observe every
+  record — the flight recorder's ring rides on this.
+* **stdlib bridge.**  :func:`bridge_stdlib` forwards ``logging`` records
+  (e.g. :mod:`repro.experiments.sweep`'s import warnings) into the same
+  stream, so a process has one log, not two formats.
+
+The writer is line-buffered JSON on a plain text stream; ``emit`` never
+raises on serialization surprises (non-JSON values are ``repr``-ed), because
+losing a process to its own telemetry is the one failure mode a logger must
+not have.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, Callable, Dict, IO, List, Optional, Union
+
+from repro.obs.spans import Span, SpanContext
+
+__all__ = [
+    "JsonLinesLogger",
+    "StdlibBridgeHandler",
+    "bridge_stdlib",
+]
+
+_LEVELS = ("debug", "info", "warning", "error")
+
+
+class JsonLinesLogger:
+    """Write structured events as JSON lines to a text stream."""
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        clock: Optional[Any] = None,
+        name: str = "repro",
+        wall: Callable[[], float] = time.time,
+        min_level: str = "debug",
+    ) -> None:
+        if min_level not in _LEVELS:
+            raise ValueError(f"unknown level {min_level!r}; one of {_LEVELS}")
+        self._stream = stream if stream is not None else sys.stdout
+        self.clock = clock
+        self.name = name
+        self._wall = wall
+        self._threshold = _LEVELS.index(min_level)
+        self._sinks: List[Callable[[Dict[str, Any]], None]] = []
+        self.emitted = 0
+
+    # -- core emission ------------------------------------------------------
+    def emit(
+        self,
+        event: str,
+        level: str = "info",
+        span: Optional[Union[Span, SpanContext]] = None,
+        extra: Optional[Dict[str, Any]] = None,
+        **fields: Any,
+    ) -> Optional[Dict[str, Any]]:
+        """Write one record; returns it (or ``None`` when level-filtered).
+
+        ``extra`` merges a whole dict into the record — the escape hatch for
+        payload keys (``span``, ``level``, …) that shadow keyword parameters.
+        """
+        if _LEVELS.index(level) < self._threshold:
+            return None
+        record: Dict[str, Any] = {
+            "ts": round(self._wall(), 6),
+            "level": level,
+            "event": event,
+            "logger": self.name,
+        }
+        if self.clock is not None:
+            record["sim_ts"] = round(float(self.clock.now), 6)
+        if span is not None:
+            context = span.context if isinstance(span, Span) else span
+            record.update(context.ids_dict())
+        if extra:
+            for key, value in extra.items():
+                if key not in ("ts", "event", "logger"):
+                    record[key] = value
+        record.update(fields)
+        self.emitted += 1
+        for sink in self._sinks:
+            sink(record)
+        try:
+            line = json.dumps(record, sort_keys=True, default=repr,
+                              allow_nan=False)
+        except ValueError:
+            line = json.dumps({k: repr(v) for k, v in record.items()},
+                              sort_keys=True)
+        self._stream.write(line + "\n")
+        self._stream.flush()
+        return record
+
+    # -- level conveniences -------------------------------------------------
+    def debug(self, event: str, **fields: Any) -> Optional[Dict[str, Any]]:
+        return self.emit(event, level="debug", **fields)
+
+    def info(self, event: str, **fields: Any) -> Optional[Dict[str, Any]]:
+        return self.emit(event, level="info", **fields)
+
+    def warning(self, event: str, **fields: Any) -> Optional[Dict[str, Any]]:
+        return self.emit(event, level="warning", **fields)
+
+    def error(self, event: str, **fields: Any) -> Optional[Dict[str, Any]]:
+        return self.emit(event, level="error", **fields)
+
+    def span_record(self, span: Union[Span, Dict[str, Any]]) -> None:
+        """Emit one finished span as an ``{"event": "span"}`` record.
+
+        Wire this as a :class:`~repro.obs.spans.SpanRecorder` sink
+        (``recorder.add_sink(log.span_record)``) and every process's log
+        doubles as its span export — the input ``runner trace --spans``
+        stitches trees from.
+        """
+        fields = span.to_dict() if isinstance(span, Span) else dict(span)
+        fields.setdefault("process", self.name)
+        # The span dict's own "span" id key would collide with emit()'s
+        # span= keyword, so it rides in via extra= instead.
+        self.emit("span", level="debug", extra=fields)
+
+    # -- tee ----------------------------------------------------------------
+    def add_sink(self, sink: Callable[[Dict[str, Any]], None]) -> None:
+        """Register a callable that observes every emitted record."""
+        self._sinks.append(sink)
+
+
+class StdlibBridgeHandler(logging.Handler):
+    """A ``logging.Handler`` that forwards records into a JsonLinesLogger."""
+
+    def __init__(self, logger: JsonLinesLogger,
+                 level: int = logging.WARNING) -> None:
+        super().__init__(level=level)
+        self.target = logger
+
+    def emit(self, record: logging.LogRecord) -> None:
+        level = record.levelname.lower()
+        if level not in _LEVELS:
+            level = "error" if record.levelno >= logging.ERROR else "info"
+        try:
+            message = record.getMessage()
+        except Exception:  # a bad %-format must not kill the process
+            message = record.msg if isinstance(record.msg, str) else repr(record.msg)
+        self.target.emit("stdlib_log", level=level, message=message,
+                         stdlib_logger=record.name)
+
+
+def bridge_stdlib(
+    logger: JsonLinesLogger,
+    name: str = "repro",
+    level: int = logging.WARNING,
+) -> StdlibBridgeHandler:
+    """Attach (and return) a bridge handler on the named stdlib logger.
+
+    Call ``logging.getLogger(name).removeHandler(handler)`` — or just let
+    the process exit — to detach; the handler holds no other state.
+    """
+    handler = StdlibBridgeHandler(logger, level=level)
+    stdlib_logger = logging.getLogger(name)
+    stdlib_logger.addHandler(handler)
+    if stdlib_logger.level == logging.NOTSET or stdlib_logger.level > level:
+        stdlib_logger.setLevel(level)
+    return handler

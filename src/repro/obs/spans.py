@@ -1,0 +1,400 @@
+"""Causal spans: trace contexts that survive process and socket boundaries.
+
+:mod:`repro.obs.trace` answers *what happened to a packet inside one
+process*; this module answers *which operation caused which* across the
+distributed pieces of the system — loadgen → policer over UDP, submitter →
+worker fleet over the shared queue, sweep driver → point execution.
+
+The model is deliberately tiny (a strict subset of W3C trace-context /
+OpenTelemetry semantics):
+
+* :class:`SpanContext` — the identity triple ``(trace_id, span_id,
+  parent_id)``; 64-bit ints, ``parent_id == 0`` meaning "root".  It is a
+  ``NamedTuple`` so the wire codec can carry it as three fixed-width
+  integers and equality/canonicality are structural.
+* :class:`Span` — one named, timed operation: a context plus start/end
+  clock readings, a status, and optional attributes.
+* :class:`SpanRecorder` — a bounded ``deque`` ring of *finished* spans with
+  the same process-global ``active``/``set``/``use`` plumbing as
+  :class:`~repro.obs.trace.PacketTracer`: components capture the recorder
+  at construction, so the disabled-mode cost is one ``is not None`` test.
+
+Clock discipline: the recorder never reads wall time itself.  Timestamps
+come from an injected clock (anything with a ``.now`` float, i.e. the
+:class:`~repro.runtime.clock.Clock` protocol) or are passed explicitly by
+the caller; with neither, spans carry ``None`` timestamps and remain
+causally ordered by their ids.
+
+Cross-process stitching: every emitter writes finished spans as
+``{"event": "span", ...}`` JSON-lines records (see
+:meth:`Span.to_dict`); :func:`build_trees` re-links any iterable of such
+records — typically the merged serve + loadgen logs — into per-trace trees
+for ``runner trace --spans`` and the flight-recorder pretty-printer.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from collections import deque
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Union,
+)
+from contextlib import contextmanager
+
+__all__ = [
+    "TRACE_KEY",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "active_span_recorder",
+    "build_trees",
+    "format_tree",
+    "parse_span_id",
+    "set_span_recorder",
+    "span_id_str",
+    "use_span_recorder",
+]
+
+#: ``Packet.headers`` key under which a :class:`SpanContext` rides a packet.
+#: The wire codec (:mod:`repro.runtime.codec`) serializes this header — and
+#: only this one besides the NetFence shim — so a context attached by a
+#: loadgen sender is visible to the policer that admits the packet.
+TRACE_KEY = "trace"
+
+_ID_MASK = (1 << 64) - 1
+
+
+def span_id_str(value: int) -> str:
+    """Canonical textual form of a trace/span id (16 hex digits)."""
+    return f"{value & _ID_MASK:016x}"
+
+
+def parse_span_id(text: Union[str, int]) -> int:
+    """Inverse of :func:`span_id_str`; also accepts already-int ids."""
+    if isinstance(text, int):
+        return text & _ID_MASK
+    return int(text, 16) & _ID_MASK
+
+
+class SpanContext(NamedTuple):
+    """The propagated identity of one span: who am I, inside which trace,
+    caused by whom.  ``parent_id == 0`` marks a trace root."""
+
+    trace_id: int
+    span_id: int
+    parent_id: int = 0
+
+    def child_of(self, span_id: int) -> "SpanContext":
+        """A context for a new span caused by this one (same trace)."""
+        return SpanContext(self.trace_id, span_id, self.span_id)
+
+    def ids_dict(self) -> Dict[str, Optional[str]]:
+        """The correlation fields every log record carries."""
+        return {
+            "trace": span_id_str(self.trace_id),
+            "span": span_id_str(self.span_id),
+            "parent": span_id_str(self.parent_id) if self.parent_id else None,
+        }
+
+
+class Span:
+    """One named, timed operation within a trace.
+
+    ``__slots__`` for the same reason :class:`~repro.obs.trace.TraceEvent`
+    is a NamedTuple: span starts can sit on per-packet paths, and attribute
+    dicts are allocated only when a caller actually attaches attributes.
+    """
+
+    __slots__ = ("name", "context", "start_ts", "end_ts", "status", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        context: SpanContext,
+        start_ts: Optional[float] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.context = context
+        self.start_ts = start_ts
+        self.end_ts: Optional[float] = None
+        self.status = "ok"
+        self.attrs = attrs
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.start_ts is None or self.end_ts is None:
+            return None
+        return self.end_ts - self.start_ts
+
+    def set_attr(self, key: str, value: Any) -> None:
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-lines shape emitted to logs and flight dumps."""
+        out: Dict[str, Any] = {"name": self.name}
+        out.update(self.context.ids_dict())
+        out.update(start_ts=self.start_ts, end_ts=self.end_ts,
+                   status=self.status)
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ids = self.context.ids_dict()
+        return (f"Span({self.name!r}, trace={ids['trace']}, "
+                f"span={ids['span']}, status={self.status!r})")
+
+
+class SpanRecorder:
+    """Bounded ring buffer of finished :class:`Span` objects.
+
+    ``seed`` makes the id stream deterministic (tests, simulated sweeps);
+    without one, ids are drawn from an OS-seeded stream so that concurrent
+    processes — a policer and many loadgen hosts — never collide.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        clock: Optional[Any] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.clock = clock
+        self.spans: Deque[Span] = deque(maxlen=capacity)
+        self.started = 0
+        self.finished = 0
+        if seed is None:
+            seed = int.from_bytes(os.urandom(8), "big")
+        self._ids = random.Random(seed)
+        self._sinks: List[Any] = []
+
+    # -- id allocation ------------------------------------------------------
+    def new_id(self) -> int:
+        """A nonzero 64-bit id (0 is reserved for "no parent")."""
+        value = 0
+        while value == 0:
+            value = self._ids.getrandbits(64)
+        return value
+
+    # -- clock plumbing -----------------------------------------------------
+    def _ts(self, ts: Optional[float]) -> Optional[float]:
+        if ts is not None:
+            return ts
+        if self.clock is not None:
+            return float(self.clock.now)
+        return None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(
+        self,
+        name: str,
+        parent: Optional[Union[Span, SpanContext]] = None,
+        trace_id: Optional[int] = None,
+        ts: Optional[float] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Open a span.  With ``parent`` the new span joins that trace;
+        otherwise it roots a new trace (or joins an explicit ``trace_id``)."""
+        self.started += 1
+        span_id = self.new_id()
+        if parent is not None:
+            context = (parent.context if isinstance(parent, Span)
+                       else parent).child_of(span_id)
+        else:
+            context = SpanContext(
+                trace_id if trace_id is not None else self.new_id(), span_id)
+        return Span(name, context, start_ts=self._ts(ts), attrs=attrs)
+
+    def finish(self, span: Span, ts: Optional[float] = None,
+               status: str = "ok") -> Span:
+        """Close a span and commit it to the ring (and any sinks)."""
+        span.end_ts = self._ts(ts)
+        span.status = status
+        self.finished += 1
+        self.spans.append(span)
+        for sink in self._sinks:
+            sink(span.to_dict())
+        return span
+
+    def event(
+        self,
+        name: str,
+        parent: Optional[Union[Span, SpanContext]] = None,
+        ts: Optional[float] = None,
+        status: str = "ok",
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """An instantaneous span (start == end): one causal decision point.
+
+        This is the per-packet form — the policer records admission and
+        delivery as zero-duration children of the context the packet
+        carried, so path latency lives in attributes, not span clocks that
+        two machines would disagree about.
+        """
+        span = self.start(name, parent=parent, ts=ts, attrs=attrs)
+        return self.finish(span, ts=span.start_ts, status=status)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: Optional[Union[Span, SpanContext]] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Iterator[Span]:
+        """``with recorder.span("worker.execute") as s: ...`` — the span is
+        finished on exit, with status ``"error"`` if the body raised."""
+        span = self.start(name, parent=parent, attrs=attrs)
+        try:
+            yield span
+        except BaseException:
+            self.finish(span, status="error")
+            raise
+        self.finish(span)
+
+    # -- sinks (flight recorder / log tee) ----------------------------------
+    def add_sink(self, sink: Any) -> None:
+        """Register a callable invoked with every finished span's dict."""
+        self._sinks.append(sink)
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def by_trace(self, trace_id: int) -> List[Span]:
+        return [s for s in self.spans if s.context.trace_id == trace_id]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [s.to_dict() for s in self.spans]
+
+
+# ---------------------------------------------------------------------------
+# Cross-process tree reconstruction
+# ---------------------------------------------------------------------------
+
+def build_trees(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Re-link span dicts (possibly from several processes' logs) into trees.
+
+    Each input record needs at least ``trace`` and ``span`` ids (hex strings
+    or ints, as :meth:`Span.to_dict` writes them).  Returns root nodes
+    ``{"span": record, "children": [...]}``; a span whose parent never shows
+    up in the input (lost log line, foreign process) is promoted to a root
+    so nothing disappears silently.
+    """
+    nodes: Dict[tuple, Dict[str, Any]] = {}
+    ordered: List[tuple] = []
+    for record in records:
+        if "trace" not in record or "span" not in record:
+            continue
+        key = (parse_span_id(record["trace"]), parse_span_id(record["span"]))
+        if key in nodes:  # same span logged by two readers: keep the first
+            continue
+        nodes[key] = {"span": record, "children": []}
+        ordered.append(key)
+
+    roots: List[Dict[str, Any]] = []
+    for key in ordered:
+        node = nodes[key]
+        parent_raw = node["span"].get("parent")
+        parent_key = (key[0], parse_span_id(parent_raw)) if parent_raw else None
+        if parent_key is not None and parent_key in nodes:
+            nodes[parent_key]["children"].append(node)
+        else:
+            roots.append(node)
+
+    def start_key(node: Dict[str, Any]) -> tuple:
+        start = node["span"].get("start_ts")
+        return (start is None, start if start is not None else 0.0)
+
+    def sort_children(node: Dict[str, Any]) -> None:
+        node["children"].sort(key=start_key)
+        for child in node["children"]:
+            sort_children(child)
+
+    for root in roots:
+        sort_children(root)
+    roots.sort(key=lambda n: (parse_span_id(n["span"]["trace"]),) + start_key(n))
+    return roots
+
+
+def format_tree(root: Dict[str, Any]) -> str:
+    """Human-readable indented rendering of one :func:`build_trees` root."""
+    lines: List[str] = []
+
+    def emit(node: Dict[str, Any], depth: int) -> None:
+        span = node["span"]
+        start = span.get("start_ts")
+        end = span.get("end_ts")
+        if start is not None and end is not None and end > start:
+            timing = f" {1000.0 * (end - start):.3f}ms"
+        elif start is not None:
+            timing = f" @{start:.6f}"
+        else:
+            timing = ""
+        status = span.get("status", "ok")
+        flag = "" if status == "ok" else f" [{status}]"
+        process = span.get("process")
+        where = f" <{process}>" if process else ""
+        attrs = span.get("attrs")
+        detail = f" {attrs}" if attrs else ""
+        lines.append(f"{'  ' * depth}{span.get('name', '?')}{where}"
+                     f"{timing}{flag}{detail}")
+        for child in node["children"]:
+            emit(child, depth + 1)
+
+    trace = span_id_str(parse_span_id(root["span"]["trace"]))
+    lines.insert(0, f"trace {trace}:")
+    emit(root, 1)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Process-global recorder (mirrors repro.obs.trace)
+# ---------------------------------------------------------------------------
+
+#: ``None`` means span recording is off (the default).
+_active_recorder: Optional[SpanRecorder] = None
+
+
+def active_span_recorder() -> Optional[SpanRecorder]:
+    """The recorder components capture at construction (usually ``None``)."""
+    return _active_recorder
+
+
+def set_span_recorder(
+    recorder: Optional[SpanRecorder],
+) -> Optional[SpanRecorder]:
+    """Install (or clear) the global recorder; returns the previous one."""
+    global _active_recorder
+    previous = _active_recorder
+    _active_recorder = recorder
+    return previous
+
+
+class use_span_recorder:
+    """Context manager installing a recorder around scenario construction."""
+
+    def __init__(self, recorder: SpanRecorder) -> None:
+        self.recorder = recorder
+        self._previous: Optional[SpanRecorder] = None
+
+    def __enter__(self) -> SpanRecorder:
+        self._previous = set_span_recorder(self.recorder)
+        return self.recorder
+
+    def __exit__(self, *exc: Any) -> None:
+        set_span_recorder(self._previous)

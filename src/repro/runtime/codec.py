@@ -18,10 +18,17 @@ with two properties:
   same signed 64-bit microsecond count, so the float the receiver
   reconstructs hashes identically.
 
-Only the NetFence shim header crosses the wire.  Other entries in
-``Packet.headers`` (transport bookkeeping, Passport, capability stubs) are
-simulator-internal object graphs with no wire representation; a live end
-host rebuilds its own transport state from addressing and ``flow_id``.
+Only the NetFence shim header and the observability trace context cross
+the wire.  Other entries in ``Packet.headers`` (transport bookkeeping,
+Passport, capability stubs) are simulator-internal object graphs with no
+wire representation; a live end host rebuilds its own transport state from
+addressing and ``flow_id``.
+
+The trace context (:class:`~repro.obs.spans.SpanContext` under
+``headers["trace"]``) is an *optional* trailing field guarded by its own
+packet flag bit: frames without it decode exactly as before, so VERSION
+stays 1, and the MAC layer never hashes it, so feedback stamped by a
+non-tracing sender still verifies at a tracing receiver and vice versa.
 
 Frame layout (all integers big-endian)::
 
@@ -43,6 +50,7 @@ from typing import Any, Optional, Tuple
 from repro.core.feedback import Feedback, FeedbackAction, FeedbackMode
 from repro.core.header import HEADER_KEY, NetFenceHeader
 from repro.crypto.mac import quantize_ts, unquantize_ts
+from repro.obs.spans import TRACE_KEY, SpanContext
 from repro.simulator.packet import Packet, PacketType
 
 MAGIC = b"NF"
@@ -73,6 +81,7 @@ _HDR_HAS_RETURNED = 0x02
 _PKT_HAS_SRC_AS = 0x01
 _PKT_HAS_DST_AS = 0x02
 _PKT_HAS_HEADER = 0x04
+_PKT_HAS_TRACE = 0x08
 
 
 class CodecError(ValueError):
@@ -260,6 +269,9 @@ def encode_packet(packet: Packet) -> bytes:
     header = packet.headers.get(HEADER_KEY)
     if header is not None:
         flags |= _PKT_HAS_HEADER
+    trace = packet.headers.get(TRACE_KEY)
+    if trace is not None:
+        flags |= _PKT_HAS_TRACE
     out: list = [MAGIC, struct.pack(">BBBB", VERSION, KIND_PACKET, ptype, flags)]
     _w_str(out, packet.src)
     _w_str(out, packet.dst)
@@ -276,6 +288,14 @@ def encode_packet(packet: Packet) -> bytes:
         if not isinstance(header, NetFenceHeader):
             raise CodecError(f"netfence header has unexpected type {type(header)!r}")
         _encode_header(out, header)
+    if trace is not None:
+        if not isinstance(trace, SpanContext):
+            raise CodecError(f"trace context has unexpected type {type(trace)!r}")
+        for field in (trace.trace_id, trace.span_id, trace.parent_id):
+            if not isinstance(field, int) or not 0 <= field < 1 << 64:
+                raise CodecError(f"trace context id out of range: {field!r}")
+        out.append(struct.pack(">QQQ", trace.trace_id, trace.span_id,
+                               trace.parent_id))
     return b"".join(out)
 
 
@@ -284,7 +304,8 @@ def _decode_packet_body(r: _Reader) -> Packet:
     ptype = _CODE_PTYPE.get(ptype_code)
     if ptype is None:
         raise CodecError(f"unknown packet type code {ptype_code}")
-    if flags & ~(_PKT_HAS_SRC_AS | _PKT_HAS_DST_AS | _PKT_HAS_HEADER):
+    if flags & ~(_PKT_HAS_SRC_AS | _PKT_HAS_DST_AS | _PKT_HAS_HEADER
+                 | _PKT_HAS_TRACE):
         raise CodecError(f"unknown packet flag bits 0x{flags:02x}")
     src = r.string()
     dst = r.string()
@@ -299,6 +320,8 @@ def _decode_packet_body(r: _Reader) -> Packet:
     headers = {}
     if flags & _PKT_HAS_HEADER:
         headers[HEADER_KEY] = _decode_header(r)
+    if flags & _PKT_HAS_TRACE:
+        headers[TRACE_KEY] = SpanContext(r.u64(), r.u64(), r.u64())
     r.done()
     return Packet(
         src=src,

@@ -12,6 +12,12 @@ live policer runs:
   :class:`~repro.experiments.distrib.WorkQueue` directory (``--queue``);
 * ``/api/serve`` — the tail of a ``runner serve --json`` stats stream
   (``--serve-log``), so live-policer counters show up next to sweep results;
+* ``/api/fleet`` — per-worker telemetry aggregates
+  (:meth:`~repro.store.result_store.ResultStore.fleet_summary`: claim
+  latency, heartbeat renewals, RSS) from the ``worker_rows`` table;
+* ``/api/bench`` — the perf trajectory trend
+  (:func:`repro.analysis.bench_report.perf_report` over
+  :meth:`~repro.store.result_store.ResultStore.perf_trajectory`);
 * ``/`` — a small single-file HTML view that polls those endpoints.
 
 The store is reopened per request: it is an append-only SQLite database that
@@ -67,6 +73,8 @@ DASHBOARD_HTML = """<!doctype html>
 <div id="meta">loading…</div>
 <h2>pivot</h2><div id="pivot">–</div>
 <h2>work queue</h2><div id="queue">–</div>
+<h2>worker fleet</h2><div id="fleet">–</div>
+<h2>bench trajectory</h2><div id="bench">–</div>
 <h2>live serve</h2><div id="serve">–</div>
 <script>
 const qs = new URLSearchParams(window.location.search);
@@ -106,6 +114,22 @@ async function refresh() {
       ? `<span>${q.error}</span>`
       : table(Object.keys(q.counts), [Object.values(q.counts)]) +
         (q.failures.length ? `<p class="err">${q.failures.length} failures</p>` : "");
+    const f = await (await fetch("/api/fleet")).json();
+    document.getElementById("fleet").innerHTML = !f.workers.length
+      ? "no worker telemetry yet"
+      : table(["worker", "points", "retried", "claim p_avg (s)", "renewals",
+               "elapsed (s)", "max rss (kB)"],
+              f.workers.map(w => [w.worker_id, w.points, w.retried_points,
+                                  w.avg_claim_latency_s, w.heartbeat_renewals,
+                                  w.total_elapsed_s, w.max_rss_kb]));
+    const b = await (await fetch("/api/bench")).json();
+    document.getElementById("bench").innerHTML = !b.trajectory.length
+      ? "no executions recorded"
+      : table(["experiment", "points", "executions", "repeated",
+               "baseline (s)", "latest (s)", "trend (%)"],
+              b.trajectory.map(e => [e.experiment, e.points, e.executions,
+                                     e.repeated_points, e.baseline_s,
+                                     e.latest_s, e.regression_pct]));
     const s = await (await fetch("/api/serve")).json();
     if (s.error || !s.events.length) {
       document.getElementById("serve").textContent = s.error || "no events yet";
@@ -165,6 +189,20 @@ class DashboardService:
             agg=query.get("agg", "mean"),
         )
 
+    def fleet(self) -> Dict[str, Any]:
+        """Per-worker operational aggregates from the worker_rows table."""
+        store = ResultStore(self.store_path)
+        return {"workers": store.fleet_summary()}
+
+    def bench(self, query: Dict[str, str]) -> Dict[str, Any]:
+        """Perf-trajectory trend for the bench panel."""
+        from repro.analysis.bench_report import perf_report
+
+        store = ResultStore(self.store_path)
+        trajectory = store.perf_trajectory(
+            experiment=query.get("experiment"))
+        return {"trajectory": perf_report(trajectory)}
+
     def queue_status(self) -> Dict[str, Any]:
         if self.queue_dir is None:
             return {"error": "no --queue directory configured"}
@@ -212,6 +250,10 @@ class DashboardService:
                 return json_response({"error": str(exc)}, status=400)
         if path == "/api/queue":
             return json_response(self.queue_status())
+        if path == "/api/fleet":
+            return json_response(self.fleet())
+        if path == "/api/bench":
+            return json_response(self.bench(query))
         if path == "/api/serve":
             try:
                 limit = int(query.get("limit", str(DEFAULT_SERVE_TAIL)))

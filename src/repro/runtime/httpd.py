@@ -7,6 +7,11 @@ loop with no third-party dependencies.  This module provides exactly that —
 request-line + header parsing, a routing callback, and connection-per-request
 semantics (``Connection: close``).  It is deliberately not a general web
 server: no keep-alive, no chunked bodies, no methods besides GET/HEAD.
+
+Slow or hostile clients cannot wedge the loop: reading the request (line and
+headers) is bounded by ``request_timeout`` seconds, after which the client
+gets ``408 Request Timeout`` — the slowloris guard a long-lived telemetry
+port needs.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
+    408: "Request Timeout",
     405: "Method Not Allowed",
     500: "Internal Server Error",
 }
@@ -81,8 +87,10 @@ def html_response(html: str, status: int = 200) -> Response:
 class HttpServer:
     """Serve GET requests from ``handler`` on an asyncio event loop."""
 
-    def __init__(self, handler: Handler) -> None:
+    def __init__(self, handler: Handler,
+                 request_timeout: float = 10.0) -> None:
         self.handler = handler
+        self.request_timeout = request_timeout
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self, host: str = "127.0.0.1",
@@ -109,7 +117,11 @@ class HttpServer:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         try:
-            response = await self._read_and_dispatch(reader)
+            try:
+                response = await asyncio.wait_for(
+                    self._read_and_dispatch(reader), self.request_timeout)
+            except asyncio.TimeoutError:
+                response = text_response("request timeout", status=408)
             writer.write(response.encode())
             await writer.drain()
         except (ConnectionError, asyncio.LimitOverrunError):

@@ -21,13 +21,14 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import traffic_share
 from repro.core.endhost import NetFenceEndHost, ReturnPolicy
 from repro.core.params import NetFenceParams
+from repro.obs.log import JsonLinesLogger
+from repro.obs.spans import TRACE_KEY, SpanRecorder, active_span_recorder, use_span_recorder
 from repro.runtime.clock import WallClock
 from repro.runtime.codec import CodecError, decode_packet, encode_hello, encode_packet
 from repro.runtime.serve import DEFAULT_CAPACITY_BPS, DEFAULT_HOST, DEFAULT_PORT, SERVE_AS
@@ -45,6 +46,7 @@ class LiveHost(Host):
         super().__init__(clock, name, as_name=as_name)
         self._transport: Optional[asyncio.DatagramTransport] = None
         self.codec_errors = 0
+        self._spans = active_span_recorder()
 
     def send(self, packet: Packet) -> None:
         if packet.src_as is None:
@@ -54,6 +56,13 @@ class LiveHost(Host):
             if outbound_filter(packet) is False:
                 return
         self.packets_sent += 1
+        if self._spans is not None:
+            # Each send roots its own trace; the context rides the frame so
+            # the policer's serve.* events join as children of this span.
+            span = self._spans.event(
+                "loadgen.send", ts=self.clock.now,
+                attrs={"src": self.name, "dst": packet.dst, "uid": packet.uid})
+            packet.headers[TRACE_KEY] = span.context
         self.transport.sendto(encode_packet(packet))
 
     def hello(self) -> None:
@@ -76,6 +85,12 @@ class LiveHost(Host):
         except CodecError:
             self.codec_errors += 1
             return
+        if self._spans is not None:
+            context = packet.headers.get(TRACE_KEY)
+            if context is not None:
+                self._spans.event("loadgen.recv", parent=context,
+                                  ts=self.clock.now,
+                                  attrs={"host": self.name})
         self.receive(packet, None)
 
 
@@ -198,9 +213,12 @@ async def run_scenario(
     }
 
 
-def _emit(result: Dict[str, object], as_json: bool) -> None:
-    if as_json:
-        print(json.dumps(result), flush=True)
+def _emit(result: Dict[str, object],
+          log: Optional[JsonLinesLogger] = None) -> None:
+    if log is not None:
+        record = dict(result)
+        event = str(record.pop("event", "result"))
+        log.emit(event, **record)
         return
     print(
         f"loadgen: legit share {result['legit_share']:.3f} "
@@ -233,13 +251,20 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
                         help="exit 1 if the legit goodput share falls below X")
     parser.add_argument("--json", action="store_true",
                         help="machine-readable JSON output")
+    parser.add_argument("--spans", action="store_true",
+                        help="root a causal trace per sent packet and carry "
+                             "its context on the wire (with --json, spans "
+                             "are written to the log stream)")
     args = parser.parse_args(argv)
     if args.quick:
         args.warmup = min(args.warmup, 2.0)
         args.duration = min(args.duration, 4.0)
 
-    result = asyncio.run(
-        run_scenario(
+    spans = SpanRecorder(capacity=65536) if args.spans else None
+    log = JsonLinesLogger(name="loadgen") if args.json else None
+
+    async def _run() -> Dict[str, object]:
+        return await run_scenario(
             (args.host, args.port),
             legit=args.legit,
             attackers=args.attackers,
@@ -249,8 +274,21 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
             duration_s=args.duration,
             capacity_bps=args.capacity_bps,
         )
-    )
-    _emit(result, args.json)
+
+    if spans is not None:
+        with use_span_recorder(spans):
+            result = asyncio.run(_run())
+    else:
+        result = asyncio.run(_run())
+
+    if spans is not None:
+        if log is not None:
+            for record in spans.to_dicts():
+                log.span_record(record)
+        else:
+            print(f"loadgen: recorded {spans.finished} spans "
+                  f"({len(spans)} buffered)", flush=True)
+    _emit(result, log)
     if not result["bytes_by_src"]:
         print("loadgen: no traffic delivered — is the policer running?",
               file=sys.stderr)

@@ -35,7 +35,6 @@ from __future__ import annotations
 import argparse
 import asyncio
 import collections
-import json
 import signal
 import sys
 from typing import Any, Callable, Deque, Dict, Optional, Sequence, Tuple
@@ -47,7 +46,10 @@ from repro.core.header import HEADER_KEY
 from repro.core.params import NetFenceParams
 from repro.crypto.keys import AccessRouterSecret
 from repro.obs.export import prometheus_text, snapshot
+from repro.obs.flight import FlightRecorder
+from repro.obs.log import JsonLinesLogger, bridge_stdlib
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.spans import TRACE_KEY, SpanRecorder, active_span_recorder, set_span_recorder
 from repro.obs.trace import ReasonCode, active_tracer
 from repro.runtime.clock import WallClock
 from repro.runtime.codec import CodecError, decode_frame, encode_packet
@@ -148,6 +150,12 @@ class LivePolicer(asyncio.DatagramProtocol):
         # process-global registry disabled).
         self.registry = MetricsRegistry(enabled=True, clock=clock)
         self._tracer = active_tracer()
+        self._spans = active_span_recorder()
+        #: Flight recorder + dump path, attached by ``_serve`` (always on in
+        #: the CLI; library users may leave it unattached).
+        self.flight: Optional[FlightRecorder] = None
+        self.flight_path: Optional[str] = None
+        self._on_flight: Optional[Callable[[str, str], None]] = None
         with use_registry(self.registry):
             self.access = _LiveAccessRouter(
                 clock,
@@ -175,6 +183,8 @@ class LivePolicer(asyncio.DatagramProtocol):
         self._drain_task: Optional[asyncio.Task] = None
         #: Recent per-packet one-way queueing latencies (created_at → egress).
         self.latencies: Deque[float] = collections.deque(maxlen=4096)
+        #: Delivered bytes per source host — the live legit-share SLO input.
+        self.tx_bytes_by_src: Dict[str, int] = {}
         self.counters: Dict[str, int] = {
             "datagrams_rx": 0,
             "codec_errors": 0,
@@ -236,29 +246,59 @@ class LivePolicer(asyncio.DatagramProtocol):
         self.counters["packets_rx"] += 1
         verdict = self.access.admit_from_host(packet, None)
         if verdict is True:
+            self._span_event("serve.admit", packet)
             self._egress(packet)
         elif verdict is False:
             self.counters["ingress_dropped"] += 1
-        # verdict None: a rate limiter cached the packet; its release
-        # re-enters through _LiveAccessRouter.forward → _egress.
+            self._span_event("serve.admit", packet, status="drop")
+        else:
+            # verdict None: a rate limiter cached the packet; its release
+            # re-enters through _LiveAccessRouter.forward → _egress.
+            self._span_event("serve.admit", packet, status="cached")
 
     def error_received(self, exc: Exception) -> None:  # pragma: no cover - asyncio glue
         pass
 
     # -- egress path --------------------------------------------------------------
+    def _span_event(self, name: str, packet: Packet, status: str = "ok",
+                    attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Record one instant span for a packet that carries a trace context.
+
+        Each event is a zero-duration child of the context the packet rode
+        in with, so a loadgen-rooted trace gains ``serve.*`` children that
+        ``runner trace --spans`` can stitch from the merged logs.  Cost when
+        span recording is off: nothing (the call sites guard on
+        ``self._spans``); cost for untraced packets: one dict lookup.
+        """
+        spans = self._spans
+        if spans is None:
+            return
+        context = packet.headers.get(TRACE_KEY)
+        if context is None:
+            return
+        spans.event(name, parent=context, ts=self.clock.now,
+                    status=status, attrs=attrs)
+
     def _egress(self, packet: Packet) -> None:
         bneck = self.bottleneck
         if not bneck.on_transit(packet, None):
             self.counters["egress_dropped"] += 1
+            self._span_event("serve.egress", packet, status="drop",
+                             attrs={"stage": "transit"})
             return
         if not bneck.before_enqueue(packet, self.egress_link):
             self.counters["egress_dropped"] += 1
+            self._span_event("serve.egress", packet, status="drop",
+                             attrs={"stage": "enqueue"})
             return
         bneck.packets_forwarded += 1
         if self.queue.enqueue(packet):
             self._drain_wake.set()
-        # else: the channel queue dropped it (recorded in queue stats, and —
-        # for regular packets — fed back into attack detection).
+        elif self._spans is not None:
+            # The channel queue dropped it (recorded in queue stats, and —
+            # for regular packets — fed back into attack detection).
+            self._span_event("serve.egress", packet, status="drop",
+                             attrs={"stage": "queue"})
 
     async def _drain(self) -> None:
         """Dequeue at link speed; re-encode and transmit each packet."""
@@ -307,6 +347,10 @@ class LivePolicer(asyncio.DatagramProtocol):
                     self._tracer.emit("serve:deliver",
                                       ReasonCode.UNVERIFIED_FEEDBACK, packet,
                                       ts=now, detail="egress assert failed")
+                self._span_event("serve.unverified", packet, status="error")
+                self.flight_dump("unverified_admission",
+                                 src=packet.src, dst=packet.dst,
+                                 uid=packet.uid)
         self.egress_link.bytes_delivered += packet.size_bytes
         latency = now - packet.created_at
         self.latencies.append(latency)
@@ -317,9 +361,15 @@ class LivePolicer(asyncio.DatagramProtocol):
             if self._tracer is not None:
                 self._tracer.emit("serve:deliver",
                                   ReasonCode.DROP_UNDELIVERABLE, packet, ts=now)
+            self._span_event("serve.deliver", packet, status="drop",
+                             attrs={"reason": "undeliverable"})
             return
         self.counters["packets_tx"] += 1
         self.counters["bytes_tx"] += packet.size_bytes
+        self.tx_bytes_by_src[packet.src] = (
+            self.tx_bytes_by_src.get(packet.src, 0) + packet.size_bytes)
+        self._span_event("serve.deliver", packet,
+                         attrs={"latency_s": round(latency, 6)})
         if self._tracer is not None:
             self._tracer.emit("serve:deliver", ReasonCode.DELIVERED, packet,
                               ts=now, detail=f"to {addr[0]}:{addr[1]}")
@@ -346,10 +396,45 @@ class LivePolicer(asyncio.DatagramProtocol):
         if self.transport is not None:
             self.transport.close()
 
+    # -- flight recorder ----------------------------------------------------------
+    def attach_flight(self, flight: FlightRecorder, path: str,
+                      on_dump: Optional[Callable[[str, str], None]] = None) -> None:
+        """Arm the flight recorder: dumps go to ``path`` on first trigger."""
+        self.flight = flight
+        self.flight_path = path
+        self._on_flight = on_dump
+        if self._spans is not None:
+            self._spans.add_sink(flight.record_span)
+
+    def flight_dump(self, trigger: str, **context: Any) -> Optional[str]:
+        """Trigger a forensic dump (no-op if unarmed or already dumped)."""
+        if self.flight is None or self.flight_path is None:
+            return None
+        if self.flight.triggered is not None:
+            return None
+        context.setdefault("stats", self.stats(event="flight_context"))
+        path = self.flight.dump(self.flight_path, trigger, context=context)
+        if path is not None and self._on_flight is not None:
+            self._on_flight(trigger, path)
+        return path
+
     # -- introspection ------------------------------------------------------------
     @property
     def in_mon(self) -> bool:
         return self.bottleneck.link_state(BOTTLENECK_LINK).in_mon
+
+    def legit_share(self, prefix: str) -> Optional[float]:
+        """Fraction of delivered bytes from sources named ``prefix*``.
+
+        ``None`` until anything has been delivered — an idle policer is not
+        in breach of its SLO.
+        """
+        total = sum(self.tx_bytes_by_src.values())
+        if total <= 0:
+            return None
+        legit = sum(v for k, v in self.tx_bytes_by_src.items()
+                    if k.startswith(prefix))
+        return legit / total
 
     def metrics_snapshot(self) -> Dict[str, object]:
         """Flat ``{metric{labels}: value}`` view of the policer's registry."""
@@ -392,6 +477,7 @@ class LivePolicer(asyncio.DatagramProtocol):
                 "regular_dropped": self.queue.regular_queue.stats.dropped,
             },
             "latency_ms": percentiles_ms(self.latencies),
+            "tx_bytes_by_src": dict(self.tx_bytes_by_src),
             **self.counters,
         }
 
@@ -428,15 +514,48 @@ def metrics_endpoint(policer: LivePolicer) -> HttpServer:
 
 
 async def _serve(args: argparse.Namespace) -> Dict[str, object]:
-    policer = await start_policer(
-        host=args.host,
-        port=args.port,
-        params=NetFenceParams(),
-        master=args.secret.encode(),
-        capacity_bps=args.capacity_bps,
-        force_mon=args.force_mon,
-        as_fairness=args.as_fairness,
-    )
+    spans: Optional[SpanRecorder] = None
+    previous_spans: Optional[SpanRecorder] = None
+    if args.spans:
+        spans = SpanRecorder(capacity=8192)
+        previous_spans = set_span_recorder(spans)
+    try:
+        policer = await start_policer(
+            host=args.host,
+            port=args.port,
+            params=NetFenceParams(),
+            master=args.secret.encode(),
+            capacity_bps=args.capacity_bps,
+            force_mon=args.force_mon,
+            as_fairness=args.as_fairness,
+        )
+    finally:
+        if args.spans:
+            set_span_recorder(previous_spans)
+
+    log: Optional[JsonLinesLogger] = None
+    if args.json:
+        log = JsonLinesLogger(clock=policer.clock, name="serve")
+        bridge_stdlib(log)
+        if spans is not None:
+            # Every finished span doubles as a log record, so the stdout
+            # stream is also the span export `runner trace --spans` reads.
+            spans.add_sink(log.span_record)
+    if spans is not None:
+        spans.clock = policer.clock
+
+    # The flight recorder is always on: spans ring via attach_flight, log
+    # ring via a sink that skips span records (the span ring already has
+    # them), metrics ring via the monitor loop below.
+    flight = FlightRecorder()
+    policer.attach_flight(
+        flight, args.flight_dump,
+        on_dump=lambda trigger, path: _emit(
+            {"event": "flight_dump", "trigger": trigger, "path": path}, log))
+    if log is not None:
+        log.add_sink(lambda record: None if record.get("event") == "span"
+                     else flight.record_log(record))
+
     metrics_server: Optional[HttpServer] = None
     metrics_port: Optional[int] = None
     if args.metrics_port is not None:
@@ -450,7 +569,7 @@ async def _serve(args: argparse.Namespace) -> Dict[str, object]:
     }
     if metrics_port is not None:
         listening["metrics_port"] = metrics_port
-    _emit(listening, args.json)
+    _emit(listening, log)
 
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -459,15 +578,49 @@ async def _serve(args: argparse.Namespace) -> Dict[str, object]:
             loop.add_signal_handler(sig, stop.set)
         except NotImplementedError:  # pragma: no cover - non-Unix
             pass
+    try:
+        loop.add_signal_handler(
+            signal.SIGUSR1, lambda: policer.flight_dump("sigusr1"))
+    except (NotImplementedError, AttributeError):  # pragma: no cover - non-Unix
+        pass
+
+    def _loop_exception(loop: asyncio.AbstractEventLoop,
+                        context: Dict[str, Any]) -> None:
+        error = context.get("exception") or context.get("message")
+        policer.flight_dump("unhandled_exception", error=repr(error))
+        loop.default_exception_handler(context)
+
+    loop.set_exception_handler(_loop_exception)
+    if policer._drain_task is not None:
+        def _drain_done(task: "asyncio.Task[None]") -> None:
+            if not task.cancelled() and task.exception() is not None:
+                policer.flight_dump("unhandled_exception",
+                                    error=repr(task.exception()))
+        policer._drain_task.add_done_callback(_drain_done)
 
     async def _stats_loop() -> None:
         while True:
             await asyncio.sleep(args.stats_interval)
-            _emit(policer.stats(), args.json)
+            _emit(policer.stats(), log)
+
+    async def _monitor_loop() -> None:
+        """Feed the flight recorder's metrics ring and police the SLO."""
+        while True:
+            await asyncio.sleep(args.monitor_interval)
+            flight.record_metrics(policer.stats(event="snapshot"))
+            if args.slo_min_share is not None:
+                share = policer.legit_share(args.slo_legit_prefix)
+                if share is not None and share < args.slo_min_share:
+                    policer.flight_dump(
+                        "slo_breach",
+                        legit_share=round(share, 6),
+                        slo_min_share=args.slo_min_share,
+                        slo_legit_prefix=args.slo_legit_prefix)
 
     stats_task = (
         loop.create_task(_stats_loop()) if args.stats_interval > 0 else None
     )
+    monitor_task = loop.create_task(_monitor_loop())
     try:
         if args.duration > 0:
             try:
@@ -479,20 +632,31 @@ async def _serve(args: argparse.Namespace) -> Dict[str, object]:
     finally:
         if stats_task is not None:
             stats_task.cancel()
+        monitor_task.cancel()
         if metrics_server is not None:
             await metrics_server.close()
         await policer.shutdown()
+        if spans is not None and log is not None:
+            _emit({"event": "spans_summary", "started": spans.started,
+                   "finished": spans.finished, "buffered": len(spans)}, log)
     return policer.stats(event="final")
 
 
-def _emit(payload: Dict[str, object], as_json: bool) -> None:
-    if as_json:
-        print(json.dumps(payload), flush=True)
+def _emit(payload: Dict[str, object],
+          log: Optional[JsonLinesLogger] = None) -> None:
+    if log is not None:
+        record = dict(payload)
+        event = str(record.pop("event", "stats"))
+        log.emit(event, **record)
         return
     event = payload.get("event")
     if event == "listening":
         print(f"serve: listening on {payload['host']}:{payload['port']} "
               f"(capacity {payload['capacity_bps']:.0f} bps)", flush=True)
+        return
+    if event == "flight_dump":
+        print(f"serve: flight dump ({payload['trigger']}) -> {payload['path']}",
+              flush=True)
         return
     latency = payload.get("latency_ms", {})
     print(
@@ -530,6 +694,20 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
                         help="stop after N seconds (0 = run until SIGINT/SIGTERM)")
     parser.add_argument("--json", action="store_true",
                         help="machine-readable JSON-lines output")
+    parser.add_argument("--spans", action="store_true",
+                        help="record causal spans for packets carrying a "
+                             "trace context (with --json, spans are written "
+                             "to the log stream)")
+    parser.add_argument("--flight-dump", default="netfence-flight.json",
+                        help="path for the flight-recorder forensic dump")
+    parser.add_argument("--slo-min-share", type=float, default=None,
+                        help="trigger a flight dump when the legit share of "
+                             "delivered bytes falls below this fraction")
+    parser.add_argument("--slo-legit-prefix", default="legit",
+                        help="source-host name prefix counted as legitimate "
+                             "for the SLO (default 'legit')")
+    parser.add_argument("--monitor-interval", type=float, default=0.25,
+                        help="flight-recorder snapshot / SLO check period")
     args = parser.parse_args(argv)
 
     try:
@@ -537,7 +715,7 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
     except OSError as exc:
         print(f"serve: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 1
-    _emit(final, args.json)
+    _emit(final, JsonLinesLogger(name="serve") if args.json else None)
     return 0
 
 

@@ -79,6 +79,21 @@ CREATE TABLE IF NOT EXISTS metric_rows (
 );
 CREATE INDEX IF NOT EXISTS idx_metric_rows_point
     ON metric_rows (experiment, cache_key, id);
+CREATE TABLE IF NOT EXISTS worker_rows (
+    id                 INTEGER PRIMARY KEY AUTOINCREMENT,
+    worker_id          TEXT    NOT NULL,
+    experiment         TEXT    NOT NULL,
+    cache_key          TEXT    NOT NULL,
+    attempt            INTEGER NOT NULL DEFAULT 1,
+    claim_latency_s    REAL,
+    heartbeat_renewals INTEGER NOT NULL DEFAULT 0,
+    elapsed_s          REAL,
+    rss_kb             INTEGER,
+    data               TEXT    NOT NULL,
+    created_at         REAL    NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_worker_rows_worker ON worker_rows (worker_id, id);
+CREATE INDEX IF NOT EXISTS idx_worker_rows_exp    ON worker_rows (experiment, id);
 """
 
 
@@ -367,6 +382,100 @@ class ResultStore:
             )
             out.append(row)
         return out
+
+    # ------------------------------------------------------------------
+    # Worker fleet telemetry
+    # ------------------------------------------------------------------
+
+    def put_worker_rows(
+        self,
+        rows: Sequence[Dict[str, Any]],
+        worker_id: Optional[str] = None,
+    ) -> int:
+        """Append per-point worker telemetry (claim latency, heartbeats, RSS).
+
+        Each row describes one point execution as seen from the worker's
+        side of the queue — the operational half that ``points`` provenance
+        does not capture.  Recognized keys become typed columns
+        (``experiment``, ``cache_key``, ``attempt``, ``claim_latency_s``,
+        ``heartbeat_renewals``, ``elapsed_s``, ``rss_kb``); the full row is
+        preserved as JSON for anything else (steals, retries, lease nonce).
+        Returns the number of rows written.
+        """
+        created = time.time()
+        default_worker = worker_id or self.worker_id
+        payload = []
+        for row in rows:
+            claim = row.get("claim_latency_s")
+            elapsed = row.get("elapsed_s")
+            rss = row.get("rss_kb")
+            payload.append((
+                str(row.get("worker_id", default_worker)),
+                str(row.get("experiment", "")),
+                str(row.get("cache_key", "")),
+                int(row.get("attempt", 1)),
+                float(claim) if claim is not None else None,
+                int(row.get("heartbeat_renewals", 0)),
+                float(elapsed) if elapsed is not None else None,
+                int(rss) if rss is not None else None,
+                json.dumps(json_safe(row), sort_keys=True),
+                created,
+            ))
+        with contextlib.closing(self._connect()) as conn, conn:
+            conn.executemany(
+                "INSERT INTO worker_rows (worker_id, experiment, cache_key,"
+                " attempt, claim_latency_s, heartbeat_renewals, elapsed_s,"
+                " rss_kb, data, created_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                payload,
+            )
+        return len(payload)
+
+    def query_worker_rows(
+        self,
+        experiment: Optional[str] = None,
+        worker_id: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Stored worker telemetry rows, oldest first."""
+        clauses, args = [], []
+        for column, wanted in (("experiment", experiment),
+                               ("worker_id", worker_id)):
+            if wanted is not None:
+                clauses.append(f"{column} = ?")
+                args.append(wanted)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        with contextlib.closing(self._connect()) as conn, conn:
+            records = conn.execute(
+                f"SELECT * FROM worker_rows{where} ORDER BY id", args
+            ).fetchall()
+        out: List[Dict[str, Any]] = []
+        for record in records:
+            row = json.loads(record["data"])
+            row.update(
+                _worker_id=record["worker_id"],
+                _experiment=record["experiment"],
+                _cache_key=record["cache_key"],
+                _created_at=record["created_at"],
+            )
+            out.append(row)
+        return out
+
+    def fleet_summary(self) -> List[Dict[str, Any]]:
+        """Per-worker aggregates for ``/api/fleet`` on the dashboard."""
+        with contextlib.closing(self._connect()) as conn, conn:
+            records = conn.execute(
+                "SELECT worker_id,"
+                " COUNT(*) AS points,"
+                " SUM(CASE WHEN attempt > 1 THEN 1 ELSE 0 END) AS retried_points,"
+                " AVG(claim_latency_s) AS avg_claim_latency_s,"
+                " MAX(claim_latency_s) AS max_claim_latency_s,"
+                " SUM(heartbeat_renewals) AS heartbeat_renewals,"
+                " SUM(elapsed_s) AS total_elapsed_s,"
+                " MAX(rss_kb) AS max_rss_kb,"
+                " MAX(created_at) AS last_seen"
+                " FROM worker_rows GROUP BY worker_id ORDER BY worker_id"
+            ).fetchall()
+        return [dict(r) for r in records]
 
     # ------------------------------------------------------------------
     # Aggregate views

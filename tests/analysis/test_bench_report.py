@@ -1,0 +1,83 @@
+"""Tests for ``runner bench report``: trajectory trends and the CI gate."""
+
+import json
+
+import pytest
+
+from repro.analysis.bench_report import bench_headlines, cli_main, perf_report
+
+
+def _row(experiment="fig12", cache_key="ck-1", elapsed_s=1.0):
+    return {"experiment": experiment, "cache_key": cache_key,
+            "elapsed_s": elapsed_s}
+
+
+def test_perf_report_trends_only_repeated_points():
+    report = perf_report([
+        _row(cache_key="ck-1", elapsed_s=1.0),   # baseline
+        _row(cache_key="ck-2", elapsed_s=5.0),   # executed once: no trend
+        _row(cache_key="ck-1", elapsed_s=1.5),   # latest
+    ])
+    (entry,) = report
+    assert entry["experiment"] == "fig12"
+    assert entry["points"] == 2
+    assert entry["executions"] == 3
+    assert entry["repeated_points"] == 1
+    assert entry["baseline_s"] == pytest.approx(1.0)
+    assert entry["latest_s"] == pytest.approx(1.5)
+    assert entry["regression_pct"] == pytest.approx(50.0)
+
+
+def test_perf_report_no_repeats_has_no_trend():
+    report = perf_report([_row(cache_key="ck-1"), _row(cache_key="ck-2")])
+    assert report[0]["regression_pct"] is None
+
+
+def test_perf_report_sorts_experiments():
+    report = perf_report([_row(experiment="fig9"), _row(experiment="fig12")])
+    assert [e["experiment"] for e in report] == ["fig12", "fig9"]
+
+
+def test_bench_headlines_flattens_numeric_leaves():
+    headlines = bench_headlines({
+        "hotpath": {"enqueue_us": 1.5, "note": "text ignored",
+                    "nested": {"ok": True, "n": 3}},
+        "rows": [1, 2, 3],  # lists elided
+    })
+    assert headlines == {"hotpath.enqueue_us": 1.5, "hotpath.nested.n": 3.0}
+
+
+def test_cli_gates_on_regression(tmp_path, capsys):
+    from repro.store.result_store import ResultStore
+    from repro.experiments.sweep import ScenarioSpec, SweepResult
+
+    store = ResultStore(str(tmp_path / "r.sqlite"), worker_id="w-bench")
+    spec = ScenarioSpec.make("figX", seed=1, scale=1)
+    for elapsed in (1.0, 3.0):  # +200% on re-execution
+        store.put_result(SweepResult(spec=spec, rows=[], elapsed_s=elapsed,
+                                     worker_id="w-bench"))
+
+    args = ["report", "--store", store.path,
+            "--bench-json", str(tmp_path / "absent.json")]
+    assert cli_main(args + ["--fail-on-regression", "250"]) == 0
+    capsys.readouterr()
+    assert cli_main(args + ["--fail-on-regression", "50"]) == 1
+    captured = capsys.readouterr()
+    assert "regressed" in captured.err
+    assert "+200.00%" in captured.err
+
+
+def test_cli_json_output_includes_headlines(tmp_path, capsys):
+    artifact = tmp_path / "BENCH.json"
+    artifact.write_text(json.dumps({"obs": {"overhead_ratio": 1.01}}))
+    assert cli_main(["report", "--bench-json", str(artifact),
+                     "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["headlines"] == {"obs.overhead_ratio": 1.01}
+    assert payload["trajectory"] == []
+    assert payload["regressed"] == []
+
+
+def test_cli_missing_artifact_is_not_an_error(capsys):
+    assert cli_main(["report", "--bench-json", "/nonexistent/bench.json"]) == 0
+    assert "no executions recorded" in capsys.readouterr().out

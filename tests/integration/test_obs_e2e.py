@@ -1,0 +1,149 @@
+"""End-to-end observability: spans across the wire, flight dump on breach.
+
+Two layers of the same story:
+
+* in-process — a loadgen scenario against a live policer over loopback UDP
+  with a :class:`~repro.obs.spans.SpanRecorder` installed; the contexts the
+  senders attach must come back out of the policer's admission/delivery
+  spans, i.e. trace identity survived the codec.
+* subprocess — ``runner serve --json --spans`` with an unreachable SLO
+  floor plus ``runner loadgen --json --spans``; the monitor loop must
+  trigger a flight dump, ``runner flightdump`` must accept it, and
+  ``runner trace --spans`` must stitch at least one tree that crosses the
+  serve/loadgen process boundary.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.obs.spans import SpanRecorder, build_trees, use_span_recorder
+from repro.runtime.loadgen import run_scenario
+from repro.runtime.serve import start_policer
+
+CAPACITY_BPS = 1_000_000.0
+
+
+def test_spans_cross_the_wire_in_process():
+    spans = SpanRecorder(capacity=65_536)
+
+    async def scenario():
+        policer = await start_policer(port=0, capacity_bps=CAPACITY_BPS)
+        port = policer.transport.get_extra_info("sockname")[1]
+        try:
+            return await run_scenario(
+                ("127.0.0.1", port),
+                legit=1,
+                attackers=0,
+                legit_rate_bps=120_000.0,
+                warmup_s=0.5,
+                duration_s=1.0,
+                capacity_bps=CAPACITY_BPS,
+            )
+        finally:
+            await policer.shutdown()
+
+    with use_span_recorder(spans):
+        result = asyncio.run(scenario())
+
+    assert result["victim_rx_packets"] > 0
+    names = {s.name for s in spans.spans}
+    assert "loadgen.send" in names
+    assert "serve.admit" in names
+    assert "serve.deliver" in names
+
+    # Serve-side spans are children of the contexts the senders attached:
+    # same trace id, parent pointing at the send span.
+    sends = {s.context.span_id: s for s in spans.spans
+             if s.name == "loadgen.send"}
+    admits = [s for s in spans.spans if s.name == "serve.admit"]
+    linked = [s for s in admits if s.context.parent_id in sends]
+    assert linked, "no admission span joined a sender's trace"
+    for admit in linked:
+        parent = sends[admit.context.parent_id]
+        assert admit.context.trace_id == parent.context.trace_id
+
+    # And the generic stitcher agrees: some tree roots at a send and
+    # descends into the policer.
+    trees = build_trees(spans.to_dicts())
+    stitched = [t for t in trees
+                if t["span"]["name"] == "loadgen.send" and t["children"]]
+    assert stitched, "no send rooted a multi-span tree"
+    child_names = {c["span"]["name"] for t in stitched for c in t["children"]}
+    assert child_names & {"serve.admit", "serve.deliver"}
+
+
+def test_slo_breach_dumps_flight_and_traces_stitch(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.abspath("src")] + env.get("PYTHONPATH", "").split(os.pathsep))
+    serve_log = tmp_path / "serve.jsonl"
+    loadgen_log = tmp_path / "loadgen.jsonl"
+    dump_path = tmp_path / "flight.json"
+    runner = [sys.executable, "-m", "repro.experiments.runner"]
+
+    with open(serve_log, "w") as serve_out:
+        serve = subprocess.Popen(
+            runner + ["serve", "--port", "0", "--capacity-bps",
+                      str(int(CAPACITY_BPS)), "--json", "--spans",
+                      "--flight-dump", str(dump_path),
+                      "--slo-min-share", "0.99",   # unreachable under flood
+                      "--monitor-interval", "0.1"],
+            stdout=serve_out, env=env)
+        try:
+            port = None
+            for _ in range(100):
+                if serve_log.exists() and serve_log.stat().st_size:
+                    port = json.loads(
+                        serve_log.read_text().splitlines()[0])["port"]
+                    break
+                time.sleep(0.1)
+            assert port, "policer never reported its port"
+
+            with open(loadgen_log, "w") as lg_out:
+                subprocess.run(
+                    runner + ["loadgen", "--port", str(port), "--quick",
+                              "--attackers", "2", "--json", "--spans"],
+                    stdout=lg_out, env=env, check=True, timeout=120)
+        finally:
+            serve.send_signal(signal.SIGTERM)
+            serve.wait(timeout=30)
+
+    # The monitor loop saw legit share < 0.99 and dumped the flight rings.
+    dump = json.loads(dump_path.read_text())
+    assert dump["event"] == "flight_dump"
+    assert dump["trigger"] == "slo_breach"
+    assert dump["context"]["legit_share"] < 0.99
+    assert dump["spans"], "flight dump carries no spans"
+    assert dump["metrics_snapshots"], "flight dump carries no metrics"
+    assert any(r.get("event") == "flight_dump" for r in dump["logs"]) or \
+        dump["logs"], "flight dump carries no log records"
+    # Spans in the dump correlate with events in the serve log.
+    serve_records = [json.loads(line)
+                     for line in serve_log.read_text().splitlines()]
+    assert any(r.get("event") == "flight_dump" for r in serve_records)
+    serve_traces = {r["trace"] for r in serve_records
+                    if r.get("event") == "span"}
+    dump_traces = {s["trace"] for s in dump["spans"]}
+    assert serve_traces & dump_traces
+
+    # The pretty-printer accepts the dump.
+    printed = subprocess.run(runner + ["flightdump", str(dump_path)],
+                             env=env, capture_output=True, text=True,
+                             timeout=60)
+    assert printed.returncode == 0
+    assert "trigger=slo_breach" in printed.stdout
+
+    # And the cross-process stitcher reconstructs shared traces.
+    stitched = subprocess.run(
+        runner + ["trace", "--spans", str(serve_log), str(loadgen_log),
+                  "--json"],
+        env=env, capture_output=True, text=True, timeout=60)
+    assert stitched.returncode == 0, stitched.stderr
+    payload = json.loads(stitched.stdout)
+    assert payload["span_records"] > 0
+    assert payload["cross_process_traces"] > 0, payload

@@ -478,6 +478,56 @@ def test_nf015_out_of_scope_outside_repro():
     )
 
 
+# -- NF016: stdlib logging outside repro.obs.log -------------------------------
+
+def test_nf016_flags_getlogger_and_root_logger_in_library_code():
+    assert "NF016" in codes(
+        "import logging\nlogger = logging.getLogger(__name__)\n",
+        "repro/core/bottleneck.py",
+    )
+    assert "NF016" in codes(
+        """
+        import logging
+
+        def deliver(packet):
+            logging.warning("dropped %s", packet)
+        """,
+        "repro/runtime/policer.py",
+    )
+    assert "NF016" in codes(
+        "import logging\nlogging.basicConfig(level=10)\n",
+        "repro/experiments/sweep.py",
+    )
+
+
+def test_nf016_passes_obs_log_and_cli_entry_points():
+    # repro.obs.log is the sanctioned bridge between stdlib logging and the
+    # structured stream; CLI entry points may configure logging for a run.
+    assert "NF016" not in codes(
+        "import logging\nhandler_home = logging.getLogger('repro')\n",
+        "repro/obs/log.py",
+    )
+    assert "NF016" not in codes(
+        """
+        import logging
+
+        def cli_main(argv=None):
+            logging.basicConfig(level=logging.INFO)
+            return 0
+
+        def _cmd_worker(args):
+            logging.getLogger("worker").setLevel(logging.DEBUG)
+        """,
+        "repro/experiments/distrib.py",
+    )
+
+
+def test_nf016_out_of_scope_outside_repro():
+    assert "NF016" not in codes(
+        "import logging\nlogging.info('scratch')\n", "scripts/scratch.py"
+    )
+
+
 # -- select/ignore plumbing ----------------------------------------------------
 
 def test_select_and_ignore_filter_rules():

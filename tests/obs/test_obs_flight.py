@@ -1,0 +1,92 @@
+"""Tests for the flight recorder and the ``runner flightdump`` printer."""
+
+import json
+
+from repro.obs.flight import FlightRecorder, cli_main, format_dump
+from repro.obs.log import JsonLinesLogger
+from repro.obs.spans import SpanRecorder
+
+import io
+
+
+def _wall():
+    return 500.0
+
+
+def test_rings_are_bounded_and_fed_by_sinks():
+    flight = FlightRecorder(span_capacity=2, log_capacity=2,
+                            metrics_capacity=2, wall=_wall)
+    recorder = SpanRecorder(seed=1)
+    recorder.add_sink(flight.record_span)
+    log = JsonLinesLogger(stream=io.StringIO(), wall=_wall)
+    log.add_sink(flight.record_log)
+    for i in range(5):
+        recorder.event(f"e{i}", ts=float(i))
+        log.info(f"l{i}")
+        flight.record_metrics({"i": i})
+    assert [s["name"] for s in flight.spans] == ["e3", "e4"]
+    assert [r["event"] for r in flight.logs] == ["l3", "l4"]
+    assert [m["i"] for m in flight.metrics] == [3, 4]
+
+
+def test_dump_is_first_trigger_wins(tmp_path):
+    flight = FlightRecorder(wall=_wall)
+    flight.record_metrics({"rx": 1})
+    path = tmp_path / "dump.json"
+    assert flight.dump(str(path), "slo_breach", {"share": 0.2}) == str(path)
+    assert flight.triggered == "slo_breach"
+    # A second trigger must not overwrite the forensic record.
+    assert flight.dump(str(tmp_path / "other.json"), "sigusr1") is None
+    assert flight.triggered == "slo_breach"
+    payload = json.loads(path.read_text())
+    assert payload["event"] == "flight_dump"
+    assert payload["trigger"] == "slo_breach"
+    assert payload["context"] == {"share": 0.2}
+    assert payload["dumped_at"] == 500.0
+    assert payload["metrics_snapshots"] == [{"rx": 1}]
+
+
+def test_dump_write_failure_marks_triggered_but_returns_none(tmp_path):
+    flight = FlightRecorder(wall=_wall)
+    assert flight.dump(str(tmp_path / "no" / "dir" / "x.json"), "boom") is None
+    assert flight.triggered == "boom"
+    assert flight.dump_path is None
+
+
+def test_format_dump_shows_moved_metrics_log_tail_and_trees():
+    flight = FlightRecorder(wall=_wall)
+    recorder = SpanRecorder(seed=1)
+    recorder.add_sink(flight.record_span)
+    root = recorder.event("loadgen.send", ts=1.0)
+    recorder.event("serve.admit", parent=root.context, ts=1.1)
+    flight.record_log({"ts": 2.0, "level": "error", "event": "drop",
+                       "uid": 9})
+    flight.record_metrics({"packets_rx": 0, "packets_dropped": 0})
+    flight.record_metrics({"packets_rx": 50, "packets_dropped": 0})
+    text = format_dump(flight.payload("slo_breach", {"share": 0.1}))
+    assert "trigger=slo_breach" in text
+    assert "context.share = 0.1" in text
+    assert "packets_rx: 0 -> 50" in text
+    assert "packets_dropped" not in text  # unmoved metrics stay quiet
+    assert "[error] drop" in text
+    assert "loadgen.send" in text
+    assert "  serve.admit" in text  # child indented under the root
+
+
+def test_cli_pretty_prints_and_rejects_non_dumps(tmp_path, capsys):
+    flight = FlightRecorder(wall=_wall)
+    flight.record_metrics({"rx": 1})
+    path = tmp_path / "dump.json"
+    flight.dump(str(path), "sigusr1")
+
+    assert cli_main([str(path)]) == 0
+    assert "trigger=sigusr1" in capsys.readouterr().out
+
+    assert cli_main([str(path), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["trigger"] == "sigusr1"
+
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"event": "not_a_dump"}')
+    assert cli_main([str(bogus)]) == 1
+    assert "not a flight-recorder dump" in capsys.readouterr().err
+    assert cli_main([str(tmp_path / "absent.json")]) == 1

@@ -1,0 +1,129 @@
+"""Tests for the JSON-lines structured logger and the stdlib bridge."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import JsonLinesLogger, bridge_stdlib
+from repro.obs.spans import SpanContext, SpanRecorder
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+def make_logger(**kwargs):
+    stream = io.StringIO()
+    kwargs.setdefault("wall", lambda: 100.0)
+    return JsonLinesLogger(stream=stream, **kwargs), stream
+
+
+def lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_emit_writes_one_sorted_json_line():
+    log, stream = make_logger(name="serve")
+    record = log.info("stats", packets_rx=5)
+    (parsed,) = lines(stream)
+    assert parsed == record
+    assert parsed["event"] == "stats"
+    assert parsed["level"] == "info"
+    assert parsed["logger"] == "serve"
+    assert parsed["ts"] == 100.0
+    assert parsed["packets_rx"] == 5
+    assert "sim_ts" not in parsed  # no clock injected
+
+
+def test_injected_clock_adds_sim_ts():
+    log, stream = make_logger(clock=FakeClock(42.5))
+    log.info("tick")
+    assert lines(stream)[0]["sim_ts"] == 42.5
+
+
+def test_span_correlation_fields():
+    log, stream = make_logger()
+    context = SpanContext(trace_id=7, span_id=9, parent_id=3)
+    log.emit("admit", span=context)
+    (parsed,) = lines(stream)
+    assert parsed["trace"] == f"{7:016x}"
+    assert parsed["span"] == f"{9:016x}"
+    assert parsed["parent"] == f"{3:016x}"
+
+
+def test_min_level_filters_and_validates():
+    log, stream = make_logger(min_level="warning")
+    assert log.debug("noise") is None
+    assert log.info("noise") is None
+    assert log.error("real")["event"] == "real"
+    assert [r["event"] for r in lines(stream)] == ["real"]
+    with pytest.raises(ValueError):
+        JsonLinesLogger(min_level="chatty")
+
+
+def test_unserializable_values_degrade_to_repr_not_raise():
+    log, stream = make_logger()
+    log.info("weird", value=float("inf"), obj=object())
+    (parsed,) = lines(stream)
+    assert "inf" in parsed["value"]
+    assert "object object" in parsed["obj"]
+
+
+def test_sinks_observe_every_record():
+    log, stream = make_logger()
+    seen = []
+    log.add_sink(seen.append)
+    log.info("a")
+    log.debug("b")
+    assert [r["event"] for r in seen] == ["a", "b"]
+    assert log.emitted == 2
+
+
+def test_span_record_emits_span_event_with_process_label():
+    log, stream = make_logger(name="loadgen")
+    recorder = SpanRecorder(seed=1)
+    span = recorder.event("loadgen.send", ts=1.0)
+    log.span_record(span)                 # Span object form
+    log.span_record(span.to_dict())       # dict form (post-run export)
+    first, second = lines(stream)
+    for parsed in (first, second):
+        assert parsed["event"] == "span"
+        assert parsed["level"] == "debug"
+        assert parsed["name"] == "loadgen.send"
+        assert parsed["process"] == "loadgen"
+        assert parsed["span"] == f"{span.context.span_id:016x}"
+    # A process label stamped by the originating process survives re-logging.
+    foreign = span.to_dict()
+    foreign["process"] = "serve"
+    log.span_record(foreign)
+    assert lines(stream)[2]["process"] == "serve"
+
+
+def test_extra_cannot_clobber_record_identity():
+    log, stream = make_logger(name="serve")
+    log.emit("stats", extra={"ts": -1, "event": "forged", "logger": "x",
+                             "payload": 7})
+    (parsed,) = lines(stream)
+    assert parsed["event"] == "stats"
+    assert parsed["logger"] == "serve"
+    assert parsed["ts"] == 100.0
+    assert parsed["payload"] == 7
+
+
+def test_bridge_stdlib_forwards_warnings():
+    log, stream = make_logger()
+    handler = bridge_stdlib(log, name="test-bridge-unique")
+    stdlib = logging.getLogger("test-bridge-unique")
+    try:
+        stdlib.warning("engine %s failed", "x9")
+        stdlib.debug("too quiet to cross the bridge")
+    finally:
+        stdlib.removeHandler(handler)
+    (parsed,) = lines(stream)
+    assert parsed["event"] == "stdlib_log"
+    assert parsed["level"] == "warning"
+    assert parsed["message"] == "engine x9 failed"
+    assert parsed["stdlib_logger"] == "test-bridge-unique"

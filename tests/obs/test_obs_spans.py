@@ -1,0 +1,180 @@
+"""Tests for causal spans: contexts, the recorder ring, and tree stitching."""
+
+import pytest
+
+from repro.obs.spans import (
+    Span,
+    SpanContext,
+    SpanRecorder,
+    active_span_recorder,
+    build_trees,
+    format_tree,
+    parse_span_id,
+    set_span_recorder,
+    span_id_str,
+    use_span_recorder,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+# ---------------------------------------------------------------------------
+# Ids and contexts
+# ---------------------------------------------------------------------------
+
+def test_span_id_str_roundtrips_and_masks():
+    assert span_id_str(0x1234) == "0000000000001234"
+    assert parse_span_id(span_id_str(0x1234)) == 0x1234
+    assert parse_span_id(0x1234) == 0x1234
+    assert parse_span_id((1 << 64) + 5) == 5  # masked to 64 bits
+
+
+def test_child_of_links_trace_and_parent():
+    root = SpanContext(trace_id=7, span_id=11)
+    child = root.child_of(13)
+    assert child == SpanContext(7, 13, 11)
+    assert child.ids_dict() == {
+        "trace": span_id_str(7),
+        "span": span_id_str(13),
+        "parent": span_id_str(11),
+    }
+    assert root.ids_dict()["parent"] is None  # parent_id 0 = root
+
+
+# ---------------------------------------------------------------------------
+# Recorder lifecycle
+# ---------------------------------------------------------------------------
+
+def test_recorder_seeded_ids_are_deterministic_and_nonzero():
+    a, b = SpanRecorder(seed=42), SpanRecorder(seed=42)
+    ids = [a.new_id() for _ in range(100)]
+    assert ids == [b.new_id() for _ in range(100)]
+    assert 0 not in ids
+
+
+def test_start_finish_commits_to_ring_and_sinks():
+    clock = FakeClock(1.0)
+    recorder = SpanRecorder(clock=clock, seed=1)
+    seen = []
+    recorder.add_sink(seen.append)
+    span = recorder.start("op", attrs={"k": "v"})
+    assert len(recorder) == 0  # open spans are not in the ring
+    clock.now = 1.5
+    recorder.finish(span)
+    assert len(recorder) == 1
+    assert span.duration_s == pytest.approx(0.5)
+    assert seen == [span.to_dict()]
+    assert recorder.started == recorder.finished == 1
+
+
+def test_event_is_instantaneous_child_of_carried_context():
+    recorder = SpanRecorder(seed=1)
+    parent = SpanContext(trace_id=5, span_id=9)
+    span = recorder.event("serve.admit", parent=parent, ts=2.0,
+                          status="drop", attrs={"uid": 3})
+    assert span.start_ts == span.end_ts == 2.0
+    assert span.context.trace_id == 5
+    assert span.context.parent_id == 9
+    assert span.status == "drop"
+    assert recorder.by_trace(5) == [span]
+
+
+def test_span_contextmanager_marks_errors():
+    recorder = SpanRecorder(seed=1)
+    with pytest.raises(RuntimeError):
+        with recorder.span("boom"):
+            raise RuntimeError("x")
+    with recorder.span("fine"):
+        pass
+    statuses = [s.status for s in recorder.spans]
+    assert statuses == ["error", "ok"]
+
+
+def test_ring_is_bounded():
+    recorder = SpanRecorder(capacity=4, seed=1)
+    for i in range(10):
+        recorder.event(f"e{i}", ts=float(i))
+    assert len(recorder) == 4
+    assert recorder.finished == 10
+    assert [s.name for s in recorder.spans] == ["e6", "e7", "e8", "e9"]
+    with pytest.raises(ValueError):
+        SpanRecorder(capacity=0)
+
+
+def test_explicit_ts_beats_clock_beats_none():
+    recorder = SpanRecorder(seed=1)
+    assert recorder.event("a").start_ts is None
+    recorder.clock = FakeClock(3.0)
+    assert recorder.event("b").start_ts == 3.0
+    assert recorder.event("c", ts=9.0).start_ts == 9.0
+
+
+# ---------------------------------------------------------------------------
+# Global plumbing (mirrors repro.obs.trace)
+# ---------------------------------------------------------------------------
+
+def test_global_recorder_default_off_and_restored():
+    assert active_span_recorder() is None
+    recorder = SpanRecorder(seed=1)
+    with use_span_recorder(recorder) as installed:
+        assert installed is recorder
+        assert active_span_recorder() is recorder
+    assert active_span_recorder() is None
+    previous = set_span_recorder(recorder)
+    assert previous is None
+    assert set_span_recorder(None) is recorder
+
+
+# ---------------------------------------------------------------------------
+# Tree reconstruction
+# ---------------------------------------------------------------------------
+
+def _dicts(recorder):
+    return recorder.to_dicts()
+
+
+def test_build_trees_relinks_across_processes():
+    # loadgen roots the trace; serve's spans arrive from a second "log".
+    lg = SpanRecorder(seed=1)
+    root = lg.event("loadgen.send", ts=1.0)
+    sv = SpanRecorder(seed=2)
+    admit = sv.event("serve.admit", parent=root.context, ts=1.1)
+    sv.event("serve.deliver", parent=admit.context, ts=1.2)
+    trees = build_trees(_dicts(sv) + _dicts(lg))  # order must not matter
+    assert len(trees) == 1
+    tree = trees[0]
+    assert tree["span"]["name"] == "loadgen.send"
+    assert [c["span"]["name"] for c in tree["children"]] == ["serve.admit"]
+    grand = tree["children"][0]["children"]
+    assert [c["span"]["name"] for c in grand] == ["serve.deliver"]
+
+
+def test_build_trees_promotes_orphans_and_dedups():
+    recorder = SpanRecorder(seed=1)
+    parent = SpanContext(trace_id=1, span_id=999)  # never logged
+    orphan = recorder.event("serve.admit", parent=parent, ts=1.0)
+    records = _dicts(recorder)
+    trees = build_trees(records + records)  # duplicate log lines
+    assert len(trees) == 1
+    assert trees[0]["span"]["span"] == span_id_str(orphan.context.span_id)
+    assert trees[0]["children"] == []
+
+
+def test_format_tree_renders_process_status_and_attrs():
+    recorder = SpanRecorder(seed=1)
+    root = recorder.start("worker.point", ts=1.0, attrs={"key": "k"})
+    recorder.finish(root, ts=1.25)
+    child = recorder.event("worker.execute", parent=root, ts=1.1,
+                           status="error")
+    records = _dicts(recorder)
+    records[0]["process"] = "worker"
+    del child  # child rides in records[1] (ring order: finish order)
+    text = format_tree(build_trees(records)[0])
+    assert "worker.point" in text
+    assert "<worker>" in text
+    assert "250.000ms" in text
+    assert "[error]" in text
+    assert "'key': 'k'" in text

@@ -28,6 +28,7 @@ from repro.core.feedback import (
 from repro.core.header import HEADER_KEY, NetFenceHeader
 from repro.crypto.keys import AccessRouterSecret, ASKeyRegistry
 from repro.crypto.mac import quantize_ts, unquantize_ts
+from repro.obs.spans import TRACE_KEY, SpanContext
 from repro.runtime.codec import (
     MAGIC,
     CodecError,
@@ -71,6 +72,14 @@ headers = st.builds(
     priority=st.integers(min_value=0, max_value=10),
 )
 
+span_ids = st.integers(min_value=0, max_value=(1 << 64) - 1)
+trace_contexts = st.builds(
+    SpanContext,
+    trace_id=span_ids,
+    span_id=span_ids,
+    parent_id=span_ids,
+)
+
 
 @st.composite
 def packets(draw):
@@ -89,6 +98,9 @@ def packets(draw):
     header = draw(st.one_of(st.none(), headers))
     if header is not None:
         packet.set_header(HEADER_KEY, header)
+    trace = draw(st.one_of(st.none(), trace_contexts))
+    if trace is not None:
+        packet.set_header(TRACE_KEY, trace)
     return packet
 
 
@@ -195,6 +207,45 @@ def test_unknown_kind_rejected():
 
 
 # ---------------------------------------------------------------------------
+# Trace context (optional trailing field; old frames must be unaffected)
+# ---------------------------------------------------------------------------
+
+@given(trace_contexts, hosts, hosts)
+@settings(max_examples=100)
+def test_trace_context_round_trips(trace, src, dst):
+    packet = Packet(src=src, dst=dst)
+    packet.set_header(TRACE_KEY, trace)
+    wire = encode_packet(packet)
+    decoded = decode_packet(wire)
+    assert decoded.headers[TRACE_KEY] == trace
+    assert isinstance(decoded.headers[TRACE_KEY], SpanContext)
+    assert encode_packet(decoded) == wire
+
+
+def test_frames_without_trace_context_are_unchanged():
+    # A traceless frame must be byte-identical to what the pre-trace codec
+    # produced: same version byte, no trace flag bit, no extra bytes.
+    bare = Packet(src="a", dst="b")
+    wire = encode_packet(bare)
+    traced = Packet(src="a", dst="b")
+    traced.set_header(TRACE_KEY, SpanContext(1, 2, 3))
+    assert len(encode_packet(traced)) == len(wire) + 24  # 3 x u64, flag reused
+    decoded = decode_packet(wire)
+    assert TRACE_KEY not in decoded.headers
+    assert encode_packet(decoded) == wire
+
+
+def test_invalid_trace_context_rejected_at_encode():
+    packet = Packet(src="a", dst="b")
+    packet.set_header(TRACE_KEY, ("not", "a", "context"))
+    with pytest.raises(CodecError):
+        encode_packet(packet)
+    packet.set_header(TRACE_KEY, SpanContext(1 << 64, 1, 0))  # out of range
+    with pytest.raises(CodecError):
+        encode_packet(packet)
+
+
+# ---------------------------------------------------------------------------
 # MAC transparency across the wire
 # ---------------------------------------------------------------------------
 
@@ -257,3 +308,20 @@ def test_tampered_wire_mac_rejected(src, dst, link, ts, flip):
     assert not stamper.validate(
         decoded.headers[HEADER_KEY].feedback, src, dst, ts, expiration=4.0
     )
+
+
+@given(hosts, hosts, float_timestamps)
+@settings(max_examples=50)
+def test_trace_context_is_mac_transparent(src, dst, ts):
+    # Attaching a trace context must not perturb feedback MAC validation:
+    # the MAC never hashes the trace field.
+    stamper = make_stamper()
+    packet = Packet(src=src, dst=dst, ptype=PacketType.REGULAR)
+    packet.set_header(
+        HEADER_KEY, NetFenceHeader(feedback=stamper.stamp_nop(src, dst, ts))
+    )
+    packet.set_header(TRACE_KEY, SpanContext(11, 22, 33))
+    decoded = decode_packet(encode_packet(packet))
+    assert decoded.headers[TRACE_KEY] == SpanContext(11, 22, 33)
+    assert stamper.validate(decoded.headers[HEADER_KEY].feedback,
+                            src, dst, ts, expiration=4.0)

@@ -129,6 +129,47 @@ def test_serve_tail_without_log_reports_error(service):
     assert payload["events"] == []
 
 
+def test_fleet_reports_worker_rows(store_path):
+    store = ResultStore(store_path, worker_id="w-dash")
+    store.put_worker_rows([
+        {"worker_id": "w-1", "experiment": "fig12", "cache_key": "k1",
+         "attempt": 1, "claim_latency_s": 0.25, "heartbeat_renewals": 3,
+         "elapsed_s": 1.5, "rss_kb": 40_000, "outcome": "completed"},
+        {"worker_id": "w-1", "experiment": "fig12", "cache_key": "k2",
+         "attempt": 2, "claim_latency_s": 0.05, "heartbeat_renewals": 1,
+         "elapsed_s": 0.5, "rss_kb": 41_000, "outcome": "completed"},
+    ])
+    service = DashboardService(store_path)
+    payload = json.loads(service.handle("/api/fleet", {}).body)
+    (worker,) = payload["workers"]
+    assert worker["worker_id"] == "w-1"
+    assert worker["points"] == 2
+    assert worker["retried_points"] == 1
+    assert worker["heartbeat_renewals"] == 4
+    assert worker["max_rss_kb"] == 41_000
+
+
+def test_fleet_empty_store_is_not_an_error(service):
+    payload = json.loads(service.handle("/api/fleet", {}).body)
+    assert payload["workers"] == []
+
+
+def test_bench_reports_perf_trajectory(service):
+    payload = json.loads(service.handle("/api/bench", {}).body)
+    assert [e["experiment"] for e in payload["trajectory"]] == ["fig12"]
+    entry = payload["trajectory"][0]
+    assert entry["points"] == 2
+    # Each point executed once: no repeats, so no trend to report.
+    assert entry["regression_pct"] is None
+
+
+def test_dashboard_html_has_fleet_and_bench_panels():
+    assert "fleet" in DASHBOARD_HTML
+    assert "bench" in DASHBOARD_HTML
+    assert "/api/fleet" in DASHBOARD_HTML
+    assert "/api/bench" in DASHBOARD_HTML
+
+
 # ---------------------------------------------------------------------------
 # End-to-end over a real socket
 # ---------------------------------------------------------------------------

@@ -1,0 +1,123 @@
+"""Hostile-client and concurrency tests for the stdlib asyncio HTTP server.
+
+The dashboard tests cover the happy paths end-to-end; these focus on the
+server surviving clients that are slow, oversized, or simply numerous —
+the failure modes a long-lived telemetry port actually meets.
+"""
+
+import asyncio
+
+from repro.runtime.httpd import HttpServer, Response, json_response
+
+
+async def _request(host, port, raw: bytes) -> bytes:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(raw)
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionError:
+        pass
+    return response
+
+
+def test_concurrent_clients_all_get_answers():
+    hits = []
+
+    def handler(path, query):
+        hits.append(path)
+        return json_response({"path": path})
+
+    async def scenario():
+        server = HttpServer(handler)
+        host, port = await server.start("127.0.0.1", 0)
+        try:
+            responses = await asyncio.gather(*[
+                _request(host, port,
+                         f"GET /c{i} HTTP/1.1\r\nHost: x\r\n\r\n".encode())
+                for i in range(20)
+            ])
+        finally:
+            await server.close()
+        return responses
+
+    responses = asyncio.run(scenario())
+    assert len(responses) == 20
+    for raw in responses:
+        assert raw.splitlines()[0] == b"HTTP/1.1 200 OK"
+    assert sorted(hits) == sorted(f"/c{i}" for i in range(20))
+
+
+def test_oversized_request_line_is_400_not_a_crash():
+    async def scenario():
+        server = HttpServer(lambda path, query: json_response({}))
+        host, port = await server.start("127.0.0.1", 0)
+        try:
+            monster = b"GET /" + b"a" * 100_000 + b" HTTP/1.1\r\n\r\n"
+            raw = await _request(host, port, monster)
+            assert b"400" in raw.splitlines()[0]
+            # The server must still answer well-formed requests afterwards.
+            ok = await _request(host, port,
+                                b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            assert b"200" in ok.splitlines()[0]
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_slowloris_request_times_out_with_408():
+    async def scenario():
+        server = HttpServer(lambda path, query: json_response({}),
+                            request_timeout=0.2)
+        host, port = await server.start("127.0.0.1", 0)
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            # Dribble a request that never finishes its line.
+            writer.write(b"GET /slow")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=5)
+            assert b"408" in raw.splitlines()[0]
+            assert b"Request Timeout" in raw.splitlines()[0]
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+            # A prompt client is unaffected by the short timeout.
+            ok = await _request(host, port,
+                                b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            assert b"200" in ok.splitlines()[0]
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_header_only_slowloris_also_times_out():
+    async def scenario():
+        server = HttpServer(lambda path, query: json_response({}),
+                            request_timeout=0.2)
+        host, port = await server.start("127.0.0.1", 0)
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            # Complete request line, then hold the headers open forever.
+            writer.write(b"GET / HTTP/1.1\r\nX-Drip: 1\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=5)
+            assert b"408" in raw.splitlines()[0]
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_408_reason_phrase_is_registered():
+    assert b"408 Request Timeout" in Response(b"", status=408).encode()

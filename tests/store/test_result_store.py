@@ -333,3 +333,73 @@ def test_metric_rows_survive_compaction(store):
                           [{"name": "m", "kind": "gauge", "value": 1.5}])
     store.compact()
     assert len(store.query_metric_rows()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Worker telemetry rows (the fleet's side of each point execution)
+# ---------------------------------------------------------------------------
+
+def _worker_row(**overrides):
+    row = {
+        "worker_id": "w-1", "experiment": "fig12", "cache_key": "ck-1",
+        "attempt": 1, "claim_latency_s": 0.125, "heartbeat_renewals": 2,
+        "elapsed_s": 1.25, "rss_kb": 30_000, "outcome": "completed",
+    }
+    row.update(overrides)
+    return row
+
+
+def test_put_and_query_worker_rows_round_trip(store):
+    assert store.put_worker_rows([_worker_row()]) == 1
+    (row,) = store.query_worker_rows()
+    assert row["_worker_id"] == "w-1"
+    assert row["_experiment"] == "fig12"
+    assert row["_cache_key"] == "ck-1"
+    assert row["claim_latency_s"] == 0.125
+    assert row["heartbeat_renewals"] == 2
+    assert row["rss_kb"] == 30_000
+    assert row["outcome"] == "completed"  # extra keys survive via JSON
+
+
+def test_query_worker_rows_filters(store):
+    store.put_worker_rows([
+        _worker_row(worker_id="w-1", cache_key="ck-1"),
+        _worker_row(worker_id="w-2", cache_key="ck-2",
+                    experiment="fig13"),
+    ])
+    assert len(store.query_worker_rows()) == 2
+    assert [r["_worker_id"] for r in
+            store.query_worker_rows(worker_id="w-2")] == ["w-2"]
+    assert [r["_experiment"] for r in
+            store.query_worker_rows(experiment="fig13")] == ["fig13"]
+    assert store.query_worker_rows(experiment="nope") == []
+
+
+def test_fleet_summary_aggregates_per_worker(store):
+    store.put_worker_rows([
+        _worker_row(worker_id="w-1", claim_latency_s=0.1,
+                    heartbeat_renewals=1, elapsed_s=1.0, rss_kb=10_000),
+        _worker_row(worker_id="w-1", cache_key="ck-2", attempt=3,
+                    claim_latency_s=0.3, heartbeat_renewals=2,
+                    elapsed_s=2.0, rss_kb=20_000),
+        _worker_row(worker_id="w-2", cache_key="ck-3"),
+    ])
+    summary = {w["worker_id"]: w for w in store.fleet_summary()}
+    assert set(summary) == {"w-1", "w-2"}
+    w1 = summary["w-1"]
+    assert w1["points"] == 2
+    assert w1["retried_points"] == 1
+    assert w1["avg_claim_latency_s"] == pytest.approx(0.2)
+    assert w1["max_claim_latency_s"] == pytest.approx(0.3)
+    assert w1["heartbeat_renewals"] == 3
+    assert w1["total_elapsed_s"] == pytest.approx(3.0)
+    assert w1["max_rss_kb"] == 20_000
+    assert w1["last_seen"] <= time.time()
+
+
+def test_worker_rows_default_worker_id_comes_from_store(store):
+    row = _worker_row()
+    del row["worker_id"]
+    store.put_worker_rows([row])
+    (fetched,) = store.query_worker_rows()
+    assert fetched["_worker_id"] == store.worker_id
