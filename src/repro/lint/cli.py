@@ -2,10 +2,14 @@
 
 Usage::
 
-    netfence-experiment lint [paths...] [--strict] [--json]
-                             [--select NF001,NF007] [--ignore NF002]
+    netfence-experiment lint [paths...] [--strict] [--format text|json|github]
+                             [--select NF001,NF1*] [--ignore NF002]
                              [--baseline lint-baseline.json] [--write-baseline]
-                             [--list-rules]
+                             [--flow] [--flow-graph out.dot] [--list-rules]
+
+``--flow`` adds the whole-program phase: call-graph construction over every
+target file plus the interprocedural flow rules (NF101+).  ``--flow-graph``
+exports that call graph as Graphviz DOT (and implies ``--flow``).
 
 Exit codes: 0 clean (or findings without ``--strict``), 1 findings under
 ``--strict``, 2 usage/parse errors.
@@ -22,7 +26,7 @@ from typing import List, Optional, Sequence
 from repro.lint.baseline import Baseline
 from repro.lint.engine import lint_paths
 from repro.lint.registry import all_rules, select_rules
-from repro.lint.report import format_catalog, format_text, to_json
+from repro.lint.report import format_catalog, format_github, format_text, to_json
 
 #: Default target when no paths are given: the source tree, resolved
 #: relative to the working directory like every other runner subcommand.
@@ -46,11 +50,23 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 on any non-suppressed finding")
     parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="emit a machine-readable report")
+                        help="emit a machine-readable report "
+                             "(alias for --format json)")
+    parser.add_argument("--format", metavar="FMT", dest="fmt", default=None,
+                        choices=("text", "json", "github"),
+                        help="report format: text (default), json, or github "
+                             "(::error annotations for Actions)")
+    parser.add_argument("--flow", action="store_true",
+                        help="also run the whole-program flow rules (NF101+) "
+                             "over a call graph of the target files")
+    parser.add_argument("--flow-graph", metavar="PATH", default=None,
+                        help="write the call graph as Graphviz DOT "
+                             "(implies --flow)")
     parser.add_argument("--select", metavar="CODES", default=None,
-                        help="comma-separated rule codes to run exclusively")
+                        help="comma-separated rule codes or globs (NF1*) "
+                             "to run exclusively")
     parser.add_argument("--ignore", metavar="CODES", default=None,
-                        help="comma-separated rule codes to skip")
+                        help="comma-separated rule codes or globs to skip")
     parser.add_argument("--baseline", metavar="PATH", default=None,
                         help="committed baseline of waived findings")
     parser.add_argument("--write-baseline", action="store_true",
@@ -60,6 +76,8 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--verbose", action="store_true",
                         help="show the offending source line under each finding")
     args = parser.parse_args(argv)
+    flow = args.flow or args.flow_graph is not None
+    fmt = args.fmt or ("json" if args.as_json else "text")
 
     if args.list_rules:
         print(format_catalog(all_rules()))
@@ -83,7 +101,7 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
         if args.baseline is None:
             print("lint: --write-baseline requires --baseline PATH", file=sys.stderr)
             return 2
-        result = lint_paths(targets, select=select, ignore=ignore)
+        result = lint_paths(targets, select=select, ignore=ignore, flow=flow)
         Baseline.from_violations(result.violations).save(args.baseline)
         print(f"lint: baseline with {len(result.violations)} finding(s) "
               f"written to {args.baseline}")
@@ -98,11 +116,25 @@ def cli_main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
             return 2
 
-    result = lint_paths(targets, select=select, ignore=ignore, baseline=baseline)
+    result = lint_paths(targets, select=select, ignore=ignore,
+                        baseline=baseline, flow=flow)
 
-    if args.as_json:
+    if args.flow_graph is not None and result.flow_graph is not None:
+        from repro.lint.flow import to_dot
+
+        try:
+            Path(args.flow_graph).write_text(to_dot(result.flow_graph),
+                                             encoding="utf-8")
+        except OSError as exc:
+            print(f"lint: cannot write {args.flow_graph!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    if fmt == "json":
         json.dump(to_json(result), sys.stdout, indent=2, sort_keys=True)
         print()
+    elif fmt == "github":
+        print(format_github(result))
     else:
         print(format_text(result, verbose=args.verbose))
 

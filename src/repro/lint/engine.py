@@ -4,13 +4,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Type
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Type
 
 from repro.lint.baseline import Baseline
 from repro.lint.context import FileContext, logical_path
 from repro.lint.registry import LintRule, select_rules
 from repro.lint.suppress import SuppressionIndex
 from repro.lint.violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.flow.callgraph import CallGraph
 
 #: Directories never descended into when expanding path arguments.
 _SKIP_DIRS = {"__pycache__", ".git", ".netfence-sweep-cache"}
@@ -30,6 +33,8 @@ class LintResult:
     files_checked: int = 0
     #: ``(path, error)`` pairs for files that failed to parse.
     parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+    #: Call graph built by the flow phase (``flow=True`` runs only).
+    flow_graph: Optional["CallGraph"] = None
 
     @property
     def ok(self) -> bool:
@@ -72,7 +77,14 @@ def check_source(
 
     Raises :class:`SyntaxError` when the source does not parse.
     """
-    ctx = FileContext(source, path)
+    return check_context(FileContext(source, path), rules)
+
+
+def check_context(
+    ctx: FileContext,
+    rules: Sequence[Type[LintRule]],
+) -> Tuple[List[Violation], List[Violation]]:
+    """Run the per-file rules over an already-parsed :class:`FileContext`."""
     suppressions = SuppressionIndex(ctx.lines)
     active: List[Violation] = []
     suppressed: List[Violation] = []
@@ -104,11 +116,19 @@ def lint_paths(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
     baseline: Optional[Baseline] = None,
+    flow: bool = False,
 ) -> LintResult:
-    """Lint every Python file under ``paths``."""
+    """Lint every Python file under ``paths``.
+
+    With ``flow=True`` the whole-program phase also runs: a call graph is
+    built over every file that parsed and the selected :class:`FlowRule`\\ s
+    (NF101+) analyze it.  Flow findings go through the same inline
+    suppression and baseline machinery as per-file findings.
+    """
     rules = select_rules(select, ignore)
     result = LintResult()
     collected: List[Violation] = []
+    contexts: List[FileContext] = []
     for path in iter_python_files(paths):
         try:
             source = path.read_text(encoding="utf-8")
@@ -116,13 +136,30 @@ def lint_paths(
             result.parse_errors.append((str(path), f"unreadable: {exc}"))
             continue
         try:
-            active, suppressed = check_source(source, str(path), rules)
+            ctx = FileContext(source, str(path))
         except SyntaxError as exc:
             result.parse_errors.append((str(path), f"syntax error: {exc}"))
             continue
+        contexts.append(ctx)
+        active, suppressed = check_context(ctx, rules)
         result.files_checked += 1
         collected.extend(active)
         result.suppressed.extend(suppressed)
+    if flow:
+        from repro.lint.flow import build_callgraph, flow_rules, run_flow_rules
+
+        result.flow_graph = build_callgraph(contexts)
+        suppressions = {
+            ctx.path: SuppressionIndex(ctx.lines) for ctx in contexts
+        }
+        for violation in run_flow_rules(result.flow_graph, contexts,
+                                        flow_rules(rules)):
+            index = suppressions.get(violation.path)
+            if index is not None and index.is_suppressed(
+                    violation.code, violation.line):
+                result.suppressed.append(violation)
+            else:
+                collected.append(violation)
     if baseline is not None:
         result.violations, result.baselined = baseline.partition(collected)
     else:
@@ -134,6 +171,7 @@ __all__ = [
     "Baseline",
     "LintResult",
     "Violation",
+    "check_context",
     "check_source",
     "iter_python_files",
     "lint_paths",

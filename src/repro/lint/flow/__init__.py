@@ -1,0 +1,53 @@
+"""Whole-program dataflow substrate for the NetFence linter.
+
+``repro.lint.flow`` adds what the per-node rules (NF001–NF016) structurally
+cannot have: a call graph over the whole ``src/repro`` tree and an
+interprocedural taint engine on top of it.  The flow rules NF101–NF103
+machine-check the paper's security invariants — unverified feedback never
+raises a rate, key material never leaves the crypto layer un-MAC'd, MAC
+comparisons are constant-time — as static theorems with witness call
+chains, not just as dynamic counters.
+
+Run via ``runner lint --flow`` (``--flow-graph out.dot`` exports the call
+graph for inspection).
+"""
+
+from repro.lint.flow.callgraph import (
+    CallGraph,
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    build_callgraph,
+    module_qname,
+    to_dot,
+)
+from repro.lint.flow.rules import (
+    ConstantTimeMacCompareFlow,
+    FlowRule,
+    NoKeyMaterialEgress,
+    NoUnverifiedRateIncrease,
+    flow_rules,
+    run_flow_rules,
+)
+from repro.lint.flow.taint import Finding, TaintSpec, analyze_taint
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "ConstantTimeMacCompareFlow",
+    "Finding",
+    "FlowRule",
+    "FunctionInfo",
+    "ModuleInfo",
+    "NoKeyMaterialEgress",
+    "NoUnverifiedRateIncrease",
+    "TaintSpec",
+    "analyze_taint",
+    "build_callgraph",
+    "flow_rules",
+    "module_qname",
+    "run_flow_rules",
+    "to_dot",
+]

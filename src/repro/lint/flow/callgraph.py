@@ -1,0 +1,649 @@
+"""Call-graph construction over a set of parsed source files.
+
+The graph is built purely from the ASTs the lint engine already parses —
+no imports are executed.  Resolution is layered, most-precise first:
+
+1. **Module-level name resolution** — ``import``/``from … import`` bindings
+   (at any nesting level, so deferred imports inside functions resolve too)
+   map local names to dotted targets; targets that are indexed modules,
+   functions, or classes resolve exactly.
+2. **Method dispatch by declared class** — receivers are typed from
+   parameter annotations, constructor-call assignments (``x = Foo()``),
+   ``self``-attribute type maps harvested from every method's
+   ``self.x = …`` assignments and class-level annotations, and callee
+   return annotations (``Optional[T]``/``"T"`` unwrapped).  A method call
+   on a typed receiver dispatches through the MRO *and* to every subclass
+   override, since the static type is an upper bound.
+3. **Callback tracking** — a function reference passed as a call argument
+   (``clock.schedule(delay, self._unleash)``, ``release_fn=self._on_release``,
+   ``PeriodicTimer(clock, dt, self._adjust_all)``) adds a *callback* edge
+   from the registering function, so simulator ``schedule``/``schedule_fast``
+   handoffs stay connected.  Nested ``def``s get an implicit edge from the
+   enclosing function.
+4. **Name fallback** — a method call on an untyped receiver conservatively
+   targets every indexed function of that name (an over-approximation),
+   except for ubiquitous builtin-container method names (``get``,
+   ``append``, …) which would connect everything to everything.
+
+Unresolvable targets are still recorded on the call site as *opaque* dotted
+names (``repro.obs.log.JsonLinesLogger.emit`` even when that module is not
+among the analyzed files), which is what the taint rules match sinks and
+sources against.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.context import FileContext
+
+__all__ = ["CallGraph", "CallSite", "ClassInfo", "FunctionInfo", "ModuleInfo",
+           "build_callgraph", "module_qname", "to_dot"]
+
+#: Methods of builtin containers/strings: a call ``x.get(...)`` on an
+#: *untyped* receiver is overwhelmingly a dict/deque/str operation, and
+#: falling back to "every indexed function named ``get``" would wire
+#: unrelated subsystems together.  Typed receivers are never affected.
+_BUILTIN_METHOD_NAMES = frozenset({
+    "add", "append", "appendleft", "bit_length", "capitalize", "clear",
+    "copy", "count", "decode", "difference", "discard", "encode", "endswith",
+    "extend", "format", "from_bytes", "get", "hex", "index", "insert",
+    "intersection", "isdigit", "items", "join", "keys", "lower", "lstrip",
+    "pop", "popitem", "popleft", "remove", "reverse", "rsplit", "rstrip",
+    "setdefault", "sort", "split", "startswith", "strip", "title",
+    "to_bytes", "union", "update", "upper", "values",
+})
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def module_qname(logical: str) -> str:
+    """Dotted module name for a logical path (``repro/core/access.py`` →
+    ``repro.core.access``; ``__init__.py`` collapses onto the package)."""
+    name = logical[:-3] if logical.endswith(".py") else logical
+    parts = [p for p in name.replace("\\", "/").split("/") if p not in (".", "")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "<module>"
+
+
+@dataclass
+class CallSite:
+    """One call (or callback registration) inside a function body."""
+
+    node: ast.AST
+    #: Last name segment of the callee (``emit`` for ``self.log.emit``).
+    callee_name: str
+    #: Dotted rendering of the callee expression when derivable.
+    dotted: Optional[str]
+    #: Resolved target qnames — indexed functions *and* opaque dotted names.
+    targets: Tuple[str, ...]
+    lineno: int
+    #: ``call`` | ``callback`` | ``nested``
+    kind: str = "call"
+    #: False when the targets came from the duck-typed name fallback.
+    resolved: bool = True
+
+
+@dataclass
+class FunctionInfo:
+    qname: str
+    name: str
+    node: ast.AST
+    module: "ModuleInfo"
+    cls: Optional["ClassInfo"] = None
+    calls: List[CallSite] = field(default_factory=list)
+
+    @property
+    def path(self) -> str:
+        return self.module.path
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+    @property
+    def params(self) -> List[str]:
+        args = self.node.args
+        names = [a.arg for a in getattr(args, "posonlyargs", [])]
+        names += [a.arg for a in args.args]
+        names += [a.arg for a in args.kwonlyargs]
+        return names
+
+
+@dataclass
+class ClassInfo:
+    qname: str
+    name: str
+    node: ast.ClassDef
+    module: "ModuleInfo"
+    bases_raw: List[str] = field(default_factory=list)
+    base_qnames: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attribute name → set of class qnames it may hold.
+    attr_types: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    qname: str
+    path: str
+    node: ast.AST
+    #: local name → dotted target (modules, functions, classes alike).
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level ``x = Foo()`` type bindings.
+    global_types: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+class CallGraph:
+    """Functions, classes, and call edges over the analyzed files."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions_by_name: Dict[str, List[FunctionInfo]] = {}
+        self.subclasses: Dict[str, Set[str]] = {}
+
+    # -- queries --------------------------------------------------------------
+    def transitive_subclasses(self, qname: str) -> Set[str]:
+        out: Set[str] = set()
+        frontier = [qname]
+        while frontier:
+            cls = frontier.pop()
+            for sub in self.subclasses.get(cls, ()):
+                if sub not in out:
+                    out.add(sub)
+                    frontier.append(sub)
+        return out
+
+    def resolve_method(self, cls_qname: str, name: str) -> Optional[FunctionInfo]:
+        """MRO-style lookup: the class, then its bases depth-first."""
+        seen: Set[str] = set()
+        frontier = [cls_qname]
+        while frontier:
+            current = frontier.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                continue
+            fn = cls.methods.get(name)
+            if fn is not None:
+                return fn
+            frontier.extend(cls.base_qnames)
+        return None
+
+    def dispatch_targets(self, cls_qname: str, name: str) -> List[str]:
+        """Method targets for a receiver statically typed ``cls_qname``:
+        the MRO resolution plus every subclass override (the static type is
+        only an upper bound on the runtime type)."""
+        targets: List[str] = []
+        base = self.resolve_method(cls_qname, name)
+        if base is not None:
+            targets.append(base.qname)
+        for sub in self.transitive_subclasses(cls_qname):
+            sub_cls = self.classes.get(sub)
+            if sub_cls is not None and name in sub_cls.methods:
+                targets.append(sub_cls.methods[name].qname)
+        if not targets:
+            # Opaque: keep the dotted form for qname-suffix matching.
+            targets.append(f"{cls_qname}.{name}")
+        return targets
+
+    def successors(self, qname: str) -> List[Tuple[CallSite, str]]:
+        """(call site, indexed target qname) pairs for one function."""
+        fn = self.functions.get(qname)
+        if fn is None:
+            return []
+        out = []
+        for site in fn.calls:
+            for target in site.targets:
+                if target in self.functions:
+                    out.append((site, target))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: index modules, classes, functions, imports
+# ---------------------------------------------------------------------------
+
+def _index_imports(mod: ModuleInfo, tree: ast.AST) -> None:
+    pkg_parts = mod.qname.split(".")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                mod.imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Relative import: resolve against the package path.
+                base = pkg_parts[: len(pkg_parts) - node.level]
+                prefix = ".".join(base + ([node.module] if node.module else []))
+            else:
+                prefix = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mod.imports[local] = f"{prefix}.{alias.name}" if prefix else alias.name
+
+
+def _index_functions(graph: CallGraph, mod: ModuleInfo, body: Iterable[ast.AST],
+                     prefix: str, cls: Optional[ClassInfo],
+                     parent: Optional[FunctionInfo]) -> None:
+    for node in body:
+        if isinstance(node, _FUNC_NODES):
+            qname = f"{prefix}.{node.name}"
+            fn = FunctionInfo(qname=qname, name=node.name, node=node,
+                              module=mod, cls=cls)
+            graph.functions[qname] = fn
+            graph.functions_by_name.setdefault(node.name, []).append(fn)
+            if cls is not None and parent is None:
+                cls.methods.setdefault(node.name, fn)
+            elif parent is None:
+                mod.functions[node.name] = fn
+            if parent is not None:
+                # Nested def: conservatively assume the enclosing function
+                # eventually invokes it (closure handed to a scheduler, …).
+                parent.calls.append(CallSite(
+                    node=node, callee_name=node.name, dotted=None,
+                    targets=(qname,), lineno=node.lineno, kind="nested"))
+            _index_functions(graph, mod, node.body, qname, None, fn)
+        elif isinstance(node, ast.ClassDef):
+            qname = f"{prefix}.{node.name}"
+            info = ClassInfo(qname=qname, name=node.name, node=node, module=mod)
+            info.bases_raw = [_dotted(b) for b in node.bases if _dotted(b)]
+            graph.classes[qname] = info
+            if parent is None and cls is None:
+                mod.classes[node.name] = info
+            _index_functions(graph, mod, node.body, qname, info, None)
+
+
+def _dotted(expr: ast.AST) -> Optional[str]:
+    """``a.b.c`` rendering of a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        parts.append(expr.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: link class hierarchy
+# ---------------------------------------------------------------------------
+
+def _resolve_dotted(graph: CallGraph, mod: ModuleInfo, dotted: str) -> str:
+    """Resolve a dotted name through the module's import bindings."""
+    head, _, rest = dotted.partition(".")
+    target = mod.imports.get(head)
+    if target is not None:
+        return f"{target}.{rest}" if rest else target
+    if head in mod.classes and not rest:
+        return mod.classes[head].qname
+    if head in mod.functions and not rest:
+        return mod.functions[head].qname
+    candidate = f"{mod.qname}.{dotted}"
+    if candidate in graph.classes or candidate in graph.functions:
+        return candidate
+    return dotted
+
+
+def _link_classes(graph: CallGraph) -> None:
+    for cls in graph.classes.values():
+        for raw in cls.bases_raw:
+            resolved = _resolve_dotted(graph, cls.module, raw)
+            cls.base_qnames.append(resolved)
+            graph.subclasses.setdefault(resolved, set()).add(cls.qname)
+
+
+# ---------------------------------------------------------------------------
+# Annotation → class-qname resolution
+# ---------------------------------------------------------------------------
+
+_WRAPPER_GENERICS = {"Optional", "Final", "ClassVar", "Annotated"}
+
+
+def _annotation_types(graph: CallGraph, mod: ModuleInfo,
+                      ann: Optional[ast.AST]) -> Set[str]:
+    """Class qnames an annotation may denote (Optional/str-quotes unwrapped).
+
+    Container generics (``List[T]``, ``Dict[K, V]``) yield nothing: the
+    annotated value is the container, not a ``T``.
+    """
+    if ann is None:
+        return set()
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            ann = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return set()
+    if isinstance(ann, ast.Subscript):
+        base = _dotted(ann.value)
+        if base and base.split(".")[-1] in _WRAPPER_GENERICS:
+            inner = ann.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            return _annotation_types(graph, mod, inner)
+        return set()
+    if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+        return (_annotation_types(graph, mod, ann.left)
+                | _annotation_types(graph, mod, ann.right))
+    if isinstance(ann, ast.Constant) and ann.value is None:
+        return set()
+    dotted = _dotted(ann)
+    if not dotted:
+        return set()
+    resolved = _resolve_dotted(graph, mod, dotted)
+    return {resolved}
+
+
+# ---------------------------------------------------------------------------
+# Pass 3 + 4: type harvesting and call-site resolution
+# ---------------------------------------------------------------------------
+
+class _Scope:
+    """Receiver typing for one function body (sequential, last-write-wins)."""
+
+    def __init__(self, graph: CallGraph, fn: FunctionInfo) -> None:
+        self.graph = graph
+        self.fn = fn
+        self.mod = fn.module
+        self.local_types: Dict[str, Set[str]] = {}
+        node = fn.node
+        args = node.args
+        all_args = list(getattr(args, "posonlyargs", [])) + list(args.args) \
+            + list(args.kwonlyargs)
+        for arg in all_args:
+            types = _annotation_types(graph, self.mod, arg.annotation)
+            if types:
+                self.local_types[arg.arg] = types
+
+    def types_of(self, expr: ast.AST) -> Set[str]:
+        graph, mod = self.graph, self.mod
+        if isinstance(expr, ast.Name):
+            if expr.id in self.local_types:
+                return set(self.local_types[expr.id])
+            if expr.id == "self" and self.fn.cls is not None:
+                return {self.fn.cls.qname}
+            if expr.id in mod.global_types:
+                return set(mod.global_types[expr.id])
+            if expr.id in mod.classes:
+                return set()  # a class object, not an instance
+            return set()
+        if isinstance(expr, ast.Attribute):
+            base_types = self.types_of(expr.value)
+            out: Set[str] = set()
+            for base in base_types:
+                cls = graph.classes.get(base)
+                if cls is not None:
+                    out |= cls.attr_types.get(expr.attr, set())
+            return out
+        if isinstance(expr, ast.Call):
+            return self.call_result_types(expr)
+        if isinstance(expr, ast.Await):
+            return self.types_of(expr.value)
+        if isinstance(expr, (ast.IfExp,)):
+            return self.types_of(expr.body) | self.types_of(expr.orelse)
+        if isinstance(expr, ast.BoolOp):
+            out = set()
+            for value in expr.values:
+                out |= self.types_of(value)
+            return out
+        if isinstance(expr, ast.NamedExpr):
+            return self.types_of(expr.value)
+        return set()
+
+    def call_result_types(self, call: ast.Call) -> Set[str]:
+        graph, mod = self.graph, self.mod
+        dotted = _dotted(call.func)
+        if dotted is not None:
+            resolved = _resolve_dotted(graph, mod, dotted)
+            if resolved in graph.classes:
+                return {resolved}
+        # Typed receiver → return annotation of the resolved method.
+        _, targets, _ = self.resolve_call(call.func)
+        out: Set[str] = set()
+        for target in targets:
+            fn = graph.functions.get(target)
+            if fn is not None:
+                out |= _annotation_types(graph, fn.module,
+                                         getattr(fn.node, "returns", None))
+        return out
+
+    def resolve_call(self, func: ast.AST) -> Tuple[Optional[str], Tuple[str, ...], bool]:
+        """→ (dotted repr, target qnames (indexed or opaque), resolved?)."""
+        graph, mod = self.graph, self.mod
+        if isinstance(func, ast.Name):
+            name = func.id
+            dotted = _resolve_dotted(graph, mod, name)
+            if dotted in graph.classes:
+                init = graph.resolve_method(dotted, "__init__")
+                return dotted, (init.qname,) if init else (f"{dotted}.__init__",), True
+            if dotted in graph.functions:
+                return dotted, (dotted,), True
+            if name in mod.imports:
+                return dotted, (dotted,), True  # opaque imported callable
+            return name, (), True  # builtin / unknown local
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            base_dotted = _dotted(func.value)
+            # Module-alias call: codec.decode_frame(...)
+            if base_dotted is not None:
+                resolved_base = _resolve_dotted(graph, mod, base_dotted)
+                full = f"{resolved_base}.{attr}"
+                if full in graph.functions:
+                    return full, (full,), True
+                if resolved_base in graph.classes:
+                    # ClassName.method(...) — an unbound-call form.
+                    return full, tuple(graph.dispatch_targets(resolved_base, attr)), True
+                if resolved_base in graph.modules:
+                    return full, (full,), True
+            base_types = self.types_of(func.value)
+            if base_types:
+                targets: List[str] = []
+                for base in sorted(base_types):
+                    targets.extend(graph.dispatch_targets(base, attr))
+                dotted = f"{sorted(base_types)[0]}.{attr}"
+                return dotted, tuple(dict.fromkeys(targets)), True
+            if base_dotted is not None and "." not in base_dotted \
+                    and base_dotted in mod.imports:
+                # attr on an opaque imported object.
+                return f"{mod.imports[base_dotted]}.{attr}", \
+                    (f"{mod.imports[base_dotted]}.{attr}",), True
+            # Duck fallback: every indexed function of this name.
+            if attr in _BUILTIN_METHOD_NAMES:
+                return base_dotted and f"{base_dotted}.{attr}" or attr, (), True
+            fallback = tuple(fn.qname for fn in graph.functions_by_name.get(attr, ()))
+            return (f"{base_dotted}.{attr}" if base_dotted else attr), fallback, False
+        if isinstance(func, ast.Lambda):
+            return None, (), True
+        return None, (), True
+
+
+class _CallCollector(ast.NodeVisitor):
+    """Collect call sites + callback references for one function body.
+
+    Does not descend into nested ``def``/``class`` (they are separate graph
+    nodes); does descend into lambdas, whose calls belong to the enclosing
+    function.
+    """
+
+    def __init__(self, scope: _Scope) -> None:
+        self.scope = scope
+        self.fn = scope.fn
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:  # noqa: N802
+        if node is not self.fn.node:
+            return
+        for stmt in node.body:
+            self.visit(stmt)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # noqa: N815
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:  # noqa: N802
+        return
+
+    def visit_Assign(self, node: ast.Assign) -> None:  # noqa: N802
+        self.generic_visit(node)
+        types = self.scope.types_of(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.scope.local_types[target.id] = types
+            elif isinstance(target, ast.Tuple):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        self.scope.local_types[elt.id] = set()
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:  # noqa: N802
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name):
+            types = _annotation_types(self.scope.graph, self.scope.mod,
+                                      node.annotation)
+            if not types and node.value is not None:
+                types = self.scope.types_of(node.value)
+            self.scope.local_types[node.target.id] = types
+
+    def visit_Call(self, node: ast.Call) -> None:  # noqa: N802
+        scope = self.scope
+        dotted, targets, resolved = scope.resolve_call(node.func)
+        callee_name = dotted.split(".")[-1] if dotted else "<lambda>"
+        self.fn.calls.append(CallSite(
+            node=node, callee_name=callee_name, dotted=dotted,
+            targets=targets, lineno=node.lineno, resolved=resolved))
+        # Callback arguments: function references handed to the callee.
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            self._maybe_callback(arg)
+        self.generic_visit(node)
+
+    def _maybe_callback(self, arg: ast.AST) -> None:
+        scope = self.scope
+        targets: Tuple[str, ...] = ()
+        name = None
+        if isinstance(arg, ast.Attribute):
+            base_types = scope.types_of(arg.value)
+            if base_types:
+                collected: List[str] = []
+                for base in sorted(base_types):
+                    fn = scope.graph.resolve_method(base, arg.attr)
+                    if fn is not None:
+                        collected.append(fn.qname)
+                    for sub in scope.graph.transitive_subclasses(base):
+                        sub_cls = scope.graph.classes.get(sub)
+                        if sub_cls and arg.attr in sub_cls.methods:
+                            collected.append(sub_cls.methods[arg.attr].qname)
+                targets = tuple(dict.fromkeys(collected))
+                name = arg.attr
+        elif isinstance(arg, ast.Name):
+            dotted = _resolve_dotted(scope.graph, scope.mod, arg.id)
+            if dotted in scope.graph.functions:
+                targets = (dotted,)
+                name = arg.id
+        if targets:
+            self.fn.calls.append(CallSite(
+                node=arg, callee_name=name or "<callback>", dotted=None,
+                targets=targets, lineno=getattr(arg, "lineno", 1),
+                kind="callback"))
+
+
+def _harvest_attr_types(graph: CallGraph) -> None:
+    for cls in graph.classes.values():
+        mod = cls.module
+        # Class-level annotations: ``transport: Optional[Transport]``.
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                types = _annotation_types(graph, mod, stmt.annotation)
+                if types:
+                    cls.attr_types.setdefault(stmt.target.id, set()).update(types)
+        for method in cls.methods.values():
+            scope = _Scope(graph, method)
+            for node in ast.walk(method.node):
+                value_types: Set[str] = set()
+                targets: List[ast.AST] = []
+                if isinstance(node, ast.Assign):
+                    value_types = scope.types_of(node.value)
+                    targets = list(node.targets)
+                elif isinstance(node, ast.AnnAssign) and node.target is not None:
+                    value_types = _annotation_types(graph, mod, node.annotation)
+                    if not value_types and node.value is not None:
+                        value_types = scope.types_of(node.value)
+                    targets = [node.target]
+                if not value_types:
+                    continue
+                for target in targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        cls.attr_types.setdefault(target.attr, set()) \
+                            .update(value_types)
+
+
+def _harvest_global_types(graph: CallGraph) -> None:
+    for mod in graph.modules.values():
+        for stmt in mod.node.body if hasattr(mod.node, "body") else ():
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                value = stmt.value
+                if isinstance(value, ast.Call):
+                    dotted = _dotted(value.func)
+                    if dotted:
+                        resolved = _resolve_dotted(graph, mod, dotted)
+                        if resolved in graph.classes:
+                            mod.global_types[stmt.targets[0].id] = {resolved}
+
+
+def build_callgraph(contexts: Sequence[FileContext]) -> CallGraph:
+    """Build the whole-program call graph from parsed file contexts."""
+    graph = CallGraph()
+    for ctx in contexts:
+        qname = module_qname(ctx.logical)
+        mod = ModuleInfo(qname=qname, path=ctx.path, node=ctx.tree)
+        graph.modules[qname] = mod
+        _index_imports(mod, ctx.tree)
+        _index_functions(graph, mod, ctx.tree.body, qname, None, None)
+    _link_classes(graph)
+    # Two rounds of attr harvesting: the second pass sees types that the
+    # first pass could only derive from other classes' attr maps.
+    _harvest_global_types(graph)
+    _harvest_attr_types(graph)
+    _harvest_attr_types(graph)
+    for fn in graph.functions.values():
+        fn.calls = [c for c in fn.calls if c.kind == "nested"]
+        collector = _CallCollector(_Scope(graph, fn))
+        collector.visit(fn.node)
+    return graph
+
+
+def to_dot(graph: CallGraph) -> str:
+    """GraphViz rendering of the call graph (callback edges dashed)."""
+    lines = ["digraph netfence_calls {", "  rankdir=LR;",
+             '  node [shape=box, fontsize=9, fontname="monospace"];']
+    emitted: Set[str] = set()
+
+    def node_id(qname: str) -> str:
+        return '"%s"' % qname.replace('"', "'")
+
+    for qname in sorted(graph.functions):
+        lines.append(f"  {node_id(qname)};")
+        emitted.add(qname)
+    seen_edges: Set[Tuple[str, str, str]] = set()
+    for qname in sorted(graph.functions):
+        for site, target in graph.successors(qname):
+            key = (qname, target, site.kind)
+            if key in seen_edges:
+                continue
+            seen_edges.add(key)
+            style = ' [style=dashed, label="callback"]' \
+                if site.kind in ("callback", "nested") else ""
+            lines.append(f"  {node_id(qname)} -> {node_id(target)}{style};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,554 @@
+"""Interprocedural taint engine over the flow call graph.
+
+The engine runs one :class:`TaintSpec` (what is a source, a sanitizer, a
+sink) to a fixed point of per-function summaries:
+
+* ``returns`` — taints a function's return value may carry, including
+  *parameter markers* ("whatever came in through ``key`` flows back out"),
+  so helper wrappers propagate taint across call boundaries;
+* ``param_flows`` — parameters whose value reaches a sink inside the
+  function (or transitively through its callees), with the full witness
+  call chain.
+
+Intraprocedurally the analysis is a flow-insensitive-per-branch,
+sequential environment walk: assignments bind taint to names (including
+``self.x`` pseudo-names), expressions union the taint of their parts, and
+containers are tainted by their elements.  Precision decisions that keep
+the real tree clean without hiding seeded violations:
+
+* attribute reads on a tainted object are *clean* unless the attribute
+  name itself matches the spec (``self.secret.cache_size`` is telemetry,
+  ``self.secret._master`` is key material);
+* representation transforms (``.encode()``, ``.hex()``, …) on a tainted
+  receiver stay tainted;
+* calls to unindexed functions propagate argument taint to their result,
+  except a small cleanlist of shape-only builtins (``len``, ``sorted``…);
+* ``**kwargs`` forwarding drops taint (documented gap: keyword fan-out
+  through ``start_policer(**kw)`` would otherwise taint every parameter).
+
+Findings carry a witness — the call chain from the function where the
+taint originated to the sink call — rendered into the lint message and
+kept structurally on the violation for the JSON report.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.flow.callgraph import CallGraph, CallSite, FunctionInfo
+
+__all__ = ["Finding", "TaintSpec", "analyze_taint"]
+
+#: Builtins whose result reveals shape, not content: calling them on a
+#: tainted value does not produce a tainted value.
+_CLEAN_BUILTINS = frozenset({
+    "len", "range", "enumerate", "zip", "isinstance", "issubclass", "type",
+    "id", "bool", "abs", "round", "min", "max", "sum", "sorted", "hash",
+    "callable", "hasattr", "getattr_static", "count", "index",
+})
+
+#: Methods that re-encode a value without laundering it: calling one on a
+#: tainted receiver keeps the taint (``secret.hex()`` is still the secret).
+_DEFAULT_PRESERVE = frozenset({
+    "encode", "decode", "hex", "to_bytes", "from_bytes", "lower", "upper",
+    "strip", "lstrip", "rstrip", "format", "join", "copy", "ljust", "rjust",
+    "zfill", "title", "capitalize", "replace",
+})
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """What one flow rule considers a source, a sanitizer, and a sink."""
+
+    code: str
+    #: Identifier/attribute names that *are* the tainted material.
+    name_re: Optional[re.Pattern] = None
+    #: Callee base-names whose result is tainted.
+    source_calls: FrozenSet[str] = frozenset()
+    #: Target-qname suffixes whose call result is tainted.
+    source_call_qnames: FrozenSet[str] = frozenset()
+    #: Attribute names whose *read* is tainted (``.mac``).
+    source_attrs: FrozenSet[str] = frozenset()
+    #: Callee base-names that consume/launder taint (result is clean).
+    sanitizer_calls: FrozenSet[str] = frozenset()
+    #: Callee base-names that are sinks.
+    sink_calls: FrozenSet[str] = frozenset()
+    #: Target-qname suffixes that are sinks.
+    sink_call_qnames: FrozenSet[str] = frozenset()
+    #: Function-qname suffixes whose *own bodies* never report (the sink
+    #: implementation itself, e.g. ``JsonLinesLogger.emit``).
+    exempt_functions: FrozenSet[str] = frozenset()
+    #: Flag ``==``/``!=`` with a tainted operand (NF103).
+    check_compares: bool = False
+    #: Methods preserving taint on a tainted receiver.
+    preserve_methods: FrozenSet[str] = _DEFAULT_PRESERVE
+    #: Message template; ``{origin}``, ``{sink}`` substituted.
+    message: str = "tainted value '{origin}' reaches sink '{sink}'"
+    compare_message: str = "'{origin}' compared with ==/!="
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Concrete taint: where the value came from."""
+
+    origin: str
+    origin_fn: str
+    origin_line: int
+
+
+@dataclass(frozen=True)
+class ParamTaint:
+    """Marker: the value arrived through this parameter."""
+
+    param: str
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A parameter reaching a sink, with the chain below this function."""
+
+    param: str
+    chain: Tuple[str, ...]
+    sink: str
+
+
+@dataclass
+class Summary:
+    returns: FrozenSet[object] = frozenset()
+    param_flows: FrozenSet[SinkHit] = frozenset()
+
+
+@dataclass(frozen=True)
+class Finding:
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    witness: Tuple[str, ...]
+
+
+def _qname_matches(qname: str, suffixes: FrozenSet[str]) -> bool:
+    return any(qname == s or qname.endswith("." + s) for s in suffixes)
+
+
+_MAX_TAINTS = 6
+
+
+class _FunctionAnalysis(ast.NodeVisitor):
+    """One pass over one function body under one spec."""
+
+    def __init__(self, fn: FunctionInfo, spec: TaintSpec, graph: CallGraph,
+                 summaries: Dict[str, Summary]) -> None:
+        self.fn = fn
+        self.spec = spec
+        self.graph = graph
+        self.summaries = summaries
+        self.env: Dict[str, Set[object]] = {}
+        self.returns: Set[object] = set()
+        # Keyed by (param, sink): one witness chain per flow, not one per
+        # call path — path enumeration is exponential in a cyclic graph.
+        self.param_flows: Dict[Tuple[str, str], SinkHit] = {}
+        self.findings: List[Finding] = []
+        self.sites: Dict[int, CallSite] = {
+            id(site.node): site for site in fn.calls if site.kind == "call"}
+        self.exempt = _qname_matches(fn.qname, spec.exempt_functions)
+        for param in fn.params:
+            taints: Set[object] = {ParamTaint(param)}
+            if spec.name_re is not None and spec.name_re.search(param):
+                taints.add(Taint(origin=param, origin_fn=fn.qname,
+                                 origin_line=fn.lineno))
+            self.env[param] = taints
+
+    # -- entry ---------------------------------------------------------------
+    def run(self) -> Tuple[Summary, List[Finding]]:
+        for stmt in self.fn.node.body:
+            self.visit(stmt)
+        return (Summary(returns=frozenset(self.returns),
+                        param_flows=frozenset(self.param_flows.values())),
+                self.findings)
+
+    # -- helpers -------------------------------------------------------------
+    def _name_taint(self, name: str, node: ast.AST) -> Set[object]:
+        spec = self.spec
+        if spec.name_re is not None and spec.name_re.search(name):
+            return {Taint(origin=name, origin_fn=self.fn.qname,
+                          origin_line=getattr(node, "lineno", self.fn.lineno))}
+        return set()
+
+    def _bind(self, target: ast.AST, taints: Set[object]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = set(list(taints)[:_MAX_TAINTS])
+        elif isinstance(target, ast.Attribute):
+            dotted = _attr_chain(target)
+            if dotted is not None:
+                self.env[dotted] = set(list(taints)[:_MAX_TAINTS])
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self._bind(inner, taints)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taints)
+        # Subscript stores drop taint tracking (containers are tracked by
+        # the variable holding them, not per-key).
+
+    def _report(self, node: ast.AST, taints: Set[object], sink: str,
+                chain_below: Tuple[str, ...] = ()) -> None:
+        """Emit findings for concrete taints; extend param_flows for markers."""
+        if self.exempt:
+            return
+        line = getattr(node, "lineno", self.fn.lineno)
+        col = getattr(node, "col_offset", 0)
+        for taint in taints:
+            if isinstance(taint, ParamTaint):
+                self.param_flows.setdefault((taint.param, sink), SinkHit(
+                    param=taint.param,
+                    chain=(self.fn.qname,) + chain_below[:12],
+                    sink=sink))
+            elif isinstance(taint, Taint):
+                witness = (self.fn.qname,) + chain_below + (sink,)
+                self.findings.append(Finding(
+                    code=self.spec.code, path=self.fn.path, line=line, col=col,
+                    message=self.spec.message.format(origin=taint.origin,
+                                                     sink=sink),
+                    witness=witness))
+
+    # -- expression evaluation ----------------------------------------------
+    def taint_of(self, expr: Optional[ast.AST]) -> Set[object]:
+        if expr is None:
+            return set()
+        spec = self.spec
+        if isinstance(expr, ast.Name):
+            out = set(self.env.get(expr.id, ()))
+            out |= self._name_taint(expr.id, expr)
+            return out
+        if isinstance(expr, ast.Attribute):
+            out: Set[object] = set()
+            dotted = _attr_chain(expr)
+            if dotted is not None and dotted in self.env:
+                out |= self.env[dotted]
+            if expr.attr in spec.source_attrs:
+                out.add(Taint(origin=f".{expr.attr}", origin_fn=self.fn.qname,
+                              origin_line=expr.lineno))
+            out |= self._name_taint(expr.attr, expr)
+            # Attribute reads on tainted objects are otherwise clean: the
+            # telemetry fields of a secret-holding object are not secrets.
+            self.taint_of(expr.value)  # still walk for nested calls
+            return out
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.BinOp):
+            return self.taint_of(expr.left) | self.taint_of(expr.right)
+        if isinstance(expr, ast.BoolOp):
+            out = set()
+            for value in expr.values:
+                out |= self.taint_of(value)
+            return out
+        if isinstance(expr, ast.UnaryOp):
+            return self.taint_of(expr.operand)
+        if isinstance(expr, ast.IfExp):
+            self.taint_of(expr.test)
+            return self.taint_of(expr.body) | self.taint_of(expr.orelse)
+        if isinstance(expr, ast.Compare):
+            self._check_compare(expr)
+            return set()
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = set()
+            for elt in expr.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                out |= self.taint_of(inner)
+            return out
+        if isinstance(expr, ast.Dict):
+            out = set()
+            for key, value in zip(expr.keys, expr.values):
+                if key is not None:
+                    out |= self.taint_of(key)
+                out |= self.taint_of(value)
+            return out
+        if isinstance(expr, ast.Subscript):
+            self.taint_of(expr.slice)
+            return self.taint_of(expr.value)
+        if isinstance(expr, ast.Starred):
+            return self.taint_of(expr.value)
+        if isinstance(expr, ast.Await):
+            return self.taint_of(expr.value)
+        if isinstance(expr, ast.NamedExpr):
+            taints = self.taint_of(expr.value)
+            self._bind(expr.target, taints)
+            return taints
+        if isinstance(expr, ast.JoinedStr):
+            out = set()
+            for value in expr.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= self.taint_of(value.value)
+            return out
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            out = set()
+            for gen in expr.generators:
+                self._bind(gen.target, self.taint_of(gen.iter))
+            out |= self.taint_of(expr.elt)
+            return out
+        if isinstance(expr, ast.DictComp):
+            for gen in expr.generators:
+                self._bind(gen.target, self.taint_of(gen.iter))
+            return self.taint_of(expr.key) | self.taint_of(expr.value)
+        if isinstance(expr, ast.Lambda):
+            # Lambda bodies share the enclosing env read-only.
+            self.taint_of(expr.body)
+            return set()
+        return set()
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        taints_per = [self.taint_of(op) for op in operands]
+        if not self.spec.check_compares or self.exempt:
+            return
+        # A compare chain a OP1 b OP2 c: flag when any Eq/NotEq link touches
+        # a tainted operand.
+        for idx, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            sides = taints_per[idx] | taints_per[idx + 1]
+            concrete = {t for t in sides if isinstance(t, Taint)}
+            markers = {t for t in sides if isinstance(t, ParamTaint)}
+            for taint in concrete:
+                self.findings.append(Finding(
+                    code=self.spec.code, path=self.fn.path,
+                    line=node.lineno, col=node.col_offset,
+                    message=self.spec.compare_message.format(origin=taint.origin),
+                    witness=(self.fn.qname, "==")))
+            for marker in markers:
+                self.param_flows.setdefault((marker.param, "=="), SinkHit(
+                    param=marker.param, chain=(self.fn.qname,), sink="=="))
+
+    def _eval_call(self, node: ast.Call) -> Set[object]:
+        spec, graph = self.spec, self.graph
+        site = self.sites.get(id(node))
+        callee = site.callee_name if site is not None else None
+        dotted = site.dotted if site is not None else None
+        targets = site.targets if site is not None else ()
+
+        # Evaluate arguments (skipping **kwargs forwarding — see module doc).
+        arg_taints: List[Set[object]] = [self.taint_of(a) for a in node.args]
+        kw_taints: Dict[str, Set[object]] = {}
+        for kw in node.keywords:
+            if kw.arg is None:
+                self.taint_of(kw.value)  # walk, but do not forward (**kw gap)
+            else:
+                kw_taints[kw.arg] = self.taint_of(kw.value)
+        all_arg_taints: Set[object] = set()
+        for taints in arg_taints:
+            all_arg_taints |= taints
+        for taints in kw_taints.values():
+            all_arg_taints |= taints
+        receiver_taints = (self.taint_of(node.func.value)
+                           if isinstance(node.func, ast.Attribute) else set())
+
+        # Sanitizers launder: clean result, no sink/propagation checks.
+        if callee is not None and callee in spec.sanitizer_calls:
+            return set()
+
+        # Sink?
+        is_sink = bool(
+            (callee is not None and callee in spec.sink_calls)
+            or any(_qname_matches(t, spec.sink_call_qnames) for t in targets)
+            or (dotted is not None and _qname_matches(dotted, spec.sink_call_qnames))
+        )
+        if is_sink and all_arg_taints:
+            self._report(node, all_arg_taints, sink=dotted or callee or "<sink>")
+
+        # Interprocedural: tainted arguments entering params that flow to a
+        # sink inside the callee (per its current summary).
+        indexed = [graph.functions[t] for t in targets if t in graph.functions]
+        for target_fn in indexed:
+            summary = self.summaries.get(target_fn.qname)
+            if summary is None or not summary.param_flows:
+                continue
+            bound = _bind_args(target_fn, node, arg_taints, kw_taints)
+            for hit in summary.param_flows:
+                taints = bound.get(hit.param, set())
+                if taints:
+                    self._report(node, taints, sink=hit.sink,
+                                 chain_below=hit.chain)
+
+        # Result taint.
+        result: Set[object] = set()
+        if callee is not None and callee in spec.source_calls:
+            result.add(Taint(origin=f"{callee}()", origin_fn=self.fn.qname,
+                             origin_line=node.lineno))
+        if any(_qname_matches(t, spec.source_call_qnames) for t in targets) \
+                or (dotted is not None
+                    and _qname_matches(dotted, spec.source_call_qnames)):
+            result.add(Taint(origin=f"{dotted or callee}()",
+                             origin_fn=self.fn.qname, origin_line=node.lineno))
+        for target_fn in indexed:
+            summary = self.summaries.get(target_fn.qname)
+            if summary is None:
+                continue
+            bound = _bind_args(target_fn, node, arg_taints, kw_taints)
+            for ret in summary.returns:
+                if isinstance(ret, Taint):
+                    result.add(ret)
+                elif isinstance(ret, ParamTaint):
+                    result |= bound.get(ret.param, set())
+        if not indexed:
+            # Unknown callee: propagate argument taint unless it is a
+            # shape-only builtin; preserve receiver taint for representation
+            # transforms.
+            if callee not in _CLEAN_BUILTINS:
+                result |= all_arg_taints
+            if callee is not None and callee in spec.preserve_methods:
+                result |= receiver_taints
+        elif callee is not None and callee in spec.preserve_methods:
+            result |= receiver_taints
+        return set(list(result)[:_MAX_TAINTS])
+
+    # -- statements ----------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:  # noqa: N802
+        taints = self.taint_of(node.value)
+        for target in node.targets:
+            self._bind(target, taints)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:  # noqa: N802
+        if node.value is not None:
+            self._bind(node.target, self.taint_of(node.value))
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:  # noqa: N802
+        taints = self.taint_of(node.value)
+        if isinstance(node.target, ast.Name):
+            self.env[node.target.id] = \
+                set(self.env.get(node.target.id, set())) | taints
+        else:
+            self._bind(node.target, taints)
+
+    def visit_Return(self, node: ast.Return) -> None:  # noqa: N802
+        self.returns |= self.taint_of(node.value)
+
+    def visit_Expr(self, node: ast.Expr) -> None:  # noqa: N802
+        self.taint_of(node.value)
+
+    def visit_If(self, node: ast.If) -> None:  # noqa: N802
+        self.taint_of(node.test)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def visit_While(self, node: ast.While) -> None:  # noqa: N802
+        self.taint_of(node.test)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def visit_For(self, node: ast.For) -> None:  # noqa: N802
+        self._bind(node.target, self.taint_of(node.iter))
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    visit_AsyncFor = visit_For  # noqa: N815
+
+    def visit_With(self, node: ast.With) -> None:  # noqa: N802
+        for item in node.items:
+            taints = self.taint_of(item.context_expr)
+            if item.optional_vars is not None:
+                self._bind(item.optional_vars, taints)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    visit_AsyncWith = visit_With  # noqa: N815
+
+    def visit_Try(self, node: ast.Try) -> None:  # noqa: N802
+        for stmt in node.body + node.orelse + node.finalbody:
+            self.visit(stmt)
+        for handler in node.handlers:
+            for stmt in handler.body:
+                self.visit(stmt)
+
+    def visit_Raise(self, node: ast.Raise) -> None:  # noqa: N802
+        self.taint_of(node.exc)
+
+    def visit_Assert(self, node: ast.Assert) -> None:  # noqa: N802
+        self.taint_of(node.test)
+        self.taint_of(node.msg)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:  # noqa: N802
+        return  # nested defs are separate graph nodes
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # noqa: N815
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:  # noqa: N802
+        return
+
+
+def _attr_chain(expr: ast.AST) -> Optional[str]:
+    """``self.x.y`` → pseudo-name for the env; None for computed bases."""
+    parts: List[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        parts.append(expr.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _bind_args(target_fn: FunctionInfo, call: ast.Call,
+               arg_taints: List[Set[object]],
+               kw_taints: Dict[str, Set[object]]) -> Dict[str, Set[object]]:
+    """Map this call's argument taints onto the callee's parameter names."""
+    params = target_fn.params
+    offset = 1 if params and params[0] in ("self", "cls") else 0
+    bound: Dict[str, Set[object]] = {}
+    for idx, taints in enumerate(arg_taints):
+        pidx = idx + offset
+        if pidx < len(params):
+            bound.setdefault(params[pidx], set()).update(taints)
+    for name, taints in kw_taints.items():
+        if name in params:
+            bound.setdefault(name, set()).update(taints)
+    return bound
+
+
+def analyze_taint(graph: CallGraph, spec: TaintSpec,
+                  max_rounds: int = 8) -> List[Finding]:
+    """Run one taint spec to a summary fixed point; return final findings."""
+    summaries: Dict[str, Summary] = {
+        qname: Summary() for qname in graph.functions}
+    findings: List[Finding] = []
+    order = sorted(graph.functions)
+    for _ in range(max_rounds):
+        changed = False
+        findings = []
+        for qname in order:
+            fn = graph.functions[qname]
+            analysis = _FunctionAnalysis(fn, spec, graph, summaries)
+            summary, fn_findings = analysis.run()
+            old = summaries[qname]
+            # Monotone merge, one SinkHit per (param, sink) — existing
+            # entries win so chains stabilize and the fixed point converges.
+            merged_flows = {(h.param, h.sink): h for h in summary.param_flows}
+            merged_flows.update(
+                {(h.param, h.sink): h for h in old.param_flows})
+            new = Summary(
+                returns=old.returns | summary.returns,
+                param_flows=frozenset(merged_flows.values()))
+            if (new.returns != old.returns
+                    or new.param_flows != old.param_flows):
+                summaries[qname] = new
+                changed = True
+            findings.extend(fn_findings)
+        if not changed:
+            break
+    return _dedup(findings)
+
+
+def _dedup(findings: Sequence[Finding]) -> List[Finding]:
+    seen: Set[Tuple[str, str, int, str]] = set()
+    out: List[Finding] = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col,
+                                                   f.message)):
+        key = (finding.code, finding.path, finding.line, finding.message)
+        if key not in seen:
+            seen.add(key)
+            out.append(finding)
+    return out

@@ -101,22 +101,45 @@ def get_rule(code: str) -> Type[LintRule]:
     return _REGISTRY[code]
 
 
+def _expand_codes(codes: Sequence[str], known: Sequence[str]) -> List[str]:
+    """Expand exact codes and fnmatch globs (``NF1*``) against the registry.
+
+    Raises :class:`KeyError` for an unknown exact code or a glob that matches
+    nothing — a pattern that silently selects zero rules is a typo, not a
+    request.
+    """
+    out: List[str] = []
+    for code in codes:
+        if any(ch in code for ch in "*?["):
+            matched = [k for k in known if fnmatch(k, code)]
+            if not matched:
+                raise KeyError(
+                    f"rule pattern {code!r} matches nothing "
+                    f"(known: {', '.join(sorted(known))})"
+                )
+            out.extend(matched)
+        elif code in known:
+            out.append(code)
+        else:
+            raise KeyError(
+                f"unknown rule code {code!r} (known: {', '.join(sorted(known))})"
+            )
+    return out
+
+
 def select_rules(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
 ) -> List[Type[LintRule]]:
-    """Filter the registry by explicit code lists (``--select`` / ``--ignore``)."""
+    """Filter the registry by code lists or globs (``--select`` / ``--ignore``)."""
     _ensure_loaded()
     rules = all_rules()
-    known = {rule.code for rule in rules}
-    for code in list(select or []) + list(ignore or []):
-        if code not in known:
-            raise KeyError(f"unknown rule code {code!r} (known: {', '.join(sorted(known))})")
+    known = [rule.code for rule in rules]
     if select:
-        wanted = set(select)
+        wanted = set(_expand_codes(select, known))
         rules = [rule for rule in rules if rule.code in wanted]
     if ignore:
-        unwanted = set(ignore)
+        unwanted = set(_expand_codes(ignore, known))
         rules = [rule for rule in rules if rule.code not in unwanted]
     return rules
 
@@ -130,5 +153,6 @@ def _ensure_loaded() -> None:
         # Import the bundled rule modules exactly once; their ``@register``
         # decorators populate the registry as a side effect.
         from repro.lint import rules as _rules  # noqa: F401
+        from repro.lint.flow import rules as _flow_rules  # noqa: F401
 
         _loaded = True

@@ -50,6 +50,36 @@ def to_json(result: LintResult) -> Dict[str, Any]:
     }
 
 
+def _gh_data(value: str) -> str:
+    """Escape annotation message data per the workflow-command grammar."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _gh_property(value: str) -> str:
+    """Escape annotation property values (also commas and colons)."""
+    return _gh_data(value).replace(":", "%3A").replace(",", "%2C")
+
+
+def format_github(result: LintResult) -> str:
+    """GitHub Actions ``::error`` annotations — findings inline on the PR."""
+    lines: List[str] = []
+    for path, error in result.parse_errors:
+        lines.append(
+            f"::error file={_gh_property(path)},line=1,title=NF000::"
+            f"{_gh_data(error)}"
+        )
+    for violation in result.violations:
+        title = f"{violation.code} {violation.rule}"
+        lines.append(
+            f"::error file={_gh_property(violation.path)},"
+            f"line={violation.line},col={violation.col + 1},"
+            f"title={_gh_property(title)}::{_gh_data(violation.message)}"
+        )
+    # Trailing plain line for the job log; GitHub ignores non-`::` lines.
+    lines.append(format_text(result).splitlines()[-1])
+    return "\n".join(lines)
+
+
 def format_catalog(rules: List[Type[LintRule]]) -> str:
     """Human-readable rule catalog for ``--list-rules``."""
     lines = []

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Tuple
 
 
 @dataclass(frozen=True)
@@ -14,6 +14,8 @@ class Violation:
     ``fingerprint`` identifies the finding by *content* — rule code, logical
     path, and the stripped source line — rather than by line number, so a
     committed baseline keeps matching after unrelated edits shift lines.
+    Flow findings additionally carry a ``witness`` call chain; it is
+    presentation, not identity, so it stays out of the fingerprint.
     """
 
     code: str
@@ -23,6 +25,8 @@ class Violation:
     col: int
     message: str
     source_line: str = ""
+    #: For flow rules: the call chain proving the finding (qualified names).
+    witness: Tuple[str, ...] = ()
 
     @property
     def fingerprint(self) -> str:
@@ -38,7 +42,7 @@ class Violation:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        record = {
             "code": self.code,
             "rule": self.rule,
             "path": self.path,
@@ -48,3 +52,6 @@ class Violation:
             "source_line": self.source_line,
             "fingerprint": self.fingerprint,
         }
+        if self.witness:
+            record["witness"] = list(self.witness)
+        return record

@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import sys
 import time
 from collections import deque
@@ -36,7 +37,43 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.obs.spans import build_trees, format_tree
 
-__all__ = ["FlightRecorder", "cli_main", "format_dump"]
+__all__ = ["FlightRecorder", "cli_main", "format_dump", "redact"]
+
+#: Dump fields whose *name* marks the value as key material.  The dump is a
+#: forensic artifact that leaves the process (files, CI artifacts, bug
+#: reports); NF102 proves key material never reaches the recorder's rings on
+#: purpose, and this pass guarantees it even for values smuggled in via
+#: span/log attrs the linter cannot see (dynamic twin of NF102).
+_SENSITIVE_NAME_RE = re.compile(
+    r"(^|_)(master|secret|key|token|mac|password|passwd|credential|"
+    r"passphrase)(_|$|s(_|$))",
+    re.IGNORECASE,
+)
+
+_REDACTED = "[REDACTED]"
+
+
+def _is_sensitive(name: Any) -> bool:
+    return isinstance(name, str) and bool(_SENSITIVE_NAME_RE.search(name))
+
+
+def redact(value: Any, sensitive: bool = False) -> Any:
+    """Deep-copy ``value`` with sensitive string/bytes leaves blanked.
+
+    Only str/bytes leaves under a sensitive name are replaced: numeric
+    telemetry like ``key_epoch`` or ``secret_epochs`` is shape, not
+    material, and stays readable in the dump.
+    """
+    if isinstance(value, dict):
+        return {
+            key: redact(item, sensitive=sensitive or _is_sensitive(key))
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [redact(item, sensitive=sensitive) for item in value]
+    if sensitive and isinstance(value, (str, bytes, bytearray)):
+        return _REDACTED
+    return value
 
 
 class FlightRecorder:
@@ -71,15 +108,20 @@ class FlightRecorder:
     # -- dumping ------------------------------------------------------------
     def payload(self, trigger: str,
                 context: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        """The forensic record as a JSON-safe dict (no file written)."""
+        """The forensic record as a JSON-safe dict (no file written).
+
+        Everything passes through :func:`redact` on the way out: the rings
+        may hold whatever the instruments recorded, but the dump never
+        carries key material.
+        """
         return {
             "event": "flight_dump",
             "trigger": trigger,
             "dumped_at": round(self._wall(), 6),
-            "context": context or {},
-            "spans": list(self.spans),
-            "logs": list(self.logs),
-            "metrics_snapshots": list(self.metrics),
+            "context": redact(context or {}),
+            "spans": redact(list(self.spans)),
+            "logs": redact(list(self.logs)),
+            "metrics_snapshots": redact(list(self.metrics)),
         }
 
     def dump(self, path: str, trigger: str,

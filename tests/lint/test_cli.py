@@ -125,3 +125,87 @@ def test_verbose_shows_offending_source_line(bad_file, capsys):
 def test_runner_dispatches_lint_subcommand(bad_file, capsys):
     assert runner_main(["lint", "--strict", str(bad_file)]) == 1
     assert "NF002" in capsys.readouterr().out
+
+
+# Interprocedural on purpose: the per-node NF013 cannot see that `fetch`
+# returns a MAC, so only the flow phase (NF103) catches the comparison.
+FLOW_BAD = (
+    "def fetch(feedback):\n"
+    "    return feedback.mac\n"
+    "\n"
+    "def check(feedback, expected: bytes) -> bool:\n"
+    "    return fetch(feedback) == expected\n"
+)
+
+
+@pytest.fixture
+def flow_bad_file(tmp_path):
+    pkg = tmp_path / "repro" / "runtime"
+    pkg.mkdir(parents=True)
+    path = pkg / "seeded.py"
+    path.write_text(FLOW_BAD)
+    return path
+
+
+def test_flow_findings_gate_only_with_flow_flag(flow_bad_file, capsys):
+    assert cli_main([str(flow_bad_file), "--strict"]) == 0
+    assert cli_main([str(flow_bad_file), "--strict", "--flow"]) == 1
+    out = capsys.readouterr().out
+    assert "NF103" in out
+    assert "path:" in out  # witness chain rendered in the message
+
+
+def test_flow_graph_export_implies_flow(flow_bad_file, tmp_path, capsys):
+    dot = tmp_path / "calls.dot"
+    assert cli_main([str(flow_bad_file), "--strict",
+                     "--flow-graph", str(dot)]) == 1
+    assert dot.read_text().startswith("digraph")
+    assert "check" in dot.read_text()
+
+
+def test_glob_select_runs_rule_family(flow_bad_file, bad_file):
+    # NF1* picks up exactly the flow family: NF002 in bad_file is ignored.
+    assert cli_main([str(flow_bad_file), str(bad_file), "--strict",
+                     "--flow", "--select", "NF1*"]) == 1
+    assert cli_main([str(bad_file), "--strict", "--flow",
+                     "--select", "NF1*"]) == 0
+    assert cli_main([str(bad_file), "--strict", "--ignore", "NF0*"]) == 0
+
+
+def test_glob_matching_nothing_is_usage_error(bad_file, capsys):
+    assert cli_main([str(bad_file), "--select", "NF9*"]) == 2
+    assert "NF9*" in capsys.readouterr().err
+
+
+def test_github_format_emits_error_annotations(flow_bad_file, capsys):
+    assert cli_main([str(flow_bad_file), "--flow", "--format", "github"]) == 0
+    out = capsys.readouterr().out
+    line = [l for l in out.splitlines() if l.startswith("::error")][0]
+    assert f"file={flow_bad_file}" in line
+    assert "line=5" in line
+    assert "title=NF103 mac-compare-flow" in line
+    assert "\n" not in line
+
+
+def test_github_format_escapes_newlines_in_messages(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    assert cli_main([str(broken), "--format", "github"]) == 2
+    out = capsys.readouterr().out
+    annotation = [l for l in out.splitlines() if l.startswith("::error")][0]
+    assert "title=NF000" in annotation
+
+
+def test_json_flow_report_includes_witness(flow_bad_file, capsys):
+    assert cli_main([str(flow_bad_file), "--flow", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    (violation,) = payload["violations"]
+    assert violation["code"] == "NF103"
+    assert violation["witness"] == ["repro.runtime.seeded.check", "=="]
+
+
+def test_list_rules_includes_flow_catalog(capsys):
+    assert cli_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("NF101", "NF102", "NF103"):
+        assert code in out

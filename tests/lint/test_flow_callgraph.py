@@ -1,0 +1,144 @@
+"""Call-graph construction: name resolution, dispatch, callbacks, DOT."""
+
+from __future__ import annotations
+
+from repro.lint.context import FileContext
+from repro.lint.flow import build_callgraph, module_qname, to_dot
+
+
+def _graph(sources):
+    contexts = [FileContext(src, path) for path, src in sources.items()]
+    return build_callgraph(contexts)
+
+
+def _edges(graph, qname):
+    return {target for _site, target in graph.successors(qname)}
+
+
+def test_module_qname_anchors_at_repro_and_collapses_init():
+    assert module_qname("repro/core/access.py") == "repro.core.access"
+    assert module_qname("repro/obs/__init__.py") == "repro.obs"
+    assert module_qname("tests/fixtures/x.py") == "tests.fixtures.x"
+
+
+def test_from_import_call_resolves_across_modules():
+    graph = _graph({
+        "tmp/repro/pkg/util.py": "def helper(x):\n    return x\n",
+        "tmp/repro/pkg/caller.py": (
+            "from repro.pkg.util import helper\n"
+            "def run():\n"
+            "    return helper(1)\n"
+        ),
+    })
+    assert "repro.pkg.util.helper" in _edges(graph, "repro.pkg.caller.run")
+
+
+def test_annotation_types_the_receiver_for_dispatch():
+    graph = _graph({
+        "tmp/repro/pkg/mod.py": (
+            "class Limiter:\n"
+            "    def poke(self):\n"
+            "        return 1\n"
+            "def run(lim: Limiter):\n"
+            "    lim.poke()\n"
+        ),
+    })
+    assert "repro.pkg.mod.Limiter.poke" in _edges(graph, "repro.pkg.mod.run")
+
+
+def test_constructor_assignment_types_self_attributes():
+    graph = _graph({
+        "tmp/repro/pkg/mod.py": (
+            "class Queue:\n"
+            "    def push(self, item):\n"
+            "        pass\n"
+            "class Router:\n"
+            "    def __init__(self):\n"
+            "        self.q = Queue()\n"
+            "    def forward(self, pkt):\n"
+            "        self.q.push(pkt)\n"
+        ),
+    })
+    assert "repro.pkg.mod.Queue.push" in _edges(graph,
+                                                "repro.pkg.mod.Router.forward")
+
+
+def test_dispatch_includes_subclass_overrides():
+    graph = _graph({
+        "tmp/repro/pkg/mod.py": (
+            "class Base:\n"
+            "    def handle(self):\n"
+            "        pass\n"
+            "class Sub(Base):\n"
+            "    def handle(self):\n"
+            "        pass\n"
+            "def run(obj: Base):\n"
+            "    obj.handle()\n"
+        ),
+    })
+    edges = _edges(graph, "repro.pkg.mod.run")
+    assert "repro.pkg.mod.Base.handle" in edges
+    assert "repro.pkg.mod.Sub.handle" in edges
+
+
+def test_callback_argument_and_nested_def_edges():
+    graph = _graph({
+        "tmp/repro/pkg/mod.py": (
+            "class Policer:\n"
+            "    def _fire(self):\n"
+            "        pass\n"
+            "    def arm(self, clock):\n"
+            "        clock.schedule(0.1, self._fire)\n"
+            "    def wrap(self):\n"
+            "        def inner():\n"
+            "            pass\n"
+            "        return inner\n"
+        ),
+    })
+    arm = [s for s in graph.functions["repro.pkg.mod.Policer.arm"].calls
+           if s.kind == "callback"]
+    assert any("Policer._fire" in t for site in arm for t in site.targets)
+    nested = [s for s in graph.functions["repro.pkg.mod.Policer.wrap"].calls
+              if s.kind == "nested"]
+    assert any("wrap.inner" in t for site in nested for t in site.targets)
+
+
+def test_builtin_method_names_do_not_duck_dispatch():
+    # An untyped `.get()` must not wire to every function named `get`.
+    graph = _graph({
+        "tmp/repro/pkg/a.py": "def get(url):\n    return url\n",
+        "tmp/repro/pkg/b.py": (
+            "def run(cache):\n"
+            "    return cache.get('x')\n"
+        ),
+    })
+    assert "repro.pkg.a.get" not in _edges(graph, "repro.pkg.b.run")
+
+
+def test_unindexed_import_keeps_opaque_dotted_target():
+    # The sink/source qname matching relies on opaque targets surviving
+    # even when the imported module is not among the analyzed files.
+    graph = _graph({
+        "tmp/repro/pkg/mod.py": (
+            "from repro.obs.log import JsonLinesLogger\n"
+            "def run(log: JsonLinesLogger):\n"
+            "    log.emit('x')\n"
+        ),
+    })
+    (site,) = [s for s in graph.functions["repro.pkg.mod.run"].calls
+               if s.callee_name == "emit"]
+    assert "repro.obs.log.JsonLinesLogger.emit" in site.targets
+
+
+def test_to_dot_renders_nodes_and_edges():
+    graph = _graph({
+        "tmp/repro/pkg/mod.py": (
+            "def helper():\n"
+            "    pass\n"
+            "def run():\n"
+            "    helper()\n"
+        ),
+    })
+    dot = to_dot(graph)
+    assert dot.startswith("digraph")
+    assert '"repro.pkg.mod.run" -> "repro.pkg.mod.helper"' in dot

@@ -1,0 +1,195 @@
+"""Flow rules NF101–NF103: seeded violations, witnesses, machinery reuse."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.context import FileContext
+from repro.lint.engine import lint_paths
+from repro.lint.flow import build_callgraph
+from repro.lint.flow.rules import (
+    ConstantTimeMacCompareFlow,
+    NoKeyMaterialEgress,
+    NoUnverifiedRateIncrease,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src" / "repro")
+FLOW_CODES = ["NF101", "NF102", "NF103"]
+
+# The logical path anchors at the last `repro/` segment, so these seeded
+# modules scope exactly like real source files.
+SEED_PATH = "tmp/repro/runtime/seeded.py"
+
+NF101_BAD = """\
+from repro.runtime.codec import decode_frame
+
+class BadLimiter:
+    def bump(self, frame) -> None:
+        self.rate_bps += 1000.0
+
+class Handler:
+    def __init__(self) -> None:
+        self.limiter = BadLimiter()
+
+    def on_frame(self, data: bytes) -> None:
+        frame = decode_frame(data)
+        self.limiter.bump(frame)
+"""
+
+NF101_OK = NF101_BAD.replace(
+    "        frame = decode_frame(data)",
+    "        frame = decode_frame(data)\n"
+    "        if not self.stamper.validate(frame):\n"
+    "            return",
+)
+
+NF102_BAD = """\
+from repro.obs.log import JsonLinesLogger
+
+def leak(log: JsonLinesLogger, master_secret: bytes) -> None:
+    log.emit("boot", secret=master_secret.hex())
+"""
+
+NF102_OK = """\
+from repro.obs.log import JsonLinesLogger
+from repro.crypto.mac import compute_mac
+
+def stamp(log: JsonLinesLogger, master_secret: bytes) -> None:
+    log.emit("boot", tag=compute_mac(master_secret, b"x").hex())
+"""
+
+NF102_CHAIN = """\
+from repro.obs.log import JsonLinesLogger
+
+def entry(log: JsonLinesLogger, master_secret: bytes) -> None:
+    relay(log, master_secret)
+
+def relay(log: JsonLinesLogger, value: bytes) -> None:
+    sink(log, value)
+
+def sink(log: JsonLinesLogger, value: bytes) -> None:
+    log.emit("x", value)
+"""
+
+NF103_BAD = """\
+def check(feedback, expected: bytes) -> bool:
+    return feedback.mac == expected
+"""
+
+NF103_OK = """\
+from repro.crypto.mac import mac_equal
+
+def check(feedback, expected: bytes) -> bool:
+    return mac_equal(feedback.mac, expected)
+"""
+
+
+def _analyze(rule, source, path=SEED_PATH):
+    ctx = FileContext(source, path)
+    return rule.analyze(build_callgraph([ctx]), [ctx])
+
+
+def _flow_lint(tmp_path, source, **kwargs):
+    pkg = tmp_path / "repro" / "runtime"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "seeded.py").write_text(source)
+    return lint_paths([str(pkg)], select=FLOW_CODES, flow=True, **kwargs)
+
+
+# -- NF101 ------------------------------------------------------------------
+
+def test_nf101_seeded_skip_verifier_is_one_finding_with_witness():
+    (violation,) = _analyze(NoUnverifiedRateIncrease, NF101_BAD)
+    assert violation.code == "NF101"
+    assert violation.line == 12  # the decode_frame call
+    assert violation.witness == (
+        "repro.runtime.seeded.Handler.on_frame",
+        "repro.runtime.seeded.BadLimiter.bump",
+        "BadLimiter.bump:5",
+    )
+    assert "rate_bps +=" in violation.message
+
+
+def test_nf101_verifier_on_path_is_clean():
+    assert _analyze(NoUnverifiedRateIncrease, NF101_OK) == []
+
+
+# -- NF102 ------------------------------------------------------------------
+
+def test_nf102_seeded_logged_key_is_one_finding_with_witness():
+    (violation,) = _analyze(NoKeyMaterialEgress, NF102_BAD)
+    assert violation.code == "NF102"
+    assert "master_secret" in violation.message
+    assert violation.witness == (
+        "repro.runtime.seeded.leak",
+        "repro.obs.log.JsonLinesLogger.emit",
+    )
+
+
+def test_nf102_compute_mac_launders():
+    assert _analyze(NoKeyMaterialEgress, NF102_OK) == []
+
+
+def test_nf102_witness_crosses_function_boundaries():
+    (violation,) = _analyze(NoKeyMaterialEgress, NF102_CHAIN)
+    assert violation.witness == (
+        "repro.runtime.seeded.entry",
+        "repro.runtime.seeded.relay",
+        "repro.runtime.seeded.sink",
+        "repro.obs.log.JsonLinesLogger.emit",
+    )
+
+
+# -- NF103 ------------------------------------------------------------------
+
+def test_nf103_seeded_mac_eq_compare_is_one_finding_with_witness():
+    (violation,) = _analyze(ConstantTimeMacCompareFlow, NF103_BAD)
+    assert violation.code == "NF103"
+    assert violation.line == 2
+    assert violation.witness == ("repro.runtime.seeded.check", "==")
+
+
+def test_nf103_mac_equal_is_clean():
+    assert _analyze(ConstantTimeMacCompareFlow, NF103_OK) == []
+
+
+# -- whole-tree theorem + machinery reuse -----------------------------------
+
+def test_source_tree_satisfies_all_flow_rules():
+    result = lint_paths([REPO_SRC], select=FLOW_CODES, flow=True)
+    assert result.violations == []
+    assert result.parse_errors == []
+    assert result.flow_graph is not None
+    assert len(result.flow_graph.functions) > 500
+
+
+def test_flow_graph_only_built_when_requested():
+    result = lint_paths([REPO_SRC + "/crypto"], select=FLOW_CODES)
+    assert result.flow_graph is None
+
+
+def test_inline_suppression_applies_to_flow_findings(tmp_path):
+    suppressed = NF103_BAD.replace(
+        "feedback.mac == expected",
+        "feedback.mac == expected  # nf: disable=NF103 -- fixture")
+    result = _flow_lint(tmp_path, suppressed)
+    assert result.violations == []
+    assert [v.code for v in result.suppressed] == ["NF103"]
+
+
+def test_baseline_absorbs_flow_findings(tmp_path):
+    from repro.lint.baseline import Baseline
+
+    first = _flow_lint(tmp_path, NF103_BAD)
+    assert [v.code for v in first.violations] == ["NF103"]
+    baseline = Baseline.from_violations(first.violations)
+    second = _flow_lint(tmp_path, NF103_BAD, baseline=baseline)
+    assert second.violations == []
+    assert [v.code for v in second.baselined] == ["NF103"]
+
+
+def test_flow_violation_json_carries_witness(tmp_path):
+    (violation,) = _flow_lint(tmp_path, NF102_BAD).violations
+    record = violation.to_dict()
+    assert record["witness"][0] == "repro.runtime.seeded.leak"
+    assert record["fingerprint"]

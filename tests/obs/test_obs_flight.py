@@ -73,6 +73,36 @@ def test_format_dump_shows_moved_metrics_log_tail_and_trees():
     assert "  serve.admit" in text  # child indented under the root
 
 
+def test_dump_redacts_key_material_mid_traffic(tmp_path):
+    # NF102's dynamic twin: however key material reaches the rings while
+    # traffic is flowing, the forensic file must not carry the bytes.
+    secret = "0badc0ffee" * 4
+    flight = FlightRecorder(wall=_wall)
+    log = JsonLinesLogger(stream=io.StringIO(), wall=_wall)
+    log.add_sink(flight.record_log)
+    recorder = SpanRecorder(seed=1)
+    recorder.add_sink(flight.record_span)
+    for i in range(3):
+        recorder.event(f"admit{i}", ts=float(i))
+        log.info("admit", uid=i)
+        flight.record_metrics({"packets_rx": i, "secret_epochs": 2})
+    log.info("rollover", master_secret=secret, key_epoch=7)
+    flight.record_span({"name": "derive", "epoch_keys": [secret]})
+    path = tmp_path / "dump.json"
+    assert flight.dump(str(path), "sigusr1", {"token": secret}) == str(path)
+
+    assert secret.encode() not in path.read_bytes()
+    payload = json.loads(path.read_text())
+    rollover = payload["logs"][-1]
+    assert rollover["master_secret"] == "[REDACTED]"
+    assert rollover["key_epoch"] == 7  # numeric telemetry stays readable
+    assert payload["context"]["token"] == "[REDACTED]"
+    assert payload["spans"][-1]["epoch_keys"] == ["[REDACTED]"]
+    assert payload["metrics_snapshots"][-1]["secret_epochs"] == 2
+    # The rings themselves are untouched; only the egress is redacted.
+    assert flight.logs[-1]["master_secret"] == secret
+
+
 def test_cli_pretty_prints_and_rejects_non_dumps(tmp_path, capsys):
     flight = FlightRecorder(wall=_wall)
     flight.record_metrics({"rx": 1})
